@@ -1,0 +1,368 @@
+//! The IndEDA-style baseline: a flat, connectivity-driven macro placer.
+//!
+//! This models the behaviour of the commercial floorplanner the paper
+//! compares against: it sees only the flattened netlist (no hierarchy, no
+//! array/dataflow information), optimizes net-based wirelength with simulated
+//! annealing over macro positions, and biases macros towards the die
+//! periphery so the core area stays free for standard cells — which is
+//! exactly the strategy whose shortcomings motivate HiDaP.
+
+use geometry::{Dbu, Orientation, Point, Rect};
+use hidap::legalize::{legalize_macros, MacroFootprint};
+use hidap::placement::{MacroPlacement, PlacedMacro};
+use hidap::HidapError;
+use netlist::design::{CellId, CellKind, Design};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the IndEDA-style baseline placer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndEdaConfig {
+    /// Simulated-annealing moves per macro per temperature step.
+    pub moves_per_macro: usize,
+    /// Number of temperature steps.
+    pub temperature_steps: usize,
+    /// Geometric cooling factor.
+    pub cooling: f64,
+    /// Weight of the wall-attraction term (0 disables the periphery bias).
+    pub wall_weight: f64,
+    /// Weight of the overlap penalty.
+    pub overlap_weight: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for IndEdaConfig {
+    fn default() -> Self {
+        Self {
+            moves_per_macro: 40,
+            temperature_steps: 60,
+            cooling: 0.92,
+            wall_weight: 0.4,
+            overlap_weight: 4.0,
+            seed: 1,
+        }
+    }
+}
+
+impl IndEdaConfig {
+    /// A reduced-effort configuration for tests.
+    pub fn fast() -> Self {
+        Self { moves_per_macro: 12, temperature_steps: 25, ..Self::default() }
+    }
+}
+
+/// The IndEDA-style flat macro placer.
+#[derive(Debug, Clone)]
+pub struct IndEda {
+    config: IndEdaConfig,
+}
+
+impl IndEda {
+    /// Creates the baseline with the given configuration.
+    pub fn new(config: IndEdaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the baseline flow and returns a legal macro placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HidapError::EmptyDie`] / [`HidapError::MacrosExceedDie`] under
+    /// the same conditions as the HiDaP flow.
+    pub fn run(&self, design: &Design) -> Result<MacroPlacement, HidapError> {
+        let die = design.die();
+        if die.width() <= 0 || die.height() <= 0 {
+            return Err(HidapError::EmptyDie);
+        }
+        let macros: Vec<CellId> = design.macros().collect();
+        let macro_area: i128 = macros.iter().map(|&m| design.cell(m).area()).sum();
+        if macro_area > die.area() {
+            return Err(HidapError::MacrosExceedDie { macro_area, die_area: die.area() });
+        }
+        if macros.is_empty() {
+            return Ok(MacroPlacement::default());
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let nets = macro_nets(design, &macros);
+        let anchors = net_anchors(design, &nets);
+
+        // Initial positions: macros spread on a grid.
+        let cols = (macros.len() as f64).sqrt().ceil() as usize;
+        let mut state: Vec<(Point, bool)> = macros
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let cell = design.cell(m);
+                let col = i % cols;
+                let row = i / cols;
+                let x = die.llx + (die.width() * col as i64) / cols as i64;
+                let y = die.lly + (die.height() * row as i64) / cols as i64;
+                let x = x.min(die.urx - cell.width);
+                let y = y.min(die.ury - cell.height);
+                (Point::new(x.max(die.llx), y.max(die.lly)), false)
+            })
+            .collect();
+
+        let mut current_cost = self.cost(design, die, &macros, &state, &nets, &anchors);
+        let mut best_state = state.clone();
+        let mut best_cost = current_cost;
+        let mut temperature = current_cost.max(1.0) * 0.05;
+
+        for _ in 0..self.config.temperature_steps {
+            for _ in 0..self.config.moves_per_macro * macros.len() {
+                let idx = rng.gen_range(0..macros.len());
+                let saved = state[idx];
+                match rng.gen_range(0..4) {
+                    0 | 1 => {
+                        // displace
+                        let cell = design.cell(macros[idx]);
+                        let (w, h) = if state[idx].1 { (cell.height, cell.width) } else { (cell.width, cell.height) };
+                        let max_x = (die.urx - w).max(die.llx);
+                        let max_y = (die.ury - h).max(die.lly);
+                        state[idx].0 = Point::new(rng.gen_range(die.llx..=max_x), rng.gen_range(die.lly..=max_y));
+                    }
+                    2 => {
+                        // rotate
+                        state[idx].1 = !state[idx].1;
+                    }
+                    _ => {
+                        // swap with another macro
+                        let other = rng.gen_range(0..macros.len());
+                        let tmp = state[idx].0;
+                        state[idx].0 = state[other].0;
+                        state[other].0 = tmp;
+                    }
+                }
+                let cost = self.cost(design, die, &macros, &state, &nets, &anchors);
+                let delta = cost - current_cost;
+                if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp() {
+                    current_cost = cost;
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_state = state.clone();
+                    }
+                } else {
+                    state[idx] = saved;
+                }
+            }
+            temperature *= self.config.cooling;
+        }
+
+        // Legalize and emit the placement.
+        let mut footprints: HashMap<CellId, MacroFootprint> = macros
+            .iter()
+            .zip(&best_state)
+            .map(|(&m, &(loc, rotated))| (m, MacroFootprint { location: loc, rotated }))
+            .collect();
+        legalize_macros(design, die, &mut footprints);
+        let mut placed: Vec<PlacedMacro> = footprints
+            .iter()
+            .map(|(&cell, fp)| PlacedMacro {
+                cell,
+                location: fp.location,
+                orientation: if fp.rotated { Orientation::W } else { Orientation::N },
+            })
+            .collect();
+        placed.sort_by_key(|m| m.cell);
+        Ok(MacroPlacement { macros: placed, top_blocks: Vec::new() })
+    }
+
+    /// Net-based wirelength + periphery bias + overlap penalty.
+    fn cost(
+        &self,
+        design: &Design,
+        die: Rect,
+        macros: &[CellId],
+        state: &[(Point, bool)],
+        nets: &[MacroNet],
+        anchors: &[Option<Point>],
+    ) -> f64 {
+        let rects: Vec<Rect> = macros
+            .iter()
+            .zip(state)
+            .map(|(&m, &(loc, rotated))| {
+                let c = design.cell(m);
+                let (w, h) = if rotated { (c.height, c.width) } else { (c.width, c.height) };
+                Rect::from_size(loc.x, loc.y, w, h)
+            })
+            .collect();
+        // HPWL over macro-connected nets (standard cells are invisible to this flow)
+        let mut wl = 0.0;
+        for (net, anchor) in nets.iter().zip(anchors) {
+            let mut pts: Vec<Point> = net.macro_indices.iter().map(|&i| rects[i].center()).collect();
+            if let Some(a) = anchor {
+                pts.push(*a);
+            }
+            if pts.len() >= 2 {
+                if let Some(bb) = Rect::bounding_box(pts.iter().copied()) {
+                    wl += (bb.width() + bb.height()) as f64;
+                }
+            }
+        }
+        // periphery bias: distance of each macro to the nearest die wall
+        let mut wall = 0.0;
+        for r in &rects {
+            let c = r.center();
+            let d = (c.x - die.llx)
+                .min(die.urx - c.x)
+                .min(c.y - die.lly)
+                .min(die.ury - c.y)
+                .max(0) as f64;
+            wall += d;
+        }
+        // overlap penalty
+        let mut overlap = 0.0;
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                overlap += rects[i].overlap_area(&rects[j]) as f64;
+            }
+        }
+        let die_edge = (die.width() + die.height()) as f64;
+        wl + self.config.wall_weight * wall
+            + self.config.overlap_weight * overlap / die_edge.max(1.0)
+    }
+}
+
+/// A net restricted to the pins the flat flow can see: macros and ports.
+#[derive(Debug, Clone)]
+struct MacroNet {
+    macro_indices: Vec<usize>,
+    port_positions: Vec<Point>,
+}
+
+fn macro_nets(design: &Design, macros: &[CellId]) -> Vec<MacroNet> {
+    let index_of: HashMap<CellId, usize> = macros.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    let mut nets = Vec::new();
+    for (_, net) in design.nets() {
+        let mut macro_indices = Vec::new();
+        let mut port_positions = Vec::new();
+        let mut endpoints = Vec::new();
+        if let Some(d) = net.driver_cell {
+            endpoints.push(d);
+        }
+        endpoints.extend(net.sink_cells.iter().copied());
+        for c in endpoints {
+            if design.cell(c).kind == CellKind::Macro {
+                if let Some(&i) = index_of.get(&c) {
+                    macro_indices.push(i);
+                }
+            }
+        }
+        if let Some(p) = net.driver_port {
+            if let Some(pos) = design.port(p).position {
+                port_positions.push(pos);
+            }
+        }
+        for &p in &net.sink_ports {
+            if let Some(pos) = design.port(p).position {
+                port_positions.push(pos);
+            }
+        }
+        macro_indices.sort_unstable();
+        macro_indices.dedup();
+        if macro_indices.len() + port_positions.len() >= 2 && !macro_indices.is_empty() {
+            nets.push(MacroNet { macro_indices, port_positions });
+        }
+    }
+    nets
+}
+
+/// Pre-computed anchor point per net: the centroid of its port pins (the
+/// standard-cell pins are unknown to this flow).
+fn net_anchors(_design: &Design, nets: &[MacroNet]) -> Vec<Option<Point>> {
+    nets.iter()
+        .map(|n| {
+            if n.port_positions.is_empty() {
+                None
+            } else {
+                let sx: i128 = n.port_positions.iter().map(|p| p.x as i128).sum();
+                let sy: i128 = n.port_positions.iter().map(|p| p.y as i128).sum();
+                let c = n.port_positions.len() as i128;
+                Some(Point::new((sx / c) as Dbu, (sy / c) as Dbu))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::design::DesignBuilder;
+
+    fn design_with_connected_macros() -> Design {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_macro("a", "RAM", 200, 150, "");
+        let c = b.add_macro("c", "RAM", 200, 150, "");
+        let e = b.add_macro("e", "RAM", 200, 150, "");
+        // a and c are heavily connected; e is isolated
+        for i in 0..16 {
+            let n = b.add_net(format!("n{i}"));
+            b.connect_driver(n, a);
+            b.connect_sink(n, c);
+        }
+        let _ = e;
+        b.set_die(Rect::new(0, 0, 2000, 2000));
+        b.build()
+    }
+
+    #[test]
+    fn produces_legal_placement() {
+        let d = design_with_connected_macros();
+        let p = IndEda::new(IndEdaConfig::fast()).run(&d).unwrap();
+        assert_eq!(p.macros.len(), 3);
+        assert!(p.is_legal(&d));
+    }
+
+    #[test]
+    fn connected_macros_end_up_closer_than_unconnected() {
+        let d = design_with_connected_macros();
+        let p = IndEda::new(IndEdaConfig::fast()).run(&d).unwrap();
+        let a = d.find_cell("a").unwrap();
+        let c = d.find_cell("c").unwrap();
+        let e = d.find_cell("e").unwrap();
+        let ra = p.rect_of(a, &d).unwrap();
+        let rc = p.rect_of(c, &d).unwrap();
+        let re = p.rect_of(e, &d).unwrap();
+        let d_ac = ra.center_distance(&rc);
+        let d_ae = ra.center_distance(&re);
+        assert!(d_ac <= d_ae, "connected pair should not be farther apart than the isolated macro (d_ac={d_ac}, d_ae={d_ae})");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let d = design_with_connected_macros();
+        let a = IndEda::new(IndEdaConfig::fast()).run(&d).unwrap();
+        let b = IndEda::new(IndEdaConfig::fast()).run(&d).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_die_is_error() {
+        let mut b = DesignBuilder::new("t");
+        b.add_macro("a", "RAM", 10, 10, "");
+        let d = b.build();
+        assert!(IndEda::new(IndEdaConfig::fast()).run(&d).is_err());
+    }
+
+    #[test]
+    fn wall_bias_pushes_macros_towards_periphery() {
+        // a single unconnected macro: with a strong wall weight it should not
+        // sit in the die center
+        let mut b = DesignBuilder::new("t");
+        b.add_macro("a", "RAM", 100, 100, "");
+        b.set_die(Rect::new(0, 0, 2000, 2000));
+        let d = b.build();
+        let cfg = IndEdaConfig { wall_weight: 10.0, ..IndEdaConfig::fast() };
+        let p = IndEda::new(cfg).run(&d).unwrap();
+        let m = d.find_cell("a").unwrap();
+        let center = p.rect_of(m, &d).unwrap().center();
+        let die_center = d.die().center();
+        let dist_from_center = center.manhattan_distance(die_center);
+        assert!(dist_from_center > 500, "macro should be pushed away from the die center, got {center}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Baseline macro-placement flows used as comparison points for HiDaP.
+//!
+//! The paper compares against two references (Sect. V):
+//!
+//! * **IndEDA** — a state-of-the-art commercial floorplanner run at high
+//!   effort.  Reproduced here by [`indeda::IndEda`]: a *flat*,
+//!   connectivity-driven simulated-annealing macro placer that ignores the
+//!   RTL hierarchy and the array/dataflow structure, models connectivity at
+//!   the net level only, and prefers placing macros along the die periphery
+//!   (the de-facto industrial strategy the paper describes).
+//! * **handFP** — floorplans handcrafted over weeks by expert back-end
+//!   engineers.  Reproduced here by [`handfp::HandFp`]: an effort-unconstrained
+//!   "oracle" flow that runs the dataflow-aware placer many times (multiple
+//!   seeds, multiple λ values, high annealing effort) and keeps the result
+//!   with the best measured wirelength — playing the same role of a
+//!   near-optimal reference point.
+
+pub mod handfp;
+pub mod indeda;
+
+pub use handfp::{HandFp, HandFpConfig};
+pub use indeda::{IndEda, IndEdaConfig};

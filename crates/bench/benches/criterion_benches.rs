@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the core building blocks of the flow:
+//! shape-curve composition, sequential-graph construction, one level of
+//! layout generation, the full flow on small presets, and the evaluation
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geometry::{CutDirection, PolishExpression, Rect, ShapeCurve};
+use graphs::seqgraph::SeqGraphConfig;
+use graphs::SeqGraph;
+use hidap::layout::{generate_layout, LayoutBlock, LayoutProblem};
+use hidap::shape_curves::compose_expression;
+use hidap::{HidapConfig, HidapFlow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::presets::{fig1_design, generate_circuit};
+
+fn bench_shape_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shape_curve_composition");
+    for &n in &[8usize, 32, 64] {
+        let leaves: Vec<ShapeCurve> = (0..n)
+            .map(|i| ShapeCurve::from_macro(40 + (i as i64 % 7) * 10, 30 + (i as i64 % 5) * 10, true))
+            .collect();
+        let expr = PolishExpression::chain(n, CutDirection::Vertical);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| compose_expression(&expr, &leaves, 24))
+        });
+    }
+    group.finish();
+}
+
+fn bench_seq_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gseq_construction");
+    group.sample_size(20);
+    for name in ["c1", "c5"] {
+        let generated = generate_circuit(name);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &generated, |b, g| {
+            b.iter(|| SeqGraph::from_design(&g.design, &SeqGraphConfig { min_register_bits: 4 }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layout_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_generation");
+    group.sample_size(10);
+    for &n in &[4usize, 12] {
+        let blocks: Vec<LayoutBlock> = (0..n)
+            .map(|i| LayoutBlock {
+                shape: ShapeCurve::from_macro(100 + 10 * i as i64, 80, true),
+                min_area: 20_000,
+                target_area: 30_000,
+            })
+            .collect();
+        let mut affinity = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            affinity[i][(i + 1) % n] = 10.0;
+            affinity[(i + 1) % n][i] = 10.0;
+        }
+        let problem = LayoutProblem {
+            region: Rect::new(0, 0, 1200, 900),
+            blocks,
+            affinity,
+            fixed_positions: vec![None; n],
+        };
+        let config = HidapConfig::fast();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                generate_layout(p, &config, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flow");
+    group.sample_size(10);
+    let fig1 = fig1_design();
+    group.bench_function("fig1_16_macros", |b| {
+        b.iter(|| HidapFlow::new(HidapConfig::fast()).run(&fig1.design).expect("flow"))
+    });
+    let c1 = generate_circuit("c1");
+    group.bench_function("c1_32_macros", |b| {
+        b.iter(|| HidapFlow::new(HidapConfig::fast()).run(&c1.design).expect("flow"))
+    });
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation_pipeline");
+    group.sample_size(10);
+    let c1 = generate_circuit("c1");
+    let placement = HidapFlow::new(HidapConfig::fast()).run(&c1.design).expect("flow");
+    let map = placement.to_map();
+    group.bench_function("evaluate_c1", |b| {
+        b.iter(|| eval::evaluate_placement(&c1.design, &map, &eval::EvalConfig::standard()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shape_curves,
+    bench_seq_graph,
+    bench_layout_generation,
+    bench_full_flow,
+    bench_evaluation
+);
+criterion_main!(benches);

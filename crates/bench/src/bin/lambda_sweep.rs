@@ -1,0 +1,43 @@
+//! The λ exploration of Sect. V: HiDaP is run with λ ∈ {0.2, 0.5, 0.8} (plus
+//! the 0.0 / 1.0 extremes for context) on every requested circuit, and the
+//! per-λ measured wirelength is reported.
+//!
+//! ```text
+//! cargo run --release -p bench --bin lambda_sweep -- [--circuits c1,c2] [--effort fast|default|paper]
+//! ```
+
+use bench::experiments::parse_common_args;
+use eval::{evaluate_placement, EvalConfig};
+use hidap::{HidapConfig, HidapFlow};
+use workload::presets::generate_circuit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (circuits, effort) = parse_common_args(&args, &["c1", "c5", "c8"]);
+    let lambdas = [0.0, 0.2, 0.5, 0.8, 1.0];
+    let eval_cfg = EvalConfig::standard();
+
+    println!("# lambda sweep — effort {effort:?}");
+    print!("{:<8}", "circuit");
+    for l in lambdas {
+        print!("  WL@{l:<5}");
+    }
+    println!("  best");
+    for circuit in &circuits {
+        eprintln!("running {circuit} ...");
+        let generated = generate_circuit(circuit);
+        let design = &generated.design;
+        print!("{circuit:<8}");
+        let mut best = (f64::INFINITY, 0.0);
+        for lambda in lambdas {
+            let config = HidapConfig { lambda, ..effort.hidap_config() };
+            let placement = HidapFlow::new(config).run(design).expect("flow failed");
+            let wl = evaluate_placement(design, &placement.to_map(), &eval_cfg).wirelength_m;
+            print!("  {wl:<8.3}");
+            if wl < best.0 {
+                best = (wl, lambda);
+            }
+        }
+        println!("  lambda={}", best.1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates Table III of the paper: per-circuit wirelength, congestion and
+//! timing for the three flows (IndEDA stand-in, HiDaP, handFP proxy).
+//!
+//! ```text
+//! cargo run --release -p bench --bin table3 -- [--circuits c1,c2] [--effort fast|default|paper]
+//! ```
+
+use bench::experiments::{compare_flows, parse_common_args};
+use bench::report::format_table3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8"];
+    let (circuits, effort) = parse_common_args(&args, &all);
+
+    println!("# Table III reproduction — effort {effort:?}");
+    println!("# (synthetic c1-c8 stand-ins; macro counts match the paper, cell counts are scaled)\n");
+
+    let mut comparisons = Vec::new();
+    for circuit in &circuits {
+        eprintln!("running {circuit} ...");
+        let cmp = compare_flows(circuit, effort);
+        println!("{}", format_table3(std::slice::from_ref(&cmp)));
+        comparisons.push(cmp);
+    }
+
+    println!("# full table\n{}", format_table3(&comparisons));
+    match serde_json::to_string_pretty(&comparisons) {
+        Ok(json) => {
+            let path = "table3_results.json";
+            if std::fs::write(path, json).is_ok() {
+                println!("# raw results written to {path}");
+            }
+        }
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+}

@@ -1,0 +1,301 @@
+//! The three-flow comparison used by the table experiments.
+
+use baselines::{HandFp, HandFpConfig, IndEda, IndEdaConfig};
+use eval::{evaluate_placement, EvalConfig, PlacementMetrics};
+use hidap::{HidapConfig, HidapFlow, MacroPlacement};
+use netlist::design::Design;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use workload::presets::generate_circuit;
+
+/// How much compute each flow is allowed to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effort {
+    /// Reduced effort: suitable for CI and quick experiments (the default of
+    /// every harness binary).
+    Fast,
+    /// The default effort of each flow's configuration.
+    Default,
+    /// Paper-style effort: high annealing budgets and the full handFP oracle
+    /// (multiple seeds × multiple λ at high effort). Expect minutes per circuit.
+    Paper,
+}
+
+impl Effort {
+    /// Parses the `--effort` command-line value.
+    pub fn parse(s: &str) -> Option<Effort> {
+        match s {
+            "fast" => Some(Effort::Fast),
+            "default" => Some(Effort::Default),
+            "paper" => Some(Effort::Paper),
+            _ => None,
+        }
+    }
+
+    /// HiDaP configuration for this effort tier.
+    pub fn hidap_config(self) -> HidapConfig {
+        match self {
+            Effort::Fast => HidapConfig::fast(),
+            Effort::Default => HidapConfig::default(),
+            Effort::Paper => HidapConfig::high_effort(),
+        }
+    }
+
+    /// IndEDA configuration for this effort tier.
+    pub fn indeda_config(self) -> IndEdaConfig {
+        match self {
+            Effort::Fast => IndEdaConfig::fast(),
+            Effort::Default => IndEdaConfig::default(),
+            Effort::Paper => IndEdaConfig { moves_per_macro: 80, temperature_steps: 90, ..IndEdaConfig::default() },
+        }
+    }
+
+    /// handFP oracle configuration for this effort tier.
+    pub fn handfp_config(self) -> HandFpConfig {
+        match self {
+            Effort::Fast => HandFpConfig {
+                seeds: vec![1, 2],
+                lambdas: vec![0.2, 0.5, 0.8],
+                base: HidapConfig::fast(),
+                eval: EvalConfig::standard(),
+            },
+            Effort::Default => HandFpConfig {
+                seeds: vec![1, 2, 3],
+                lambdas: vec![0.2, 0.5, 0.8],
+                base: HidapConfig::default(),
+                eval: EvalConfig::standard(),
+            },
+            Effort::Paper => HandFpConfig::default(),
+        }
+    }
+}
+
+/// The measured outcome of one flow on one circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowResult {
+    /// Flow name (`IndEDA`, `HiDaP`, `handFP`).
+    pub flow: String,
+    /// Wirelength in meters.
+    pub wirelength_m: f64,
+    /// Wirelength normalized to the handFP flow of the same circuit.
+    pub wl_normalized: f64,
+    /// Global-routing overflow percentage.
+    pub grc_percent: f64,
+    /// Worst negative slack as a percentage of the clock period.
+    pub wns_percent: f64,
+    /// Total negative slack in nanoseconds.
+    pub tns_ns: f64,
+    /// Flow runtime in seconds (placement only, excluding evaluation).
+    pub runtime_s: f64,
+    /// Whether the macro placement is legal.
+    pub legal: bool,
+}
+
+/// The three-flow comparison for one circuit — one group of rows of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitComparison {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of standard cells + macros in the synthetic stand-in.
+    pub cells: usize,
+    /// Number of macros.
+    pub macros: usize,
+    /// Results for IndEDA, HiDaP and handFP (in that order).
+    pub results: Vec<FlowResult>,
+    /// The λ value that won the best-of-three selection for HiDaP.
+    pub hidap_best_lambda: f64,
+}
+
+impl CircuitComparison {
+    /// The result of a given flow.
+    pub fn flow(&self, name: &str) -> Option<&FlowResult> {
+        self.results.iter().find(|r| r.flow == name)
+    }
+}
+
+fn flow_result(name: &str, design: &Design, placement: &MacroPlacement, runtime_s: f64, eval_cfg: &EvalConfig) -> (FlowResult, PlacementMetrics) {
+    let metrics = evaluate_placement(design, &placement.to_map(), eval_cfg);
+    (
+        FlowResult {
+            flow: name.to_string(),
+            wirelength_m: metrics.wirelength_m,
+            wl_normalized: 0.0, // filled once handFP is known
+            grc_percent: metrics.grc_percent(),
+            wns_percent: metrics.wns_percent(),
+            tns_ns: metrics.tns_ns(),
+            runtime_s,
+            legal: placement.is_legal(design),
+        },
+        metrics,
+    )
+}
+
+/// Runs HiDaP once per λ in {0.2, 0.5, 0.8} and keeps the placement with the
+/// best measured wirelength, as the paper does ("best WL of three").
+pub fn hidap_best_of_lambdas(
+    design: &Design,
+    base: &HidapConfig,
+    eval_cfg: &EvalConfig,
+) -> Result<(MacroPlacement, f64, f64), hidap::HidapError> {
+    let mut best: Option<(MacroPlacement, f64, f64)> = None;
+    for lambda in [0.2, 0.5, 0.8] {
+        let config = HidapConfig { lambda, ..base.clone() };
+        let placement = HidapFlow::new(config).run(design)?;
+        let wl = evaluate_placement(design, &placement.to_map(), eval_cfg).wirelength_m;
+        if best.as_ref().map(|(_, b, _)| wl < *b).unwrap_or(true) {
+            best = Some((placement, wl, lambda));
+        }
+    }
+    Ok(best.expect("at least one lambda evaluated"))
+}
+
+/// Runs the three flows on one of the c1–c8 stand-ins and measures them with
+/// the shared evaluation pipeline.
+pub fn compare_flows(circuit: &str, effort: Effort) -> CircuitComparison {
+    let generated = generate_circuit(circuit);
+    compare_flows_on(circuit, &generated.design, effort)
+}
+
+/// Runs the three flows on an arbitrary design.
+pub fn compare_flows_on(name: &str, design: &Design, effort: Effort) -> CircuitComparison {
+    let eval_cfg = EvalConfig::standard();
+
+    // IndEDA-style baseline.
+    let t = Instant::now();
+    let indeda_placement = IndEda::new(effort.indeda_config())
+        .run(design)
+        .expect("IndEDA baseline failed");
+    let indeda_time = t.elapsed().as_secs_f64();
+    let (mut indeda, _) = flow_result("IndEDA", design, &indeda_placement, indeda_time, &eval_cfg);
+
+    // HiDaP, best of three λ.
+    let t = Instant::now();
+    let (hidap_placement, _, best_lambda) =
+        hidap_best_of_lambdas(design, &effort.hidap_config(), &eval_cfg).expect("HiDaP flow failed");
+    let hidap_time = t.elapsed().as_secs_f64();
+    let (mut hidap, _) = flow_result("HiDaP", design, &hidap_placement, hidap_time, &eval_cfg);
+
+    // handFP oracle.
+    let t = Instant::now();
+    let (handfp_placement, _) = HandFp::new(effort.handfp_config())
+        .run(design)
+        .expect("handFP oracle failed");
+    let handfp_time = t.elapsed().as_secs_f64();
+    let (mut handfp, _) = flow_result("handFP", design, &handfp_placement, handfp_time, &eval_cfg);
+
+    // Normalize wirelengths to handFP as in the paper.
+    let reference = handfp.wirelength_m.max(1e-12);
+    indeda.wl_normalized = indeda.wirelength_m / reference;
+    hidap.wl_normalized = hidap.wirelength_m / reference;
+    handfp.wl_normalized = 1.0;
+
+    CircuitComparison {
+        circuit: name.to_string(),
+        cells: design.num_cells(),
+        macros: design.num_macros(),
+        results: vec![indeda, hidap, handfp],
+        hidap_best_lambda: best_lambda,
+    }
+}
+
+/// Geometric mean of a series (used for Table II wirelength averages).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum_ln: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (sum_ln / values.len() as f64).exp()
+}
+
+/// Parses `--circuits` / `--effort` style command-line arguments shared by the
+/// harness binaries. Returns `(circuits, effort)`.
+pub fn parse_common_args(args: &[String], default_circuits: &[&str]) -> (Vec<String>, Effort) {
+    let mut circuits: Vec<String> = default_circuits.iter().map(|s| s.to_string()).collect();
+    let mut effort = Effort::Fast;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--circuits" if i + 1 < args.len() => {
+                circuits = args[i + 1].split(',').map(|s| s.trim().to_string()).collect();
+                i += 2;
+            }
+            "--effort" if i + 1 < args.len() => {
+                effort = Effort::parse(&args[i + 1]).unwrap_or_else(|| {
+                    eprintln!("unknown effort '{}', using fast", args[i + 1]);
+                    Effort::Fast
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument '{other}'");
+                i += 1;
+            }
+        }
+    }
+    (circuits, effort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Rect;
+    use netlist::design::DesignBuilder;
+
+    fn tiny_design() -> Design {
+        let mut b = DesignBuilder::new("tiny");
+        let a = b.add_macro("u_a/ram", "RAM", 200, 150, "u_a");
+        let c = b.add_macro("u_b/ram", "RAM", 200, 150, "u_b");
+        for i in 0..8 {
+            let f = b.add_flop(format!("u_x/r_reg[{i}]"), "u_x");
+            let n0 = b.add_net(format!("a{i}"));
+            let n1 = b.add_net(format!("b{i}"));
+            b.connect_driver(n0, a);
+            b.connect_sink(n0, f);
+            b.connect_driver(n1, f);
+            b.connect_sink(n1, c);
+        }
+        b.set_die(Rect::new(0, 0, 2000, 1500));
+        b.build()
+    }
+
+    #[test]
+    fn compare_flows_on_tiny_design_produces_three_rows() {
+        let d = tiny_design();
+        let cmp = compare_flows_on("tiny", &d, Effort::Fast);
+        assert_eq!(cmp.results.len(), 3);
+        assert_eq!(cmp.macros, 2);
+        assert!(cmp.results.iter().all(|r| r.legal));
+        assert!(cmp.results.iter().all(|r| r.wirelength_m > 0.0));
+        let handfp = cmp.flow("handFP").unwrap();
+        assert!((handfp.wl_normalized - 1.0).abs() < 1e-9);
+        assert!([0.2, 0.5, 0.8].contains(&cmp.hidap_best_lambda));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effort_parsing() {
+        assert_eq!(Effort::parse("fast"), Some(Effort::Fast));
+        assert_eq!(Effort::parse("paper"), Some(Effort::Paper));
+        assert_eq!(Effort::parse("bogus"), None);
+    }
+
+    #[test]
+    fn common_arg_parsing() {
+        let args: Vec<String> = ["--circuits", "c1,c3", "--effort", "default"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (circuits, effort) = parse_common_args(&args, &["c1"]);
+        assert_eq!(circuits, vec!["c1", "c3"]);
+        assert_eq!(effort, Effort::Default);
+        let (circuits, effort) = parse_common_args(&[], &["c1", "c2"]);
+        assert_eq!(circuits, vec!["c1", "c2"]);
+        assert_eq!(effort, Effort::Fast);
+    }
+}

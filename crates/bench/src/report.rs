@@ -1,0 +1,162 @@
+//! Text-table formatting for the experiment binaries.
+
+use crate::experiments::{geometric_mean, CircuitComparison};
+
+/// Formats Table III: one row per (circuit, flow).
+pub fn format_table3(comparisons: &[CircuitComparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:<10} {:<8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>9}\n",
+        "circ", "cells", "flow", "WL (m)", "norm.", "GRC%", "WNS%", "TNS (ns)", "time (s)"
+    ));
+    out.push_str(&"-".repeat(86));
+    out.push('\n');
+    for cmp in comparisons {
+        for (i, r) in cmp.results.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{} ({}k/{}M)", cmp.circuit, cmp.cells / 1000, cmp.macros)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{:<6} {:<10} {:<8} {:>10.3} {:>8.3} {:>8.2} {:>8.1} {:>10.1} {:>9.1}\n",
+                if i == 0 { cmp.circuit.as_str() } else { "" },
+                if i == 0 { format!("{}c/{}m", cmp.cells, cmp.macros) } else { String::new() },
+                r.flow,
+                r.wirelength_m,
+                r.wl_normalized,
+                r.grc_percent,
+                r.wns_percent,
+                r.tns_ns,
+                r.runtime_s,
+            ));
+            let _ = label;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats Table II: geometric-mean normalized WL, average WNS and runtime
+/// range per flow.
+pub fn format_table2(comparisons: &[CircuitComparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<8} {:>10} {:>10} {:>22}\n", "flow", "WL (gm)", "WNS (avg)", "effort"));
+    out.push_str(&"-".repeat(54));
+    out.push('\n');
+    for flow in ["IndEDA", "HiDaP", "handFP"] {
+        let norm: Vec<f64> = comparisons
+            .iter()
+            .filter_map(|c| c.flow(flow).map(|r| r.wl_normalized))
+            .collect();
+        let wns: Vec<f64> = comparisons
+            .iter()
+            .filter_map(|c| c.flow(flow).map(|r| r.wns_percent))
+            .collect();
+        let times: Vec<f64> = comparisons
+            .iter()
+            .filter_map(|c| c.flow(flow).map(|r| r.runtime_s))
+            .collect();
+        let avg_wns = if wns.is_empty() { 0.0 } else { wns.iter().sum::<f64>() / wns.len() as f64 };
+        let (tmin, tmax) = times
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+        out.push_str(&format!(
+            "{:<8} {:>10.3} {:>9.1}% {:>14.1}-{:.1} s\n",
+            flow,
+            geometric_mean(&norm),
+            avg_wns,
+            if tmin.is_finite() { tmin } else { 0.0 },
+            tmax,
+        ));
+    }
+    out
+}
+
+/// Renders a block floorplan (name + rectangle) as an ASCII sketch of the die.
+pub fn ascii_floorplan(die: geometry::Rect, blocks: &[(String, geometry::Rect)], width: usize) -> String {
+    let height = (width as f64 * die.height() as f64 / die.width().max(1) as f64 * 0.5).round() as usize;
+    let height = height.max(8);
+    let mut grid = vec![vec![' '; width]; height];
+    for (idx, (_, rect)) in blocks.iter().enumerate() {
+        let label = char::from(b'A' + (idx % 26) as u8);
+        let x0 = ((rect.llx - die.llx) as f64 / die.width() as f64 * width as f64) as usize;
+        let x1 = (((rect.urx - die.llx) as f64 / die.width() as f64 * width as f64) as usize).min(width);
+        let y0 = ((rect.lly - die.lly) as f64 / die.height() as f64 * height as f64) as usize;
+        let y1 = (((rect.ury - die.lly) as f64 / die.height() as f64 * height as f64) as usize).min(height);
+        for row in grid.iter_mut().take(y1).skip(y0) {
+            for cell in row.iter_mut().take(x1).skip(x0) {
+                *cell = label;
+            }
+        }
+    }
+    let mut out = String::new();
+    for row in grid.iter().rev() {
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    let legend: Vec<String> = blocks
+        .iter()
+        .enumerate()
+        .map(|(idx, (name, _))| format!("{}={}", char::from(b'A' + (idx % 26) as u8), name))
+        .collect();
+    out.push_str(&legend.join("  "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::FlowResult;
+
+    fn fake_comparison() -> CircuitComparison {
+        let make = |flow: &str, wl: f64| FlowResult {
+            flow: flow.into(),
+            wirelength_m: wl,
+            wl_normalized: wl / 10.0,
+            grc_percent: 5.0,
+            wns_percent: -10.0,
+            tns_ns: -100.0,
+            runtime_s: 1.5,
+            legal: true,
+        };
+        CircuitComparison {
+            circuit: "c1".into(),
+            cells: 2000,
+            macros: 32,
+            results: vec![make("IndEDA", 12.0), make("HiDaP", 10.5), make("handFP", 10.0)],
+            hidap_best_lambda: 0.5,
+        }
+    }
+
+    #[test]
+    fn table3_contains_all_flows() {
+        let text = format_table3(&[fake_comparison()]);
+        assert!(text.contains("IndEDA"));
+        assert!(text.contains("HiDaP"));
+        assert!(text.contains("handFP"));
+        assert!(text.contains("c1"));
+    }
+
+    #[test]
+    fn table2_has_three_rows() {
+        let text = format_table2(&[fake_comparison()]);
+        assert_eq!(text.lines().count(), 2 + 3);
+        assert!(text.contains("HiDaP"));
+    }
+
+    #[test]
+    fn ascii_floorplan_draws_blocks() {
+        let die = geometry::Rect::new(0, 0, 100, 100);
+        let blocks = vec![
+            ("left".to_string(), geometry::Rect::new(0, 0, 50, 100)),
+            ("right".to_string(), geometry::Rect::new(50, 0, 100, 100)),
+        ];
+        let art = ascii_floorplan(die, &blocks, 40);
+        assert!(art.contains('A'));
+        assert!(art.contains('B'));
+        assert!(art.contains("A=left"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Library backing the `hidap` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; all argument parsing and flow
+//! orchestration lives here so it can be unit-tested without spawning a
+//! process.
+//!
+//! ```text
+//! hidap --verilog design.v --lef macros.lef [--def floorplan.def]
+//!       [--top NAME] [--flow hidap|indeda] [--lambda 0.5] [--effort fast|default|high]
+//!       [--seed 1] [--out placed.def] [--svg floorplan.svg] [--report]
+//! ```
+
+use baselines::{IndEda, IndEdaConfig};
+use eval::{evaluate_placement, EvalConfig};
+use geometry::Rect;
+use hidap::{HidapConfig, HidapFlow, MacroPlacement};
+use netlist::design::Design;
+use netlist::verilog::ElaborateOptions;
+use std::path::PathBuf;
+
+/// Which placement flow to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// The RTL-aware dataflow-driven placer (the paper's contribution).
+    Hidap,
+    /// The flat connectivity-driven baseline.
+    IndEda,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Structural Verilog netlist (required).
+    pub verilog: PathBuf,
+    /// LEF file with macro footprints (optional).
+    pub lef: Option<PathBuf>,
+    /// DEF file providing the die area and port locations (optional; a square
+    /// die at 60 % utilization is derived when absent).
+    pub def: Option<PathBuf>,
+    /// Top module name (inferred when absent).
+    pub top: Option<String>,
+    /// Flow to run.
+    pub flow: FlowKind,
+    /// λ blend between block flow and macro flow.
+    pub lambda: f64,
+    /// Effort preset: `fast`, `default` or `high`.
+    pub effort: String,
+    /// Random seed.
+    pub seed: u64,
+    /// Output DEF path (optional).
+    pub out: Option<PathBuf>,
+    /// Output SVG path (optional).
+    pub svg: Option<PathBuf>,
+    /// Print evaluation metrics after placement.
+    pub report: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            verilog: PathBuf::new(),
+            lef: None,
+            def: None,
+            top: None,
+            flow: FlowKind::Hidap,
+            lambda: 0.5,
+            effort: "default".to_string(),
+            seed: 1,
+            out: None,
+            svg: None,
+            report: false,
+        }
+    }
+}
+
+/// The usage string printed on `--help` or argument errors.
+pub const USAGE: &str = "usage: hidap --verilog <file.v> [--lef <file.lef>] [--def <file.def>] \
+[--top <module>] [--flow hidap|indeda] [--lambda <0..1>] [--effort fast|default|high] \
+[--seed <n>] [--out <placed.def>] [--svg <floorplan.svg>] [--report]";
+
+/// Parses command-line arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values or a
+/// missing `--verilog` input.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    let mut have_verilog = false;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag {
+            "--verilog" => {
+                opts.verilog = PathBuf::from(value(&mut i)?);
+                have_verilog = true;
+            }
+            "--lef" => opts.lef = Some(PathBuf::from(value(&mut i)?)),
+            "--def" => opts.def = Some(PathBuf::from(value(&mut i)?)),
+            "--top" => opts.top = Some(value(&mut i)?),
+            "--flow" => {
+                opts.flow = match value(&mut i)?.as_str() {
+                    "hidap" => FlowKind::Hidap,
+                    "indeda" => FlowKind::IndEda,
+                    other => return Err(format!("unknown flow '{other}'")),
+                }
+            }
+            "--lambda" => {
+                opts.lambda = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "invalid --lambda value".to_string())?;
+            }
+            "--effort" => opts.effort = value(&mut i)?,
+            "--seed" => {
+                opts.seed = value(&mut i)?.parse().map_err(|_| "invalid --seed value".to_string())?;
+            }
+            "--out" => opts.out = Some(PathBuf::from(value(&mut i)?)),
+            "--svg" => opts.svg = Some(PathBuf::from(value(&mut i)?)),
+            "--report" => opts.report = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if !have_verilog {
+        return Err(format!("--verilog is required\n{USAGE}"));
+    }
+    if !(0.0..=1.0).contains(&opts.lambda) {
+        return Err("--lambda must be between 0 and 1".to_string());
+    }
+    Ok(opts)
+}
+
+/// Builds the HiDaP configuration implied by the options.
+pub fn hidap_config(opts: &Options) -> Result<HidapConfig, String> {
+    let base = match opts.effort.as_str() {
+        "fast" => HidapConfig::fast(),
+        "default" => HidapConfig::default(),
+        "high" => HidapConfig::high_effort(),
+        other => return Err(format!("unknown effort '{other}' (expected fast|default|high)")),
+    };
+    Ok(base.with_lambda(opts.lambda).with_seed(opts.seed))
+}
+
+/// Loads the design described by the options: Verilog netlist, optional LEF
+/// footprints, optional DEF die/ports. Returns the design and the DBU scale.
+pub fn load_design(opts: &Options) -> Result<(Design, i64), String> {
+    let verilog_text = std::fs::read_to_string(&opts.verilog)
+        .map_err(|e| format!("cannot read {}: {e}", opts.verilog.display()))?;
+    let mut elaborate = ElaborateOptions::default();
+    let mut dbu = 1000i64;
+    if let Some(lef_path) = &opts.lef {
+        let lef_text = std::fs::read_to_string(lef_path)
+            .map_err(|e| format!("cannot read {}: {e}", lef_path.display()))?;
+        let lef = netlist::lef::parse_lef(&lef_text).map_err(|e| format!("LEF parse error: {e}"))?;
+        dbu = lef.dbu_per_micron;
+        elaborate.library = lef.library;
+    }
+    let mut design = netlist::verilog::parse_verilog(&verilog_text, opts.top.as_deref(), &elaborate)
+        .map_err(|e| format!("Verilog parse error: {e}"))?;
+
+    if let Some(def_path) = &opts.def {
+        let def_text = std::fs::read_to_string(def_path)
+            .map_err(|e| format!("cannot read {}: {e}", def_path.display()))?;
+        let def = netlist::def::parse_def(&def_text).map_err(|e| format!("DEF parse error: {e}"))?;
+        if def.dbu_per_micron > 0 {
+            dbu = def.dbu_per_micron;
+        }
+        def.apply_to(&mut design);
+    }
+    if design.die().area() == 0 {
+        // derive a square die at 60% utilization when none was provided
+        let side = ((design.total_cell_area() as f64 / 0.6).sqrt()).ceil() as i64;
+        design.set_die(Rect::new(0, 0, side.max(1), side.max(1)));
+    }
+    Ok((design, dbu))
+}
+
+/// Runs the selected flow on a loaded design.
+pub fn place(design: &Design, opts: &Options) -> Result<MacroPlacement, String> {
+    match opts.flow {
+        FlowKind::Hidap => HidapFlow::new(hidap_config(opts)?)
+            .run(design)
+            .map_err(|e| format!("placement failed: {e}")),
+        FlowKind::IndEda => {
+            let config = IndEdaConfig { seed: opts.seed, ..IndEdaConfig::default() };
+            IndEda::new(config).run(design).map_err(|e| format!("placement failed: {e}"))
+        }
+    }
+}
+
+/// End-to-end CLI driver: load, place, write outputs, optionally report.
+/// Returns the text printed to stdout.
+pub fn run(opts: &Options) -> Result<String, String> {
+    let (design, dbu) = load_design(opts)?;
+    let placement = place(&design, opts)?;
+    let mut output = String::new();
+    output.push_str(&format!(
+        "placed {} macros on a {:.1} x {:.1} um die (legal: {})\n",
+        placement.macros.len(),
+        design.die().width() as f64 / dbu as f64,
+        design.die().height() as f64 / dbu as f64,
+        placement.is_legal(&design),
+    ));
+
+    if let Some(out) = &opts.out {
+        let entries = netlist::def::placement_entries(&design, &placement.to_map(), true);
+        let pins = netlist::def::port_entries(&design);
+        let def_text = netlist::def::write_def(design.name(), dbu, design.die(), &entries, &pins);
+        std::fs::write(out, def_text).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        output.push_str(&format!("wrote {}\n", out.display()));
+    }
+    if let Some(svg) = &opts.svg {
+        let svg_text = eval::visualize::floorplan_svg(&design, &placement.to_map(), design.name());
+        std::fs::write(svg, svg_text).map_err(|e| format!("cannot write {}: {e}", svg.display()))?;
+        output.push_str(&format!("wrote {}\n", svg.display()));
+    }
+    if opts.report {
+        let eval_cfg = EvalConfig { dbu_per_micron: dbu, ..EvalConfig::standard() };
+        let metrics = evaluate_placement(&design, &placement.to_map(), &eval_cfg);
+        output.push_str(&format!(
+            "wirelength: {:.4} m\ncongestion (GRC%): {:.2}\nWNS: {:.2}% of clock\nTNS: {:.1} ns\npeak cell density: {:.2}\n",
+            metrics.wirelength_m,
+            metrics.grc_percent(),
+            metrics.wns_percent(),
+            metrics.tns_ns(),
+            metrics.density.peak(),
+        ));
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_minimal_arguments() {
+        let opts = parse_args(&args(&["--verilog", "a.v"])).unwrap();
+        assert_eq!(opts.verilog, PathBuf::from("a.v"));
+        assert_eq!(opts.flow, FlowKind::Hidap);
+        assert_eq!(opts.lambda, 0.5);
+        assert!(!opts.report);
+    }
+
+    #[test]
+    fn parse_full_arguments() {
+        let opts = parse_args(&args(&[
+            "--verilog", "a.v", "--lef", "a.lef", "--def", "a.def", "--top", "chip",
+            "--flow", "indeda", "--lambda", "0.8", "--effort", "high", "--seed", "7",
+            "--out", "out.def", "--svg", "fp.svg", "--report",
+        ]))
+        .unwrap();
+        assert_eq!(opts.flow, FlowKind::IndEda);
+        assert_eq!(opts.lambda, 0.8);
+        assert_eq!(opts.effort, "high");
+        assert_eq!(opts.seed, 7);
+        assert!(opts.report);
+        assert_eq!(opts.top.as_deref(), Some("chip"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--verilog"])).is_err());
+        assert!(parse_args(&args(&["--verilog", "a.v", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["--verilog", "a.v", "--lambda", "2.0"])).is_err());
+        assert!(parse_args(&args(&["--verilog", "a.v", "--flow", "magic"])).is_err());
+    }
+
+    #[test]
+    fn effort_mapping() {
+        let mut opts = parse_args(&args(&["--verilog", "a.v", "--effort", "fast"])).unwrap();
+        assert_eq!(hidap_config(&opts).unwrap().sa_moves_per_block, HidapConfig::fast().sa_moves_per_block);
+        opts.effort = "nope".into();
+        assert!(hidap_config(&opts).is_err());
+    }
+}

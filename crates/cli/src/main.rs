@@ -1,0 +1,20 @@
+//! The `hidap` command-line tool: RTL-aware dataflow-driven macro placement
+//! from Verilog/LEF/DEF inputs to a placed DEF (and optional SVG rendering).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match cli::run(&opts) {
+        Ok(output) => print!("{output}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end test of the command-line front end: emit a synthetic SoC as
+//! Verilog + LEF, drive the CLI library against the files, and check the
+//! placed DEF and SVG outputs.
+
+use cli::{load_design, parse_args, place, run};
+use workload::emit::{emit_lef, emit_verilog};
+use workload::{SocConfig, SocGenerator, SubsystemConfig};
+
+fn write_inputs(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf) {
+    let generated = SocGenerator::new(SocConfig {
+        name: "cli_soc".into(),
+        subsystems: vec![
+            SubsystemConfig::balanced("u_cpu", 2, 8),
+            SubsystemConfig::balanced("u_dsp", 2, 8),
+        ],
+        channels: vec![(0, 1), (1, 0)],
+        io_subsystems: vec![0],
+        io_bits: 8,
+        utilization: 0.5,
+        aspect_ratio: 1.0,
+        seed: 5,
+    })
+    .generate();
+    let verilog = dir.join("cli_soc.v");
+    let lef = dir.join("cli_soc.lef");
+    std::fs::write(&verilog, emit_verilog(&generated.design)).unwrap();
+    std::fs::write(&lef, emit_lef(&generated.design, &generated.library, 1000)).unwrap();
+    (verilog, lef)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hidap_cli_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn cli_places_design_and_writes_outputs() {
+    let dir = temp_dir("full");
+    let (verilog, lef) = write_inputs(&dir);
+    let out_def = dir.join("placed.def");
+    let out_svg = dir.join("floorplan.svg");
+    let args: Vec<String> = [
+        "--verilog",
+        verilog.to_str().unwrap(),
+        "--lef",
+        lef.to_str().unwrap(),
+        "--top",
+        "cli_soc",
+        "--effort",
+        "fast",
+        "--out",
+        out_def.to_str().unwrap(),
+        "--svg",
+        out_svg.to_str().unwrap(),
+        "--report",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let opts = parse_args(&args).expect("arguments parse");
+    let output = run(&opts).expect("CLI flow succeeds");
+    assert!(output.contains("placed 4 macros"));
+    assert!(output.contains("wirelength"));
+
+    // the DEF can be re-read and contains every macro
+    let def_text = std::fs::read_to_string(&out_def).unwrap();
+    let def = netlist::def::parse_def(&def_text).unwrap();
+    assert_eq!(def.components.len(), 4);
+    // the SVG looks like an SVG
+    let svg_text = std::fs::read_to_string(&out_svg).unwrap();
+    assert!(svg_text.starts_with("<svg"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_baseline_flow_also_works() {
+    let dir = temp_dir("baseline");
+    let (verilog, lef) = write_inputs(&dir);
+    let args: Vec<String> = [
+        "--verilog",
+        verilog.to_str().unwrap(),
+        "--lef",
+        lef.to_str().unwrap(),
+        "--flow",
+        "indeda",
+        "--effort",
+        "fast",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let opts = parse_args(&args).expect("arguments parse");
+    let (design, _) = load_design(&opts).expect("design loads");
+    let placement = place(&design, &opts).expect("baseline places");
+    assert_eq!(placement.macros.len(), 4);
+    assert!(placement.is_legal(&design));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_reports_missing_files_gracefully() {
+    let args: Vec<String> = ["--verilog", "/nonexistent/path/x.v"].iter().map(|s| s.to_string()).collect();
+    let opts = parse_args(&args).unwrap();
+    let err = run(&opts).unwrap_err();
+    assert!(err.contains("cannot read"));
+}

@@ -1,0 +1,35 @@
+//! Evaluation substrate for macro-placement flows.
+//!
+//! The paper measures every floorplan *after standard-cell placement with the
+//! same commercial tool*, reporting wirelength, global-routing congestion and
+//! timing (Table III).  This crate provides an equivalent, self-contained
+//! measurement pipeline so that the three flows of the reproduction (HiDaP,
+//! the IndEDA-style baseline and the handFP proxy) are compared under
+//! identical conditions:
+//!
+//! * [`placer`] — a quadratic-style standard-cell placer with grid-based
+//!   spreading that treats the placed macros as obstacles,
+//! * [`wirelength`] — half-perimeter wirelength (HPWL) of the full netlist,
+//! * [`congestion`] — a RUDY-style global-routing demand estimate with a
+//!   per-bin capacity, reporting the overflow percentage (GRC%),
+//! * [`timing`] — a lumped-RC static timing estimate on the sequential graph,
+//!   reporting WNS (as a percentage of the clock period) and TNS,
+//! * [`density`] — standard-cell density maps (the Fig. 9 visualization),
+//! * [`visualize`] — SVG renderings of floorplans, density maps and dataflow
+//!   graphs (the paper's interactive visualization tool, as static output),
+//! * [`metrics`] — a one-call driver producing all of the above.
+
+pub mod congestion;
+pub mod density;
+pub mod metrics;
+pub mod placer;
+pub mod timing;
+pub mod visualize;
+pub mod wirelength;
+
+pub use congestion::{CongestionConfig, CongestionMap};
+pub use density::DensityMap;
+pub use metrics::{evaluate_placement, EvalConfig, PlacementMetrics};
+pub use placer::{place_standard_cells, CellPlacement, PlacerConfig};
+pub use timing::{TimingConfig, TimingReport};
+pub use wirelength::{total_hpwl, Hpwl};

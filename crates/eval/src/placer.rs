@@ -1,0 +1,386 @@
+//! Standard-cell placement substrate.
+//!
+//! A lightweight analytical placer in the spirit of quadratic placement with
+//! grid-based spreading:
+//!
+//! 1. cells start at the centroid of the fixed objects they connect to
+//!    (macros and ports), or at the die center,
+//! 2. several Gauss–Seidel sweeps move every cell to the connectivity-weighted
+//!    average position of its neighbours (the minimizer of the star-model
+//!    quadratic wirelength),
+//! 3. a spreading phase pushes cells out of over-full bins (macro bins have
+//!    zero capacity) towards the nearest bins with free capacity.
+//!
+//! The result is *not* a legal detailed placement — it is a placement good
+//! enough to measure wirelength, congestion and timing consistently across
+//! macro-placement flows, which is how the paper uses its commercial placer.
+
+use geometry::{Orientation, Point, Rect};
+use netlist::design::{CellId, CellKind, Design};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the standard-cell placer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacerConfig {
+    /// Number of Gauss–Seidel connectivity sweeps.
+    pub iterations: usize,
+    /// Number of spreading passes after the connectivity sweeps.
+    pub spreading_passes: usize,
+    /// Grid resolution (bins per die edge) used for spreading.
+    pub bins: usize,
+    /// Target utilization of each bin during spreading (0–1).
+    pub target_utilization: f64,
+    /// Random seed for tie-breaking jitter.
+    pub seed: u64,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self { iterations: 12, spreading_passes: 4, bins: 32, target_utilization: 0.8, seed: 1 }
+    }
+}
+
+/// The result of standard-cell placement: a location for every cell of the
+/// design (macros keep their macro-placement location).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CellPlacement {
+    /// Location of every cell (cell center), indexed by cell id.
+    pub positions: HashMap<CellId, Point>,
+}
+
+impl CellPlacement {
+    /// Position of a cell.
+    pub fn position(&self, cell: CellId) -> Option<Point> {
+        self.positions.get(&cell).copied()
+    }
+}
+
+/// Places the standard cells of a design around a fixed macro placement.
+///
+/// `macro_placement` maps each macro to its lower-left corner and orientation.
+pub fn place_standard_cells(
+    design: &Design,
+    macro_placement: &HashMap<CellId, (Point, Orientation)>,
+    config: &PlacerConfig,
+) -> CellPlacement {
+    let die = design.die();
+    let die_center = die.center();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+    // Fixed positions: macro centers and port locations.
+    let mut positions: HashMap<CellId, Point> = HashMap::with_capacity(design.num_cells());
+    let mut is_fixed: HashMap<CellId, bool> = HashMap::with_capacity(design.num_cells());
+    let mut macro_rects: Vec<Rect> = Vec::new();
+    for (id, cell) in design.cells() {
+        if cell.kind == CellKind::Macro {
+            let (loc, orient) = macro_placement.get(&id).copied().unwrap_or((die_center, Orientation::N));
+            let (w, h) = orient.transformed_size(cell.width, cell.height);
+            let rect = Rect::from_size(loc.x, loc.y, w, h);
+            positions.insert(id, rect.center());
+            macro_rects.push(rect);
+            is_fixed.insert(id, true);
+        } else {
+            is_fixed.insert(id, false);
+        }
+    }
+
+    // Initial positions: centroid of connected fixed objects, else die center
+    // with a small deterministic jitter so co-located cells can spread.
+    for (id, cell) in design.cells() {
+        if cell.kind == CellKind::Macro {
+            continue;
+        }
+        let mut sum = (0i128, 0i128);
+        let mut count = 0i128;
+        for &net in cell.fanin.iter().chain(cell.fanout.iter()) {
+            let n = design.net(net);
+            if let Some(d) = n.driver_cell {
+                if let Some(&p) = positions.get(&d) {
+                    sum.0 += p.x as i128;
+                    sum.1 += p.y as i128;
+                    count += 1;
+                }
+            }
+            if let Some(p) = n.driver_port {
+                if let Some(pos) = design.port(p).position {
+                    sum.0 += pos.x as i128;
+                    sum.1 += pos.y as i128;
+                    count += 1;
+                }
+            }
+        }
+        let base = if count > 0 {
+            Point::new((sum.0 / count) as i64, (sum.1 / count) as i64)
+        } else {
+            die_center
+        };
+        let jitter_x = rng.gen_range(-(die.width() / 64).max(1)..=(die.width() / 64).max(1));
+        let jitter_y = rng.gen_range(-(die.height() / 64).max(1)..=(die.height() / 64).max(1));
+        positions.insert(id, die.clamp_point(base.translated(jitter_x, jitter_y)));
+    }
+
+    // Gauss–Seidel sweeps over the star wirelength model.
+    for _ in 0..config.iterations {
+        for (id, cell) in design.cells() {
+            if is_fixed[&id] {
+                continue;
+            }
+            let mut sum = (0i128, 0i128);
+            let mut count = 0i128;
+            for &net in cell.fanin.iter().chain(cell.fanout.iter()) {
+                let n = design.net(net);
+                let mut add = |p: Point| {
+                    sum.0 += p.x as i128;
+                    sum.1 += p.y as i128;
+                    count += 1;
+                };
+                if let Some(d) = n.driver_cell {
+                    if d != id {
+                        add(positions[&d]);
+                    }
+                }
+                for &s in &n.sink_cells {
+                    if s != id {
+                        add(positions[&s]);
+                    }
+                }
+                if let Some(p) = n.driver_port {
+                    if let Some(pos) = design.port(p).position {
+                        add(pos);
+                    }
+                }
+                for &p in &n.sink_ports {
+                    if let Some(pos) = design.port(p).position {
+                        add(pos);
+                    }
+                }
+            }
+            if count > 0 {
+                let target = Point::new((sum.0 / count) as i64, (sum.1 / count) as i64);
+                positions.insert(id, die.clamp_point(target));
+            }
+        }
+    }
+
+    // Spreading: push cells out of over-full bins (macros occupy capacity).
+    spread(design, &mut positions, &is_fixed, &macro_rects, config);
+
+    CellPlacement { positions }
+}
+
+fn spread(
+    design: &Design,
+    positions: &mut HashMap<CellId, Point>,
+    is_fixed: &HashMap<CellId, bool>,
+    macro_rects: &[Rect],
+    config: &PlacerConfig,
+) {
+    let die = design.die();
+    let bins = config.bins.max(2);
+    let bin_w = (die.width() as f64 / bins as f64).max(1.0);
+    let bin_h = (die.height() as f64 / bins as f64).max(1.0);
+    let bin_area = bin_w * bin_h;
+
+    // Free capacity per bin: bin area minus macro overlap, times utilization.
+    let mut capacity = vec![vec![0.0f64; bins]; bins];
+    for (bx, row) in capacity.iter_mut().enumerate() {
+        for (by, cap) in row.iter_mut().enumerate() {
+            let bin_rect = Rect::new(
+                die.llx + (bx as f64 * bin_w) as i64,
+                die.lly + (by as f64 * bin_h) as i64,
+                die.llx + ((bx + 1) as f64 * bin_w) as i64,
+                die.lly + ((by + 1) as f64 * bin_h) as i64,
+            );
+            let macro_overlap: f64 = macro_rects.iter().map(|m| m.overlap_area(&bin_rect) as f64).sum();
+            *cap = ((bin_area - macro_overlap) * config.target_utilization).max(0.0);
+        }
+    }
+
+    let bin_of = |p: Point| -> (usize, usize) {
+        let bx = (((p.x - die.llx) as f64 / bin_w) as usize).min(bins - 1);
+        let by = (((p.y - die.lly) as f64 / bin_h) as usize).min(bins - 1);
+        (bx, by)
+    };
+
+    for _ in 0..config.spreading_passes {
+        // Usage per bin.
+        let mut usage = vec![vec![0.0f64; bins]; bins];
+        let mut members: HashMap<(usize, usize), Vec<CellId>> = HashMap::new();
+        for (id, cell) in design.cells() {
+            if is_fixed[&id] {
+                continue;
+            }
+            let b = bin_of(positions[&id]);
+            usage[b.0][b.1] += cell.area() as f64;
+            members.entry(b).or_default().push(id);
+        }
+        // Move cells from over-full bins to the nearest bin with headroom.
+        let mut moved_any = false;
+        for bx in 0..bins {
+            for by in 0..bins {
+                let over = usage[bx][by] - capacity[bx][by];
+                if over <= 0.0 {
+                    continue;
+                }
+                let Some(cells) = members.get(&(bx, by)) else { continue };
+                // move the smallest cells first until the bin fits
+                let mut cells = cells.clone();
+                cells.sort_by_key(|&c| design.cell(c).area());
+                let mut to_free = over;
+                for cell in cells {
+                    if to_free <= 0.0 {
+                        break;
+                    }
+                    if let Some((tx, ty)) = nearest_bin_with_room(&usage, &capacity, bins, bx, by) {
+                        let target_center = Point::new(
+                            die.llx + ((tx as f64 + 0.5) * bin_w) as i64,
+                            die.lly + ((ty as f64 + 0.5) * bin_h) as i64,
+                        );
+                        let area = design.cell(cell).area() as f64;
+                        usage[bx][by] -= area;
+                        usage[tx][ty] += area;
+                        to_free -= area;
+                        positions.insert(cell, die.clamp_point(target_center));
+                        moved_any = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+}
+
+fn nearest_bin_with_room(
+    usage: &[Vec<f64>],
+    capacity: &[Vec<f64>],
+    bins: usize,
+    bx: usize,
+    by: usize,
+) -> Option<(usize, usize)> {
+    for radius in 1..bins {
+        let mut best: Option<(f64, (usize, usize))> = None;
+        let lo_x = bx.saturating_sub(radius);
+        let hi_x = (bx + radius).min(bins - 1);
+        let lo_y = by.saturating_sub(radius);
+        let hi_y = (by + radius).min(bins - 1);
+        for tx in lo_x..=hi_x {
+            for ty in lo_y..=hi_y {
+                if tx.abs_diff(bx).max(ty.abs_diff(by)) != radius {
+                    continue;
+                }
+                let room = capacity[tx][ty] - usage[tx][ty];
+                if room > 0.0 {
+                    let d = (tx.abs_diff(bx) + ty.abs_diff(by)) as f64;
+                    if best.as_ref().map(|(bd, _)| d < *bd).unwrap_or(true) {
+                        best = Some((d, (tx, ty)));
+                    }
+                }
+            }
+        }
+        if let Some((_, b)) = best {
+            return Some(b);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::design::{DesignBuilder, PortDirection};
+
+    fn design_with_macro_and_cells() -> (Design, CellId) {
+        let mut b = DesignBuilder::new("t");
+        let m = b.add_macro("ram", "RAM", 200, 200, "");
+        let p = b.add_port("in", PortDirection::Input);
+        b.place_port(p, Point::new(0, 500));
+        // a chain of cells from the port to the macro
+        let mut prev_net = b.add_net("n_in");
+        b.connect_port_driver(prev_net, p);
+        for i in 0..10 {
+            let c = b.add_comb(format!("c{i}"), "");
+            b.connect_sink(prev_net, c);
+            let n = b.add_net(format!("n{i}"));
+            b.connect_driver(n, c);
+            prev_net = n;
+        }
+        b.connect_sink(prev_net, m);
+        b.set_die(Rect::new(0, 0, 1000, 1000));
+        (b.build(), m)
+    }
+
+    #[test]
+    fn all_cells_get_positions_inside_die() {
+        let (d, m) = design_with_macro_and_cells();
+        let mut mp = HashMap::new();
+        mp.insert(m, (Point::new(700, 400), Orientation::N));
+        let placement = place_standard_cells(&d, &mp, &PlacerConfig::default());
+        assert_eq!(placement.positions.len(), d.num_cells());
+        for (_, &p) in &placement.positions {
+            assert!(d.die().contains(p));
+        }
+    }
+
+    #[test]
+    fn macro_keeps_its_center() {
+        let (d, m) = design_with_macro_and_cells();
+        let mut mp = HashMap::new();
+        mp.insert(m, (Point::new(700, 400), Orientation::N));
+        let placement = place_standard_cells(&d, &mp, &PlacerConfig::default());
+        assert_eq!(placement.position(m).unwrap(), Point::new(800, 500));
+    }
+
+    #[test]
+    fn chain_cells_sit_between_port_and_macro() {
+        let (d, m) = design_with_macro_and_cells();
+        let mut mp = HashMap::new();
+        mp.insert(m, (Point::new(800, 400), Orientation::N));
+        let placement = place_standard_cells(&d, &mp, &PlacerConfig::default());
+        // the middle of the chain should be strictly between the port (x=0)
+        // and the macro center (x=900)
+        let mid = d.find_cell("c5").unwrap();
+        let p = placement.position(mid).unwrap();
+        assert!(p.x > 0 && p.x < 900, "chain cell at {p}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (d, m) = design_with_macro_and_cells();
+        let mut mp = HashMap::new();
+        mp.insert(m, (Point::new(700, 400), Orientation::N));
+        let a = place_standard_cells(&d, &mp, &PlacerConfig::default());
+        let b = place_standard_cells(&d, &mp, &PlacerConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spreading_reduces_peak_bin_usage() {
+        // many unconnected cells all start at the die center; spreading must
+        // distribute them across bins
+        let mut b = DesignBuilder::new("t");
+        for i in 0..500 {
+            b.add_comb(format!("c{i}"), "");
+        }
+        b.set_die(Rect::new(0, 0, 320, 320));
+        let d = b.build();
+        let cfg = PlacerConfig { bins: 8, target_utilization: 0.5, ..Default::default() };
+        let placement = place_standard_cells(&d, &HashMap::new(), &cfg);
+        // count cells per bin
+        let mut counts = vec![vec![0usize; 8]; 8];
+        for (_, &p) in &placement.positions {
+            let bx = ((p.x as f64 / 40.0) as usize).min(7);
+            let by = ((p.y as f64 / 40.0) as usize).min(7);
+            counts[bx][by] += 1;
+        }
+        let peak = counts.iter().flatten().copied().max().unwrap();
+        assert!(peak < 500, "cells must not all stay in one bin (peak {peak})");
+    }
+}

@@ -1,0 +1,144 @@
+//! Half-perimeter wirelength (HPWL).
+
+use crate::placer::CellPlacement;
+use geometry::{Point, Rect};
+use netlist::design::Design;
+use serde::{Deserialize, Serialize};
+
+/// Wirelength report.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Hpwl {
+    /// Total half-perimeter wirelength in DBU.
+    pub dbu: i128,
+    /// Number of nets with at least two placed pins.
+    pub routed_nets: usize,
+}
+
+impl Hpwl {
+    /// Wirelength in meters for a given number of DBU per micron.
+    pub fn meters(&self, dbu_per_micron: i64) -> f64 {
+        self.dbu as f64 / dbu_per_micron as f64 * 1e-6
+    }
+}
+
+/// Computes the total HPWL of a design for a full cell placement.
+///
+/// Every net contributes the half perimeter of the bounding box of its pin
+/// locations (cell centers and port positions). Nets with fewer than two
+/// placed pins contribute nothing.
+pub fn total_hpwl(design: &Design, placement: &CellPlacement) -> Hpwl {
+    let mut total: i128 = 0;
+    let mut routed = 0usize;
+    for (_, net) in design.nets() {
+        let mut points: Vec<Point> = Vec::with_capacity(net.degree());
+        if let Some(c) = net.driver_cell {
+            if let Some(p) = placement.position(c) {
+                points.push(p);
+            }
+        }
+        for &c in &net.sink_cells {
+            if let Some(p) = placement.position(c) {
+                points.push(p);
+            }
+        }
+        if let Some(p) = net.driver_port {
+            if let Some(pos) = design.port(p).position {
+                points.push(pos);
+            }
+        }
+        for &p in &net.sink_ports {
+            if let Some(pos) = design.port(p).position {
+                points.push(pos);
+            }
+        }
+        if points.len() < 2 {
+            continue;
+        }
+        if let Some(bb) = Rect::bounding_box(points) {
+            total += (bb.width() + bb.height()) as i128;
+            routed += 1;
+        }
+    }
+    Hpwl { dbu: total, routed_nets: routed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::design::{DesignBuilder, PortDirection};
+    use std::collections::HashMap;
+
+    #[test]
+    fn hpwl_of_two_pin_net() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_comb("a", "");
+        let c = b.add_comb("c", "");
+        let n = b.add_net("n");
+        b.connect_driver(n, a);
+        b.connect_sink(n, c);
+        let d = b.build();
+        let mut placement = CellPlacement::default();
+        placement.positions.insert(a, Point::new(0, 0));
+        placement.positions.insert(c, Point::new(30, 40));
+        let wl = total_hpwl(&d, &placement);
+        assert_eq!(wl.dbu, 70);
+        assert_eq!(wl.routed_nets, 1);
+    }
+
+    #[test]
+    fn hpwl_includes_port_positions() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_comb("a", "");
+        let p = b.add_port("in", PortDirection::Input);
+        b.place_port(p, Point::new(100, 0));
+        let n = b.add_net("n");
+        b.connect_port_driver(n, p);
+        b.connect_sink(n, a);
+        let d = b.build();
+        let mut placement = CellPlacement::default();
+        placement.positions.insert(a, Point::new(0, 50));
+        let wl = total_hpwl(&d, &placement);
+        assert_eq!(wl.dbu, 150);
+    }
+
+    #[test]
+    fn multi_pin_net_uses_bounding_box() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_comb("a", "");
+        let c1 = b.add_comb("c1", "");
+        let c2 = b.add_comb("c2", "");
+        let n = b.add_net("n");
+        b.connect_driver(n, a);
+        b.connect_sink(n, c1);
+        b.connect_sink(n, c2);
+        let d = b.build();
+        let mut placement = CellPlacement::default();
+        placement.positions.insert(a, Point::new(0, 0));
+        placement.positions.insert(c1, Point::new(10, 100));
+        placement.positions.insert(c2, Point::new(50, 20));
+        let wl = total_hpwl(&d, &placement);
+        assert_eq!(wl.dbu, 50 + 100);
+    }
+
+    #[test]
+    fn unplaced_pins_are_skipped() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_comb("a", "");
+        let c = b.add_comb("c", "");
+        let n = b.add_net("n");
+        b.connect_driver(n, a);
+        b.connect_sink(n, c);
+        let d = b.build();
+        let placement = CellPlacement { positions: HashMap::new() };
+        let wl = total_hpwl(&d, &placement);
+        assert_eq!(wl.dbu, 0);
+        assert_eq!(wl.routed_nets, 0);
+    }
+
+    #[test]
+    fn meters_conversion() {
+        let wl = Hpwl { dbu: 2_000_000_000, routed_nets: 1 };
+        // 2e9 DBU at 1000 DBU/µm = 2e6 µm = 2 m
+        assert!((wl.meters(1000) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,466 @@
+//! Slicing structures: normalized Polish expressions and slicing trees.
+//!
+//! The layout of a set of blocks is represented by a *slicing tree*: every
+//! internal node cuts its rectangle either vertically or horizontally and the
+//! leaves are blocks.  Following Wong & Liu (DAC'86), the tree is stored as a
+//! normalized Polish expression, and the simulated-annealing search of the
+//! paper (Sect. IV-E) perturbs that expression with three moves:
+//!
+//! * **M1** — swap two adjacent operands,
+//! * **M2** — complement a chain of operators (`H` ↔ `V`),
+//! * **M3** — swap an adjacent operand/operator pair (only when the result is
+//!   still a normalized, balloting-valid expression).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Direction of the cut performed by an internal slicing-tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CutDirection {
+    /// Vertical cut: the children are placed side by side (left, right).
+    Vertical,
+    /// Horizontal cut: the children are stacked (bottom, top).
+    Horizontal,
+}
+
+impl CutDirection {
+    /// The opposite cut direction.
+    pub fn flipped(self) -> CutDirection {
+        match self {
+            CutDirection::Vertical => CutDirection::Horizontal,
+            CutDirection::Horizontal => CutDirection::Vertical,
+        }
+    }
+}
+
+/// One token of a Polish expression: either a block index or a cut operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolishToken {
+    /// A leaf block, identified by its index.
+    Operand(usize),
+    /// An internal node cutting in the given direction.
+    Operator(CutDirection),
+}
+
+impl PolishToken {
+    /// Returns `true` for operand tokens.
+    pub fn is_operand(&self) -> bool {
+        matches!(self, PolishToken::Operand(_))
+    }
+}
+
+/// A (postfix) Polish expression describing a slicing floorplan of `n` blocks.
+///
+/// Invariants maintained by every constructor and move:
+///
+/// * exactly `n` operands, each block index appearing exactly once,
+/// * exactly `n - 1` operators,
+/// * the *balloting property*: in every prefix, #operands > #operators,
+/// * *normalized*: no two consecutive identical operators (avoids redundant
+///   representations of the same floorplan).
+///
+/// # Example
+///
+/// ```
+/// use geometry::{PolishExpression, CutDirection};
+///
+/// let e = PolishExpression::chain(3, CutDirection::Vertical);
+/// assert_eq!(e.num_blocks(), 3);
+/// assert!(e.is_valid());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolishExpression {
+    tokens: Vec<PolishToken>,
+    num_blocks: usize,
+}
+
+impl PolishExpression {
+    /// Builds the expression `0 1 op 2 op 3 op ...`, i.e. a "staircase" of
+    /// alternating cuts starting from `first_cut`. For a single block the
+    /// expression is just that operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks == 0`.
+    pub fn chain(num_blocks: usize, first_cut: CutDirection) -> Self {
+        assert!(num_blocks > 0, "a slicing floorplan needs at least one block");
+        let mut tokens = Vec::with_capacity(2 * num_blocks - 1);
+        tokens.push(PolishToken::Operand(0));
+        let mut cut = first_cut;
+        for i in 1..num_blocks {
+            tokens.push(PolishToken::Operand(i));
+            tokens.push(PolishToken::Operator(cut));
+            cut = cut.flipped();
+        }
+        Self { tokens, num_blocks }
+    }
+
+    /// Builds an expression from raw tokens.
+    ///
+    /// Returns `None` if the token sequence is not a valid normalized Polish
+    /// expression over blocks `0..n`.
+    pub fn from_tokens(tokens: Vec<PolishToken>) -> Option<Self> {
+        let num_blocks = tokens.iter().filter(|t| t.is_operand()).count();
+        let e = Self { tokens, num_blocks };
+        if e.is_valid() {
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    /// The tokens of the expression in postfix order.
+    pub fn tokens(&self) -> &[PolishToken] {
+        &self.tokens
+    }
+
+    /// Number of leaf blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Checks every structural invariant (see the type-level docs).
+    pub fn is_valid(&self) -> bool {
+        if self.num_blocks == 0 || self.tokens.len() != 2 * self.num_blocks - 1 {
+            return false;
+        }
+        let mut seen = vec![false; self.num_blocks];
+        let mut operands = 0usize;
+        let mut operators = 0usize;
+        let mut prev_op: Option<CutDirection> = None;
+        for t in &self.tokens {
+            match *t {
+                PolishToken::Operand(i) => {
+                    if i >= self.num_blocks || seen[i] {
+                        return false;
+                    }
+                    seen[i] = true;
+                    operands += 1;
+                    prev_op = None;
+                }
+                PolishToken::Operator(dir) => {
+                    operators += 1;
+                    // balloting property: strictly more operands than operators
+                    if operators >= operands {
+                        return false;
+                    }
+                    // normalization: no two consecutive identical operators
+                    if prev_op == Some(dir) {
+                        return false;
+                    }
+                    prev_op = Some(dir);
+                }
+            }
+        }
+        operands == self.num_blocks && operators + 1 == operands
+    }
+
+    /// Applies one random Wong–Liu move, returning the indices it touched so
+    /// the caller can undo it by restoring a clone. The move kinds are chosen
+    /// with equal probability as in the paper.
+    pub fn random_move<R: Rng + ?Sized>(&mut self, rng: &mut R) -> MoveKind {
+        // Retry until a move succeeds; M3 can fail on particular positions.
+        loop {
+            match rng.gen_range(0..3) {
+                0 => {
+                    if self.move_swap_operands(rng) {
+                        return MoveKind::OperandSwap;
+                    }
+                }
+                1 => {
+                    if self.move_invert_chain(rng) {
+                        return MoveKind::ChainInvert;
+                    }
+                }
+                _ => {
+                    if self.move_swap_operand_operator(rng) {
+                        return MoveKind::OperandOperatorSwap;
+                    }
+                }
+            }
+        }
+    }
+
+    /// M1: swaps two adjacent operands (adjacent in operand order, ignoring
+    /// the operators between them). Always succeeds for ≥ 2 blocks.
+    pub fn move_swap_operands<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.num_blocks < 2 {
+            return false;
+        }
+        let operand_positions: Vec<usize> = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.is_operand().then_some(i))
+            .collect();
+        let k = rng.gen_range(0..operand_positions.len() - 1);
+        self.tokens.swap(operand_positions[k], operand_positions[k + 1]);
+        true
+    }
+
+    /// M2: complements every operator in a randomly chosen maximal operator
+    /// chain (`H` ↔ `V`). Always succeeds when at least one operator exists.
+    pub fn move_invert_chain<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let chains = self.operator_chains();
+        if chains.is_empty() {
+            return false;
+        }
+        let (start, len) = chains[rng.gen_range(0..chains.len())];
+        for t in &mut self.tokens[start..start + len] {
+            if let PolishToken::Operator(dir) = t {
+                *dir = dir.flipped();
+            }
+        }
+        true
+    }
+
+    /// M3: swaps a randomly chosen adjacent operand/operator pair, provided
+    /// the result still satisfies balloting and normalization. Returns `false`
+    /// if the chosen position is infeasible.
+    pub fn move_swap_operand_operator<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.tokens.len() < 3 {
+            return false;
+        }
+        let candidates: Vec<usize> = (0..self.tokens.len() - 1)
+            .filter(|&i| self.tokens[i].is_operand() != self.tokens[i + 1].is_operand())
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let i = candidates[rng.gen_range(0..candidates.len())];
+        self.tokens.swap(i, i + 1);
+        if self.is_valid() {
+            true
+        } else {
+            self.tokens.swap(i, i + 1);
+            false
+        }
+    }
+
+    /// Maximal runs of consecutive operators as `(start_index, length)`.
+    fn operator_chains(&self) -> Vec<(usize, usize)> {
+        let mut chains = Vec::new();
+        let mut i = 0;
+        while i < self.tokens.len() {
+            if !self.tokens[i].is_operand() {
+                let start = i;
+                while i < self.tokens.len() && !self.tokens[i].is_operand() {
+                    i += 1;
+                }
+                chains.push((start, i - start));
+            } else {
+                i += 1;
+            }
+        }
+        chains
+    }
+
+    /// Builds the slicing tree corresponding to this expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is invalid (cannot happen for expressions
+    /// produced through the public API).
+    pub fn to_tree(&self) -> SlicingTree {
+        let mut stack: Vec<usize> = Vec::new();
+        let mut nodes: Vec<SlicingNode> = Vec::new();
+        for t in &self.tokens {
+            match *t {
+                PolishToken::Operand(block) => {
+                    nodes.push(SlicingNode::Leaf { block });
+                    stack.push(nodes.len() - 1);
+                }
+                PolishToken::Operator(cut) => {
+                    let right = stack.pop().expect("valid polish expression");
+                    let left = stack.pop().expect("valid polish expression");
+                    nodes.push(SlicingNode::Internal { cut, left, right });
+                    stack.push(nodes.len() - 1);
+                }
+            }
+        }
+        let root = stack.pop().expect("valid polish expression");
+        assert!(stack.is_empty(), "valid polish expression leaves one root");
+        SlicingTree { nodes, root }
+    }
+}
+
+/// Which of the three annealing moves was applied by [`PolishExpression::random_move`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveKind {
+    /// Two adjacent operands were exchanged.
+    OperandSwap,
+    /// An operator chain was complemented.
+    ChainInvert,
+    /// An adjacent operand/operator pair was exchanged.
+    OperandOperatorSwap,
+}
+
+/// A node of a [`SlicingTree`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlicingNode {
+    /// A leaf holding a block index.
+    Leaf {
+        /// Index of the block this leaf represents.
+        block: usize,
+    },
+    /// An internal node cutting its rectangle into two children.
+    Internal {
+        /// Cut direction applied at this node.
+        cut: CutDirection,
+        /// Index of the left / bottom child in [`SlicingTree::nodes`].
+        left: usize,
+        /// Index of the right / top child in [`SlicingTree::nodes`].
+        right: usize,
+    },
+}
+
+/// An explicit slicing tree produced from a [`PolishExpression`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlicingTree {
+    nodes: Vec<SlicingNode>,
+    root: usize,
+}
+
+impl SlicingTree {
+    /// All nodes of the tree; children indices refer into this slice.
+    pub fn nodes(&self) -> &[SlicingNode] {
+        &self.nodes
+    }
+
+    /// Index of the root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Node accessor.
+    pub fn node(&self, idx: usize) -> &SlicingNode {
+        &self.nodes[idx]
+    }
+
+    /// Number of leaf blocks in the tree.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, SlicingNode::Leaf { .. })).count()
+    }
+
+    /// Visits leaves in left-to-right order, yielding block indices.
+    pub fn leaf_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.num_leaves());
+        self.collect_leaves(self.root, &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, idx: usize, out: &mut Vec<usize>) {
+        match &self.nodes[idx] {
+            SlicingNode::Leaf { block } => out.push(*block),
+            SlicingNode::Internal { left, right, .. } => {
+                self.collect_leaves(*left, out);
+                self.collect_leaves(*right, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_expression_is_valid() {
+        for n in 1..10 {
+            let e = PolishExpression::chain(n, CutDirection::Vertical);
+            assert!(e.is_valid(), "chain of {n} blocks should be valid");
+            assert_eq!(e.num_blocks(), n);
+        }
+    }
+
+    #[test]
+    fn invalid_expressions_rejected() {
+        use CutDirection::*;
+        use PolishToken::*;
+        // operator before enough operands
+        assert!(PolishExpression::from_tokens(vec![Operand(0), Operator(Vertical), Operand(1)]).is_none());
+        // duplicate operand
+        assert!(PolishExpression::from_tokens(vec![Operand(0), Operand(0), Operator(Vertical)]).is_none());
+        // consecutive identical operators (not normalized)
+        assert!(PolishExpression::from_tokens(vec![
+            Operand(0),
+            Operand(1),
+            Operand(2),
+            Operator(Vertical),
+            Operator(Vertical),
+        ])
+        .is_none());
+        // valid alternatives
+        assert!(PolishExpression::from_tokens(vec![
+            Operand(0),
+            Operand(1),
+            Operand(2),
+            Operator(Vertical),
+            Operator(Horizontal),
+        ])
+        .is_some());
+        assert!(PolishExpression::from_tokens(vec![
+            Operand(0),
+            Operand(1),
+            Operator(Vertical),
+            Operand(2),
+            Operator(Horizontal),
+        ])
+        .is_some());
+    }
+
+    #[test]
+    fn moves_preserve_validity() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut e = PolishExpression::chain(8, CutDirection::Horizontal);
+        for _ in 0..500 {
+            e.random_move(&mut rng);
+            assert!(e.is_valid());
+        }
+    }
+
+    #[test]
+    fn single_block_tree() {
+        let e = PolishExpression::chain(1, CutDirection::Vertical);
+        let t = e.to_tree();
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.leaf_order(), vec![0]);
+    }
+
+    #[test]
+    fn tree_has_all_leaves_once() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut e = PolishExpression::chain(6, CutDirection::Vertical);
+        for _ in 0..100 {
+            e.random_move(&mut rng);
+        }
+        let t = e.to_tree();
+        let mut leaves = t.leaf_order();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.nodes().len(), 2 * 6 - 1);
+    }
+
+    #[test]
+    fn operand_swap_changes_leaf_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut e = PolishExpression::chain(4, CutDirection::Vertical);
+        let before = e.to_tree().leaf_order();
+        e.move_swap_operands(&mut rng);
+        let after = e.to_tree().leaf_order();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn chain_invert_flips_cuts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut e = PolishExpression::chain(2, CutDirection::Vertical);
+        assert!(e.move_invert_chain(&mut rng));
+        match e.tokens()[2] {
+            PolishToken::Operator(dir) => assert_eq!(dir, CutDirection::Horizontal),
+            _ => panic!("expected operator"),
+        }
+    }
+}

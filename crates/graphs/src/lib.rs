@@ -1,0 +1,33 @@
+//! Circuit graph abstractions used by dataflow-driven macro placement.
+//!
+//! The paper (Table I) models the circuit at three levels of abstraction,
+//! all derived from the input hierarchical netlist `N`:
+//!
+//! | Graph  | Size   | Vertices | Purpose |
+//! |--------|--------|----------|---------|
+//! | `Gnet` | ~10⁷   | macros, ports, flops, combinational cells | bit-level connectivity |
+//! | `Gseq` | ~10⁵   | macros, multi-bit registers and ports     | multi-bit sequential connectivity |
+//! | `Gdf`  | ~10²   | blocks and multi-bit ports                | dataflow affinity |
+//!
+//! * [`netgraph::NetGraph`] is a thin directed-graph view over a
+//!   [`netlist::Design`] (driver → sink edges per net).
+//! * [`seqgraph::SeqGraph`] collapses combinational logic, clusters register
+//!   and port bits into arrays by name, and keeps edges only between
+//!   sequential elements (macros, register arrays, port arrays).
+//! * [`dataflow::DataflowGraph`] groups sequential elements into *blocks*
+//!   (the output of hierarchical declustering) and summarizes the paths
+//!   between blocks into latency→bits histograms, separately for *block flow*
+//!   and *macro flow*.
+//! * [`histogram::FlowHistogram`] implements the `score(h, k)` weighting of
+//!   Sect. IV-D.
+
+pub mod bfs;
+pub mod dataflow;
+pub mod histogram;
+pub mod netgraph;
+pub mod seqgraph;
+
+pub use dataflow::{BlockAssignment, DataflowEdge, DataflowGraph, DataflowNode};
+pub use histogram::FlowHistogram;
+pub use netgraph::{NetGraph, NetGraphNode};
+pub use seqgraph::{SeqGraph, SeqNode, SeqNodeId, SeqNodeKind};

@@ -1,0 +1,463 @@
+//! `Gseq`: the multi-bit sequential connectivity graph.
+//!
+//! Derived from [`NetGraph`] following Sect. IV-D of the paper:
+//!
+//! 1. combinational cells are removed by connecting their predecessors to
+//!    their successors (implemented as a comb-only BFS between sequential
+//!    endpoints),
+//! 2. flop and port bits are clustered into arrays using component names
+//!    (`name[n]`, `name_n`),
+//! 3. edges between sequential components are inferred from their transitive
+//!    fanin/fanout through combinational logic, weighted by the number of
+//!    bits that flow,
+//! 4. register arrays narrower than a configurable bit threshold are
+//!    discarded to reduce the graph size.
+
+use crate::netgraph::{NetGraph, NetGraphNode};
+use netlist::arrays::split_array_name;
+use netlist::design::{CellId, CellKind, Design, PortId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of a node in a [`SeqGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeqNodeId(pub u32);
+
+/// Kind of a sequential-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeqNodeKind {
+    /// A hard macro.
+    Macro,
+    /// A multi-bit register (cluster of flop bits with the same array name).
+    Register,
+    /// A multi-bit primary port (cluster of port bits with the same base name).
+    Port,
+}
+
+/// A node of the sequential graph: a macro, a register array or a port array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqNode {
+    /// Kind of the node.
+    pub kind: SeqNodeKind,
+    /// Array base name (register/port) or instance name (macro).
+    pub name: String,
+    /// Bit width of the node.
+    pub width: u64,
+    /// Hierarchy path of the node (empty for ports).
+    pub hier_path: String,
+    /// Member cells (flop bits, or the single macro cell).
+    pub cells: Vec<CellId>,
+    /// Member primary ports (for port arrays).
+    pub ports: Vec<PortId>,
+}
+
+/// Configuration for [`SeqGraph`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqGraphConfig {
+    /// Register arrays narrower than this many bits are discarded
+    /// (macros and ports are always kept). `1` keeps everything.
+    pub min_register_bits: u64,
+}
+
+impl Default for SeqGraphConfig {
+    fn default() -> Self {
+        Self { min_register_bits: 1 }
+    }
+}
+
+/// The sequential graph `Gseq`: weighted nodes (bit widths) and directed
+/// weighted edges (bits of flow across one sequential stage).
+///
+/// # Example
+///
+/// ```
+/// use graphs::{SeqGraph, SeqNodeKind};
+/// use netlist::design::DesignBuilder;
+///
+/// let mut b = DesignBuilder::new("t");
+/// // 2-bit register feeding a macro through combinational logic
+/// let r0 = b.add_flop("u/data_reg[0]", "u");
+/// let r1 = b.add_flop("u/data_reg[1]", "u");
+/// let g = b.add_comb("u/g", "u");
+/// let m = b.add_macro("u/ram", "RAM", 100, 100, "u");
+/// let n0 = b.add_net("n0");
+/// let n1 = b.add_net("n1");
+/// let n2 = b.add_net("n2");
+/// b.connect_driver(n0, r0);
+/// b.connect_sink(n0, g);
+/// b.connect_driver(n1, r1);
+/// b.connect_sink(n1, g);
+/// b.connect_driver(n2, g);
+/// b.connect_sink(n2, m);
+/// let design = b.build();
+/// let gseq = SeqGraph::from_design(&design, &Default::default());
+/// assert_eq!(gseq.num_nodes(), 2); // the register array and the macro
+/// let reg = gseq.nodes().position(|n| n.kind == SeqNodeKind::Register).unwrap();
+/// assert_eq!(gseq.node(graphs::SeqNodeId(reg as u32)).width, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqGraph {
+    nodes: Vec<SeqNode>,
+    succ: Vec<Vec<(usize, u64)>>,
+    pred: Vec<Vec<(usize, u64)>>,
+    macro_of_cell: HashMap<CellId, usize>,
+}
+
+impl SeqGraph {
+    /// Builds `Gseq` directly from a design (constructing the intermediate
+    /// [`NetGraph`] internally).
+    pub fn from_design(design: &Design, config: &SeqGraphConfig) -> Self {
+        let gnet = NetGraph::from_design(design);
+        Self::from_netgraph(design, &gnet, config)
+    }
+
+    /// Builds `Gseq` from a previously constructed [`NetGraph`].
+    pub fn from_netgraph(design: &Design, gnet: &NetGraph, config: &SeqGraphConfig) -> Self {
+        // --- step 2: cluster sequential bits into arrays -------------------
+        let mut nodes: Vec<SeqNode> = Vec::new();
+        let mut node_of_bit: HashMap<usize, usize> = HashMap::new(); // gnet node -> seq node
+        let mut register_index: HashMap<String, usize> = HashMap::new();
+        let mut port_index: HashMap<String, usize> = HashMap::new();
+        let mut macro_of_cell: HashMap<CellId, usize> = HashMap::new();
+
+        for (cell_id, cell) in design.cells() {
+            match cell.kind {
+                CellKind::Macro => {
+                    let idx = nodes.len();
+                    nodes.push(SeqNode {
+                        kind: SeqNodeKind::Macro,
+                        name: cell.name.clone(),
+                        width: 0, // filled from connectivity below
+                        hier_path: cell.hier_path.clone(),
+                        cells: vec![cell_id],
+                        ports: Vec::new(),
+                    });
+                    macro_of_cell.insert(cell_id, idx);
+                    node_of_bit.insert(gnet.cell_node(cell_id), idx);
+                }
+                CellKind::Flop => {
+                    let base = split_array_name(&cell.name).base;
+                    let idx = *register_index.entry(base.clone()).or_insert_with(|| {
+                        nodes.push(SeqNode {
+                            kind: SeqNodeKind::Register,
+                            name: base.clone(),
+                            width: 0,
+                            hier_path: cell.hier_path.clone(),
+                            cells: Vec::new(),
+                            ports: Vec::new(),
+                        });
+                        nodes.len() - 1
+                    });
+                    nodes[idx].cells.push(cell_id);
+                    nodes[idx].width += 1;
+                    node_of_bit.insert(gnet.cell_node(cell_id), idx);
+                }
+                CellKind::Comb => {}
+            }
+        }
+        for (port_id, port) in design.ports() {
+            let base = split_array_name(&port.name).base;
+            let idx = *port_index.entry(base.clone()).or_insert_with(|| {
+                nodes.push(SeqNode {
+                    kind: SeqNodeKind::Port,
+                    name: base.clone(),
+                    width: 0,
+                    hier_path: String::new(),
+                    cells: Vec::new(),
+                    ports: Vec::new(),
+                });
+                nodes.len() - 1
+            });
+            nodes[idx].ports.push(port_id);
+            nodes[idx].width += 1;
+            node_of_bit.insert(gnet.port_node(port_id), idx);
+        }
+
+        // --- step 4: discard narrow register arrays ------------------------
+        let keep: Vec<bool> = nodes
+            .iter()
+            .map(|n| n.kind != SeqNodeKind::Register || n.width >= config.min_register_bits)
+            .collect();
+        let mut remap = vec![usize::MAX; nodes.len()];
+        let mut kept_nodes = Vec::new();
+        for (i, node) in nodes.into_iter().enumerate() {
+            if keep[i] {
+                remap[i] = kept_nodes.len();
+                kept_nodes.push(node);
+            }
+        }
+        let nodes = kept_nodes;
+        let node_of_bit: HashMap<usize, usize> = node_of_bit
+            .into_iter()
+            .filter_map(|(bit, idx)| (remap[idx] != usize::MAX).then_some((bit, remap[idx])))
+            .collect();
+        let macro_of_cell: HashMap<CellId, usize> =
+            macro_of_cell.into_iter().map(|(c, idx)| (c, remap[idx])).collect();
+
+        // --- steps 1 & 3: infer edges through combinational logic ----------
+        // For every sequential bit, a forward BFS through combinational cells
+        // finds the sequential endpoints it reaches in one stage.  The width
+        // of the edge src → dst is the larger of (a) the number of distinct
+        // source bits that reach dst and (b) the number of distinct dst bits
+        // reached, which approximates the wire count even when one of the two
+        // endpoints is a single-node macro.
+        let mut edge_src_bits: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut edge_dst_bits: HashMap<(usize, usize), std::collections::HashSet<usize>> = HashMap::new();
+        let mut visited = vec![u32::MAX; gnet.num_nodes()];
+        let mut epoch = 0u32;
+        for (&bit, &src_node) in &node_of_bit {
+            epoch += 1;
+            let mut queue = VecDeque::new();
+            let mut reached: Vec<(usize, usize)> = Vec::new(); // (dst_node, dst_bit)
+            visited[bit] = epoch;
+            queue.push_back(bit);
+            while let Some(u) = queue.pop_front() {
+                for &v in gnet.successors(u) {
+                    if visited[v] == epoch {
+                        continue;
+                    }
+                    visited[v] = epoch;
+                    match node_of_bit.get(&v) {
+                        Some(&dst_node) => {
+                            if dst_node != src_node {
+                                reached.push((dst_node, v));
+                            }
+                        }
+                        None => {
+                            // combinational (or discarded) node: traverse through
+                            if is_traversable(gnet, v, design) {
+                                queue.push_back(v);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut seen_dst: std::collections::HashSet<usize> = std::collections::HashSet::new();
+            for (dst_node, dst_bit) in reached {
+                if seen_dst.insert(dst_node) {
+                    *edge_src_bits.entry((src_node, dst_node)).or_insert(0) += 1;
+                }
+                edge_dst_bits.entry((src_node, dst_node)).or_default().insert(dst_bit);
+            }
+        }
+        let edge_bits: HashMap<(usize, usize), u64> = edge_src_bits
+            .into_iter()
+            .map(|(key, src_count)| {
+                let dst_count = edge_dst_bits.get(&key).map(|s| s.len() as u64).unwrap_or(0);
+                (key, src_count.max(dst_count))
+            })
+            .collect();
+
+        let mut succ = vec![Vec::new(); nodes.len()];
+        let mut pred = vec![Vec::new(); nodes.len()];
+        for ((s, d), bits) in edge_bits {
+            succ[s].push((d, bits));
+            pred[d].push((s, bits));
+        }
+        for v in succ.iter_mut().chain(pred.iter_mut()) {
+            v.sort_unstable();
+        }
+
+        let mut graph = Self { nodes, succ, pred, macro_of_cell };
+        graph.fill_macro_widths();
+        graph
+    }
+
+    /// Macro node widths are not defined by a register array; use the total
+    /// bits flowing in/out of the macro as its width.
+    fn fill_macro_widths(&mut self) {
+        for idx in 0..self.nodes.len() {
+            if self.nodes[idx].kind == SeqNodeKind::Macro {
+                let in_bits: u64 = self.pred[idx].iter().map(|&(_, b)| b).sum();
+                let out_bits: u64 = self.succ[idx].iter().map(|&(_, b)| b).sum();
+                self.nodes[idx].width = in_bits.max(out_bits).max(1);
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: SeqNodeId) -> &SeqNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Iterates over the nodes in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = &SeqNode> + '_ {
+        self.nodes.iter()
+    }
+
+    /// Iterates over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqNodeId, &SeqNode)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, n)| (SeqNodeId(i as u32), n))
+    }
+
+    /// Out-edges of a node as `(target, bits)`.
+    pub fn successors(&self, id: SeqNodeId) -> &[(usize, u64)] {
+        &self.succ[id.0 as usize]
+    }
+
+    /// In-edges of a node as `(source, bits)`.
+    pub fn predecessors(&self, id: SeqNodeId) -> &[(usize, u64)] {
+        &self.pred[id.0 as usize]
+    }
+
+    /// The sequential node representing a macro cell, if any.
+    pub fn macro_node(&self, cell: CellId) -> Option<SeqNodeId> {
+        self.macro_of_cell.get(&cell).map(|&i| SeqNodeId(i as u32))
+    }
+
+    /// Ids of all macro nodes.
+    pub fn macro_nodes(&self) -> impl Iterator<Item = SeqNodeId> + '_ {
+        self.iter().filter(|(_, n)| n.kind == SeqNodeKind::Macro).map(|(id, _)| id)
+    }
+
+    /// Ids of all port nodes.
+    pub fn port_nodes(&self) -> impl Iterator<Item = SeqNodeId> + '_ {
+        self.iter().filter(|(_, n)| n.kind == SeqNodeKind::Port).map(|(id, _)| id)
+    }
+
+    /// Bits flowing on the edge `from → to`, 0 if absent.
+    pub fn edge_bits(&self, from: SeqNodeId, to: SeqNodeId) -> u64 {
+        self.succ[from.0 as usize]
+            .iter()
+            .find(|&&(t, _)| t == to.0 as usize)
+            .map(|&(_, b)| b)
+            .unwrap_or(0)
+    }
+}
+
+/// Returns `true` if the netlist-graph node may be traversed when collapsing
+/// combinational logic: combinational cells only (sequential endpoints stop
+/// the search, discarded registers also stop it so latency is not silently
+/// underestimated... they are rare by construction).
+fn is_traversable(gnet: &NetGraph, idx: usize, design: &Design) -> bool {
+    match gnet.node(idx) {
+        NetGraphNode::Cell(c) => design.cell(c).kind == CellKind::Comb,
+        NetGraphNode::Port(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::design::{DesignBuilder, PortDirection};
+
+    /// port[2] -> comb -> reg_a[4] -> comb -> MACRO -> reg_b[2] -> out port
+    fn pipeline_design() -> Design {
+        let mut b = DesignBuilder::new("t");
+        let mut prev: Vec<CellId> = Vec::new();
+        // input port bits
+        let mut in_ports = Vec::new();
+        for i in 0..2 {
+            in_ports.push(b.add_port(format!("din[{i}]"), PortDirection::Input));
+        }
+        // stage A: 4-bit register fed by the input ports through buffers
+        for i in 0..4 {
+            let g = b.add_comb(format!("u_a/buf_{i}"), "u_a");
+            let f = b.add_flop(format!("u_a/ra_reg[{i}]"), "u_a");
+            let n_in = b.add_net(format!("u_a/nin_{i}"));
+            let n_q = b.add_net(format!("u_a/nq_{i}"));
+            b.connect_port_driver(n_in, in_ports[i % 2]);
+            b.connect_sink(n_in, g);
+            b.connect_driver(n_q, g);
+            b.connect_sink(n_q, f);
+            prev.push(f);
+        }
+        // macro fed by all 4 bits of stage A
+        let m = b.add_macro("u_m/ram", "RAM", 100, 100, "u_m");
+        for (i, &f) in prev.iter().enumerate() {
+            let n = b.add_net(format!("u_a/to_ram_{i}"));
+            b.connect_driver(n, f);
+            b.connect_sink(n, m);
+        }
+        // stage B: 2-bit register fed by the macro
+        let mut stage_b = Vec::new();
+        for i in 0..2 {
+            let f = b.add_flop(format!("u_b/rb_reg[{i}]"), "u_b");
+            let n = b.add_net(format!("u_b/from_ram_{i}"));
+            b.connect_driver(n, m);
+            b.connect_sink(n, f);
+            stage_b.push(f);
+        }
+        // output port
+        let po = b.add_port("dout[0]", PortDirection::Output);
+        let n = b.add_net("dout[0]");
+        b.connect_driver(n, stage_b[0]);
+        b.connect_port_sink(n, po);
+        b.build()
+    }
+
+    #[test]
+    fn clusters_registers_and_ports_by_name() {
+        let d = pipeline_design();
+        let g = SeqGraph::from_design(&d, &SeqGraphConfig::default());
+        // nodes: din port (2b), dout port (1b), ra_reg (4b), rb_reg (2b), macro
+        assert_eq!(g.num_nodes(), 5);
+        let ra = g.iter().find(|(_, n)| n.name.ends_with("ra_reg")).unwrap();
+        assert_eq!(ra.1.width, 4);
+        assert_eq!(ra.1.kind, SeqNodeKind::Register);
+        let din = g.iter().find(|(_, n)| n.name == "din").unwrap();
+        assert_eq!(din.1.width, 2);
+        assert_eq!(din.1.kind, SeqNodeKind::Port);
+    }
+
+    #[test]
+    fn edges_cross_combinational_logic_only() {
+        let d = pipeline_design();
+        let g = SeqGraph::from_design(&d, &SeqGraphConfig::default());
+        let ra = g.iter().find(|(_, n)| n.name.ends_with("ra_reg")).unwrap().0;
+        let din = g.iter().find(|(_, n)| n.name == "din").unwrap().0;
+        let m = g.macro_nodes().next().unwrap();
+        // din -> ra through buffers: 2 source bits fan out to 4 register bits
+        assert_eq!(g.edge_bits(din, ra), 4);
+        // ra -> macro: all 4 bits reach it directly
+        assert_eq!(g.edge_bits(ra, m), 4);
+        // no edge din -> macro (a register is in between)
+        assert_eq!(g.edge_bits(din, m), 0);
+    }
+
+    #[test]
+    fn macro_width_from_connectivity() {
+        let d = pipeline_design();
+        let g = SeqGraph::from_design(&d, &SeqGraphConfig::default());
+        let m = g.macro_nodes().next().unwrap();
+        assert_eq!(g.node(m).width, 4); // max(in=4, out=2)
+    }
+
+    #[test]
+    fn min_register_bits_filters_small_arrays() {
+        let d = pipeline_design();
+        let g = SeqGraph::from_design(&d, &SeqGraphConfig { min_register_bits: 3 });
+        // rb_reg (2 bits) is dropped
+        assert!(g.iter().all(|(_, n)| !n.name.ends_with("rb_reg")));
+        assert_eq!(g.num_nodes(), 4);
+    }
+
+    #[test]
+    fn macro_node_lookup() {
+        let d = pipeline_design();
+        let g = SeqGraph::from_design(&d, &SeqGraphConfig::default());
+        let ram = d.find_cell("u_m/ram").unwrap();
+        let node = g.macro_node(ram).unwrap();
+        assert_eq!(g.node(node).kind, SeqNodeKind::Macro);
+        assert_eq!(g.macro_nodes().count(), 1);
+        assert_eq!(g.port_nodes().count(), 2);
+    }
+
+    #[test]
+    fn empty_design_has_no_nodes() {
+        let d = DesignBuilder::new("empty").build();
+        let g = SeqGraph::from_design(&d, &SeqGraphConfig::default());
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Macro flipping: orientation selection after placement (Algorithm 1, step 4).
+//!
+//! Once macro locations are fixed, each macro's orientation is chosen so that
+//! its pin side faces the logic it communicates with ("macro side dataflow"
+//! in the paper).  When the library provides pin offsets they are used
+//! directly; otherwise memories are assumed to expose their pins on the left
+//! edge of the reference orientation, which is the common single-port-side
+//! arrangement.
+
+use crate::legalize::MacroFootprint;
+use geometry::{Orientation, Point, Rect};
+use netlist::design::{CellId, Design};
+use std::collections::HashMap;
+
+/// Chooses an orientation for every placed macro.
+///
+/// `footprints` gives the macro locations (and whether the footprint is
+/// rotated); the returned map contains one orientation per macro, compatible
+/// with its footprint (rotated footprints get 90°/270°-family orientations).
+pub fn macro_flipping(
+    design: &Design,
+    footprints: &HashMap<CellId, MacroFootprint>,
+) -> HashMap<CellId, Orientation> {
+    // Pre-compute macro centers for connectivity lookups.
+    let centers: HashMap<CellId, Point> =
+        footprints.iter().map(|(&c, fp)| (c, fp.rect(design, c).center())).collect();
+
+    let mut orientations = HashMap::with_capacity(footprints.len());
+    for (&cell, fp) in footprints {
+        let rect = fp.rect(design, cell);
+        let pull = connectivity_centroid(design, cell, &centers, rect.center());
+        orientations.insert(cell, choose_orientation(rect, fp.rotated, pull));
+    }
+    orientations
+}
+
+/// The affinity-weighted centroid of everything the macro talks to: other
+/// placed macros and placed primary ports. Falls back to `default` when the
+/// macro has no placed neighbours.
+fn connectivity_centroid(
+    design: &Design,
+    cell: CellId,
+    centers: &HashMap<CellId, Point>,
+    default: Point,
+) -> Point {
+    let mut sum_x: i128 = 0;
+    let mut sum_y: i128 = 0;
+    let mut count: i128 = 0;
+    let c = design.cell(cell);
+    for &net in c.fanin.iter().chain(c.fanout.iter()) {
+        let n = design.net(net);
+        let mut endpoints: Vec<Point> = Vec::new();
+        if let Some(driver) = n.driver_cell {
+            if driver != cell {
+                if let Some(&p) = centers.get(&driver) {
+                    endpoints.push(p);
+                }
+            }
+        }
+        for &s in &n.sink_cells {
+            if s != cell {
+                if let Some(&p) = centers.get(&s) {
+                    endpoints.push(p);
+                }
+            }
+        }
+        if let Some(p) = n.driver_port {
+            if let Some(pos) = design.port(p).position {
+                endpoints.push(pos);
+            }
+        }
+        for &p in &n.sink_ports {
+            if let Some(pos) = design.port(p).position {
+                endpoints.push(pos);
+            }
+        }
+        for p in endpoints {
+            sum_x += p.x as i128;
+            sum_y += p.y as i128;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        default
+    } else {
+        Point::new((sum_x / count) as i64, (sum_y / count) as i64)
+    }
+}
+
+/// Picks the orientation whose pin edge faces the pull point.
+///
+/// In the reference orientation (`N`) the pin edge is assumed to be the left
+/// edge of the macro; mirrored/rotated orientations move that edge to the
+/// right, bottom or top.
+fn choose_orientation(rect: Rect, rotated: bool, pull: Point) -> Orientation {
+    let center = rect.center();
+    let dx = pull.x - center.x;
+    let dy = pull.y - center.y;
+    if rotated {
+        // 90°-family orientations: the pin edge becomes the bottom (W) or top (E).
+        if dy <= 0 {
+            Orientation::W
+        } else {
+            Orientation::E
+        }
+    } else if dx <= 0 {
+        Orientation::N // pins on the left edge, facing left
+    } else {
+        Orientation::FN // mirrored: pins on the right edge, facing right
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::design::{DesignBuilder, PortDirection};
+
+    /// A macro connected to a port placed on one side of the die.
+    fn design_with_side_port(port_x: i64) -> (Design, CellId) {
+        let mut b = DesignBuilder::new("t");
+        let m = b.add_macro("m", "RAM", 100, 100, "");
+        let p = b.add_port("io", PortDirection::Input);
+        b.place_port(p, Point::new(port_x, 500));
+        let n = b.add_net("n");
+        b.connect_port_driver(n, p);
+        b.connect_sink(n, m);
+        b.set_die(Rect::new(0, 0, 1000, 1000));
+        (b.build(), m)
+    }
+
+    #[test]
+    fn pins_face_the_connected_port() {
+        let (d, m) = design_with_side_port(0);
+        let mut fps = HashMap::new();
+        fps.insert(m, MacroFootprint { location: Point::new(450, 450), rotated: false });
+        let o = macro_flipping(&d, &fps);
+        assert_eq!(o[&m], Orientation::N, "port on the left -> pins face left");
+
+        let (d, m) = design_with_side_port(1000);
+        let o = macro_flipping(&d, &fps);
+        assert_eq!(o[&m], Orientation::FN, "port on the right -> pins face right");
+    }
+
+    #[test]
+    fn rotated_macros_use_rotated_orientations() {
+        let (d, m) = design_with_side_port(0);
+        let mut fps = HashMap::new();
+        fps.insert(m, MacroFootprint { location: Point::new(450, 450), rotated: true });
+        let o = macro_flipping(&d, &fps);
+        assert!(o[&m].swaps_axes());
+    }
+
+    #[test]
+    fn isolated_macro_gets_default_orientation() {
+        let mut b = DesignBuilder::new("t");
+        let m = b.add_macro("m", "RAM", 100, 100, "");
+        b.set_die(Rect::new(0, 0, 1000, 1000));
+        let d = b.build();
+        let mut fps = HashMap::new();
+        fps.insert(m, MacroFootprint { location: Point::new(0, 0), rotated: false });
+        let o = macro_flipping(&d, &fps);
+        assert_eq!(o[&m], Orientation::N);
+    }
+
+    #[test]
+    fn macro_facing_another_macro() {
+        // two connected macros side by side: left one faces right, right one faces left
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_macro("a", "RAM", 100, 100, "");
+        let c = b.add_macro("c", "RAM", 100, 100, "");
+        let n = b.add_net("n");
+        b.connect_driver(n, a);
+        b.connect_sink(n, c);
+        b.set_die(Rect::new(0, 0, 1000, 1000));
+        let d = b.build();
+        let mut fps = HashMap::new();
+        fps.insert(a, MacroFootprint { location: Point::new(0, 0), rotated: false });
+        fps.insert(c, MacroFootprint { location: Point::new(500, 0), rotated: false });
+        let o = macro_flipping(&d, &fps);
+        assert_eq!(o[&a], Orientation::FN);
+        assert_eq!(o[&c], Orientation::N);
+    }
+}

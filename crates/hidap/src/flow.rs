@@ -1,0 +1,205 @@
+//! The top-level HiDaP flow (Algorithm 1).
+
+use crate::config::HidapConfig;
+use crate::error::HidapError;
+use crate::flipping::macro_flipping;
+use crate::legalize::legalize_macros;
+use crate::placement::{MacroPlacement, PlacedMacro};
+use crate::recursive::RecursiveFloorplanner;
+use crate::shape_curves::ShapeCurveSet;
+use geometry::Orientation;
+use graphs::seqgraph::SeqGraphConfig;
+use graphs::{NetGraph, SeqGraph};
+use netlist::design::Design;
+use netlist::hierarchy::HierarchyTree;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The HiDaP macro placer.
+///
+/// ```
+/// use hidap::{HidapConfig, HidapFlow};
+/// let flow = HidapFlow::new(HidapConfig::fast().with_lambda(0.5));
+/// assert_eq!(flow.config().lambda, 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HidapFlow {
+    config: HidapConfig,
+}
+
+impl HidapFlow {
+    /// Creates a flow with the given configuration.
+    pub fn new(config: HidapConfig) -> Self {
+        Self { config }
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &HidapConfig {
+        &self.config
+    }
+
+    /// Runs the full flow on a design and returns the macro placement
+    /// (Algorithm 1: hierarchy tree, shape curves, recursive block
+    /// floorplanning, macro flipping), followed by a legalization pass.
+    ///
+    /// # Errors
+    ///
+    /// * [`HidapError::EmptyDie`] when the design's die has zero area,
+    /// * [`HidapError::MacrosExceedDie`] when the macros cannot possibly fit,
+    /// * [`HidapError::Internal`] when the configuration is invalid.
+    pub fn run(&self, design: &Design) -> Result<MacroPlacement, HidapError> {
+        self.config.validate().map_err(HidapError::Internal)?;
+        let die = design.die();
+        if die.width() <= 0 || die.height() <= 0 {
+            return Err(HidapError::EmptyDie);
+        }
+        let macro_area: i128 = design.macros().map(|m| design.cell(m).area()).sum();
+        if macro_area > die.area() {
+            return Err(HidapError::MacrosExceedDie { macro_area, die_area: die.area() });
+        }
+        if design.num_macros() == 0 {
+            return Ok(MacroPlacement::default());
+        }
+
+        // Circuit abstractions, built once per flow.
+        let ht = HierarchyTree::from_design(design);
+        let shape_curves = ShapeCurveSet::generate(design, &ht, &self.config);
+        let gnet = NetGraph::from_design(design);
+        let gseq = SeqGraph::from_design(
+            design,
+            &SeqGraphConfig { min_register_bits: self.config.min_register_bits },
+        );
+
+        // Recursive block floorplanning.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut floorplanner =
+            RecursiveFloorplanner::new(design, &ht, &gnet, &gseq, &shape_curves, &self.config);
+        floorplanner.floorplan(ht.root(), die, &[], 0, &mut rng);
+        let mut footprints = floorplanner.footprints;
+        let top_blocks = floorplanner.top_blocks;
+
+        // Any macro the recursion could not reach (e.g. isolated macros in a
+        // degenerate hierarchy) falls back to the die origin and is then
+        // legalized with everything else.
+        for m in design.macros() {
+            footprints.entry(m).or_insert(crate::legalize::MacroFootprint {
+                location: die.lower_left(),
+                rotated: false,
+            });
+        }
+
+        legalize_macros(design, die, &mut footprints);
+        let orientations = macro_flipping(design, &footprints);
+
+        let mut macros: Vec<PlacedMacro> = footprints
+            .iter()
+            .map(|(&cell, fp)| PlacedMacro {
+                cell,
+                location: fp.location,
+                orientation: orientations.get(&cell).copied().unwrap_or(Orientation::N),
+            })
+            .collect();
+        macros.sort_by_key(|m| m.cell);
+        Ok(MacroPlacement { macros, top_blocks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Rect;
+    use netlist::design::{DesignBuilder, PortDirection};
+
+    /// A small SoC-like design: two memory clusters, a register pipeline and
+    /// an I/O port bus.
+    fn soc_design() -> Design {
+        let mut b = DesignBuilder::new("soc");
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..4 {
+            left.push(b.add_macro(format!("u_left/mem{i}"), "RAM", 150, 100, "u_left"));
+            right.push(b.add_macro(format!("u_right/mem{i}"), "RAM", 150, 100, "u_right"));
+        }
+        for i in 0..32 {
+            let f = b.add_flop(format!("u_pipe/stage_reg[{i}]"), "u_pipe");
+            let n0 = b.add_net(format!("l2p_{i}"));
+            let n1 = b.add_net(format!("p2r_{i}"));
+            b.connect_driver(n0, left[i % 4]);
+            b.connect_sink(n0, f);
+            b.connect_driver(n1, f);
+            b.connect_sink(n1, right[i % 4]);
+        }
+        for i in 0..8 {
+            let p = b.add_port(format!("din[{i}]"), PortDirection::Input);
+            b.place_port(p, geometry::Point::new(0, 100 + 50 * i as i64));
+            let n = b.add_net(format!("din_n_{i}"));
+            b.connect_port_driver(n, p);
+            b.connect_sink(n, left[i % 4]);
+        }
+        b.set_die(Rect::new(0, 0, 2000, 1200));
+        b.build()
+    }
+
+    #[test]
+    fn full_flow_produces_legal_placement() {
+        let design = soc_design();
+        let placement = HidapFlow::new(HidapConfig::fast()).run(&design).unwrap();
+        assert_eq!(placement.macros.len(), 8);
+        assert!(placement.is_legal(&design), "placement must be overlap-free and inside the die");
+        assert!(!placement.top_blocks.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let design = soc_design();
+        let a = HidapFlow::new(HidapConfig::fast().with_seed(7)).run(&design).unwrap();
+        let b = HidapFlow::new(HidapConfig::fast().with_seed(7)).run(&design).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_lambda_still_legal() {
+        let design = soc_design();
+        for lambda in [0.0, 0.2, 0.8, 1.0] {
+            let placement = HidapFlow::new(HidapConfig::fast().with_lambda(lambda)).run(&design).unwrap();
+            assert!(placement.is_legal(&design), "lambda {lambda} produced an illegal placement");
+        }
+    }
+
+    #[test]
+    fn empty_die_is_an_error() {
+        let mut b = DesignBuilder::new("t");
+        b.add_macro("m", "RAM", 10, 10, "");
+        let design = b.build();
+        assert_eq!(HidapFlow::new(HidapConfig::fast()).run(&design).unwrap_err(), HidapError::EmptyDie);
+    }
+
+    #[test]
+    fn oversized_macros_are_an_error() {
+        let mut b = DesignBuilder::new("t");
+        b.add_macro("m", "RAM", 200, 200, "");
+        b.set_die(Rect::new(0, 0, 100, 100));
+        let design = b.build();
+        match HidapFlow::new(HidapConfig::fast()).run(&design).unwrap_err() {
+            HidapError::MacrosExceedDie { .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn design_without_macros_returns_empty_placement() {
+        let mut b = DesignBuilder::new("t");
+        b.add_comb("g", "");
+        b.set_die(Rect::new(0, 0, 100, 100));
+        let design = b.build();
+        let placement = HidapFlow::new(HidapConfig::fast()).run(&design).unwrap();
+        assert!(placement.macros.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let design = soc_design();
+        let bad = HidapConfig { lambda: 2.0, ..HidapConfig::fast() };
+        assert!(matches!(HidapFlow::new(bad).run(&design), Err(HidapError::Internal(_))));
+    }
+}

@@ -1,0 +1,278 @@
+//! Macro legalization: removes residual overlaps after recursive floorplanning.
+//!
+//! The top-down area-budgeting scheme intentionally allows layouts that
+//! violate block areas (with a penalty), so the macro rectangles produced by
+//! the recursion can overlap slightly or stick out of the die.  This pass
+//! nudges macros to the nearest legal position, processing them from largest
+//! to smallest so big memories keep their intended location.
+
+use geometry::{Dbu, Point, Rect};
+use netlist::design::{CellId, Design};
+use std::collections::HashMap;
+
+/// A macro footprint before orientation selection: location plus whether the
+/// footprint is rotated by 90° with respect to the library cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacroFootprint {
+    /// Lower-left corner.
+    pub location: Point,
+    /// `true` when the footprint is rotated (width and height exchanged).
+    pub rotated: bool,
+}
+
+impl MacroFootprint {
+    /// The placed rectangle of a macro cell with this footprint.
+    pub fn rect(&self, design: &Design, cell: CellId) -> Rect {
+        let c = design.cell(cell);
+        let (w, h) = if self.rotated { (c.height, c.width) } else { (c.width, c.height) };
+        Rect::from_size(self.location.x, self.location.y, w, h)
+    }
+}
+
+/// Legalizes a set of macro footprints in place: every macro ends up inside
+/// the die and no two macros overlap (provided the die can physically hold
+/// them; otherwise the worst offenders are left at their clamped position).
+///
+/// Returns the number of macros that had to be moved.
+pub fn legalize_macros(design: &Design, die: Rect, footprints: &mut HashMap<CellId, MacroFootprint>) -> usize {
+    // Process larger macros first so they keep their intended positions; ties
+    // are broken by cell id so the result is deterministic.
+    let mut order: Vec<CellId> = footprints.keys().copied().collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(design.cell(c).area()), c));
+
+    let mut placed: Vec<Rect> = Vec::with_capacity(order.len());
+    let mut moved = 0usize;
+    let mut failed = false;
+    for cell in order {
+        let fp = footprints[&cell];
+        let desired = fp.rect(design, cell);
+        let mut rotated = fp.rotated;
+        let mut legal = find_legal_position(die, desired, &placed);
+        if !is_legal(die, &legal, &placed) {
+            // No room for this orientation: retry with the footprint rotated
+            // by 90° before giving up (narrow dies often only fit the
+            // rotated variant).
+            let c = design.cell(cell);
+            let (w, h) = if fp.rotated { (c.width, c.height) } else { (c.height, c.width) };
+            let flipped = Rect::from_size(desired.llx, desired.lly, w, h);
+            let alt = find_legal_position(die, flipped, &placed);
+            if is_legal(die, &alt, &placed) {
+                legal = alt;
+                rotated = !fp.rotated;
+            } else {
+                failed = true;
+            }
+        }
+        if legal.lower_left() != desired.lower_left() || rotated != fp.rotated {
+            moved += 1;
+        }
+        placed.push(legal);
+        footprints.insert(cell, MacroFootprint { location: legal.lower_left(), rotated });
+    }
+    if failed {
+        // The greedy pass could not resolve every overlap (very dense
+        // designs). Fall back to a shelf packing that approximately preserves
+        // the intended relative positions and is legal whenever the macros
+        // physically fit the die.
+        shelf_pack(design, die, footprints);
+    }
+    moved
+}
+
+/// Packs all macros into left-to-right shelves (rows) ordered by their
+/// desired vertical position, approximately preserving the intended layout.
+/// Footprints are normalized to landscape orientation so shelf heights stay
+/// low, which maximizes the chance of a legal packing on dense dies.
+fn shelf_pack(design: &Design, die: Rect, footprints: &mut HashMap<CellId, MacroFootprint>) {
+    let mut order: Vec<CellId> = footprints.keys().copied().collect();
+    // visit macros roughly bottom-to-top, left-to-right of their desired spot
+    order.sort_by_key(|&c| {
+        let fp = footprints[&c];
+        (fp.location.y, fp.location.x, c)
+    });
+    let mut cursor_x = die.llx;
+    let mut cursor_y = die.lly;
+    let mut shelf_height: Dbu = 0;
+    for cell in order {
+        let c = design.cell(cell);
+        // Prefer landscape (the wider side along the shelf keeps shelves low),
+        // but fall back to portrait when only the rotated footprint still fits
+        // the remaining width of the current shelf.
+        let landscape = (c.width.max(c.height), c.width.min(c.height), c.height > c.width);
+        let portrait = (c.width.min(c.height), c.width.max(c.height), c.height <= c.width);
+        let remaining = die.urx - cursor_x;
+        let (w, h, rotated) = if landscape.0 <= remaining || cursor_x == die.llx {
+            landscape
+        } else if portrait.0 <= remaining {
+            portrait
+        } else {
+            landscape
+        };
+        if cursor_x + w > die.urx && cursor_x > die.llx {
+            // next shelf
+            cursor_x = die.llx;
+            cursor_y += shelf_height;
+            shelf_height = 0;
+        }
+        let y = cursor_y.min((die.ury - h).max(die.lly));
+        let x = cursor_x.min((die.urx - w).max(die.llx));
+        footprints.insert(cell, MacroFootprint { location: Point::new(x, y), rotated });
+        cursor_x = x + w;
+        shelf_height = shelf_height.max(h);
+    }
+}
+
+/// Finds the legal position closest to `desired` for a rectangle of the same
+/// size, avoiding `placed` rectangles and staying inside `die`.  Falls back
+/// to a row scan of the die and, as a last resort, to the clamped desired
+/// position.
+fn find_legal_position(die: Rect, desired: Rect, placed: &[Rect]) -> Rect {
+    let w = desired.width();
+    let h = desired.height();
+    let clamp = |p: Point| -> Point {
+        Point::new(
+            p.x.clamp(die.llx, (die.urx - w).max(die.llx)),
+            p.y.clamp(die.lly, (die.ury - h).max(die.lly)),
+        )
+    };
+    let origin = clamp(desired.lower_left());
+    let candidate = Rect::from_size(origin.x, origin.y, w, h);
+    if is_legal(die, &candidate, placed) {
+        return candidate;
+    }
+
+    // Spiral (ring) search around the clamped origin.
+    let step: Dbu = ((w.min(h)) / 4).max((die.width().max(die.height())) / 256).max(1);
+    for ring in 1..=256 {
+        let r = ring as Dbu * step;
+        let mut best: Option<(Dbu, Rect)> = None;
+        let mut consider = |x: Dbu, y: Dbu| {
+            let p = clamp(Point::new(x, y));
+            let cand = Rect::from_size(p.x, p.y, w, h);
+            if is_legal(die, &cand, placed) {
+                let d = p.manhattan_distance(desired.lower_left());
+                if best.as_ref().map(|(bd, _)| d < *bd).unwrap_or(true) {
+                    best = Some((d, cand));
+                }
+            }
+        };
+        let (ox, oy) = (origin.x, origin.y);
+        let mut t = -r;
+        while t <= r {
+            consider(ox + t, oy - r);
+            consider(ox + t, oy + r);
+            consider(ox - r, oy + t);
+            consider(ox + r, oy + t);
+            t += step;
+        }
+        if let Some((_, rect)) = best {
+            return rect;
+        }
+    }
+
+    // Row scan fallback: first legal position scanning bottom-left to top-right.
+    let scan_step = (w.min(h) / 2).max(1);
+    let mut y = die.lly;
+    while y + h <= die.ury {
+        let mut x = die.llx;
+        while x + w <= die.urx {
+            let cand = Rect::from_size(x, y, w, h);
+            if is_legal(die, &cand, placed) {
+                return cand;
+            }
+            x += scan_step;
+        }
+        y += scan_step;
+    }
+    candidate
+}
+
+fn is_legal(die: Rect, rect: &Rect, placed: &[Rect]) -> bool {
+    die.contains_rect(rect) && placed.iter().all(|p| !p.overlaps(rect))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::design::DesignBuilder;
+
+    fn design_with_macros(sizes: &[(i64, i64)]) -> (Design, Vec<CellId>) {
+        let mut b = DesignBuilder::new("t");
+        let ids: Vec<CellId> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h))| b.add_macro(format!("m{i}"), "RAM", w, h, ""))
+            .collect();
+        b.set_die(Rect::new(0, 0, 1000, 1000));
+        (b.build(), ids)
+    }
+
+    fn all_legal(design: &Design, die: Rect, fps: &HashMap<CellId, MacroFootprint>) -> bool {
+        let rects: Vec<Rect> = fps.iter().map(|(&c, fp)| fp.rect(design, c)).collect();
+        for (i, r) in rects.iter().enumerate() {
+            if !die.contains_rect(r) {
+                return false;
+            }
+            for other in rects.iter().skip(i + 1) {
+                if r.overlaps(other) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn already_legal_placement_untouched() {
+        let (d, ids) = design_with_macros(&[(100, 100), (100, 100)]);
+        let mut fps = HashMap::new();
+        fps.insert(ids[0], MacroFootprint { location: Point::new(0, 0), rotated: false });
+        fps.insert(ids[1], MacroFootprint { location: Point::new(500, 500), rotated: false });
+        let moved = legalize_macros(&d, d.die(), &mut fps);
+        assert_eq!(moved, 0);
+        assert_eq!(fps[&ids[0]].location, Point::new(0, 0));
+    }
+
+    #[test]
+    fn overlapping_macros_are_separated() {
+        let (d, ids) = design_with_macros(&[(200, 200), (200, 200), (200, 200)]);
+        let mut fps = HashMap::new();
+        for &id in &ids {
+            fps.insert(id, MacroFootprint { location: Point::new(100, 100), rotated: false });
+        }
+        let moved = legalize_macros(&d, d.die(), &mut fps);
+        assert!(moved >= 2);
+        assert!(all_legal(&d, d.die(), &fps));
+    }
+
+    #[test]
+    fn out_of_die_macro_is_pulled_inside() {
+        let (d, ids) = design_with_macros(&[(300, 300)]);
+        let mut fps = HashMap::new();
+        fps.insert(ids[0], MacroFootprint { location: Point::new(900, 900), rotated: false });
+        legalize_macros(&d, d.die(), &mut fps);
+        assert!(all_legal(&d, d.die(), &fps));
+    }
+
+    #[test]
+    fn rotated_footprint_uses_swapped_dimensions() {
+        let (d, ids) = design_with_macros(&[(400, 100)]);
+        let fp = MacroFootprint { location: Point::new(0, 0), rotated: true };
+        let r = fp.rect(&d, ids[0]);
+        assert_eq!((r.width(), r.height()), (100, 400));
+    }
+
+    #[test]
+    fn clustered_drop_is_legalizable() {
+        // 12 macros of 200x200 in a 1000x1000 die (48% utilization), all
+        // dropped on the same spot: legalization must spread them out.
+        let sizes: Vec<(i64, i64)> = (0..12).map(|_| (200, 200)).collect();
+        let (d, ids) = design_with_macros(&sizes);
+        let mut fps = HashMap::new();
+        for &id in &ids {
+            fps.insert(id, MacroFootprint { location: Point::new(400, 400), rotated: false });
+        }
+        legalize_macros(&d, d.die(), &mut fps);
+        assert!(all_legal(&d, d.die(), &fps));
+    }
+}

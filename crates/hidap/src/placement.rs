@@ -1,0 +1,138 @@
+//! The output of the flow: macro locations and orientations.
+
+use geometry::{Orientation, Point, Rect};
+use netlist::design::{CellId, Design};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Placement of a single macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedMacro {
+    /// The macro cell.
+    pub cell: CellId,
+    /// Lower-left corner of the (oriented) footprint.
+    pub location: Point,
+    /// Orientation of the macro.
+    pub orientation: Orientation,
+}
+
+/// The result of a macro-placement flow: one entry per macro of the design.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MacroPlacement {
+    /// Placed macros, in design macro order.
+    pub macros: Vec<PlacedMacro>,
+    /// Block rectangles decided at the top hierarchy level, for visualization
+    /// of the block-level floorplan (Fig. 1a / Fig. 9d of the paper).
+    pub top_blocks: Vec<(String, Rect)>,
+}
+
+impl MacroPlacement {
+    /// Looks up the placement of a macro cell.
+    pub fn placement_of(&self, cell: CellId) -> Option<&PlacedMacro> {
+        self.macros.iter().find(|m| m.cell == cell)
+    }
+
+    /// The placed footprint rectangle of a macro.
+    pub fn rect_of(&self, cell: CellId, design: &Design) -> Option<Rect> {
+        self.placement_of(cell).map(|p| {
+            let c = design.cell(cell);
+            let (w, h) = p.orientation.transformed_size(c.width, c.height);
+            Rect::from_size(p.location.x, p.location.y, w, h)
+        })
+    }
+
+    /// Converts to a map keyed by cell id (the representation used by the
+    /// DEF writer and the evaluation crate).
+    pub fn to_map(&self) -> HashMap<CellId, (Point, Orientation)> {
+        self.macros.iter().map(|m| (m.cell, (m.location, m.orientation))).collect()
+    }
+
+    /// Returns `true` when no two macro footprints overlap and every macro is
+    /// inside the die.
+    pub fn is_legal(&self, design: &Design) -> bool {
+        let rects: Vec<Rect> = self
+            .macros
+            .iter()
+            .filter_map(|m| self.rect_of(m.cell, design))
+            .collect();
+        let die = design.die();
+        for (i, r) in rects.iter().enumerate() {
+            if !die.contains_rect(r) {
+                return false;
+            }
+            for other in rects.iter().skip(i + 1) {
+                if r.overlaps(other) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total overlap area between macro footprints (0 for a legal placement).
+    pub fn total_overlap(&self, design: &Design) -> i128 {
+        let rects: Vec<Rect> = self
+            .macros
+            .iter()
+            .filter_map(|m| self.rect_of(m.cell, design))
+            .collect();
+        let mut total = 0;
+        for (i, r) in rects.iter().enumerate() {
+            for other in rects.iter().skip(i + 1) {
+                total += r.overlap_area(other);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::design::DesignBuilder;
+
+    fn two_macro_design() -> (Design, CellId, CellId) {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_macro("a", "RAM", 100, 50, "");
+        let c = b.add_macro("c", "RAM", 100, 50, "");
+        b.set_die(Rect::new(0, 0, 1000, 1000));
+        (b.build(), a, c)
+    }
+
+    #[test]
+    fn legality_detects_overlap() {
+        let (d, a, c) = two_macro_design();
+        let mut p = MacroPlacement::default();
+        p.macros.push(PlacedMacro { cell: a, location: Point::new(0, 0), orientation: Orientation::N });
+        p.macros.push(PlacedMacro { cell: c, location: Point::new(50, 10), orientation: Orientation::N });
+        assert!(!p.is_legal(&d));
+        assert!(p.total_overlap(&d) > 0);
+        p.macros[1].location = Point::new(200, 0);
+        assert!(p.is_legal(&d));
+        assert_eq!(p.total_overlap(&d), 0);
+    }
+
+    #[test]
+    fn legality_detects_out_of_die() {
+        let (d, a, _) = two_macro_design();
+        let mut p = MacroPlacement::default();
+        p.macros.push(PlacedMacro { cell: a, location: Point::new(950, 0), orientation: Orientation::N });
+        assert!(!p.is_legal(&d));
+    }
+
+    #[test]
+    fn rect_respects_orientation() {
+        let (d, a, _) = two_macro_design();
+        let mut p = MacroPlacement::default();
+        p.macros.push(PlacedMacro { cell: a, location: Point::new(0, 0), orientation: Orientation::W });
+        let r = p.rect_of(a, &d).unwrap();
+        assert_eq!((r.width(), r.height()), (50, 100));
+    }
+
+    #[test]
+    fn lookup_missing_macro() {
+        let (_, _, c) = two_macro_design();
+        let p = MacroPlacement::default();
+        assert!(p.placement_of(c).is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the placer's internal invariants.
+
+use geometry::{CutDirection, Point, PolishExpression, Rect, ShapeCurve};
+use hidap::layout::{budget_areas, LayoutBlock, LayoutProblem};
+use hidap::legalize::{legalize_macros, MacroFootprint};
+use hidap::shape_curves::macro_packing_curve;
+use hidap::HidapConfig;
+use netlist::design::DesignBuilder;
+use proptest::prelude::*;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+fn soft_blocks(areas: &[i128]) -> Vec<LayoutBlock> {
+    areas
+        .iter()
+        .map(|&a| LayoutBlock { shape: ShapeCurve::unconstrained(), min_area: a, target_area: a })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn area_budgeting_partitions_the_region_exactly(
+        areas in prop::collection::vec(100i128..50_000, 2..10),
+        region_w in 100i64..2000,
+        region_h in 100i64..2000,
+        seed in 0u64..100,
+    ) {
+        let n = areas.len();
+        let problem = LayoutProblem {
+            region: Rect::new(0, 0, region_w, region_h),
+            blocks: soft_blocks(&areas),
+            affinity: vec![vec![0.0; n]; n],
+            fixed_positions: vec![None; n],
+        };
+        // random but valid slicing expression
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut expr = PolishExpression::chain(n, CutDirection::Vertical);
+        for _ in 0..20 {
+            expr.random_move(&mut rng);
+        }
+        let rects = budget_areas(&problem, &expr, &HidapConfig::fast());
+        prop_assert_eq!(rects.len(), n);
+        // the region is exactly partitioned: total area matches and no overlaps
+        let total: i128 = rects.iter().map(Rect::area).sum();
+        prop_assert_eq!(total, problem.region.area());
+        for i in 0..n {
+            prop_assert!(problem.region.contains_rect(&rects[i]));
+            for j in (i + 1)..n {
+                prop_assert!(!rects[i].overlaps(&rects[j]), "blocks {i} and {j} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn packing_curve_never_beats_total_area_and_always_fits_some_box(
+        sizes in prop::collection::vec((5i64..60, 5i64..60), 1..6),
+        seed in 0u64..50,
+    ) {
+        let leaves: Vec<ShapeCurve> = sizes.iter().map(|&(w, h)| ShapeCurve::from_macro(w, h, true)).collect();
+        let total: i128 = sizes.iter().map(|&(w, h)| w as i128 * h as i128).sum();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let curve = macro_packing_curve(&leaves, &HidapConfig::fast(), &mut rng);
+        prop_assert!(curve.min_area() >= total);
+        // the sum of all widths times the max height is always feasible (a row)
+        let row_w: i64 = sizes.iter().map(|&(w, h)| w.max(h)).sum();
+        let row_h: i64 = sizes.iter().map(|&(w, h)| w.max(h)).max().unwrap();
+        prop_assert!(curve.fits(row_w, row_h) || curve.min_area() <= (row_w as i128 * row_h as i128));
+    }
+
+    #[test]
+    fn legalization_always_produces_overlap_free_layouts(
+        macros in prop::collection::vec((10i64..150, 10i64..150, 0i64..800, 0i64..800), 1..12),
+    ) {
+        let mut b = DesignBuilder::new("prop");
+        let mut footprints = HashMap::new();
+        for (i, &(w, h, x, y)) in macros.iter().enumerate() {
+            let id = b.add_macro(format!("m{i}"), "RAM", w, h, "");
+            footprints.insert(id, MacroFootprint { location: Point::new(x, y), rotated: false });
+        }
+        b.set_die(Rect::new(0, 0, 1000, 1000));
+        let design = b.build();
+        legalize_macros(&design, design.die(), &mut footprints);
+        let rects: Vec<Rect> = footprints.iter().map(|(&c, fp)| fp.rect(&design, c)).collect();
+        for (i, r) in rects.iter().enumerate() {
+            prop_assert!(design.die().contains_rect(r), "macro {i} outside die: {r}");
+            for (j, other) in rects.iter().enumerate().skip(i + 1) {
+                prop_assert!(!r.overlaps(other), "macros {i} and {j} overlap");
+            }
+        }
+    }
+}

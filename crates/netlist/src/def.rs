@@ -1,0 +1,495 @@
+//! DEF (Design Exchange Format) reader and writer.
+//!
+//! The supported subset covers what a macro-placement flow needs:
+//!
+//! * `DESIGN`, `UNITS DISTANCE MICRONS`, `DIEAREA`,
+//! * `COMPONENTS ... END COMPONENTS` with `PLACED` / `FIXED` / `UNPLACED`
+//!   locations and orientations,
+//! * `PINS ... END PINS` with `PLACED` locations.
+//!
+//! The writer emits the same subset, which is enough to hand a macro
+//! placement to a downstream standard-cell placement tool (or to re-read it
+//! with this crate; see the round-trip tests).
+
+use crate::design::{CellId, Design, PortId};
+use crate::error::ParseError;
+use geometry::{Dbu, Orientation, Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Placement status of a DEF component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlaceStatus {
+    /// Placed but movable.
+    Placed,
+    /// Placed and fixed.
+    Fixed,
+    /// Not placed.
+    Unplaced,
+}
+
+/// One component (cell instance) entry of a DEF file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefComponent {
+    /// Instance name.
+    pub name: String,
+    /// Library cell name.
+    pub cell: String,
+    /// Placement status.
+    pub status: PlaceStatus,
+    /// Lower-left placement location (valid unless `Unplaced`).
+    pub location: Point,
+    /// Orientation.
+    pub orientation: Orientation,
+}
+
+/// One pin (primary port) entry of a DEF file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefPin {
+    /// Pin name.
+    pub name: String,
+    /// Location, if placed.
+    pub location: Option<Point>,
+}
+
+/// Parsed contents of a DEF file.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DefFile {
+    /// Design name.
+    pub design: String,
+    /// Database units per micron.
+    pub dbu_per_micron: i64,
+    /// Die area.
+    pub die: Rect,
+    /// Component placements.
+    pub components: Vec<DefComponent>,
+    /// Pin placements.
+    pub pins: Vec<DefPin>,
+}
+
+impl DefFile {
+    /// Looks up a component by instance name.
+    pub fn find_component(&self, name: &str) -> Option<&DefComponent> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Applies the placements in this DEF to a design: sets the die area and
+    /// returns the macro placement map (instance name → (location, orientation)).
+    pub fn apply_to(&self, design: &mut Design) -> HashMap<CellId, (Point, Orientation)> {
+        design.set_die(self.die);
+        let mut out = HashMap::new();
+        for comp in &self.components {
+            if comp.status == PlaceStatus::Unplaced {
+                continue;
+            }
+            if let Some(id) = design.find_cell(&comp.name) {
+                out.insert(id, (comp.location, comp.orientation));
+            }
+        }
+        for pin in &self.pins {
+            if let (Some(pos), Some(pid)) = (pin.location, design.find_port(&pin.name)) {
+                design.port_mut(pid).position = Some(pos);
+            }
+        }
+        out
+    }
+}
+
+/// Parses DEF text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when required numeric fields are malformed or
+/// sections are not terminated.
+pub fn parse_def(text: &str) -> Result<DefFile, ParseError> {
+    let mut def = DefFile { dbu_per_micron: 1000, ..Default::default() };
+    let tokens = lex(text);
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match tokens[i].1.as_str() {
+            "DESIGN" => {
+                if let Some(t) = tokens.get(i + 1) {
+                    def.design = t.1.clone();
+                }
+                i += 2;
+            }
+            "UNITS" => {
+                // UNITS DISTANCE MICRONS n ;
+                if let Some(pos) = (i..tokens.len().min(i + 6)).find(|&j| tokens[j].1 == "MICRONS") {
+                    def.dbu_per_micron = parse_int(&tokens, pos + 1)?;
+                    i = pos + 2;
+                } else {
+                    i += 1;
+                }
+            }
+            "DIEAREA" => {
+                // DIEAREA ( x1 y1 ) ( x2 y2 ) ;
+                let nums = collect_numbers(&tokens, i + 1, 4)?;
+                def.die = Rect::new(nums[0], nums[1], nums[2], nums[3]);
+                i += 1;
+            }
+            "COMPONENTS" => {
+                let (components, next) = parse_components(&tokens, i)?;
+                def.components = components;
+                i = next;
+            }
+            "PINS" => {
+                let (pins, next) = parse_pins(&tokens, i)?;
+                def.pins = pins;
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(def)
+}
+
+fn lex(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        for raw in line.split_whitespace() {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            if raw != ";" && raw.ends_with(';') {
+                out.push((lineno + 1, raw.trim_end_matches(';').to_string()));
+                out.push((lineno + 1, ";".to_string()));
+            } else {
+                out.push((lineno + 1, raw.to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn parse_int(tokens: &[(usize, String)], idx: usize) -> Result<i64, ParseError> {
+    let (line, t) = tokens.get(idx).ok_or_else(|| ParseError::new("unexpected end of DEF"))?;
+    t.parse::<f64>()
+        .map(|v| v.round() as i64)
+        .map_err(|_| ParseError::at_line(*line, format!("invalid number '{t}'")))
+}
+
+/// Collects the next `count` numeric tokens, skipping parentheses.
+fn collect_numbers(tokens: &[(usize, String)], start: usize, count: usize) -> Result<Vec<Dbu>, ParseError> {
+    let mut nums = Vec::with_capacity(count);
+    let mut i = start;
+    while nums.len() < count && i < tokens.len() {
+        let t = &tokens[i].1;
+        if t == "(" || t == ")" {
+            i += 1;
+            continue;
+        }
+        if t == ";" {
+            break;
+        }
+        nums.push(parse_int(tokens, i)?);
+        i += 1;
+    }
+    if nums.len() < count {
+        return Err(ParseError::new("not enough numeric fields"));
+    }
+    Ok(nums)
+}
+
+fn parse_components(tokens: &[(usize, String)], start: usize) -> Result<(Vec<DefComponent>, usize), ParseError> {
+    let mut components = Vec::new();
+    let mut i = start + 1;
+    // optional count then ';'
+    while i < tokens.len() && tokens[i].1 != ";" {
+        i += 1;
+    }
+    i += 1;
+    while i < tokens.len() {
+        if tokens[i].1 == "END" && tokens.get(i + 1).map(|t| t.1.as_str()) == Some("COMPONENTS") {
+            return Ok((components, i + 2));
+        }
+        if tokens[i].1 == "-" {
+            let name = tokens
+                .get(i + 1)
+                .ok_or_else(|| ParseError::at_line(tokens[i].0, "component without a name"))?
+                .1
+                .clone();
+            let cell = tokens
+                .get(i + 2)
+                .ok_or_else(|| ParseError::at_line(tokens[i].0, "component without a cell"))?
+                .1
+                .clone();
+            let mut comp = DefComponent {
+                name,
+                cell,
+                status: PlaceStatus::Unplaced,
+                location: Point::origin(),
+                orientation: Orientation::N,
+            };
+            i += 3;
+            while i < tokens.len() && tokens[i].1 != ";" {
+                match tokens[i].1.as_str() {
+                    "+" => i += 1,
+                    "PLACED" | "FIXED" => {
+                        comp.status = if tokens[i].1 == "FIXED" { PlaceStatus::Fixed } else { PlaceStatus::Placed };
+                        let nums = collect_numbers(tokens, i + 1, 2)?;
+                        comp.location = Point::new(nums[0], nums[1]);
+                        // orientation is the token following the closing paren
+                        let mut j = i + 1;
+                        let mut seen = 0;
+                        while j < tokens.len() && seen < 2 {
+                            if tokens[j].1.parse::<f64>().is_ok() {
+                                seen += 1;
+                            }
+                            j += 1;
+                        }
+                        while j < tokens.len() && (tokens[j].1 == ")" || tokens[j].1 == "(") {
+                            j += 1;
+                        }
+                        if let Some(o) = tokens.get(j).and_then(|t| Orientation::from_def_name(&t.1)) {
+                            comp.orientation = o;
+                            i = j + 1;
+                        } else {
+                            i = j;
+                        }
+                    }
+                    "UNPLACED" => {
+                        comp.status = PlaceStatus::Unplaced;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            components.push(comp);
+            i += 1; // skip ';'
+        } else {
+            i += 1;
+        }
+    }
+    Err(ParseError::new("unterminated COMPONENTS section"))
+}
+
+fn parse_pins(tokens: &[(usize, String)], start: usize) -> Result<(Vec<DefPin>, usize), ParseError> {
+    let mut pins = Vec::new();
+    let mut i = start + 1;
+    while i < tokens.len() && tokens[i].1 != ";" {
+        i += 1;
+    }
+    i += 1;
+    while i < tokens.len() {
+        if tokens[i].1 == "END" && tokens.get(i + 1).map(|t| t.1.as_str()) == Some("PINS") {
+            return Ok((pins, i + 2));
+        }
+        if tokens[i].1 == "-" {
+            let name = tokens
+                .get(i + 1)
+                .ok_or_else(|| ParseError::at_line(tokens[i].0, "pin without a name"))?
+                .1
+                .clone();
+            let mut pin = DefPin { name, location: None };
+            i += 2;
+            while i < tokens.len() && tokens[i].1 != ";" {
+                if tokens[i].1 == "PLACED" || tokens[i].1 == "FIXED" {
+                    let nums = collect_numbers(tokens, i + 1, 2)?;
+                    pin.location = Some(Point::new(nums[0], nums[1]));
+                }
+                i += 1;
+            }
+            pins.push(pin);
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Err(ParseError::new("unterminated PINS section"))
+}
+
+/// A macro placement to be written out as DEF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementEntry {
+    /// Instance name.
+    pub name: String,
+    /// Library cell name.
+    pub cell: String,
+    /// Lower-left corner.
+    pub location: Point,
+    /// Orientation.
+    pub orientation: Orientation,
+    /// Emit as FIXED (true) or PLACED (false).
+    pub fixed: bool,
+}
+
+/// Writes a DEF file with the die area, macro placements and port locations
+/// of a design.
+pub fn write_def(
+    design_name: &str,
+    dbu_per_micron: i64,
+    die: Rect,
+    placements: &[PlacementEntry],
+    pins: &[(String, Point)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("VERSION 5.8 ;\n");
+    out.push_str(&format!("DESIGN {design_name} ;\n"));
+    out.push_str(&format!("UNITS DISTANCE MICRONS {dbu_per_micron} ;\n"));
+    out.push_str(&format!(
+        "DIEAREA ( {} {} ) ( {} {} ) ;\n",
+        die.llx, die.lly, die.urx, die.ury
+    ));
+    out.push_str(&format!("COMPONENTS {} ;\n", placements.len()));
+    for p in placements {
+        let status = if p.fixed { "FIXED" } else { "PLACED" };
+        out.push_str(&format!(
+            "- {} {} + {} ( {} {} ) {} ;\n",
+            p.name, p.cell, status, p.location.x, p.location.y, p.orientation
+        ));
+    }
+    out.push_str("END COMPONENTS\n");
+    out.push_str(&format!("PINS {} ;\n", pins.len()));
+    for (name, pos) in pins {
+        out.push_str(&format!("- {name} + NET {name} + PLACED ( {} {} ) N ;\n", pos.x, pos.y));
+    }
+    out.push_str("END PINS\n");
+    out.push_str("END DESIGN\n");
+    out
+}
+
+/// Convenience: builds the [`PlacementEntry`] list for a set of macro
+/// placements of a design.
+pub fn placement_entries(
+    design: &Design,
+    placements: &HashMap<CellId, (Point, Orientation)>,
+    fixed: bool,
+) -> Vec<PlacementEntry> {
+    let mut entries: Vec<PlacementEntry> = placements
+        .iter()
+        .map(|(&id, &(loc, orient))| {
+            let cell = design.cell(id);
+            PlacementEntry {
+                name: cell.name.clone(),
+                cell: cell.lib_cell.clone(),
+                location: loc,
+                orientation: orient,
+                fixed,
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    entries
+}
+
+/// Convenience: collects the placed primary ports of a design as `(name, position)`.
+pub fn port_entries(design: &Design) -> Vec<(String, Point)> {
+    design
+        .ports()
+        .filter_map(|(_, p): (PortId, _)| p.position.map(|pos| (p.name.clone(), pos)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEF: &str = r#"
+VERSION 5.8 ;
+DESIGN chip_top ;
+UNITS DISTANCE MICRONS 2000 ;
+DIEAREA ( 0 0 ) ( 400000 300000 ) ;
+COMPONENTS 3 ;
+- u_mem/ram0 RAM256x32 + PLACED ( 1000 2000 ) N ;
+- u_mem/ram1 RAM256x32 + FIXED ( 50000 2000 ) FN ;
+- u_ctl/misc BUFX2 + UNPLACED ;
+END COMPONENTS
+PINS 2 ;
+- clk + NET clk + DIRECTION INPUT + PLACED ( 0 150000 ) N ;
+- rst_n + NET rst_n ;
+END PINS
+END DESIGN
+"#;
+
+    #[test]
+    fn parses_header_and_die() {
+        let d = parse_def(DEF).unwrap();
+        assert_eq!(d.design, "chip_top");
+        assert_eq!(d.dbu_per_micron, 2000);
+        assert_eq!(d.die, Rect::new(0, 0, 400000, 300000));
+    }
+
+    #[test]
+    fn parses_components_with_status_and_orientation() {
+        let d = parse_def(DEF).unwrap();
+        assert_eq!(d.components.len(), 3);
+        let r0 = d.find_component("u_mem/ram0").unwrap();
+        assert_eq!(r0.status, PlaceStatus::Placed);
+        assert_eq!(r0.location, Point::new(1000, 2000));
+        assert_eq!(r0.orientation, Orientation::N);
+        let r1 = d.find_component("u_mem/ram1").unwrap();
+        assert_eq!(r1.status, PlaceStatus::Fixed);
+        assert_eq!(r1.orientation, Orientation::FN);
+        let misc = d.find_component("u_ctl/misc").unwrap();
+        assert_eq!(misc.status, PlaceStatus::Unplaced);
+    }
+
+    #[test]
+    fn parses_pins() {
+        let d = parse_def(DEF).unwrap();
+        assert_eq!(d.pins.len(), 2);
+        assert_eq!(d.pins[0].location, Some(Point::new(0, 150000)));
+        assert_eq!(d.pins[1].location, None);
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let placements = vec![
+            PlacementEntry {
+                name: "a/ram0".into(),
+                cell: "RAM".into(),
+                location: Point::new(10, 20),
+                orientation: Orientation::FS,
+                fixed: true,
+            },
+            PlacementEntry {
+                name: "b/ram1".into(),
+                cell: "RAM".into(),
+                location: Point::new(500, 600),
+                orientation: Orientation::W,
+                fixed: false,
+            },
+        ];
+        let pins = vec![("clk".to_string(), Point::new(0, 5))];
+        let text = write_def("t", 1000, Rect::new(0, 0, 1000, 1000), &placements, &pins);
+        let parsed = parse_def(&text).unwrap();
+        assert_eq!(parsed.design, "t");
+        assert_eq!(parsed.components.len(), 2);
+        let a = parsed.find_component("a/ram0").unwrap();
+        assert_eq!(a.status, PlaceStatus::Fixed);
+        assert_eq!(a.location, Point::new(10, 20));
+        assert_eq!(a.orientation, Orientation::FS);
+        let b = parsed.find_component("b/ram1").unwrap();
+        assert_eq!(b.status, PlaceStatus::Placed);
+        assert_eq!(b.orientation, Orientation::W);
+        assert_eq!(parsed.pins.len(), 1);
+        assert_eq!(parsed.pins[0].location, Some(Point::new(0, 5)));
+    }
+
+    #[test]
+    fn unterminated_components_is_error() {
+        let text = "COMPONENTS 1 ;\n- a CELL + PLACED ( 0 0 ) N ;\n";
+        assert!(parse_def(text).is_err());
+    }
+
+    #[test]
+    fn apply_to_design_sets_positions() {
+        use crate::design::{DesignBuilder, PortDirection};
+        let mut b = DesignBuilder::new("chip_top");
+        b.add_macro("u_mem/ram0", "RAM256x32", 100, 100, "u_mem");
+        b.add_port("clk", PortDirection::Input);
+        let mut design = b.build();
+        let def = parse_def(DEF).unwrap();
+        let placements = def.apply_to(&mut design);
+        assert_eq!(placements.len(), 2 - 1); // ram1 not in design, misc unplaced
+        assert_eq!(design.die().width(), 400000);
+        let clk = design.find_port("clk").unwrap();
+        assert_eq!(design.port(clk).position, Some(Point::new(0, 150000)));
+    }
+}

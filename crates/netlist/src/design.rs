@@ -1,0 +1,556 @@
+//! The flattened circuit model with hierarchy annotations.
+//!
+//! A [`Design`] holds every cell of the circuit (macros, flops, combinational
+//! gates), the primary ports, and the nets connecting them.  Each cell keeps
+//! the hierarchical path of the module instance it belongs to, which is what
+//! the [`crate::hierarchy::HierarchyTree`] is built from.
+
+use geometry::{Dbu, Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a cell inside a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+/// Identifier of a primary port inside a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+/// Identifier of a net inside a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+/// What kind of circuit element a cell is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// A hard macro (memory, analog block, ...), with fixed footprint.
+    Macro,
+    /// A sequential standard cell (flip-flop / register bit).
+    Flop,
+    /// A combinational standard cell.
+    Comb,
+}
+
+/// Direction of a primary port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// Input port: drives logic inside the design.
+    Input,
+    /// Output port: driven by logic inside the design.
+    Output,
+    /// Bidirectional port.
+    Inout,
+}
+
+/// A cell instance of the design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Full hierarchical instance name (e.g. `u_core/u_alu/add_42`).
+    pub name: String,
+    /// Library cell / macro name (e.g. `RAM256x32`, `DFFX1`, `NAND2X1`).
+    pub lib_cell: String,
+    /// Kind of the cell.
+    pub kind: CellKind,
+    /// Footprint width in DBU (0 for standard cells until a library is bound).
+    pub width: Dbu,
+    /// Footprint height in DBU.
+    pub height: Dbu,
+    /// Hierarchical module path the instance lives in (e.g. `u_core/u_alu`).
+    /// The empty string denotes the top level.
+    pub hier_path: String,
+    /// Nets attached to this cell as a sink (inputs).
+    pub fanin: Vec<NetId>,
+    /// Nets driven by this cell (outputs).
+    pub fanout: Vec<NetId>,
+}
+
+impl Cell {
+    /// Cell footprint area in DBU².
+    pub fn area(&self) -> i128 {
+        self.width as i128 * self.height as i128
+    }
+}
+
+/// A primary port of the design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Port {
+    /// Port name (e.g. `axi_rdata[31]`).
+    pub name: String,
+    /// Direction.
+    pub direction: PortDirection,
+    /// Fixed location of the port on the die boundary, if known.
+    pub position: Option<Point>,
+    /// Net attached to the port.
+    pub net: Option<NetId>,
+}
+
+/// A net of the design (single driver, multiple sinks).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Driving cell, if the net is driven by a cell.
+    pub driver_cell: Option<CellId>,
+    /// Driving port, if the net is driven by a primary input.
+    pub driver_port: Option<PortId>,
+    /// Cells reading this net.
+    pub sink_cells: Vec<CellId>,
+    /// Primary outputs reading this net.
+    pub sink_ports: Vec<PortId>,
+}
+
+impl Net {
+    /// Number of pins on the net (driver + sinks).
+    pub fn degree(&self) -> usize {
+        usize::from(self.driver_cell.is_some())
+            + usize::from(self.driver_port.is_some())
+            + self.sink_cells.len()
+            + self.sink_ports.len()
+    }
+}
+
+/// The circuit: cells, ports and nets, plus the die outline.
+///
+/// Construct one through [`DesignBuilder`] or one of the parsers
+/// ([`crate::verilog`], [`crate::def`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Design {
+    name: String,
+    cells: Vec<Cell>,
+    ports: Vec<Port>,
+    nets: Vec<Net>,
+    die: Rect,
+    cell_index: HashMap<String, CellId>,
+    port_index: HashMap<String, PortId>,
+    net_index: HashMap<String, NetId>,
+}
+
+impl Design {
+    /// The design (top module) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The die outline. Defaults to a zero rectangle until set.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Sets the die outline.
+    pub fn set_die(&mut self, die: Rect) {
+        self.die = die;
+    }
+
+    /// Number of cells (macros + flops + combinational).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of primary ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Cell accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this design.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Mutable cell accessor.
+    pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
+        &mut self.cells[id.0 as usize]
+    }
+
+    /// Port accessor.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.0 as usize]
+    }
+
+    /// Mutable port accessor.
+    pub fn port_mut(&mut self, id: PortId) -> &mut Port {
+        &mut self.ports[id.0 as usize]
+    }
+
+    /// Net accessor.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Mutable net accessor.
+    pub fn net_mut(&mut self, id: NetId) -> &mut Net {
+        &mut self.nets[id.0 as usize]
+    }
+
+    /// Looks a cell up by its hierarchical instance name.
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cell_index.get(name).copied()
+    }
+
+    /// Looks a port up by name.
+    pub fn find_port(&self, name: &str) -> Option<PortId> {
+        self.port_index.get(name).copied()
+    }
+
+    /// Looks a net up by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_index.get(name).copied()
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len() as u32).map(CellId)
+    }
+
+    /// Iterates over all port ids.
+    pub fn port_ids(&self) -> impl Iterator<Item = PortId> + '_ {
+        (0..self.ports.len() as u32).map(PortId)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> + '_ {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Iterates over `(id, port)` pairs.
+    pub fn ports(&self) -> impl Iterator<Item = (PortId, &Port)> + '_ {
+        self.ports.iter().enumerate().map(|(i, p)| (PortId(i as u32), p))
+    }
+
+    /// Iterates over `(id, net)` pairs.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> + '_ {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Iterates over the ids of all macro cells.
+    pub fn macros(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cells().filter(|(_, c)| c.kind == CellKind::Macro).map(|(id, _)| id)
+    }
+
+    /// Iterates over the ids of all sequential (flop) cells.
+    pub fn flops(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cells().filter(|(_, c)| c.kind == CellKind::Flop).map(|(id, _)| id)
+    }
+
+    /// Number of macro cells.
+    pub fn num_macros(&self) -> usize {
+        self.macros().count()
+    }
+
+    /// Sum of all cell areas (macros plus standard cells), in DBU².
+    pub fn total_cell_area(&self) -> i128 {
+        self.cells.iter().map(Cell::area).sum()
+    }
+
+    /// Binds footprints from a library: every cell whose `lib_cell` is found
+    /// in the library gets its width/height (and macro kind) updated.
+    pub fn bind_library(&mut self, library: &crate::library::Library) {
+        for cell in &mut self.cells {
+            if let Some(m) = library.find_macro(&cell.lib_cell) {
+                cell.width = m.width;
+                cell.height = m.height;
+                if m.is_block {
+                    cell.kind = CellKind::Macro;
+                }
+            }
+        }
+    }
+
+    /// Consistency check used by tests and debug builds: every net reference
+    /// from a cell exists and points back, and vice versa.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, cell) in self.cells() {
+            for &n in cell.fanout.iter() {
+                let net = self.nets.get(n.0 as usize).ok_or_else(|| format!("cell {} fanout dangling", cell.name))?;
+                if net.driver_cell != Some(id) {
+                    return Err(format!("net {} does not list {} as driver", net.name, cell.name));
+                }
+            }
+            for &n in cell.fanin.iter() {
+                let net = self.nets.get(n.0 as usize).ok_or_else(|| format!("cell {} fanin dangling", cell.name))?;
+                if !net.sink_cells.contains(&id) {
+                    return Err(format!("net {} does not list {} as sink", net.name, cell.name));
+                }
+            }
+        }
+        for (id, net) in self.nets() {
+            if let Some(c) = net.driver_cell {
+                if !self.cell(c).fanout.contains(&id) {
+                    return Err(format!("driver of net {} does not reference it", net.name));
+                }
+            }
+            for &c in &net.sink_cells {
+                if !self.cell(c).fanin.contains(&id) {
+                    return Err(format!("sink of net {} does not reference it", net.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for a [`Design`].
+///
+/// The builder keeps name → id maps so that parsers and generators can attach
+/// connectivity in any order.
+#[derive(Debug, Clone, Default)]
+pub struct DesignBuilder {
+    name: String,
+    cells: Vec<Cell>,
+    ports: Vec<Port>,
+    nets: Vec<Net>,
+    die: Rect,
+    cell_index: HashMap<String, CellId>,
+    port_index: HashMap<String, PortId>,
+    net_index: HashMap<String, NetId>,
+}
+
+impl DesignBuilder {
+    /// Creates an empty builder for a design called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..Default::default() }
+    }
+
+    /// Sets the die outline.
+    pub fn set_die(&mut self, die: Rect) -> &mut Self {
+        self.die = die;
+        self
+    }
+
+    /// Adds a macro cell and returns its id.
+    pub fn add_macro(
+        &mut self,
+        name: impl Into<String>,
+        lib_cell: impl Into<String>,
+        width: Dbu,
+        height: Dbu,
+        hier_path: impl Into<String>,
+    ) -> CellId {
+        self.add_cell(name, lib_cell, CellKind::Macro, width, height, hier_path)
+    }
+
+    /// Adds a flip-flop cell (unit footprint until a library is bound).
+    pub fn add_flop(&mut self, name: impl Into<String>, hier_path: impl Into<String>) -> CellId {
+        self.add_cell(name, "DFF", CellKind::Flop, 1, 1, hier_path)
+    }
+
+    /// Adds a combinational cell (unit footprint until a library is bound).
+    pub fn add_comb(&mut self, name: impl Into<String>, hier_path: impl Into<String>) -> CellId {
+        self.add_cell(name, "COMB", CellKind::Comb, 1, 1, hier_path)
+    }
+
+    /// Adds a cell with explicit kind and footprint; returns its id.
+    ///
+    /// If a cell with the same name already exists its id is returned and the
+    /// existing cell is left untouched.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        lib_cell: impl Into<String>,
+        kind: CellKind,
+        width: Dbu,
+        height: Dbu,
+        hier_path: impl Into<String>,
+    ) -> CellId {
+        let name = name.into();
+        if let Some(&id) = self.cell_index.get(&name) {
+            return id;
+        }
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Cell {
+            name: name.clone(),
+            lib_cell: lib_cell.into(),
+            kind,
+            width,
+            height,
+            hier_path: hier_path.into(),
+            fanin: Vec::new(),
+            fanout: Vec::new(),
+        });
+        self.cell_index.insert(name, id);
+        id
+    }
+
+    /// Adds a primary port; returns its id.
+    pub fn add_port(&mut self, name: impl Into<String>, direction: PortDirection) -> PortId {
+        let name = name.into();
+        if let Some(&id) = self.port_index.get(&name) {
+            return id;
+        }
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push(Port { name: name.clone(), direction, position: None, net: None });
+        self.port_index.insert(name, id);
+        id
+    }
+
+    /// Fixes a port position on the die boundary.
+    pub fn place_port(&mut self, port: PortId, position: Point) -> &mut Self {
+        self.ports[port.0 as usize].position = Some(position);
+        self
+    }
+
+    /// Adds (or finds) a net by name; returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        if let Some(&id) = self.net_index.get(&name) {
+            return id;
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name: name.clone(), ..Default::default() });
+        self.net_index.insert(name, id);
+        id
+    }
+
+    /// Marks `cell` as the driver of `net`.
+    pub fn connect_driver(&mut self, net: NetId, cell: CellId) -> &mut Self {
+        let n = &mut self.nets[net.0 as usize];
+        if n.driver_cell != Some(cell) {
+            n.driver_cell = Some(cell);
+            self.cells[cell.0 as usize].fanout.push(net);
+        }
+        self
+    }
+
+    /// Marks `cell` as a sink of `net`.
+    pub fn connect_sink(&mut self, net: NetId, cell: CellId) -> &mut Self {
+        let n = &mut self.nets[net.0 as usize];
+        if !n.sink_cells.contains(&cell) {
+            n.sink_cells.push(cell);
+            self.cells[cell.0 as usize].fanin.push(net);
+        }
+        self
+    }
+
+    /// Connects a primary port as the driver of `net` (for input ports).
+    pub fn connect_port_driver(&mut self, net: NetId, port: PortId) -> &mut Self {
+        self.nets[net.0 as usize].driver_port = Some(port);
+        self.ports[port.0 as usize].net = Some(net);
+        self
+    }
+
+    /// Connects a primary port as a sink of `net` (for output ports).
+    pub fn connect_port_sink(&mut self, net: NetId, port: PortId) -> &mut Self {
+        let n = &mut self.nets[net.0 as usize];
+        if !n.sink_ports.contains(&port) {
+            n.sink_ports.push(port);
+        }
+        self.ports[port.0 as usize].net = Some(net);
+        self
+    }
+
+    /// Number of cells added so far.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Finalizes the builder into an immutable [`Design`].
+    pub fn build(self) -> Design {
+        Design {
+            name: self.name,
+            cells: self.cells,
+            ports: self.ports,
+            nets: self.nets,
+            die: self.die,
+            cell_index: self.cell_index,
+            port_index: self.port_index,
+            net_index: self.net_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_design() -> Design {
+        let mut b = DesignBuilder::new("top");
+        let m = b.add_macro("u_mem/ram0", "RAM16", 200, 100, "u_mem");
+        let f = b.add_flop("u_ctl/state_reg", "u_ctl");
+        let g = b.add_comb("u_ctl/and_1", "u_ctl");
+        let p = b.add_port("clk_en", PortDirection::Input);
+        let n1 = b.add_net("u_ctl/state");
+        let n2 = b.add_net("clk_en_net");
+        b.connect_driver(n1, f);
+        b.connect_sink(n1, m);
+        b.connect_sink(n1, g);
+        b.connect_port_driver(n2, p);
+        b.connect_sink(n2, f);
+        b.set_die(Rect::new(0, 0, 1000, 1000));
+        b.build()
+    }
+
+    #[test]
+    fn builder_constructs_consistent_design() {
+        let d = small_design();
+        assert_eq!(d.num_cells(), 3);
+        assert_eq!(d.num_nets(), 2);
+        assert_eq!(d.num_ports(), 1);
+        assert_eq!(d.num_macros(), 1);
+        d.validate().expect("consistent design");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let d = small_design();
+        let m = d.find_cell("u_mem/ram0").unwrap();
+        assert_eq!(d.cell(m).kind, CellKind::Macro);
+        assert_eq!(d.cell(m).area(), 20000);
+        assert!(d.find_cell("missing").is_none());
+        assert!(d.find_net("u_ctl/state").is_some());
+        assert!(d.find_port("clk_en").is_some());
+    }
+
+    #[test]
+    fn duplicate_names_return_same_id() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_flop("f1", "");
+        let a2 = b.add_flop("f1", "");
+        assert_eq!(a, a2);
+        let n = b.add_net("n");
+        let n2 = b.add_net("n");
+        assert_eq!(n, n2);
+    }
+
+    #[test]
+    fn net_degree_counts_all_pins() {
+        let d = small_design();
+        let n = d.find_net("u_ctl/state").unwrap();
+        assert_eq!(d.net(n).degree(), 3);
+        let n2 = d.find_net("clk_en_net").unwrap();
+        assert_eq!(d.net(n2).degree(), 2);
+    }
+
+    #[test]
+    fn total_area_sums_cells() {
+        let d = small_design();
+        assert_eq!(d.total_cell_area(), 20000 + 1 + 1);
+    }
+
+    #[test]
+    fn duplicate_connection_not_added_twice() {
+        let mut b = DesignBuilder::new("t");
+        let f = b.add_flop("f", "");
+        let g = b.add_comb("g", "");
+        let n = b.add_net("n");
+        b.connect_driver(n, f);
+        b.connect_sink(n, g);
+        b.connect_sink(n, g);
+        let d = b.build();
+        assert_eq!(d.net(n).sink_cells.len(), 1);
+        d.validate().unwrap();
+    }
+}

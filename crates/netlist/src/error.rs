@@ -1,0 +1,55 @@
+//! Error type shared by the Verilog, LEF and DEF parsers.
+
+use std::fmt;
+
+/// An error produced while parsing a physical-design text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the problem was detected, if known.
+    pub line: Option<usize>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error without line information.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { line: None, message: message.into() }
+    }
+
+    /// Creates an error pointing at a 1-based line number.
+    pub fn at_line(line: usize, message: impl Into<String>) -> Self {
+        Self { line: Some(line), message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(ParseError::new("unexpected token").to_string(), "unexpected token");
+        assert_eq!(
+            ParseError::at_line(12, "missing semicolon").to_string(),
+            "line 12: missing semicolon"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

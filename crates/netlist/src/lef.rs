@@ -1,0 +1,268 @@
+//! LEF (Library Exchange Format) parser.
+//!
+//! A pragmatic subset sufficient for macro placement:
+//!
+//! * `UNITS DATABASE MICRONS <n>` — the DBU scale,
+//! * `MACRO <name> ... END <name>` blocks with
+//!   * `CLASS BLOCK | CORE | PAD ...`,
+//!   * `SIZE <w> BY <h>`,
+//!   * `PIN <name> ... PORT ... RECT x1 y1 x2 y2 ... END <name>`.
+//!
+//! Everything else (layers, sites, obstruction geometry) is skipped.
+
+use crate::error::ParseError;
+use crate::library::{Library, MacroDef, PinDef};
+use geometry::{Dbu, Point};
+
+/// Result of parsing a LEF file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LefFile {
+    /// Database units per micron (defaults to 1000 when not specified).
+    pub dbu_per_micron: i64,
+    /// The parsed library.
+    pub library: Library,
+}
+
+/// Parses LEF text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on structurally malformed input (unterminated macro
+/// blocks, malformed numbers in `SIZE` statements, ...). Unknown statements
+/// are skipped, matching how LEF readers typically behave.
+pub fn parse_lef(text: &str) -> Result<LefFile, ParseError> {
+    let mut dbu_per_micron: i64 = 1000;
+    let mut library = Library::new();
+
+    let tokens = lex(text);
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match tokens[i].1.as_str() {
+            "UNITS" => {
+                // UNITS DATABASE MICRONS <n> ; ... END UNITS
+                let mut j = i + 1;
+                while j < tokens.len() && tokens[j].1 != "END" {
+                    if tokens[j].1 == "MICRONS" && j + 1 < tokens.len() {
+                        dbu_per_micron = tokens[j + 1]
+                            .1
+                            .parse::<f64>()
+                            .map_err(|_| ParseError::at_line(tokens[j + 1].0, "invalid DATABASE MICRONS value"))?
+                            as i64;
+                    }
+                    j += 1;
+                }
+                // skip "END UNITS"
+                if j < tokens.len() {
+                    j += 1;
+                    if tokens.get(j).map(|t| t.1.as_str()) == Some("UNITS") {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            "MACRO" => {
+                let (def, next) = parse_macro(&tokens, i, dbu_per_micron)?;
+                library.add_macro(def);
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(LefFile { dbu_per_micron, library })
+}
+
+/// Lexes into (line, token) pairs, splitting on whitespace and treating `;` as
+/// its own token.
+fn lex(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        for raw in line.split_whitespace() {
+            if raw == ";" {
+                out.push((lineno + 1, ";".to_string()));
+            } else if let Some(stripped) = raw.strip_suffix(';') {
+                if !stripped.is_empty() {
+                    out.push((lineno + 1, stripped.to_string()));
+                }
+                out.push((lineno + 1, ";".to_string()));
+            } else {
+                out.push((lineno + 1, raw.to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn parse_macro(tokens: &[(usize, String)], start: usize, dbu: i64) -> Result<(MacroDef, usize), ParseError> {
+    let name = tokens
+        .get(start + 1)
+        .ok_or_else(|| ParseError::at_line(tokens[start].0, "MACRO without a name"))?
+        .1
+        .clone();
+    let mut def = MacroDef { name: name.clone(), width: 0, height: 0, is_block: false, pins: Vec::new() };
+    let mut i = start + 2;
+    while i < tokens.len() {
+        match tokens[i].1.as_str() {
+            "CLASS" => {
+                if let Some(t) = tokens.get(i + 1) {
+                    def.is_block = t.1 == "BLOCK" || t.1 == "RING";
+                }
+                i += 2;
+            }
+            "SIZE" => {
+                // SIZE w BY h ;
+                let w = parse_micron(tokens, i + 1, dbu)?;
+                if tokens.get(i + 2).map(|t| t.1.as_str()) != Some("BY") {
+                    return Err(ParseError::at_line(tokens[i].0, "SIZE missing BY keyword"));
+                }
+                let h = parse_micron(tokens, i + 3, dbu)?;
+                def.width = w;
+                def.height = h;
+                i += 4;
+            }
+            "PIN" => {
+                let (pin, next) = parse_pin(tokens, i, dbu)?;
+                def.pins.push(pin);
+                i = next;
+            }
+            "END" => {
+                // END <name> terminates the macro; a bare END belongs to a nested block we skipped.
+                if tokens.get(i + 1).map(|t| t.1.as_str()) == Some(name.as_str()) {
+                    return Ok((def, i + 2));
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Err(ParseError::at_line(tokens[start].0, format!("unterminated MACRO {name}")))
+}
+
+fn parse_pin(tokens: &[(usize, String)], start: usize, dbu: i64) -> Result<(PinDef, usize), ParseError> {
+    let name = tokens
+        .get(start + 1)
+        .ok_or_else(|| ParseError::at_line(tokens[start].0, "PIN without a name"))?
+        .1
+        .clone();
+    let mut offset = Point::origin();
+    let mut have_rect = false;
+    let mut i = start + 2;
+    while i < tokens.len() {
+        match tokens[i].1.as_str() {
+            "RECT" => {
+                let x1 = parse_micron(tokens, i + 1, dbu)?;
+                let y1 = parse_micron(tokens, i + 2, dbu)?;
+                let x2 = parse_micron(tokens, i + 3, dbu)?;
+                let y2 = parse_micron(tokens, i + 4, dbu)?;
+                if !have_rect {
+                    offset = Point::new((x1 + x2) / 2, (y1 + y2) / 2);
+                    have_rect = true;
+                }
+                i += 5;
+            }
+            "END" => {
+                if tokens.get(i + 1).map(|t| t.1.as_str()) == Some(name.as_str()) {
+                    return Ok((PinDef { name, offset }, i + 2));
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Err(ParseError::at_line(tokens[start].0, format!("unterminated PIN {name}")))
+}
+
+fn parse_micron(tokens: &[(usize, String)], idx: usize, dbu: i64) -> Result<Dbu, ParseError> {
+    let (line, t) = tokens
+        .get(idx)
+        .ok_or_else(|| ParseError::new("unexpected end of file in numeric field"))?;
+    let v: f64 = t
+        .parse()
+        .map_err(|_| ParseError::at_line(*line, format!("invalid number '{t}'")))?;
+    Ok((v * dbu as f64).round() as Dbu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEF: &str = r#"
+VERSION 5.8 ;
+UNITS
+  DATABASE MICRONS 2000 ;
+END UNITS
+
+MACRO RAM256x32
+  CLASS BLOCK ;
+  SIZE 120.5 BY 80 ;
+  PIN D[0]
+    DIRECTION INPUT ;
+    PORT
+      LAYER M4 ;
+      RECT 0.0 1.0 0.2 1.2 ;
+    END
+  END D[0]
+  PIN Q[0]
+    DIRECTION OUTPUT ;
+    PORT
+      RECT 120.3 1.0 120.5 1.2 ;
+    END
+  END Q[0]
+END RAM256x32
+
+MACRO DFFX1
+  CLASS CORE ;
+  SIZE 1.2 BY 0.8 ;
+END DFFX1
+"#;
+
+    #[test]
+    fn parses_units_and_macros() {
+        let lef = parse_lef(LEF).unwrap();
+        assert_eq!(lef.dbu_per_micron, 2000);
+        assert_eq!(lef.library.len(), 2);
+        let ram = lef.library.find_macro("RAM256x32").unwrap();
+        assert!(ram.is_block);
+        assert_eq!(ram.width, 241_000);
+        assert_eq!(ram.height, 160_000);
+        assert_eq!(ram.pins.len(), 2);
+        let dff = lef.library.find_macro("DFFX1").unwrap();
+        assert!(!dff.is_block);
+        assert_eq!(dff.width, 2400);
+    }
+
+    #[test]
+    fn pin_offset_is_rect_center() {
+        let lef = parse_lef(LEF).unwrap();
+        let ram = lef.library.find_macro("RAM256x32").unwrap();
+        let d0 = ram.find_pin("D[0]").unwrap();
+        assert_eq!(d0.offset, Point::new(200, 2200));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let lef = parse_lef("# just a comment\nMACRO M\n SIZE 1 BY 1 ;\nEND M\n").unwrap();
+        assert_eq!(lef.library.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_macro_is_error() {
+        assert!(parse_lef("MACRO M\n SIZE 1 BY 1 ;\n").is_err());
+    }
+
+    #[test]
+    fn malformed_size_is_error() {
+        assert!(parse_lef("MACRO M\n SIZE x BY 1 ;\nEND M\n").is_err());
+        assert!(parse_lef("MACRO M\n SIZE 1 1 ;\nEND M\n").is_err());
+    }
+
+    #[test]
+    fn default_dbu_is_1000() {
+        let lef = parse_lef("MACRO M\n SIZE 2 BY 3 ;\nEND M\n").unwrap();
+        assert_eq!(lef.dbu_per_micron, 1000);
+        assert_eq!(lef.library.find_macro("M").unwrap().width, 2000);
+    }
+}

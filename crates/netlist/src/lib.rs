@@ -1,0 +1,47 @@
+//! Hierarchical netlist data model and physical-design file parsers.
+//!
+//! The input to RTL-aware macro placement is a *hierarchical* gate-level
+//! netlist `N` together with the geometry of the macro cells and the die.
+//! This crate provides:
+//!
+//! * [`design::Design`] — the flattened-but-hierarchy-annotated circuit model:
+//!   cells (macros, flops, combinational gates), ports, nets, and for every
+//!   cell the hierarchical path it came from.
+//! * [`hierarchy::HierarchyTree`] — the tree `HT` of the paper (Sect. II-C):
+//!   one node per hierarchy level with per-subtree area and macro counts.
+//! * [`library::Library`] — macro and standard-cell footprints (from LEF).
+//! * [`verilog`] — a structural Verilog parser producing a `Design`.
+//! * [`lef`] — a LEF parser producing a `Library`.
+//! * [`def`] — a DEF reader/writer for die area, placements and orientations.
+//! * [`arrays`] — name-based array/bus grouping (`data[3]`, `data_3` → `data`),
+//!   the RTL array information the paper exploits for dataflow analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::design::{CellKind, Design, DesignBuilder};
+//!
+//! let mut b = DesignBuilder::new("top");
+//! let m = b.add_macro("u_mem/ram0", "RAM16", 200, 100, "u_mem");
+//! let f = b.add_flop("u_ctl/state_reg[0]", "u_ctl");
+//! let n = b.add_net("u_ctl/state[0]");
+//! b.connect_driver(n, f);
+//! b.connect_sink(n, m);
+//! let design = b.build();
+//! assert_eq!(design.macros().count(), 1);
+//! assert_eq!(design.cell(m).kind, CellKind::Macro);
+//! ```
+
+pub mod arrays;
+pub mod def;
+pub mod design;
+pub mod error;
+pub mod hierarchy;
+pub mod lef;
+pub mod library;
+pub mod verilog;
+
+pub use design::{CellId, CellKind, Design, DesignBuilder, NetId, PortDirection, PortId};
+pub use error::ParseError;
+pub use hierarchy::{HierarchyNodeId, HierarchyTree};
+pub use library::{Library, MacroDef, PinDef};

@@ -1,0 +1,766 @@
+//! Structural (gate-level) Verilog parser.
+//!
+//! The parser supports the subset of Verilog that gate-level hierarchical
+//! netlists use in practice:
+//!
+//! * `module` / `endmodule` with a port list,
+//! * `input` / `output` / `inout` declarations, scalar or vectored (`[7:0]`),
+//! * `wire` declarations, scalar or vectored,
+//! * module / cell instantiations with named port connections
+//!   (`CELL inst (.A(n1), .B(bus[3]), ...);`),
+//! * `// line` and `/* block */` comments.
+//!
+//! Behavioural constructs (`always`, `assign` with expressions, parameters)
+//! are *not* supported — the input is expected to be a synthesized netlist.
+//!
+//! The design is produced by flattening the module hierarchy starting at a
+//! chosen top module; the instance path of every cell is recorded so the
+//! hierarchy tree can be rebuilt (this is exactly the RTL-stage hierarchy
+//! information the paper exploits).
+
+use crate::design::{CellKind, Design, DesignBuilder, PortDirection};
+use crate::error::ParseError;
+use crate::library::Library;
+use std::collections::HashMap;
+
+/// A parsed (unflattened) Verilog module.
+#[derive(Debug, Clone, Default)]
+struct Module {
+    name: String,
+    /// port name -> (direction, msb, lsb) ; scalar ports have msb == lsb == None
+    ports: Vec<(String, PortDirection, Option<(i64, i64)>)>,
+    /// wire name -> optional range
+    wires: HashMap<String, Option<(i64, i64)>>,
+    instances: Vec<Instance>,
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    cell: String,
+    name: String,
+    /// (port, net expression) pairs
+    connections: Vec<(String, String)>,
+}
+
+/// Tokenizer output.
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Symbol(char),
+    Number(String),
+}
+
+fn tokenize(text: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    let mut line = 1usize;
+    while let Some(&(_, c)) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '/')) => {
+                        for (_, c2) in chars.by_ref() {
+                            if c2 == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some(&(_, '*')) => {
+                        chars.next();
+                        let mut prev = ' ';
+                        for (_, c2) in chars.by_ref() {
+                            if c2 == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c2 == '/' {
+                                break;
+                            }
+                            prev = c2;
+                        }
+                    }
+                    _ => tokens.push((line, Token::Symbol('/'))),
+                }
+            }
+            '\\' => {
+                // escaped identifier: `\name with specials ` terminated by whitespace
+                chars.next();
+                let mut ident = String::new();
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_whitespace() {
+                        break;
+                    }
+                    ident.push(c2);
+                    chars.next();
+                }
+                tokens.push((line, Token::Ident(ident)));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' || c2 == '$' {
+                        ident.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((line, Token::Ident(ident)));
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '\'' || c2 == '_' {
+                        num.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((line, Token::Number(num)));
+            }
+            '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | ':' | '.' | '=' | '-' | '+' => {
+                tokens.push((line, Token::Symbol(c)));
+                chars.next();
+            }
+            other => {
+                return Err(ParseError::at_line(line, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))).map(|(l, _)| *l).unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == c => Ok(()),
+            other => Err(ParseError::at_line(self.line(), format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError::at_line(self.line(), format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_symbol(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Token::Symbol(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses `[msb:lsb]` if present.
+    fn parse_range(&mut self) -> Result<Option<(i64, i64)>, ParseError> {
+        if !self.eat_symbol('[') {
+            return Ok(None);
+        }
+        let msb = self.parse_int()?;
+        self.expect_symbol(':')?;
+        let lsb = self.parse_int()?;
+        self.expect_symbol(']')?;
+        Ok(Some((msb, lsb)))
+    }
+
+    fn parse_int(&mut self) -> Result<i64, ParseError> {
+        let mut negative = false;
+        if self.eat_symbol('-') {
+            negative = true;
+        }
+        match self.next() {
+            Some(Token::Number(n)) => {
+                let v: i64 = n
+                    .parse()
+                    .map_err(|_| ParseError::at_line(self.line(), format!("invalid integer '{n}'")))?;
+                Ok(if negative { -v } else { v })
+            }
+            other => Err(ParseError::at_line(self.line(), format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    /// Parses a net expression: `name`, `name[3]`, `name[7:4]`, or a
+    /// concatenation `{a, b[3], ...}`. Returns the list of bit-level net names.
+    fn parse_net_expr(&mut self) -> Result<Vec<String>, ParseError> {
+        if self.eat_symbol('{') {
+            let mut nets = Vec::new();
+            loop {
+                nets.extend(self.parse_net_expr()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            self.expect_symbol('}')?;
+            return Ok(nets);
+        }
+        match self.next() {
+            Some(Token::Ident(base)) => {
+                if self.eat_symbol('[') {
+                    let a = self.parse_int()?;
+                    if self.eat_symbol(':') {
+                        let b = self.parse_int()?;
+                        self.expect_symbol(']')?;
+                        // bits are listed in source order, i.e. from `a` to `b`
+                        let v: Vec<String> = if a >= b {
+                            (b..=a).rev().map(|i| format!("{base}[{i}]")).collect()
+                        } else {
+                            (a..=b).map(|i| format!("{base}[{i}]")).collect()
+                        };
+                        Ok(v)
+                    } else {
+                        self.expect_symbol(']')?;
+                        Ok(vec![format!("{base}[{a}]")])
+                    }
+                } else {
+                    Ok(vec![base])
+                }
+            }
+            Some(Token::Number(n)) => {
+                // constant like 1'b0 — treat as an anonymous tie net
+                Ok(vec![format!("__const_{n}")])
+            }
+            other => Err(ParseError::at_line(self.line(), format!("expected net expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses Verilog source text into the module table.
+fn parse_modules(text: &str) -> Result<HashMap<String, Module>, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut modules = HashMap::new();
+    while let Some(tok) = p.peek().cloned() {
+        match tok {
+            Token::Ident(kw) if kw == "module" => {
+                p.next();
+                let m = parse_module(&mut p)?;
+                modules.insert(m.name.clone(), m);
+            }
+            _ => {
+                p.next();
+            }
+        }
+    }
+    Ok(modules)
+}
+
+fn parse_module(p: &mut Parser) -> Result<Module, ParseError> {
+    let name = p.expect_ident()?;
+    let mut module = Module { name, ..Default::default() };
+    // Header port list. ANSI-style declarations (`input [1:0] a, output y`)
+    // are recorded directly; non-ANSI headers only list names and the
+    // directions come from declarations in the body.
+    if p.eat_symbol('(') {
+        let mut dir: Option<PortDirection> = None;
+        let mut range: Option<(i64, i64)> = None;
+        loop {
+            if p.eat_symbol(')') {
+                break;
+            }
+            match p.peek().cloned() {
+                Some(Token::Ident(kw)) if kw == "input" || kw == "output" || kw == "inout" => {
+                    p.next();
+                    dir = Some(match kw.as_str() {
+                        "input" => PortDirection::Input,
+                        "output" => PortDirection::Output,
+                        _ => PortDirection::Inout,
+                    });
+                    if p.peek() == Some(&Token::Ident("wire".to_string()))
+                        || p.peek() == Some(&Token::Ident("reg".to_string()))
+                    {
+                        p.next();
+                    }
+                    range = p.parse_range()?;
+                }
+                Some(Token::Ident(pname)) => {
+                    p.next();
+                    if let Some(d) = dir {
+                        module.ports.push((pname.clone(), d, range));
+                        module.wires.insert(pname, range);
+                    }
+                }
+                _ => {
+                    p.next();
+                }
+            }
+        }
+    }
+    p.expect_symbol(';')?;
+
+    loop {
+        let tok = p.peek().cloned().ok_or_else(|| ParseError::new("unexpected end of file in module"))?;
+        match tok {
+            Token::Ident(kw) if kw == "endmodule" => {
+                p.next();
+                break;
+            }
+            Token::Ident(kw) if kw == "input" || kw == "output" || kw == "inout" => {
+                p.next();
+                let dir = match kw.as_str() {
+                    "input" => PortDirection::Input,
+                    "output" => PortDirection::Output,
+                    _ => PortDirection::Inout,
+                };
+                // optional `wire` keyword
+                if p.peek() == Some(&Token::Ident("wire".to_string())) {
+                    p.next();
+                }
+                let range = p.parse_range()?;
+                loop {
+                    let pname = p.expect_ident()?;
+                    module.ports.push((pname.clone(), dir, range));
+                    module.wires.insert(pname, range);
+                    if !p.eat_symbol(',') {
+                        break;
+                    }
+                }
+                p.expect_symbol(';')?;
+            }
+            Token::Ident(kw) if kw == "wire" || kw == "tri" => {
+                p.next();
+                let range = p.parse_range()?;
+                loop {
+                    let wname = p.expect_ident()?;
+                    module.wires.insert(wname, range);
+                    if !p.eat_symbol(',') {
+                        break;
+                    }
+                }
+                p.expect_symbol(';')?;
+            }
+            Token::Ident(kw) if kw == "assign" || kw == "parameter" || kw == "supply0" || kw == "supply1" => {
+                // skip to semicolon
+                p.next();
+                while let Some(t) = p.next() {
+                    if t == Token::Symbol(';') {
+                        break;
+                    }
+                }
+            }
+            Token::Ident(cell) => {
+                p.next();
+                let inst_name = p.expect_ident()?;
+                p.expect_symbol('(')?;
+                let mut connections = Vec::new();
+                if !p.eat_symbol(')') {
+                    loop {
+                        p.expect_symbol('.')?;
+                        let port = p.expect_ident()?;
+                        // port may itself have an index suffix like .D[3] — not
+                        // legal Verilog but seen in some netlists; handled by
+                        // parse_net_expr style indexing of the port name.
+                        let port = if p.peek() == Some(&Token::Symbol('[')) {
+                            p.next();
+                            let i = p.parse_int()?;
+                            p.expect_symbol(']')?;
+                            format!("{port}[{i}]")
+                        } else {
+                            port
+                        };
+                        p.expect_symbol('(')?;
+                        let nets = if p.peek() == Some(&Token::Symbol(')')) {
+                            Vec::new() // unconnected pin: .X()
+                        } else {
+                            p.parse_net_expr()?
+                        };
+                        p.expect_symbol(')')?;
+                        // expand multi-bit connections into port[i] names
+                        if nets.len() <= 1 {
+                            connections.push((port.clone(), nets.first().cloned().unwrap_or_default()));
+                        } else {
+                            for (i, n) in nets.iter().enumerate() {
+                                let bit = nets.len() - 1 - i;
+                                connections.push((format!("{port}[{bit}]"), n.clone()));
+                            }
+                        }
+                        if !p.eat_symbol(',') {
+                            break;
+                        }
+                    }
+                    p.expect_symbol(')')?;
+                }
+                p.expect_symbol(';')?;
+                module.instances.push(Instance { cell, name: inst_name, connections });
+            }
+            _ => {
+                p.next();
+            }
+        }
+    }
+    Ok(module)
+}
+
+/// Options controlling how cells are classified during elaboration.
+#[derive(Debug, Clone)]
+pub struct ElaborateOptions {
+    /// Library-cell name prefixes classified as sequential cells.
+    pub flop_prefixes: Vec<String>,
+    /// Library used to resolve macro footprints; leaf instances whose cell is
+    /// a `BLOCK` entry become macros.
+    pub library: Library,
+}
+
+impl Default for ElaborateOptions {
+    fn default() -> Self {
+        Self {
+            flop_prefixes: vec!["DFF".into(), "SDFF".into(), "FD".into(), "dff".into()],
+            library: Library::new(),
+        }
+    }
+}
+
+/// Parses structural Verilog text and flattens it into a [`Design`].
+///
+/// `top` selects the top module; pass `None` to use the unique module that is
+/// never instantiated by another one.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, unknown top module, or if the
+/// top module cannot be inferred.
+pub fn parse_verilog(text: &str, top: Option<&str>, opts: &ElaborateOptions) -> Result<Design, ParseError> {
+    let modules = parse_modules(text)?;
+    if modules.is_empty() {
+        return Err(ParseError::new("no modules found"));
+    }
+    let top_name = match top {
+        Some(t) => {
+            if !modules.contains_key(t) {
+                return Err(ParseError::new(format!("top module '{t}' not found")));
+            }
+            t.to_string()
+        }
+        None => infer_top(&modules)?,
+    };
+    let mut builder = DesignBuilder::new(top_name.clone());
+    // top-level ports
+    let top_module = &modules[&top_name];
+    for (pname, dir, range) in &top_module.ports {
+        match range {
+            Some((msb, lsb)) => {
+                let (hi, lo) = ((*msb).max(*lsb), (*msb).min(*lsb));
+                for i in lo..=hi {
+                    builder.add_port(format!("{pname}[{i}]"), *dir);
+                }
+            }
+            None => {
+                builder.add_port(pname.clone(), *dir);
+            }
+        }
+    }
+    let mut ctx = Flattener { modules: &modules, opts, builder };
+    ctx.flatten(&top_name, "", &HashMap::new())?;
+    let mut design = ctx.builder.build();
+    design.bind_library(&opts.library);
+    connect_top_ports(&mut design);
+    Ok(design)
+}
+
+/// After flattening, nets named exactly like a top-level port are attached to it.
+fn connect_top_ports(design: &mut Design) {
+    let pairs: Vec<(crate::design::PortId, crate::design::NetId, PortDirection)> = design
+        .ports()
+        .filter_map(|(pid, port)| design.find_net(&port.name).map(|nid| (pid, nid, port.direction)))
+        .collect();
+    for (pid, nid, dir) in pairs {
+        // fix up both directions of the association
+        {
+            let port = design.port_mut(pid);
+            port.net = Some(nid);
+        }
+        let net = design.net_mut(nid);
+        match dir {
+            PortDirection::Input => net.driver_port = Some(pid),
+            _ => {
+                if !net.sink_ports.contains(&pid) {
+                    net.sink_ports.push(pid);
+                }
+            }
+        }
+    }
+}
+
+fn infer_top(modules: &HashMap<String, Module>) -> Result<String, ParseError> {
+    let mut instantiated: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for m in modules.values() {
+        for inst in &m.instances {
+            instantiated.insert(inst.cell.as_str());
+        }
+    }
+    let candidates: Vec<&String> = modules.keys().filter(|k| !instantiated.contains(k.as_str())).collect();
+    match candidates.len() {
+        1 => Ok(candidates[0].clone()),
+        0 => Err(ParseError::new("could not infer top module (cyclic instantiation?)")),
+        _ => Err(ParseError::new(format!(
+            "multiple top candidates: {}; pass one explicitly",
+            candidates.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+        ))),
+    }
+}
+
+struct Flattener<'a> {
+    modules: &'a HashMap<String, Module>,
+    opts: &'a ElaborateOptions,
+    builder: DesignBuilder,
+}
+
+impl<'a> Flattener<'a> {
+    /// Recursively instantiates `module_name` under hierarchical prefix `path`.
+    /// `port_map` maps the module's local net names to global net names.
+    fn flatten(
+        &mut self,
+        module_name: &str,
+        path: &str,
+        port_map: &HashMap<String, String>,
+    ) -> Result<(), ParseError> {
+        let module = self.modules.get(module_name).expect("checked by caller");
+        for inst in &module.instances {
+            let inst_path = if path.is_empty() { inst.name.clone() } else { format!("{path}/{}", inst.name) };
+            if let Some(child) = self.modules.get(&inst.cell) {
+                // hierarchical instance: build a port map for the child
+                let mut child_map: HashMap<String, String> = HashMap::new();
+                for (port, net) in &inst.connections {
+                    if net.is_empty() {
+                        continue;
+                    }
+                    // When a vectored child port is connected to a bare bus
+                    // name, expand the connection bit by bit so nested levels
+                    // resolve individual bits consistently.
+                    let child_range = child
+                        .ports
+                        .iter()
+                        .find(|(n, _, _)| n == port)
+                        .and_then(|(_, _, r)| *r);
+                    if let (Some((msb, lsb)), false) = (child_range, net.contains('[')) {
+                        let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+                        for i in lo..=hi {
+                            let global = self.resolve_net(path, port_map, &format!("{net}[{i}]"));
+                            child_map.insert(format!("{port}[{i}]"), global);
+                        }
+                        continue;
+                    }
+                    let global = self.resolve_net(path, port_map, net);
+                    child_map.insert(port.clone(), global);
+                }
+                self.flatten(&inst.cell, &inst_path, &child_map)?;
+            } else {
+                // leaf cell
+                let kind = self.classify(&inst.cell);
+                let (w, h) = match self.opts.library.find_macro(&inst.cell) {
+                    Some(m) => (m.width, m.height),
+                    None => (1, 1),
+                };
+                let cell_id = self.builder.add_cell(inst_path.clone(), inst.cell.clone(), kind, w, h, path);
+                for (port, net) in &inst.connections {
+                    if net.is_empty() {
+                        continue;
+                    }
+                    let global = self.resolve_net(path, port_map, net);
+                    let net_id = self.builder.add_net(global);
+                    if is_output_pin(port) {
+                        self.builder.connect_driver(net_id, cell_id);
+                    } else {
+                        self.builder.connect_sink(net_id, cell_id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn classify(&self, cell: &str) -> CellKind {
+        if let Some(m) = self.opts.library.find_macro(cell) {
+            if m.is_block {
+                return CellKind::Macro;
+            }
+        }
+        if self.opts.flop_prefixes.iter().any(|p| cell.starts_with(p.as_str())) {
+            CellKind::Flop
+        } else {
+            CellKind::Comb
+        }
+    }
+
+    /// Maps a local net name to a global one: through the port map if the net
+    /// is a port of the enclosing module, otherwise by prefixing the path.
+    fn resolve_net(&self, path: &str, port_map: &HashMap<String, String>, net: &str) -> String {
+        if let Some(global) = port_map.get(net) {
+            return global.clone();
+        }
+        if net.starts_with("__const_") {
+            return net.to_string();
+        }
+        if path.is_empty() {
+            net.to_string()
+        } else {
+            format!("{path}/{net}")
+        }
+    }
+}
+
+/// Heuristic classification of a pin name as an output.
+fn is_output_pin(pin: &str) -> bool {
+    let base = pin.split('[').next().unwrap_or(pin);
+    if matches!(
+        base,
+        "Q" | "QN" | "Z" | "ZN" | "Y" | "O" | "OUT" | "out" | "q" | "DOUT" | "RDATA" | "dout" | "rdata"
+    ) {
+        return true;
+    }
+    // numbered variants such as Q0, Z12, OUT3 (used by netlist writers that
+    // enumerate output pins)
+    for prefix in ["Q", "Z", "OUT", "DOUT"] {
+        if let Some(rest) = base.strip_prefix(prefix) {
+            if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::MacroDef;
+
+    const SIMPLE: &str = r#"
+// simple two-level netlist
+module sub (input [1:0] a, output y);
+  wire n1;
+  AND2 g1 (.A(a[0]), .B(a[1]), .Y(n1));
+  DFFX1 r1 (.D(n1), .CK(clk), .Q(y));
+endmodule
+
+module top (input [1:0] in_bus, input clk, output o);
+  wire [1:0] w;
+  BUF b0 (.A(in_bus[0]), .Y(w[0]));
+  BUF b1 (.A(in_bus[1]), .Y(w[1]));
+  sub u_sub (.a(w), .y(o));
+  RAM16 u_ram (.D(w[0]), .Q(o));
+endmodule
+"#;
+
+    fn opts_with_ram() -> ElaborateOptions {
+        let mut opts = ElaborateOptions::default();
+        opts.library.add_macro(MacroDef {
+            name: "RAM16".into(),
+            width: 500,
+            height: 300,
+            is_block: true,
+            pins: vec![],
+        });
+        opts
+    }
+
+    #[test]
+    fn parses_and_flattens_hierarchy() {
+        let d = parse_verilog(SIMPLE, Some("top"), &opts_with_ram()).unwrap();
+        assert_eq!(d.name(), "top");
+        // cells: b0, b1, u_sub/g1, u_sub/r1, u_ram
+        assert_eq!(d.num_cells(), 5);
+        assert!(d.find_cell("u_sub/g1").is_some());
+        assert!(d.find_cell("u_sub/r1").is_some());
+        let ram = d.find_cell("u_ram").unwrap();
+        assert_eq!(d.cell(ram).kind, CellKind::Macro);
+        assert_eq!(d.cell(ram).width, 500);
+        let r1 = d.find_cell("u_sub/r1").unwrap();
+        assert_eq!(d.cell(r1).kind, CellKind::Flop);
+        assert_eq!(d.cell(r1).hier_path, "u_sub");
+    }
+
+    #[test]
+    fn top_module_inference() {
+        let d = parse_verilog(SIMPLE, None, &opts_with_ram()).unwrap();
+        assert_eq!(d.name(), "top");
+    }
+
+    #[test]
+    fn port_connection_maps_through_hierarchy() {
+        let d = parse_verilog(SIMPLE, Some("top"), &opts_with_ram()).unwrap();
+        // the net w[0] drives both u_sub/g1 (through port a[0]) and u_ram
+        let n = d.find_net("w[0]").expect("net w[0] exists");
+        let net = d.net(n);
+        assert!(net.sink_cells.len() >= 2, "expected at least 2 sinks, got {:?}", net);
+    }
+
+    #[test]
+    fn primary_ports_created() {
+        let d = parse_verilog(SIMPLE, Some("top"), &opts_with_ram()).unwrap();
+        assert!(d.find_port("in_bus[0]").is_some());
+        assert!(d.find_port("in_bus[1]").is_some());
+        assert!(d.find_port("clk").is_some());
+        assert!(d.find_port("o").is_some());
+    }
+
+    #[test]
+    fn comments_and_escaped_identifiers() {
+        let src = r#"
+module top (input a, output z);
+  /* block comment
+     spanning lines */
+  wire \escaped$name ;
+  BUF u1 (.A(a), .Y(\escaped$name ));
+  BUF u2 (.A(\escaped$name ), .Y(z));
+endmodule
+"#;
+        let d = parse_verilog(src, Some("top"), &ElaborateOptions::default()).unwrap();
+        assert_eq!(d.num_cells(), 2);
+        assert!(d.find_net("escaped$name").is_some());
+    }
+
+    #[test]
+    fn error_on_unknown_top() {
+        let err = parse_verilog(SIMPLE, Some("nope"), &ElaborateOptions::default()).unwrap_err();
+        assert!(err.message.contains("not found"));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_verilog("module ; garbage", None, &ElaborateOptions::default()).is_err());
+    }
+
+    #[test]
+    fn concatenation_and_unconnected_pins() {
+        let src = r#"
+module top (input [1:0] a, output z);
+  MYCELL u1 (.D({a[1], a[0]}), .E(), .Y(z));
+endmodule
+"#;
+        let d = parse_verilog(src, Some("top"), &ElaborateOptions::default()).unwrap();
+        let c = d.find_cell("u1").unwrap();
+        assert_eq!(d.cell(c).fanin.len(), 2);
+        assert_eq!(d.cell(c).fanout.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the netlist model and the file-format writers/parsers.
+
+use geometry::{Orientation, Point, Rect};
+use netlist::arrays::{group_by_array, split_array_name};
+use netlist::def::{parse_def, write_def, PlacementEntry};
+use netlist::design::{DesignBuilder, PortDirection};
+use netlist::hierarchy::HierarchyTree;
+use proptest::prelude::*;
+
+fn arb_identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+proptest! {
+    #[test]
+    fn split_array_name_base_is_prefix(base in arb_identifier(), idx in 0u32..512) {
+        // bracketed form always splits
+        let b1 = split_array_name(&format!("{base}[{idx}]"));
+        prop_assert_eq!(&b1.base, &base);
+        prop_assert_eq!(b1.index, Some(idx));
+        // escaped underscore form splits too
+        let b2 = split_array_name(&format!("{base}_{idx}_"));
+        prop_assert_eq!(&b2.base, &base);
+        // the base never grows
+        prop_assert!(b1.base.len() <= base.len() + 1);
+    }
+
+    #[test]
+    fn grouping_is_a_partition(names in prop::collection::vec(arb_identifier(), 1..20), width in 1usize..8) {
+        // expand every name into `width` bits
+        let items: Vec<(String, usize)> = names
+            .iter()
+            .enumerate()
+            .flat_map(|(i, n)| (0..width).map(move |b| (format!("{n}[{b}]"), i * width + b)))
+            .collect();
+        let total = items.len();
+        let groups = group_by_array(items);
+        let grouped: usize = groups.iter().map(|g| g.width()).sum();
+        prop_assert_eq!(grouped, total, "every bit lands in exactly one group");
+        // all bits of one base name are in one group
+        for g in &groups {
+            prop_assert!(g.width() % width == 0);
+        }
+    }
+
+    #[test]
+    fn def_write_parse_roundtrip(
+        entries in prop::collection::vec(
+            (0i64..100_000, 0i64..100_000, prop::sample::select(Orientation::ALL.to_vec()), any::<bool>()),
+            1..20,
+        ),
+        die_w in 1000i64..1_000_000,
+        die_h in 1000i64..1_000_000,
+    ) {
+        let placements: Vec<PlacementEntry> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, orientation, fixed))| PlacementEntry {
+                name: format!("u_blk/macro_{i}"),
+                cell: format!("RAM_{i}"),
+                location: Point::new(x, y),
+                orientation,
+                fixed,
+            })
+            .collect();
+        let pins = vec![("clk".to_string(), Point::new(0, die_h / 2))];
+        let text = write_def("prop_design", 1000, Rect::new(0, 0, die_w, die_h), &placements, &pins);
+        let parsed = parse_def(&text).expect("writer output must parse");
+        prop_assert_eq!(parsed.design.as_str(), "prop_design");
+        prop_assert_eq!(parsed.die, Rect::new(0, 0, die_w, die_h));
+        prop_assert_eq!(parsed.components.len(), placements.len());
+        for p in &placements {
+            let c = parsed.find_component(&p.name).expect("component present");
+            prop_assert_eq!(c.location, p.location);
+            prop_assert_eq!(c.orientation, p.orientation);
+        }
+    }
+
+    #[test]
+    fn hierarchy_tree_counts_are_consistent(
+        paths in prop::collection::vec(
+            prop::collection::vec(arb_identifier(), 0..4),
+            1..30,
+        ),
+        macro_mask in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let mut b = DesignBuilder::new("prop");
+        for (i, segments) in paths.iter().enumerate() {
+            let path = segments.join("/");
+            let name = if path.is_empty() { format!("cell{i}") } else { format!("{path}/cell{i}") };
+            if macro_mask[i % macro_mask.len()] {
+                b.add_macro(name, "RAM", 10, 10, path);
+            } else {
+                b.add_comb(name, path);
+            }
+        }
+        let design = b.build();
+        let ht = HierarchyTree::from_design(&design);
+        let root = ht.node(ht.root());
+        // root subtree counts match the design totals
+        prop_assert_eq!(root.subtree_cells, design.num_cells());
+        prop_assert_eq!(root.subtree_macros, design.num_macros());
+        prop_assert_eq!(root.subtree_area, design.total_cell_area());
+        // every node's subtree count equals the sum over children plus direct cells
+        for (id, node) in ht.iter() {
+            let child_sum: usize = node.children.iter().map(|&c| ht.node(c).subtree_cells).sum();
+            prop_assert_eq!(node.subtree_cells, child_sum + node.direct_cells.len());
+            prop_assert_eq!(ht.subtree_cells(id).len(), node.subtree_cells);
+        }
+    }
+
+    #[test]
+    fn design_builder_always_produces_consistent_netlists(
+        num_cells in 2usize..40,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+        seed_ports in 0usize..4,
+    ) {
+        let mut b = DesignBuilder::new("prop");
+        let ids: Vec<_> = (0..num_cells).map(|i| {
+            if i % 5 == 0 {
+                b.add_macro(format!("m{i}"), "RAM", 20, 20, "u_mem")
+            } else if i % 3 == 0 {
+                b.add_flop(format!("r{i}_reg[0]"), "u_dp")
+            } else {
+                b.add_comb(format!("g{i}"), "u_ctl")
+            }
+        }).collect();
+        for (i, &(from, to)) in edges.iter().enumerate() {
+            let (from, to) = (from % num_cells, to % num_cells);
+            if from == to { continue; }
+            let n = b.add_net(format!("n{i}"));
+            b.connect_driver(n, ids[from]);
+            b.connect_sink(n, ids[to]);
+        }
+        for p in 0..seed_ports {
+            let port = b.add_port(format!("io{p}"), PortDirection::Input);
+            let n = b.add_net(format!("ion{p}"));
+            b.connect_port_driver(n, port);
+            b.connect_sink(n, ids[p % num_cells]);
+        }
+        let design = b.build();
+        prop_assert!(design.validate().is_ok());
+    }
+}

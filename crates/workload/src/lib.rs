@@ -1,0 +1,22 @@
+//! Synthetic hierarchical SoC workloads for the HiDaP reproduction.
+//!
+//! The paper evaluates on eight proprietary industrial designs (c1–c8) whose
+//! RTL hierarchy and array information cannot be redistributed.  This crate
+//! provides the substitute described in `DESIGN.md`: a deterministic
+//! generator of hierarchical, macro-dominated SoC netlists whose structural
+//! features (hierarchy tree, memory subsystems, pipelined datapaths, port
+//! buses, glue logic) exercise exactly the information HiDaP consumes.
+//!
+//! * [`generator`] — the parameterized SoC generator,
+//! * [`presets`] — the c1–c8 stand-ins (macro counts match the paper, cell
+//!   counts are scaled down for laptop runtimes) and the small designs used
+//!   by Fig. 1 / Fig. 3,
+//! * [`emit`] — structural Verilog / LEF / DEF emission so the parsers of the
+//!   `netlist` crate can be exercised end to end.
+
+pub mod emit;
+pub mod generator;
+pub mod presets;
+
+pub use generator::{GeneratedDesign, SocConfig, SocGenerator, SubsystemConfig};
+pub use presets::{circuit_preset, fig1_design, fig3_design, CircuitPreset, PAPER_CIRCUITS};

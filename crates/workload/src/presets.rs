@@ -1,0 +1,238 @@
+//! Workload presets: the c1–c8 stand-ins and the paper's illustrative designs.
+//!
+//! Macro counts match Table III of the paper; cell counts are scaled down by
+//! roughly 250× so that a full three-flow comparison runs on a laptop in
+//! minutes rather than the hours a signoff-size design would need.  The
+//! `paper_cells` field records the original size for reporting.
+
+use crate::generator::{GeneratedDesign, SocConfig, SocGenerator, SubsystemConfig};
+use geometry::{Dbu, Point, Rect};
+use netlist::design::{Design, DesignBuilder, PortDirection};
+use serde::{Deserialize, Serialize};
+
+/// Description of one benchmark circuit of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitPreset {
+    /// Circuit name (`c1` … `c8`).
+    pub name: &'static str,
+    /// Number of macros (matches the paper).
+    pub macros: usize,
+    /// Cell count of the original industrial design (millions), for reporting.
+    pub paper_cells_millions: f64,
+    /// Wirelength of the handcrafted floorplan in the paper (meters), for reporting.
+    pub paper_handfp_wl_m: f64,
+}
+
+/// The eight circuits of Table III.
+pub const PAPER_CIRCUITS: [CircuitPreset; 8] = [
+    CircuitPreset { name: "c1", macros: 32, paper_cells_millions: 0.52, paper_handfp_wl_m: 12.81 },
+    CircuitPreset { name: "c2", macros: 100, paper_cells_millions: 3.95, paper_handfp_wl_m: 38.97 },
+    CircuitPreset { name: "c3", macros: 94, paper_cells_millions: 3.78, paper_handfp_wl_m: 38.16 },
+    CircuitPreset { name: "c4", macros: 122, paper_cells_millions: 4.81, paper_handfp_wl_m: 38.35 },
+    CircuitPreset { name: "c5", macros: 133, paper_cells_millions: 1.39, paper_handfp_wl_m: 38.06 },
+    CircuitPreset { name: "c6", macros: 90, paper_cells_millions: 2.87, paper_handfp_wl_m: 74.87 },
+    CircuitPreset { name: "c7", macros: 108, paper_cells_millions: 1.67, paper_handfp_wl_m: 35.29 },
+    CircuitPreset { name: "c8", macros: 37, paper_cells_millions: 2.20, paper_handfp_wl_m: 25.17 },
+];
+
+/// Builds the generator configuration for one of the c1–c8 stand-ins.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of `c1` … `c8`.
+pub fn circuit_preset(name: &str) -> SocConfig {
+    let preset = PAPER_CIRCUITS
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("unknown circuit preset '{name}'"));
+    let index = name[1..].parse::<u64>().unwrap_or(1);
+
+    // Subsystem structure scales with the macro count; datapath width scales
+    // with the original design size so bigger designs have more glue.
+    let num_subsystems = (preset.macros / 12).clamp(3, 12);
+    let base = preset.macros / num_subsystems;
+    let mut remainder = preset.macros % num_subsystems;
+    let bits = if preset.paper_cells_millions > 3.0 {
+        48
+    } else if preset.paper_cells_millions > 1.5 {
+        32
+    } else {
+        24
+    };
+    // Macro footprint varies across circuits so macro-area dominance differs.
+    let macro_size: (Dbu, Dbu) = match index % 3 {
+        0 => (80_000, 40_000),
+        1 => (60_000, 40_000),
+        _ => (50_000, 30_000),
+    };
+
+    let mut subsystems = Vec::with_capacity(num_subsystems);
+    for s in 0..num_subsystems {
+        let extra = if remainder > 0 { 1 } else { 0 };
+        remainder = remainder.saturating_sub(1);
+        let mut sub = SubsystemConfig::balanced(format!("u_sub{s}"), base + extra, bits);
+        sub.macro_size = macro_size;
+        sub.pipeline_stages = 2 + (s % 3);
+        subsystems.push(sub);
+    }
+
+    // Channels: a ring plus cross links between every other pair.
+    let mut channels = Vec::new();
+    for s in 0..num_subsystems {
+        channels.push((s, (s + 1) % num_subsystems));
+    }
+    for s in (0..num_subsystems).step_by(2) {
+        channels.push((s, (s + num_subsystems / 2) % num_subsystems));
+    }
+
+    SocConfig {
+        name: preset.name.to_string(),
+        subsystems,
+        channels,
+        io_subsystems: vec![0, num_subsystems / 2],
+        io_bits: bits,
+        utilization: 0.55,
+        aspect_ratio: if index % 2 == 0 { 1.0 } else { 1.4 },
+        seed: 0xC1AC0 + index,
+    }
+}
+
+/// Generates one of the c1–c8 stand-ins.
+pub fn generate_circuit(name: &str) -> GeneratedDesign {
+    SocGenerator::new(circuit_preset(name)).generate()
+}
+
+/// The 16-macro, two-cluster design used to illustrate the multi-level flow
+/// in Fig. 1 of the paper.
+pub fn fig1_design() -> GeneratedDesign {
+    let config = SocConfig {
+        name: "fig1".into(),
+        subsystems: vec![
+            SubsystemConfig::balanced("u_left", 8, 16),
+            SubsystemConfig::balanced("u_right", 8, 16),
+        ],
+        channels: vec![(0, 1), (1, 0)],
+        io_subsystems: vec![0],
+        io_bits: 16,
+        utilization: 0.45,
+        aspect_ratio: 1.6,
+        seed: 0xF161,
+    };
+    SocGenerator::new(config).generate()
+}
+
+/// The small system of Fig. 2 / Fig. 3: four single-macro blocks A–D
+/// communicating through a standard-cell hub X.  A feeds B and C, B and C
+/// feed D; all traffic crosses registers inside X, so block flow sees only
+/// `*–X` edges while macro flow reveals the A→{B,C}→D structure.
+pub fn fig3_design() -> Design {
+    let mut b = DesignBuilder::new("fig3");
+    let bits = 32usize;
+    let macro_w: Dbu = 120_000;
+    let macro_h: Dbu = 90_000;
+    let names = ["u_a", "u_b", "u_c", "u_d"];
+    let macros: Vec<_> = names
+        .iter()
+        .map(|n| b.add_macro(format!("{n}/mac"), "MACRO_BLOCK", macro_w, macro_h, n.to_string()))
+        .collect();
+    let connect = |b: &mut DesignBuilder, from: usize, to: &[usize], tag: &str| {
+        for bit in 0..bits {
+            let f = b.add_flop(format!("u_x/{tag}_reg[{bit}]"), "u_x");
+            let n_in = b.add_net(format!("u_x/{tag}_d[{bit}]"));
+            b.connect_driver(n_in, macros[from]);
+            b.connect_sink(n_in, f);
+            let n_out = b.add_net(format!("u_x/{tag}_q[{bit}]"));
+            b.connect_driver(n_out, f);
+            for &t in to {
+                b.connect_sink(n_out, macros[t]);
+            }
+        }
+    };
+    connect(&mut b, 0, &[1, 2], "a2bc");
+    connect(&mut b, 1, &[3], "b2d");
+    connect(&mut b, 2, &[3], "c2d");
+    // some glue logic inside X so it has standard-cell area of its own
+    for g in 0..256 {
+        b.add_comb(format!("u_x/ctl{g}"), "u_x");
+    }
+    // an input bus into A
+    for bit in 0..bits {
+        let p = b.add_port(format!("din[{bit}]"), PortDirection::Input);
+        let n = b.add_net(format!("din_net[{bit}]"));
+        b.connect_port_driver(n, p);
+        b.connect_sink(n, macros[0]);
+    }
+    let mut design = b.build();
+    let total = design.total_cell_area() as f64;
+    let side = (total / 0.45).sqrt() as Dbu;
+    let die = Rect::new(0, 0, side, side);
+    design.set_die(die);
+    for (i, pid) in design.port_ids().enumerate().collect::<Vec<_>>() {
+        let frac = (i + 1) as f64 / (bits + 1) as f64;
+        design.port_mut(pid).position = Some(Point::new(0, (die.height() as f64 * frac) as Dbu));
+    }
+    design
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::hierarchy::HierarchyTree;
+
+    #[test]
+    fn every_preset_matches_paper_macro_count() {
+        for preset in &PAPER_CIRCUITS {
+            let config = circuit_preset(preset.name);
+            assert_eq!(config.total_macros(), preset.macros, "{}", preset.name);
+        }
+    }
+
+    #[test]
+    fn c1_generates_consistent_design() {
+        let g = generate_circuit("c1");
+        assert_eq!(g.design.num_macros(), 32);
+        g.design.validate().expect("consistent design");
+        assert!(g.design.num_cells() > 1000, "c1 should have substantial glue logic");
+        assert!(g.design.die().area() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_preset_panics() {
+        circuit_preset("c99");
+    }
+
+    #[test]
+    fn fig1_has_sixteen_macros_in_two_clusters() {
+        let g = fig1_design();
+        assert_eq!(g.design.num_macros(), 16);
+        let ht = HierarchyTree::from_design(&g.design);
+        let left = ht.find("u_left").unwrap();
+        let right = ht.find("u_right").unwrap();
+        assert_eq!(ht.node(left).subtree_macros, 8);
+        assert_eq!(ht.node(right).subtree_macros, 8);
+    }
+
+    #[test]
+    fn fig3_structure_matches_paper_example() {
+        let d = fig3_design();
+        assert_eq!(d.num_macros(), 4);
+        d.validate().unwrap();
+        let ht = HierarchyTree::from_design(&d);
+        // blocks A-D have one macro each, X has none but plenty of cells
+        for name in ["u_a", "u_b", "u_c", "u_d"] {
+            assert_eq!(ht.node(ht.find(name).unwrap()).subtree_macros, 1);
+        }
+        let x = ht.node(ht.find("u_x").unwrap());
+        assert_eq!(x.subtree_macros, 0);
+        assert!(x.subtree_cells > 256);
+    }
+
+    #[test]
+    fn larger_presets_have_more_cells() {
+        let c1 = generate_circuit("c1");
+        let c4 = generate_circuit("c4");
+        assert!(c4.design.num_cells() > c1.design.num_cells());
+        assert!(c4.design.num_macros() > c1.design.num_macros());
+    }
+}

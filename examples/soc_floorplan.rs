@@ -1,0 +1,49 @@
+//! Floorplan a full synthetic SoC (the c1 stand-in) with two flows and
+//! compare the measured metrics — a miniature version of Table III.
+//!
+//! Run with: `cargo run --release -p bench --example soc_floorplan`
+
+use baselines::{IndEda, IndEdaConfig};
+use eval::{evaluate_placement, EvalConfig};
+use hidap::{HidapConfig, HidapFlow};
+use workload::presets::generate_circuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generated = generate_circuit("c1");
+    let design = &generated.design;
+    println!(
+        "circuit c1 stand-in: {} cells, {} macros, die {}x{} um",
+        design.num_cells(),
+        design.num_macros(),
+        design.die().width() / 1000,
+        design.die().height() / 1000,
+    );
+
+    let eval_config = EvalConfig::standard();
+
+    // Flow 1: the flat connectivity-driven baseline (IndEDA stand-in).
+    let indeda = IndEda::new(IndEdaConfig::default()).run(design)?;
+    let indeda_metrics = evaluate_placement(design, &indeda.to_map(), &eval_config);
+
+    // Flow 2: HiDaP with the default λ.
+    let hidap = HidapFlow::new(HidapConfig::default()).run(design)?;
+    let hidap_metrics = evaluate_placement(design, &hidap.to_map(), &eval_config);
+
+    println!("\n{:<10} {:>12} {:>10} {:>10} {:>12}", "flow", "WL (m)", "GRC%", "WNS%", "TNS (ns)");
+    for (name, m) in [("IndEDA", &indeda_metrics), ("HiDaP", &hidap_metrics)] {
+        println!(
+            "{:<10} {:>12.3} {:>10.2} {:>10.2} {:>12.1}",
+            name,
+            m.wirelength_m,
+            m.grc_percent(),
+            m.wns_percent(),
+            m.tns_ns()
+        );
+    }
+
+    println!("\ntop-level block floorplan found by HiDaP:");
+    for (name, rect) in &hidap.top_blocks {
+        println!("  {:<20} {}", name, rect);
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Integration tests comparing the three flows — the qualitative claims of
+//! Tables II/III should hold on the synthetic stand-ins: HiDaP beats the
+//! flat connectivity-driven baseline on dataflow-dominated designs, and the
+//! handFP oracle is at least as good as a single HiDaP run.
+
+use baselines::{HandFp, HandFpConfig, IndEda, IndEdaConfig};
+use eval::{evaluate_placement, EvalConfig};
+use hidap::{HidapConfig, HidapFlow};
+use workload::presets::fig1_design;
+
+#[test]
+fn all_three_flows_produce_legal_placements() {
+    let generated = fig1_design();
+    let design = &generated.design;
+
+    let indeda = IndEda::new(IndEdaConfig::fast()).run(design).expect("IndEDA");
+    assert!(indeda.is_legal(design));
+    assert_eq!(indeda.macros.len(), 16);
+
+    let hidap = HidapFlow::new(HidapConfig::fast()).run(design).expect("HiDaP");
+    assert!(hidap.is_legal(design));
+
+    let (handfp, _) = HandFp::new(HandFpConfig::fast()).run(design).expect("handFP");
+    assert!(handfp.is_legal(design));
+}
+
+#[test]
+fn hidap_wirelength_competitive_with_flat_baseline() {
+    // On a design with two tightly-coupled macro clusters and a pipeline
+    // between them, the dataflow-driven flow should not lose to the flat
+    // baseline by more than a small margin (and usually wins).
+    let generated = fig1_design();
+    let design = &generated.design;
+    let eval_cfg = EvalConfig::standard();
+
+    let indeda = IndEda::new(IndEdaConfig::fast()).run(design).expect("IndEDA");
+    let indeda_wl = evaluate_placement(design, &indeda.to_map(), &eval_cfg).wirelength_m;
+
+    let hidap = HidapFlow::new(HidapConfig::fast()).run(design).expect("HiDaP");
+    let hidap_wl = evaluate_placement(design, &hidap.to_map(), &eval_cfg).wirelength_m;
+
+    assert!(
+        hidap_wl <= indeda_wl * 1.10,
+        "HiDaP WL {hidap_wl:.4} m should be within 10% of the baseline {indeda_wl:.4} m"
+    );
+}
+
+#[test]
+fn oracle_is_at_least_as_good_as_one_hidap_run() {
+    let generated = fig1_design();
+    let design = &generated.design;
+    let eval_cfg = EvalConfig::standard();
+
+    let single = HidapFlow::new(HidapConfig::fast().with_seed(1).with_lambda(0.5))
+        .run(design)
+        .expect("HiDaP");
+    let single_wl = evaluate_placement(design, &single.to_map(), &eval_cfg).wirelength_m;
+
+    let oracle_cfg = HandFpConfig {
+        seeds: vec![1, 2],
+        lambdas: vec![0.2, 0.5, 0.8],
+        base: HidapConfig::fast(),
+        eval: EvalConfig::standard(),
+    };
+    let (_, oracle_wl) = HandFp::new(oracle_cfg).run(design).expect("handFP");
+    assert!(oracle_wl <= single_wl + 1e-12);
+}
