@@ -2,14 +2,22 @@
 //!
 //! The paper's handFP reference is a floorplan refined over 2–4 weeks by
 //! expert back-end engineers.  As a reproducible stand-in, this flow spends a
-//! large compute budget instead of human effort: it runs the dataflow-aware
-//! placer for every combination of a seed set and a λ set at high annealing
-//! effort, evaluates each candidate with the shared evaluation pipeline, and
-//! keeps the placement with the lowest measured wirelength.
+//! large compute budget instead of human effort: it sweeps the dataflow-aware
+//! placer over a seed×λ grid at high annealing effort and keeps the placement
+//! with the lowest measured wirelength.
+//!
+//! The sweep itself is a thin composition over the engine's
+//! [`BatchRunner`]: the grid cells run in parallel across all cores, and the
+//! winner is picked deterministically (lowest wirelength, ties to the lowest
+//! grid index) regardless of the worker count.
 
-use eval::{evaluate_placement, EvalConfig};
+use eval::EvalConfig;
 use hidap::{HidapConfig, HidapError, HidapFlow, MacroPlacement};
 use netlist::design::Design;
+use placer_core::{
+    BatchGrid, BatchOutcome, BatchRunner, EffortLevel, PlaceContext, PlaceError, PlaceOutcome,
+    PlaceRequest, Placer, WirelengthObjective,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the handFP proxy.
@@ -23,6 +31,8 @@ pub struct HandFpConfig {
     pub base: HidapConfig,
     /// Evaluation settings used to pick the winner.
     pub eval: EvalConfig,
+    /// Worker threads for the sweep (0 = all available cores).
+    pub jobs: usize,
 }
 
 impl Default for HandFpConfig {
@@ -32,6 +42,7 @@ impl Default for HandFpConfig {
             lambdas: vec![0.2, 0.5, 0.8],
             base: HidapConfig::high_effort(),
             eval: EvalConfig::standard(),
+            jobs: 0,
         }
     }
 }
@@ -43,7 +54,26 @@ impl HandFpConfig {
             seeds: vec![1, 2],
             lambdas: vec![0.2, 0.8],
             base: HidapConfig::fast(),
-            eval: EvalConfig::standard(),
+            ..Self::default()
+        }
+    }
+
+    /// The configuration implied by an engine effort tier.
+    pub fn for_effort(effort: EffortLevel) -> Self {
+        match effort {
+            EffortLevel::Fast => Self {
+                seeds: vec![1, 2],
+                lambdas: vec![0.2, 0.5, 0.8],
+                base: HidapConfig::fast(),
+                ..Self::default()
+            },
+            EffortLevel::Default => Self {
+                seeds: vec![1, 2, 3],
+                lambdas: vec![0.2, 0.5, 0.8],
+                base: HidapConfig::default(),
+                ..Self::default()
+            },
+            EffortLevel::High => Self::default(),
         }
     }
 }
@@ -60,40 +90,48 @@ impl HandFp {
         Self { config }
     }
 
-    /// Runs every candidate configuration and returns the placement with the
-    /// lowest measured wirelength, together with that wirelength in meters.
+    /// The flow configuration.
+    pub fn config(&self) -> &HandFpConfig {
+        &self.config
+    }
+
+    /// Runs the full seed×λ sweep through the engine's [`BatchRunner`],
+    /// returning the winner and every per-cell summary.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when every candidate fails (first grid-order error), the
+    /// grid is empty, or the context cancels the sweep.
+    pub fn run_batch(
+        &self,
+        config: &HandFpConfig,
+        design: &Design,
+        ctx: &mut PlaceContext,
+    ) -> Result<BatchOutcome, PlaceError> {
+        let placer = HidapFlow::new(config.base.clone());
+        let grid = BatchGrid::new(config.seeds.clone(), config.lambdas.clone());
+        let runner = BatchRunner::new()
+            .with_jobs(config.jobs)
+            .with_objective(Box::new(WirelengthObjective { eval: config.eval }));
+        runner.run(&placer, &PlaceRequest::new(design), &grid, ctx)
+    }
+
+    /// Runs every candidate configuration (in parallel) and returns the
+    /// placement with the lowest measured wirelength, together with that
+    /// wirelength in meters.
     ///
     /// # Errors
     ///
     /// Propagates the first placement error if *every* candidate fails;
     /// otherwise failed candidates are simply skipped.
     pub fn run(&self, design: &Design) -> Result<(MacroPlacement, f64), HidapError> {
-        let mut best: Option<(MacroPlacement, f64)> = None;
-        let mut first_error: Option<HidapError> = None;
-        for &seed in &self.config.seeds {
-            for &lambda in &self.config.lambdas {
-                let config = HidapConfig {
-                    seed,
-                    lambda,
-                    ..self.config.base.clone()
-                };
-                match HidapFlow::new(config).run(design) {
-                    Ok(placement) => {
-                        let metrics = evaluate_placement(design, &placement.to_map(), &self.config.eval);
-                        let wl = metrics.wirelength_m;
-                        if best.as_ref().map(|(_, b)| wl < *b).unwrap_or(true) {
-                            best = Some((placement, wl));
-                        }
-                    }
-                    Err(e) => {
-                        first_error.get_or_insert(e);
-                    }
-                }
+        match self.run_batch(&self.config, design, &mut PlaceContext::new()) {
+            Ok(batch) => Ok((batch.winner.placement, batch.winner_score)),
+            Err(PlaceError::Flow(e)) => Err(e),
+            Err(PlaceError::Cancelled) | Err(PlaceError::DeadlineExceeded) => {
+                Err(HidapError::Cancelled)
             }
-        }
-        match best {
-            Some(result) => Ok(result),
-            None => Err(first_error.unwrap_or_else(|| HidapError::Internal("no candidates evaluated".into()))),
+            Err(other) => Err(HidapError::Internal(other.to_string())),
         }
     }
 
@@ -103,9 +141,50 @@ impl HandFp {
     }
 }
 
+/// The oracle's engine adapter. The flow's identity is its configured
+/// seed×λ grid, so `req.seed` / `req.lambda` do not apply: the request
+/// selects the design, die and effort tier, and the grid does the rest.
+impl Placer for HandFp {
+    fn name(&self) -> &str {
+        "handfp"
+    }
+
+    fn supports_lambda(&self) -> bool {
+        false
+    }
+
+    fn is_composite(&self) -> bool {
+        true
+    }
+
+    fn place(
+        &self,
+        req: &PlaceRequest<'_>,
+        ctx: &mut PlaceContext,
+    ) -> Result<PlaceOutcome, PlaceError> {
+        req.validate()?;
+        let config = match req.effort {
+            // effort tiers pick the grid and base placer; the runner knobs
+            // (worker count, winner evaluation) stay as configured
+            Some(effort) => HandFpConfig {
+                jobs: self.config.jobs,
+                eval: self.config.eval,
+                ..HandFpConfig::for_effort(effort)
+            },
+            None => self.config.clone(),
+        };
+        let design = req.effective_design();
+        let batch = self.run_batch(&config, design.as_ref(), ctx)?;
+        let mut outcome = batch.winner;
+        outcome.flow = "handfp".into();
+        Ok(outcome)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eval::evaluate_placement;
     use geometry::Rect;
     use netlist::design::DesignBuilder;
 
@@ -146,8 +225,10 @@ mod tests {
         let d = small_design();
         let (_, oracle_wl) = HandFp::new(HandFpConfig::fast()).run(&d).unwrap();
         // a single run with one of the candidate configurations
-        let single = HidapFlow::new(HidapConfig::fast().with_lambda(0.2).with_seed(1)).run(&d).unwrap();
-        let single_wl = evaluate_placement(&d, &single.to_map(), &EvalConfig::standard()).wirelength_m;
+        let single =
+            HidapFlow::new(HidapConfig::fast().with_lambda(0.2).with_seed(1)).run(&d).unwrap();
+        let single_wl =
+            evaluate_placement(&d, &single.to_map(), &EvalConfig::standard()).wirelength_m;
         assert!(oracle_wl <= single_wl + 1e-12);
     }
 
@@ -158,5 +239,26 @@ mod tests {
         b.set_die(Rect::new(0, 0, 100, 100));
         let d = b.build();
         assert!(HandFp::new(HandFpConfig::fast()).run(&d).is_err());
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let d = small_design();
+        let serial = HandFp::new(HandFpConfig { jobs: 1, ..HandFpConfig::fast() }).run(&d).unwrap();
+        let parallel =
+            HandFp::new(HandFpConfig { jobs: 4, ..HandFpConfig::fast() }).run(&d).unwrap();
+        assert_eq!(serial.0, parallel.0, "winner placement must not depend on worker count");
+        assert_eq!(serial.1, parallel.1);
+    }
+
+    #[test]
+    fn placer_trait_returns_the_sweep_winner() {
+        let d = small_design();
+        let oracle = HandFp::new(HandFpConfig::fast());
+        let via_trait = oracle.place(&PlaceRequest::new(&d), &mut PlaceContext::new()).unwrap();
+        let (direct, wl) = oracle.run(&d).unwrap();
+        assert_eq!(via_trait.placement, direct);
+        assert_eq!(via_trait.flow, "handfp");
+        assert_eq!(via_trait.metrics.expect("objective evaluates").wirelength_m, wl);
     }
 }

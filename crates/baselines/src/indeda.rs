@@ -53,6 +53,17 @@ impl IndEdaConfig {
     pub fn fast() -> Self {
         Self { moves_per_macro: 12, temperature_steps: 25, ..Self::default() }
     }
+
+    /// The configuration implied by an engine effort tier.
+    pub fn for_effort(effort: placer_core::EffortLevel) -> Self {
+        match effort {
+            placer_core::EffortLevel::Fast => Self::fast(),
+            placer_core::EffortLevel::Default => Self::default(),
+            placer_core::EffortLevel::High => {
+                Self { moves_per_macro: 80, temperature_steps: 90, ..Self::default() }
+            }
+        }
+    }
 }
 
 /// The IndEDA-style flat macro placer.
@@ -121,10 +132,17 @@ impl IndEda {
                     0 | 1 => {
                         // displace
                         let cell = design.cell(macros[idx]);
-                        let (w, h) = if state[idx].1 { (cell.height, cell.width) } else { (cell.width, cell.height) };
+                        let (w, h) = if state[idx].1 {
+                            (cell.height, cell.width)
+                        } else {
+                            (cell.width, cell.height)
+                        };
                         let max_x = (die.urx - w).max(die.llx);
                         let max_y = (die.ury - h).max(die.lly);
-                        state[idx].0 = Point::new(rng.gen_range(die.llx..=max_x), rng.gen_range(die.lly..=max_y));
+                        state[idx].0 = Point::new(
+                            rng.gen_range(die.llx..=max_x),
+                            rng.gen_range(die.lly..=max_y),
+                        );
                     }
                     2 => {
                         // rotate
@@ -194,7 +212,8 @@ impl IndEda {
         // HPWL over macro-connected nets (standard cells are invisible to this flow)
         let mut wl = 0.0;
         for (net, anchor) in nets.iter().zip(anchors) {
-            let mut pts: Vec<Point> = net.macro_indices.iter().map(|&i| rects[i].center()).collect();
+            let mut pts: Vec<Point> =
+                net.macro_indices.iter().map(|&i| rects[i].center()).collect();
             if let Some(a) = anchor {
                 pts.push(*a);
             }
@@ -208,11 +227,8 @@ impl IndEda {
         let mut wall = 0.0;
         for r in &rects {
             let c = r.center();
-            let d = (c.x - die.llx)
-                .min(die.urx - c.x)
-                .min(c.y - die.lly)
-                .min(die.ury - c.y)
-                .max(0) as f64;
+            let d = (c.x - die.llx).min(die.urx - c.x).min(c.y - die.lly).min(die.ury - c.y).max(0)
+                as f64;
             wall += d;
         }
         // overlap penalty
@@ -228,6 +244,61 @@ impl IndEda {
     }
 }
 
+impl placer_core::Placer for IndEda {
+    fn name(&self) -> &str {
+        "indeda"
+    }
+
+    fn supports_lambda(&self) -> bool {
+        false
+    }
+
+    fn place(
+        &self,
+        req: &placer_core::PlaceRequest<'_>,
+        ctx: &mut placer_core::PlaceContext,
+    ) -> Result<placer_core::PlaceOutcome, placer_core::PlaceError> {
+        use placer_core::{PlaceError, StageEvent, StageTiming};
+
+        req.validate()?;
+        if let Some(err) = ctx.interrupted() {
+            return Err(err);
+        }
+        // λ is a dataflow-affinity knob this flat flow does not have
+        let mut config = match req.effort {
+            Some(effort) => IndEdaConfig::for_effort(effort),
+            None => self.config,
+        };
+        config.seed = req.seed;
+        let design = req.effective_design();
+        ctx.emit(StageEvent::FlowStarted { flow: "indeda".into(), seed: req.seed, lambda: None });
+
+        let start = std::time::Instant::now();
+        let placement = IndEda::new(config).run(design.as_ref()).map_err(PlaceError::from)?;
+        let wall_s = start.elapsed().as_secs_f64();
+        let mut timings = vec![StageTiming { stage: "anneal".into(), seconds: wall_s }];
+
+        let metrics = req.evaluate.as_ref().map(|eval_cfg| {
+            let t = std::time::Instant::now();
+            let metrics = eval::evaluate_placement(design.as_ref(), &placement.to_map(), eval_cfg);
+            timings
+                .push(StageTiming { stage: "evaluate".into(), seconds: t.elapsed().as_secs_f64() });
+            metrics
+        });
+
+        ctx.emit(StageEvent::FlowFinished { wall_s, legal: placement.is_legal(design.as_ref()) });
+        Ok(placer_core::PlaceOutcome {
+            placement,
+            flow: "indeda".into(),
+            seed: req.seed,
+            lambda: None,
+            stage_timings: timings,
+            wall_s,
+            metrics,
+        })
+    }
+}
+
 /// A net restricted to the pins the flat flow can see: macros and ports.
 #[derive(Debug, Clone)]
 struct MacroNet {
@@ -236,7 +307,8 @@ struct MacroNet {
 }
 
 fn macro_nets(design: &Design, macros: &[CellId]) -> Vec<MacroNet> {
-    let index_of: HashMap<CellId, usize> = macros.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    let index_of: HashMap<CellId, usize> =
+        macros.iter().enumerate().map(|(i, &m)| (m, i)).collect();
     let mut nets = Vec::new();
     for (_, net) in design.nets() {
         let mut macro_indices = Vec::new();
@@ -363,6 +435,9 @@ mod tests {
         let center = p.rect_of(m, &d).unwrap().center();
         let die_center = d.die().center();
         let dist_from_center = center.manhattan_distance(die_center);
-        assert!(dist_from_center > 500, "macro should be pushed away from the die center, got {center}");
+        assert!(
+            dist_from_center > 500,
+            "macro should be pushed away from the die center, got {center}"
+        );
     }
 }

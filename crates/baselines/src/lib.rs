@@ -14,9 +14,41 @@
 //!   seeds, multiple λ values, high annealing effort) and keeps the result
 //!   with the best measured wirelength — playing the same role of a
 //!   near-optimal reference point.
+//!
+//! Both baselines (and HiDaP itself) are invocable through the unified
+//! engine API: [`default_registry`] returns a [`placer_core::FlowRegistry`]
+//! with `hidap`, `indeda` and `handfp` registered, so front ends resolve
+//! flows by name.
 
 pub mod handfp;
 pub mod indeda;
 
 pub use handfp::{HandFp, HandFpConfig};
 pub use indeda::{IndEda, IndEdaConfig};
+
+/// The registry with every flow this workspace ships: `hidap`, `indeda` and
+/// `handfp`, each constructed at its default effort (requests can override
+/// effort per run).
+pub fn default_registry() -> placer_core::FlowRegistry {
+    let mut registry = placer_core::builtin_registry();
+    registry.register("indeda", || Box::new(IndEda::new(IndEdaConfig::default())));
+    registry.register("handfp", || Box::new(HandFp::new(HandFpConfig::default())));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_knows_all_three_flows() {
+        let registry = default_registry();
+        assert_eq!(
+            registry.names(),
+            vec!["handfp".to_string(), "hidap".to_string(), "indeda".to_string()]
+        );
+        for name in registry.names() {
+            assert_eq!(registry.create(&name).unwrap().name(), name);
+        }
+    }
+}

@@ -18,7 +18,9 @@ fn bench_shape_curves(c: &mut Criterion) {
     let mut group = c.benchmark_group("shape_curve_composition");
     for &n in &[8usize, 32, 64] {
         let leaves: Vec<ShapeCurve> = (0..n)
-            .map(|i| ShapeCurve::from_macro(40 + (i as i64 % 7) * 10, 30 + (i as i64 % 5) * 10, true))
+            .map(|i| {
+                ShapeCurve::from_macro(40 + (i as i64 % 7) * 10, 30 + (i as i64 % 5) * 10, true)
+            })
             .collect();
         let expr = PolishExpression::chain(n, CutDirection::Vertical);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

@@ -31,11 +31,7 @@ fn main() {
     );
     for open_area_frac in [0.002, 0.01, 0.05] {
         for min_area_frac in [0.1, 0.4, 0.8] {
-            let config = HidapConfig {
-                open_area_frac,
-                min_area_frac,
-                ..effort.hidap_config()
-            };
+            let config = HidapConfig { open_area_frac, min_area_frac, ..effort.hidap_config() };
             // block count at the top level
             let curves = ShapeCurveSet::generate(design, &ht, &config);
             let blocks = hierarchical_declustering(design, &ht, &curves, ht.root(), &config);

@@ -25,9 +25,8 @@ fn main() {
         design.die().height()
     );
 
-    let placement: MacroPlacement = HidapFlow::new(effort.hidap_config())
-        .run(design)
-        .expect("HiDaP flow failed");
+    let placement: MacroPlacement =
+        HidapFlow::new(effort.hidap_config()).run(design).expect("HiDaP flow failed");
 
     // Stage (a): the top-level block partition found by declustering.
     println!("\n(a) top-level block floorplan (dark blocks hold macros):");

@@ -35,7 +35,11 @@ fn main() {
         let config = HidapConfig { lambda, ..effort.hidap_config() };
         let placement = HidapFlow::new(config).run(&design).expect("flow failed");
         let metrics = evaluate_placement(&design, &placement.to_map(), &eval_cfg);
-        println!("\n{label}:  WL = {:.4} m, legal = {}", metrics.wirelength_m, placement.is_legal(&design));
+        println!(
+            "\n{label}:  WL = {:.4} m, legal = {}",
+            metrics.wirelength_m,
+            placement.is_legal(&design)
+        );
         let rects: Vec<(String, geometry::Rect)> = placement
             .macros
             .iter()

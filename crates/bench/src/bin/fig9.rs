@@ -30,13 +30,21 @@ fn main() {
     // (a) IndEDA
     let indeda = IndEda::new(effort.indeda_config()).run(design).expect("IndEDA failed");
     let m_ind = evaluate_placement(design, &indeda.to_map(), &eval_cfg);
-    println!("\n(a) IndEDA   WL = {:.3} m, peak density = {:.2}", m_ind.wirelength_m, m_ind.density.peak());
+    println!(
+        "\n(a) IndEDA   WL = {:.3} m, peak density = {:.2}",
+        m_ind.wirelength_m,
+        m_ind.density.peak()
+    );
     println!("{}", m_ind.density.to_ascii());
 
     // (c) HiDaP (printed before handFP to mirror the paper's layout order a/c/b)
     let hidap = HidapFlow::new(effort.hidap_config()).run(design).expect("HiDaP failed");
     let m_hidap = evaluate_placement(design, &hidap.to_map(), &eval_cfg);
-    println!("(c) HiDaP    WL = {:.3} m, peak density = {:.2}", m_hidap.wirelength_m, m_hidap.density.peak());
+    println!(
+        "(c) HiDaP    WL = {:.3} m, peak density = {:.2}",
+        m_hidap.wirelength_m,
+        m_hidap.density.peak()
+    );
     println!("{}", m_hidap.density.to_ascii());
 
     // (b) handFP proxy

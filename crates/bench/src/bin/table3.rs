@@ -6,7 +6,7 @@
 //! ```
 
 use bench::experiments::{compare_flows, parse_common_args};
-use bench::report::format_table3;
+use bench::report::{comparisons_json, format_table3};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,7 +14,9 @@ fn main() {
     let (circuits, effort) = parse_common_args(&args, &all);
 
     println!("# Table III reproduction — effort {effort:?}");
-    println!("# (synthetic c1-c8 stand-ins; macro counts match the paper, cell counts are scaled)\n");
+    println!(
+        "# (synthetic c1-c8 stand-ins; macro counts match the paper, cell counts are scaled)\n"
+    );
 
     let mut comparisons = Vec::new();
     for circuit in &circuits {
@@ -25,13 +27,9 @@ fn main() {
     }
 
     println!("# full table\n{}", format_table3(&comparisons));
-    match serde_json::to_string_pretty(&comparisons) {
-        Ok(json) => {
-            let path = "table3_results.json";
-            if std::fs::write(path, json).is_ok() {
-                println!("# raw results written to {path}");
-            }
-        }
-        Err(e) => eprintln!("could not serialize results: {e}"),
+    let json = comparisons_json(&comparisons);
+    let path = "table3_results.json";
+    if std::fs::write(path, json).is_ok() {
+        println!("# raw results written to {path}");
     }
 }

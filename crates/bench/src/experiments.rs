@@ -4,6 +4,7 @@ use baselines::{HandFp, HandFpConfig, IndEda, IndEdaConfig};
 use eval::{evaluate_placement, EvalConfig, PlacementMetrics};
 use hidap::{HidapConfig, HidapFlow, MacroPlacement};
 use netlist::design::Design;
+use placer_core::{BatchGrid, BatchRunner, PlaceContext, PlaceRequest, WirelengthObjective};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use workload::presets::generate_circuit;
@@ -46,7 +47,11 @@ impl Effort {
         match self {
             Effort::Fast => IndEdaConfig::fast(),
             Effort::Default => IndEdaConfig::default(),
-            Effort::Paper => IndEdaConfig { moves_per_macro: 80, temperature_steps: 90, ..IndEdaConfig::default() },
+            Effort::Paper => IndEdaConfig {
+                moves_per_macro: 80,
+                temperature_steps: 90,
+                ..IndEdaConfig::default()
+            },
         }
     }
 
@@ -57,13 +62,13 @@ impl Effort {
                 seeds: vec![1, 2],
                 lambdas: vec![0.2, 0.5, 0.8],
                 base: HidapConfig::fast(),
-                eval: EvalConfig::standard(),
+                ..HandFpConfig::default()
             },
             Effort::Default => HandFpConfig {
                 seeds: vec![1, 2, 3],
                 lambdas: vec![0.2, 0.5, 0.8],
                 base: HidapConfig::default(),
-                eval: EvalConfig::standard(),
+                ..HandFpConfig::default()
             },
             Effort::Paper => HandFpConfig::default(),
         }
@@ -113,7 +118,13 @@ impl CircuitComparison {
     }
 }
 
-fn flow_result(name: &str, design: &Design, placement: &MacroPlacement, runtime_s: f64, eval_cfg: &EvalConfig) -> (FlowResult, PlacementMetrics) {
+fn flow_result(
+    name: &str,
+    design: &Design,
+    placement: &MacroPlacement,
+    runtime_s: f64,
+    eval_cfg: &EvalConfig,
+) -> (FlowResult, PlacementMetrics) {
     let metrics = evaluate_placement(design, &placement.to_map(), eval_cfg);
     (
         FlowResult {
@@ -132,21 +143,26 @@ fn flow_result(name: &str, design: &Design, placement: &MacroPlacement, runtime_
 
 /// Runs HiDaP once per λ in {0.2, 0.5, 0.8} and keeps the placement with the
 /// best measured wirelength, as the paper does ("best WL of three").
+///
+/// The three λ runs fan out across all cores through the engine's
+/// [`BatchRunner`]; the winner is deterministic regardless of thread count.
 pub fn hidap_best_of_lambdas(
     design: &Design,
     base: &HidapConfig,
     eval_cfg: &EvalConfig,
 ) -> Result<(MacroPlacement, f64, f64), hidap::HidapError> {
-    let mut best: Option<(MacroPlacement, f64, f64)> = None;
-    for lambda in [0.2, 0.5, 0.8] {
-        let config = HidapConfig { lambda, ..base.clone() };
-        let placement = HidapFlow::new(config).run(design)?;
-        let wl = evaluate_placement(design, &placement.to_map(), eval_cfg).wirelength_m;
-        if best.as_ref().map(|(_, b, _)| wl < *b).unwrap_or(true) {
-            best = Some((placement, wl, lambda));
-        }
-    }
-    Ok(best.expect("at least one lambda evaluated"))
+    let placer = HidapFlow::new(base.clone());
+    let grid = BatchGrid::new(vec![base.seed], vec![0.2, 0.5, 0.8]);
+    let runner =
+        BatchRunner::new().with_objective(Box::new(WirelengthObjective { eval: *eval_cfg }));
+    let batch = runner
+        .run(&placer, &PlaceRequest::new(design), &grid, &mut PlaceContext::new())
+        .map_err(|e| match e {
+            placer_core::PlaceError::Flow(inner) => inner,
+            other => hidap::HidapError::Internal(other.to_string()),
+        })?;
+    let lambda = batch.winner.lambda.expect("hidap reports lambda");
+    Ok((batch.winner.placement, batch.winner_score, lambda))
 }
 
 /// Runs the three flows on one of the c1–c8 stand-ins and measures them with
@@ -162,24 +178,23 @@ pub fn compare_flows_on(name: &str, design: &Design, effort: Effort) -> CircuitC
 
     // IndEDA-style baseline.
     let t = Instant::now();
-    let indeda_placement = IndEda::new(effort.indeda_config())
-        .run(design)
-        .expect("IndEDA baseline failed");
+    let indeda_placement =
+        IndEda::new(effort.indeda_config()).run(design).expect("IndEDA baseline failed");
     let indeda_time = t.elapsed().as_secs_f64();
     let (mut indeda, _) = flow_result("IndEDA", design, &indeda_placement, indeda_time, &eval_cfg);
 
     // HiDaP, best of three λ.
     let t = Instant::now();
     let (hidap_placement, _, best_lambda) =
-        hidap_best_of_lambdas(design, &effort.hidap_config(), &eval_cfg).expect("HiDaP flow failed");
+        hidap_best_of_lambdas(design, &effort.hidap_config(), &eval_cfg)
+            .expect("HiDaP flow failed");
     let hidap_time = t.elapsed().as_secs_f64();
     let (mut hidap, _) = flow_result("HiDaP", design, &hidap_placement, hidap_time, &eval_cfg);
 
     // handFP oracle.
     let t = Instant::now();
-    let (handfp_placement, _) = HandFp::new(effort.handfp_config())
-        .run(design)
-        .expect("handFP oracle failed");
+    let (handfp_placement, _) =
+        HandFp::new(effort.handfp_config()).run(design).expect("handFP oracle failed");
     let handfp_time = t.elapsed().as_secs_f64();
     let (mut handfp, _) = flow_result("handFP", design, &handfp_placement, handfp_time, &eval_cfg);
 
@@ -287,10 +302,8 @@ mod tests {
 
     #[test]
     fn common_arg_parsing() {
-        let args: Vec<String> = ["--circuits", "c1,c3", "--effort", "default"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["--circuits", "c1,c3", "--effort", "default"].iter().map(|s| s.to_string()).collect();
         let (circuits, effort) = parse_common_args(&args, &["c1"]);
         assert_eq!(circuits, vec!["c1", "c3"]);
         assert_eq!(effort, Effort::Default);

@@ -41,26 +41,22 @@ pub fn format_table3(comparisons: &[CircuitComparison]) -> String {
 /// range per flow.
 pub fn format_table2(comparisons: &[CircuitComparison]) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<8} {:>10} {:>10} {:>22}\n", "flow", "WL (gm)", "WNS (avg)", "effort"));
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>10} {:>22}\n",
+        "flow", "WL (gm)", "WNS (avg)", "effort"
+    ));
     out.push_str(&"-".repeat(54));
     out.push('\n');
     for flow in ["IndEDA", "HiDaP", "handFP"] {
-        let norm: Vec<f64> = comparisons
-            .iter()
-            .filter_map(|c| c.flow(flow).map(|r| r.wl_normalized))
-            .collect();
-        let wns: Vec<f64> = comparisons
-            .iter()
-            .filter_map(|c| c.flow(flow).map(|r| r.wns_percent))
-            .collect();
-        let times: Vec<f64> = comparisons
-            .iter()
-            .filter_map(|c| c.flow(flow).map(|r| r.runtime_s))
-            .collect();
+        let norm: Vec<f64> =
+            comparisons.iter().filter_map(|c| c.flow(flow).map(|r| r.wl_normalized)).collect();
+        let wns: Vec<f64> =
+            comparisons.iter().filter_map(|c| c.flow(flow).map(|r| r.wns_percent)).collect();
+        let times: Vec<f64> =
+            comparisons.iter().filter_map(|c| c.flow(flow).map(|r| r.runtime_s)).collect();
         let avg_wns = if wns.is_empty() { 0.0 } else { wns.iter().sum::<f64>() / wns.len() as f64 };
-        let (tmin, tmax) = times
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+        let (tmin, tmax) =
+            times.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
         out.push_str(&format!(
             "{:<8} {:>10.3} {:>9.1}% {:>14.1}-{:.1} s\n",
             flow,
@@ -73,17 +69,82 @@ pub fn format_table2(comparisons: &[CircuitComparison]) -> String {
     out
 }
 
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes comparisons as pretty-printed JSON (for `table3_results.json`).
+pub fn comparisons_json(comparisons: &[CircuitComparison]) -> String {
+    let mut out = String::from("[\n");
+    for (i, cmp) in comparisons.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"circuit\": {},\n", json_string(&cmp.circuit)));
+        out.push_str(&format!("    \"cells\": {},\n", cmp.cells));
+        out.push_str(&format!("    \"macros\": {},\n", cmp.macros));
+        out.push_str(&format!("    \"hidap_best_lambda\": {},\n", json_f64(cmp.hidap_best_lambda)));
+        out.push_str("    \"results\": [\n");
+        for (j, r) in cmp.results.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"flow\": {}, \"wirelength_m\": {}, \"wl_normalized\": {}, \
+\"grc_percent\": {}, \"wns_percent\": {}, \"tns_ns\": {}, \"runtime_s\": {}, \"legal\": {}}}{}\n",
+                json_string(&r.flow),
+                json_f64(r.wirelength_m),
+                json_f64(r.wl_normalized),
+                json_f64(r.grc_percent),
+                json_f64(r.wns_percent),
+                json_f64(r.tns_ns),
+                json_f64(r.runtime_s),
+                r.legal,
+                if j + 1 < cmp.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str(if i + 1 < comparisons.len() { "  },\n" } else { "  }\n" });
+    }
+    out.push(']');
+    out
+}
+
 /// Renders a block floorplan (name + rectangle) as an ASCII sketch of the die.
-pub fn ascii_floorplan(die: geometry::Rect, blocks: &[(String, geometry::Rect)], width: usize) -> String {
-    let height = (width as f64 * die.height() as f64 / die.width().max(1) as f64 * 0.5).round() as usize;
+pub fn ascii_floorplan(
+    die: geometry::Rect,
+    blocks: &[(String, geometry::Rect)],
+    width: usize,
+) -> String {
+    let height =
+        (width as f64 * die.height() as f64 / die.width().max(1) as f64 * 0.5).round() as usize;
     let height = height.max(8);
     let mut grid = vec![vec![' '; width]; height];
     for (idx, (_, rect)) in blocks.iter().enumerate() {
         let label = char::from(b'A' + (idx % 26) as u8);
         let x0 = ((rect.llx - die.llx) as f64 / die.width() as f64 * width as f64) as usize;
-        let x1 = (((rect.urx - die.llx) as f64 / die.width() as f64 * width as f64) as usize).min(width);
+        let x1 =
+            (((rect.urx - die.llx) as f64 / die.width() as f64 * width as f64) as usize).min(width);
         let y0 = ((rect.lly - die.lly) as f64 / die.height() as f64 * height as f64) as usize;
-        let y1 = (((rect.ury - die.lly) as f64 / die.height() as f64 * height as f64) as usize).min(height);
+        let y1 = (((rect.ury - die.lly) as f64 / die.height() as f64 * height as f64) as usize)
+            .min(height);
         for row in grid.iter_mut().take(y1).skip(y0) {
             for cell in row.iter_mut().take(x1).skip(x0) {
                 *cell = label;
@@ -145,6 +206,19 @@ mod tests {
         let text = format_table2(&[fake_comparison()]);
         assert_eq!(text.lines().count(), 2 + 3);
         assert!(text.contains("HiDaP"));
+    }
+
+    #[test]
+    fn comparisons_json_is_well_formed() {
+        let json = comparisons_json(&[fake_comparison()]);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"circuit\": \"c1\""));
+        assert!(json.contains("\"flow\": \"HiDaP\""));
+        assert_eq!(json.matches("\"legal\": true").count(), 3);
+        // escaping
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_f64(f64::NAN), "null");
     }
 
     #[test]

@@ -6,26 +6,43 @@
 //!
 //! ```text
 //! hidap --verilog design.v --lef macros.lef [--def floorplan.def]
-//!       [--top NAME] [--flow hidap|indeda] [--lambda 0.5] [--effort fast|default|high]
-//!       [--seed 1] [--out placed.def] [--svg floorplan.svg] [--report]
+//!       [--top NAME] [--flow hidap|indeda|handfp] [--lambda 0.5]
+//!       [--effort fast|default|high] [--seed 1] [--sweep] [--jobs N]
+//!       [--seeds 1,2,3] [--lambdas 0.2,0.5,0.8]
+//!       [--out placed.def] [--svg floorplan.svg] [--report]
 //! ```
+//!
+//! Flows are resolved by name through the engine's flow registry
+//! ([`baselines::default_registry`]), and every placement goes through the
+//! unified [`placer_core::Placer`] API:
+//!
+//! ```no_run
+//! use placer_core::{PlaceContext, PlaceRequest};
+//!
+//! let design = cli::load_design(&cli::parse_args(&[
+//!     "--verilog".into(), "design.v".into(),
+//! ])?)?.0;
+//! let registry = baselines::default_registry();
+//! let placer = registry.create("hidap").map_err(|e| e.to_string())?;
+//! let request = PlaceRequest::new(&design).with_seed(1).with_lambda(0.5);
+//! let outcome = placer
+//!     .place(&request, &mut PlaceContext::new())
+//!     .map_err(|e| e.to_string())?;
+//! println!("placed {} macros", outcome.placement.macros.len());
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! With `--sweep`, the tool fans a seed×λ grid out across `--jobs` worker
+//! threads via [`placer_core::BatchRunner`] and keeps the lowest-wirelength
+//! winner; the result is identical for any `--jobs` value.
 
-use baselines::{IndEda, IndEdaConfig};
 use eval::{evaluate_placement, EvalConfig};
 use geometry::Rect;
-use hidap::{HidapConfig, HidapFlow, MacroPlacement};
+use hidap::MacroPlacement;
 use netlist::design::Design;
 use netlist::verilog::ElaborateOptions;
+use placer_core::{BatchGrid, BatchRunner, EffortLevel, PlaceContext, PlaceOutcome, PlaceRequest};
 use std::path::PathBuf;
-
-/// Which placement flow to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FlowKind {
-    /// The RTL-aware dataflow-driven placer (the paper's contribution).
-    Hidap,
-    /// The flat connectivity-driven baseline.
-    IndEda,
-}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,14 +56,22 @@ pub struct Options {
     pub def: Option<PathBuf>,
     /// Top module name (inferred when absent).
     pub top: Option<String>,
-    /// Flow to run.
-    pub flow: FlowKind,
+    /// Flow to run, resolved through the flow registry.
+    pub flow: String,
     /// λ blend between block flow and macro flow.
     pub lambda: f64,
     /// Effort preset: `fast`, `default` or `high`.
     pub effort: String,
-    /// Random seed.
+    /// Random seed (base seed of the sweep when `--sweep` is given).
     pub seed: u64,
+    /// Run a seed×λ sweep and keep the lowest-wirelength winner.
+    pub sweep: bool,
+    /// Worker threads for the sweep (0 = all available cores).
+    pub jobs: usize,
+    /// Explicit sweep seeds; derived from `seed` when empty.
+    pub seeds: Vec<u64>,
+    /// Sweep λ values.
+    pub lambdas: Vec<f64>,
     /// Output DEF path (optional).
     pub out: Option<PathBuf>,
     /// Output SVG path (optional).
@@ -62,10 +87,14 @@ impl Default for Options {
             lef: None,
             def: None,
             top: None,
-            flow: FlowKind::Hidap,
+            flow: "hidap".to_string(),
             lambda: 0.5,
             effort: "default".to_string(),
             seed: 1,
+            sweep: false,
+            jobs: 0,
+            seeds: Vec::new(),
+            lambdas: vec![0.2, 0.5, 0.8],
             out: None,
             svg: None,
             report: false,
@@ -75,22 +104,35 @@ impl Default for Options {
 
 /// The usage string printed on `--help` or argument errors.
 pub const USAGE: &str = "usage: hidap --verilog <file.v> [--lef <file.lef>] [--def <file.def>] \
-[--top <module>] [--flow hidap|indeda] [--lambda <0..1>] [--effort fast|default|high] \
-[--seed <n>] [--out <placed.def>] [--svg <floorplan.svg>] [--report]";
+[--top <module>] [--flow hidap|indeda|handfp] [--lambda <0..1>] [--effort fast|default|high] \
+[--seed <n>] [--sweep] [--jobs <n>] [--seeds <n,n,...>] [--lambdas <l,l,...>] \
+[--out <placed.def>] [--svg <floorplan.svg>] [--report]";
+
+fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("invalid {flag} entry '{s}'")))
+        .collect()
+}
 
 /// Parses command-line arguments (excluding the program name).
 ///
+/// All value validation happens here, at parse time: unknown flows (checked
+/// against the flow registry), out-of-range `--lambda`, unknown `--effort`
+/// values and malformed lists are rejected with a clear message instead of
+/// failing deep inside a flow.
+///
 /// # Errors
 ///
-/// Returns a human-readable message for unknown flags, missing values or a
-/// missing `--verilog` input.
+/// Returns a human-readable message for unknown flags, missing values,
+/// invalid values or a missing `--verilog` input.
 pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut i = 0;
     let mut have_verilog = false;
     while i < args.len() {
         let flag = args[i].as_str();
-        let mut value = |i: &mut usize| -> Result<String, String> {
+        let value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
             args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
         };
@@ -103,21 +145,38 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--def" => opts.def = Some(PathBuf::from(value(&mut i)?)),
             "--top" => opts.top = Some(value(&mut i)?),
             "--flow" => {
-                opts.flow = match value(&mut i)?.as_str() {
-                    "hidap" => FlowKind::Hidap,
-                    "indeda" => FlowKind::IndEda,
-                    other => return Err(format!("unknown flow '{other}'")),
+                let name = value(&mut i)?;
+                let registry = baselines::default_registry();
+                if !registry.contains(&name) {
+                    return Err(format!(
+                        "unknown flow '{name}' (known flows: {})",
+                        registry.names().join(", ")
+                    ));
                 }
+                opts.flow = name;
             }
             "--lambda" => {
-                opts.lambda = value(&mut i)?
-                    .parse()
-                    .map_err(|_| "invalid --lambda value".to_string())?;
+                opts.lambda =
+                    value(&mut i)?.parse().map_err(|_| "invalid --lambda value".to_string())?;
             }
-            "--effort" => opts.effort = value(&mut i)?,
+            "--effort" => {
+                let effort = value(&mut i)?;
+                if EffortLevel::parse(&effort).is_none() {
+                    return Err(format!("unknown effort '{effort}' (expected fast|default|high)"));
+                }
+                opts.effort = effort;
+            }
             "--seed" => {
-                opts.seed = value(&mut i)?.parse().map_err(|_| "invalid --seed value".to_string())?;
+                opts.seed =
+                    value(&mut i)?.parse().map_err(|_| "invalid --seed value".to_string())?;
             }
+            "--sweep" => opts.sweep = true,
+            "--jobs" => {
+                opts.jobs =
+                    value(&mut i)?.parse().map_err(|_| "invalid --jobs value".to_string())?;
+            }
+            "--seeds" => opts.seeds = parse_list(&value(&mut i)?, "--seeds")?,
+            "--lambdas" => opts.lambdas = parse_list(&value(&mut i)?, "--lambdas")?,
             "--out" => opts.out = Some(PathBuf::from(value(&mut i)?)),
             "--svg" => opts.svg = Some(PathBuf::from(value(&mut i)?)),
             "--report" => opts.report = true,
@@ -130,20 +189,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err(format!("--verilog is required\n{USAGE}"));
     }
     if !(0.0..=1.0).contains(&opts.lambda) {
-        return Err("--lambda must be between 0 and 1".to_string());
+        return Err(format!("--lambda must be between 0 and 1, got {}", opts.lambda));
+    }
+    if let Some(bad) = opts.lambdas.iter().find(|l| !(0.0..=1.0).contains(*l)) {
+        return Err(format!("--lambdas entries must be between 0 and 1, got {bad}"));
+    }
+    if opts.lambdas.is_empty() {
+        return Err("--lambdas must name at least one value".to_string());
     }
     Ok(opts)
 }
 
-/// Builds the HiDaP configuration implied by the options.
-pub fn hidap_config(opts: &Options) -> Result<HidapConfig, String> {
-    let base = match opts.effort.as_str() {
-        "fast" => HidapConfig::fast(),
-        "default" => HidapConfig::default(),
-        "high" => HidapConfig::high_effort(),
-        other => return Err(format!("unknown effort '{other}' (expected fast|default|high)")),
-    };
-    Ok(base.with_lambda(opts.lambda).with_seed(opts.seed))
+/// The engine effort tier implied by the options.
+pub fn effort_level(opts: &Options) -> Result<EffortLevel, String> {
+    EffortLevel::parse(&opts.effort)
+        .ok_or_else(|| format!("unknown effort '{}' (expected fast|default|high)", opts.effort))
 }
 
 /// Loads the design described by the options: Verilog netlist, optional LEF
@@ -156,17 +216,20 @@ pub fn load_design(opts: &Options) -> Result<(Design, i64), String> {
     if let Some(lef_path) = &opts.lef {
         let lef_text = std::fs::read_to_string(lef_path)
             .map_err(|e| format!("cannot read {}: {e}", lef_path.display()))?;
-        let lef = netlist::lef::parse_lef(&lef_text).map_err(|e| format!("LEF parse error: {e}"))?;
+        let lef =
+            netlist::lef::parse_lef(&lef_text).map_err(|e| format!("LEF parse error: {e}"))?;
         dbu = lef.dbu_per_micron;
         elaborate.library = lef.library;
     }
-    let mut design = netlist::verilog::parse_verilog(&verilog_text, opts.top.as_deref(), &elaborate)
-        .map_err(|e| format!("Verilog parse error: {e}"))?;
+    let mut design =
+        netlist::verilog::parse_verilog(&verilog_text, opts.top.as_deref(), &elaborate)
+            .map_err(|e| format!("Verilog parse error: {e}"))?;
 
     if let Some(def_path) = &opts.def {
         let def_text = std::fs::read_to_string(def_path)
             .map_err(|e| format!("cannot read {}: {e}", def_path.display()))?;
-        let def = netlist::def::parse_def(&def_text).map_err(|e| format!("DEF parse error: {e}"))?;
+        let def =
+            netlist::def::parse_def(&def_text).map_err(|e| format!("DEF parse error: {e}"))?;
         if def.dbu_per_micron > 0 {
             dbu = def.dbu_per_micron;
         }
@@ -180,16 +243,73 @@ pub fn load_design(opts: &Options) -> Result<(Design, i64), String> {
     Ok((design, dbu))
 }
 
-/// Runs the selected flow on a loaded design.
+/// A one-line summary of how a placement was obtained.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlacementInfo {
+    /// Winning seed (differs from the base seed under `--sweep`).
+    pub seed: u64,
+    /// Winning λ, for flows with a λ knob.
+    pub lambda: Option<f64>,
+    /// Number of sweep candidates (1 without `--sweep`).
+    pub candidates: usize,
+    /// Worker threads the sweep used.
+    pub jobs: usize,
+}
+
+/// Runs the selected flow on a loaded design through the engine API.
 pub fn place(design: &Design, opts: &Options) -> Result<MacroPlacement, String> {
-    match opts.flow {
-        FlowKind::Hidap => HidapFlow::new(hidap_config(opts)?)
-            .run(design)
-            .map_err(|e| format!("placement failed: {e}")),
-        FlowKind::IndEda => {
-            let config = IndEdaConfig { seed: opts.seed, ..IndEdaConfig::default() };
-            IndEda::new(config).run(design).map_err(|e| format!("placement failed: {e}"))
+    place_outcome(design, opts).map(|(outcome, _)| outcome.placement)
+}
+
+/// Like [`place`], but returns the full [`PlaceOutcome`] (stage timings,
+/// metrics) and sweep information.
+pub fn place_outcome(
+    design: &Design,
+    opts: &Options,
+) -> Result<(PlaceOutcome, PlacementInfo), String> {
+    let registry = baselines::default_registry();
+    let placer = registry.create(&opts.flow).map_err(|e| e.to_string())?;
+    let effort = effort_level(opts)?;
+    let mut ctx = PlaceContext::new();
+    if opts.sweep {
+        if placer.is_composite() {
+            return Err(format!(
+                "flow '{}' already sweeps a seed×λ grid internally; drop --sweep (configure the \
+                 flow's own grid instead) or sweep a single-run flow like 'hidap'",
+                opts.flow
+            ));
         }
+        // flows without a λ knob would run identical placements per λ entry
+        let lambdas =
+            if placer.supports_lambda() { opts.lambdas.clone() } else { vec![opts.lambda] };
+        let grid = if opts.seeds.is_empty() {
+            BatchGrid::derived(opts.seed, 4, lambdas)
+        } else {
+            BatchGrid::new(opts.seeds.clone(), lambdas)
+        };
+        let candidates = grid.len();
+        let runner = BatchRunner::new().with_jobs(opts.jobs);
+        let template = PlaceRequest::new(design).with_effort(effort);
+        let batch = runner
+            .run(placer.as_ref(), &template, &grid, &mut ctx)
+            .map_err(|e| format!("placement failed: {e}"))?;
+        let info = PlacementInfo {
+            seed: batch.winner.seed,
+            lambda: batch.winner.lambda,
+            candidates,
+            jobs: runner.effective_jobs(candidates),
+        };
+        Ok((batch.winner, info))
+    } else {
+        let request = PlaceRequest::new(design)
+            .with_seed(opts.seed)
+            .with_effort(effort)
+            .with_lambda(opts.lambda);
+        let outcome =
+            placer.place(&request, &mut ctx).map_err(|e| format!("placement failed: {e}"))?;
+        let info =
+            PlacementInfo { seed: outcome.seed, lambda: outcome.lambda, candidates: 1, jobs: 1 };
+        Ok((outcome, info))
     }
 }
 
@@ -197,7 +317,8 @@ pub fn place(design: &Design, opts: &Options) -> Result<MacroPlacement, String> 
 /// Returns the text printed to stdout.
 pub fn run(opts: &Options) -> Result<String, String> {
     let (design, dbu) = load_design(opts)?;
-    let placement = place(&design, opts)?;
+    let (outcome, info) = place_outcome(&design, opts)?;
+    let placement = &outcome.placement;
     let mut output = String::new();
     output.push_str(&format!(
         "placed {} macros on a {:.1} x {:.1} um die (legal: {})\n",
@@ -206,17 +327,28 @@ pub fn run(opts: &Options) -> Result<String, String> {
         design.die().height() as f64 / dbu as f64,
         placement.is_legal(&design),
     ));
+    if opts.sweep {
+        output.push_str(&format!(
+            "sweep: {} candidates on {} threads, winner seed {}{}\n",
+            info.candidates,
+            info.jobs,
+            info.seed,
+            info.lambda.map(|l| format!(" lambda {l}")).unwrap_or_default(),
+        ));
+    }
 
     if let Some(out) = &opts.out {
         let entries = netlist::def::placement_entries(&design, &placement.to_map(), true);
         let pins = netlist::def::port_entries(&design);
         let def_text = netlist::def::write_def(design.name(), dbu, design.die(), &entries, &pins);
-        std::fs::write(out, def_text).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        std::fs::write(out, def_text)
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
         output.push_str(&format!("wrote {}\n", out.display()));
     }
     if let Some(svg) = &opts.svg {
         let svg_text = eval::visualize::floorplan_svg(&design, &placement.to_map(), design.name());
-        std::fs::write(svg, svg_text).map_err(|e| format!("cannot write {}: {e}", svg.display()))?;
+        std::fs::write(svg, svg_text)
+            .map_err(|e| format!("cannot write {}: {e}", svg.display()))?;
         output.push_str(&format!("wrote {}\n", svg.display()));
     }
     if opts.report {
@@ -230,6 +362,9 @@ pub fn run(opts: &Options) -> Result<String, String> {
             metrics.tns_ns(),
             metrics.density.peak(),
         ));
+        for timing in &outcome.stage_timings {
+            output.push_str(&format!("stage {}: {:.3} s\n", timing.stage, timing.seconds));
+        }
     }
     Ok(output)
 }
@@ -246,23 +381,54 @@ mod tests {
     fn parse_minimal_arguments() {
         let opts = parse_args(&args(&["--verilog", "a.v"])).unwrap();
         assert_eq!(opts.verilog, PathBuf::from("a.v"));
-        assert_eq!(opts.flow, FlowKind::Hidap);
+        assert_eq!(opts.flow, "hidap");
         assert_eq!(opts.lambda, 0.5);
+        assert!(!opts.sweep);
+        assert_eq!(opts.jobs, 0);
         assert!(!opts.report);
     }
 
     #[test]
     fn parse_full_arguments() {
         let opts = parse_args(&args(&[
-            "--verilog", "a.v", "--lef", "a.lef", "--def", "a.def", "--top", "chip",
-            "--flow", "indeda", "--lambda", "0.8", "--effort", "high", "--seed", "7",
-            "--out", "out.def", "--svg", "fp.svg", "--report",
+            "--verilog",
+            "a.v",
+            "--lef",
+            "a.lef",
+            "--def",
+            "a.def",
+            "--top",
+            "chip",
+            "--flow",
+            "indeda",
+            "--lambda",
+            "0.8",
+            "--effort",
+            "high",
+            "--seed",
+            "7",
+            "--sweep",
+            "--jobs",
+            "4",
+            "--seeds",
+            "1,2,3",
+            "--lambdas",
+            "0.1,0.9",
+            "--out",
+            "out.def",
+            "--svg",
+            "fp.svg",
+            "--report",
         ]))
         .unwrap();
-        assert_eq!(opts.flow, FlowKind::IndEda);
+        assert_eq!(opts.flow, "indeda");
         assert_eq!(opts.lambda, 0.8);
         assert_eq!(opts.effort, "high");
         assert_eq!(opts.seed, 7);
+        assert!(opts.sweep);
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.seeds, vec![1, 2, 3]);
+        assert_eq!(opts.lambdas, vec![0.1, 0.9]);
         assert!(opts.report);
         assert_eq!(opts.top.as_deref(), Some("chip"));
     }
@@ -272,15 +438,48 @@ mod tests {
         assert!(parse_args(&args(&[])).is_err());
         assert!(parse_args(&args(&["--verilog"])).is_err());
         assert!(parse_args(&args(&["--verilog", "a.v", "--bogus"])).is_err());
-        assert!(parse_args(&args(&["--verilog", "a.v", "--lambda", "2.0"])).is_err());
         assert!(parse_args(&args(&["--verilog", "a.v", "--flow", "magic"])).is_err());
+        assert!(parse_args(&args(&["--verilog", "a.v", "--jobs", "many"])).is_err());
+        assert!(parse_args(&args(&["--verilog", "a.v", "--seeds", "1,x"])).is_err());
+    }
+
+    #[test]
+    fn lambda_out_of_range_rejected_at_parse_time() {
+        for bad in ["2.0", "-0.1", "1.0001"] {
+            let err = parse_args(&args(&["--verilog", "a.v", "--lambda", bad])).unwrap_err();
+            assert!(err.contains("--lambda must be between 0 and 1"), "{err}");
+        }
+        // boundary values are accepted
+        assert!(parse_args(&args(&["--verilog", "a.v", "--lambda", "0.0"])).is_ok());
+        assert!(parse_args(&args(&["--verilog", "a.v", "--lambda", "1.0"])).is_ok());
+        // sweep lambdas are validated too
+        let err = parse_args(&args(&["--verilog", "a.v", "--lambdas", "0.2,1.5"])).unwrap_err();
+        assert!(err.contains("between 0 and 1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_effort_rejected_at_parse_time() {
+        let err = parse_args(&args(&["--verilog", "a.v", "--effort", "nope"])).unwrap_err();
+        assert!(err.contains("unknown effort 'nope'"), "{err}");
+        assert!(err.contains("fast|default|high"), "{err}");
+        for good in ["fast", "default", "high"] {
+            assert!(parse_args(&args(&["--verilog", "a.v", "--effort", good])).is_ok());
+        }
+    }
+
+    #[test]
+    fn unknown_flow_lists_registry_names() {
+        let err = parse_args(&args(&["--verilog", "a.v", "--flow", "magic"])).unwrap_err();
+        assert!(err.contains("handfp"), "{err}");
+        assert!(err.contains("hidap"), "{err}");
+        assert!(err.contains("indeda"), "{err}");
     }
 
     #[test]
     fn effort_mapping() {
         let mut opts = parse_args(&args(&["--verilog", "a.v", "--effort", "fast"])).unwrap();
-        assert_eq!(hidap_config(&opts).unwrap().sa_moves_per_block, HidapConfig::fast().sa_moves_per_block);
+        assert_eq!(effort_level(&opts).unwrap(), EffortLevel::Fast);
         opts.effort = "nope".into();
-        assert!(hidap_config(&opts).is_err());
+        assert!(effort_level(&opts).is_err());
     }
 }

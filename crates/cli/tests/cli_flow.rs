@@ -101,7 +101,8 @@ fn cli_baseline_flow_also_works() {
 
 #[test]
 fn cli_reports_missing_files_gracefully() {
-    let args: Vec<String> = ["--verilog", "/nonexistent/path/x.v"].iter().map(|s| s.to_string()).collect();
+    let args: Vec<String> =
+        ["--verilog", "/nonexistent/path/x.v"].iter().map(|s| s.to_string()).collect();
     let opts = parse_args(&args).unwrap();
     let err = run(&opts).unwrap_err();
     assert!(err.contains("cannot read"));

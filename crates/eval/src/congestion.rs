@@ -141,7 +141,13 @@ pub fn estimate_congestion(
     let mut peak: f64 = 0.0;
     let mut utilization = vec![0.0f64; bins * bins];
     for i in 0..bins * bins {
-        let u = if capacity[i] > 0.0 { demand[i] / capacity[i] } else if demand[i] > 0.0 { 2.0 } else { 0.0 };
+        let u = if capacity[i] > 0.0 {
+            demand[i] / capacity[i]
+        } else if demand[i] > 0.0 {
+            2.0
+        } else {
+            0.0
+        };
         utilization[i] = u;
         if u > 1.0 {
             overflow += 1;
@@ -194,7 +200,8 @@ mod tests {
     fn empty_placement_has_no_congestion() {
         let d = chain_design(4, Rect::new(0, 0, 1000, 1000));
         let placement = CellPlacement::default();
-        let map = estimate_congestion(&d, &placement, &HashMap::new(), &CongestionConfig::default());
+        let map =
+            estimate_congestion(&d, &placement, &HashMap::new(), &CongestionConfig::default());
         assert_eq!(map.overflow_percent, 0.0);
         assert_eq!(map.peak_utilization, 0.0);
     }
@@ -216,7 +223,9 @@ mod tests {
         let d = b.build();
         let mut placement = CellPlacement::default();
         for (i, &c) in cells.iter().enumerate() {
-            placement.positions.insert(c, Point::new(10 + (i as i64 % 5) * 20, 10 + (i as i64 / 5) * 10));
+            placement
+                .positions
+                .insert(c, Point::new(10 + (i as i64 % 5) * 20, 10 + (i as i64 / 5) * 10));
         }
         let cfg = CongestionConfig { bins: 8, supply_per_dbu: 0.001, ..Default::default() };
         let map = estimate_congestion(&d, &placement, &HashMap::new(), &cfg);
@@ -232,7 +241,9 @@ mod tests {
         // clustered placement
         let mut clustered = CellPlacement::default();
         for (i, &c) in ids.iter().enumerate() {
-            clustered.positions.insert(c, Point::new(50 + (i as i64 % 7) * 10, 50 + (i as i64 / 7) * 10));
+            clustered
+                .positions
+                .insert(c, Point::new(50 + (i as i64 % 7) * 10, 50 + (i as i64 / 7) * 10));
         }
         // spread placement
         let mut spread = CellPlacement::default();

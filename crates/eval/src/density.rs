@@ -62,7 +62,8 @@ impl DensityMap {
                     die.llx + ((bx + 1) as f64 * bin_w) as i64,
                     die.lly + ((by + 1) as f64 * bin_h) as i64,
                 );
-                let macro_overlap: f64 = macro_rects.iter().map(|m| m.overlap_area(&rect) as f64).sum();
+                let macro_overlap: f64 =
+                    macro_rects.iter().map(|m| m.overlap_area(&rect) as f64).sum();
                 let free = (bin_area - macro_overlap).max(bin_area * 0.01);
                 density[bx * bins + by] = cell_area[bx * bins + by] / free;
             }

@@ -84,10 +84,12 @@ pub fn evaluate_placement(
 ) -> PlacementMetrics {
     let cell_placement = place_standard_cells(design, macro_placement, &config.placer);
     let hpwl = total_hpwl(design, &cell_placement);
-    let congestion = estimate_congestion(design, &cell_placement, macro_placement, &config.congestion);
+    let congestion =
+        estimate_congestion(design, &cell_placement, macro_placement, &config.congestion);
     let gseq = SeqGraph::from_design(design, &SeqGraphConfig::default());
     let timing = estimate_timing(design, &gseq, &cell_placement, &config.timing);
-    let density = DensityMap::compute(design, &cell_placement, macro_placement, config.density_bins);
+    let density =
+        DensityMap::compute(design, &cell_placement, macro_placement, config.density_bins);
     PlacementMetrics {
         wirelength_m: hpwl.meters(config.dbu_per_micron),
         hpwl,

@@ -17,9 +17,9 @@
 
 use geometry::{Orientation, Point, Rect};
 use netlist::design::{CellId, CellKind, Design};
+use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -77,7 +77,8 @@ pub fn place_standard_cells(
     let mut macro_rects: Vec<Rect> = Vec::new();
     for (id, cell) in design.cells() {
         if cell.kind == CellKind::Macro {
-            let (loc, orient) = macro_placement.get(&id).copied().unwrap_or((die_center, Orientation::N));
+            let (loc, orient) =
+                macro_placement.get(&id).copied().unwrap_or((die_center, Orientation::N));
             let (w, h) = orient.transformed_size(cell.width, cell.height);
             let rect = Rect::from_size(loc.x, loc.y, w, h);
             positions.insert(id, rect.center());
@@ -195,7 +196,8 @@ fn spread(
                 die.llx + ((bx + 1) as f64 * bin_w) as i64,
                 die.lly + ((by + 1) as f64 * bin_h) as i64,
             );
-            let macro_overlap: f64 = macro_rects.iter().map(|m| m.overlap_area(&bin_rect) as f64).sum();
+            let macro_overlap: f64 =
+                macro_rects.iter().map(|m| m.overlap_area(&bin_rect) as f64).sum();
             *cap = ((bin_area - macro_overlap) * config.target_utilization).max(0.0);
         }
     }
@@ -324,7 +326,7 @@ mod tests {
         mp.insert(m, (Point::new(700, 400), Orientation::N));
         let placement = place_standard_cells(&d, &mp, &PlacerConfig::default());
         assert_eq!(placement.positions.len(), d.num_cells());
-        for (_, &p) in &placement.positions {
+        for &p in placement.positions.values() {
             assert!(d.die().contains(p));
         }
     }
@@ -375,7 +377,7 @@ mod tests {
         let placement = place_standard_cells(&d, &HashMap::new(), &cfg);
         // count cells per bin
         let mut counts = vec![vec![0usize; 8]; 8];
-        for (_, &p) in &placement.positions {
+        for &p in placement.positions.values() {
             let bx = ((p.x as f64 / 40.0) as usize).min(7);
             let by = ((p.y as f64 / 40.0) as usize).min(7);
             counts[bx][by] += 1;

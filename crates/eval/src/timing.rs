@@ -193,7 +193,8 @@ mod tests {
     fn empty_design_reports_clean_timing() {
         let d = DesignBuilder::new("t").build();
         let gseq = SeqGraph::from_design(&d, &SeqGraphConfig::default());
-        let report = estimate_timing(&d, &gseq, &CellPlacement::default(), &TimingConfig::default());
+        let report =
+            estimate_timing(&d, &gseq, &CellPlacement::default(), &TimingConfig::default());
         assert_eq!(report.analyzed_edges, 0);
         assert_eq!(report.wns_percent, 0.0);
     }

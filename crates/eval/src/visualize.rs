@@ -159,17 +159,13 @@ pub fn dataflow_svg(
     title: &str,
 ) -> String {
     let mut canvas = Canvas::new(die);
-    let palette = ["#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69", "#fccde5"];
+    let palette =
+        ["#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69", "#fccde5"];
     for (i, (name, rect)) in blocks.iter().enumerate() {
         canvas.rect(*rect, palette[i % palette.len()], "#404040", Some(name));
     }
     // affinity edges, thickness proportional to the affinity
-    let max_aff = affinity
-        .iter()
-        .flatten()
-        .copied()
-        .fold(0.0_f64, f64::max)
-        .max(1e-12);
+    let max_aff = affinity.iter().flatten().copied().fold(0.0_f64, f64::max).max(1e-12);
     for i in 0..blocks.len().min(affinity.len()) {
         for j in (i + 1)..blocks.len().min(affinity.len()) {
             let a = affinity[i][j];
@@ -226,11 +222,7 @@ mod tests {
             ("B".to_string(), Rect::new(600, 600, 1000, 1000)),
             ("X".to_string(), Rect::new(0, 600, 400, 1000)),
         ];
-        let affinity = vec![
-            vec![0.0, 50.0, 0.1],
-            vec![50.0, 0.0, 0.0],
-            vec![0.1, 0.0, 0.0],
-        ];
+        let affinity = vec![vec![0.0, 50.0, 0.1], vec![50.0, 0.0, 0.0], vec![0.1, 0.0, 0.0]];
         let svg = dataflow_svg(die, &blocks, &affinity, 1.0, "gdf");
         assert_eq!(svg.matches("<line").count(), 1, "only the A-B edge is above threshold");
         assert!(svg.contains(">A<"));

@@ -14,7 +14,9 @@ use serde::{Deserialize, Serialize};
 /// let b = Point::new(13, 16);
 /// assert_eq!(a.manhattan_distance(b), 7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: Dbu,

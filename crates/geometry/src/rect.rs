@@ -89,7 +89,10 @@ impl Rect {
 
     /// Returns `true` if `other` lies entirely inside (or on the boundary of) `self`.
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        other.llx >= self.llx && other.urx <= self.urx && other.lly >= self.lly && other.ury <= self.ury
+        other.llx >= self.llx
+            && other.urx <= self.urx
+            && other.lly >= self.lly
+            && other.ury <= self.ury
     }
 
     /// Returns `true` if the interiors of the two rectangles overlap.
@@ -168,10 +171,7 @@ impl Rect {
     /// Panics if `x` is outside `[llx, urx]`.
     pub fn split_vertical(&self, x: Dbu) -> (Rect, Rect) {
         assert!(x >= self.llx && x <= self.urx, "split outside rectangle");
-        (
-            Rect::new(self.llx, self.lly, x, self.ury),
-            Rect::new(x, self.lly, self.urx, self.ury),
-        )
+        (Rect::new(self.llx, self.lly, x, self.ury), Rect::new(x, self.lly, self.urx, self.ury))
     }
 
     /// Splits the rectangle horizontally (bottom / top) at `y` (absolute coordinate).
@@ -181,10 +181,7 @@ impl Rect {
     /// Panics if `y` is outside `[lly, ury]`.
     pub fn split_horizontal(&self, y: Dbu) -> (Rect, Rect) {
         assert!(y >= self.lly && y <= self.ury, "split outside rectangle");
-        (
-            Rect::new(self.llx, self.lly, self.urx, y),
-            Rect::new(self.llx, y, self.urx, self.ury),
-        )
+        (Rect::new(self.llx, self.lly, self.urx, y), Rect::new(self.llx, y, self.urx, self.ury))
     }
 
     /// Aspect ratio (width / height); `f64::INFINITY` for zero height.
@@ -264,7 +261,8 @@ mod tests {
 
     #[test]
     fn bounding_box_of_points() {
-        let bb = Rect::bounding_box([Point::new(3, 4), Point::new(-1, 9), Point::new(5, 0)]).unwrap();
+        let bb =
+            Rect::bounding_box([Point::new(3, 4), Point::new(-1, 9), Point::new(5, 0)]).unwrap();
         assert_eq!(bb, Rect::new(-1, 0, 5, 9));
         assert!(Rect::bounding_box(std::iter::empty()).is_none());
     }

@@ -42,7 +42,8 @@ impl ShapeCurve {
     /// Builds a curve from an arbitrary set of feasible boxes, keeping only
     /// the Pareto-minimal ones.
     pub fn from_points<I: IntoIterator<Item = (Dbu, Dbu)>>(points: I) -> Self {
-        let mut pts: Vec<(Dbu, Dbu)> = points.into_iter().filter(|&(w, h)| w >= 0 && h >= 0).collect();
+        let mut pts: Vec<(Dbu, Dbu)> =
+            points.into_iter().filter(|&(w, h)| w >= 0 && h >= 0).collect();
         pts.sort_unstable();
         let mut pareto: Vec<(Dbu, Dbu)> = Vec::with_capacity(pts.len());
         for (w, h) in pts {
@@ -100,11 +101,7 @@ impl ShapeCurve {
 
     /// The minimum area over all Pareto points (0 for an unconstrained curve).
     pub fn min_area(&self) -> i128 {
-        self.points
-            .iter()
-            .map(|&(w, h)| w as i128 * h as i128)
-            .min()
-            .unwrap_or(0)
+        self.points.iter().map(|&(w, h)| w as i128 * h as i128).min().unwrap_or(0)
     }
 
     /// The smallest feasible width (0 for an unconstrained curve).
@@ -133,11 +130,7 @@ impl ShapeCurve {
         if self.points.is_empty() {
             return Some(0);
         }
-        self.points
-            .iter()
-            .filter(|&&(_, h)| h <= height)
-            .map(|&(w, _)| w)
-            .min()
+        self.points.iter().filter(|&&(_, h)| h <= height).map(|&(w, _)| w).min()
     }
 
     /// Composes two curves side by side (widths add, heights max).

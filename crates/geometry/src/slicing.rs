@@ -380,9 +380,11 @@ mod tests {
         use CutDirection::*;
         use PolishToken::*;
         // operator before enough operands
-        assert!(PolishExpression::from_tokens(vec![Operand(0), Operator(Vertical), Operand(1)]).is_none());
+        assert!(PolishExpression::from_tokens(vec![Operand(0), Operator(Vertical), Operand(1)])
+            .is_none());
         // duplicate operand
-        assert!(PolishExpression::from_tokens(vec![Operand(0), Operand(0), Operator(Vertical)]).is_none());
+        assert!(PolishExpression::from_tokens(vec![Operand(0), Operand(0), Operator(Vertical)])
+            .is_none());
         // consecutive identical operators (not normalized)
         assert!(PolishExpression::from_tokens(vec![
             Operand(0),

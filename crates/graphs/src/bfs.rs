@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn blocked_nodes_are_reached_but_not_traversed() {
         // 0 -> 1 -> 2 ; node 1 cannot be traversed
-        let adj = vec![vec![1], vec![2], vec![]];
+        let adj = [vec![1], vec![2], vec![]];
         let r = multi_source_bfs(3, &[0], |n| adj[n].clone(), |n| n != 1);
         assert_eq!(r.distance[1], 1);
         assert!(!r.reached(2));
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn unreachable_nodes_flagged() {
-        let adj = vec![vec![], vec![]];
+        let adj = [vec![], vec![]];
         let r = multi_source_bfs(2, &[0], |n: usize| adj[n].clone(), |_| true);
         assert!(!r.reached(1));
         assert_eq!(r.source[1], usize::MAX);
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn duplicate_sources_keep_first() {
-        let adj = vec![vec![1], vec![]];
+        let adj = [vec![1], vec![]];
         let r = multi_source_bfs(2, &[0, 0], |n| adj[n].clone(), |_| true);
         assert_eq!(r.source[0], 0);
     }

@@ -83,10 +83,7 @@ impl FlowHistogram {
     /// Larger `k` punishes long-latency flow more aggressively; `k = 0`
     /// reduces to the raw bit count.
     pub fn score(&self, k: u32) -> f64 {
-        self.bins
-            .iter()
-            .map(|(&lat, &bits)| bits as f64 / (lat as f64).powi(k as i32))
-            .sum()
+        self.bins.iter().map(|(&lat, &bits)| bits as f64 / (lat as f64).powi(k as i32)).sum()
     }
 }
 

@@ -202,7 +202,8 @@ impl SeqGraph {
         // reached, which approximates the wire count even when one of the two
         // endpoints is a single-node macro.
         let mut edge_src_bits: HashMap<(usize, usize), u64> = HashMap::new();
-        let mut edge_dst_bits: HashMap<(usize, usize), std::collections::HashSet<usize>> = HashMap::new();
+        let mut edge_dst_bits: HashMap<(usize, usize), std::collections::HashSet<usize>> =
+            HashMap::new();
         let mut visited = vec![u32::MAX; gnet.num_nodes()];
         let mut epoch = 0u32;
         for (&bit, &src_node) in &node_of_bit {

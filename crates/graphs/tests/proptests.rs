@@ -89,10 +89,12 @@ proptest! {
             stages.push(stage);
         }
         for s in 1..num_regs {
-            for i in 0..bits as usize {
+            let pairs: Vec<_> =
+                stages[s - 1].iter().copied().zip(stages[s].iter().copied()).collect();
+            for (i, (src, dst)) in pairs.into_iter().enumerate() {
                 let n = b.add_net(format!("n{s}_{i}"));
-                b.connect_driver(n, stages[s - 1][i]);
-                b.connect_sink(n, stages[s][i]);
+                b.connect_driver(n, src);
+                b.connect_sink(n, dst);
             }
         }
         let design = b.build();

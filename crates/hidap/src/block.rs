@@ -125,7 +125,11 @@ mod tests {
         Block {
             kind: BlockKind::Hierarchy(HierarchyNodeId(0)),
             name: name.into(),
-            shape: if macros > 0 { ShapeCurve::from_macro(10, 10, true) } else { ShapeCurve::unconstrained() },
+            shape: if macros > 0 {
+                ShapeCurve::from_macro(10, 10, true)
+            } else {
+                ShapeCurve::unconstrained()
+            },
             min_area,
             target_area: min_area,
             macros: (0..macros).map(|i| CellId(i as u32)).collect(),

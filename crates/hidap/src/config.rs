@@ -175,7 +175,12 @@ mod tests {
 
     #[test]
     fn effort_presets_ordered() {
-        assert!(HidapConfig::fast().sa_moves_per_block <= HidapConfig::default().sa_moves_per_block);
-        assert!(HidapConfig::high_effort().sa_moves_per_block >= HidapConfig::default().sa_moves_per_block);
+        assert!(
+            HidapConfig::fast().sa_moves_per_block <= HidapConfig::default().sa_moves_per_block
+        );
+        assert!(
+            HidapConfig::high_effort().sa_moves_per_block
+                >= HidapConfig::default().sa_moves_per_block
+        );
     }
 }

@@ -50,9 +50,7 @@ impl LevelDataflow {
     /// Total affinity from a movable block towards all fixed nodes, weighted
     /// by nothing — a convenience for reporting.
     pub fn external_pull(&self, block: usize) -> f64 {
-        (self.num_movable..self.graph.num_nodes())
-            .map(|j| self.affinity[block][j])
-            .sum()
+        (self.num_movable..self.graph.num_nodes()).map(|j| self.affinity[block][j]).sum()
     }
 }
 
@@ -113,7 +111,7 @@ pub fn dataflow_inference(
     for (i, group) in fixed_groups.iter().enumerate() {
         fixed_positions[num_movable + i] = Some(group.position);
     }
-    for idx in 0..graph.num_nodes() {
+    for (idx, fixed_position) in fixed_positions.iter_mut().enumerate() {
         if let graphs::DataflowNode::Port { seq_node, .. } = graph.node(idx) {
             let node = gseq.node(*seq_node);
             let mut sum = Point::origin();
@@ -124,11 +122,8 @@ pub fn dataflow_inference(
                     count += 1;
                 }
             }
-            fixed_positions[idx] = Some(if count > 0 {
-                Point::new(sum.x / count, sum.y / count)
-            } else {
-                die_center
-            });
+            *fixed_position =
+                Some(if count > 0 { Point::new(sum.x / count, sum.y / count) } else { die_center });
         }
     }
 
@@ -222,7 +217,11 @@ mod tests {
         let gseq = SeqGraph::from_design(&d, &SeqGraphConfig { min_register_bits: 1 });
         // pretend block B was already placed far away
         let b_cells = blocks.blocks.iter().find(|b| b.name == "u_b").unwrap().cells.clone();
-        let fixed = vec![FixedGroup { name: "placed_b".into(), position: Point::new(900, 900), cells: b_cells }];
+        let fixed = vec![FixedGroup {
+            name: "placed_b".into(),
+            position: Point::new(900, 900),
+            cells: b_cells,
+        }];
         // keep only block A movable
         let mut only_a = blocks.clone();
         only_a.blocks.retain(|b| b.name == "u_a");

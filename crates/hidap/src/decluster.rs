@@ -64,11 +64,8 @@ pub fn hierarchical_declustering(
     let mut blocks: Vec<Block> = Vec::new();
     for &h in &hcb {
         let cells = ht.subtree_cells(h);
-        let macros: Vec<_> = cells
-            .iter()
-            .copied()
-            .filter(|&c| design.cell(c).kind == CellKind::Macro)
-            .collect();
+        let macros: Vec<_> =
+            cells.iter().copied().filter(|&c| design.cell(c).kind == CellKind::Macro).collect();
         let min_area: i128 = cells.iter().map(|&c| design.cell(c).area()).sum();
         blocks.push(Block {
             kind: BlockKind::Hierarchy(h),
@@ -191,7 +188,11 @@ mod tests {
         // the packing curve cannot beat the total macro area and should find
         // an arrangement within 50% of it
         assert!(left.shape.min_area() >= 8 * 100 * 100);
-        assert!(left.shape.min_area() <= 12 * 100 * 100, "min packing area {}", left.shape.min_area());
+        assert!(
+            left.shape.min_area() <= 12 * 100 * 100,
+            "min packing area {}",
+            left.shape.min_area()
+        );
         assert!(left.shape.fits(1000, 1000));
     }
 

@@ -16,17 +16,20 @@ pub enum HidapError {
     },
     /// An internal invariant was violated; indicates a bug.
     Internal(String),
+    /// The run was aborted by a flow probe (see [`crate::flow::FlowStage`]),
+    /// typically on behalf of an engine-level cancellation or deadline.
+    Cancelled,
 }
 
 impl fmt::Display for HidapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HidapError::EmptyDie => write!(f, "design has an empty die area"),
-            HidapError::MacrosExceedDie { macro_area, die_area } => write!(
-                f,
-                "total macro area {macro_area} exceeds die area {die_area}"
-            ),
+            HidapError::MacrosExceedDie { macro_area, die_area } => {
+                write!(f, "total macro area {macro_area} exceeds die area {die_area}")
+            }
             HidapError::Internal(msg) => write!(f, "internal error: {msg}"),
+            HidapError::Cancelled => write!(f, "flow run was cancelled"),
         }
     }
 }

@@ -15,6 +15,49 @@ use netlist::hierarchy::HierarchyTree;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// A checkpoint the flow reports as it moves through its stages.
+///
+/// Probes (see [`HidapFlow::run_probed`]) receive each checkpoint in order
+/// and return `true` to continue or `false` to abort the run with
+/// [`HidapError::Cancelled`]. This is the hook the `placer-core` engine uses
+/// for stage observability, cancellation and deadlines without this crate
+/// depending on the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowStage<'a> {
+    /// The hierarchy tree was built (`nodes` hierarchy levels).
+    HierarchyBuilt {
+        /// Number of hierarchy levels.
+        nodes: usize,
+    },
+    /// Shape curves exist for every hierarchy level.
+    ShapeCurvesReady {
+        /// Number of generated curves.
+        curves: usize,
+    },
+    /// One hierarchy level's floorplan was accepted.
+    LevelFloorplanned {
+        /// Recursion depth (0 = top).
+        depth: usize,
+        /// Hierarchical path of the node (empty for the top).
+        node: &'a str,
+        /// Number of blocks laid out at this level.
+        blocks: usize,
+    },
+    /// Macro flipping chose final orientations.
+    FlippingDone {
+        /// Macros whose orientation differs from the default `N`.
+        flipped: usize,
+    },
+    /// Legalization finished.
+    LegalizationDone {
+        /// Macros legalization had to move.
+        moved: usize,
+    },
+}
+
+/// A stage callback: return `false` to abort the run.
+pub type FlowProbe<'a> = dyn FnMut(&FlowStage<'_>) -> bool + 'a;
+
 /// The HiDaP macro placer.
 ///
 /// ```
@@ -48,6 +91,22 @@ impl HidapFlow {
     /// * [`HidapError::MacrosExceedDie`] when the macros cannot possibly fit,
     /// * [`HidapError::Internal`] when the configuration is invalid.
     pub fn run(&self, design: &Design) -> Result<MacroPlacement, HidapError> {
+        self.run_probed(design, &mut |_| true)
+    }
+
+    /// Runs the full flow, reporting each [`FlowStage`] checkpoint to
+    /// `probe`. When the probe returns `false` the run stops at that
+    /// boundary with [`HidapError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`HidapFlow::run`] can return, plus
+    /// [`HidapError::Cancelled`] when the probe aborts the run.
+    pub fn run_probed(
+        &self,
+        design: &Design,
+        probe: &mut FlowProbe<'_>,
+    ) -> Result<MacroPlacement, HidapError> {
         self.config.validate().map_err(HidapError::Internal)?;
         let die = design.die();
         if die.width() <= 0 || die.height() <= 0 {
@@ -63,7 +122,13 @@ impl HidapFlow {
 
         // Circuit abstractions, built once per flow.
         let ht = HierarchyTree::from_design(design);
+        if !probe(&FlowStage::HierarchyBuilt { nodes: ht.len() }) {
+            return Err(HidapError::Cancelled);
+        }
         let shape_curves = ShapeCurveSet::generate(design, &ht, &self.config);
+        if !probe(&FlowStage::ShapeCurvesReady { curves: shape_curves.len() }) {
+            return Err(HidapError::Cancelled);
+        }
         let gnet = NetGraph::from_design(design);
         let gseq = SeqGraph::from_design(
             design,
@@ -74,7 +139,9 @@ impl HidapFlow {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut floorplanner =
             RecursiveFloorplanner::new(design, &ht, &gnet, &gseq, &shape_curves, &self.config);
-        floorplanner.floorplan(ht.root(), die, &[], 0, &mut rng);
+        if !floorplanner.floorplan_probed(ht.root(), die, &[], 0, &mut rng, probe) {
+            return Err(HidapError::Cancelled);
+        }
         let mut footprints = floorplanner.footprints;
         let top_blocks = floorplanner.top_blocks;
 
@@ -88,8 +155,15 @@ impl HidapFlow {
             });
         }
 
-        legalize_macros(design, die, &mut footprints);
+        let moved = legalize_macros(design, die, &mut footprints);
+        if !probe(&FlowStage::LegalizationDone { moved }) {
+            return Err(HidapError::Cancelled);
+        }
         let orientations = macro_flipping(design, &footprints);
+        let flipped = orientations.values().filter(|&&o| o != Orientation::N).count();
+        if !probe(&FlowStage::FlippingDone { flipped }) {
+            return Err(HidapError::Cancelled);
+        }
 
         let mut macros: Vec<PlacedMacro> = footprints
             .iter()
@@ -161,7 +235,8 @@ mod tests {
     fn different_lambda_still_legal() {
         let design = soc_design();
         for lambda in [0.0, 0.2, 0.8, 1.0] {
-            let placement = HidapFlow::new(HidapConfig::fast().with_lambda(lambda)).run(&design).unwrap();
+            let placement =
+                HidapFlow::new(HidapConfig::fast().with_lambda(lambda)).run(&design).unwrap();
             assert!(placement.is_legal(&design), "lambda {lambda} produced an illegal placement");
         }
     }
@@ -171,7 +246,10 @@ mod tests {
         let mut b = DesignBuilder::new("t");
         b.add_macro("m", "RAM", 10, 10, "");
         let design = b.build();
-        assert_eq!(HidapFlow::new(HidapConfig::fast()).run(&design).unwrap_err(), HidapError::EmptyDie);
+        assert_eq!(
+            HidapFlow::new(HidapConfig::fast()).run(&design).unwrap_err(),
+            HidapError::EmptyDie
+        );
     }
 
     #[test]
@@ -201,5 +279,51 @@ mod tests {
         let design = soc_design();
         let bad = HidapConfig { lambda: 2.0, ..HidapConfig::fast() };
         assert!(matches!(HidapFlow::new(bad).run(&design), Err(HidapError::Internal(_))));
+    }
+
+    #[test]
+    fn probe_sees_every_stage_in_order() {
+        let design = soc_design();
+        let mut stages: Vec<String> = Vec::new();
+        HidapFlow::new(HidapConfig::fast())
+            .run_probed(&design, &mut |stage| {
+                stages.push(match stage {
+                    FlowStage::HierarchyBuilt { .. } => "hierarchy".into(),
+                    FlowStage::ShapeCurvesReady { .. } => "curves".into(),
+                    FlowStage::LevelFloorplanned { depth, .. } => format!("level{depth}"),
+                    FlowStage::LegalizationDone { .. } => "legalize".into(),
+                    FlowStage::FlippingDone { .. } => "flipping".into(),
+                });
+                true
+            })
+            .unwrap();
+        assert_eq!(stages.first().map(String::as_str), Some("hierarchy"));
+        assert_eq!(stages.get(1).map(String::as_str), Some("curves"));
+        assert!(stages.iter().any(|s| s == "level0"), "{stages:?}");
+        assert_eq!(stages[stages.len() - 2], "legalize");
+        assert_eq!(stages[stages.len() - 1], "flipping");
+    }
+
+    #[test]
+    fn probe_can_cancel_the_run() {
+        let design = soc_design();
+        let result = HidapFlow::new(HidapConfig::fast()).run_probed(&design, &mut |_| false);
+        assert_eq!(result.unwrap_err(), HidapError::Cancelled);
+        // cancelling mid-floorplan also aborts
+        let mut seen = 0;
+        let result = HidapFlow::new(HidapConfig::fast()).run_probed(&design, &mut |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(result.unwrap_err(), HidapError::Cancelled);
+    }
+
+    #[test]
+    fn probed_run_matches_plain_run() {
+        let design = soc_design();
+        let plain = HidapFlow::new(HidapConfig::fast()).run(&design).unwrap();
+        let probed =
+            HidapFlow::new(HidapConfig::fast()).run_probed(&design, &mut |_| true).unwrap();
+        assert_eq!(plain, probed);
     }
 }

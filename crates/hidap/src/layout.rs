@@ -102,11 +102,8 @@ pub fn generate_layout<R: Rng + ?Sized>(
         deltas.push((c - current_cost).abs());
     }
     let avg_delta = deltas.iter().sum::<f64>() / deltas.len() as f64;
-    let mut temperature = if avg_delta > 0.0 {
-        -avg_delta / config.sa_initial_acceptance.ln()
-    } else {
-        1.0
-    };
+    let mut temperature =
+        if avg_delta > 0.0 { -avg_delta / config.sa_initial_acceptance.ln() } else { 1.0 };
 
     let moves_per_step = config.sa_moves_per_block * n;
     for _ in 0..config.sa_temperature_steps {
@@ -149,7 +146,11 @@ pub fn evaluate_expression(
 
 /// Computes the block rectangles implied by a Polish expression via top-down
 /// area budgeting.
-pub fn budget_areas(problem: &LayoutProblem, expr: &PolishExpression, config: &HidapConfig) -> Vec<Rect> {
+pub fn budget_areas(
+    problem: &LayoutProblem,
+    expr: &PolishExpression,
+    config: &HidapConfig,
+) -> Vec<Rect> {
     let tree = expr.to_tree();
     let n_nodes = tree.nodes().len();
 
@@ -164,7 +165,7 @@ pub fn budget_areas(problem: &LayoutProblem, expr: &PolishExpression, config: &H
     let scale = region_area / total_target;
 
     let mut rects = vec![problem.region; problem.blocks.len()];
-    assign(&tree, tree.root(), problem.region, problem, &target, &shapes, scale, &mut rects);
+    assign(&tree, tree.root(), problem.region, &target, &shapes, scale, &mut rects);
     rects
 }
 
@@ -199,7 +200,6 @@ fn assign(
     tree: &SlicingTree,
     idx: usize,
     rect: Rect,
-    problem: &LayoutProblem,
     target: &[f64],
     shapes: &[ShapeCurve],
     scale: f64,
@@ -232,8 +232,8 @@ fn assign(
                     let w_left = w_left.clamp(0, width);
                     let x = rect.llx + w_left;
                     let (l, r) = rect.split_vertical(x);
-                    assign(tree, *left, l, problem, target, shapes, scale, rects);
-                    assign(tree, *right, r, problem, target, shapes, scale, rects);
+                    assign(tree, *left, l, target, shapes, scale, rects);
+                    assign(tree, *right, r, target, shapes, scale, rects);
                 }
                 CutDirection::Horizontal => {
                     let height = rect.height();
@@ -251,8 +251,8 @@ fn assign(
                     let h_bottom = h_bottom.clamp(0, height);
                     let y = rect.lly + h_bottom;
                     let (b, t) = rect.split_horizontal(y);
-                    assign(tree, *left, b, problem, target, shapes, scale, rects);
-                    assign(tree, *right, t, problem, target, shapes, scale, rects);
+                    assign(tree, *left, b, target, shapes, scale, rects);
+                    assign(tree, *right, t, target, shapes, scale, rects);
                 }
             }
         }
@@ -260,7 +260,11 @@ fn assign(
 }
 
 /// Evaluates a set of block rectangles: returns `(cost, penalty, wirelength)`.
-pub fn evaluate_rects(problem: &LayoutProblem, rects: &[Rect], config: &HidapConfig) -> (f64, f64, f64) {
+pub fn evaluate_rects(
+    problem: &LayoutProblem,
+    rects: &[Rect],
+    config: &HidapConfig,
+) -> (f64, f64, f64) {
     let violations = collect_violations(problem, rects);
     let region_area = (problem.region.area() as f64).max(1.0);
     let penalty = 1.0
@@ -299,7 +303,14 @@ pub fn wirelength_proxy(problem: &LayoutProblem, rects: &[Rect]) -> f64 {
     let total_nodes = problem.affinity.len();
     let mut centers: Vec<Point> = rects.iter().map(Rect::center).collect();
     for idx in n..total_nodes {
-        centers.push(problem.fixed_positions.get(idx).copied().flatten().unwrap_or_else(|| problem.region.center()));
+        centers.push(
+            problem
+                .fixed_positions
+                .get(idx)
+                .copied()
+                .flatten()
+                .unwrap_or_else(|| problem.region.center()),
+        );
     }
     let mut wl = 0.0;
     for i in 0..n {
@@ -338,7 +349,12 @@ mod tests {
     #[test]
     fn empty_and_single_block() {
         let (aff, fixed) = no_affinity(0);
-        let p = LayoutProblem { region: Rect::new(0, 0, 100, 100), blocks: vec![], affinity: aff, fixed_positions: fixed };
+        let p = LayoutProblem {
+            region: Rect::new(0, 0, 100, 100),
+            blocks: vec![],
+            affinity: aff,
+            fixed_positions: fixed,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         assert!(generate_layout(&p, &HidapConfig::fast(), &mut rng).rects.is_empty());
 
@@ -432,7 +448,10 @@ mod tests {
         let d03 = r.rects[0].center_distance(&r.rects[3]);
         let d01 = r.rects[0].center_distance(&r.rects[1]);
         let d02 = r.rects[0].center_distance(&r.rects[2]);
-        assert!(d03 <= d01.max(d02), "connected blocks should end up adjacent: d03={d03} d01={d01} d02={d02}");
+        assert!(
+            d03 <= d01.max(d02),
+            "connected blocks should end up adjacent: d03={d03} d01={d01} d02={d02}"
+        );
     }
 
     #[test]

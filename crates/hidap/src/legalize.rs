@@ -34,7 +34,11 @@ impl MacroFootprint {
 /// them; otherwise the worst offenders are left at their clamped position).
 ///
 /// Returns the number of macros that had to be moved.
-pub fn legalize_macros(design: &Design, die: Rect, footprints: &mut HashMap<CellId, MacroFootprint>) -> usize {
+pub fn legalize_macros(
+    design: &Design,
+    die: Rect,
+    footprints: &mut HashMap<CellId, MacroFootprint>,
+) -> usize {
     // Process larger macros first so they keep their intended positions; ties
     // are broken by cell id so the result is deterministic.
     let mut order: Vec<CellId> = footprints.keys().copied().collect();

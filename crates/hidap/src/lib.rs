@@ -24,9 +24,15 @@
 //!
 //! # Quick start
 //!
+//! [`HidapFlow`] implements the engine's `placer_core::Placer` trait, so the
+//! recommended entry point is a `PlaceRequest` (design + seed + effort + λ)
+//! through a `PlaceContext` (observer, cancellation, deadline). The outcome
+//! carries the placement plus per-stage timings:
+//!
 //! ```
 //! use hidap::{HidapConfig, HidapFlow};
 //! use netlist::design::DesignBuilder;
+//! use placer_core::{PlaceContext, PlaceRequest, Placer};
 //! use geometry::Rect;
 //!
 //! // Two RAMs exchanging data through a register file.
@@ -45,11 +51,48 @@
 //! b.set_die(Rect::new(0, 0, 1000, 800));
 //! let design = b.build();
 //!
-//! let config = HidapConfig::fast();
-//! let placement = HidapFlow::new(config).run(&design)?;
-//! assert_eq!(placement.macros.len(), 2);
-//! # Ok::<(), hidap::HidapError>(())
+//! let placer = HidapFlow::new(HidapConfig::fast());
+//! let request = PlaceRequest::new(&design).with_seed(1).with_lambda(0.5);
+//! let outcome = placer.place(&request, &mut PlaceContext::new())?;
+//! assert_eq!(outcome.placement.macros.len(), 2);
+//! assert!(outcome.stage_seconds("floorplan").is_some());
+//! # Ok::<(), placer_core::PlaceError>(())
 //! ```
+//!
+//! Multi-seed / multi-λ exploration goes through `placer_core::BatchRunner`,
+//! which fans the grid out across all cores and picks the winner
+//! deterministically:
+//!
+//! ```
+//! # use hidap::{HidapConfig, HidapFlow};
+//! # use netlist::design::DesignBuilder;
+//! # use geometry::Rect;
+//! use placer_core::{BatchGrid, BatchRunner, PlaceContext, PlaceRequest};
+//! # let mut b = DesignBuilder::new("mini");
+//! # let ram0 = b.add_macro("u_a/ram0", "RAM", 200, 150, "u_a");
+//! # let ram1 = b.add_macro("u_b/ram1", "RAM", 200, 150, "u_b");
+//! # for i in 0..8 {
+//! #     let f = b.add_flop(format!("u_x/pipe_reg[{i}]"), "u_x");
+//! #     let n0 = b.add_net(format!("n0_{i}"));
+//! #     let n1 = b.add_net(format!("n1_{i}"));
+//! #     b.connect_driver(n0, ram0);
+//! #     b.connect_sink(n0, f);
+//! #     b.connect_driver(n1, f);
+//! #     b.connect_sink(n1, ram1);
+//! # }
+//! # b.set_die(Rect::new(0, 0, 1000, 800));
+//! # let design = b.build();
+//! let placer = HidapFlow::new(HidapConfig::fast());
+//! let grid = BatchGrid::new(vec![1, 2], vec![0.2, 0.8]);
+//! let best = BatchRunner::new()
+//!     .run(&placer, &PlaceRequest::new(&design), &grid, &mut PlaceContext::new())?;
+//! assert!(best.winner.placement.is_legal(&design));
+//! # Ok::<(), placer_core::PlaceError>(())
+//! ```
+//!
+//! The lower-level [`HidapFlow::run`] / [`flow::HidapFlow::run_probed`]
+//! entry points remain available for callers that want the raw placement or
+//! custom stage probes.
 
 pub mod block;
 pub mod config;
@@ -68,5 +111,5 @@ pub mod target_area;
 pub use block::{Block, BlockId, BlockKind};
 pub use config::HidapConfig;
 pub use error::HidapError;
-pub use flow::HidapFlow;
+pub use flow::{FlowProbe, FlowStage, HidapFlow};
 pub use placement::{MacroPlacement, PlacedMacro};

@@ -50,11 +50,8 @@ impl MacroPlacement {
     /// Returns `true` when no two macro footprints overlap and every macro is
     /// inside the die.
     pub fn is_legal(&self, design: &Design) -> bool {
-        let rects: Vec<Rect> = self
-            .macros
-            .iter()
-            .filter_map(|m| self.rect_of(m.cell, design))
-            .collect();
+        let rects: Vec<Rect> =
+            self.macros.iter().filter_map(|m| self.rect_of(m.cell, design)).collect();
         let die = design.die();
         for (i, r) in rects.iter().enumerate() {
             if !die.contains_rect(r) {
@@ -71,11 +68,8 @@ impl MacroPlacement {
 
     /// Total overlap area between macro footprints (0 for a legal placement).
     pub fn total_overlap(&self, design: &Design) -> i128 {
-        let rects: Vec<Rect> = self
-            .macros
-            .iter()
-            .filter_map(|m| self.rect_of(m.cell, design))
-            .collect();
+        let rects: Vec<Rect> =
+            self.macros.iter().filter_map(|m| self.rect_of(m.cell, design)).collect();
         let mut total = 0;
         for (i, r) in rects.iter().enumerate() {
             for other in rects.iter().skip(i + 1) {
@@ -103,8 +97,16 @@ mod tests {
     fn legality_detects_overlap() {
         let (d, a, c) = two_macro_design();
         let mut p = MacroPlacement::default();
-        p.macros.push(PlacedMacro { cell: a, location: Point::new(0, 0), orientation: Orientation::N });
-        p.macros.push(PlacedMacro { cell: c, location: Point::new(50, 10), orientation: Orientation::N });
+        p.macros.push(PlacedMacro {
+            cell: a,
+            location: Point::new(0, 0),
+            orientation: Orientation::N,
+        });
+        p.macros.push(PlacedMacro {
+            cell: c,
+            location: Point::new(50, 10),
+            orientation: Orientation::N,
+        });
         assert!(!p.is_legal(&d));
         assert!(p.total_overlap(&d) > 0);
         p.macros[1].location = Point::new(200, 0);
@@ -116,7 +118,11 @@ mod tests {
     fn legality_detects_out_of_die() {
         let (d, a, _) = two_macro_design();
         let mut p = MacroPlacement::default();
-        p.macros.push(PlacedMacro { cell: a, location: Point::new(950, 0), orientation: Orientation::N });
+        p.macros.push(PlacedMacro {
+            cell: a,
+            location: Point::new(950, 0),
+            orientation: Orientation::N,
+        });
         assert!(!p.is_legal(&d));
     }
 
@@ -124,7 +130,11 @@ mod tests {
     fn rect_respects_orientation() {
         let (d, a, _) = two_macro_design();
         let mut p = MacroPlacement::default();
-        p.macros.push(PlacedMacro { cell: a, location: Point::new(0, 0), orientation: Orientation::W });
+        p.macros.push(PlacedMacro {
+            cell: a,
+            location: Point::new(0, 0),
+            orientation: Orientation::W,
+        });
         let r = p.rect_of(a, &d).unwrap();
         assert_eq!((r.width(), r.height()), (50, 100));
     }

@@ -12,6 +12,7 @@ use crate::block::{Block, BlockKind, BlockSet};
 use crate::config::HidapConfig;
 use crate::dataflow::{dataflow_inference, FixedGroup, LevelDataflow};
 use crate::decluster::hierarchical_declustering;
+use crate::flow::FlowStage;
 use crate::layout::{generate_layout, LayoutBlock, LayoutProblem};
 use crate::legalize::MacroFootprint;
 use crate::shape_curves::ShapeCurveSet;
@@ -71,10 +72,26 @@ impl<'a> RecursiveFloorplanner<'a> {
         depth: usize,
         rng: &mut R,
     ) {
+        self.floorplan_probed(node, region, fixed, depth, rng, &mut |_| true);
+    }
+
+    /// Like [`RecursiveFloorplanner::floorplan`], but reports every accepted
+    /// level floorplan to `probe` and stops early (returning `false`) when
+    /// the probe asks for cancellation.
+    pub fn floorplan_probed<R: Rng + ?Sized>(
+        &mut self,
+        node: HierarchyNodeId,
+        region: Rect,
+        fixed: &[FixedGroup],
+        depth: usize,
+        rng: &mut R,
+        probe: &mut (dyn FnMut(&FlowStage<'_>) -> bool + '_),
+    ) -> bool {
         // Step 1: hierarchical declustering (Sect. IV-B).
-        let mut blocks = hierarchical_declustering(self.design, self.ht, self.shape_curves, node, self.config);
+        let mut blocks =
+            hierarchical_declustering(self.design, self.ht, self.shape_curves, node, self.config);
         if blocks.is_empty() || blocks.total_macros() == 0 {
-            return;
+            return true;
         }
         // Step 2: target-area assignment (Sect. IV-C).
         target_area_assignment(self.design, self.gnet, &mut blocks, self.config);
@@ -104,6 +121,14 @@ impl<'a> RecursiveFloorplanner<'a> {
                 .map(|(b, &r)| (b.name.clone(), r))
                 .collect();
         }
+        let node_path = self.ht.node(node).path.as_str();
+        if !probe(&FlowStage::LevelFloorplanned {
+            depth,
+            node: node_path,
+            blocks: blocks.blocks.len(),
+        }) {
+            return false;
+        }
 
         // Step 5: recurse into multi-macro blocks, pin single-macro blocks.
         for (idx, block) in blocks.blocks.iter().enumerate() {
@@ -115,7 +140,10 @@ impl<'a> RecursiveFloorplanner<'a> {
                     let child_fixed = self.child_context(&blocks, idx, &layout.rects, fixed);
                     match block.kind {
                         BlockKind::Hierarchy(h) => {
-                            self.floorplan(h, rect, &child_fixed, depth + 1, rng);
+                            if !self.floorplan_probed(h, rect, &child_fixed, depth + 1, rng, probe)
+                            {
+                                return false;
+                            }
                         }
                         BlockKind::SingleMacro(_) => {
                             // cannot happen: single-macro blocks have macro_count 1
@@ -125,6 +153,7 @@ impl<'a> RecursiveFloorplanner<'a> {
                 }
             }
         }
+        true
     }
 
     /// The fixed context passed to a child level: everything the parent level
@@ -168,7 +197,8 @@ impl<'a> RecursiveFloorplanner<'a> {
         // Candidate footprints: the four corners, unrotated and rotated.
         let mut best: Option<(i64, MacroFootprint)> = None;
         for &rotated in &[false, true] {
-            let (w, h) = if rotated { (cell.height, cell.width) } else { (cell.width, cell.height) };
+            let (w, h) =
+                if rotated { (cell.height, cell.width) } else { (cell.width, cell.height) };
             let corners = [
                 Point::new(rect.llx, rect.lly),
                 Point::new(rect.urx - w, rect.lly),
@@ -196,7 +226,16 @@ impl<'a> RecursiveFloorplanner<'a> {
 
     /// The affinity-weighted centroid of everything a block communicates
     /// with, used as the attraction point for corner placement.
-    fn pull_point(&self, block_idx: usize, df: &LevelDataflow, rects: &[Rect], own_rect: Rect) -> Point {
+    // `other` ranges over graph nodes and only indexes `rects` for the
+    // movable prefix, so enumerate() over `rects` cannot replace it
+    #[allow(clippy::needless_range_loop)]
+    fn pull_point(
+        &self,
+        block_idx: usize,
+        df: &LevelDataflow,
+        rects: &[Rect],
+        own_rect: Rect,
+    ) -> Point {
         let mut sum_x = 0.0;
         let mut sum_y = 0.0;
         let mut weight = 0.0;
@@ -290,7 +329,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         fp.floorplan(ht.root(), design.die(), &[], 0, &mut rng);
 
-        let top: HashMap<&str, Rect> = fp.top_blocks.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+        let top: HashMap<&str, Rect> =
+            fp.top_blocks.iter().map(|(n, r)| (n.as_str(), *r)).collect();
         let left_rect = top["u_left"];
         for i in 0..4 {
             let cell = design.find_cell(&format!("u_left/mem{i}")).unwrap();

@@ -123,7 +123,11 @@ pub fn macro_packing_curve<R: Rng + ?Sized>(
 
 /// Composes the shape curve of the root of a slicing expression whose leaves
 /// have the given curves.
-pub fn compose_expression(expr: &PolishExpression, leaves: &[ShapeCurve], limit: usize) -> ShapeCurve {
+pub fn compose_expression(
+    expr: &PolishExpression,
+    leaves: &[ShapeCurve],
+    limit: usize,
+) -> ShapeCurve {
     let tree = expr.to_tree();
     compose_node(&tree, tree.root(), leaves, limit)
 }
@@ -157,7 +161,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         assert!(macro_packing_curve(&[], &config(), &mut rng).is_unconstrained());
         let single = ShapeCurve::from_macro(30, 10, true);
-        let c = macro_packing_curve(&[single.clone()], &config(), &mut rng);
+        let c = macro_packing_curve(std::slice::from_ref(&single), &config(), &mut rng);
         assert_eq!(c, single);
     }
 
@@ -180,7 +184,8 @@ mod tests {
     #[test]
     fn packing_respects_tall_macros() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let leaves = vec![ShapeCurve::from_macro(2, 10, false), ShapeCurve::from_macro(2, 10, false)];
+        let leaves =
+            vec![ShapeCurve::from_macro(2, 10, false), ShapeCurve::from_macro(2, 10, false)];
         let c = macro_packing_curve(&leaves, &config(), &mut rng);
         // two non-rotatable 2x10 macros: either 4x10 or 2x20
         assert!(c.fits(4, 10));

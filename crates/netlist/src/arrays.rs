@@ -157,10 +157,8 @@ mod tests {
 
     #[test]
     fn hierarchical_prefix_kept_in_base() {
-        let groups = group_by_array(vec![
-            ("u_a/r[0]".to_string(), ()),
-            ("u_b/r[0]".to_string(), ()),
-        ]);
+        let groups =
+            group_by_array(vec![("u_a/r[0]".to_string(), ()), ("u_b/r[0]".to_string(), ())]);
         assert_eq!(groups.len(), 2, "same leaf name in different hierarchy stays separate");
     }
 }

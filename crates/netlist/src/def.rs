@@ -115,7 +115,8 @@ pub fn parse_def(text: &str) -> Result<DefFile, ParseError> {
             }
             "UNITS" => {
                 // UNITS DISTANCE MICRONS n ;
-                if let Some(pos) = (i..tokens.len().min(i + 6)).find(|&j| tokens[j].1 == "MICRONS") {
+                if let Some(pos) = (i..tokens.len().min(i + 6)).find(|&j| tokens[j].1 == "MICRONS")
+                {
                     def.dbu_per_micron = parse_int(&tokens, pos + 1)?;
                     i = pos + 2;
                 } else {
@@ -175,7 +176,11 @@ fn parse_int(tokens: &[(usize, String)], idx: usize) -> Result<i64, ParseError> 
 }
 
 /// Collects the next `count` numeric tokens, skipping parentheses.
-fn collect_numbers(tokens: &[(usize, String)], start: usize, count: usize) -> Result<Vec<Dbu>, ParseError> {
+fn collect_numbers(
+    tokens: &[(usize, String)],
+    start: usize,
+    count: usize,
+) -> Result<Vec<Dbu>, ParseError> {
     let mut nums = Vec::with_capacity(count);
     let mut i = start;
     while nums.len() < count && i < tokens.len() {
@@ -196,7 +201,10 @@ fn collect_numbers(tokens: &[(usize, String)], start: usize, count: usize) -> Re
     Ok(nums)
 }
 
-fn parse_components(tokens: &[(usize, String)], start: usize) -> Result<(Vec<DefComponent>, usize), ParseError> {
+fn parse_components(
+    tokens: &[(usize, String)],
+    start: usize,
+) -> Result<(Vec<DefComponent>, usize), ParseError> {
     let mut components = Vec::new();
     let mut i = start + 1;
     // optional count then ';'
@@ -231,7 +239,11 @@ fn parse_components(tokens: &[(usize, String)], start: usize) -> Result<(Vec<Def
                 match tokens[i].1.as_str() {
                     "+" => i += 1,
                     "PLACED" | "FIXED" => {
-                        comp.status = if tokens[i].1 == "FIXED" { PlaceStatus::Fixed } else { PlaceStatus::Placed };
+                        comp.status = if tokens[i].1 == "FIXED" {
+                            PlaceStatus::Fixed
+                        } else {
+                            PlaceStatus::Placed
+                        };
                         let nums = collect_numbers(tokens, i + 1, 2)?;
                         comp.location = Point::new(nums[0], nums[1]);
                         // orientation is the token following the closing paren
@@ -246,7 +258,9 @@ fn parse_components(tokens: &[(usize, String)], start: usize) -> Result<(Vec<Def
                         while j < tokens.len() && (tokens[j].1 == ")" || tokens[j].1 == "(") {
                             j += 1;
                         }
-                        if let Some(o) = tokens.get(j).and_then(|t| Orientation::from_def_name(&t.1)) {
+                        if let Some(o) =
+                            tokens.get(j).and_then(|t| Orientation::from_def_name(&t.1))
+                        {
                             comp.orientation = o;
                             i = j + 1;
                         } else {
@@ -269,7 +283,10 @@ fn parse_components(tokens: &[(usize, String)], start: usize) -> Result<(Vec<Def
     Err(ParseError::new("unterminated COMPONENTS section"))
 }
 
-fn parse_pins(tokens: &[(usize, String)], start: usize) -> Result<(Vec<DefPin>, usize), ParseError> {
+fn parse_pins(
+    tokens: &[(usize, String)],
+    start: usize,
+) -> Result<(Vec<DefPin>, usize), ParseError> {
     let mut pins = Vec::new();
     let mut i = start + 1;
     while i < tokens.len() && tokens[i].1 != ";" {
@@ -332,10 +349,7 @@ pub fn write_def(
     out.push_str("VERSION 5.8 ;\n");
     out.push_str(&format!("DESIGN {design_name} ;\n"));
     out.push_str(&format!("UNITS DISTANCE MICRONS {dbu_per_micron} ;\n"));
-    out.push_str(&format!(
-        "DIEAREA ( {} {} ) ( {} {} ) ;\n",
-        die.llx, die.lly, die.urx, die.ury
-    ));
+    out.push_str(&format!("DIEAREA ( {} {} ) ( {} {} ) ;\n", die.llx, die.lly, die.urx, die.ury));
     out.push_str(&format!("COMPONENTS {} ;\n", placements.len()));
     for p in placements {
         let status = if p.fixed { "FIXED" } else { "PLACED" };

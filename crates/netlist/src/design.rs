@@ -275,13 +275,19 @@ impl Design {
     pub fn validate(&self) -> Result<(), String> {
         for (id, cell) in self.cells() {
             for &n in cell.fanout.iter() {
-                let net = self.nets.get(n.0 as usize).ok_or_else(|| format!("cell {} fanout dangling", cell.name))?;
+                let net = self
+                    .nets
+                    .get(n.0 as usize)
+                    .ok_or_else(|| format!("cell {} fanout dangling", cell.name))?;
                 if net.driver_cell != Some(id) {
                     return Err(format!("net {} does not list {} as driver", net.name, cell.name));
                 }
             }
             for &n in cell.fanin.iter() {
-                let net = self.nets.get(n.0 as usize).ok_or_else(|| format!("cell {} fanin dangling", cell.name))?;
+                let net = self
+                    .nets
+                    .get(n.0 as usize)
+                    .ok_or_else(|| format!("cell {} fanin dangling", cell.name))?;
                 if !net.sink_cells.contains(&id) {
                     return Err(format!("net {} does not list {} as sink", net.name, cell.name));
                 }

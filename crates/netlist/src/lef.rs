@@ -43,11 +43,9 @@ pub fn parse_lef(text: &str) -> Result<LefFile, ParseError> {
                 let mut j = i + 1;
                 while j < tokens.len() && tokens[j].1 != "END" {
                     if tokens[j].1 == "MICRONS" && j + 1 < tokens.len() {
-                        dbu_per_micron = tokens[j + 1]
-                            .1
-                            .parse::<f64>()
-                            .map_err(|_| ParseError::at_line(tokens[j + 1].0, "invalid DATABASE MICRONS value"))?
-                            as i64;
+                        dbu_per_micron = tokens[j + 1].1.parse::<f64>().map_err(|_| {
+                            ParseError::at_line(tokens[j + 1].0, "invalid DATABASE MICRONS value")
+                        })? as i64;
                     }
                     j += 1;
                 }
@@ -96,13 +94,18 @@ fn lex(text: &str) -> Vec<(usize, String)> {
     out
 }
 
-fn parse_macro(tokens: &[(usize, String)], start: usize, dbu: i64) -> Result<(MacroDef, usize), ParseError> {
+fn parse_macro(
+    tokens: &[(usize, String)],
+    start: usize,
+    dbu: i64,
+) -> Result<(MacroDef, usize), ParseError> {
     let name = tokens
         .get(start + 1)
         .ok_or_else(|| ParseError::at_line(tokens[start].0, "MACRO without a name"))?
         .1
         .clone();
-    let mut def = MacroDef { name: name.clone(), width: 0, height: 0, is_block: false, pins: Vec::new() };
+    let mut def =
+        MacroDef { name: name.clone(), width: 0, height: 0, is_block: false, pins: Vec::new() };
     let mut i = start + 2;
     while i < tokens.len() {
         match tokens[i].1.as_str() {
@@ -141,7 +144,11 @@ fn parse_macro(tokens: &[(usize, String)], start: usize, dbu: i64) -> Result<(Ma
     Err(ParseError::at_line(tokens[start].0, format!("unterminated MACRO {name}")))
 }
 
-fn parse_pin(tokens: &[(usize, String)], start: usize, dbu: i64) -> Result<(PinDef, usize), ParseError> {
+fn parse_pin(
+    tokens: &[(usize, String)],
+    start: usize,
+    dbu: i64,
+) -> Result<(PinDef, usize), ParseError> {
     let name = tokens
         .get(start + 1)
         .ok_or_else(|| ParseError::at_line(tokens[start].0, "PIN without a name"))?
@@ -179,9 +186,8 @@ fn parse_micron(tokens: &[(usize, String)], idx: usize, dbu: i64) -> Result<Dbu,
     let (line, t) = tokens
         .get(idx)
         .ok_or_else(|| ParseError::new("unexpected end of file in numeric field"))?;
-    let v: f64 = t
-        .parse()
-        .map_err(|_| ParseError::at_line(*line, format!("invalid number '{t}'")))?;
+    let v: f64 =
+        t.parse().map_err(|_| ParseError::at_line(*line, format!("invalid number '{t}'")))?;
     Ok((v * dbu as f64).round() as Dbu)
 }
 

@@ -166,7 +166,13 @@ mod tests {
     fn blocks_filters_standard_cells() {
         let mut lib = Library::new();
         lib.add_macro(ram());
-        lib.add_macro(MacroDef { name: "DFF".into(), width: 2, height: 1, is_block: false, pins: vec![] });
+        lib.add_macro(MacroDef {
+            name: "DFF".into(),
+            width: 2,
+            height: 1,
+            is_block: false,
+            pins: vec![],
+        });
         assert_eq!(lib.blocks().count(), 1);
         assert_eq!(lib.iter().count(), 2);
     }

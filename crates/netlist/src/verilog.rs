@@ -23,12 +23,15 @@ use crate::error::ParseError;
 use crate::library::Library;
 use std::collections::HashMap;
 
+/// A port declaration: name, direction, optional (msb, lsb) range.
+type PortDecl = (String, PortDirection, Option<(i64, i64)>);
+
 /// A parsed (unflattened) Verilog module.
 #[derive(Debug, Clone, Default)]
 struct Module {
     name: String,
     /// port name -> (direction, msb, lsb) ; scalar ports have msb == lsb == None
-    ports: Vec<(String, PortDirection, Option<(i64, i64)>)>,
+    ports: Vec<PortDecl>,
     /// wire name -> optional range
     wires: HashMap<String, Option<(i64, i64)>>,
     instances: Vec<Instance>,
@@ -150,7 +153,10 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))).map(|(l, _)| *l).unwrap_or(0)
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|(l, _)| *l)
+            .unwrap_or(0)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -162,14 +168,19 @@ impl Parser {
     fn expect_symbol(&mut self, c: char) -> Result<(), ParseError> {
         match self.next() {
             Some(Token::Symbol(s)) if s == c => Ok(()),
-            other => Err(ParseError::at_line(self.line(), format!("expected '{c}', found {other:?}"))),
+            other => {
+                Err(ParseError::at_line(self.line(), format!("expected '{c}', found {other:?}")))
+            }
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(ParseError::at_line(self.line(), format!("expected identifier, found {other:?}"))),
+            other => Err(ParseError::at_line(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -201,12 +212,14 @@ impl Parser {
         }
         match self.next() {
             Some(Token::Number(n)) => {
-                let v: i64 = n
-                    .parse()
-                    .map_err(|_| ParseError::at_line(self.line(), format!("invalid integer '{n}'")))?;
+                let v: i64 = n.parse().map_err(|_| {
+                    ParseError::at_line(self.line(), format!("invalid integer '{n}'"))
+                })?;
                 Ok(if negative { -v } else { v })
             }
-            other => Err(ParseError::at_line(self.line(), format!("expected integer, found {other:?}"))),
+            other => {
+                Err(ParseError::at_line(self.line(), format!("expected integer, found {other:?}")))
+            }
         }
     }
 
@@ -250,7 +263,10 @@ impl Parser {
                 // constant like 1'b0 — treat as an anonymous tie net
                 Ok(vec![format!("__const_{n}")])
             }
-            other => Err(ParseError::at_line(self.line(), format!("expected net expression, found {other:?}"))),
+            other => Err(ParseError::at_line(
+                self.line(),
+                format!("expected net expression, found {other:?}"),
+            )),
         }
     }
 }
@@ -319,7 +335,8 @@ fn parse_module(p: &mut Parser) -> Result<Module, ParseError> {
     p.expect_symbol(';')?;
 
     loop {
-        let tok = p.peek().cloned().ok_or_else(|| ParseError::new("unexpected end of file in module"))?;
+        let tok =
+            p.peek().cloned().ok_or_else(|| ParseError::new("unexpected end of file in module"))?;
         match tok {
             Token::Ident(kw) if kw == "endmodule" => {
                 p.next();
@@ -359,7 +376,9 @@ fn parse_module(p: &mut Parser) -> Result<Module, ParseError> {
                 }
                 p.expect_symbol(';')?;
             }
-            Token::Ident(kw) if kw == "assign" || kw == "parameter" || kw == "supply0" || kw == "supply1" => {
+            Token::Ident(kw)
+                if kw == "assign" || kw == "parameter" || kw == "supply0" || kw == "supply1" =>
+            {
                 // skip to semicolon
                 p.next();
                 while let Some(t) = p.next() {
@@ -397,7 +416,8 @@ fn parse_module(p: &mut Parser) -> Result<Module, ParseError> {
                         p.expect_symbol(')')?;
                         // expand multi-bit connections into port[i] names
                         if nets.len() <= 1 {
-                            connections.push((port.clone(), nets.first().cloned().unwrap_or_default()));
+                            connections
+                                .push((port.clone(), nets.first().cloned().unwrap_or_default()));
                         } else {
                             for (i, n) in nets.iter().enumerate() {
                                 let bit = nets.len() - 1 - i;
@@ -449,7 +469,11 @@ impl Default for ElaborateOptions {
 ///
 /// Returns a [`ParseError`] on malformed input, unknown top module, or if the
 /// top module cannot be inferred.
-pub fn parse_verilog(text: &str, top: Option<&str>, opts: &ElaborateOptions) -> Result<Design, ParseError> {
+pub fn parse_verilog(
+    text: &str,
+    top: Option<&str>,
+    opts: &ElaborateOptions,
+) -> Result<Design, ParseError> {
     let modules = parse_modules(text)?;
     if modules.is_empty() {
         return Err(ParseError::new("no modules found"));
@@ -518,7 +542,8 @@ fn infer_top(modules: &HashMap<String, Module>) -> Result<String, ParseError> {
             instantiated.insert(inst.cell.as_str());
         }
     }
-    let candidates: Vec<&String> = modules.keys().filter(|k| !instantiated.contains(k.as_str())).collect();
+    let candidates: Vec<&String> =
+        modules.keys().filter(|k| !instantiated.contains(k.as_str())).collect();
     match candidates.len() {
         1 => Ok(candidates[0].clone()),
         0 => Err(ParseError::new("could not infer top module (cyclic instantiation?)")),
@@ -546,7 +571,8 @@ impl<'a> Flattener<'a> {
     ) -> Result<(), ParseError> {
         let module = self.modules.get(module_name).expect("checked by caller");
         for inst in &module.instances {
-            let inst_path = if path.is_empty() { inst.name.clone() } else { format!("{path}/{}", inst.name) };
+            let inst_path =
+                if path.is_empty() { inst.name.clone() } else { format!("{path}/{}", inst.name) };
             if let Some(child) = self.modules.get(&inst.cell) {
                 // hierarchical instance: build a port map for the child
                 let mut child_map: HashMap<String, String> = HashMap::new();
@@ -557,11 +583,8 @@ impl<'a> Flattener<'a> {
                     // When a vectored child port is connected to a bare bus
                     // name, expand the connection bit by bit so nested levels
                     // resolve individual bits consistently.
-                    let child_range = child
-                        .ports
-                        .iter()
-                        .find(|(n, _, _)| n == port)
-                        .and_then(|(_, _, r)| *r);
+                    let child_range =
+                        child.ports.iter().find(|(n, _, _)| n == port).and_then(|(_, _, r)| *r);
                     if let (Some((msb, lsb)), false) = (child_range, net.contains('[')) {
                         let (hi, lo) = (msb.max(lsb), msb.min(lsb));
                         for i in lo..=hi {
@@ -581,7 +604,8 @@ impl<'a> Flattener<'a> {
                     Some(m) => (m.width, m.height),
                     None => (1, 1),
                 };
-                let cell_id = self.builder.add_cell(inst_path.clone(), inst.cell.clone(), kind, w, h, path);
+                let cell_id =
+                    self.builder.add_cell(inst_path.clone(), inst.cell.clone(), kind, w, h, path);
                 for (port, net) in &inst.connections {
                     if net.is_empty() {
                         continue;
@@ -634,7 +658,18 @@ fn is_output_pin(pin: &str) -> bool {
     let base = pin.split('[').next().unwrap_or(pin);
     if matches!(
         base,
-        "Q" | "QN" | "Z" | "ZN" | "Y" | "O" | "OUT" | "out" | "q" | "DOUT" | "RDATA" | "dout" | "rdata"
+        "Q" | "QN"
+            | "Z"
+            | "ZN"
+            | "Y"
+            | "O"
+            | "OUT"
+            | "out"
+            | "q"
+            | "DOUT"
+            | "RDATA"
+            | "dout"
+            | "rdata"
     ) {
         return true;
     }

@@ -1,0 +1,137 @@
+//! Per-run context: observer wiring, cancellation and deadlines.
+
+use crate::error::PlaceError;
+use crate::observer::{FlowObserver, StageEvent};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation flag; clone it, hand it to another thread, and
+/// call [`CancelToken::cancel`] to stop an in-flight run at its next stage
+/// boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates an un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Execution context threaded through every [`crate::Placer::place`] call.
+///
+/// Carries the observer, the cancellation token and an optional deadline.
+/// Flows poll [`PlaceContext::interrupted`] at stage boundaries and abort
+/// with [`PlaceError::Cancelled`] / [`PlaceError::DeadlineExceeded`].
+#[derive(Default)]
+pub struct PlaceContext {
+    observer: Option<Arc<dyn FlowObserver>>,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+}
+
+impl PlaceContext {
+    /// A context with no observer, no deadline and a fresh cancel token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an observer receiving this run's stage events.
+    pub fn with_observer(mut self, observer: Arc<dyn FlowObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Sets a deadline `budget` from now.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Uses an existing cancel token (e.g. shared with a controlling thread).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The run's cancel token; clone it to cancel from elsewhere.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Emits an event to the attached observer, if any.
+    pub fn emit(&self, event: StageEvent) {
+        if let Some(obs) = &self.observer {
+            obs.on_event(&event);
+        }
+    }
+
+    /// Checks cancellation and deadline; `Some(error)` means the flow must
+    /// abort now.
+    pub fn interrupted(&self) -> Option<PlaceError> {
+        if self.cancel.is_cancelled() {
+            return Some(PlaceError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(PlaceError::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// A child context for one run of a batch: shares the observer, cancel
+    /// token and deadline of the parent.
+    pub fn child(&self) -> PlaceContext {
+        PlaceContext {
+            observer: self.observer.clone(),
+            cancel: self.cancel.clone(),
+            deadline: self.deadline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_context_is_not_interrupted() {
+        assert!(PlaceContext::new().interrupted().is_none());
+    }
+
+    #[test]
+    fn cancel_token_interrupts() {
+        let ctx = PlaceContext::new();
+        let token = ctx.cancel_token();
+        assert!(ctx.interrupted().is_none());
+        token.cancel();
+        assert_eq!(ctx.interrupted(), Some(PlaceError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts() {
+        let ctx = PlaceContext::new().with_deadline(Duration::from_secs(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(ctx.interrupted(), Some(PlaceError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn children_share_cancellation() {
+        let ctx = PlaceContext::new();
+        let child = ctx.child();
+        ctx.cancel_token().cancel();
+        assert_eq!(child.interrupted(), Some(PlaceError::Cancelled));
+    }
+}

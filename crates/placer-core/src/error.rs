@@ -1,0 +1,68 @@
+//! The engine error type.
+
+use hidap::HidapError;
+use std::fmt;
+
+/// An error produced by the placement engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The run was cancelled through its [`crate::CancelToken`].
+    Cancelled,
+    /// The run exceeded the deadline set on its [`crate::PlaceContext`].
+    DeadlineExceeded,
+    /// The request is malformed (bad λ, empty grid, ...).
+    InvalidRequest(String),
+    /// The requested flow name is not registered.
+    UnknownFlow {
+        /// The name that failed to resolve.
+        requested: String,
+        /// The names the registry knows about.
+        known: Vec<String>,
+    },
+    /// The underlying flow failed.
+    Flow(HidapError),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Cancelled => write!(f, "placement run was cancelled"),
+            PlaceError::DeadlineExceeded => write!(f, "placement run exceeded its deadline"),
+            PlaceError::InvalidRequest(msg) => write!(f, "invalid placement request: {msg}"),
+            PlaceError::UnknownFlow { requested, known } => {
+                write!(f, "unknown flow '{requested}' (known flows: {})", known.join(", "))
+            }
+            PlaceError::Flow(e) => write!(f, "flow failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+impl From<HidapError> for PlaceError {
+    fn from(e: HidapError) -> Self {
+        match e {
+            HidapError::Cancelled => PlaceError::Cancelled,
+            other => PlaceError::Flow(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PlaceError::Cancelled.to_string().contains("cancelled"));
+        assert!(PlaceError::DeadlineExceeded.to_string().contains("deadline"));
+        let e = PlaceError::UnknownFlow { requested: "x".into(), known: vec!["hidap".into()] };
+        assert!(e.to_string().contains("hidap"));
+        assert!(PlaceError::from(HidapError::EmptyDie).to_string().contains("empty die"));
+    }
+
+    #[test]
+    fn hidap_cancellation_maps_to_engine_cancellation() {
+        assert_eq!(PlaceError::from(HidapError::Cancelled), PlaceError::Cancelled);
+    }
+}

@@ -1,0 +1,102 @@
+//! The string-keyed flow registry.
+
+use crate::error::PlaceError;
+use crate::request::Placer;
+use std::collections::BTreeMap;
+
+/// Builds a boxed flow on demand.
+pub type FlowFactory = Box<dyn Fn() -> Box<dyn Placer> + Send + Sync>;
+
+/// Maps flow names (`hidap`, `indeda`, `handfp`, ...) to factories so front
+/// ends can resolve `--flow <name>` without hard-coding flow types.
+///
+/// Names are stored sorted, so error messages and [`FlowRegistry::names`] are
+/// deterministic.
+#[derive(Default)]
+pub struct FlowRegistry {
+    factories: BTreeMap<String, FlowFactory>,
+}
+
+impl FlowRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a flow under `name`.
+    pub fn register<F>(&mut self, name: &str, factory: F)
+    where
+        F: Fn() -> Box<dyn Placer> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.to_string(), Box::new(factory));
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Builds the flow registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::UnknownFlow`] (listing the known names) when `name` is
+    /// not registered.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Placer>, PlaceError> {
+        match self.factories.get(name) {
+            Some(factory) => Ok(factory()),
+            None => {
+                Err(PlaceError::UnknownFlow { requested: name.to_string(), known: self.names() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PlaceContext;
+    use crate::request::{PlaceOutcome, PlaceRequest};
+
+    struct Dummy(&'static str);
+    impl Placer for Dummy {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn place(
+            &self,
+            _req: &PlaceRequest<'_>,
+            _ctx: &mut PlaceContext,
+        ) -> Result<PlaceOutcome, PlaceError> {
+            Err(PlaceError::InvalidRequest("dummy".into()))
+        }
+    }
+
+    #[test]
+    fn register_lookup_and_names_are_sorted() {
+        let mut reg = FlowRegistry::new();
+        reg.register("zeta", || Box::new(Dummy("zeta")));
+        reg.register("alpha", || Box::new(Dummy("alpha")));
+        assert_eq!(reg.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert!(reg.contains("alpha"));
+        assert_eq!(reg.create("zeta").unwrap().name(), "zeta");
+    }
+
+    #[test]
+    fn unknown_flow_lists_known_names() {
+        let mut reg = FlowRegistry::new();
+        reg.register("hidap", || Box::new(Dummy("hidap")));
+        match reg.create("magic") {
+            Err(PlaceError::UnknownFlow { requested, known }) => {
+                assert_eq!(requested, "magic");
+                assert_eq!(known, vec!["hidap".to_string()]);
+            }
+            other => panic!("unexpected {:?}", other.map(|p| p.name().to_string())),
+        }
+    }
+}

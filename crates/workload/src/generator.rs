@@ -127,10 +127,8 @@ impl SocGenerator {
 
         // Interconnect: one register array per channel inside u_noc.
         for (c_idx, &(from, to)) in cfg.channels.iter().enumerate() {
-            let bits = cfg.subsystems[from]
-                .datapath_bits
-                .min(cfg.subsystems[to].datapath_bits)
-                .max(1);
+            let bits =
+                cfg.subsystems[from].datapath_bits.min(cfg.subsystems[to].datapath_bits).max(1);
             for bit in 0..bits {
                 let f = b.add_flop(format!("u_noc/ch{c_idx}_reg[{bit}]"), "u_noc");
                 let src_net = last_stage_outputs[from][bit % last_stage_outputs[from].len()];
@@ -143,7 +141,8 @@ impl SocGenerator {
                     cfg.subsystems[to].name.clone(),
                 );
                 b.connect_sink(out_net, glue);
-                let rx_net = b.add_net(format!("{}/rx_ch{c_idx}_q[{bit}]", cfg.subsystems[to].name));
+                let rx_net =
+                    b.add_net(format!("{}/rx_ch{c_idx}_q[{bit}]", cfg.subsystems[to].name));
                 b.connect_driver(rx_net, glue);
                 let mux = first_stage_muxes[to][bit % first_stage_muxes[to].len()];
                 b.connect_sink(rx_net, mux);
@@ -157,7 +156,8 @@ impl SocGenerator {
                 let in_port = b.add_port(format!("din{io_idx}[{bit}]"), PortDirection::Input);
                 let n = b.add_net(format!("din{io_idx}_net[{bit}]"));
                 b.connect_port_driver(n, in_port);
-                let glue = b.add_comb(format!("{}/io_in_{io_idx}_{bit}", sub.name), sub.name.clone());
+                let glue =
+                    b.add_comb(format!("{}/io_in_{io_idx}_{bit}", sub.name), sub.name.clone());
                 b.connect_sink(n, glue);
                 let io_net = b.add_net(format!("{}/io_in_{io_idx}_q[{bit}]", sub.name));
                 b.connect_driver(io_net, glue);
@@ -238,11 +238,11 @@ impl SocGenerator {
         // register; local memories, the interconnect and the I/O glue all
         // feed these muxes through their own nets (single-driver netlist).
         let mut first_muxes = Vec::with_capacity(bits);
-        for bit in 0..bits {
+        for (bit, &reg) in stage_regs[0].iter().enumerate() {
             let mux = b.add_comb(format!("{dp_path}/in_mux_{bit}"), dp_path.clone());
             let n = b.add_net(format!("{dp_path}/stage0_d[{bit}]"));
             b.connect_driver(n, mux);
-            b.connect_sink(n, stage_regs[0][bit]);
+            b.connect_sink(n, reg);
             first_muxes.push(mux);
         }
         // stage-to-stage connections through combinational glue
@@ -250,7 +250,7 @@ impl SocGenerator {
             for bit in 0..bits {
                 let q = b.add_net(format!("{dp_path}/stage{}_q[{bit}]", s - 1));
                 b.connect_driver(q, stage_regs[s - 1][bit]);
-                let glue = b.add_comb(format!("{dp_path}/alu{s}_{bit}", ), dp_path.clone());
+                let glue = b.add_comb(format!("{dp_path}/alu{s}_{bit}",), dp_path.clone());
                 b.connect_sink(q, glue);
                 // a second random operand from the same previous stage models datapath mixing
                 let other_bit = rng.gen_range(0..bits);
@@ -265,16 +265,16 @@ impl SocGenerator {
         // last-stage output nets
         let last = stage_regs.len() - 1;
         let mut last_outputs = Vec::with_capacity(bits);
-        for bit in 0..bits {
+        for (bit, &reg) in stage_regs[last].iter().enumerate() {
             let n = b.add_net(format!("{dp_path}/stage{last}_q[{bit}]"));
-            b.connect_driver(n, stage_regs[last][bit]);
+            b.connect_driver(n, reg);
             last_outputs.push(n);
         }
 
         // --- memory <-> datapath traffic -------------------------------------
         // every macro reads the last stage and writes the first stage
         for (m_idx, &m) in macros.iter().enumerate() {
-            let wr_bits = bits.min(16).max(1);
+            let wr_bits = bits.clamp(1, 16);
             for bit in 0..wr_bits {
                 let src = last_outputs[(m_idx + bit) % bits];
                 b.connect_sink(src, m);

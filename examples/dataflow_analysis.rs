@@ -47,7 +47,9 @@ fn main() {
         println!("  [{idx}] {}", df.graph.node(idx).name());
     }
 
-    for (label, lambda) in [("block flow only (lambda=1.0)", 1.0), ("macro flow only (lambda=0.0)", 0.0)] {
+    for (label, lambda) in
+        [("block flow only (lambda=1.0)", 1.0), ("macro flow only (lambda=0.0)", 0.0)]
+    {
         println!("\naffinity matrix, {label}:");
         let m = df.graph.affinity_matrix(lambda, config.score_k);
         print!("{:>14}", "");

@@ -35,12 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Parse them back through the netlist crate's parsers.
     let lef = parse_lef(&lef_text)?;
-    let mut opts = ElaborateOptions::default();
-    opts.library = lef.library.clone();
+    let opts = ElaborateOptions { library: lef.library.clone(), ..Default::default() };
     let mut design = parse_verilog(&verilog_text, Some("roundtrip_soc"), &opts)?;
     design.set_die(generated.design.die());
     for (pid, port) in generated.design.ports() {
-        if let (Some(pos), Some(new_pid)) = (port.position, design.find_port(&generated.design.port(pid).name)) {
+        if let (Some(pos), Some(new_pid)) =
+            (port.position, design.find_port(&generated.design.port(pid).name))
+        {
             design.port_mut(new_pid).position = Some(pos);
         }
     }
@@ -56,11 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let placement = HidapFlow::new(HidapConfig::default()).run(&design)?;
     let def_text = emit_def(&design, 1000, &placement.to_map());
     let def = parse_def(&def_text)?;
-    println!(
-        "floorplan DEF round trip: {} components, die {}",
-        def.components.len(),
-        def.die
-    );
+    println!("floorplan DEF round trip: {} components, die {}", def.components.len(), def.die);
     assert_eq!(def.components.len(), design.num_macros());
     println!("round trip OK");
     Ok(())

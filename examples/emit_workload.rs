@@ -1,0 +1,39 @@
+//! Emit a synthetic SoC as structural Verilog + LEF, ready to feed the
+//! `hidap` command-line tool:
+//!
+//! ```text
+//! cargo run --release --example emit_workload -- /tmp/soc
+//! target/release/hidap --verilog /tmp/soc.v --lef /tmp/soc.lef --top emitted_soc \
+//!     --sweep --jobs 0 --report
+//! ```
+
+use workload::emit::{emit_lef, emit_verilog};
+use workload::{SocConfig, SocGenerator, SubsystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prefix = std::env::args().nth(1).unwrap_or_else(|| "emitted_soc".to_string());
+    let generated = SocGenerator::new(SocConfig {
+        name: "emitted_soc".into(),
+        subsystems: vec![
+            SubsystemConfig::balanced("u_cpu", 4, 16),
+            SubsystemConfig::balanced("u_dsp", 4, 16),
+        ],
+        channels: vec![(0, 1), (1, 0)],
+        io_subsystems: vec![0],
+        io_bits: 16,
+        utilization: 0.5,
+        aspect_ratio: 1.0,
+        seed: 7,
+    })
+    .generate();
+    let verilog_path = format!("{prefix}.v");
+    let lef_path = format!("{prefix}.lef");
+    std::fs::write(&verilog_path, emit_verilog(&generated.design))?;
+    std::fs::write(&lef_path, emit_lef(&generated.design, &generated.library, 1000))?;
+    println!(
+        "wrote {verilog_path} ({} macros, {} cells) and {lef_path}",
+        generated.design.num_macros(),
+        generated.design.num_cells()
+    );
+    Ok(())
+}

@@ -2,40 +2,44 @@
 //! and observe its effect on measured wirelength — the knob the paper
 //! explores with λ ∈ {0.2, 0.5, 0.8}.
 //!
-//! Run with: `cargo run --release -p bench --example lambda_sweep_example`
+//! The sweep runs through the engine's `BatchRunner`, so all λ values are
+//! explored in parallel across the available cores and the winner is picked
+//! deterministically.
+//!
+//! Run with: `cargo run --release --example lambda_sweep_example`
 
-use eval::{evaluate_placement, EvalConfig};
 use hidap::{HidapConfig, HidapFlow};
+use placer_core::{BatchGrid, BatchRunner, PlaceContext, PlaceRequest, WirelengthObjective};
 use workload::presets::fig1_design;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generated = fig1_design();
     let design = &generated.design;
-    println!(
-        "fig. 1 design: {} macros, {} cells\n",
-        design.num_macros(),
-        design.num_cells()
-    );
+    println!("fig. 1 design: {} macros, {} cells\n", design.num_macros(), design.num_cells());
 
-    println!("{:>8} {:>14} {:>10} {:>10}", "lambda", "WL (m)", "GRC%", "WNS%");
-    let eval_config = EvalConfig::standard();
-    let mut best = (f64::INFINITY, 0.0);
-    for lambda in [0.0, 0.2, 0.5, 0.8, 1.0] {
-        let config = HidapConfig::default().with_lambda(lambda);
-        let placement = HidapFlow::new(config).run(design)?;
-        let metrics = evaluate_placement(design, &placement.to_map(), &eval_config);
+    let placer = HidapFlow::new(HidapConfig::default());
+    let grid = BatchGrid::new(vec![1], vec![0.0, 0.2, 0.5, 0.8, 1.0]);
+    let batch = BatchRunner::new().with_objective(Box::new(WirelengthObjective::standard())).run(
+        &placer,
+        &PlaceRequest::new(design),
+        &grid,
+        &mut PlaceContext::new(),
+    )?;
+
+    println!("{:>8} {:>14}", "lambda", "WL (m)");
+    for run in &batch.runs {
         println!(
-            "{:>8.1} {:>14.4} {:>10.2} {:>10.2}",
-            lambda,
-            metrics.wirelength_m,
-            metrics.grc_percent(),
-            metrics.wns_percent()
+            "{:>8.1} {:>14.4}{}",
+            run.lambda,
+            run.score.unwrap_or(f64::NAN),
+            if run.index == batch.winner_index { "  <- winner" } else { "" },
         );
-        if metrics.wirelength_m < best.0 {
-            best = (metrics.wirelength_m, lambda);
-        }
     }
-    println!("\nbest wirelength {:.4} m at lambda = {:.1}", best.0, best.1);
+    println!(
+        "\nbest wirelength {:.4} m at lambda = {:.1}",
+        batch.winner_score,
+        batch.winner.lambda.unwrap_or(f64::NAN),
+    );
     println!("(the paper reports HiDaP as the best of three lambda values per circuit)");
     Ok(())
 }

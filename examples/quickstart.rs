@@ -1,11 +1,12 @@
-//! Quickstart: build a tiny design programmatically, run HiDaP, print the
-//! macro placement and write it out as DEF.
+//! Quickstart: build a tiny design programmatically, run a flow through the
+//! unified `Placer` engine API, print the macro placement and write it out
+//! as DEF.
 //!
-//! Run with: `cargo run --release -p bench --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use geometry::Rect;
-use hidap::{HidapConfig, HidapFlow};
 use netlist::design::DesignBuilder;
+use placer_core::{PlaceContext, PlaceRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A miniature design: two RAM banks exchanging data through a 16-bit
@@ -25,9 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.set_die(Rect::new(0, 0, 1_200_000, 900_000));
     let design = b.build();
 
-    // Run the placer. `HidapConfig::default()` uses the paper's declustering
-    // fractions and a medium annealing effort.
-    let placement = HidapFlow::new(HidapConfig::default().with_lambda(0.5)).run(&design)?;
+    // Resolve the flow by name through the registry (any of "hidap",
+    // "indeda", "handfp") and place through the engine API.
+    let registry = baselines::default_registry();
+    let placer = registry.create("hidap")?;
+    let request = PlaceRequest::new(&design).with_seed(1).with_lambda(0.5);
+    let outcome = placer.place(&request, &mut PlaceContext::new())?;
+    let placement = &outcome.placement;
 
     println!("placed {} macros (legal: {}):", placement.macros.len(), placement.is_legal(&design));
     for placed in &placement.macros {
@@ -36,6 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:<16} at ({:>8}, {:>8})  orientation {}",
             cell.name, placed.location.x, placed.location.y, placed.orientation
         );
+    }
+    println!("\nstage timings:");
+    for timing in &outcome.stage_timings {
+        println!("  {:<12} {:.4} s", timing.stage, timing.seconds);
     }
 
     // Export the floorplan as DEF, ready for a downstream place-and-route tool.

@@ -1,0 +1,38 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A strategy choosing uniformly from a fixed set of values.
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.gen_range(0..self.choices.len())].clone()
+    }
+}
+
+/// Selects uniformly from `choices` (must be non-empty).
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select: empty choice set");
+    Select { choices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn select_only_returns_given_values() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let strat = select(vec![4usize, 8, 16]);
+        for _ in 0..100 {
+            assert!([4, 8, 16].contains(&strat.generate(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Regex-subset string generation for string-literal strategies.
+//!
+//! Supports the constructs the workspace's patterns use: literal characters,
+//! character classes with ranges (`[a-z0-9_]`), and `{n}` / `{n,m}` counted
+//! repetition, plus `?`, `*` and `+` with a small repetition cap. Anything
+//! else is emitted literally.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn class_pick(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+    let mut idx = rng.gen_range(0..total);
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if idx < span {
+            return char::from_u32(lo as u32 + idx).unwrap_or(lo);
+        }
+        idx -= span;
+    }
+    ranges[0].0
+}
+
+/// Generates one string matching the supported regex subset of `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // parse one atom
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                if ranges.is_empty() {
+                    ranges.push(('a', 'a'));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // parse an optional quantifier
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+            if let Some(close) = close {
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let lo = lo.trim().parse().unwrap_or(0);
+                    let hi = hi.trim().parse().unwrap_or(lo);
+                    (lo, hi)
+                } else {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            } else {
+                (1, 1)
+            }
+        } else if i < chars.len() && (chars[i] == '?' || chars[i] == '*' || chars[i] == '+') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if min == max { min } else { rng.gen_range(min..=max) };
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => out.push(class_pick(ranges, rng)),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identifier_pattern_generates_identifiers() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::seed_from_u64(2);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn counted_repetition() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = generate_from_pattern("[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `rand_core` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small subset of the `rand_core` API the placer actually uses: the
+//! [`RngCore`] and [`SeedableRng`] traits with the same method signatures and
+//! the same SplitMix64-based `seed_from_u64` seeding scheme as the real crate.
+
+/// A source of uniformly distributed random bits.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u32().to_le_bytes();
+            let n = (dest.len() - i).min(4);
+            dest[i..i + n].copy_from_slice(&word[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// One step of the SplitMix64 sequence, used to expand small seeds.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An RNG that can be reproducibly constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed material, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the RNG from a `u64`, expanding it with SplitMix64 (the same
+    /// scheme the real `rand_core` uses, so seeds have good bit dispersion).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut s = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let z = splitmix64(&mut s).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&z[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.0 += 1;
+            self.0 as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_every_byte() {
+        let mut rng = Counter(0);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[4], 2);
+    }
+
+    #[test]
+    fn splitmix_disperses_small_seeds() {
+        let mut a = 1;
+        let mut b = 2;
+        assert_ne!(splitmix64(&mut a), splitmix64(&mut b));
+    }
+}

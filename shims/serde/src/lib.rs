@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derive macros.
+//!
+//! See the `serde_derive` shim for why this is sufficient: the workspace only
+//! tags types as serialization-ready, it never drives a serde serializer.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -60,7 +60,7 @@ fn oracle_is_at_least_as_good_as_one_hidap_run() {
         seeds: vec![1, 2],
         lambdas: vec![0.2, 0.5, 0.8],
         base: HidapConfig::fast(),
-        eval: EvalConfig::standard(),
+        ..HandFpConfig::default()
     };
     let (_, oracle_wl) = HandFp::new(oracle_cfg).run(design).expect("handFP");
     assert!(oracle_wl <= single_wl + 1e-12);

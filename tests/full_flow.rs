@@ -51,15 +51,16 @@ fn dataflow_aware_placement_beats_random_macro_scatter() {
     for (i, m) in design.macros().enumerate() {
         let corner = match i % 2 {
             0 => geometry::Point::new(die.llx, die.lly),
-            _ => geometry::Point::new(die.urx - design.cell(m).width, die.ury - design.cell(m).height),
+            _ => geometry::Point::new(
+                die.urx - design.cell(m).width,
+                die.ury - design.cell(m).height,
+            ),
         };
         footprints.insert(m, MacroFootprint { location: corner, rotated: false });
     }
     legalize_macros(design, die, &mut footprints);
-    let scatter_map: HashMap<_, _> = footprints
-        .iter()
-        .map(|(&c, fp)| (c, (fp.location, geometry::Orientation::N)))
-        .collect();
+    let scatter_map: HashMap<_, _> =
+        footprints.iter().map(|(&c, fp)| (c, (fp.location, geometry::Orientation::N))).collect();
     let scatter_wl = evaluate_placement(design, &scatter_map, &eval_cfg).wirelength_m;
 
     assert!(

@@ -8,11 +8,11 @@ use workload::{SocConfig, SocGenerator, SubsystemConfig};
 
 fn arbitrary_soc() -> impl Strategy<Value = SocConfig> {
     (
-        2usize..4,          // number of subsystems
-        1usize..5,          // macros per subsystem
+        2usize..4, // number of subsystems
+        1usize..5, // macros per subsystem
         prop::sample::select(vec![4usize, 8, 16]),
-        0.3f64..0.65,       // utilization
-        1u64..1000,         // seed
+        0.3f64..0.65, // utilization
+        1u64..1000,   // seed
     )
         .prop_map(|(subs, macros, bits, utilization, seed)| SocConfig {
             name: "prop_soc".into(),

@@ -39,9 +39,9 @@ fn verilog_lef_roundtrip_preserves_structure() {
         assert_eq!((p.width, p.height), (m.width, m.height));
     }
 
-    let mut opts = ElaborateOptions::default();
-    opts.library = generated.library.clone();
-    let parsed = parse_verilog(&verilog, Some("rt_soc"), &opts).expect("emitted Verilog must parse");
+    let opts = ElaborateOptions { library: generated.library.clone(), ..Default::default() };
+    let parsed =
+        parse_verilog(&verilog, Some("rt_soc"), &opts).expect("emitted Verilog must parse");
     assert_eq!(parsed.num_cells(), generated.design.num_cells());
     assert_eq!(parsed.num_macros(), generated.design.num_macros());
     assert_eq!(parsed.num_ports(), generated.design.num_ports());
@@ -52,11 +52,11 @@ fn verilog_lef_roundtrip_preserves_structure() {
 fn reparsed_design_can_be_placed() {
     let generated = small_soc();
     let verilog = emit_verilog(&generated.design);
-    let mut opts = ElaborateOptions::default();
-    opts.library = generated.library.clone();
+    let opts = ElaborateOptions { library: generated.library.clone(), ..Default::default() };
     let mut design = parse_verilog(&verilog, Some("rt_soc"), &opts).expect("parse");
     design.set_die(generated.design.die());
-    let placement = HidapFlow::new(HidapConfig::fast()).run(&design).expect("flow on re-parsed design");
+    let placement =
+        HidapFlow::new(HidapConfig::fast()).run(&design).expect("flow on re-parsed design");
     assert_eq!(placement.macros.len(), generated.design.num_macros());
     assert!(placement.is_legal(&design));
 }
