@@ -8,7 +8,7 @@
 //! exactly the strategy whose shortcomings motivate HiDaP.
 
 use geometry::{Dbu, Orientation, Point, Rect};
-use hidap::legalize::{legalize_macros, MacroFootprint};
+use hidap::legalize::{legalize_macros, MacroFootprint, MacroFootprints};
 use hidap::placement::{MacroPlacement, PlacedMacro};
 use hidap::HidapError;
 use netlist::design::{CellId, CellKind, Design};
@@ -16,7 +16,6 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Configuration of the IndEDA-style baseline placer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -172,7 +171,7 @@ impl IndEda {
         }
 
         // Legalize and emit the placement.
-        let mut footprints: HashMap<CellId, MacroFootprint> = macros
+        let mut footprints: MacroFootprints = macros
             .iter()
             .zip(&best_state)
             .map(|(&m, &(loc, rotated))| (m, MacroFootprint { location: loc, rotated }))
@@ -180,7 +179,7 @@ impl IndEda {
         legalize_macros(design, die, &mut footprints);
         let mut placed: Vec<PlacedMacro> = footprints
             .iter()
-            .map(|(&cell, fp)| PlacedMacro {
+            .map(|(cell, fp)| PlacedMacro {
                 cell,
                 location: fp.location,
                 orientation: if fp.rotated { Orientation::W } else { Orientation::N },
@@ -307,8 +306,11 @@ struct MacroNet {
 }
 
 fn macro_nets(design: &Design, macros: &[CellId]) -> Vec<MacroNet> {
-    let index_of: HashMap<CellId, usize> =
-        macros.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    let mut index_of: netlist::DenseMap<CellId, Option<u32>> =
+        netlist::DenseMap::with_len(design.num_cells());
+    for (i, &m) in macros.iter().enumerate() {
+        index_of[m] = Some(i as u32);
+    }
     let mut nets = Vec::new();
     for (_, net) in design.nets() {
         let mut macro_indices = Vec::new();
@@ -320,8 +322,8 @@ fn macro_nets(design: &Design, macros: &[CellId]) -> Vec<MacroNet> {
         endpoints.extend(net.sink_cells.iter().copied());
         for c in endpoints {
             if design.cell(c).kind == CellKind::Macro {
-                if let Some(&i) = index_of.get(&c) {
-                    macro_indices.push(i);
+                if let Some(i) = index_of[c] {
+                    macro_indices.push(i as usize);
                 }
             }
         }

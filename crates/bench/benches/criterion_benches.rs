@@ -53,10 +53,10 @@ fn bench_layout_generation(c: &mut Criterion) {
                 target_area: 30_000,
             })
             .collect();
-        let mut affinity = vec![vec![0.0; n]; n];
+        let mut affinity = graphs::AffinityMatrix::zeros(n);
         for i in 0..n {
-            affinity[i][(i + 1) % n] = 10.0;
-            affinity[(i + 1) % n][i] = 10.0;
+            affinity.set(i, (i + 1) % n, 10.0);
+            affinity.set((i + 1) % n, i, 10.0);
         }
         let problem = LayoutProblem {
             region: Rect::new(0, 0, 1200, 900),
@@ -101,12 +101,40 @@ fn bench_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Hashmap-vs-dense comparison of the two hot paths the data-plane refactor
+/// targets: the Gauss–Seidel placer sweep and HPWL (see `bench_placer` for
+/// the large_soc-scale run that emits `BENCH_placer.json`).
+fn bench_hashmap_vs_dense(c: &mut Criterion) {
+    use bench::reference::{place_standard_cells_hashmap, total_hpwl_hashmap};
+
+    let mut group = c.benchmark_group("hashmap_vs_dense");
+    group.sample_size(10);
+    let c1 = generate_circuit("c1");
+    let placement = HidapFlow::new(HidapConfig::fast()).run(&c1.design).expect("flow");
+    let map = placement.to_map();
+    let cfg = eval::PlacerConfig::default();
+    group.bench_function("placer_c1_hashmap", |b| {
+        b.iter(|| place_standard_cells_hashmap(&c1.design, &map, &cfg))
+    });
+    group.bench_function("placer_c1_dense", |b| {
+        b.iter(|| eval::place_standard_cells(&c1.design, &map, &cfg))
+    });
+    let reference = place_standard_cells_hashmap(&c1.design, &map, &cfg);
+    let dense = eval::place_standard_cells(&c1.design, &map, &cfg);
+    group.bench_function("hpwl_c1_hashmap", |b| {
+        b.iter(|| total_hpwl_hashmap(&c1.design, &reference))
+    });
+    group.bench_function("hpwl_c1_dense", |b| b.iter(|| eval::total_hpwl(&c1.design, &dense)));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_shape_curves,
     bench_seq_graph,
     bench_layout_generation,
     bench_full_flow,
-    bench_evaluation
+    bench_evaluation,
+    bench_hashmap_vs_dense
 );
 criterion_main!(benches);

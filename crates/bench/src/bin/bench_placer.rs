@@ -1,0 +1,160 @@
+//! Dense-data-plane microbench: analytical-placer sweeps + HPWL at
+//! `large_soc` scale, hash-map stores vs the dense CSR path.
+//!
+//! Runs the pre-refactor hash-map implementation (preserved in
+//! [`bench::reference`]) and the dense implementation on the same design and
+//! macro placement, cross-checks that they produce bit-identical results, and
+//! writes the timings to `BENCH_placer.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_placer            # full large_soc
+//! cargo run --release -p bench --bin bench_placer -- --scale 0.25 --repeats 5
+//! ```
+
+use bench::reference::{place_standard_cells_hashmap, to_dense, total_hpwl_hashmap};
+use eval::{place_standard_cells, total_hpwl, PlacerConfig};
+use geometry::{Orientation, Point};
+use netlist::design::{CellId, Design};
+use std::collections::HashMap;
+use std::time::Instant;
+use workload::presets::large_soc_config;
+use workload::SocGenerator;
+
+/// A deterministic macro grid placement (the bench measures the standard-cell
+/// placer, not macro placement, so a cheap legal-ish grid is enough).
+fn grid_macro_placement(design: &Design) -> HashMap<CellId, (Point, Orientation)> {
+    let die = design.die();
+    let macros: Vec<CellId> = design.macros().collect();
+    let cols = (macros.len() as f64).sqrt().ceil() as i64;
+    let mut mp = HashMap::new();
+    for (i, &m) in macros.iter().enumerate() {
+        let cell = design.cell(m);
+        let col = i as i64 % cols;
+        let row = i as i64 / cols;
+        let x = (die.llx + col * die.width() / cols).min(die.urx - cell.width).max(die.llx);
+        let y = (die.lly + row * die.height() / cols).min(die.ury - cell.height).max(die.lly);
+        mp.insert(m, (Point::new(x, y), Orientation::N));
+    }
+    mp
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut repeats = 3usize;
+    let mut out_path = "BENCH_placer.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().unwrap_or(1.0);
+                i += 2;
+            }
+            "--repeats" if i + 1 < args.len() => {
+                repeats = args[i + 1].parse().unwrap_or(3).max(1);
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument '{other}'");
+                i += 1;
+            }
+        }
+    }
+
+    eprintln!("generating large_soc (scale {scale}) ...");
+    let generated = SocGenerator::new(large_soc_config(scale)).generate();
+    let design = &generated.design;
+    let csr = design.connectivity();
+    eprintln!(
+        "design: {} cells, {} nets ({} pins), {} macros",
+        design.num_cells(),
+        design.num_nets(),
+        csr.num_pins(),
+        design.num_macros()
+    );
+    let mp = grid_macro_placement(design);
+    let cfg = PlacerConfig::default();
+
+    // --- hash-map reference ------------------------------------------------
+    let mut hashmap_place_s = Vec::new();
+    let mut hashmap_hpwl_s = Vec::new();
+    let mut reference = HashMap::new();
+    for _ in 0..repeats {
+        let t = Instant::now();
+        reference = place_standard_cells_hashmap(design, &mp, &cfg);
+        hashmap_place_s.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let _ = total_hpwl_hashmap(design, &reference);
+        hashmap_hpwl_s.push(t.elapsed().as_secs_f64());
+    }
+    let wl_reference = total_hpwl_hashmap(design, &reference);
+
+    // --- dense CSR path ----------------------------------------------------
+    let mut dense_place_s = Vec::new();
+    let mut dense_hpwl_s = Vec::new();
+    let mut dense = eval::CellPlacement::default();
+    for _ in 0..repeats {
+        let t = Instant::now();
+        dense = place_standard_cells(design, &mp, &cfg);
+        dense_place_s.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let _ = total_hpwl(design, &dense);
+        dense_hpwl_s.push(t.elapsed().as_secs_f64());
+    }
+    let wl_dense = total_hpwl(design, &dense);
+
+    // --- cross-check: both paths must agree bit for bit --------------------
+    assert_eq!(wl_reference, wl_dense, "hashmap and dense HPWL disagree");
+    assert_eq!(to_dense(design, &reference), dense, "hashmap and dense placements disagree");
+
+    let hm_place = median(&mut hashmap_place_s);
+    let hm_hpwl = median(&mut hashmap_hpwl_s);
+    let dn_place = median(&mut dense_place_s);
+    let dn_hpwl = median(&mut dense_hpwl_s);
+    let speedup_place = hm_place / dn_place.max(1e-12);
+    let speedup_hpwl = hm_hpwl / dn_hpwl.max(1e-12);
+    let speedup_total = (hm_place + hm_hpwl) / (dn_place + dn_hpwl).max(1e-12);
+
+    println!(
+        "placer sweep: hashmap {:.1} ms, dense {:.1} ms ({speedup_place:.2}x)",
+        hm_place * 1e3,
+        dn_place * 1e3
+    );
+    println!(
+        "HPWL:         hashmap {:.2} ms, dense {:.2} ms ({speedup_hpwl:.2}x)",
+        hm_hpwl * 1e3,
+        dn_hpwl * 1e3
+    );
+    println!(
+        "combined speedup: {speedup_total:.2}x (HPWL {} DBU over {} nets)",
+        wl_dense.dbu, wl_dense.routed_nets
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true\n}}\n",
+        design.num_cells(),
+        design.num_nets(),
+        csr.num_pins(),
+        design.num_macros(),
+        hm_place * 1e3,
+        hm_hpwl * 1e3,
+        dn_place * 1e3,
+        dn_hpwl * 1e3,
+        speedup_place,
+        speedup_hpwl,
+        speedup_total,
+        wl_dense.dbu,
+        wl_dense.routed_nets,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_placer.json");
+    eprintln!("wrote {out_path}");
+}

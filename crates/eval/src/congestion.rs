@@ -92,34 +92,14 @@ pub fn estimate_congestion(
         }
     }
 
-    // demand per bin (RUDY)
+    // demand per bin (RUDY), walking the flat CSR net→pin arrays
+    let csr = design.connectivity();
+    let port_pos: Vec<Option<Point>> = design.ports().map(|(_, p)| p.position).collect();
     let mut demand = vec![0.0f64; bins * bins];
-    for (_, net) in design.nets() {
-        let mut points: Vec<Point> = Vec::new();
-        if let Some(c) = net.driver_cell {
-            if let Some(p) = placement.position(c) {
-                points.push(p);
-            }
-        }
-        for &c in &net.sink_cells {
-            if let Some(p) = placement.position(c) {
-                points.push(p);
-            }
-        }
-        if let Some(p) = net.driver_port {
-            if let Some(pos) = design.port(p).position {
-                points.push(pos);
-            }
-        }
-        for &p in &net.sink_ports {
-            if let Some(pos) = design.port(p).position {
-                points.push(pos);
-            }
-        }
-        if points.len() < 2 {
+    for net in design.net_ids() {
+        let Some(bb) = crate::wirelength::net_bounding_box(csr, net, placement, &port_pos) else {
             continue;
-        }
-        let Some(bb) = Rect::bounding_box(points) else { continue };
+        };
         let wire = (bb.width() + bb.height()) as f64 * config.wire_pitch;
         let bb_area = (bb.area() as f64).max(1.0);
         let density = wire / bb_area; // demand per unit area
@@ -224,8 +204,7 @@ mod tests {
         let mut placement = CellPlacement::default();
         for (i, &c) in cells.iter().enumerate() {
             placement
-                .positions
-                .insert(c, Point::new(10 + (i as i64 % 5) * 20, 10 + (i as i64 / 5) * 10));
+                .set_position(c, Point::new(10 + (i as i64 % 5) * 20, 10 + (i as i64 / 5) * 10));
         }
         let cfg = CongestionConfig { bins: 8, supply_per_dbu: 0.001, ..Default::default() };
         let map = estimate_congestion(&d, &placement, &HashMap::new(), &cfg);
@@ -242,13 +221,12 @@ mod tests {
         let mut clustered = CellPlacement::default();
         for (i, &c) in ids.iter().enumerate() {
             clustered
-                .positions
-                .insert(c, Point::new(50 + (i as i64 % 7) * 10, 50 + (i as i64 / 7) * 10));
+                .set_position(c, Point::new(50 + (i as i64 % 7) * 10, 50 + (i as i64 / 7) * 10));
         }
         // spread placement
         let mut spread = CellPlacement::default();
         for (i, &c) in ids.iter().enumerate() {
-            spread.positions.insert(c, Point::new((i as i64 * 61) % 3200, (i as i64 * 97) % 3200));
+            spread.set_position(c, Point::new((i as i64 * 61) % 3200, (i as i64 * 97) % 3200));
         }
         let cfg = CongestionConfig { bins: 8, supply_per_dbu: 0.0005, ..Default::default() };
         let c_map = estimate_congestion(&d, &clustered, &HashMap::new(), &cfg);
@@ -268,9 +246,9 @@ mod tests {
         b.set_die(Rect::new(0, 0, 3200, 3200));
         let d = b.build();
         let mut placement = CellPlacement::default();
-        placement.positions.insert(a, Point::new(0, 0));
-        placement.positions.insert(c, Point::new(3199, 3199));
-        placement.positions.insert(m, Point::new(800, 800));
+        placement.set_position(a, Point::new(0, 0));
+        placement.set_position(c, Point::new(3199, 3199));
+        placement.set_position(m, Point::new(800, 800));
         let mut mp = HashMap::new();
         mp.insert(m, (Point::new(0, 0), Orientation::N));
         let cfg = CongestionConfig { bins: 8, supply_per_dbu: 0.0004, ..Default::default() };

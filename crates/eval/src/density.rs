@@ -120,7 +120,7 @@ mod tests {
         let d = b.build();
         let mut placement = CellPlacement::default();
         for &c in &cells {
-            placement.positions.insert(c, Point::new(50, 50));
+            placement.set_position(c, Point::new(50, 50));
         }
         let map = DensityMap::compute(&d, &placement, &HashMap::new(), 8);
         assert!(map.at(0, 0) > 0.0);
@@ -137,8 +137,8 @@ mod tests {
         b.set_die(Rect::new(0, 0, 800, 800));
         let d = b.build();
         let mut placement = CellPlacement::default();
-        placement.positions.insert(c, Point::new(50, 50));
-        placement.positions.insert(m, Point::new(45, 45));
+        placement.set_position(c, Point::new(50, 50));
+        placement.set_position(m, Point::new(45, 45));
         let mut mp = HashMap::new();
         mp.insert(m, (Point::new(0, 0), Orientation::N));
         let with_macro = DensityMap::compute(&d, &placement, &mp, 8);

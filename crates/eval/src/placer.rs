@@ -14,8 +14,13 @@
 //! The result is *not* a legal detailed placement — it is a placement good
 //! enough to measure wirelength, congestion and timing consistently across
 //! macro-placement flows, which is how the paper uses its commercial placer.
+//!
+//! All per-cell state lives in dense id-indexed arrays and every netlist
+//! traversal runs over the design's CSR [`netlist::Connectivity`] view, so
+//! the Gauss–Seidel inner loop touches no hash map and no per-cell `Vec`s.
 
 use geometry::{Orientation, Point, Rect};
+use netlist::dense::DenseMap;
 use netlist::design::{CellId, CellKind, Design};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -46,16 +51,40 @@ impl Default for PlacerConfig {
 
 /// The result of standard-cell placement: a location for every cell of the
 /// design (macros keep their macro-placement location).
+///
+/// Positions live in a dense id-indexed store; cells outside the map (or with
+/// an empty slot) are unplaced.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct CellPlacement {
-    /// Location of every cell (cell center), indexed by cell id.
-    pub positions: HashMap<CellId, Point>,
+    /// Location of every cell (cell center), indexed densely by cell id.
+    pub positions: DenseMap<CellId, Option<Point>>,
 }
 
 impl CellPlacement {
+    /// An all-unplaced map covering `num_cells` cells.
+    pub fn with_num_cells(num_cells: usize) -> Self {
+        Self { positions: DenseMap::with_len(num_cells) }
+    }
+
     /// Position of a cell.
+    #[inline]
     pub fn position(&self, cell: CellId) -> Option<Point> {
-        self.positions.get(&cell).copied()
+        self.positions.get(cell).copied().flatten()
+    }
+
+    /// Places (or moves) a cell, growing the map as needed.
+    pub fn set_position(&mut self, cell: CellId, position: Point) {
+        self.positions.insert(cell, Some(position));
+    }
+
+    /// Iterates over the placed cells as `(cell, position)` in id order.
+    pub fn placed(&self) -> impl Iterator<Item = (CellId, Point)> + '_ {
+        self.positions.iter().filter_map(|(c, p)| p.map(|p| (c, p)))
+    }
+
+    /// Number of placed cells.
+    pub fn num_placed(&self) -> usize {
+        self.positions.values().filter(|p| p.is_some()).count()
     }
 }
 
@@ -70,10 +99,17 @@ pub fn place_standard_cells(
     let die = design.die();
     let die_center = die.center();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let csr = design.connectivity();
+    let n = design.num_cells();
+
+    // Dense per-cell state: working positions, fixedness, area.
+    let mut pos: Vec<Point> = vec![die_center; n];
+    let mut is_fixed: Vec<bool> = vec![false; n];
+    let area: Vec<i128> = design.cells().map(|(_, c)| c.area()).collect();
+    // Port positions, fetched once.
+    let port_pos: Vec<Option<Point>> = design.ports().map(|(_, p)| p.position).collect();
 
     // Fixed positions: macro centers and port locations.
-    let mut positions: HashMap<CellId, Point> = HashMap::with_capacity(design.num_cells());
-    let mut is_fixed: HashMap<CellId, bool> = HashMap::with_capacity(design.num_cells());
     let mut macro_rects: Vec<Rect> = Vec::new();
     for (id, cell) in design.cells() {
         if cell.kind == CellKind::Macro {
@@ -81,35 +117,37 @@ pub fn place_standard_cells(
                 macro_placement.get(&id).copied().unwrap_or((die_center, Orientation::N));
             let (w, h) = orient.transformed_size(cell.width, cell.height);
             let rect = Rect::from_size(loc.x, loc.y, w, h);
-            positions.insert(id, rect.center());
+            pos[id.0 as usize] = rect.center();
             macro_rects.push(rect);
-            is_fixed.insert(id, true);
-        } else {
-            is_fixed.insert(id, false);
+            is_fixed[id.0 as usize] = true;
         }
     }
 
-    // Initial positions: centroid of connected fixed objects, else die center
-    // with a small deterministic jitter so co-located cells can spread.
+    // Initial positions: centroid of connected already-placed objects (macros,
+    // ports, and cells initialized earlier in this very sweep), else die
+    // center with a small deterministic jitter so co-located cells can spread.
+    let mut placed: Vec<bool> = is_fixed.clone();
     for (id, cell) in design.cells() {
         if cell.kind == CellKind::Macro {
             continue;
         }
         let mut sum = (0i128, 0i128);
         let mut count = 0i128;
-        for &net in cell.fanin.iter().chain(cell.fanout.iter()) {
-            let n = design.net(net);
-            if let Some(d) = n.driver_cell {
-                if let Some(&p) = positions.get(&d) {
+        for &net in csr.nets_of(id) {
+            for &pin in csr.pins(net) {
+                if !pin.is_driver() {
+                    continue;
+                }
+                if let Some(d) = pin.cell() {
+                    if placed[d.0 as usize] {
+                        let p = pos[d.0 as usize];
+                        sum.0 += p.x as i128;
+                        sum.1 += p.y as i128;
+                        count += 1;
+                    }
+                } else if let Some(p) = pin.port().and_then(|p| port_pos[p.0 as usize]) {
                     sum.0 += p.x as i128;
                     sum.1 += p.y as i128;
-                    count += 1;
-                }
-            }
-            if let Some(p) = n.driver_port {
-                if let Some(pos) = design.port(p).position {
-                    sum.0 += pos.x as i128;
-                    sum.1 += pos.y as i128;
                     count += 1;
                 }
             }
@@ -121,66 +159,57 @@ pub fn place_standard_cells(
         };
         let jitter_x = rng.gen_range(-(die.width() / 64).max(1)..=(die.width() / 64).max(1));
         let jitter_y = rng.gen_range(-(die.height() / 64).max(1)..=(die.height() / 64).max(1));
-        positions.insert(id, die.clamp_point(base.translated(jitter_x, jitter_y)));
+        pos[id.0 as usize] = die.clamp_point(base.translated(jitter_x, jitter_y));
+        placed[id.0 as usize] = true;
     }
 
-    // Gauss–Seidel sweeps over the star wirelength model.
+    // Gauss–Seidel sweeps over the star wirelength model: every cell moves to
+    // the average position of the other pins on its nets. The sums are exact
+    // integer arithmetic, so pin order inside a net does not affect the result.
     for _ in 0..config.iterations {
-        for (id, cell) in design.cells() {
-            if is_fixed[&id] {
+        for id in 0..n {
+            if is_fixed[id] {
                 continue;
             }
             let mut sum = (0i128, 0i128);
             let mut count = 0i128;
-            for &net in cell.fanin.iter().chain(cell.fanout.iter()) {
-                let n = design.net(net);
-                let mut add = |p: Point| {
-                    sum.0 += p.x as i128;
-                    sum.1 += p.y as i128;
-                    count += 1;
-                };
-                if let Some(d) = n.driver_cell {
-                    if d != id {
-                        add(positions[&d]);
-                    }
-                }
-                for &s in &n.sink_cells {
-                    if s != id {
-                        add(positions[&s]);
-                    }
-                }
-                if let Some(p) = n.driver_port {
-                    if let Some(pos) = design.port(p).position {
-                        add(pos);
-                    }
-                }
-                for &p in &n.sink_ports {
-                    if let Some(pos) = design.port(p).position {
-                        add(pos);
+            for &net in csr.nets_of(CellId(id as u32)) {
+                for &pin in csr.pins(net) {
+                    if let Some(c) = pin.cell() {
+                        if c.0 as usize != id {
+                            let p = pos[c.0 as usize];
+                            sum.0 += p.x as i128;
+                            sum.1 += p.y as i128;
+                            count += 1;
+                        }
+                    } else if let Some(p) = pin.port().and_then(|p| port_pos[p.0 as usize]) {
+                        sum.0 += p.x as i128;
+                        sum.1 += p.y as i128;
+                        count += 1;
                     }
                 }
             }
             if count > 0 {
                 let target = Point::new((sum.0 / count) as i64, (sum.1 / count) as i64);
-                positions.insert(id, die.clamp_point(target));
+                pos[id] = die.clamp_point(target);
             }
         }
     }
 
     // Spreading: push cells out of over-full bins (macros occupy capacity).
-    spread(design, &mut positions, &is_fixed, &macro_rects, config);
+    spread(die, &mut pos, &is_fixed, &area, &macro_rects, config);
 
-    CellPlacement { positions }
+    CellPlacement { positions: pos.into_iter().map(Some).collect() }
 }
 
 fn spread(
-    design: &Design,
-    positions: &mut HashMap<CellId, Point>,
-    is_fixed: &HashMap<CellId, bool>,
+    die: Rect,
+    pos: &mut [Point],
+    is_fixed: &[bool],
+    area: &[i128],
     macro_rects: &[Rect],
     config: &PlacerConfig,
 ) {
-    let die = design.die();
     let bins = config.bins.max(2);
     let bin_w = (die.width() as f64 / bins as f64).max(1.0);
     let bin_h = (die.height() as f64 / bins as f64).max(1.0);
@@ -209,16 +238,16 @@ fn spread(
     };
 
     for _ in 0..config.spreading_passes {
-        // Usage per bin.
+        // Usage and membership per bin, accumulated in cell-id order.
         let mut usage = vec![vec![0.0f64; bins]; bins];
-        let mut members: HashMap<(usize, usize), Vec<CellId>> = HashMap::new();
-        for (id, cell) in design.cells() {
-            if is_fixed[&id] {
+        let mut members: Vec<Vec<CellId>> = vec![Vec::new(); bins * bins];
+        for id in 0..pos.len() {
+            if is_fixed[id] {
                 continue;
             }
-            let b = bin_of(positions[&id]);
-            usage[b.0][b.1] += cell.area() as f64;
-            members.entry(b).or_default().push(id);
+            let b = bin_of(pos[id]);
+            usage[b.0][b.1] += area[id] as f64;
+            members[b.0 * bins + b.1].push(CellId(id as u32));
         }
         // Move cells from over-full bins to the nearest bin with headroom.
         let mut moved_any = false;
@@ -228,10 +257,9 @@ fn spread(
                 if over <= 0.0 {
                     continue;
                 }
-                let Some(cells) = members.get(&(bx, by)) else { continue };
                 // move the smallest cells first until the bin fits
-                let mut cells = cells.clone();
-                cells.sort_by_key(|&c| design.cell(c).area());
+                let mut cells = members[bx * bins + by].clone();
+                cells.sort_by_key(|&c| area[c.0 as usize]);
                 let mut to_free = over;
                 for cell in cells {
                     if to_free <= 0.0 {
@@ -242,11 +270,11 @@ fn spread(
                             die.llx + ((tx as f64 + 0.5) * bin_w) as i64,
                             die.lly + ((ty as f64 + 0.5) * bin_h) as i64,
                         );
-                        let area = design.cell(cell).area() as f64;
-                        usage[bx][by] -= area;
-                        usage[tx][ty] += area;
-                        to_free -= area;
-                        positions.insert(cell, die.clamp_point(target_center));
+                        let cell_area = area[cell.0 as usize] as f64;
+                        usage[bx][by] -= cell_area;
+                        usage[tx][ty] += cell_area;
+                        to_free -= cell_area;
+                        pos[cell.0 as usize] = die.clamp_point(target_center);
                         moved_any = true;
                     } else {
                         break;
@@ -326,7 +354,8 @@ mod tests {
         mp.insert(m, (Point::new(700, 400), Orientation::N));
         let placement = place_standard_cells(&d, &mp, &PlacerConfig::default());
         assert_eq!(placement.positions.len(), d.num_cells());
-        for &p in placement.positions.values() {
+        assert_eq!(placement.num_placed(), d.num_cells());
+        for (_, p) in placement.placed() {
             assert!(d.die().contains(p));
         }
     }
@@ -364,6 +393,18 @@ mod tests {
     }
 
     #[test]
+    fn unplaced_cells_report_none() {
+        let (d, m) = design_with_macro_and_cells();
+        let placement = CellPlacement::with_num_cells(d.num_cells());
+        assert_eq!(placement.position(m), None);
+        assert_eq!(placement.num_placed(), 0);
+        let mut placement = placement;
+        placement.set_position(m, Point::new(1, 2));
+        assert_eq!(placement.position(m), Some(Point::new(1, 2)));
+        assert_eq!(placement.num_placed(), 1);
+    }
+
+    #[test]
     fn spreading_reduces_peak_bin_usage() {
         // many unconnected cells all start at the die center; spreading must
         // distribute them across bins
@@ -377,7 +418,7 @@ mod tests {
         let placement = place_standard_cells(&d, &HashMap::new(), &cfg);
         // count cells per bin
         let mut counts = vec![vec![0usize; 8]; 8];
-        for &p in placement.positions.values() {
+        for (_, p) in placement.placed() {
             let bx = ((p.x as f64 / 40.0) as usize).min(7);
             let by = ((p.y as f64 / 40.0) as usize).min(7);
             counts[bx][by] += 1;

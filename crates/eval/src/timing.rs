@@ -148,7 +148,7 @@ mod tests {
     fn placement(pairs: &[(CellId, Point)]) -> CellPlacement {
         let mut p = CellPlacement::default();
         for &(c, pos) in pairs {
-            p.positions.insert(c, pos);
+            p.set_position(c, pos);
         }
         p
     }

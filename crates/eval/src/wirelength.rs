@@ -1,7 +1,7 @@
 //! Half-perimeter wirelength (HPWL).
 
 use crate::placer::CellPlacement;
-use geometry::{Point, Rect};
+use geometry::Point;
 use netlist::design::Design;
 use serde::{Deserialize, Serialize};
 
@@ -21,43 +21,54 @@ impl Hpwl {
     }
 }
 
+/// The bounding box of a net's placed pins (cell centers from `placement`,
+/// port positions from the prefetched `port_pos` slice), accumulated
+/// incrementally over the design's CSR [`netlist::Connectivity`] view — no
+/// per-net point buffer and no hash lookups.
+///
+/// Returns `None` for nets with fewer than two placed pins (they contribute
+/// neither wirelength nor routing demand).
+pub(crate) fn net_bounding_box(
+    csr: &netlist::Connectivity,
+    net: netlist::NetId,
+    placement: &CellPlacement,
+    port_pos: &[Option<Point>],
+) -> Option<geometry::Rect> {
+    let mut min_x = i64::MAX;
+    let mut max_x = i64::MIN;
+    let mut min_y = i64::MAX;
+    let mut max_y = i64::MIN;
+    let mut pins = 0usize;
+    for &pin in csr.pins(net) {
+        let p = if let Some(c) = pin.cell() {
+            placement.position(c)
+        } else {
+            pin.port().and_then(|p| port_pos[p.0 as usize])
+        };
+        let Some(p) = p else { continue };
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+        pins += 1;
+    }
+    (pins >= 2).then(|| geometry::Rect::new(min_x, min_y, max_x, max_y))
+}
+
 /// Computes the total HPWL of a design for a full cell placement.
 ///
 /// Every net contributes the half perimeter of the bounding box of its pin
 /// locations (cell centers and port positions). Nets with fewer than two
 /// placed pins contribute nothing.
 pub fn total_hpwl(design: &Design, placement: &CellPlacement) -> Hpwl {
+    let csr = design.connectivity();
+    let port_pos: Vec<Option<Point>> = design.ports().map(|(_, p)| p.position).collect();
     let mut total: i128 = 0;
     let mut routed = 0usize;
-    for (_, net) in design.nets() {
-        let mut points: Vec<Point> = Vec::with_capacity(net.degree());
-        if let Some(c) = net.driver_cell {
-            if let Some(p) = placement.position(c) {
-                points.push(p);
-            }
-        }
-        for &c in &net.sink_cells {
-            if let Some(p) = placement.position(c) {
-                points.push(p);
-            }
-        }
-        if let Some(p) = net.driver_port {
-            if let Some(pos) = design.port(p).position {
-                points.push(pos);
-            }
-        }
-        for &p in &net.sink_ports {
-            if let Some(pos) = design.port(p).position {
-                points.push(pos);
-            }
-        }
-        if points.len() < 2 {
-            continue;
-        }
-        if let Some(bb) = Rect::bounding_box(points) {
-            total += (bb.width() + bb.height()) as i128;
-            routed += 1;
-        }
+    for net in design.net_ids() {
+        let Some(bb) = net_bounding_box(csr, net, placement, &port_pos) else { continue };
+        total += (bb.width() + bb.height()) as i128;
+        routed += 1;
     }
     Hpwl { dbu: total, routed_nets: routed }
 }
@@ -66,7 +77,6 @@ pub fn total_hpwl(design: &Design, placement: &CellPlacement) -> Hpwl {
 mod tests {
     use super::*;
     use netlist::design::{DesignBuilder, PortDirection};
-    use std::collections::HashMap;
 
     #[test]
     fn hpwl_of_two_pin_net() {
@@ -78,8 +88,8 @@ mod tests {
         b.connect_sink(n, c);
         let d = b.build();
         let mut placement = CellPlacement::default();
-        placement.positions.insert(a, Point::new(0, 0));
-        placement.positions.insert(c, Point::new(30, 40));
+        placement.set_position(a, Point::new(0, 0));
+        placement.set_position(c, Point::new(30, 40));
         let wl = total_hpwl(&d, &placement);
         assert_eq!(wl.dbu, 70);
         assert_eq!(wl.routed_nets, 1);
@@ -96,7 +106,7 @@ mod tests {
         b.connect_sink(n, a);
         let d = b.build();
         let mut placement = CellPlacement::default();
-        placement.positions.insert(a, Point::new(0, 50));
+        placement.set_position(a, Point::new(0, 50));
         let wl = total_hpwl(&d, &placement);
         assert_eq!(wl.dbu, 150);
     }
@@ -113,9 +123,9 @@ mod tests {
         b.connect_sink(n, c2);
         let d = b.build();
         let mut placement = CellPlacement::default();
-        placement.positions.insert(a, Point::new(0, 0));
-        placement.positions.insert(c1, Point::new(10, 100));
-        placement.positions.insert(c2, Point::new(50, 20));
+        placement.set_position(a, Point::new(0, 0));
+        placement.set_position(c1, Point::new(10, 100));
+        placement.set_position(c2, Point::new(50, 20));
         let wl = total_hpwl(&d, &placement);
         assert_eq!(wl.dbu, 50 + 100);
     }
@@ -129,7 +139,7 @@ mod tests {
         b.connect_driver(n, a);
         b.connect_sink(n, c);
         let d = b.build();
-        let placement = CellPlacement { positions: HashMap::new() };
+        let placement = CellPlacement::default();
         let wl = total_hpwl(&d, &placement);
         assert_eq!(wl.dbu, 0);
         assert_eq!(wl.routed_nets, 0);

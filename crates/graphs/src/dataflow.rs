@@ -14,6 +14,7 @@
 //!   blocks, allowing the search to cross every sequential element except
 //!   macros.
 
+use crate::affinity::AffinityMatrix;
 use crate::histogram::FlowHistogram;
 use crate::seqgraph::{SeqGraph, SeqNodeId, SeqNodeKind};
 use serde::{Deserialize, Serialize};
@@ -133,8 +134,8 @@ impl DataflowEdge {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DataflowGraph {
     nodes: Vec<DataflowNode>,
-    /// Dense edge map: `edges[i][j]` is the edge from node `i` to node `j`.
-    edges: Vec<Vec<DataflowEdge>>,
+    /// Flat row-major edge map: `edges[i * n + j]` is the edge `i → j`.
+    edges: Vec<DataflowEdge>,
     num_blocks: usize,
 }
 
@@ -193,7 +194,7 @@ impl DataflowGraph {
         }
 
         let n = nodes.len();
-        let mut edges = vec![vec![DataflowEdge::default(); n]; n];
+        let mut edges = vec![DataflowEdge::default(); n * n];
 
         // ---- block flow ---------------------------------------------------
         // For every dataflow node, BFS from all its member sequential nodes,
@@ -212,7 +213,7 @@ impl DataflowGraph {
                 config.max_latency,
                 |dst_df, latency, bits| {
                     if dst_df != src_df {
-                        edges[src_df][dst_df].block_flow.add(latency, bits);
+                        edges[src_df * n + dst_df].block_flow.add(latency, bits);
                     }
                 },
             );
@@ -239,7 +240,7 @@ impl DataflowGraph {
                 config.max_latency,
                 |dst_df, latency, bits| {
                     if dst_df != src_df {
-                        edges[src_df][dst_df].macro_flow.add(latency, bits);
+                        edges[src_df * n + dst_df].macro_flow.add(latency, bits);
                     }
                 },
             );
@@ -320,20 +321,24 @@ impl DataflowGraph {
 
     /// Edge accessor (`from`, `to` are dense node indices).
     pub fn edge(&self, from: usize, to: usize) -> &DataflowEdge {
-        &self.edges[from][to]
+        let n = self.nodes.len();
+        debug_assert!(from < n && to < n, "edge index ({from}, {to}) out of {n}");
+        &self.edges[from * n + to]
     }
 
     /// The symmetric affinity matrix for a given λ and k: entry `(i, j)` is
     /// the blended score of the edges `i→j` and `j→i` added together.
-    pub fn affinity_matrix(&self, lambda: f64, k: u32) -> Vec<Vec<f64>> {
+    pub fn affinity_matrix(&self, lambda: f64, k: u32) -> AffinityMatrix {
         let n = self.nodes.len();
-        let mut m = vec![vec![0.0; n]; n];
-        for (i, row) in m.iter_mut().enumerate() {
-            for (j, slot) in row.iter_mut().enumerate() {
+        let mut m = AffinityMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
                 if i == j {
                     continue;
                 }
-                *slot = self.edges[i][j].affinity(lambda, k) + self.edges[j][i].affinity(lambda, k);
+                let a = self.edges[i * n + j].affinity(lambda, k)
+                    + self.edges[j * n + i].affinity(lambda, k);
+                m.set(i, j, a);
             }
         }
         m
@@ -441,16 +446,16 @@ mod tests {
         let m_block_only = gdf.affinity_matrix(1.0, 1);
         let m_macro_only = gdf.affinity_matrix(0.0, 1);
         // with block flow only, A-B affinity is zero; with macro flow it is positive
-        assert_eq!(m_block_only[0][1], 0.0);
-        assert!(m_macro_only[0][1] > 0.0);
+        assert_eq!(m_block_only.get(0, 1), 0.0);
+        assert!(m_macro_only.get(0, 1) > 0.0);
         // A-X affinity is positive for block flow, zero for macro flow
-        assert!(m_block_only[0][4] > 0.0);
-        assert_eq!(m_macro_only[0][4], 0.0);
+        assert!(m_block_only.get(0, 4) > 0.0);
+        assert_eq!(m_macro_only.get(0, 4), 0.0);
         // blended matrix is symmetric
         let m = gdf.affinity_matrix(0.5, 1);
-        for (i, row) in m.iter().enumerate() {
-            for (j, &v) in row.iter().enumerate() {
-                assert!((v - m[j][i]).abs() < 1e-9);
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-9);
             }
         }
     }

@@ -21,12 +21,14 @@
 //! * [`histogram::FlowHistogram`] implements the `score(h, k)` weighting of
 //!   Sect. IV-D.
 
+pub mod affinity;
 pub mod bfs;
 pub mod dataflow;
 pub mod histogram;
 pub mod netgraph;
 pub mod seqgraph;
 
+pub use affinity::AffinityMatrix;
 pub use dataflow::{BlockAssignment, DataflowEdge, DataflowGraph, DataflowNode};
 pub use histogram::FlowHistogram;
 pub use netgraph::{NetGraph, NetGraphNode};

@@ -128,7 +128,7 @@ impl HidapConfig {
     /// # Errors
     ///
     /// Returns a human-readable message when a parameter is outside its
-    /// meaningful range (λ ∉ [0,1], non-positive cooling, ...).
+    /// meaningful range (λ ∉ \[0,1\], non-positive cooling, ...).
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.lambda) {
             return Err(format!("lambda must be in [0, 1], got {}", self.lambda));

@@ -9,10 +9,10 @@ use crate::block::BlockSet;
 use crate::config::HidapConfig;
 use geometry::Point;
 use graphs::dataflow::DataflowConfig;
-use graphs::{BlockAssignment, DataflowGraph, SeqGraph};
+use graphs::{AffinityMatrix, BlockAssignment, DataflowGraph, SeqGraph};
+use netlist::dense::DenseMap;
 use netlist::design::{CellId, Design};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A fixed dataflow context node: a group of cells that already has a known
 /// location (a block placed at an enclosing hierarchy level).
@@ -33,8 +33,9 @@ pub struct LevelDataflow {
     /// [`BlockSet`] order), followed by fixed context blocks, followed by
     /// multi-bit port nodes.
     pub graph: DataflowGraph,
-    /// Affinity matrix `Maff` for the configured λ and k (symmetric).
-    pub affinity: Vec<Vec<f64>>,
+    /// Affinity matrix `Maff` for the configured λ and k (symmetric, flat
+    /// row-major storage).
+    pub affinity: AffinityMatrix,
     /// Fixed position of every dataflow node (`None` for the movable blocks).
     pub fixed_positions: Vec<Option<Point>>,
     /// Number of movable blocks.
@@ -44,13 +45,13 @@ pub struct LevelDataflow {
 impl LevelDataflow {
     /// Affinity between two dataflow nodes.
     pub fn affinity_between(&self, a: usize, b: usize) -> f64 {
-        self.affinity[a][b]
+        self.affinity.get(a, b)
     }
 
     /// Total affinity from a movable block towards all fixed nodes, weighted
     /// by nothing — a convenience for reporting.
     pub fn external_pull(&self, block: usize) -> f64 {
-        (self.num_movable..self.graph.num_nodes()).map(|j| self.affinity[block][j]).sum()
+        self.affinity.row(block)[self.num_movable..self.graph.num_nodes()].iter().sum()
     }
 }
 
@@ -70,16 +71,19 @@ pub fn dataflow_inference(
     let num_movable = blocks.len();
     let num_assigned_blocks = num_movable + fixed_groups.len();
 
-    // cell -> assigned block index (movable blocks first, then fixed groups)
-    let mut cell_block: HashMap<CellId, usize> = HashMap::new();
+    // cell -> assigned block index (movable blocks first, then fixed groups),
+    // as a dense per-cell store so the per-node lookups below stay flat
+    let mut cell_block: DenseMap<CellId, Option<u32>> = DenseMap::with_len(design.num_cells());
     for (id, block) in blocks.iter() {
         for &c in &block.cells {
-            cell_block.insert(c, id.0);
+            cell_block[c] = Some(id.0 as u32);
         }
     }
     for (i, group) in fixed_groups.iter().enumerate() {
         for &c in &group.cells {
-            cell_block.entry(c).or_insert(num_movable + i);
+            if cell_block[c].is_none() {
+                cell_block[c] = Some((num_movable + i) as u32);
+            }
         }
     }
 
@@ -92,9 +96,9 @@ pub fn dataflow_inference(
         .collect();
     for (id, node) in gseq.iter() {
         // a sequential node belongs to the block that owns any of its cells
-        let block = node.cells.iter().find_map(|c| cell_block.get(c)).copied();
+        let block = node.cells.iter().find_map(|&c| cell_block[c]);
         if let Some(b) = block {
-            assignment.assign(id, b);
+            assignment.assign(id, b as usize);
         }
     }
 
@@ -238,9 +242,9 @@ mod tests {
         let (_, df) = level(&d, 0.5);
         let n = df.graph.num_nodes();
         for i in 0..n {
-            assert_eq!(df.affinity[i][i], 0.0);
+            assert_eq!(df.affinity.get(i, i), 0.0);
             for j in 0..n {
-                assert!((df.affinity[i][j] - df.affinity[j][i]).abs() < 1e-9);
+                assert!((df.affinity.get(i, j) - df.affinity.get(j, i)).abs() < 1e-9);
             }
         }
     }

@@ -7,26 +7,30 @@
 //! edge of the reference orientation, which is the common single-port-side
 //! arrangement.
 
-use crate::legalize::MacroFootprint;
+use crate::legalize::MacroFootprints;
 use geometry::{Orientation, Point, Rect};
+use netlist::dense::DenseMap;
 use netlist::design::{CellId, Design};
-use std::collections::HashMap;
 
 /// Chooses an orientation for every placed macro.
 ///
 /// `footprints` gives the macro locations (and whether the footprint is
-/// rotated); the returned map contains one orientation per macro, compatible
-/// with its footprint (rotated footprints get 90°/270°-family orientations).
+/// rotated); the returned dense map holds one orientation per cell
+/// (defaulting to [`Orientation::N`] for cells without a footprint), with
+/// rotated footprints getting 90°/270°-family orientations.
 pub fn macro_flipping(
     design: &Design,
-    footprints: &HashMap<CellId, MacroFootprint>,
-) -> HashMap<CellId, Orientation> {
+    footprints: &MacroFootprints,
+) -> DenseMap<CellId, Orientation> {
     // Pre-compute macro centers for connectivity lookups.
-    let centers: HashMap<CellId, Point> =
-        footprints.iter().map(|(&c, fp)| (c, fp.rect(design, c).center())).collect();
+    let mut centers: DenseMap<CellId, Option<Point>> = DenseMap::with_len(design.num_cells());
+    for (c, fp) in footprints.iter() {
+        centers.insert(c, Some(fp.rect(design, c).center()));
+    }
 
-    let mut orientations = HashMap::with_capacity(footprints.len());
-    for (&cell, fp) in footprints {
+    let mut orientations: DenseMap<CellId, Orientation> =
+        DenseMap::filled(design.num_cells(), Orientation::N);
+    for (cell, fp) in footprints.iter() {
         let rect = fp.rect(design, cell);
         let pull = connectivity_centroid(design, cell, &centers, rect.center());
         orientations.insert(cell, choose_orientation(rect, fp.rotated, pull));
@@ -40,44 +44,28 @@ pub fn macro_flipping(
 fn connectivity_centroid(
     design: &Design,
     cell: CellId,
-    centers: &HashMap<CellId, Point>,
+    centers: &DenseMap<CellId, Option<Point>>,
     default: Point,
 ) -> Point {
+    let csr = design.connectivity();
     let mut sum_x: i128 = 0;
     let mut sum_y: i128 = 0;
     let mut count: i128 = 0;
-    let c = design.cell(cell);
-    for &net in c.fanin.iter().chain(c.fanout.iter()) {
-        let n = design.net(net);
-        let mut endpoints: Vec<Point> = Vec::new();
-        if let Some(driver) = n.driver_cell {
-            if driver != cell {
-                if let Some(&p) = centers.get(&driver) {
-                    endpoints.push(p);
+    for &net in csr.nets_of(cell) {
+        for &pin in csr.pins(net) {
+            let p = if let Some(c) = pin.cell() {
+                if c == cell {
+                    continue;
                 }
+                centers.get(c).copied().flatten()
+            } else {
+                pin.port().and_then(|p| design.port(p).position)
+            };
+            if let Some(p) = p {
+                sum_x += p.x as i128;
+                sum_y += p.y as i128;
+                count += 1;
             }
-        }
-        for &s in &n.sink_cells {
-            if s != cell {
-                if let Some(&p) = centers.get(&s) {
-                    endpoints.push(p);
-                }
-            }
-        }
-        if let Some(p) = n.driver_port {
-            if let Some(pos) = design.port(p).position {
-                endpoints.push(pos);
-            }
-        }
-        for &p in &n.sink_ports {
-            if let Some(pos) = design.port(p).position {
-                endpoints.push(pos);
-            }
-        }
-        for p in endpoints {
-            sum_x += p.x as i128;
-            sum_y += p.y as i128;
-            count += 1;
         }
     }
     if count == 0 {
@@ -113,6 +101,7 @@ fn choose_orientation(rect: Rect, rotated: bool, pull: Point) -> Orientation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::legalize::MacroFootprint;
     use netlist::design::{DesignBuilder, PortDirection};
 
     /// A macro connected to a port placed on one side of the die.
@@ -131,23 +120,23 @@ mod tests {
     #[test]
     fn pins_face_the_connected_port() {
         let (d, m) = design_with_side_port(0);
-        let mut fps = HashMap::new();
+        let mut fps = MacroFootprints::for_design(&d);
         fps.insert(m, MacroFootprint { location: Point::new(450, 450), rotated: false });
         let o = macro_flipping(&d, &fps);
-        assert_eq!(o[&m], Orientation::N, "port on the left -> pins face left");
+        assert_eq!(o[m], Orientation::N, "port on the left -> pins face left");
 
         let (d, m) = design_with_side_port(1000);
         let o = macro_flipping(&d, &fps);
-        assert_eq!(o[&m], Orientation::FN, "port on the right -> pins face right");
+        assert_eq!(o[m], Orientation::FN, "port on the right -> pins face right");
     }
 
     #[test]
     fn rotated_macros_use_rotated_orientations() {
         let (d, m) = design_with_side_port(0);
-        let mut fps = HashMap::new();
+        let mut fps = MacroFootprints::for_design(&d);
         fps.insert(m, MacroFootprint { location: Point::new(450, 450), rotated: true });
         let o = macro_flipping(&d, &fps);
-        assert!(o[&m].swaps_axes());
+        assert!(o[m].swaps_axes());
     }
 
     #[test]
@@ -156,10 +145,10 @@ mod tests {
         let m = b.add_macro("m", "RAM", 100, 100, "");
         b.set_die(Rect::new(0, 0, 1000, 1000));
         let d = b.build();
-        let mut fps = HashMap::new();
+        let mut fps = MacroFootprints::for_design(&d);
         fps.insert(m, MacroFootprint { location: Point::new(0, 0), rotated: false });
         let o = macro_flipping(&d, &fps);
-        assert_eq!(o[&m], Orientation::N);
+        assert_eq!(o[m], Orientation::N);
     }
 
     #[test]
@@ -173,11 +162,11 @@ mod tests {
         b.connect_sink(n, c);
         b.set_die(Rect::new(0, 0, 1000, 1000));
         let d = b.build();
-        let mut fps = HashMap::new();
+        let mut fps = MacroFootprints::for_design(&d);
         fps.insert(a, MacroFootprint { location: Point::new(0, 0), rotated: false });
         fps.insert(c, MacroFootprint { location: Point::new(500, 0), rotated: false });
         let o = macro_flipping(&d, &fps);
-        assert_eq!(o[&a], Orientation::FN);
-        assert_eq!(o[&c], Orientation::N);
+        assert_eq!(o[a], Orientation::FN);
+        assert_eq!(o[c], Orientation::N);
     }
 }

@@ -149,10 +149,10 @@ impl HidapFlow {
         // degenerate hierarchy) falls back to the die origin and is then
         // legalized with everything else.
         for m in design.macros() {
-            footprints.entry(m).or_insert(crate::legalize::MacroFootprint {
-                location: die.lower_left(),
-                rotated: false,
-            });
+            footprints.insert_if_absent(
+                m,
+                crate::legalize::MacroFootprint { location: die.lower_left(), rotated: false },
+            );
         }
 
         let moved = legalize_macros(design, die, &mut footprints);
@@ -167,10 +167,10 @@ impl HidapFlow {
 
         let mut macros: Vec<PlacedMacro> = footprints
             .iter()
-            .map(|(&cell, fp)| PlacedMacro {
+            .map(|(cell, fp)| PlacedMacro {
                 cell,
                 location: fp.location,
-                orientation: orientations.get(&cell).copied().unwrap_or(Orientation::N),
+                orientation: orientations.get(cell).copied().unwrap_or(Orientation::N),
             })
             .collect();
         macros.sort_by_key(|m| m.cell);

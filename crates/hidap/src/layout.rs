@@ -16,6 +16,7 @@
 
 use crate::config::HidapConfig;
 use geometry::{CutDirection, Point, PolishExpression, Rect, ShapeCurve, SlicingNode, SlicingTree};
+use graphs::AffinityMatrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -37,8 +38,9 @@ pub struct LayoutProblem {
     pub region: Rect,
     /// The movable blocks. Their indices are dataflow nodes `0..blocks.len()`.
     pub blocks: Vec<LayoutBlock>,
-    /// Symmetric affinity matrix over movable blocks followed by fixed nodes.
-    pub affinity: Vec<Vec<f64>>,
+    /// Symmetric affinity matrix over movable blocks followed by fixed nodes
+    /// (flat row-major storage).
+    pub affinity: AffinityMatrix,
     /// Position of each fixed node (entries `blocks.len()..affinity.len()`);
     /// entries for movable blocks are ignored.
     pub fixed_positions: Vec<Option<Point>>,
@@ -314,8 +316,9 @@ pub fn wirelength_proxy(problem: &LayoutProblem, rects: &[Rect]) -> f64 {
     }
     let mut wl = 0.0;
     for i in 0..n {
+        let row = problem.affinity.row(i);
         for j in (i + 1)..total_nodes {
-            let a = problem.affinity[i][j];
+            let a = row[j];
             if a > 0.0 {
                 wl += a * centers[i].manhattan_distance(centers[j]) as f64;
             }
@@ -342,8 +345,8 @@ mod tests {
         }
     }
 
-    fn no_affinity(n: usize) -> (Vec<Vec<f64>>, Vec<Option<Point>>) {
-        (vec![vec![0.0; n]; n], vec![None; n])
+    fn no_affinity(n: usize) -> (AffinityMatrix, Vec<Option<Point>>) {
+        (AffinityMatrix::zeros(n), vec![None; n])
     }
 
     #[test]
@@ -434,9 +437,9 @@ mod tests {
     fn affinity_pulls_connected_blocks_together() {
         // 4 equal blocks; blocks 0 and 3 are strongly connected, the rest not.
         let n = 4;
-        let mut aff = vec![vec![0.0; n]; n];
-        aff[0][3] = 100.0;
-        aff[3][0] = 100.0;
+        let mut aff = AffinityMatrix::zeros(n);
+        aff.set(0, 3, 100.0);
+        aff.set(3, 0, 100.0);
         let p = LayoutProblem {
             region: Rect::new(0, 0, 200, 200),
             blocks: (0..n).map(|_| soft_block(10_000)).collect(),
@@ -458,9 +461,9 @@ mod tests {
     fn fixed_node_attracts_block() {
         // two blocks, block 0 strongly tied to a fixed node at the left edge
         let total = 3;
-        let mut aff = vec![vec![0.0; total]; total];
-        aff[0][2] = 50.0;
-        aff[2][0] = 50.0;
+        let mut aff = AffinityMatrix::zeros(total);
+        aff.set(0, 2, 50.0);
+        aff.set(2, 0, 50.0);
         let p = LayoutProblem {
             region: Rect::new(0, 0, 300, 100),
             blocks: vec![soft_block(15_000), soft_block(15_000)],

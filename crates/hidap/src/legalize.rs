@@ -7,8 +7,8 @@
 //! to smallest so big memories keep their intended location.
 
 use geometry::{Dbu, Point, Rect};
+use netlist::dense::DenseMap;
 use netlist::design::{CellId, Design};
-use std::collections::HashMap;
 
 /// A macro footprint before orientation selection: location plus whether the
 /// footprint is rotated by 90° with respect to the library cell.
@@ -29,26 +29,98 @@ impl MacroFootprint {
     }
 }
 
+/// The dense per-cell store of decided macro footprints.
+///
+/// Backed by a [`DenseMap`] over all cell ids (macros that have not been
+/// placed yet hold an empty slot), so footprint lookups in legalization and
+/// flipping are flat array reads.  Iteration visits placed macros in cell-id
+/// order, which keeps every consumer deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MacroFootprints {
+    slots: DenseMap<CellId, Option<MacroFootprint>>,
+    placed: usize,
+}
+
+impl MacroFootprints {
+    /// An empty store sized for a design's cells.
+    pub fn for_design(design: &Design) -> Self {
+        Self { slots: DenseMap::with_len(design.num_cells()), placed: 0 }
+    }
+
+    /// Sets (or replaces) the footprint of a macro, growing the store as
+    /// needed.
+    pub fn insert(&mut self, cell: CellId, footprint: MacroFootprint) {
+        if self.slots.get(cell).copied().flatten().is_none() {
+            self.placed += 1;
+        }
+        self.slots.insert(cell, Some(footprint));
+    }
+
+    /// Sets the footprint of a macro only when it has none yet.
+    pub fn insert_if_absent(&mut self, cell: CellId, footprint: MacroFootprint) {
+        if !self.contains(cell) {
+            self.insert(cell, footprint);
+        }
+    }
+
+    /// The footprint of a macro, if decided.
+    #[inline]
+    pub fn get(&self, cell: CellId) -> Option<MacroFootprint> {
+        self.slots.get(cell).copied().flatten()
+    }
+
+    /// Whether the macro has a footprint.
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.get(cell).is_some()
+    }
+
+    /// Number of placed macros.
+    pub fn len(&self) -> usize {
+        self.placed
+    }
+
+    /// Whether no macro has a footprint yet.
+    pub fn is_empty(&self) -> bool {
+        self.placed == 0
+    }
+
+    /// Iterates over `(cell, footprint)` of placed macros in cell-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, MacroFootprint)> + '_ {
+        self.slots.iter().filter_map(|(c, fp)| fp.map(|fp| (c, fp)))
+    }
+
+    /// The placed macro cells in id order.
+    pub fn cells(&self) -> Vec<CellId> {
+        self.iter().map(|(c, _)| c).collect()
+    }
+}
+
+impl FromIterator<(CellId, MacroFootprint)> for MacroFootprints {
+    fn from_iter<I: IntoIterator<Item = (CellId, MacroFootprint)>>(iter: I) -> Self {
+        let mut out = Self::default();
+        for (cell, fp) in iter {
+            out.insert(cell, fp);
+        }
+        out
+    }
+}
+
 /// Legalizes a set of macro footprints in place: every macro ends up inside
 /// the die and no two macros overlap (provided the die can physically hold
 /// them; otherwise the worst offenders are left at their clamped position).
 ///
 /// Returns the number of macros that had to be moved.
-pub fn legalize_macros(
-    design: &Design,
-    die: Rect,
-    footprints: &mut HashMap<CellId, MacroFootprint>,
-) -> usize {
+pub fn legalize_macros(design: &Design, die: Rect, footprints: &mut MacroFootprints) -> usize {
     // Process larger macros first so they keep their intended positions; ties
     // are broken by cell id so the result is deterministic.
-    let mut order: Vec<CellId> = footprints.keys().copied().collect();
+    let mut order: Vec<CellId> = footprints.cells();
     order.sort_by_key(|&c| (std::cmp::Reverse(design.cell(c).area()), c));
 
     let mut placed: Vec<Rect> = Vec::with_capacity(order.len());
     let mut moved = 0usize;
     let mut failed = false;
     for cell in order {
-        let fp = footprints[&cell];
+        let fp = footprints.get(cell).expect("footprint present");
         let desired = fp.rect(design, cell);
         let mut rotated = fp.rotated;
         let mut legal = find_legal_position(die, desired, &placed);
@@ -87,11 +159,11 @@ pub fn legalize_macros(
 /// desired vertical position, approximately preserving the intended layout.
 /// Footprints are normalized to landscape orientation so shelf heights stay
 /// low, which maximizes the chance of a legal packing on dense dies.
-fn shelf_pack(design: &Design, die: Rect, footprints: &mut HashMap<CellId, MacroFootprint>) {
-    let mut order: Vec<CellId> = footprints.keys().copied().collect();
+fn shelf_pack(design: &Design, die: Rect, footprints: &mut MacroFootprints) {
+    let mut order: Vec<CellId> = footprints.cells();
     // visit macros roughly bottom-to-top, left-to-right of their desired spot
     order.sort_by_key(|&c| {
-        let fp = footprints[&c];
+        let fp = footprints.get(c).expect("footprint present");
         (fp.location.y, fp.location.x, c)
     });
     let mut cursor_x = die.llx;
@@ -211,8 +283,8 @@ mod tests {
         (b.build(), ids)
     }
 
-    fn all_legal(design: &Design, die: Rect, fps: &HashMap<CellId, MacroFootprint>) -> bool {
-        let rects: Vec<Rect> = fps.iter().map(|(&c, fp)| fp.rect(design, c)).collect();
+    fn all_legal(design: &Design, die: Rect, fps: &MacroFootprints) -> bool {
+        let rects: Vec<Rect> = fps.iter().map(|(c, fp)| fp.rect(design, c)).collect();
         for (i, r) in rects.iter().enumerate() {
             if !die.contains_rect(r) {
                 return false;
@@ -229,18 +301,18 @@ mod tests {
     #[test]
     fn already_legal_placement_untouched() {
         let (d, ids) = design_with_macros(&[(100, 100), (100, 100)]);
-        let mut fps = HashMap::new();
+        let mut fps = MacroFootprints::for_design(&d);
         fps.insert(ids[0], MacroFootprint { location: Point::new(0, 0), rotated: false });
         fps.insert(ids[1], MacroFootprint { location: Point::new(500, 500), rotated: false });
         let moved = legalize_macros(&d, d.die(), &mut fps);
         assert_eq!(moved, 0);
-        assert_eq!(fps[&ids[0]].location, Point::new(0, 0));
+        assert_eq!(fps.get(ids[0]).unwrap().location, Point::new(0, 0));
     }
 
     #[test]
     fn overlapping_macros_are_separated() {
         let (d, ids) = design_with_macros(&[(200, 200), (200, 200), (200, 200)]);
-        let mut fps = HashMap::new();
+        let mut fps = MacroFootprints::for_design(&d);
         for &id in &ids {
             fps.insert(id, MacroFootprint { location: Point::new(100, 100), rotated: false });
         }
@@ -252,7 +324,7 @@ mod tests {
     #[test]
     fn out_of_die_macro_is_pulled_inside() {
         let (d, ids) = design_with_macros(&[(300, 300)]);
-        let mut fps = HashMap::new();
+        let mut fps = MacroFootprints::for_design(&d);
         fps.insert(ids[0], MacroFootprint { location: Point::new(900, 900), rotated: false });
         legalize_macros(&d, d.die(), &mut fps);
         assert!(all_legal(&d, d.die(), &fps));
@@ -272,7 +344,7 @@ mod tests {
         // dropped on the same spot: legalization must spread them out.
         let sizes: Vec<(i64, i64)> = (0..12).map(|_| (200, 200)).collect();
         let (d, ids) = design_with_macros(&sizes);
-        let mut fps = HashMap::new();
+        let mut fps = MacroFootprints::for_design(&d);
         for &id in &ids {
             fps.insert(id, MacroFootprint { location: Point::new(400, 400), rotated: false });
         }

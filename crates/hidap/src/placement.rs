@@ -28,17 +28,27 @@ pub struct MacroPlacement {
 
 impl MacroPlacement {
     /// Looks up the placement of a macro cell.
+    ///
+    /// `macros` is sorted by cell id whenever it comes out of a flow, so the
+    /// lookup is a binary search; hand-built unsorted vectors fall back to a
+    /// linear scan (a successful binary probe is always correct — only a miss
+    /// can be a false negative on unsorted data).
     pub fn placement_of(&self, cell: CellId) -> Option<&PlacedMacro> {
+        if let Ok(i) = self.macros.binary_search_by_key(&cell, |m| m.cell) {
+            return Some(&self.macros[i]);
+        }
         self.macros.iter().find(|m| m.cell == cell)
     }
 
     /// The placed footprint rectangle of a macro.
     pub fn rect_of(&self, cell: CellId, design: &Design) -> Option<Rect> {
-        self.placement_of(cell).map(|p| {
-            let c = design.cell(cell);
-            let (w, h) = p.orientation.transformed_size(c.width, c.height);
-            Rect::from_size(p.location.x, p.location.y, w, h)
-        })
+        self.placement_of(cell).map(|p| Self::footprint_rect(p, design))
+    }
+
+    fn footprint_rect(p: &PlacedMacro, design: &Design) -> Rect {
+        let c = design.cell(p.cell);
+        let (w, h) = p.orientation.transformed_size(c.width, c.height);
+        Rect::from_size(p.location.x, p.location.y, w, h)
     }
 
     /// Converts to a map keyed by cell id (the representation used by the
@@ -47,17 +57,33 @@ impl MacroPlacement {
         self.macros.iter().map(|m| (m.cell, (m.location, m.orientation))).collect()
     }
 
+    /// All placed footprint rectangles, in `macros` order (no per-macro
+    /// lookup: one pass over the vector).
+    pub fn rects(&self, design: &Design) -> Vec<Rect> {
+        self.macros.iter().map(|m| Self::footprint_rect(m, design)).collect()
+    }
+
     /// Returns `true` when no two macro footprints overlap and every macro is
     /// inside the die.
+    ///
+    /// Runs a sweep over x-sorted rectangles instead of the naive all-pairs
+    /// check: each rectangle is only compared against rectangles whose left
+    /// edge starts before its right edge, so legal placements check in
+    /// near-linear time after the sort.
     pub fn is_legal(&self, design: &Design) -> bool {
-        let rects: Vec<Rect> =
-            self.macros.iter().filter_map(|m| self.rect_of(m.cell, design)).collect();
+        let mut rects = self.rects(design);
         let die = design.die();
-        for (i, r) in rects.iter().enumerate() {
-            if !die.contains_rect(r) {
-                return false;
-            }
-            for other in rects.iter().skip(i + 1) {
+        // early exit: every rect must sit inside the die before any pairwise work
+        if rects.iter().any(|r| !die.contains_rect(r)) {
+            return false;
+        }
+        rects.sort_by_key(|r| (r.llx, r.lly));
+        for i in 0..rects.len() {
+            let r = rects[i];
+            for other in &rects[i + 1..] {
+                if other.llx >= r.urx {
+                    break;
+                }
                 if r.overlaps(other) {
                     return false;
                 }
@@ -66,13 +92,18 @@ impl MacroPlacement {
         true
     }
 
-    /// Total overlap area between macro footprints (0 for a legal placement).
+    /// Total overlap area between macro footprints (0 for a legal placement),
+    /// computed with the same x-sweep as [`MacroPlacement::is_legal`].
     pub fn total_overlap(&self, design: &Design) -> i128 {
-        let rects: Vec<Rect> =
-            self.macros.iter().filter_map(|m| self.rect_of(m.cell, design)).collect();
+        let mut rects = self.rects(design);
+        rects.sort_by_key(|r| (r.llx, r.lly));
         let mut total = 0;
-        for (i, r) in rects.iter().enumerate() {
-            for other in rects.iter().skip(i + 1) {
+        for i in 0..rects.len() {
+            let r = rects[i];
+            for other in &rects[i + 1..] {
+                if other.llx >= r.urx {
+                    break;
+                }
                 total += r.overlap_area(other);
             }
         }
@@ -144,5 +175,57 @@ mod tests {
         let (_, _, c) = two_macro_design();
         let p = MacroPlacement::default();
         assert!(p.placement_of(c).is_none());
+    }
+
+    #[test]
+    fn lookup_works_on_unsorted_macros() {
+        let (_, a, c) = two_macro_design();
+        let mut p = MacroPlacement::default();
+        // insert in reverse id order so binary search alone would miss
+        p.macros.push(PlacedMacro {
+            cell: c,
+            location: Point::new(300, 0),
+            orientation: Orientation::FN,
+        });
+        p.macros.push(PlacedMacro {
+            cell: a,
+            location: Point::new(0, 0),
+            orientation: Orientation::N,
+        });
+        assert_eq!(p.placement_of(a).unwrap().location, Point::new(0, 0));
+        assert_eq!(p.placement_of(c).unwrap().orientation, Orientation::FN);
+    }
+
+    #[test]
+    fn to_map_and_def_agree_with_indexed_lookups() {
+        let (d, a, c) = two_macro_design();
+        let mut p = MacroPlacement::default();
+        p.macros.push(PlacedMacro {
+            cell: a,
+            location: Point::new(10, 20),
+            orientation: Orientation::N,
+        });
+        p.macros.push(PlacedMacro {
+            cell: c,
+            location: Point::new(400, 500),
+            orientation: Orientation::FN,
+        });
+        // to_map agrees with placement_of for every macro
+        let map = p.to_map();
+        assert_eq!(map.len(), p.macros.len());
+        for (&cell, &(loc, orient)) in &map {
+            let found = p.placement_of(cell).expect("indexed lookup finds every mapped macro");
+            assert_eq!(found.location, loc);
+            assert_eq!(found.orientation, orient);
+        }
+        // DEF writing from to_map carries the same locations/orientations
+        let entries = netlist::def::placement_entries(&d, &map, true);
+        assert_eq!(entries.len(), p.macros.len());
+        for entry in &entries {
+            let cell = d.find_cell(&entry.name).expect("entry names a design cell");
+            let found = p.placement_of(cell).expect("indexed lookup finds every DEF entry");
+            assert_eq!(entry.location, found.location);
+            assert_eq!(entry.orientation, found.orientation);
+        }
     }
 }

@@ -14,15 +14,14 @@ use crate::dataflow::{dataflow_inference, FixedGroup, LevelDataflow};
 use crate::decluster::hierarchical_declustering;
 use crate::flow::FlowStage;
 use crate::layout::{generate_layout, LayoutBlock, LayoutProblem};
-use crate::legalize::MacroFootprint;
+use crate::legalize::{MacroFootprint, MacroFootprints};
 use crate::shape_curves::ShapeCurveSet;
 use crate::target_area::target_area_assignment;
 use geometry::{Point, Rect};
 use graphs::{NetGraph, SeqGraph};
-use netlist::design::{CellId, Design};
+use netlist::design::Design;
 use netlist::hierarchy::{HierarchyNodeId, HierarchyTree};
 use rand::Rng;
-use std::collections::HashMap;
 
 /// State shared across all levels of the recursion.
 pub struct RecursiveFloorplanner<'a> {
@@ -32,8 +31,8 @@ pub struct RecursiveFloorplanner<'a> {
     gseq: &'a SeqGraph,
     shape_curves: &'a ShapeCurveSet,
     config: &'a HidapConfig,
-    /// Macro footprints decided so far.
-    pub footprints: HashMap<CellId, MacroFootprint>,
+    /// Macro footprints decided so far (dense per-cell store).
+    pub footprints: MacroFootprints,
     /// Block rectangles of the topmost level (for Fig. 1a / Fig. 9d style output).
     pub top_blocks: Vec<(String, Rect)>,
 }
@@ -55,7 +54,7 @@ impl<'a> RecursiveFloorplanner<'a> {
             gseq,
             shape_curves,
             config,
-            footprints: HashMap::new(),
+            footprints: MacroFootprints::for_design(design),
             top_blocks: Vec::new(),
         }
     }
@@ -271,6 +270,7 @@ mod tests {
     use netlist::design::DesignBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashMap;
 
     /// Fig. 1-style design: two clusters of 4 macros each with a register
     /// pipeline between them.
@@ -311,7 +311,7 @@ mod tests {
         assert_eq!(fp.top_blocks.len(), 2);
         // macro footprints land inside the die (legalization not yet applied,
         // but corner placement keeps them inside their block rects)
-        for (&cell, footprint) in &fp.footprints {
+        for (cell, footprint) in fp.footprints.iter() {
             let r = footprint.rect(&design, cell);
             assert!(design.die().contains_rect(&r), "{} outside die: {r}", design.cell(cell).name);
         }
@@ -334,7 +334,7 @@ mod tests {
         let left_rect = top["u_left"];
         for i in 0..4 {
             let cell = design.find_cell(&format!("u_left/mem{i}")).unwrap();
-            let center = fp.footprints[&cell].rect(&design, cell).center();
+            let center = fp.footprints.get(cell).unwrap().rect(&design, cell).center();
             assert!(
                 left_rect.contains(center),
                 "macro u_left/mem{i} should stay inside its cluster rect"

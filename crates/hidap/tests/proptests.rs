@@ -2,14 +2,13 @@
 
 use geometry::{CutDirection, Point, PolishExpression, Rect, ShapeCurve};
 use hidap::layout::{budget_areas, LayoutBlock, LayoutProblem};
-use hidap::legalize::{legalize_macros, MacroFootprint};
+use hidap::legalize::{legalize_macros, MacroFootprint, MacroFootprints};
 use hidap::shape_curves::macro_packing_curve;
 use hidap::HidapConfig;
 use netlist::design::DesignBuilder;
 use proptest::prelude::*;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
 
 fn soft_blocks(areas: &[i128]) -> Vec<LayoutBlock> {
     areas
@@ -30,7 +29,7 @@ proptest! {
         let problem = LayoutProblem {
             region: Rect::new(0, 0, region_w, region_h),
             blocks: soft_blocks(&areas),
-            affinity: vec![vec![0.0; n]; n],
+            affinity: graphs::AffinityMatrix::zeros(n),
             fixed_positions: vec![None; n],
         };
         // random but valid slicing expression
@@ -73,7 +72,7 @@ proptest! {
         macros in prop::collection::vec((10i64..150, 10i64..150, 0i64..800, 0i64..800), 1..12),
     ) {
         let mut b = DesignBuilder::new("prop");
-        let mut footprints = HashMap::new();
+        let mut footprints = MacroFootprints::default();
         for (i, &(w, h, x, y)) in macros.iter().enumerate() {
             let id = b.add_macro(format!("m{i}"), "RAM", w, h, "");
             footprints.insert(id, MacroFootprint { location: Point::new(x, y), rotated: false });
@@ -81,7 +80,7 @@ proptest! {
         b.set_die(Rect::new(0, 0, 1000, 1000));
         let design = b.build();
         legalize_macros(&design, design.die(), &mut footprints);
-        let rects: Vec<Rect> = footprints.iter().map(|(&c, fp)| fp.rect(&design, c)).collect();
+        let rects: Vec<Rect> = footprints.iter().map(|(c, fp)| fp.rect(&design, c)).collect();
         for (i, r) in rects.iter().enumerate() {
             prop_assert!(design.die().contains_rect(r), "macro {i} outside die: {r}");
             for (j, other) in rects.iter().enumerate().skip(i + 1) {

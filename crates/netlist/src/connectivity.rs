@@ -1,0 +1,287 @@
+//! Flat CSR connectivity view of a [`Design`].
+//!
+//! The hot loops of the flow — Gauss–Seidel placement sweeps, HPWL, RUDY
+//! congestion, affinity construction — repeatedly walk cell↔net incidence.
+//! The [`Design`] stores that incidence as per-cell and per-net `Vec`s
+//! (`cell.fanin`, `net.sink_cells`, …), which means a pointer chase per cell
+//! and per net on every traversal.  [`Connectivity`] packs the same
+//! information into four flat arrays in *compressed sparse row* form:
+//!
+//! * `cell→net`: for every cell, its fanin nets followed by its fanout nets,
+//!   all in one contiguous `Vec<NetId>` with an offsets array,
+//! * `net→pin`: for every net, its pins in the canonical order
+//!   *driver cell, sink cells, driver port, sink ports* — the exact order the
+//!   pre-CSR walks used — as packed [`PinRef`]s with an offsets array.
+//!
+//! The view is built once per design (see [`Design::connectivity`], which
+//! caches it) and is immutable; mutating accessors on `Design` invalidate the
+//! cache.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::design::DesignBuilder;
+//!
+//! let mut b = DesignBuilder::new("t");
+//! let f = b.add_flop("f", "");
+//! let g = b.add_comb("g", "");
+//! let n = b.add_net("n");
+//! b.connect_driver(n, f);
+//! b.connect_sink(n, g);
+//! let design = b.build();
+//! let csr = design.connectivity();
+//! assert_eq!(csr.fanout(f), &[n]);
+//! assert_eq!(csr.fanin(g), &[n]);
+//! let pins: Vec<_> = csr.pins(n).iter().map(|p| p.cell()).collect();
+//! assert_eq!(pins, vec![Some(f), Some(g)]);
+//! ```
+
+use crate::design::{CellId, Design, NetId, PortId};
+
+/// A packed pin reference: a cell or a port, marked as driver or sink.
+///
+/// Layout: bits `0..30` hold the cell/port index, bit 30 distinguishes ports
+/// from cells and bit 31 marks drivers — one word per pin so a net's pin list
+/// is a cache-friendly `&[PinRef]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PinRef(u32);
+
+impl PinRef {
+    const PORT_BIT: u32 = 1 << 30;
+    const DRIVER_BIT: u32 = 1 << 31;
+    const INDEX_MASK: u32 = Self::PORT_BIT - 1;
+
+    /// A driver-cell pin.
+    pub fn driver_cell(cell: CellId) -> Self {
+        debug_assert!(cell.0 & !Self::INDEX_MASK == 0, "cell id exceeds the 30-bit pin encoding");
+        Self(cell.0 | Self::DRIVER_BIT)
+    }
+
+    /// A sink-cell pin.
+    pub fn sink_cell(cell: CellId) -> Self {
+        debug_assert!(cell.0 & !Self::INDEX_MASK == 0, "cell id exceeds the 30-bit pin encoding");
+        Self(cell.0)
+    }
+
+    /// A driver-port pin (primary input).
+    pub fn driver_port(port: PortId) -> Self {
+        debug_assert!(port.0 & !Self::INDEX_MASK == 0, "port id exceeds the 30-bit pin encoding");
+        Self(port.0 | Self::PORT_BIT | Self::DRIVER_BIT)
+    }
+
+    /// A sink-port pin (primary output).
+    pub fn sink_port(port: PortId) -> Self {
+        debug_assert!(port.0 & !Self::INDEX_MASK == 0, "port id exceeds the 30-bit pin encoding");
+        Self(port.0 | Self::PORT_BIT)
+    }
+
+    /// Whether the pin drives the net.
+    #[inline]
+    pub fn is_driver(self) -> bool {
+        self.0 & Self::DRIVER_BIT != 0
+    }
+
+    /// Whether the pin is a primary port.
+    #[inline]
+    pub fn is_port(self) -> bool {
+        self.0 & Self::PORT_BIT != 0
+    }
+
+    /// The cell of the pin, when it is a cell pin.
+    #[inline]
+    pub fn cell(self) -> Option<CellId> {
+        (!self.is_port()).then_some(CellId(self.0 & Self::INDEX_MASK))
+    }
+
+    /// The port of the pin, when it is a port pin.
+    #[inline]
+    pub fn port(self) -> Option<PortId> {
+        self.is_port().then_some(PortId(self.0 & Self::INDEX_MASK))
+    }
+}
+
+/// The CSR connectivity view: flat `cell→net` and `net→pin` incidence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Connectivity {
+    /// `cell_net_start[c]..cell_net_start[c + 1]` indexes `cell_nets`.
+    cell_net_start: Vec<u32>,
+    /// Where a cell's fanout begins inside its `cell_nets` range (the nets
+    /// before it are the fanin).
+    cell_fanout_start: Vec<u32>,
+    /// Concatenated per-cell net lists: fanin first, then fanout.
+    cell_nets: Vec<NetId>,
+    /// `net_pin_start[n]..net_pin_start[n + 1]` indexes `net_pins`.
+    net_pin_start: Vec<u32>,
+    /// Concatenated per-net pin lists in canonical order (driver cell, sink
+    /// cells, driver port, sink ports).
+    net_pins: Vec<PinRef>,
+}
+
+impl Connectivity {
+    /// Builds the CSR view of a design.
+    pub fn build(design: &Design) -> Self {
+        let num_cells = design.num_cells();
+        let num_nets = design.num_nets();
+
+        let mut cell_net_start = Vec::with_capacity(num_cells + 1);
+        let mut cell_fanout_start = Vec::with_capacity(num_cells);
+        let mut cell_nets = Vec::new();
+        cell_net_start.push(0u32);
+        for (_, cell) in design.cells() {
+            cell_nets.extend_from_slice(&cell.fanin);
+            cell_fanout_start.push(cell_nets.len() as u32);
+            cell_nets.extend_from_slice(&cell.fanout);
+            cell_net_start.push(cell_nets.len() as u32);
+        }
+
+        let mut net_pin_start = Vec::with_capacity(num_nets + 1);
+        let mut net_pins = Vec::new();
+        net_pin_start.push(0u32);
+        for (_, net) in design.nets() {
+            if let Some(c) = net.driver_cell {
+                net_pins.push(PinRef::driver_cell(c));
+            }
+            net_pins.extend(net.sink_cells.iter().map(|&c| PinRef::sink_cell(c)));
+            if let Some(p) = net.driver_port {
+                net_pins.push(PinRef::driver_port(p));
+            }
+            net_pins.extend(net.sink_ports.iter().map(|&p| PinRef::sink_port(p)));
+            net_pin_start.push(net_pins.len() as u32);
+        }
+
+        Self { cell_net_start, cell_fanout_start, cell_nets, net_pin_start, net_pins }
+    }
+
+    /// Number of cells covered by the view.
+    pub fn num_cells(&self) -> usize {
+        self.cell_net_start.len().saturating_sub(1)
+    }
+
+    /// Number of nets covered by the view.
+    pub fn num_nets(&self) -> usize {
+        self.net_pin_start.len().saturating_sub(1)
+    }
+
+    /// Total number of pins across all nets.
+    pub fn num_pins(&self) -> usize {
+        self.net_pins.len()
+    }
+
+    /// All nets attached to a cell: fanin first, then fanout — the same
+    /// traversal order as `cell.fanin.iter().chain(cell.fanout.iter())`.
+    #[inline]
+    pub fn nets_of(&self, cell: CellId) -> &[NetId] {
+        let lo = self.cell_net_start[cell.0 as usize] as usize;
+        let hi = self.cell_net_start[cell.0 as usize + 1] as usize;
+        &self.cell_nets[lo..hi]
+    }
+
+    /// The fanin nets of a cell (nets the cell reads).
+    #[inline]
+    pub fn fanin(&self, cell: CellId) -> &[NetId] {
+        let lo = self.cell_net_start[cell.0 as usize] as usize;
+        let mid = self.cell_fanout_start[cell.0 as usize] as usize;
+        &self.cell_nets[lo..mid]
+    }
+
+    /// The fanout nets of a cell (nets the cell drives).
+    #[inline]
+    pub fn fanout(&self, cell: CellId) -> &[NetId] {
+        let mid = self.cell_fanout_start[cell.0 as usize] as usize;
+        let hi = self.cell_net_start[cell.0 as usize + 1] as usize;
+        &self.cell_nets[mid..hi]
+    }
+
+    /// The pins of a net in canonical order (driver cell, sink cells, driver
+    /// port, sink ports).
+    #[inline]
+    pub fn pins(&self, net: NetId) -> &[PinRef] {
+        let lo = self.net_pin_start[net.0 as usize] as usize;
+        let hi = self.net_pin_start[net.0 as usize + 1] as usize;
+        &self.net_pins[lo..hi]
+    }
+
+    /// Number of pins on a net (equals [`crate::design::Net::degree`]).
+    #[inline]
+    pub fn degree(&self, net: NetId) -> usize {
+        (self.net_pin_start[net.0 as usize + 1] - self.net_pin_start[net.0 as usize]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{DesignBuilder, PortDirection};
+
+    fn sample() -> Design {
+        let mut b = DesignBuilder::new("t");
+        let m = b.add_macro("m", "RAM", 10, 10, "");
+        let f = b.add_flop("f", "");
+        let g = b.add_comb("g", "");
+        let p_in = b.add_port("pi", PortDirection::Input);
+        let p_out = b.add_port("po", PortDirection::Output);
+        let n1 = b.add_net("n1");
+        let n2 = b.add_net("n2");
+        b.connect_port_driver(n1, p_in);
+        b.connect_sink(n1, f);
+        b.connect_driver(n2, f);
+        b.connect_sink(n2, m);
+        b.connect_sink(n2, g);
+        b.connect_port_sink(n2, p_out);
+        b.build()
+    }
+
+    #[test]
+    fn csr_matches_per_cell_vecs() {
+        let d = sample();
+        let csr = d.connectivity();
+        for (id, cell) in d.cells() {
+            assert_eq!(csr.fanin(id), cell.fanin.as_slice(), "{}", cell.name);
+            assert_eq!(csr.fanout(id), cell.fanout.as_slice(), "{}", cell.name);
+            let chained: Vec<NetId> =
+                cell.fanin.iter().chain(cell.fanout.iter()).copied().collect();
+            assert_eq!(csr.nets_of(id), chained.as_slice());
+        }
+    }
+
+    #[test]
+    fn pins_follow_canonical_order() {
+        let d = sample();
+        let csr = d.connectivity();
+        let n2 = d.find_net("n2").unwrap();
+        let pins = csr.pins(n2);
+        assert_eq!(pins.len(), d.net(n2).degree());
+        assert_eq!(csr.degree(n2), 4);
+        assert!(pins[0].is_driver() && !pins[0].is_port());
+        assert_eq!(pins[0].cell(), d.find_cell("f"));
+        assert_eq!(pins[1].cell(), d.find_cell("m"));
+        assert_eq!(pins[2].cell(), d.find_cell("g"));
+        assert!(pins[3].is_port() && !pins[3].is_driver());
+        assert_eq!(pins[3].port(), d.find_port("po"));
+    }
+
+    #[test]
+    fn driver_port_is_marked() {
+        let d = sample();
+        let csr = d.connectivity();
+        let n1 = d.find_net("n1").unwrap();
+        let pins = csr.pins(n1);
+        assert_eq!(pins.len(), 2);
+        // canonical order: sink cells come before the driver port
+        assert_eq!(pins[0].cell(), d.find_cell("f"));
+        assert_eq!(pins[0].port(), None);
+        assert!(!pins[0].is_driver());
+        assert!(pins[1].is_port() && pins[1].is_driver());
+        assert_eq!(pins[1].port(), d.find_port("pi"));
+        assert_eq!(pins[1].cell(), None);
+    }
+
+    #[test]
+    fn empty_design_is_empty_view() {
+        let d = DesignBuilder::new("t").build();
+        let csr = Connectivity::build(&d);
+        assert_eq!(csr.num_cells(), 0);
+        assert_eq!(csr.num_nets(), 0);
+        assert_eq!(csr.num_pins(), 0);
+    }
+}

@@ -5,9 +5,11 @@
 //! the hierarchical path of the module instance it belongs to, which is what
 //! the [`crate::hierarchy::HierarchyTree`] is built from.
 
+use crate::connectivity::Connectivity;
 use geometry::{Dbu, Point, Rect};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Identifier of a cell inside a [`Design`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -124,6 +126,25 @@ pub struct Design {
     cell_index: HashMap<String, CellId>,
     port_index: HashMap<String, PortId>,
     net_index: HashMap<String, NetId>,
+    connectivity: ConnectivityCache,
+}
+
+/// Lazily-built CSR cache. Compares equal to everything so a design that has
+/// materialized its view still equals a pristine copy, and clones share
+/// nothing (the clone rebuilds on first use).
+#[derive(Debug, Default)]
+struct ConnectivityCache(OnceLock<Connectivity>);
+
+impl Clone for ConnectivityCache {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for ConnectivityCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 impl Design {
@@ -166,8 +187,9 @@ impl Design {
         &self.cells[id.0 as usize]
     }
 
-    /// Mutable cell accessor.
+    /// Mutable cell accessor. Invalidates the cached connectivity view.
     pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
+        self.connectivity.0.take();
         &mut self.cells[id.0 as usize]
     }
 
@@ -176,8 +198,9 @@ impl Design {
         &self.ports[id.0 as usize]
     }
 
-    /// Mutable port accessor.
+    /// Mutable port accessor. Invalidates the cached connectivity view.
     pub fn port_mut(&mut self, id: PortId) -> &mut Port {
+        self.connectivity.0.take();
         &mut self.ports[id.0 as usize]
     }
 
@@ -186,9 +209,20 @@ impl Design {
         &self.nets[id.0 as usize]
     }
 
-    /// Mutable net accessor.
+    /// Mutable net accessor. Invalidates the cached connectivity view.
     pub fn net_mut(&mut self, id: NetId) -> &mut Net {
+        self.connectivity.0.take();
         &mut self.nets[id.0 as usize]
+    }
+
+    /// The flat CSR connectivity view of the design (see
+    /// [`crate::connectivity`]), built on first use and cached.
+    ///
+    /// Mutable accessors ([`Design::cell_mut`], [`Design::net_mut`],
+    /// [`Design::port_mut`]) invalidate the cache, so the view always
+    /// reflects the current incidence.
+    pub fn connectivity(&self) -> &Connectivity {
+        self.connectivity.0.get_or_init(|| Connectivity::build(self))
     }
 
     /// Looks a cell up by its hierarchical instance name.
@@ -474,6 +508,7 @@ impl DesignBuilder {
             cell_index: self.cell_index,
             port_index: self.port_index,
             net_index: self.net_index,
+            connectivity: ConnectivityCache::default(),
         }
     }
 }

@@ -15,6 +15,10 @@
 //! * [`def`] — a DEF reader/writer for die area, placements and orientations.
 //! * [`arrays`] — name-based array/bus grouping (`data[3]`, `data_3` → `data`),
 //!   the RTL array information the paper exploits for dataflow analysis.
+//! * [`dense`] — typed dense maps keyed by the contiguous design ids, the
+//!   per-cell/per-net stores of the hot paths.
+//! * [`connectivity`] — the flat CSR cell↔net incidence view built once per
+//!   design and cached (`Design::connectivity`).
 //!
 //! # Example
 //!
@@ -33,7 +37,9 @@
 //! ```
 
 pub mod arrays;
+pub mod connectivity;
 pub mod def;
+pub mod dense;
 pub mod design;
 pub mod error;
 pub mod hierarchy;
@@ -41,6 +47,8 @@ pub mod lef;
 pub mod library;
 pub mod verilog;
 
+pub use connectivity::{Connectivity, PinRef};
+pub use dense::{DenseId, DenseMap};
 pub use design::{CellId, CellKind, Design, DesignBuilder, NetId, PortDirection, PortId};
 pub use error::ParseError;
 pub use hierarchy::{HierarchyNodeId, HierarchyTree};

@@ -141,4 +141,78 @@ proptest! {
         let design = b.build();
         prop_assert!(design.validate().is_ok());
     }
+
+    #[test]
+    fn csr_traversal_matches_the_vec_walks(
+        num_cells in 2usize..32,
+        edges in prop::collection::vec((0usize..32, 0usize..32, any::<bool>()), 0..96),
+        num_ports in 0usize..6,
+    ) {
+        // Build a random design mixing cell→cell nets, multi-sink nets
+        // (every third edge reuses the previous net) and port connections.
+        let mut b = DesignBuilder::new("prop");
+        let ids: Vec<_> = (0..num_cells).map(|i| {
+            if i % 4 == 0 {
+                b.add_macro(format!("m{i}"), "RAM", 20, 20, "u_mem")
+            } else {
+                b.add_comb(format!("g{i}"), "u_ctl")
+            }
+        }).collect();
+        for (i, &(from, to, reuse)) in edges.iter().enumerate() {
+            let (from, to) = (from % num_cells, to % num_cells);
+            if from == to { continue; }
+            let net_name = if reuse && i > 0 { format!("n{}", i - 1) } else { format!("n{i}") };
+            let n = b.add_net(net_name);
+            b.connect_driver(n, ids[from]);
+            b.connect_sink(n, ids[to]);
+        }
+        for p in 0..num_ports {
+            let n = b.add_net(format!("pn{p}"));
+            if p % 2 == 0 {
+                let port = b.add_port(format!("in{p}"), PortDirection::Input);
+                b.connect_port_driver(n, port);
+                b.connect_sink(n, ids[p % num_cells]);
+            } else {
+                let port = b.add_port(format!("out{p}"), PortDirection::Output);
+                b.connect_driver(n, ids[p % num_cells]);
+                b.connect_port_sink(n, port);
+            }
+        }
+        let design = b.build();
+        let csr = design.connectivity();
+
+        // cell→net: the CSR fanin/fanout slices equal the per-cell Vecs,
+        // and nets_of is exactly the fanin ++ fanout chain.
+        for (id, cell) in design.cells() {
+            prop_assert_eq!(csr.fanin(id), cell.fanin.as_slice());
+            prop_assert_eq!(csr.fanout(id), cell.fanout.as_slice());
+            let chained: Vec<_> = cell.fanin.iter().chain(cell.fanout.iter()).copied().collect();
+            prop_assert_eq!(csr.nets_of(id), chained.as_slice());
+        }
+
+        // net→pin: the CSR pin walk visits exactly the same (net, pin,
+        // driver?) triples, in the canonical order, as the Net field walk.
+        for (id, net) in design.nets() {
+            prop_assert_eq!(csr.degree(id), net.degree());
+            // legacy walk encoded as (is_port, index, is_driver)
+            let mut legacy: Vec<(bool, u32, bool)> = Vec::new();
+            if let Some(c) = net.driver_cell {
+                legacy.push((false, c.0, true));
+            }
+            legacy.extend(net.sink_cells.iter().map(|c| (false, c.0, false)));
+            if let Some(p) = net.driver_port {
+                legacy.push((true, p.0, true));
+            }
+            legacy.extend(net.sink_ports.iter().map(|p| (true, p.0, false)));
+            let csr_walk: Vec<(bool, u32, bool)> = csr
+                .pins(id)
+                .iter()
+                .map(|pin| {
+                    let idx = pin.cell().map(|c| c.0).or_else(|| pin.port().map(|p| p.0));
+                    (pin.is_port(), idx.expect("pin is a cell or a port"), pin.is_driver())
+                })
+                .collect();
+            prop_assert_eq!(csr_walk, legacy);
+        }
+    }
 }

@@ -19,4 +19,7 @@ pub mod generator;
 pub mod presets;
 
 pub use generator::{GeneratedDesign, SocConfig, SocGenerator, SubsystemConfig};
-pub use presets::{circuit_preset, fig1_design, fig3_design, CircuitPreset, PAPER_CIRCUITS};
+pub use presets::{
+    circuit_preset, fig1_design, fig3_design, large_soc, large_soc_config, CircuitPreset,
+    PAPER_CIRCUITS,
+};

@@ -102,6 +102,54 @@ pub fn generate_circuit(name: &str) -> GeneratedDesign {
     SocGenerator::new(circuit_preset(name)).generate()
 }
 
+/// Configuration of the `large_soc` scale preset: ~100k cells and 200 macros
+/// across 16 subsystems — the scenario the dense data plane is sized for
+/// (hash-map stores dominate the placer runtime well before this scale).
+///
+/// `scale` shrinks the glue/datapath budget proportionally (macro count stays
+/// fixed); `1.0` is the full ~100k-cell design, small fractions make the same
+/// topology affordable in debug-build tests.
+pub fn large_soc_config(scale: f64) -> SocConfig {
+    let scale = scale.clamp(0.01, 1.0);
+    let num_subsystems = 16usize;
+    let base_macros = 200 / num_subsystems;
+    let extra_macros = 200 % num_subsystems;
+    SocConfig {
+        name: "large_soc".into(),
+        subsystems: (0..num_subsystems)
+            .map(|s| {
+                let bits = ((64.0 * scale).round() as usize).max(4);
+                SubsystemConfig {
+                    name: format!("u_sub{s}"),
+                    macros: base_macros + usize::from(s < extra_macros),
+                    macro_size: (60_000, 40_000),
+                    pipeline_stages: 4,
+                    datapath_bits: bits,
+                    glue_per_stage: ((1_150.0 * scale).round() as usize).max(8),
+                }
+            })
+            .collect(),
+        channels: {
+            let mut channels = Vec::new();
+            for s in 0..num_subsystems {
+                channels.push((s, (s + 1) % num_subsystems));
+                channels.push((s, (s + 5) % num_subsystems));
+            }
+            channels
+        },
+        io_subsystems: vec![0, 4, 8, 12],
+        io_bits: ((64.0 * scale).round() as usize).max(4),
+        utilization: 0.55,
+        aspect_ratio: 1.2,
+        seed: 0x1A26E50C,
+    }
+}
+
+/// Generates the full-size `large_soc` preset (~100k cells, 200 macros).
+pub fn large_soc() -> GeneratedDesign {
+    SocGenerator::new(large_soc_config(1.0)).generate()
+}
+
 /// The 16-macro, two-cluster design used to illustrate the multi-level flow
 /// in Fig. 1 of the paper.
 pub fn fig1_design() -> GeneratedDesign {
@@ -226,6 +274,40 @@ mod tests {
         let x = ht.node(ht.find("u_x").unwrap());
         assert_eq!(x.subtree_macros, 0);
         assert!(x.subtree_cells > 256);
+    }
+
+    #[test]
+    fn large_soc_config_has_200_macros() {
+        let config = large_soc_config(1.0);
+        assert_eq!(config.total_macros(), 200);
+        assert_eq!(config.subsystems.len(), 16);
+        // scaled-down variant keeps the macro count and topology
+        let small = large_soc_config(0.05);
+        assert_eq!(small.total_macros(), 200);
+        assert_eq!(small.channels, config.channels);
+    }
+
+    #[test]
+    fn large_soc_scaled_down_generates_consistently() {
+        // the full ~100k-cell generation runs in the (release-built) bench
+        // harness; tests exercise the same topology at 5% glue scale
+        let g = SocGenerator::new(large_soc_config(0.05)).generate();
+        assert_eq!(g.design.num_macros(), 200);
+        g.design.validate().expect("consistent design");
+        assert!(g.design.num_cells() > 2_000);
+    }
+
+    #[test]
+    #[ignore = "generates the full ~100k-cell design; run with --ignored in release"]
+    fn large_soc_full_scale_counts() {
+        let g = large_soc();
+        assert_eq!(g.design.num_macros(), 200);
+        let cells = g.design.num_cells();
+        assert!(
+            (80_000..140_000).contains(&cells),
+            "large_soc should have ~100k cells, got {cells}"
+        );
+        g.design.validate().expect("consistent design");
     }
 
     #[test]

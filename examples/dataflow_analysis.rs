@@ -57,9 +57,9 @@ fn main() {
             print!("{:>10}", df.graph.node(j).name());
         }
         println!();
-        for (i, row) in m.iter().enumerate() {
+        for i in 0..m.len() {
             print!("{:>14}", df.graph.node(i).name());
-            for v in row {
+            for v in m.row(i) {
                 print!("{:>10.1}", v);
             }
             println!();

@@ -3,29 +3,57 @@
 //!
 //! ```text
 //! cargo run --release --example emit_workload -- /tmp/soc
+//! cargo run --release --example emit_workload -- /tmp/big --preset large_soc
 //! target/release/hidap --verilog /tmp/soc.v --lef /tmp/soc.lef --top emitted_soc \
 //!     --sweep --jobs 0 --report
 //! ```
+//!
+//! `--preset large_soc` emits the ~100k-cell, 200-macro scale preset that
+//! exercises the dense data plane; the default is a small two-subsystem SoC.
 
 use workload::emit::{emit_lef, emit_verilog};
+use workload::presets::large_soc;
 use workload::{SocConfig, SocGenerator, SubsystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let prefix = std::env::args().nth(1).unwrap_or_else(|| "emitted_soc".to_string());
-    let generated = SocGenerator::new(SocConfig {
-        name: "emitted_soc".into(),
-        subsystems: vec![
-            SubsystemConfig::balanced("u_cpu", 4, 16),
-            SubsystemConfig::balanced("u_dsp", 4, 16),
-        ],
-        channels: vec![(0, 1), (1, 0)],
-        io_subsystems: vec![0],
-        io_bits: 16,
-        utilization: 0.5,
-        aspect_ratio: 1.0,
-        seed: 7,
-    })
-    .generate();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut prefix = "emitted_soc".to_string();
+    let mut preset: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--preset" => {
+                let Some(value) = args.get(i + 1) else {
+                    return Err("--preset requires a value (e.g. large_soc)".into());
+                };
+                preset = Some(value.clone());
+                i += 2;
+            }
+            other => {
+                prefix = other.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    let generated = match preset.as_deref() {
+        Some("large_soc") => large_soc(),
+        Some(other) => return Err(format!("unknown preset '{other}'").into()),
+        None => SocGenerator::new(SocConfig {
+            name: "emitted_soc".into(),
+            subsystems: vec![
+                SubsystemConfig::balanced("u_cpu", 4, 16),
+                SubsystemConfig::balanced("u_dsp", 4, 16),
+            ],
+            channels: vec![(0, 1), (1, 0)],
+            io_subsystems: vec![0],
+            io_bits: 16,
+            utilization: 0.5,
+            aspect_ratio: 1.0,
+            seed: 7,
+        })
+        .generate(),
+    };
     let verilog_path = format!("{prefix}.v");
     let lef_path = format!("{prefix}.lef");
     std::fs::write(&verilog_path, emit_verilog(&generated.design))?;

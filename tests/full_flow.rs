@@ -44,10 +44,10 @@ fn dataflow_aware_placement_beats_random_macro_scatter() {
 
     // adversarial scatter: place macros round-robin in opposite corners so
     // connected clusters are torn apart, then legalize via the same helper
-    use hidap::legalize::{legalize_macros, MacroFootprint};
+    use hidap::legalize::{legalize_macros, MacroFootprint, MacroFootprints};
     use std::collections::HashMap;
     let die = design.die();
-    let mut footprints = HashMap::new();
+    let mut footprints = MacroFootprints::for_design(design);
     for (i, m) in design.macros().enumerate() {
         let corner = match i % 2 {
             0 => geometry::Point::new(die.llx, die.lly),
@@ -60,7 +60,7 @@ fn dataflow_aware_placement_beats_random_macro_scatter() {
     }
     legalize_macros(design, die, &mut footprints);
     let scatter_map: HashMap<_, _> =
-        footprints.iter().map(|(&c, fp)| (c, (fp.location, geometry::Orientation::N))).collect();
+        footprints.iter().map(|(c, fp)| (c, (fp.location, geometry::Orientation::N))).collect();
     let scatter_wl = evaluate_placement(design, &scatter_map, &eval_cfg).wirelength_m;
 
     assert!(
