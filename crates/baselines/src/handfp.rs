@@ -184,7 +184,7 @@ impl Placer for HandFp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eval::evaluate_placement;
+    use eval::Evaluator;
     use geometry::Rect;
     use netlist::design::DesignBuilder;
 
@@ -227,8 +227,7 @@ mod tests {
         // a single run with one of the candidate configurations
         let single =
             HidapFlow::new(HidapConfig::fast().with_lambda(0.2).with_seed(1)).run(&d).unwrap();
-        let single_wl =
-            evaluate_placement(&d, &single.to_map(), &EvalConfig::standard()).wirelength_m;
+        let single_wl = Evaluator::standard().evaluate(&d, &single).wirelength_m;
         assert!(oracle_wl <= single_wl + 1e-12);
     }
 

@@ -279,7 +279,8 @@ impl placer_core::Placer for IndEda {
 
         let metrics = req.evaluate.as_ref().map(|eval_cfg| {
             let t = std::time::Instant::now();
-            let metrics = eval::evaluate_placement(design.as_ref(), &placement.to_map(), eval_cfg);
+            // context-shared evaluator: one Gseq per sweep, no to_map()
+            let metrics = ctx.evaluator(*eval_cfg).evaluate(design.as_ref(), &placement);
             timings
                 .push(StageTiming { stage: "evaluate".into(), seconds: t.elapsed().as_secs_f64() });
             metrics

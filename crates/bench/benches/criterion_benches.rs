@@ -94,9 +94,17 @@ fn bench_evaluation(c: &mut Criterion) {
     group.sample_size(10);
     let c1 = generate_circuit("c1");
     let placement = HidapFlow::new(HidapConfig::fast()).run(&c1.design).expect("flow");
-    let map = placement.to_map();
-    group.bench_function("evaluate_c1", |b| {
-        b.iter(|| eval::evaluate_placement(&c1.design, &map, &eval::EvalConfig::standard()))
+    // one-shot: a fresh Evaluator per candidate rebuilds Gseq every time
+    // (the shape of the deprecated `evaluate_placement` path)
+    group.bench_function("evaluate_c1_oneshot", |b| {
+        b.iter(|| {
+            eval::Evaluator::new(eval::EvalConfig::standard()).evaluate(&c1.design, &placement)
+        })
+    });
+    // session: the sweep shape — one Evaluator, Gseq cached across calls
+    let mut session = eval::Evaluator::new(eval::EvalConfig::standard());
+    group.bench_function("evaluate_c1_session", |b| {
+        b.iter(|| session.evaluate(&c1.design, &placement))
     });
     group.finish();
 }

@@ -8,7 +8,7 @@
 //! ```
 
 use bench::experiments::parse_common_args;
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use hidap::decluster::hierarchical_declustering;
 use hidap::shape_curves::ShapeCurveSet;
 use hidap::{HidapConfig, HidapFlow};
@@ -22,7 +22,7 @@ fn main() {
     let generated = generate_circuit(circuit);
     let design = &generated.design;
     let ht = HierarchyTree::from_design(design);
-    let eval_cfg = EvalConfig::standard();
+    let mut evaluator = Evaluator::new(EvalConfig::standard());
 
     println!("# declustering ablation on {circuit} — effort {effort:?}");
     println!(
@@ -37,7 +37,7 @@ fn main() {
             let blocks = hierarchical_declustering(design, &ht, &curves, ht.root(), &config);
             // full flow quality
             let placement = HidapFlow::new(config).run(design).expect("flow failed");
-            let wl = evaluate_placement(design, &placement.to_map(), &eval_cfg).wirelength_m;
+            let wl = evaluator.evaluate(design, &placement).wirelength_m;
             println!(
                 "{:>9.1}% {:>9.0}% {:>14} {:>12.3} {:>12}",
                 open_area_frac * 100.0,

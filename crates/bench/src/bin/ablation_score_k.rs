@@ -6,14 +6,14 @@
 //! ```
 
 use bench::experiments::parse_common_args;
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use hidap::{HidapConfig, HidapFlow};
 use workload::presets::generate_circuit;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (circuits, effort) = parse_common_args(&args, &["c2"]);
-    let eval_cfg = EvalConfig::standard();
+    let mut evaluator = Evaluator::new(EvalConfig::standard());
 
     println!("# score(h, k) exponent ablation — effort {effort:?}");
     println!("{:<8} {:>4} {:>12} {:>10} {:>10}", "circuit", "k", "WL (m)", "GRC%", "WNS%");
@@ -24,7 +24,7 @@ fn main() {
         for k in [0u32, 1, 2, 3] {
             let config = HidapConfig { score_k: k, ..effort.hidap_config() };
             let placement = HidapFlow::new(config).run(design).expect("flow failed");
-            let metrics = evaluate_placement(design, &placement.to_map(), &eval_cfg);
+            let metrics = evaluator.evaluate(design, &placement);
             println!(
                 "{:<8} {:>4} {:>12.3} {:>10.2} {:>10.1}",
                 circuit,

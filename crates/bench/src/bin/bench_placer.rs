@@ -1,41 +1,56 @@
-//! Dense-data-plane microbench: analytical-placer sweeps + HPWL at
-//! `large_soc` scale, hash-map stores vs the dense CSR path.
+//! Dense-data-plane macrobench at `large_soc` scale, in two parts:
 //!
-//! Runs the pre-refactor hash-map implementation (preserved in
-//! [`bench::reference`]) and the dense implementation on the same design and
-//! macro placement, cross-checks that they produce bit-identical results, and
-//! writes the timings to `BENCH_placer.json`.
+//! 1. analytical-placer sweeps + HPWL, hash-map stores vs the dense CSR path
+//!    (the PR-2 comparison, preserved),
+//! 2. `evaluator_reuse`: a 16-candidate evaluation sweep through the
+//!    pre-session one-shot pipeline preserved in
+//!    `bench::reference::evaluate_placement_reference` (one `to_map()`, one
+//!    rescan-sweep placement and one fresh `Gseq` per candidate) vs a reused
+//!    [`eval::Evaluator`] session (incremental-sum placer sweeps, one `Gseq`
+//!    for the whole sweep, serial and per-worker-clone parallel variants).
+//!
+//! Both parts cross-check that the before/after paths produce bit-identical
+//! results, and the timings land in `BENCH_placer.json`.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_placer            # full large_soc
 //! cargo run --release -p bench --bin bench_placer -- --scale 0.25 --repeats 5
+//! cargo run --release -p bench --bin bench_placer -- --quick # CI-sized run
 //! ```
 
 use bench::reference::{place_standard_cells_hashmap, to_dense, total_hpwl_hashmap};
-use eval::{place_standard_cells, total_hpwl, PlacerConfig};
+use eval::{place_standard_cells, total_hpwl, EvalConfig, Evaluator, PlacerConfig};
 use geometry::{Orientation, Point};
+use hidap::{MacroPlacement, PlacedMacro};
 use netlist::design::{CellId, Design};
 use std::collections::HashMap;
 use std::time::Instant;
 use workload::presets::large_soc_config;
 use workload::SocGenerator;
 
-/// A deterministic macro grid placement (the bench measures the standard-cell
-/// placer, not macro placement, so a cheap legal-ish grid is enough).
-fn grid_macro_placement(design: &Design) -> HashMap<CellId, (Point, Orientation)> {
+/// A deterministic macro grid placement (the bench measures the evaluation
+/// substrate, not macro placement, so a cheap legal-ish grid is enough).
+/// `rotation` shifts which macro lands in which grid slot, producing distinct
+/// sweep candidates from the same grid.
+fn grid_macro_placement(design: &Design, rotation: usize) -> MacroPlacement {
     let die = design.die();
     let macros: Vec<CellId> = design.macros().collect();
     let cols = (macros.len() as f64).sqrt().ceil() as i64;
-    let mut mp = HashMap::new();
+    let mut placement = MacroPlacement::default();
     for (i, &m) in macros.iter().enumerate() {
         let cell = design.cell(m);
-        let col = i as i64 % cols;
-        let row = i as i64 / cols;
+        let slot = (i + rotation) % macros.len();
+        let col = slot as i64 % cols;
+        let row = slot as i64 / cols;
         let x = (die.llx + col * die.width() / cols).min(die.urx - cell.width).max(die.llx);
         let y = (die.lly + row * die.height() / cols).min(die.ury - cell.height).max(die.lly);
-        mp.insert(m, (Point::new(x, y), Orientation::N));
+        placement.macros.push(PlacedMacro {
+            cell: m,
+            location: Point::new(x, y),
+            orientation: Orientation::N,
+        });
     }
-    mp
+    placement
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -47,6 +62,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut repeats = 3usize;
+    let mut candidates = 16usize;
     let mut out_path = "BENCH_placer.json".to_string();
     let mut i = 0;
     while i < args.len() {
@@ -58,6 +74,17 @@ fn main() {
             "--repeats" if i + 1 < args.len() => {
                 repeats = args[i + 1].parse().unwrap_or(3).max(1);
                 i += 2;
+            }
+            "--candidates" if i + 1 < args.len() => {
+                candidates = args[i + 1].parse().unwrap_or(16).max(1);
+                i += 2;
+            }
+            "--quick" => {
+                // CI-sized run: the same equality checks on a small design
+                scale = 0.05;
+                repeats = 1;
+                candidates = 4;
+                i += 1;
             }
             "--out" if i + 1 < args.len() => {
                 out_path = args[i + 1].clone();
@@ -81,7 +108,8 @@ fn main() {
         csr.num_pins(),
         design.num_macros()
     );
-    let mp = grid_macro_placement(design);
+    let base_placement = grid_macro_placement(design, 0);
+    let mp = base_placement.to_map();
     let cfg = PlacerConfig::default();
 
     // --- hash-map reference ------------------------------------------------
@@ -104,7 +132,7 @@ fn main() {
     let mut dense = eval::CellPlacement::default();
     for _ in 0..repeats {
         let t = Instant::now();
-        dense = place_standard_cells(design, &mp, &cfg);
+        dense = place_standard_cells(design, &base_placement, &cfg);
         dense_place_s.push(t.elapsed().as_secs_f64());
         let t = Instant::now();
         let _ = total_hpwl(design, &dense);
@@ -139,8 +167,91 @@ fn main() {
         wl_dense.dbu, wl_dense.routed_nets
     );
 
+    // --- evaluator reuse: one-shot baseline vs reused session --------------
+    //
+    // Three shapes of the same 16-candidate sweep:
+    //  * one-shot — the pre-session `evaluate_placement` preserved verbatim
+    //    in `bench::reference` (the call shape every bench binary used): one
+    //    `to_map()` HashMap, one rescan-sweep standard-cell placement and
+    //    one freshly built Gseq per candidate;
+    //  * session (serial) — one `Evaluator`, candidates as `PlacementView`s:
+    //    the map and Gseq rebuilds disappear and the placer sweep runs on
+    //    incrementally maintained per-net sums;
+    //  * session (parallel) — `Evaluator` is `Clone + Send` around a shared
+    //    `SeqGraphCache`, so per-worker clones fan the sweep across all
+    //    cores while still building one Gseq total (the shape `BatchRunner`
+    //    uses). The old boundary had no shareable session to clone.
+    let sweep: Vec<MacroPlacement> =
+        (0..candidates).map(|c| grid_macro_placement(design, c * 7 + 1)).collect();
+    let eval_cfg = EvalConfig::standard();
+
+    eprintln!("evaluator sweep: {candidates} candidates, one-shot path ...");
+    let t = Instant::now();
+    let oneshot_metrics: Vec<_> = sweep
+        .iter()
+        .map(|candidate| {
+            // the pre-session boundary: a map per candidate, a Gseq per call
+            bench::reference::evaluate_placement_reference(design, &candidate.to_map(), &eval_cfg)
+        })
+        .collect();
+    let oneshot_s = t.elapsed().as_secs_f64();
+
+    eprintln!("evaluator sweep: {candidates} candidates, reused session (serial) ...");
+    let mut evaluator = Evaluator::new(eval_cfg);
+    let t = Instant::now();
+    let reused_metrics: Vec<_> =
+        sweep.iter().map(|candidate| evaluator.evaluate(design, candidate)).collect();
+    let reused_s = t.elapsed().as_secs_f64();
+
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("evaluator sweep: {candidates} candidates, reused session ({workers} workers) ...");
+    let session = Evaluator::new(eval_cfg);
+    let t = Instant::now();
+    let parallel_metrics = {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let slots: Vec<_> = sweep.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(sweep.len()) {
+                // per-worker clones share one SeqGraphCache: one Gseq total
+                let mut worker = session.clone();
+                let next = &next;
+                let slots = &slots;
+                let sweep = &sweep;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(candidate) = sweep.get(i) else { break };
+                    let metrics = worker.evaluate(design, candidate);
+                    *slots[i].lock().expect("metrics slot") = Some(metrics);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("metrics slot").expect("every candidate ran"))
+            .collect::<Vec<_>>()
+    };
+    let parallel_s = t.elapsed().as_secs_f64();
+
+    // fixed-seed metrics must be bit-identical across all three paths
+    for ((one, reused), parallel) in
+        oneshot_metrics.iter().zip(&reused_metrics).zip(&parallel_metrics)
+    {
+        assert_eq!(one, reused, "one-shot and serial-session metrics disagree");
+        assert_eq!(one, parallel, "one-shot and parallel-session metrics disagree");
+    }
+    let speedup_eval = oneshot_s / reused_s.max(1e-12);
+    let speedup_parallel = oneshot_s / parallel_s.max(1e-12);
+    println!(
+        "evaluator sweep ({candidates} candidates): one-shot {:.1} ms, session {:.1} ms \
+         ({speedup_eval:.2}x), session x{workers} workers {:.1} ms ({speedup_parallel:.2}x)",
+        oneshot_s * 1e3,
+        reused_s * 1e3,
+        parallel_s * 1e3
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true\n}}\n",
+        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }}\n}}\n",
         design.num_cells(),
         design.num_nets(),
         csr.num_pins(),
@@ -154,6 +265,11 @@ fn main() {
         speedup_total,
         wl_dense.dbu,
         wl_dense.routed_nets,
+        oneshot_s * 1e3,
+        reused_s * 1e3,
+        parallel_s * 1e3,
+        speedup_eval,
+        speedup_parallel,
     );
     std::fs::write(&out_path, json).expect("write BENCH_placer.json");
     eprintln!("wrote {out_path}");

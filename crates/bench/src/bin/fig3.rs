@@ -12,7 +12,7 @@
 
 use bench::experiments::parse_common_args;
 use bench::report::ascii_floorplan;
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use hidap::{HidapConfig, HidapFlow};
 use workload::presets::fig3_design;
 
@@ -26,7 +26,7 @@ fn main() {
         design.num_cells()
     );
 
-    let eval_cfg = EvalConfig::standard();
+    let mut evaluator = Evaluator::new(EvalConfig::standard());
     for (label, lambda) in [
         ("(a) block flow only, lambda = 1.0", 1.0),
         ("(b) macro flow only, lambda = 0.0", 0.0),
@@ -34,7 +34,7 @@ fn main() {
     ] {
         let config = HidapConfig { lambda, ..effort.hidap_config() };
         let placement = HidapFlow::new(config).run(&design).expect("flow failed");
-        let metrics = evaluate_placement(&design, &placement.to_map(), &eval_cfg);
+        let metrics = evaluator.evaluate(&design, &placement);
         println!(
             "\n{label}:  WL = {:.4} m, legal = {}",
             metrics.wirelength_m,

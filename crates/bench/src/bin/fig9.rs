@@ -9,7 +9,7 @@
 use baselines::{HandFp, IndEda};
 use bench::experiments::parse_common_args;
 use bench::report::ascii_floorplan;
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use hidap::HidapFlow;
 use workload::presets::generate_circuit;
 
@@ -25,11 +25,12 @@ fn main() {
         design.num_cells(),
         design.num_macros()
     );
-    let eval_cfg = EvalConfig::standard();
+    // one evaluation session for all three flows (Gseq built once)
+    let mut evaluator = Evaluator::new(EvalConfig::standard());
 
     // (a) IndEDA
     let indeda = IndEda::new(effort.indeda_config()).run(design).expect("IndEDA failed");
-    let m_ind = evaluate_placement(design, &indeda.to_map(), &eval_cfg);
+    let m_ind = evaluator.evaluate(design, &indeda);
     println!(
         "\n(a) IndEDA   WL = {:.3} m, peak density = {:.2}",
         m_ind.wirelength_m,
@@ -39,7 +40,7 @@ fn main() {
 
     // (c) HiDaP (printed before handFP to mirror the paper's layout order a/c/b)
     let hidap = HidapFlow::new(effort.hidap_config()).run(design).expect("HiDaP failed");
-    let m_hidap = evaluate_placement(design, &hidap.to_map(), &eval_cfg);
+    let m_hidap = evaluator.evaluate(design, &hidap);
     println!(
         "(c) HiDaP    WL = {:.3} m, peak density = {:.2}",
         m_hidap.wirelength_m,
@@ -49,7 +50,7 @@ fn main() {
 
     // (b) handFP proxy
     let (handfp, wl) = HandFp::new(effort.handfp_config()).run(design).expect("handFP failed");
-    let m_hand = evaluate_placement(design, &handfp.to_map(), &eval_cfg);
+    let m_hand = evaluator.evaluate(design, &handfp);
     println!("(b) handFP   WL = {:.3} m, peak density = {:.2}", wl, m_hand.density.peak());
     println!("{}", m_hand.density.to_ascii());
 

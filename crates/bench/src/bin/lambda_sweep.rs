@@ -7,7 +7,7 @@
 //! ```
 
 use bench::experiments::parse_common_args;
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use hidap::{HidapConfig, HidapFlow};
 use workload::presets::generate_circuit;
 
@@ -15,7 +15,6 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (circuits, effort) = parse_common_args(&args, &["c1", "c5", "c8"]);
     let lambdas = [0.0, 0.2, 0.5, 0.8, 1.0];
-    let eval_cfg = EvalConfig::standard();
 
     println!("# lambda sweep — effort {effort:?}");
     print!("{:<8}", "circuit");
@@ -27,12 +26,14 @@ fn main() {
         eprintln!("running {circuit} ...");
         let generated = generate_circuit(circuit);
         let design = &generated.design;
+        // one session per circuit: every lambda candidate reuses its Gseq
+        let mut evaluator = Evaluator::new(EvalConfig::standard());
         print!("{circuit:<8}");
         let mut best = (f64::INFINITY, 0.0);
         for lambda in lambdas {
             let config = HidapConfig { lambda, ..effort.hidap_config() };
             let placement = HidapFlow::new(config).run(design).expect("flow failed");
-            let wl = evaluate_placement(design, &placement.to_map(), &eval_cfg).wirelength_m;
+            let wl = evaluator.evaluate(design, &placement).wirelength_m;
             print!("  {wl:<8.3}");
             if wl < best.0 {
                 best = (wl, lambda);

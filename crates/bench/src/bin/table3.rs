@@ -1,17 +1,20 @@
 //! Regenerates Table III of the paper: per-circuit wirelength, congestion and
 //! timing for the three flows (IndEDA stand-in, HiDaP, handFP proxy).
 //!
+//! The default scenario list is [`bench::experiments::TABLE_SCENARIOS`]:
+//! the paper's c1–c8 stand-ins plus the `large_soc` scale scenario (~90k
+//! cells, 200 macros — expect minutes for that row even at fast effort).
+//!
 //! ```text
-//! cargo run --release -p bench --bin table3 -- [--circuits c1,c2] [--effort fast|default|paper]
+//! cargo run --release -p bench --bin table3 -- [--circuits c1,c2,large_soc] [--effort fast|default|paper]
 //! ```
 
-use bench::experiments::{compare_flows, parse_common_args};
+use bench::experiments::{compare_flows, parse_common_args, TABLE_SCENARIOS};
 use bench::report::{comparisons_json, format_table3};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8"];
-    let (circuits, effort) = parse_common_args(&args, &all);
+    let (circuits, effort) = parse_common_args(&args, &TABLE_SCENARIOS);
 
     println!("# Table III reproduction — effort {effort:?}");
     println!(

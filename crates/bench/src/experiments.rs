@@ -1,13 +1,19 @@
 //! The three-flow comparison used by the table experiments.
 
 use baselines::{HandFp, HandFpConfig, IndEda, IndEdaConfig};
-use eval::{evaluate_placement, EvalConfig, PlacementMetrics};
+use eval::{EvalConfig, Evaluator, PlacementMetrics};
 use hidap::{HidapConfig, HidapFlow, MacroPlacement};
 use netlist::design::Design;
 use placer_core::{BatchGrid, BatchRunner, PlaceContext, PlaceRequest, WirelengthObjective};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use workload::presets::generate_circuit;
+
+/// The scenarios of the table experiments: the paper's c1–c8 stand-ins plus
+/// the `large_soc` scale scenario (~90k cells, 200 macros) that exercises the
+/// dense data plane and the reused evaluation session at production size.
+pub const TABLE_SCENARIOS: [&str; 9] =
+    ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "large_soc"];
 
 /// How much compute each flow is allowed to spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -123,9 +129,9 @@ fn flow_result(
     design: &Design,
     placement: &MacroPlacement,
     runtime_s: f64,
-    eval_cfg: &EvalConfig,
+    evaluator: &mut Evaluator,
 ) -> (FlowResult, PlacementMetrics) {
-    let metrics = evaluate_placement(design, &placement.to_map(), eval_cfg);
+    let metrics = evaluator.evaluate(design, placement);
     (
         FlowResult {
             flow: name.to_string(),
@@ -175,13 +181,16 @@ pub fn compare_flows(circuit: &str, effort: Effort) -> CircuitComparison {
 /// Runs the three flows on an arbitrary design.
 pub fn compare_flows_on(name: &str, design: &Design, effort: Effort) -> CircuitComparison {
     let eval_cfg = EvalConfig::standard();
+    // one evaluation session for all three flows: Gseq is built once
+    let mut evaluator = Evaluator::new(eval_cfg);
 
     // IndEDA-style baseline.
     let t = Instant::now();
     let indeda_placement =
         IndEda::new(effort.indeda_config()).run(design).expect("IndEDA baseline failed");
     let indeda_time = t.elapsed().as_secs_f64();
-    let (mut indeda, _) = flow_result("IndEDA", design, &indeda_placement, indeda_time, &eval_cfg);
+    let (mut indeda, _) =
+        flow_result("IndEDA", design, &indeda_placement, indeda_time, &mut evaluator);
 
     // HiDaP, best of three λ.
     let t = Instant::now();
@@ -189,14 +198,15 @@ pub fn compare_flows_on(name: &str, design: &Design, effort: Effort) -> CircuitC
         hidap_best_of_lambdas(design, &effort.hidap_config(), &eval_cfg)
             .expect("HiDaP flow failed");
     let hidap_time = t.elapsed().as_secs_f64();
-    let (mut hidap, _) = flow_result("HiDaP", design, &hidap_placement, hidap_time, &eval_cfg);
+    let (mut hidap, _) = flow_result("HiDaP", design, &hidap_placement, hidap_time, &mut evaluator);
 
     // handFP oracle.
     let t = Instant::now();
     let (handfp_placement, _) =
         HandFp::new(effort.handfp_config()).run(design).expect("handFP oracle failed");
     let handfp_time = t.elapsed().as_secs_f64();
-    let (mut handfp, _) = flow_result("handFP", design, &handfp_placement, handfp_time, &eval_cfg);
+    let (mut handfp, _) =
+        flow_result("handFP", design, &handfp_placement, handfp_time, &mut evaluator);
 
     // Normalize wirelengths to handFP as in the paper.
     let reference = handfp.wirelength_m.max(1e-12);
@@ -291,6 +301,14 @@ mod tests {
         assert_eq!(geometric_mean(&[]), 0.0);
         assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
         assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_scenarios_promote_the_scale_scenario() {
+        assert!(TABLE_SCENARIOS.contains(&"large_soc"));
+        for preset in &workload::presets::PAPER_CIRCUITS {
+            assert!(TABLE_SCENARIOS.contains(&preset.name));
+        }
     }
 
     #[test]

@@ -1,14 +1,24 @@
-//! Hash-map reference implementations of the analytical placer and HPWL.
+//! Reference implementations preserved verbatim as the *before* side of the
+//! `bench_placer` comparisons. They must produce exactly the same results as
+//! the current implementations — the bench binary asserts it — so the
+//! speedup numbers compare identical work.
 //!
-//! These are the pre-dense-data-plane versions of
-//! [`eval::place_standard_cells`] and [`eval::total_hpwl`], preserved
-//! verbatim (per-cell `HashMap` stores, per-net `Vec` walks) as the *before*
-//! side of the `bench_placer` comparison.  They must produce exactly the same
-//! placement and wirelength as the dense implementations — the bench binary
-//! asserts it — so the speedup numbers compare identical work.
+//! Two generations are kept:
+//!
+//! * the pre-dense-data-plane (PR 2) versions of
+//!   [`eval::place_standard_cells`] and [`eval::total_hpwl`]
+//!   ([`place_standard_cells_hashmap`], [`total_hpwl_hashmap`]: per-cell
+//!   `HashMap` stores, per-net `Vec` walks),
+//! * the pre-evaluation-session (PR 3) one-shot pipeline
+//!   ([`evaluate_placement_reference`]: the dense placer with the
+//!   rescan-every-pin Gauss–Seidel sweep, plus a per-net-`Vec` `NetGraph` and
+//!   a fresh `SeqGraph` per call — what `eval::evaluate_placement` did before
+//!   the reused [`eval::Evaluator`] existed).
 
-use eval::{CellPlacement, Hpwl, PlacerConfig};
+use eval::{CellPlacement, EvalConfig, Hpwl, PlacementMetrics, PlacerConfig};
 use geometry::{Orientation, Point, Rect};
+use graphs::seqgraph::SeqGraphConfig;
+use graphs::{NetGraph, SeqGraph};
 use netlist::design::{CellId, CellKind, Design};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -239,6 +249,229 @@ fn nearest_bin_with_room(
     None
 }
 
+/// The pre-session dense standard-cell placer, preserved verbatim: the same
+/// dense id-indexed stores as [`eval::place_standard_cells`], but with the
+/// Gauss–Seidel sweep rescanning every pin of every incident net per cell
+/// (Σ degree² pin visits per iteration) instead of maintaining per-net
+/// running sums. Bit-identical output — the sums are exact integers, so the
+/// traversal order never affects the result.
+pub fn place_standard_cells_rescan(
+    design: &Design,
+    macro_placement: &HashMap<CellId, (Point, Orientation)>,
+    config: &PlacerConfig,
+) -> CellPlacement {
+    let die = design.die();
+    let die_center = die.center();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let csr = design.connectivity();
+    let n = design.num_cells();
+
+    let mut pos: Vec<Point> = vec![die_center; n];
+    let mut is_fixed: Vec<bool> = vec![false; n];
+    let area: Vec<i128> = design.cells().map(|(_, c)| c.area()).collect();
+    let port_pos: Vec<Option<Point>> = design.ports().map(|(_, p)| p.position).collect();
+
+    let mut macro_rects: Vec<Rect> = Vec::new();
+    for (id, cell) in design.cells() {
+        if cell.kind == CellKind::Macro {
+            let (loc, orient) =
+                macro_placement.get(&id).copied().unwrap_or((die_center, Orientation::N));
+            let (w, h) = orient.transformed_size(cell.width, cell.height);
+            let rect = Rect::from_size(loc.x, loc.y, w, h);
+            pos[id.0 as usize] = rect.center();
+            macro_rects.push(rect);
+            is_fixed[id.0 as usize] = true;
+        }
+    }
+
+    let mut placed: Vec<bool> = is_fixed.clone();
+    for (id, cell) in design.cells() {
+        if cell.kind == CellKind::Macro {
+            continue;
+        }
+        let mut sum = (0i128, 0i128);
+        let mut count = 0i128;
+        for &net in csr.nets_of(id) {
+            for &pin in csr.pins(net) {
+                if !pin.is_driver() {
+                    continue;
+                }
+                if let Some(d) = pin.cell() {
+                    if placed[d.0 as usize] {
+                        let p = pos[d.0 as usize];
+                        sum.0 += p.x as i128;
+                        sum.1 += p.y as i128;
+                        count += 1;
+                    }
+                } else if let Some(p) = pin.port().and_then(|p| port_pos[p.0 as usize]) {
+                    sum.0 += p.x as i128;
+                    sum.1 += p.y as i128;
+                    count += 1;
+                }
+            }
+        }
+        let base = if count > 0 {
+            Point::new((sum.0 / count) as i64, (sum.1 / count) as i64)
+        } else {
+            die_center
+        };
+        let jitter_x = rng.gen_range(-(die.width() / 64).max(1)..=(die.width() / 64).max(1));
+        let jitter_y = rng.gen_range(-(die.height() / 64).max(1)..=(die.height() / 64).max(1));
+        pos[id.0 as usize] = die.clamp_point(base.translated(jitter_x, jitter_y));
+        placed[id.0 as usize] = true;
+    }
+
+    for _ in 0..config.iterations {
+        for id in 0..n {
+            if is_fixed[id] {
+                continue;
+            }
+            let mut sum = (0i128, 0i128);
+            let mut count = 0i128;
+            for &net in csr.nets_of(CellId(id as u32)) {
+                for &pin in csr.pins(net) {
+                    if let Some(c) = pin.cell() {
+                        if c.0 as usize != id {
+                            let p = pos[c.0 as usize];
+                            sum.0 += p.x as i128;
+                            sum.1 += p.y as i128;
+                            count += 1;
+                        }
+                    } else if let Some(p) = pin.port().and_then(|p| port_pos[p.0 as usize]) {
+                        sum.0 += p.x as i128;
+                        sum.1 += p.y as i128;
+                        count += 1;
+                    }
+                }
+            }
+            if count > 0 {
+                let target = Point::new((sum.0 / count) as i64, (sum.1 / count) as i64);
+                pos[id] = die.clamp_point(target);
+            }
+        }
+    }
+
+    spread_dense(die, &mut pos, &is_fixed, &area, &macro_rects, config);
+    CellPlacement { positions: pos.into_iter().map(Some).collect() }
+}
+
+/// The spreading phase of the pre-session dense placer (identical to the
+/// current one — spreading was never the bottleneck).
+fn spread_dense(
+    die: Rect,
+    pos: &mut [Point],
+    is_fixed: &[bool],
+    area: &[i128],
+    macro_rects: &[Rect],
+    config: &PlacerConfig,
+) {
+    let bins = config.bins.max(2);
+    let bin_w = (die.width() as f64 / bins as f64).max(1.0);
+    let bin_h = (die.height() as f64 / bins as f64).max(1.0);
+    let bin_area = bin_w * bin_h;
+
+    let mut capacity = vec![vec![0.0f64; bins]; bins];
+    for (bx, row) in capacity.iter_mut().enumerate() {
+        for (by, cap) in row.iter_mut().enumerate() {
+            let bin_rect = Rect::new(
+                die.llx + (bx as f64 * bin_w) as i64,
+                die.lly + (by as f64 * bin_h) as i64,
+                die.llx + ((bx + 1) as f64 * bin_w) as i64,
+                die.lly + ((by + 1) as f64 * bin_h) as i64,
+            );
+            let macro_overlap: f64 =
+                macro_rects.iter().map(|m| m.overlap_area(&bin_rect) as f64).sum();
+            *cap = ((bin_area - macro_overlap) * config.target_utilization).max(0.0);
+        }
+    }
+
+    let bin_of = |p: Point| -> (usize, usize) {
+        let bx = (((p.x - die.llx) as f64 / bin_w) as usize).min(bins - 1);
+        let by = (((p.y - die.lly) as f64 / bin_h) as usize).min(bins - 1);
+        (bx, by)
+    };
+
+    for _ in 0..config.spreading_passes {
+        let mut usage = vec![vec![0.0f64; bins]; bins];
+        let mut members: Vec<Vec<CellId>> = vec![Vec::new(); bins * bins];
+        for id in 0..pos.len() {
+            if is_fixed[id] {
+                continue;
+            }
+            let b = bin_of(pos[id]);
+            usage[b.0][b.1] += area[id] as f64;
+            members[b.0 * bins + b.1].push(CellId(id as u32));
+        }
+        let mut moved_any = false;
+        for bx in 0..bins {
+            for by in 0..bins {
+                let over = usage[bx][by] - capacity[bx][by];
+                if over <= 0.0 {
+                    continue;
+                }
+                let mut cells = members[bx * bins + by].clone();
+                cells.sort_by_key(|&c| area[c.0 as usize]);
+                let mut to_free = over;
+                for cell in cells {
+                    if to_free <= 0.0 {
+                        break;
+                    }
+                    if let Some((tx, ty)) = nearest_bin_with_room(&usage, &capacity, bins, bx, by) {
+                        let target_center = Point::new(
+                            die.llx + ((tx as f64 + 0.5) * bin_w) as i64,
+                            die.lly + ((ty as f64 + 0.5) * bin_h) as i64,
+                        );
+                        let cell_area = area[cell.0 as usize] as f64;
+                        usage[bx][by] -= cell_area;
+                        usage[tx][ty] += cell_area;
+                        to_free -= cell_area;
+                        pos[cell.0 as usize] = die.clamp_point(target_center);
+                        moved_any = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+}
+
+/// The pre-session one-shot evaluation pipeline, preserved verbatim: the
+/// rescan-sweep placer, plus a per-net-`Vec` `NetGraph` and a fresh
+/// `SeqGraph` rebuilt on every call — exactly what `evaluate_placement` did
+/// before the reused [`eval::Evaluator`] session existed. Metrics are
+/// bit-identical to `Evaluator::evaluate`; the bench binary asserts it.
+pub fn evaluate_placement_reference(
+    design: &Design,
+    macro_placement: &HashMap<CellId, (Point, Orientation)>,
+    config: &EvalConfig,
+) -> PlacementMetrics {
+    let cell_placement = place_standard_cells_rescan(design, macro_placement, &config.placer);
+    let hpwl = eval::total_hpwl(design, &cell_placement);
+    let congestion = eval::congestion::estimate_congestion(
+        design,
+        &cell_placement,
+        macro_placement,
+        &config.congestion,
+    );
+    let gnet = NetGraph::from_design_reference(design);
+    let gseq = SeqGraph::from_netgraph(design, &gnet, &SeqGraphConfig::default());
+    let timing = eval::timing::estimate_timing(design, &gseq, &cell_placement, &config.timing);
+    let density =
+        eval::DensityMap::compute(design, &cell_placement, macro_placement, config.density_bins);
+    PlacementMetrics {
+        wirelength_m: hpwl.meters(config.dbu_per_micron),
+        hpwl,
+        congestion,
+        timing,
+        density,
+        cell_placement,
+    }
+}
+
 /// The pre-refactor HPWL: per-net point buffer, hash lookups per pin.
 pub fn total_hpwl_hashmap(design: &Design, positions: &HashMap<CellId, Point>) -> Hpwl {
     let mut total: i128 = 0;
@@ -320,6 +553,35 @@ mod tests {
         let wl_ref = total_hpwl_hashmap(design, &reference);
         let wl_dense = eval::total_hpwl(design, &dense);
         assert_eq!(wl_ref, wl_dense);
+    }
+
+    #[test]
+    fn reference_pipeline_matches_session_evaluator() {
+        let generated = generate_circuit("c1");
+        let design = &generated.design;
+        let mut mp = HashMap::new();
+        for (i, m) in design.macros().enumerate() {
+            let cell = design.cell(m);
+            let die = design.die();
+            let x = die.llx + (i as i64 % 6) * (die.width() / 6);
+            let y = die.lly + (i as i64 / 6) * (die.height() / 6);
+            mp.insert(
+                m,
+                (
+                    Point::new(x.min(die.urx - cell.width), y.min(die.ury - cell.height)),
+                    Orientation::N,
+                ),
+            );
+        }
+        let cfg = EvalConfig::standard();
+        // the rescan placer is bit-identical to the incremental-sum placer
+        let rescan = place_standard_cells_rescan(design, &mp, &cfg.placer);
+        let current = eval::place_standard_cells(design, &mp, &cfg.placer);
+        assert_eq!(rescan, current);
+        // and the preserved one-shot pipeline matches the session evaluator
+        let reference = evaluate_placement_reference(design, &mp, &cfg);
+        let session = eval::Evaluator::new(cfg).evaluate(design, &mp);
+        assert_eq!(reference, session);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! threads via [`placer_core::BatchRunner`] and keeps the lowest-wirelength
 //! winner; the result is identical for any `--jobs` value.
 
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use geometry::Rect;
 use hidap::MacroPlacement;
 use netlist::design::Design;
@@ -338,7 +338,9 @@ pub fn run(opts: &Options) -> Result<String, String> {
     }
 
     if let Some(out) = &opts.out {
-        let entries = netlist::def::placement_entries(&design, &placement.to_map(), true);
+        // the flow output is a PlacementView: DEF entries come straight from
+        // its sorted entries, no intermediate map
+        let entries = netlist::def::placement_entries_from_view(&design, placement, true);
         let pins = netlist::def::port_entries(&design);
         let def_text = netlist::def::write_def(design.name(), dbu, design.die(), &entries, &pins);
         std::fs::write(out, def_text)
@@ -346,14 +348,14 @@ pub fn run(opts: &Options) -> Result<String, String> {
         output.push_str(&format!("wrote {}\n", out.display()));
     }
     if let Some(svg) = &opts.svg {
-        let svg_text = eval::visualize::floorplan_svg(&design, &placement.to_map(), design.name());
+        let svg_text = eval::visualize::floorplan_svg(&design, placement, design.name());
         std::fs::write(svg, svg_text)
             .map_err(|e| format!("cannot write {}: {e}", svg.display()))?;
         output.push_str(&format!("wrote {}\n", svg.display()));
     }
     if opts.report {
         let eval_cfg = EvalConfig { dbu_per_micron: dbu, ..EvalConfig::standard() };
-        let metrics = evaluate_placement(&design, &placement.to_map(), &eval_cfg);
+        let metrics = Evaluator::new(eval_cfg).evaluate(&design, placement);
         output.push_str(&format!(
             "wirelength: {:.4} m\ncongestion (GRC%): {:.2}\nWNS: {:.2}% of clock\nTNS: {:.1} ns\npeak cell density: {:.2}\n",
             metrics.wirelength_m,

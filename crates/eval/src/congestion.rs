@@ -8,10 +8,10 @@
 //! capacity, matching the "global routing overflow percentage" of Table III.
 
 use crate::placer::CellPlacement;
-use geometry::{Orientation, Point, Rect};
-use netlist::design::{CellId, CellKind, Design};
+use geometry::{Point, Rect};
+use netlist::design::{CellKind, Design};
+use netlist::PlacementView;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Configuration of the congestion estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,8 +61,21 @@ impl CongestionMap {
 pub fn estimate_congestion(
     design: &Design,
     placement: &CellPlacement,
-    macro_placement: &HashMap<CellId, (Point, Orientation)>,
+    macro_placement: &impl PlacementView,
     config: &CongestionConfig,
+) -> CongestionMap {
+    let port_pos: Vec<Option<Point>> = design.ports().map(|(_, p)| p.position).collect();
+    estimate_congestion_with_ports(design, placement, macro_placement, config, &port_pos)
+}
+
+/// [`estimate_congestion`] with a caller-provided port-position buffer (the
+/// `Evaluator` session reuses one across candidates).
+pub(crate) fn estimate_congestion_with_ports(
+    design: &Design,
+    placement: &CellPlacement,
+    macro_placement: &impl PlacementView,
+    config: &CongestionConfig,
+    port_pos: &[Option<Point>],
 ) -> CongestionMap {
     let die = design.die();
     let bins = config.bins.max(2);
@@ -75,7 +88,7 @@ pub fn estimate_congestion(
         .cells()
         .filter(|(_, c)| c.kind == CellKind::Macro)
         .filter_map(|(id, c)| {
-            macro_placement.get(&id).map(|&(loc, orient)| {
+            macro_placement.placement(id).map(|(loc, orient)| {
                 let (w, h) = orient.transformed_size(c.width, c.height);
                 Rect::from_size(loc.x, loc.y, w, h)
             })
@@ -94,10 +107,9 @@ pub fn estimate_congestion(
 
     // demand per bin (RUDY), walking the flat CSR net→pin arrays
     let csr = design.connectivity();
-    let port_pos: Vec<Option<Point>> = design.ports().map(|(_, p)| p.position).collect();
     let mut demand = vec![0.0f64; bins * bins];
     for net in design.net_ids() {
-        let Some(bb) = crate::wirelength::net_bounding_box(csr, net, placement, &port_pos) else {
+        let Some(bb) = crate::wirelength::net_bounding_box(csr, net, placement, port_pos) else {
             continue;
         };
         let wire = (bb.width() + bb.height()) as f64 * config.wire_pitch;
@@ -160,7 +172,13 @@ fn bin_index(offset: i64, bin_size: f64, bins: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netlist::design::DesignBuilder;
+    use geometry::Orientation;
+    use netlist::design::{CellId, DesignBuilder};
+    use std::collections::HashMap;
+
+    fn no_macros() -> HashMap<CellId, (Point, Orientation)> {
+        HashMap::new()
+    }
 
     fn chain_design(n: usize, die: Rect) -> Design {
         let mut b = DesignBuilder::new("t");
@@ -180,8 +198,7 @@ mod tests {
     fn empty_placement_has_no_congestion() {
         let d = chain_design(4, Rect::new(0, 0, 1000, 1000));
         let placement = CellPlacement::default();
-        let map =
-            estimate_congestion(&d, &placement, &HashMap::new(), &CongestionConfig::default());
+        let map = estimate_congestion(&d, &placement, &no_macros(), &CongestionConfig::default());
         assert_eq!(map.overflow_percent, 0.0);
         assert_eq!(map.peak_utilization, 0.0);
     }
@@ -207,7 +224,7 @@ mod tests {
                 .set_position(c, Point::new(10 + (i as i64 % 5) * 20, 10 + (i as i64 / 5) * 10));
         }
         let cfg = CongestionConfig { bins: 8, supply_per_dbu: 0.001, ..Default::default() };
-        let map = estimate_congestion(&d, &placement, &HashMap::new(), &cfg);
+        let map = estimate_congestion(&d, &placement, &no_macros(), &cfg);
         // the corner bin is the congested one
         assert!(map.at(0, 0) > map.at(7, 7));
         assert!(map.peak_utilization > 0.0);
@@ -229,8 +246,8 @@ mod tests {
             spread.set_position(c, Point::new((i as i64 * 61) % 3200, (i as i64 * 97) % 3200));
         }
         let cfg = CongestionConfig { bins: 8, supply_per_dbu: 0.0005, ..Default::default() };
-        let c_map = estimate_congestion(&d, &clustered, &HashMap::new(), &cfg);
-        let s_map = estimate_congestion(&d, &spread, &HashMap::new(), &cfg);
+        let c_map = estimate_congestion(&d, &clustered, &no_macros(), &cfg);
+        let s_map = estimate_congestion(&d, &spread, &no_macros(), &cfg);
         assert!(c_map.peak_utilization > s_map.peak_utilization);
     }
 
@@ -253,7 +270,7 @@ mod tests {
         mp.insert(m, (Point::new(0, 0), Orientation::N));
         let cfg = CongestionConfig { bins: 8, supply_per_dbu: 0.0004, ..Default::default() };
         let with_macro = estimate_congestion(&d, &placement, &mp, &cfg);
-        let without_macro = estimate_congestion(&d, &placement, &HashMap::new(), &cfg);
+        let without_macro = estimate_congestion(&d, &placement, &no_macros(), &cfg);
         // the same demand over reduced capacity gives higher utilization
         assert!(with_macro.peak_utilization >= without_macro.peak_utilization);
     }

@@ -1,10 +1,10 @@
 //! Standard-cell density maps (the Fig. 9 visualization).
 
 use crate::placer::CellPlacement;
-use geometry::{Orientation, Point, Rect};
-use netlist::design::{CellId, CellKind, Design};
+use geometry::Rect;
+use netlist::design::{CellKind, Design};
+use netlist::PlacementView;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A grid of standard-cell density (cell area per bin area).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,7 +22,7 @@ impl DensityMap {
     pub fn compute(
         design: &Design,
         placement: &CellPlacement,
-        macro_placement: &HashMap<CellId, (Point, Orientation)>,
+        macro_placement: &impl PlacementView,
         bins: usize,
     ) -> Self {
         let die = design.die();
@@ -35,7 +35,7 @@ impl DensityMap {
             .cells()
             .filter(|(_, c)| c.kind == CellKind::Macro)
             .filter_map(|(id, c)| {
-                macro_placement.get(&id).map(|&(loc, orient)| {
+                macro_placement.placement(id).map(|(loc, orient)| {
                     let (w, h) = orient.transformed_size(c.width, c.height);
                     Rect::from_size(loc.x, loc.y, w, h)
                 })
@@ -107,7 +107,13 @@ impl DensityMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netlist::design::DesignBuilder;
+    use geometry::{Orientation, Point};
+    use netlist::design::{CellId, DesignBuilder};
+    use std::collections::HashMap;
+
+    fn no_macros() -> HashMap<CellId, (Point, Orientation)> {
+        HashMap::new()
+    }
 
     #[test]
     fn density_concentrates_where_cells_are() {
@@ -122,7 +128,7 @@ mod tests {
         for &c in &cells {
             placement.set_position(c, Point::new(50, 50));
         }
-        let map = DensityMap::compute(&d, &placement, &HashMap::new(), 8);
+        let map = DensityMap::compute(&d, &placement, &no_macros(), 8);
         assert!(map.at(0, 0) > 0.0);
         assert_eq!(map.at(7, 7), 0.0);
         assert_eq!(map.peak(), map.at(0, 0));
@@ -142,7 +148,7 @@ mod tests {
         let mut mp = HashMap::new();
         mp.insert(m, (Point::new(0, 0), Orientation::N));
         let with_macro = DensityMap::compute(&d, &placement, &mp, 8);
-        let without = DensityMap::compute(&d, &placement, &HashMap::new(), 8);
+        let without = DensityMap::compute(&d, &placement, &no_macros(), 8);
         assert!(with_macro.at(0, 0) > without.at(0, 0));
     }
 
@@ -152,7 +158,7 @@ mod tests {
         b.add_comb("c", "");
         b.set_die(Rect::new(0, 0, 100, 100));
         let d = b.build();
-        let map = DensityMap::compute(&d, &CellPlacement::default(), &HashMap::new(), 4);
+        let map = DensityMap::compute(&d, &CellPlacement::default(), &no_macros(), 4);
         let art = map.to_ascii();
         assert_eq!(art.lines().count(), 4);
         assert!(art.lines().all(|l| l.chars().count() == 4));

@@ -17,7 +17,13 @@
 //! * [`density`] — standard-cell density maps (the Fig. 9 visualization),
 //! * [`visualize`] — SVG renderings of floorplans, density maps and dataflow
 //!   graphs (the paper's interactive visualization tool, as static output),
-//! * [`metrics`] — a one-call driver producing all of the above.
+//! * [`metrics`] — the [`Evaluator`] session driving all of the above.
+//!
+//! Placements enter the pipeline through the dense, id-indexed
+//! [`netlist::PlacementView`] trait: flow outputs evaluate directly
+//! (`evaluator.evaluate(&design, &placement)`), with no intermediate
+//! `HashMap`. Build one [`Evaluator`] per sweep — it caches the sequential
+//! graph and its scratch buffers across candidates.
 
 pub mod congestion;
 pub mod density;
@@ -29,7 +35,9 @@ pub mod wirelength;
 
 pub use congestion::{CongestionConfig, CongestionMap};
 pub use density::DensityMap;
-pub use metrics::{evaluate_placement, EvalConfig, PlacementMetrics};
+#[allow(deprecated)]
+pub use metrics::evaluate_placement;
+pub use metrics::{EvalConfig, Evaluator, PlacementMetrics, SeqGraphCache};
 pub use placer::{place_standard_cells, CellPlacement, PlacerConfig};
 pub use timing::{TimingConfig, TimingReport};
-pub use wirelength::{total_hpwl, Hpwl};
+pub use wirelength::{total_hpwl, Hpwl, IncrementalHpwl};

@@ -1,17 +1,20 @@
-//! One-call evaluation pipeline: place the standard cells, then measure
-//! wirelength, congestion, timing and density — the columns of Table III.
+//! The evaluation session: an [`Evaluator`] that places the standard cells,
+//! then measures wirelength, congestion, timing and density — the columns of
+//! Table III — for any number of candidate placements.
 
-use crate::congestion::{estimate_congestion, CongestionConfig, CongestionMap};
+use crate::congestion::{estimate_congestion_with_ports, CongestionConfig, CongestionMap};
 use crate::density::DensityMap;
 use crate::placer::{place_standard_cells, CellPlacement, PlacerConfig};
 use crate::timing::{estimate_timing, TimingConfig, TimingReport};
-use crate::wirelength::{total_hpwl, Hpwl};
+use crate::wirelength::{total_hpwl_with_ports, Hpwl};
 use geometry::{Orientation, Point};
 use graphs::seqgraph::SeqGraphConfig;
 use graphs::SeqGraph;
 use netlist::design::{CellId, Design};
+use netlist::PlacementView;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the whole evaluation pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -75,29 +78,251 @@ impl PlacementMetrics {
     }
 }
 
-/// Evaluates a macro placement: places the standard cells around it with the
-/// shared placer, then measures every Table III metric.
+/// The identity of a design for the purposes of the sequential-graph cache:
+/// the name, every id-family size, a build-time hash of the full
+/// connectivity, and a hash of everything else `Gseq` construction reads —
+/// the kinds and names of the sequential elements (flop/macro/port names
+/// drive the array clustering). Two designs differing in any of these get
+/// distinct keys, so a shared session never reuses a stale graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DesignKey {
+    name: String,
+    num_cells: usize,
+    num_nets: usize,
+    num_ports: usize,
+    num_macros: usize,
+    /// Build-time hash of the full cell↔net incidence
+    /// ([`netlist::Connectivity::fingerprint`]): designs that collide on
+    /// name and counts but differ in wiring still get distinct keys.
+    connectivity: u64,
+    /// FNV-1a over the kind and name of every sequential cell and every
+    /// port — the inputs of `Gseq`'s name-based array clustering.
+    seq_names: u64,
+}
+
+impl DesignKey {
+    fn of(design: &Design) -> Self {
+        Self {
+            name: design.name().to_string(),
+            num_cells: design.num_cells(),
+            num_nets: design.num_nets(),
+            num_ports: design.num_ports(),
+            num_macros: design.num_macros(),
+            connectivity: design.connectivity().fingerprint(),
+            seq_names: Self::seq_name_hash(design),
+        }
+    }
+
+    /// Hashes what `SeqGraph::from_netgraph` clusters on besides the wiring:
+    /// the kind and name of every non-combinational cell, and every port
+    /// name. Combinational cells are collapsed by construction, so their
+    /// names cannot affect the graph.
+    fn seq_name_hash(design: &Design) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            // separator so concatenations cannot collide
+            h ^= 0xff;
+            h = h.wrapping_mul(PRIME);
+        };
+        for (_, cell) in design.cells() {
+            if cell.kind != netlist::design::CellKind::Comb {
+                eat(&[cell.kind as u8]);
+                eat(cell.name.as_bytes());
+            }
+        }
+        for (_, port) in design.ports() {
+            eat(port.name.as_bytes());
+        }
+        h
+    }
+}
+
+/// A cheap-clone, thread-safe cache of the sequential graph keyed by design
+/// identity — the state an evaluation session shares across candidates (and,
+/// via clones, across the worker threads of a sweep).
+///
+/// The first evaluation of a design builds `Gseq` (holding the lock, so
+/// concurrent workers wait instead of duplicating the build); every later
+/// evaluation of the same design reuses the `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct SeqGraphCache {
+    slot: Arc<Mutex<CachedSeqGraph>>,
+}
+
+/// The cache slot: the identity of the cached design and its shared graph.
+type CachedSeqGraph = Option<(DesignKey, Arc<SeqGraph>)>;
+
+impl SeqGraphCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sequential graph of `design`, built on first use and cached.
+    pub fn get_or_build(&self, design: &Design) -> Arc<SeqGraph> {
+        let key = DesignKey::of(design);
+        let mut slot = self.slot.lock().expect("seq-graph cache lock");
+        if let Some((cached_key, gseq)) = slot.as_ref() {
+            if *cached_key == key {
+                return gseq.clone();
+            }
+        }
+        let gseq = Arc::new(SeqGraph::from_design(design, &SeqGraphConfig::default()));
+        *slot = Some((key, gseq.clone()));
+        gseq
+    }
+}
+
+/// An evaluation session: owns the [`EvalConfig`], the cached sequential
+/// graph and reusable scratch buffers, and measures any number of candidate
+/// placements through [`Evaluator::evaluate`].
+///
+/// Build one per sweep and reuse it — every candidate after the first skips
+/// the `Gseq` reconstruction that dominated the old per-call
+/// `evaluate_placement` path. Cloning an `Evaluator` shares the graph cache
+/// (but not the scratch buffers), so per-worker clones in a parallel sweep
+/// still build `Gseq` only once.
+///
+/// # Example
+///
+/// ```
+/// use eval::{EvalConfig, Evaluator};
+/// use geometry::{Orientation, Point, Rect};
+/// use netlist::design::DesignBuilder;
+/// use netlist::DenseMacroPlacementView;
+///
+/// let mut b = DesignBuilder::new("t");
+/// let m = b.add_macro("ram", "RAM", 50_000, 50_000, "");
+/// for i in 0..8 {
+///     let f = b.add_flop(format!("d_reg[{i}]"), "");
+///     let n = b.add_net(format!("n{i}"));
+///     b.connect_driver(n, f);
+///     b.connect_sink(n, m);
+/// }
+/// b.set_die(Rect::new(0, 0, 400_000, 400_000));
+/// let design = b.build();
+///
+/// // Build the session once, evaluate a whole sweep of candidates through
+/// // it: the sequential graph is constructed on the first call only.
+/// let mut evaluator = Evaluator::new(EvalConfig::standard());
+/// let mut best: Option<(i128, Point)> = None;
+/// for x in [10_000, 150_000, 300_000] {
+///     let mut candidate = DenseMacroPlacementView::with_num_cells(design.num_cells());
+///     candidate.place(m, Point::new(x, 10_000), Orientation::N);
+///     let metrics = evaluator.evaluate(&design, &candidate);
+///     if best.map(|(wl, _)| metrics.hpwl.dbu < wl).unwrap_or(true) {
+///         best = Some((metrics.hpwl.dbu, Point::new(x, 10_000)));
+///     }
+/// }
+/// assert!(best.is_some());
+/// ```
+#[derive(Debug)]
+pub struct Evaluator {
+    config: EvalConfig,
+    cache: SeqGraphCache,
+    /// Scratch: port positions, refilled (not reallocated) per candidate.
+    scratch_ports: Vec<Option<Point>>,
+}
+
+impl Clone for Evaluator {
+    fn clone(&self) -> Self {
+        Self { config: self.config, cache: self.cache.clone(), scratch_ports: Vec::new() }
+    }
+}
+
+impl Evaluator {
+    /// A session with the given configuration and a fresh graph cache.
+    pub fn new(config: EvalConfig) -> Self {
+        Self { config, cache: SeqGraphCache::new(), scratch_ports: Vec::new() }
+    }
+
+    /// A session with the standard configuration ([`EvalConfig::standard`]).
+    pub fn standard() -> Self {
+        Self::new(EvalConfig::standard())
+    }
+
+    /// A session sharing an existing graph cache (used by sweep front ends so
+    /// all workers of a batch reuse one `Gseq`).
+    pub fn with_cache(config: EvalConfig, cache: SeqGraphCache) -> Self {
+        Self { config, cache, scratch_ports: Vec::new() }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// The session's shared graph cache (clone it into sibling sessions).
+    pub fn cache(&self) -> &SeqGraphCache {
+        &self.cache
+    }
+
+    /// The cached sequential graph of `design`, building it if needed.
+    pub fn seq_graph(&self, design: &Design) -> Arc<SeqGraph> {
+        self.cache.get_or_build(design)
+    }
+
+    /// Evaluates a macro placement: places the standard cells around it with
+    /// the shared placer, then measures every Table III metric.
+    ///
+    /// Accepts any [`PlacementView`]; flow outputs evaluate directly, with no
+    /// intermediate map.
+    pub fn evaluate(
+        &mut self,
+        design: &Design,
+        macro_placement: &impl PlacementView,
+    ) -> PlacementMetrics {
+        let config = self.config;
+        let cell_placement = place_standard_cells(design, macro_placement, &config.placer);
+        self.scratch_ports.clear();
+        self.scratch_ports.extend(design.ports().map(|(_, p)| p.position));
+        let hpwl = total_hpwl_with_ports(design, &cell_placement, &self.scratch_ports);
+        let congestion = estimate_congestion_with_ports(
+            design,
+            &cell_placement,
+            macro_placement,
+            &config.congestion,
+            &self.scratch_ports,
+        );
+        let gseq = self.seq_graph(design);
+        let timing = estimate_timing(design, &gseq, &cell_placement, &config.timing);
+        let density =
+            DensityMap::compute(design, &cell_placement, macro_placement, config.density_bins);
+        PlacementMetrics {
+            wirelength_m: hpwl.meters(config.dbu_per_micron),
+            hpwl,
+            congestion,
+            timing,
+            density,
+            cell_placement,
+        }
+    }
+}
+
+/// Evaluates a macro placement in one call.
+///
+/// This is the pre-session API kept as a thin shim: it builds a throwaway
+/// [`Evaluator`] — and therefore reconstructs the sequential graph — on
+/// every call. Sweeps evaluating more than one candidate should build an
+/// `Evaluator` once instead:
+/// `Evaluator::new(*config).evaluate(design, &placement)`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `Evaluator` once and call `evaluate(design, &placement)`; \
+            this shim rebuilds the sequential graph on every call"
+)]
 pub fn evaluate_placement(
     design: &Design,
     macro_placement: &HashMap<CellId, (Point, Orientation)>,
     config: &EvalConfig,
 ) -> PlacementMetrics {
-    let cell_placement = place_standard_cells(design, macro_placement, &config.placer);
-    let hpwl = total_hpwl(design, &cell_placement);
-    let congestion =
-        estimate_congestion(design, &cell_placement, macro_placement, &config.congestion);
-    let gseq = SeqGraph::from_design(design, &SeqGraphConfig::default());
-    let timing = estimate_timing(design, &gseq, &cell_placement, &config.timing);
-    let density =
-        DensityMap::compute(design, &cell_placement, macro_placement, config.density_bins);
-    PlacementMetrics {
-        wirelength_m: hpwl.meters(config.dbu_per_micron),
-        hpwl,
-        congestion,
-        timing,
-        density,
-        cell_placement,
-    }
+    Evaluator::new(*config).evaluate(design, macro_placement)
 }
 
 #[cfg(test)]
@@ -125,7 +350,7 @@ mod tests {
         let (d, m) = design();
         let mut mp = HashMap::new();
         mp.insert(m, (Point::new(10_000, 10_000), Orientation::N));
-        let metrics = evaluate_placement(&d, &mp, &EvalConfig::standard());
+        let metrics = Evaluator::standard().evaluate(&d, &mp);
         assert!(metrics.hpwl.dbu > 0);
         assert!(metrics.wirelength_m > 0.0);
         assert!(metrics.grc_percent() >= 0.0);
@@ -160,21 +385,105 @@ mod tests {
         near.insert(m2, (Point::new(20_000, 175_000), Orientation::N));
         let mut far = HashMap::new();
         far.insert(m2, (Point::new(350_000, 0), Orientation::N));
-        let cfg = EvalConfig::standard();
-        let near_m = evaluate_placement(&d2, &near, &cfg);
-        let far_m = evaluate_placement(&d2, &far, &cfg);
+        // one session across two candidates of the same design
+        let mut evaluator = Evaluator::standard();
+        let near_m = evaluator.evaluate(&d2, &near);
+        let far_m = evaluator.evaluate(&d2, &far);
         assert!(near_m.hpwl.dbu < far_m.hpwl.dbu, "macro near its port should give lower HPWL");
         let _ = (d, m);
     }
 
     #[test]
-    fn metrics_are_deterministic() {
+    fn metrics_are_deterministic_and_shim_agrees() {
         let (d, m) = design();
         let mut mp = HashMap::new();
         mp.insert(m, (Point::new(10_000, 10_000), Orientation::N));
-        let a = evaluate_placement(&d, &mp, &EvalConfig::standard());
-        let b = evaluate_placement(&d, &mp, &EvalConfig::standard());
+        let mut evaluator = Evaluator::standard();
+        let a = evaluator.evaluate(&d, &mp);
+        let b = evaluator.evaluate(&d, &mp);
         assert_eq!(a.hpwl, b.hpwl);
         assert_eq!(a.timing, b.timing);
+        // the deprecated one-shot shim produces bit-identical metrics
+        #[allow(deprecated)]
+        let shim = evaluate_placement(&d, &mp, &EvalConfig::standard());
+        assert_eq!(shim, a);
+    }
+
+    #[test]
+    fn session_cache_is_invalidated_across_designs() {
+        let (d, m) = design();
+        // a different design with the same name but different shape: the
+        // macro feeds two distinct register arrays → two stage edges
+        let mut b = DesignBuilder::new("t");
+        let m2 = b.add_macro("ram2", "RAM", 50_000, 50_000, "");
+        let f = b.add_flop("q_reg[0]", "");
+        let g = b.add_flop("r_reg[0]", "");
+        let n = b.add_net("n");
+        let n2 = b.add_net("n2");
+        b.connect_driver(n, m2);
+        b.connect_sink(n, f);
+        b.connect_driver(n2, m2);
+        b.connect_sink(n2, g);
+        b.set_die(Rect::new(0, 0, 400_000, 400_000));
+        let d2 = b.build();
+
+        let mut evaluator = Evaluator::standard();
+        let mut mp = HashMap::new();
+        mp.insert(m, (Point::new(10_000, 10_000), Orientation::N));
+        let first = evaluator.evaluate(&d, &mp);
+        let mut mp2 = HashMap::new();
+        mp2.insert(m2, (Point::new(10_000, 10_000), Orientation::N));
+        let second = evaluator.evaluate(&d2, &mp2);
+        // a stale cached graph would report the first design's edge count
+        assert_eq!(first.timing.analyzed_edges, 1); // data_reg → ram
+        assert_eq!(second.timing.analyzed_edges, 2); // ram2 → {q_reg, r_reg}
+                                                     // and a fresh session on d2 agrees with the shared-session result
+        assert_eq!(Evaluator::standard().evaluate(&d2, &mp2), second);
+    }
+
+    #[test]
+    fn session_cache_rebuilds_for_rewired_design_with_identical_counts() {
+        // same name, same cell/net/port/pin counts — only the wiring differs:
+        // the macro's output either stays inside one array or fans out to two
+        let build = |split: bool| {
+            let mut b = DesignBuilder::new("t");
+            let m = b.add_macro("ram", "RAM", 50_000, 50_000, "");
+            let f = b.add_flop("q_reg[0]", "");
+            let g = b.add_flop(if split { "r_reg[0]" } else { "q_reg[1]" }, "");
+            let n = b.add_net("n");
+            let n2 = b.add_net("n2");
+            b.connect_driver(n, m);
+            b.connect_sink(n, f);
+            b.connect_driver(n2, m);
+            b.connect_sink(n2, g);
+            b.set_die(Rect::new(0, 0, 400_000, 400_000));
+            (b.build(), m)
+        };
+        let (one_array, m1) = build(false);
+        let (two_arrays, m2) = build(true);
+        let mut mp = HashMap::new();
+        mp.insert(m1, (Point::new(10_000, 10_000), Orientation::N));
+        let mut evaluator = Evaluator::standard();
+        let first = evaluator.evaluate(&one_array, &mp);
+        let mut mp2 = HashMap::new();
+        mp2.insert(m2, (Point::new(10_000, 10_000), Orientation::N));
+        let second = evaluator.evaluate(&two_arrays, &mp2);
+        // a stale cached graph would leave the edge count at 1
+        assert_eq!(first.timing.analyzed_edges, 1); // ram → q_reg (2 bits)
+        assert_eq!(second.timing.analyzed_edges, 2); // ram → {q_reg, r_reg}
+    }
+
+    #[test]
+    fn cloned_sessions_share_the_graph_cache() {
+        let (d, m) = design();
+        let evaluator = Evaluator::standard();
+        let gseq = evaluator.seq_graph(&d);
+        let clone = evaluator.clone();
+        assert!(Arc::ptr_eq(&gseq, &clone.seq_graph(&d)));
+        let mut mp = HashMap::new();
+        mp.insert(m, (Point::new(10_000, 10_000), Orientation::N));
+        let mut a = evaluator;
+        let mut b = clone;
+        assert_eq!(a.evaluate(&d, &mp), b.evaluate(&d, &mp));
     }
 }

@@ -18,15 +18,20 @@
 //! All per-cell state lives in dense id-indexed arrays and every netlist
 //! traversal runs over the design's CSR [`netlist::Connectivity`] view, so
 //! the Gauss–Seidel inner loop touches no hash map and no per-cell `Vec`s.
+//! The sweeps maintain exact per-net position sums under each cell move
+//! (Σ degree listing-visits per iteration instead of Σ degree² pin-visits),
+//! which is bit-identical to rescanning every net's pins because the star
+//! sums are integer arithmetic; `bench::reference` preserves the rescan
+//! formulation and `bench_placer` asserts the equality at `large_soc` scale.
 
 use geometry::{Orientation, Point, Rect};
 use netlist::dense::DenseMap;
 use netlist::design::{CellId, CellKind, Design};
+use netlist::PlacementView;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Configuration of the standard-cell placer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,10 +95,12 @@ impl CellPlacement {
 
 /// Places the standard cells of a design around a fixed macro placement.
 ///
-/// `macro_placement` maps each macro to its lower-left corner and orientation.
+/// `macro_placement` is any [`PlacementView`] giving each macro's lower-left
+/// corner and orientation — the flow output (`hidap::MacroPlacement`), a
+/// dense view or a hand-built `HashMap`.
 pub fn place_standard_cells(
     design: &Design,
-    macro_placement: &HashMap<CellId, (Point, Orientation)>,
+    macro_placement: &impl PlacementView,
     config: &PlacerConfig,
 ) -> CellPlacement {
     let die = design.die();
@@ -114,7 +121,7 @@ pub fn place_standard_cells(
     for (id, cell) in design.cells() {
         if cell.kind == CellKind::Macro {
             let (loc, orient) =
-                macro_placement.get(&id).copied().unwrap_or((die_center, Orientation::N));
+                macro_placement.placement(id).unwrap_or((die_center, Orientation::N));
             let (w, h) = orient.transformed_size(cell.width, cell.height);
             let rect = Rect::from_size(loc.x, loc.y, w, h);
             pos[id.0 as usize] = rect.center();
@@ -123,10 +130,37 @@ pub fn place_standard_cells(
         }
     }
 
-    // Initial positions: centroid of connected already-placed objects (macros,
-    // ports, and cells initialized earlier in this very sweep), else die
-    // center with a small deterministic jitter so co-located cells can spread.
-    let mut placed: Vec<bool> = is_fixed.clone();
+    // Initial positions: centroid of connected already-placed drivers
+    // (macros, ports, and cells initialized earlier in this very sweep), else
+    // die center with a small deterministic jitter so co-located cells can
+    // spread.
+    //
+    // Instead of rescanning every pin of every incident net per cell
+    // (Σ degree² work), per-net running sums of the placed driver positions
+    // are maintained and updated as cells place — exact integer arithmetic,
+    // so the result is bit-identical to the rescan.
+    let num_nets = design.num_nets();
+    let mut drv_sum_x = vec![0i128; num_nets];
+    let mut drv_sum_y = vec![0i128; num_nets];
+    let mut drv_count = vec![0i128; num_nets];
+    for net in design.net_ids() {
+        for &pin in csr.pins(net) {
+            if !pin.is_driver() {
+                continue;
+            }
+            let p = match pin.cell() {
+                // only macros are placed before the init sweep starts
+                Some(d) => is_fixed[d.0 as usize].then(|| pos[d.0 as usize]),
+                None => pin.port().and_then(|p| port_pos[p.0 as usize]),
+            };
+            if let Some(p) = p {
+                let i = net.0 as usize;
+                drv_sum_x[i] += p.x as i128;
+                drv_sum_y[i] += p.y as i128;
+                drv_count[i] += 1;
+            }
+        }
+    }
     for (id, cell) in design.cells() {
         if cell.kind == CellKind::Macro {
             continue;
@@ -134,23 +168,9 @@ pub fn place_standard_cells(
         let mut sum = (0i128, 0i128);
         let mut count = 0i128;
         for &net in csr.nets_of(id) {
-            for &pin in csr.pins(net) {
-                if !pin.is_driver() {
-                    continue;
-                }
-                if let Some(d) = pin.cell() {
-                    if placed[d.0 as usize] {
-                        let p = pos[d.0 as usize];
-                        sum.0 += p.x as i128;
-                        sum.1 += p.y as i128;
-                        count += 1;
-                    }
-                } else if let Some(p) = pin.port().and_then(|p| port_pos[p.0 as usize]) {
-                    sum.0 += p.x as i128;
-                    sum.1 += p.y as i128;
-                    count += 1;
-                }
-            }
+            sum.0 += drv_sum_x[net.0 as usize];
+            sum.1 += drv_sum_y[net.0 as usize];
+            count += drv_count[net.0 as usize];
         }
         let base = if count > 0 {
             Point::new((sum.0 / count) as i64, (sum.1 / count) as i64)
@@ -159,39 +179,94 @@ pub fn place_standard_cells(
         };
         let jitter_x = rng.gen_range(-(die.width() / 64).max(1)..=(die.width() / 64).max(1));
         let jitter_y = rng.gen_range(-(die.height() / 64).max(1)..=(die.height() / 64).max(1));
-        pos[id.0 as usize] = die.clamp_point(base.translated(jitter_x, jitter_y));
-        placed[id.0 as usize] = true;
+        let placed_at = die.clamp_point(base.translated(jitter_x, jitter_y));
+        pos[id.0 as usize] = placed_at;
+        // this cell's driver pins now count for cells initialized after it
+        for &net in csr.fanout(id) {
+            let i = net.0 as usize;
+            drv_sum_x[i] += placed_at.x as i128;
+            drv_sum_y[i] += placed_at.y as i128;
+            drv_count[i] += 1;
+        }
     }
 
     // Gauss–Seidel sweeps over the star wirelength model: every cell moves to
     // the average position of the other pins on its nets. The sums are exact
-    // integer arithmetic, so pin order inside a net does not affect the result.
+    // integer arithmetic, so pin order inside a net does not affect the
+    // result — which is what makes the incremental formulation below
+    // bit-identical to a per-cell rescan of every net's pins.
+    //
+    // Per net, `S_n` = Σ positions of all its pins (every cell pin at its
+    // current working position, plus the placed ports) and `C_n` = that pin
+    // count. A cell's star target is Σ_n (S_n − occ·p_cell) / Σ_n (C_n − occ)
+    // over its incident net listings, where `occ` is how many pins the cell
+    // itself has on the net; after the move, each incident net's sum shifts
+    // by the position delta once per pin. This turns the sweep from
+    // Σ degree² pin visits per iteration into Σ degree listing visits.
+    let mut net_sum_x = vec![0i128; num_nets];
+    let mut net_sum_y = vec![0i128; num_nets];
+    let mut net_count = vec![0i128; num_nets];
+    for net in design.net_ids() {
+        for &pin in csr.pins(net) {
+            let p = match pin.cell() {
+                Some(c) => Some(pos[c.0 as usize]),
+                None => pin.port().and_then(|p| port_pos[p.0 as usize]),
+            };
+            if let Some(p) = p {
+                let i = net.0 as usize;
+                net_sum_x[i] += p.x as i128;
+                net_sum_y[i] += p.y as i128;
+                net_count[i] += 1;
+            }
+        }
+    }
+    // occurrences of the owning cell on each of its incident net listings
+    // (flat, aligned with the concatenation of `nets_of(cell)` slices): a
+    // cell that both drives and sinks a net has occ 2 on both listings
+    let occ: Vec<i128> = {
+        let mut occ = Vec::with_capacity(csr.num_pins());
+        for id in design.cell_ids() {
+            let listings = csr.nets_of(id);
+            for &net in listings {
+                occ.push(listings.iter().filter(|&&m| m == net).count() as i128);
+            }
+        }
+        occ
+    };
+    let mut occ_start = vec![0usize; n + 1];
+    for id in 0..n {
+        occ_start[id + 1] = occ_start[id] + csr.nets_of(CellId(id as u32)).len();
+    }
     for _ in 0..config.iterations {
         for id in 0..n {
             if is_fixed[id] {
                 continue;
             }
+            let listings = csr.nets_of(CellId(id as u32));
+            let old = pos[id];
             let mut sum = (0i128, 0i128);
             let mut count = 0i128;
-            for &net in csr.nets_of(CellId(id as u32)) {
-                for &pin in csr.pins(net) {
-                    if let Some(c) = pin.cell() {
-                        if c.0 as usize != id {
-                            let p = pos[c.0 as usize];
-                            sum.0 += p.x as i128;
-                            sum.1 += p.y as i128;
-                            count += 1;
-                        }
-                    } else if let Some(p) = pin.port().and_then(|p| port_pos[p.0 as usize]) {
-                        sum.0 += p.x as i128;
-                        sum.1 += p.y as i128;
-                        count += 1;
-                    }
-                }
+            for (j, &net) in listings.iter().enumerate() {
+                let o = occ[occ_start[id] + j];
+                let i = net.0 as usize;
+                sum.0 += net_sum_x[i] - o * old.x as i128;
+                sum.1 += net_sum_y[i] - o * old.y as i128;
+                count += net_count[i] - o;
             }
             if count > 0 {
                 let target = Point::new((sum.0 / count) as i64, (sum.1 / count) as i64);
-                pos[id] = die.clamp_point(target);
+                let new = die.clamp_point(target);
+                if new != old {
+                    let dx = (new.x - old.x) as i128;
+                    let dy = (new.y - old.y) as i128;
+                    // one update per listing = one update per pin of the cell
+                    for &net in listings {
+                        let i = net.0 as usize;
+                        net_sum_x[i] += dx;
+                        net_sum_y[i] += dy;
+                    }
+                    pos[id] = new;
+                }
             }
         }
     }
@@ -326,6 +401,7 @@ fn nearest_bin_with_room(
 mod tests {
     use super::*;
     use netlist::design::{DesignBuilder, PortDirection};
+    use std::collections::HashMap;
 
     fn design_with_macro_and_cells() -> (Design, CellId) {
         let mut b = DesignBuilder::new("t");
@@ -415,7 +491,8 @@ mod tests {
         b.set_die(Rect::new(0, 0, 320, 320));
         let d = b.build();
         let cfg = PlacerConfig { bins: 8, target_utilization: 0.5, ..Default::default() };
-        let placement = place_standard_cells(&d, &HashMap::new(), &cfg);
+        let no_macros: HashMap<CellId, (Point, Orientation)> = HashMap::new();
+        let placement = place_standard_cells(&d, &no_macros, &cfg);
         // count cells per bin
         let mut counts = vec![vec![0usize; 8]; 8];
         for (_, p) in placement.placed() {

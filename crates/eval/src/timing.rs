@@ -14,6 +14,7 @@
 use crate::placer::CellPlacement;
 use geometry::Point;
 use graphs::{SeqGraph, SeqNodeId};
+use netlist::dense::DenseMap;
 use netlist::design::Design;
 use serde::{Deserialize, Serialize};
 
@@ -60,9 +61,9 @@ pub fn estimate_timing(
     config: &TimingConfig,
 ) -> TimingReport {
     let die_center = design.die().center();
-    let positions: Vec<Point> = (0..gseq.num_nodes())
-        .map(|i| node_position(design, gseq, SeqNodeId(i as u32), placement).unwrap_or(die_center))
-        .collect();
+    let positions: DenseMap<SeqNodeId, Point> = DenseMap::from_fn(gseq.num_nodes(), |id| {
+        node_position(design, gseq, id, placement).unwrap_or(die_center)
+    });
 
     let mut worst_slack = f64::INFINITY;
     let mut analyzed = 0usize;
@@ -70,7 +71,8 @@ pub fn estimate_timing(
     let mut endpoint_slack: Vec<f64> = vec![f64::INFINITY; gseq.num_nodes()];
     for src in 0..gseq.num_nodes() {
         for &(dst, _bits) in gseq.successors(SeqNodeId(src as u32)) {
-            let dist = positions[src].manhattan_distance(positions[dst]) as f64;
+            let dist = positions[SeqNodeId(src as u32)]
+                .manhattan_distance(positions[SeqNodeId(dst as u32)]) as f64;
             let delay = config.stage_delay_ps + config.wire_delay_ps_per_dbu * dist;
             let slack = config.clock_period_ps - delay;
             worst_slack = worst_slack.min(slack);

@@ -12,9 +12,9 @@
 //! files open in any browser.
 
 use crate::density::DensityMap;
-use geometry::{Orientation, Point, Rect};
-use netlist::design::{CellId, Design};
-use std::collections::HashMap;
+use geometry::{Point, Rect};
+use netlist::design::Design;
+use netlist::PlacementView;
 use std::fmt::Write as _;
 
 /// Canvas width of the generated SVGs in pixels (height follows the die
@@ -97,14 +97,13 @@ fn xml_escape(s: &str) -> String {
 
 /// Renders a macro placement as SVG: macros as dark rectangles with their
 /// instance names, ports as small circles on the boundary.
-pub fn floorplan_svg(
-    design: &Design,
-    macro_placement: &HashMap<CellId, (Point, Orientation)>,
-    title: &str,
-) -> String {
+///
+/// Accepts any [`PlacementView`] — the flow output renders directly, no
+/// intermediate map.
+pub fn floorplan_svg(design: &Design, macro_placement: &impl PlacementView, title: &str) -> String {
     let mut canvas = Canvas::new(design.die());
-    for (id, &(loc, orient)) in macro_placement {
-        let cell = design.cell(*id);
+    for (id, loc, orient) in macro_placement.iter_placed() {
+        let cell = design.cell(id);
         let (w, h) = orient.transformed_size(cell.width, cell.height);
         let rect = Rect::from_size(loc.x, loc.y, w, h);
         let short = cell.name.rsplit('/').next().unwrap_or(&cell.name);
@@ -183,7 +182,9 @@ pub fn dataflow_svg(
 mod tests {
     use super::*;
     use crate::placer::CellPlacement;
-    use netlist::design::{DesignBuilder, PortDirection};
+    use geometry::Orientation;
+    use netlist::design::{CellId, DesignBuilder, PortDirection};
+    use std::collections::HashMap;
 
     fn design() -> (Design, CellId) {
         let mut b = DesignBuilder::new("t");
@@ -209,7 +210,8 @@ mod tests {
     #[test]
     fn density_svg_has_one_cell_per_bin() {
         let (d, _) = design();
-        let density = DensityMap::compute(&d, &CellPlacement::default(), &HashMap::new(), 4);
+        let no_macros: HashMap<CellId, (Point, Orientation)> = HashMap::new();
+        let density = DensityMap::compute(&d, &CellPlacement::default(), &no_macros, 4);
         let svg = density_svg(d.die(), &density, "density");
         assert_eq!(svg.matches("<rect").count(), 1 + 16); // background + bins
     }

@@ -23,6 +23,20 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SeqNodeId(pub u32);
 
+/// Sequential-node ids are dense (`0..num_nodes`), so per-node data can live
+/// in a [`netlist::DenseMap`] like the design id families.
+impl netlist::dense::DenseId for SeqNodeId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
+}
+
 /// Kind of a sequential-graph node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SeqNodeKind {

@@ -51,8 +51,10 @@ impl MacroPlacement {
         Rect::from_size(p.location.x, p.location.y, w, h)
     }
 
-    /// Converts to a map keyed by cell id (the representation used by the
-    /// DEF writer and the evaluation crate).
+    /// Converts to a map keyed by cell id — the legacy interchange shape,
+    /// kept for callers that still need an owned `HashMap`. Evaluation and
+    /// DEF/SVG writing read a `MacroPlacement` directly through
+    /// [`netlist::PlacementView`]; prefer that over materializing a map.
     pub fn to_map(&self) -> HashMap<CellId, (Point, Orientation)> {
         self.macros.iter().map(|m| (m.cell, (m.location, m.orientation))).collect()
     }
@@ -111,10 +113,36 @@ impl MacroPlacement {
     }
 }
 
+/// Zero-copy read access for the evaluation pipeline and the DEF/SVG
+/// writers: lookups go through [`MacroPlacement::placement_of`] (a binary
+/// search over the sorted flow output), iteration walks the entry vector.
+impl netlist::PlacementView for MacroPlacement {
+    fn position(&self, cell: CellId) -> Option<Point> {
+        self.placement_of(cell).map(|m| m.location)
+    }
+
+    fn orientation(&self, cell: CellId) -> Option<Orientation> {
+        self.placement_of(cell).map(|m| m.orientation)
+    }
+
+    fn placement(&self, cell: CellId) -> Option<(Point, Orientation)> {
+        self.placement_of(cell).map(|m| (m.location, m.orientation))
+    }
+
+    fn iter_placed(&self) -> Box<dyn Iterator<Item = (CellId, Point, Orientation)> + '_> {
+        Box::new(self.macros.iter().map(|m| (m.cell, m.location, m.orientation)))
+    }
+
+    fn len(&self) -> usize {
+        self.macros.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use netlist::design::DesignBuilder;
+    use netlist::PlacementView as _;
 
     fn two_macro_design() -> (Design, CellId, CellId) {
         let mut b = DesignBuilder::new("t");
@@ -227,5 +255,33 @@ mod tests {
             assert_eq!(entry.location, found.location);
             assert_eq!(entry.orientation, found.orientation);
         }
+        // the view-based DEF entries are identical to the map-based ones
+        assert_eq!(netlist::def::placement_entries_from_view(&d, &p, true), entries);
+    }
+
+    #[test]
+    fn placement_view_agrees_with_to_map() {
+        let (_, a, c) = two_macro_design();
+        let mut p = MacroPlacement::default();
+        p.macros.push(PlacedMacro {
+            cell: a,
+            location: Point::new(10, 20),
+            orientation: Orientation::FN,
+        });
+        p.macros.push(PlacedMacro {
+            cell: c,
+            location: Point::new(400, 500),
+            orientation: Orientation::W,
+        });
+        let map = p.to_map();
+        assert_eq!(p.len(), map.len());
+        for (&cell, &(loc, orient)) in &map {
+            assert_eq!(p.position(cell), Some(loc));
+            assert_eq!(p.orientation(cell), Some(orient));
+            assert_eq!(p.placement(cell), Some((loc, orient)));
+        }
+        let from_iter: HashMap<CellId, (Point, Orientation)> =
+            p.iter_placed().map(|(cell, loc, orient)| (cell, (loc, orient))).collect();
+        assert_eq!(from_iter, map);
     }
 }

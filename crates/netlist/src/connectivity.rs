@@ -115,6 +115,10 @@ pub struct Connectivity {
     /// Concatenated per-net pin lists in canonical order (driver cell, sink
     /// cells, driver port, sink ports).
     net_pins: Vec<PinRef>,
+    /// FNV-1a hash of the flat arrays, computed once at build time — a cheap
+    /// wiring identity for design-keyed caches (see
+    /// [`Connectivity::fingerprint`]).
+    fingerprint: u64,
 }
 
 impl Connectivity {
@@ -149,7 +153,54 @@ impl Connectivity {
             net_pin_start.push(net_pins.len() as u32);
         }
 
-        Self { cell_net_start, cell_fanout_start, cell_nets, net_pin_start, net_pins }
+        let mut view = Self {
+            cell_net_start,
+            cell_fanout_start,
+            cell_nets,
+            net_pin_start,
+            net_pins,
+            fingerprint: 0,
+        };
+        view.fingerprint = view.compute_fingerprint();
+        view
+    }
+
+    /// FNV-1a over every flat array word, folded at build time.
+    fn compute_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u32| {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for &w in &self.cell_net_start {
+            eat(w);
+        }
+        for &w in &self.cell_fanout_start {
+            eat(w);
+        }
+        for &n in &self.cell_nets {
+            eat(n.0);
+        }
+        for &w in &self.net_pin_start {
+            eat(w);
+        }
+        for &p in &self.net_pins {
+            eat(p.0);
+        }
+        h
+    }
+
+    /// A build-time hash of the full cell↔net incidence: two designs with
+    /// the same wiring share it, any re-wiring (even one swapped sink)
+    /// changes it. Used by evaluation-session caches to key per-design state
+    /// without holding a reference to the design.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of cells covered by the view.
@@ -274,6 +325,27 @@ mod tests {
         assert!(pins[1].is_port() && pins[1].is_driver());
         assert_eq!(pins[1].port(), d.find_port("pi"));
         assert_eq!(pins[1].cell(), None);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_rewired_designs_with_identical_counts() {
+        // two designs with the same name, cell/net/port counts and pin count,
+        // differing only in which cell a net sinks
+        let build = |swap: bool| {
+            let mut b = DesignBuilder::new("t");
+            let f = b.add_flop("f", "");
+            let g = b.add_comb("g", "");
+            let h = b.add_comb("h", "");
+            let n = b.add_net("n");
+            b.connect_driver(n, f);
+            b.connect_sink(n, if swap { h } else { g });
+            b.build()
+        };
+        let a = build(false);
+        let b = build(true);
+        assert_ne!(a.connectivity().fingerprint(), b.connectivity().fingerprint());
+        // identical wiring hashes identically
+        assert_eq!(a.connectivity().fingerprint(), build(false).connectivity().fingerprint());
     }
 
     #[test]

@@ -375,9 +375,20 @@ pub fn placement_entries(
     placements: &HashMap<CellId, (Point, Orientation)>,
     fixed: bool,
 ) -> Vec<PlacementEntry> {
+    placement_entries_from_view(design, placements, fixed)
+}
+
+/// Builds the [`PlacementEntry`] list for any [`crate::PlacementView`] — the
+/// flow output (`MacroPlacement`), a dense view or the legacy map — without
+/// materializing an intermediate `HashMap`.
+pub fn placement_entries_from_view(
+    design: &Design,
+    placements: &impl crate::PlacementView,
+    fixed: bool,
+) -> Vec<PlacementEntry> {
     let mut entries: Vec<PlacementEntry> = placements
-        .iter()
-        .map(|(&id, &(loc, orient))| {
+        .iter_placed()
+        .map(|(id, loc, orient)| {
             let cell = design.cell(id);
             PlacementEntry {
                 name: cell.name.clone(),

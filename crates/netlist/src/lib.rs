@@ -19,6 +19,8 @@
 //!   per-cell/per-net stores of the hot paths.
 //! * [`connectivity`] — the flat CSR cell↔net incidence view built once per
 //!   design and cached (`Design::connectivity`).
+//! * [`placement`] — the [`placement::PlacementView`] read trait over macro
+//!   placements, the dense interchange between flows, evaluation and DEF.
 //!
 //! # Example
 //!
@@ -45,6 +47,7 @@ pub mod error;
 pub mod hierarchy;
 pub mod lef;
 pub mod library;
+pub mod placement;
 pub mod verilog;
 
 pub use connectivity::{Connectivity, PinRef};
@@ -53,3 +56,4 @@ pub use design::{CellId, CellKind, Design, DesignBuilder, NetId, PortDirection, 
 pub use error::ParseError;
 pub use hierarchy::{HierarchyNodeId, HierarchyTree};
 pub use library::{Library, MacroDef, PinDef};
+pub use placement::{DenseMacroPlacementView, PlacementView};

@@ -1,0 +1,215 @@
+//! Dense, id-indexed read access to a macro placement: the [`PlacementView`]
+//! trait and its builder-friendly [`DenseMacroPlacementView`] implementation.
+//!
+//! The flow→evaluation boundary used to be a `HashMap<CellId, (Point,
+//! Orientation)>`: every caller materialized the map from the flow output
+//! (`MacroPlacement::to_map`) before handing it to the evaluation pipeline or
+//! the DEF writer, re-hashing every macro id per candidate.  [`PlacementView`]
+//! replaces that interchange type with a read-only trait the flow output
+//! implements *zero-copy*:
+//!
+//! * `hidap::MacroPlacement` — binary search over its sorted entries,
+//! * [`DenseMacroPlacementView`] — a [`DenseMap`]-backed store for builders
+//!   and tests,
+//! * `HashMap<CellId, (Point, Orientation)>` — an adapter kept for hand-built
+//!   test inputs (and for DEF files parsed into the legacy map shape).
+//!
+//! Consumers take `&impl PlacementView`, so every call site that used to pass
+//! `&placement.to_map()` now passes `&placement` directly.
+//!
+//! A placement's `position` is the **lower-left corner** of the oriented
+//! footprint — the same convention as the DEF `PLACED` location and the old
+//! map's `Point` — not the footprint center.
+
+use crate::dense::DenseMap;
+use crate::design::CellId;
+use geometry::{Orientation, Point};
+use std::collections::HashMap;
+
+/// Read-only, id-indexed access to a (macro) placement.
+///
+/// Implementations must be consistent: [`PlacementView::position`] and
+/// [`PlacementView::orientation`] return `Some` for exactly the cells that
+/// [`PlacementView::iter_placed`] yields, and [`PlacementView::len`] is the
+/// number of placed cells.
+pub trait PlacementView {
+    /// Lower-left corner of the placed cell, `None` when the cell is not
+    /// placed by this view.
+    fn position(&self, cell: CellId) -> Option<Point>;
+
+    /// Orientation of the placed cell, `None` when the cell is not placed.
+    fn orientation(&self, cell: CellId) -> Option<Orientation>;
+
+    /// Location and orientation in one lookup.
+    fn placement(&self, cell: CellId) -> Option<(Point, Orientation)> {
+        Some((self.position(cell)?, self.orientation(cell)?))
+    }
+
+    /// Iterates over the placed cells as `(cell, location, orientation)`.
+    ///
+    /// The iteration order is implementation-defined (id order for the dense
+    /// implementations, arbitrary for the `HashMap` adapter); callers that
+    /// need a canonical order sort the result (as the DEF writer does).
+    fn iter_placed(&self) -> Box<dyn Iterator<Item = (CellId, Point, Orientation)> + '_>;
+
+    /// Number of placed cells.
+    fn len(&self) -> usize;
+
+    /// Whether the view places no cell at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The legacy hash-map interchange shape as a [`PlacementView`], kept for
+/// hand-built test inputs and DEF-parsed placements.
+impl PlacementView for HashMap<CellId, (Point, Orientation)> {
+    fn position(&self, cell: CellId) -> Option<Point> {
+        self.get(&cell).map(|&(loc, _)| loc)
+    }
+
+    fn orientation(&self, cell: CellId) -> Option<Orientation> {
+        self.get(&cell).map(|&(_, orient)| orient)
+    }
+
+    fn placement(&self, cell: CellId) -> Option<(Point, Orientation)> {
+        self.get(&cell).copied()
+    }
+
+    fn iter_placed(&self) -> Box<dyn Iterator<Item = (CellId, Point, Orientation)> + '_> {
+        Box::new(self.iter().map(|(&cell, &(loc, orient))| (cell, loc, orient)))
+    }
+
+    fn len(&self) -> usize {
+        HashMap::len(self)
+    }
+}
+
+/// A dense, id-indexed macro placement store: one `Option<(Point,
+/// Orientation)>` slot per cell id, O(1) branch-free lookups.
+///
+/// This is the builder/test-side counterpart of the flow output: experiment
+/// harnesses that construct candidate placements directly (perturbation
+/// sweeps, hand-written fixtures) fill one of these instead of a `HashMap`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DenseMacroPlacementView {
+    slots: DenseMap<CellId, Option<(Point, Orientation)>>,
+    placed: usize,
+}
+
+impl DenseMacroPlacementView {
+    /// An empty view (slots grow on [`DenseMacroPlacementView::place`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An all-unplaced view covering `num_cells` cells.
+    pub fn with_num_cells(num_cells: usize) -> Self {
+        Self { slots: DenseMap::with_len(num_cells), placed: 0 }
+    }
+
+    /// Copies any other view into a dense store.
+    pub fn from_view(view: &impl PlacementView) -> Self {
+        let mut out = Self::new();
+        for (cell, loc, orient) in view.iter_placed() {
+            out.place(cell, loc, orient);
+        }
+        out
+    }
+
+    /// Places (or moves) a cell, growing the store as needed.
+    pub fn place(&mut self, cell: CellId, location: Point, orientation: Orientation) {
+        if self.slots.get(cell).map(|s| s.is_none()).unwrap_or(true) {
+            self.placed += 1;
+        }
+        self.slots.insert(cell, Some((location, orientation)));
+    }
+
+    /// Removes a cell's placement (no-op when it was not placed).
+    pub fn unplace(&mut self, cell: CellId) {
+        if let Some(slot) = self.slots.get_mut(cell) {
+            if slot.take().is_some() {
+                self.placed -= 1;
+            }
+        }
+    }
+}
+
+impl PlacementView for DenseMacroPlacementView {
+    fn position(&self, cell: CellId) -> Option<Point> {
+        self.placement(cell).map(|(loc, _)| loc)
+    }
+
+    fn orientation(&self, cell: CellId) -> Option<Orientation> {
+        self.placement(cell).map(|(_, orient)| orient)
+    }
+
+    fn placement(&self, cell: CellId) -> Option<(Point, Orientation)> {
+        self.slots.get(cell).copied().flatten()
+    }
+
+    fn iter_placed(&self) -> Box<dyn Iterator<Item = (CellId, Point, Orientation)> + '_> {
+        Box::new(self.slots.iter().filter_map(|(cell, slot)| slot.map(|(l, o)| (cell, l, o))))
+    }
+
+    fn len(&self) -> usize {
+        self.placed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_adapter_reads_back_entries() {
+        let mut map = HashMap::new();
+        map.insert(CellId(3), (Point::new(10, 20), Orientation::FN));
+        map.insert(CellId(7), (Point::new(0, 0), Orientation::N));
+        assert_eq!(map.position(CellId(3)), Some(Point::new(10, 20)));
+        assert_eq!(map.orientation(CellId(3)), Some(Orientation::FN));
+        assert_eq!(map.placement(CellId(7)), Some((Point::new(0, 0), Orientation::N)));
+        assert_eq!(map.position(CellId(0)), None);
+        assert_eq!(PlacementView::len(&map), 2);
+        assert!(!PlacementView::is_empty(&map));
+        let mut placed: Vec<_> = map.iter_placed().collect();
+        placed.sort_by_key(|&(c, _, _)| c);
+        assert_eq!(placed.len(), 2);
+        assert_eq!(placed[0].0, CellId(3));
+    }
+
+    #[test]
+    fn dense_view_places_unplaces_and_counts() {
+        let mut view = DenseMacroPlacementView::with_num_cells(4);
+        assert!(view.is_empty());
+        view.place(CellId(1), Point::new(5, 6), Orientation::S);
+        view.place(CellId(6), Point::new(7, 8), Orientation::N); // grows past 4
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.placement(CellId(1)), Some((Point::new(5, 6), Orientation::S)));
+        // replacing does not double-count
+        view.place(CellId(1), Point::new(9, 9), Orientation::N);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.position(CellId(1)), Some(Point::new(9, 9)));
+        view.unplace(CellId(1));
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.placement(CellId(1)), None);
+        // unplacing an out-of-range or already-empty slot is a no-op
+        view.unplace(CellId(100));
+        view.unplace(CellId(2));
+        assert_eq!(view.len(), 1);
+        let placed: Vec<_> = view.iter_placed().collect();
+        assert_eq!(placed, vec![(CellId(6), Point::new(7, 8), Orientation::N)]);
+    }
+
+    #[test]
+    fn from_view_round_trips_a_hashmap() {
+        let mut map = HashMap::new();
+        map.insert(CellId(2), (Point::new(1, 2), Orientation::W));
+        map.insert(CellId(5), (Point::new(3, 4), Orientation::FS));
+        let dense = DenseMacroPlacementView::from_view(&map);
+        assert_eq!(dense.len(), 2);
+        for (cell, loc, orient) in map.iter_placed() {
+            assert_eq!(dense.placement(cell), Some((loc, orient)));
+        }
+    }
+}

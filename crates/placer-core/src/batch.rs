@@ -98,9 +98,10 @@ impl Objective for WirelengthObjective {
     fn score(&self, design: &Design, outcome: &PlaceOutcome) -> f64 {
         match &outcome.metrics {
             Some(metrics) => metrics.wirelength_m,
+            // cold path: flows evaluate themselves when the runner attaches
+            // this objective's eval config, so metrics is normally Some
             None => {
-                eval::evaluate_placement(design, &outcome.placement.to_map(), &self.eval)
-                    .wirelength_m
+                eval::Evaluator::new(self.eval).evaluate(design, &outcome.placement).wirelength_m
             }
         }
     }

@@ -1,7 +1,9 @@
-//! Per-run context: observer wiring, cancellation and deadlines.
+//! Per-run context: observer wiring, cancellation, deadlines and the shared
+//! evaluation session.
 
 use crate::error::PlaceError;
 use crate::observer::{FlowObserver, StageEvent};
+use eval::{EvalConfig, Evaluator, SeqGraphCache};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,6 +41,9 @@ pub struct PlaceContext {
     observer: Option<Arc<dyn FlowObserver>>,
     cancel: CancelToken,
     deadline: Option<Instant>,
+    /// Sequential-graph cache shared by every evaluation of this context and
+    /// its children, so a seed×λ sweep builds `Gseq` once, not per cell.
+    eval_cache: SeqGraphCache,
 }
 
 impl PlaceContext {
@@ -91,13 +96,22 @@ impl PlaceContext {
         None
     }
 
+    /// An evaluation session with the given configuration, sharing this
+    /// context's sequential-graph cache: every flow evaluating through the
+    /// same context (or a [`PlaceContext::child`]) reuses one `Gseq` per
+    /// design instead of rebuilding it per candidate.
+    pub fn evaluator(&self, config: EvalConfig) -> Evaluator {
+        Evaluator::with_cache(config, self.eval_cache.clone())
+    }
+
     /// A child context for one run of a batch: shares the observer, cancel
-    /// token and deadline of the parent.
+    /// token, deadline and evaluation cache of the parent.
     pub fn child(&self) -> PlaceContext {
         PlaceContext {
             observer: self.observer.clone(),
             cancel: self.cancel.clone(),
             deadline: self.deadline,
+            eval_cache: self.eval_cache.clone(),
         }
     }
 }

@@ -123,7 +123,9 @@ impl Placer for HidapFlow {
 
         let metrics = req.evaluate.as_ref().map(|eval_cfg| {
             let t = Instant::now();
-            let metrics = eval::evaluate_placement(design.as_ref(), &placement.to_map(), eval_cfg);
+            // the context's evaluator shares the Gseq cache across a sweep,
+            // and the flow output is read directly as a PlacementView
+            let metrics = ctx.evaluator(*eval_cfg).evaluate(design.as_ref(), &placement);
             timings
                 .push(StageTiming { stage: "evaluate".into(), seconds: t.elapsed().as_secs_f64() });
             metrics

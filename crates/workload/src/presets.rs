@@ -97,8 +97,13 @@ pub fn circuit_preset(name: &str) -> SocConfig {
     }
 }
 
-/// Generates one of the c1–c8 stand-ins.
+/// Generates one of the c1–c8 stand-ins, or the `large_soc` scale scenario
+/// (full ~90k-cell size — the table-experiment entry point treats it as a
+/// ninth circuit).
 pub fn generate_circuit(name: &str) -> GeneratedDesign {
+    if name == "large_soc" {
+        return large_soc();
+    }
     SocGenerator::new(circuit_preset(name)).generate()
 }
 

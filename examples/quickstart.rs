@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Export the floorplan as DEF, ready for a downstream place-and-route tool.
-    let entries = netlist::def::placement_entries(&design, &placement.to_map(), true);
+    let entries = netlist::def::placement_entries_from_view(&design, placement, true);
     let pins = netlist::def::port_entries(&design);
     let def_text = netlist::def::write_def(design.name(), 1000, design.die(), &entries, &pins);
     println!("\n--- floorplan.def ---\n{def_text}");

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release -p bench --example soc_floorplan`
 
 use baselines::{IndEda, IndEdaConfig};
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use hidap::{HidapConfig, HidapFlow};
 use workload::presets::generate_circuit;
 
@@ -19,15 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         design.die().height() / 1000,
     );
 
-    let eval_config = EvalConfig::standard();
+    // One evaluation session measures every flow: the sequential graph
+    // is built once and reused across candidates.
+    let mut evaluator = Evaluator::new(EvalConfig::standard());
 
     // Flow 1: the flat connectivity-driven baseline (IndEDA stand-in).
     let indeda = IndEda::new(IndEdaConfig::default()).run(design)?;
-    let indeda_metrics = evaluate_placement(design, &indeda.to_map(), &eval_config);
+    let indeda_metrics = evaluator.evaluate(design, &indeda);
 
     // Flow 2: HiDaP with the default λ.
     let hidap = HidapFlow::new(HidapConfig::default()).run(design)?;
-    let hidap_metrics = evaluate_placement(design, &hidap.to_map(), &eval_config);
+    let hidap_metrics = evaluator.evaluate(design, &hidap);
 
     println!("\n{:<10} {:>12} {:>10} {:>10} {:>12}", "flow", "WL (m)", "GRC%", "WNS%", "TNS (ns)");
     for (name, m) in [("IndEDA", &indeda_metrics), ("HiDaP", &hidap_metrics)] {

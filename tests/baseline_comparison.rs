@@ -4,7 +4,7 @@
 //! handFP oracle is at least as good as a single HiDaP run.
 
 use baselines::{HandFp, HandFpConfig, IndEda, IndEdaConfig};
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use hidap::{HidapConfig, HidapFlow};
 use workload::presets::fig1_design;
 
@@ -31,13 +31,14 @@ fn hidap_wirelength_competitive_with_flat_baseline() {
     // baseline by more than a small margin (and usually wins).
     let generated = fig1_design();
     let design = &generated.design;
-    let eval_cfg = EvalConfig::standard();
+    // one session measures both flows under identical conditions
+    let mut evaluator = Evaluator::new(EvalConfig::standard());
 
     let indeda = IndEda::new(IndEdaConfig::fast()).run(design).expect("IndEDA");
-    let indeda_wl = evaluate_placement(design, &indeda.to_map(), &eval_cfg).wirelength_m;
+    let indeda_wl = evaluator.evaluate(design, &indeda).wirelength_m;
 
     let hidap = HidapFlow::new(HidapConfig::fast()).run(design).expect("HiDaP");
-    let hidap_wl = evaluate_placement(design, &hidap.to_map(), &eval_cfg).wirelength_m;
+    let hidap_wl = evaluator.evaluate(design, &hidap).wirelength_m;
 
     assert!(
         hidap_wl <= indeda_wl * 1.10,
@@ -49,12 +50,10 @@ fn hidap_wirelength_competitive_with_flat_baseline() {
 fn oracle_is_at_least_as_good_as_one_hidap_run() {
     let generated = fig1_design();
     let design = &generated.design;
-    let eval_cfg = EvalConfig::standard();
-
     let single = HidapFlow::new(HidapConfig::fast().with_seed(1).with_lambda(0.5))
         .run(design)
         .expect("HiDaP");
-    let single_wl = evaluate_placement(design, &single.to_map(), &eval_cfg).wirelength_m;
+    let single_wl = Evaluator::new(EvalConfig::standard()).evaluate(design, &single).wirelength_m;
 
     let oracle_cfg = HandFpConfig {
         seeds: vec![1, 2],

@@ -1,6 +1,6 @@
 //! End-to-end integration tests: generator → HiDaP → evaluation.
 
-use eval::{evaluate_placement, EvalConfig};
+use eval::{EvalConfig, Evaluator};
 use hidap::{HidapConfig, HidapFlow};
 use workload::presets::{fig1_design, generate_circuit};
 use workload::{SocConfig, SocGenerator, SubsystemConfig};
@@ -23,7 +23,7 @@ fn c1_standin_full_pipeline() {
     assert_eq!(placement.macros.len(), 32);
     assert!(placement.is_legal(design));
 
-    let metrics = evaluate_placement(design, &placement.to_map(), &EvalConfig::standard());
+    let metrics = Evaluator::new(EvalConfig::standard()).evaluate(design, &placement);
     assert!(metrics.wirelength_m > 0.0);
     assert!(metrics.hpwl.routed_nets > 0);
     assert!(metrics.grc_percent() >= 0.0 && metrics.grc_percent() <= 100.0);
@@ -37,10 +37,11 @@ fn dataflow_aware_placement_beats_random_macro_scatter() {
     // looking at connectivity (a sanity check on the whole objective chain).
     let generated = fig1_design();
     let design = &generated.design;
-    let eval_cfg = EvalConfig::standard();
+    // one evaluation session for both candidates
+    let mut evaluator = Evaluator::new(EvalConfig::standard());
 
     let hidap = HidapFlow::new(HidapConfig::fast()).run(design).expect("flow");
-    let hidap_wl = evaluate_placement(design, &hidap.to_map(), &eval_cfg).wirelength_m;
+    let hidap_wl = evaluator.evaluate(design, &hidap).wirelength_m;
 
     // adversarial scatter: place macros round-robin in opposite corners so
     // connected clusters are torn apart, then legalize via the same helper
@@ -61,7 +62,7 @@ fn dataflow_aware_placement_beats_random_macro_scatter() {
     legalize_macros(design, die, &mut footprints);
     let scatter_map: HashMap<_, _> =
         footprints.iter().map(|(c, fp)| (c, (fp.location, geometry::Orientation::N))).collect();
-    let scatter_wl = evaluate_placement(design, &scatter_map, &eval_cfg).wirelength_m;
+    let scatter_wl = evaluator.evaluate(design, &scatter_map).wirelength_m;
 
     assert!(
         hidap_wl < scatter_wl,

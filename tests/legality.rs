@@ -64,7 +64,7 @@ proptest! {
         let generated = SocGenerator::new(config).generate();
         let design = &generated.design;
         let placement = HidapFlow::new(HidapConfig::fast()).run(design).expect("flow");
-        let metrics = eval::evaluate_placement(design, &placement.to_map(), &eval::EvalConfig::standard());
+        let metrics = eval::Evaluator::standard().evaluate(design, &placement);
         prop_assert!(metrics.wirelength_m >= 0.0);
         prop_assert!((0.0..=100.0).contains(&metrics.grc_percent()));
         prop_assert!(metrics.wns_percent() <= 0.0);
