@@ -6,12 +6,22 @@
 //! annealing over macro positions, and biases macros towards the die
 //! periphery so the core area stays free for standard cells — which is
 //! exactly the strategy whose shortcomings motivate HiDaP.
+//!
+//! Moves are scored by **true netlist HPWL deltas** through an
+//! [`eval::IncrementalHpwl`] session over the design's CSR connectivity
+//! (ports at their fixed positions, macros at their current centers): a move
+//! costs `O(Σ degree(nets of the moved macro))` instead of the full
+//! macro-net rescan the annealer used to pay per proposal, and the
+//! wirelength the annealer optimizes is exactly the quantity the evaluation
+//! pipeline measures. The periphery-bias and overlap terms are likewise
+//! applied as per-move deltas.
 
-use geometry::{Dbu, Orientation, Point, Rect};
+use eval::{CellPlacement, IncrementalHpwl};
+use geometry::{Orientation, Point, Rect};
 use hidap::legalize::{legalize_macros, MacroFootprint, MacroFootprints};
 use hidap::placement::{MacroPlacement, PlacedMacro};
 use hidap::HidapError;
-use netlist::design::{CellId, CellKind, Design};
+use netlist::design::{CellId, Design};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -65,6 +75,46 @@ impl IndEdaConfig {
     }
 }
 
+/// A fixed-seed audit trail of one annealing run: how many moves were
+/// proposed and accepted, and an FNV-1a hash over the accepted-move sequence
+/// (proposal counter, moved macro, resulting corner and rotation — both
+/// macros for swap moves). Regression tests pin it so any change to the
+/// move scoring or acceptance behaviour is caught explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnealTrace {
+    /// Number of proposed moves (fixed by the configuration).
+    pub proposed: u64,
+    /// Number of accepted moves.
+    pub accepted: u64,
+    /// FNV-1a hash of the accepted-move sequence.
+    pub trace_hash: u64,
+}
+
+impl Default for AnnealTrace {
+    /// The empty trace: no proposals, the hash at the FNV offset basis —
+    /// the same value a run that accepts nothing ends at.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnnealTrace {
+    fn new() -> Self {
+        Self { proposed: 0, accepted: 0, trace_hash: netlist::Fnv1a::new().finish() }
+    }
+
+    /// Folds one accepted placement of `macro_index` into the running hash.
+    fn accept(&mut self, macro_index: usize, state: (Point, bool)) {
+        let mut h = netlist::Fnv1a::resume(self.trace_hash);
+        h.write_u64(self.proposed);
+        h.write_u64(macro_index as u64);
+        h.write_u64(state.0.x as u64);
+        h.write_u64(state.0.y as u64);
+        h.write_u64(u64::from(state.1));
+        self.trace_hash = h.finish();
+    }
+}
+
 /// The IndEDA-style flat macro placer.
 #[derive(Debug, Clone)]
 pub struct IndEda {
@@ -84,6 +134,12 @@ impl IndEda {
     /// Returns [`HidapError::EmptyDie`] / [`HidapError::MacrosExceedDie`] under
     /// the same conditions as the HiDaP flow.
     pub fn run(&self, design: &Design) -> Result<MacroPlacement, HidapError> {
+        self.run_traced(design).map(|(placement, _)| placement)
+    }
+
+    /// [`IndEda::run`] plus the [`AnnealTrace`] of the annealing loop (for
+    /// fixed-seed regression tests and tuning).
+    pub fn run_traced(&self, design: &Design) -> Result<(MacroPlacement, AnnealTrace), HidapError> {
         let die = design.die();
         if die.width() <= 0 || die.height() <= 0 {
             return Err(HidapError::EmptyDie);
@@ -94,12 +150,20 @@ impl IndEda {
             return Err(HidapError::MacrosExceedDie { macro_area, die_area: die.area() });
         }
         if macros.is_empty() {
-            return Ok(MacroPlacement::default());
+            return Ok((MacroPlacement::default(), AnnealTrace::default()));
         }
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let nets = macro_nets(design, &macros);
-        let anchors = net_anchors(design, &nets);
+        let die_edge = ((die.width() + die.height()) as f64).max(1.0);
+        let rect_of = |m: CellId, &(loc, rotated): &(Point, bool)| {
+            let c = design.cell(m);
+            let (w, h) = if rotated { (c.height, c.width) } else { (c.width, c.height) };
+            Rect::from_size(loc.x, loc.y, w, h)
+        };
+        let wall_of = |r: &Rect| {
+            let c = r.center();
+            (c.x - die.llx).min(die.urx - c.x).min(c.y - die.lly).min(die.ury - c.y).max(0) as f64
+        };
 
         // Initial positions: macros spread on a grid.
         let cols = (macros.len() as f64).sqrt().ceil() as usize;
@@ -117,16 +181,62 @@ impl IndEda {
                 (Point::new(x.max(die.llx), y.max(die.lly)), false)
             })
             .collect();
+        let mut rects: Vec<Rect> = macros.iter().zip(&state).map(|(&m, s)| rect_of(m, s)).collect();
 
-        let mut current_cost = self.cost(design, die, &macros, &state, &nets, &anchors);
+        // The incremental HPWL session: macros at their centers, ports at
+        // their fixed positions, standard cells unplaced (nets with fewer
+        // than two placed pins contribute nothing, exactly like the full
+        // evaluation of a macro-only placement).
+        let mut cells = CellPlacement::with_num_cells(design.num_cells());
+        for (&m, r) in macros.iter().zip(&rects) {
+            cells.set_position(m, r.center());
+        }
+        let mut hpwl = IncrementalHpwl::new(design, &cells);
+
+        // Σ_{i<j} overlap and Σ wall distance of the initial state.
+        let mut total_overlap = 0.0;
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                total_overlap += rects[i].overlap_area(&rects[j]) as f64;
+            }
+        }
+        let total_wall: f64 = rects.iter().map(wall_of).sum();
+
+        let mut current_cost = hpwl.hpwl().dbu as f64
+            + self.config.wall_weight * total_wall
+            + self.config.overlap_weight * total_overlap / die_edge;
         let mut best_state = state.clone();
         let mut best_cost = current_cost;
         let mut temperature = current_cost.max(1.0) * 0.05;
+        let mut trace = AnnealTrace::new();
+
+        // Σ overlap over every pair with an endpoint in the affected set
+        // ({idx} or {idx, other}), each pair counted once.
+        let affected_overlap = |rects: &[Rect], idx: usize, other: Option<usize>| {
+            let mut sum = 0.0;
+            for (j, r) in rects.iter().enumerate() {
+                if j != idx {
+                    sum += rects[idx].overlap_area(r) as f64;
+                }
+            }
+            if let Some(o) = other {
+                for (j, r) in rects.iter().enumerate() {
+                    if j != o && j != idx {
+                        sum += rects[o].overlap_area(r) as f64;
+                    }
+                }
+            }
+            sum
+        };
 
         for _ in 0..self.config.temperature_steps {
             for _ in 0..self.config.moves_per_macro * macros.len() {
+                trace.proposed += 1;
                 let idx = rng.gen_range(0..macros.len());
                 let saved = state[idx];
+                // the second macro of a swap move (with its pre-move state),
+                // when one is touched
+                let mut swapped: Option<(usize, (Point, bool))> = None;
                 match rng.gen_range(0..4) {
                     0 | 1 => {
                         // displace
@@ -148,23 +258,61 @@ impl IndEda {
                         state[idx].1 = !state[idx].1;
                     }
                     _ => {
-                        // swap with another macro
-                        let other = rng.gen_range(0..macros.len());
-                        let tmp = state[idx].0;
-                        state[idx].0 = state[other].0;
-                        state[other].0 = tmp;
+                        // swap corners with another macro
+                        let o = rng.gen_range(0..macros.len());
+                        if o != idx {
+                            swapped = Some((o, state[o]));
+                            let tmp = state[idx].0;
+                            state[idx].0 = state[o].0;
+                            state[o].0 = tmp;
+                        }
                     }
                 }
-                let cost = self.cost(design, die, &macros, &state, &nets, &anchors);
-                let delta = cost - current_cost;
+                let other = swapped.map(|(o, _)| o);
+                let saved_other = swapped.map(|(o, s)| (o, s, rects[o]));
+                let saved_rect = rects[idx];
+
+                // score the move as a delta: wall and overlap of the touched
+                // rectangles before/after, HPWL from the incremental session
+                let mut old_wall = wall_of(&rects[idx]);
+                let old_overlap = affected_overlap(&rects, idx, other);
+                if let Some(o) = other {
+                    old_wall += wall_of(&rects[o]);
+                }
+                rects[idx] = rect_of(macros[idx], &state[idx]);
+                let mut delta_wl = hpwl.move_cell(macros[idx], rects[idx].center());
+                let mut new_wall = wall_of(&rects[idx]);
+                if let Some(o) = other {
+                    rects[o] = rect_of(macros[o], &state[o]);
+                    delta_wl += hpwl.move_cell(macros[o], rects[o].center());
+                    new_wall += wall_of(&rects[o]);
+                }
+                let new_overlap = affected_overlap(&rects, idx, other);
+                let delta = delta_wl as f64
+                    + self.config.wall_weight * (new_wall - old_wall)
+                    + self.config.overlap_weight * (new_overlap - old_overlap) / die_edge;
+
                 if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp() {
-                    current_cost = cost;
-                    if cost < best_cost {
-                        best_cost = cost;
+                    current_cost += delta;
+                    trace.accepted += 1;
+                    trace.accept(idx, state[idx]);
+                    if let Some(o) = other {
+                        trace.accept(o, state[o]);
+                    }
+                    if current_cost < best_cost {
+                        best_cost = current_cost;
                         best_state = state.clone();
                     }
                 } else {
+                    // revert: state, rectangles and the HPWL session
                     state[idx] = saved;
+                    rects[idx] = saved_rect;
+                    hpwl.move_cell(macros[idx], saved_rect.center());
+                    if let Some((o, s, r)) = saved_other {
+                        state[o] = s;
+                        rects[o] = r;
+                        hpwl.move_cell(macros[o], r.center());
+                    }
                 }
             }
             temperature *= self.config.cooling;
@@ -186,60 +334,7 @@ impl IndEda {
             })
             .collect();
         placed.sort_by_key(|m| m.cell);
-        Ok(MacroPlacement { macros: placed, top_blocks: Vec::new() })
-    }
-
-    /// Net-based wirelength + periphery bias + overlap penalty.
-    fn cost(
-        &self,
-        design: &Design,
-        die: Rect,
-        macros: &[CellId],
-        state: &[(Point, bool)],
-        nets: &[MacroNet],
-        anchors: &[Option<Point>],
-    ) -> f64 {
-        let rects: Vec<Rect> = macros
-            .iter()
-            .zip(state)
-            .map(|(&m, &(loc, rotated))| {
-                let c = design.cell(m);
-                let (w, h) = if rotated { (c.height, c.width) } else { (c.width, c.height) };
-                Rect::from_size(loc.x, loc.y, w, h)
-            })
-            .collect();
-        // HPWL over macro-connected nets (standard cells are invisible to this flow)
-        let mut wl = 0.0;
-        for (net, anchor) in nets.iter().zip(anchors) {
-            let mut pts: Vec<Point> =
-                net.macro_indices.iter().map(|&i| rects[i].center()).collect();
-            if let Some(a) = anchor {
-                pts.push(*a);
-            }
-            if pts.len() >= 2 {
-                if let Some(bb) = Rect::bounding_box(pts.iter().copied()) {
-                    wl += (bb.width() + bb.height()) as f64;
-                }
-            }
-        }
-        // periphery bias: distance of each macro to the nearest die wall
-        let mut wall = 0.0;
-        for r in &rects {
-            let c = r.center();
-            let d = (c.x - die.llx).min(die.urx - c.x).min(c.y - die.lly).min(die.ury - c.y).max(0)
-                as f64;
-            wall += d;
-        }
-        // overlap penalty
-        let mut overlap = 0.0;
-        for i in 0..rects.len() {
-            for j in (i + 1)..rects.len() {
-                overlap += rects[i].overlap_area(&rects[j]) as f64;
-            }
-        }
-        let die_edge = (die.width() + die.height()) as f64;
-        wl + self.config.wall_weight * wall
-            + self.config.overlap_weight * overlap / die_edge.max(1.0)
+        Ok((MacroPlacement { macros: placed, top_blocks: Vec::new() }, trace))
     }
 }
 
@@ -299,71 +394,6 @@ impl placer_core::Placer for IndEda {
     }
 }
 
-/// A net restricted to the pins the flat flow can see: macros and ports.
-#[derive(Debug, Clone)]
-struct MacroNet {
-    macro_indices: Vec<usize>,
-    port_positions: Vec<Point>,
-}
-
-fn macro_nets(design: &Design, macros: &[CellId]) -> Vec<MacroNet> {
-    let mut index_of: netlist::DenseMap<CellId, Option<u32>> =
-        netlist::DenseMap::with_len(design.num_cells());
-    for (i, &m) in macros.iter().enumerate() {
-        index_of[m] = Some(i as u32);
-    }
-    let mut nets = Vec::new();
-    for (_, net) in design.nets() {
-        let mut macro_indices = Vec::new();
-        let mut port_positions = Vec::new();
-        let mut endpoints = Vec::new();
-        if let Some(d) = net.driver_cell {
-            endpoints.push(d);
-        }
-        endpoints.extend(net.sink_cells.iter().copied());
-        for c in endpoints {
-            if design.cell(c).kind == CellKind::Macro {
-                if let Some(i) = index_of[c] {
-                    macro_indices.push(i as usize);
-                }
-            }
-        }
-        if let Some(p) = net.driver_port {
-            if let Some(pos) = design.port(p).position {
-                port_positions.push(pos);
-            }
-        }
-        for &p in &net.sink_ports {
-            if let Some(pos) = design.port(p).position {
-                port_positions.push(pos);
-            }
-        }
-        macro_indices.sort_unstable();
-        macro_indices.dedup();
-        if macro_indices.len() + port_positions.len() >= 2 && !macro_indices.is_empty() {
-            nets.push(MacroNet { macro_indices, port_positions });
-        }
-    }
-    nets
-}
-
-/// Pre-computed anchor point per net: the centroid of its port pins (the
-/// standard-cell pins are unknown to this flow).
-fn net_anchors(_design: &Design, nets: &[MacroNet]) -> Vec<Option<Point>> {
-    nets.iter()
-        .map(|n| {
-            if n.port_positions.is_empty() {
-                None
-            } else {
-                let sx: i128 = n.port_positions.iter().map(|p| p.x as i128).sum();
-                let sy: i128 = n.port_positions.iter().map(|p| p.y as i128).sum();
-                let c = n.port_positions.len() as i128;
-                Some(Point::new((sx / c) as Dbu, (sy / c) as Dbu))
-            }
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +444,27 @@ mod tests {
         let a = IndEda::new(IndEdaConfig::fast()).run(&d).unwrap();
         let b = IndEda::new(IndEdaConfig::fast()).run(&d).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_seed_accepted_move_trace_is_pinned() {
+        // Pins the annealer's exact accepted-move sequence under the
+        // incremental-HPWL scoring: any change to the cost model, the move
+        // generation or the acceptance rule shows up here first.
+        let d = design_with_connected_macros();
+        let (placement, trace) = IndEda::new(IndEdaConfig::fast()).run_traced(&d).unwrap();
+        assert!(placement.is_legal(&d));
+        assert_eq!(
+            trace.proposed,
+            (IndEdaConfig::fast().temperature_steps * IndEdaConfig::fast().moves_per_macro * 3)
+                as u64
+        );
+        let expected =
+            AnnealTrace { proposed: 900, accepted: 377, trace_hash: 5735527431765702742 };
+        assert_eq!(trace, expected, "accepted-move trace drifted: {trace:?}");
+        // the trace is itself deterministic
+        let (_, again) = IndEda::new(IndEdaConfig::fast()).run_traced(&d).unwrap();
+        assert_eq!(trace, again);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod handfp;
 pub mod indeda;
 
 pub use handfp::{HandFp, HandFpConfig};
-pub use indeda::{IndEda, IndEdaConfig};
+pub use indeda::{AnnealTrace, IndEda, IndEdaConfig};
 
 /// The registry with every flow this workspace ships: `hidap`, `indeda` and
 /// `handfp`, each constructed at its default effort (requests can override

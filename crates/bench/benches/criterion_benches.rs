@@ -95,7 +95,7 @@ fn bench_evaluation(c: &mut Criterion) {
     let c1 = generate_circuit("c1");
     let placement = HidapFlow::new(HidapConfig::fast()).run(&c1.design).expect("flow");
     // one-shot: a fresh Evaluator per candidate rebuilds Gseq every time
-    // (the shape of the deprecated `evaluate_placement` path)
+    // (the shape of the deleted pre-session `evaluate_placement` path)
     group.bench_function("evaluate_c1_oneshot", |b| {
         b.iter(|| {
             eval::Evaluator::new(eval::EvalConfig::standard()).evaluate(&c1.design, &placement)

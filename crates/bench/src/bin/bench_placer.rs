@@ -1,4 +1,4 @@
-//! Dense-data-plane macrobench at `large_soc` scale, in two parts:
+//! Dense-data-plane macrobench at `large_soc` scale, in three parts:
 //!
 //! 1. analytical-placer sweeps + HPWL, hash-map stores vs the dense CSR path
 //!    (the PR-2 comparison, preserved),
@@ -7,9 +7,14 @@
 //!    `bench::reference::evaluate_placement_reference` (one `to_map()`, one
 //!    rescan-sweep placement and one fresh `Gseq` per candidate) vs a reused
 //!    [`eval::Evaluator`] session (incremental-sum placer sweeps, one `Gseq`
-//!    for the whole sweep, serial and per-worker-clone parallel variants).
+//!    for the whole sweep, serial and per-worker-clone parallel variants),
+//! 3. `service_reuse`: a fleet of distinct designs placed **twice** through
+//!    one [`placer_core::PlacementService`] — the cold pass builds every
+//!    per-design `Gseq` into the store's shared LRU, the warm pass reuses
+//!    them (asserted in-process through the cache-hit counters), and the
+//!    serial warm/cold timing ratio measures the artifact reuse.
 //!
-//! Both parts cross-check that the before/after paths produce bit-identical
+//! All parts cross-check that the before/after paths produce bit-identical
 //! results, and the timings land in `BENCH_placer.json`.
 //!
 //! ```text
@@ -23,9 +28,10 @@ use eval::{place_standard_cells, total_hpwl, EvalConfig, Evaluator, PlacerConfig
 use geometry::{Orientation, Point};
 use hidap::{MacroPlacement, PlacedMacro};
 use netlist::design::{CellId, Design};
+use placer_core::{EffortLevel, JobId, JobResult, PlaceJob, PlacementService};
 use std::collections::HashMap;
 use std::time::Instant;
-use workload::presets::large_soc_config;
+use workload::presets::{large_soc_config, service_fleet};
 use workload::SocGenerator;
 
 /// A deterministic macro grid placement (the bench measures the evaluation
@@ -250,8 +256,76 @@ fn main() {
         parallel_s * 1e3
     );
 
+    // --- service reuse: a fleet placed twice through one service -----------
+    //
+    // N distinct designs, each placed once per pass (hidap fast, full
+    // evaluation) through a single `PlacementService`. The cold pass builds
+    // every per-design `Gseq` into the store's shared LRU; the warm pass
+    // resubmits the same jobs and reuses them. The serial warm/cold ratio is
+    // the measured benefit of store-owned artifacts; results must be
+    // bit-identical (shared caches change timing, never outcomes).
+    let fleet_size = 3usize;
+    let fleet_scale = scale.clamp(0.05, 1.0);
+    eprintln!(
+        "service reuse: generating a fleet of {fleet_size} designs (scale {fleet_scale}) ..."
+    );
+    let fleet = service_fleet(fleet_size, fleet_scale);
+    let mut service = PlacementService::new(baselines::default_registry());
+    let handles: Vec<_> = fleet.into_iter().map(|g| service.intern(g.design)).collect();
+
+    let run_pass = |service: &mut PlacementService| -> (Vec<JobResult>, f64) {
+        let jobs: Vec<JobId> = handles
+            .iter()
+            .map(|&h| {
+                service.submit(
+                    PlaceJob::new(h, "hidap")
+                        .with_effort(EffortLevel::Fast)
+                        .with_evaluation(eval_cfg),
+                )
+            })
+            .collect();
+        let t = Instant::now();
+        service.run_all();
+        let elapsed = t.elapsed().as_secs_f64();
+        let results = jobs
+            .into_iter()
+            .map(|j| service.take_result(j).expect("job ran").expect("job succeeded"))
+            .collect();
+        (results, elapsed)
+    };
+
+    eprintln!("service reuse: cold pass ...");
+    let (cold_results, cold_s) = run_pass(&mut service);
+    let seq_built = service.store().seq_graphs().misses();
+    assert_eq!(seq_built as usize, fleet_size, "cold pass builds one Gseq per design");
+    eprintln!("service reuse: warm pass ...");
+    let (warm_results, warm_s) = run_pass(&mut service);
+    let seq_reused = service.store().seq_graphs().hits();
+    // the warm-cache pass must actually reuse the stored SeqGraphs — this
+    // gate runs before the JSON artifact is written/uploaded
+    assert!(seq_reused > 0, "warm pass must hit the store's SeqGraph LRU (hits = {seq_reused})");
+    assert_eq!(
+        service.store().seq_graphs().misses(),
+        seq_built,
+        "warm pass must not rebuild any graph"
+    );
+    for (cold, warm) in cold_results.iter().zip(&warm_results) {
+        assert_eq!(
+            cold.outcome.placement, warm.outcome.placement,
+            "cold and warm placements disagree"
+        );
+        assert_eq!(cold.outcome.metrics, warm.outcome.metrics, "cold and warm metrics disagree");
+    }
+    let speedup_service = cold_s / warm_s.max(1e-12);
+    println!(
+        "service reuse ({fleet_size} designs x2): cold {:.1} ms, warm {:.1} ms \
+         ({speedup_service:.2}x, {seq_built} Gseq built, {seq_reused} reused)",
+        cold_s * 1e3,
+        warm_s * 1e3
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }}\n}}\n",
         design.num_cells(),
         design.num_nets(),
         csr.num_pins(),
@@ -270,6 +344,9 @@ fn main() {
         parallel_s * 1e3,
         speedup_eval,
         speedup_parallel,
+        cold_s * 1e3,
+        warm_s * 1e3,
+        speedup_service,
     );
     std::fs::write(&out_path, json).expect("write BENCH_placer.json");
     eprintln!("wrote {out_path}");

@@ -41,14 +41,20 @@ use geometry::Rect;
 use hidap::MacroPlacement;
 use netlist::design::Design;
 use netlist::verilog::ElaborateOptions;
-use placer_core::{BatchGrid, BatchRunner, EffortLevel, PlaceContext, PlaceOutcome, PlaceRequest};
-use std::path::PathBuf;
+use placer_core::{
+    BatchGrid, BatchRunner, EffortLevel, PlaceContext, PlaceJob, PlaceOutcome, PlaceRequest,
+    PlacementService,
+};
+use std::path::{Path, PathBuf};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
-    /// Structural Verilog netlist (required).
+    /// Structural Verilog netlist (required unless `--manifest` is given).
     pub verilog: PathBuf,
+    /// Manifest file for batch mode: one design per line, placed through a
+    /// single [`PlacementService`] with shared artifact caches.
+    pub manifest: Option<PathBuf>,
     /// LEF file with macro footprints (optional).
     pub lef: Option<PathBuf>,
     /// DEF file providing the die area and port locations (optional; a square
@@ -84,6 +90,7 @@ impl Default for Options {
     fn default() -> Self {
         Self {
             verilog: PathBuf::new(),
+            manifest: None,
             lef: None,
             def: None,
             top: None,
@@ -106,7 +113,10 @@ impl Default for Options {
 pub const USAGE: &str = "usage: hidap --verilog <file.v> [--lef <file.lef>] [--def <file.def>] \
 [--top <module>] [--flow hidap|indeda|handfp] [--lambda <0..1>] [--effort fast|default|high] \
 [--seed <n>] [--sweep] [--jobs <n>] [--seeds <n,n,...>] [--lambdas <l,l,...>] \
-[--out <placed.def>] [--svg <floorplan.svg>] [--report]";
+[--out <placed.def>] [--svg <floorplan.svg>] [--report]\n\
+       hidap --manifest <designs.txt> [shared flags as above]\n\
+manifest lines:  <file.v> [lef=<file>] [def=<file>] [top=<name>] [flow=<name>] \
+[lambda=<0..1>] [seed=<n>] [effort=<tier>]   ('#' starts a comment)";
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
     value
@@ -141,6 +151,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.verilog = PathBuf::from(value(&mut i)?);
                 have_verilog = true;
             }
+            "--manifest" => opts.manifest = Some(PathBuf::from(value(&mut i)?)),
             "--lef" => opts.lef = Some(PathBuf::from(value(&mut i)?)),
             "--def" => opts.def = Some(PathBuf::from(value(&mut i)?)),
             "--top" => opts.top = Some(value(&mut i)?),
@@ -185,8 +196,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
-    if !have_verilog {
-        return Err(format!("--verilog is required\n{USAGE}"));
+    if have_verilog && opts.manifest.is_some() {
+        return Err(format!("--verilog and --manifest are mutually exclusive\n{USAGE}"));
+    }
+    if !have_verilog && opts.manifest.is_none() {
+        return Err(format!("--verilog (or --manifest) is required\n{USAGE}"));
+    }
+    if opts.manifest.is_some() && (opts.out.is_some() || opts.svg.is_some()) {
+        return Err(
+            "--out/--svg write a single design; they are not available with --manifest".to_string()
+        );
     }
     if !(0.0..=1.0).contains(&opts.lambda) {
         return Err(format!("--lambda must be between 0 and 1, got {}", opts.lambda));
@@ -313,9 +332,266 @@ pub fn place_outcome(
     }
 }
 
+/// One line of a `--manifest` file: a design plus its per-design overrides.
+/// Fields not named on the line inherit the command-line defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Structural Verilog netlist of this design.
+    pub verilog: PathBuf,
+    /// LEF file with macro footprints.
+    pub lef: Option<PathBuf>,
+    /// DEF file providing die area and port locations.
+    pub def: Option<PathBuf>,
+    /// Top module name.
+    pub top: Option<String>,
+    /// Flow to place this design with.
+    pub flow: String,
+    /// Explicit `lambda=` override: pins this design's λ even under
+    /// `--sweep` (the line sweeps seeds only). `None` inherits `--lambda`
+    /// for single runs and the `--lambdas` axis for sweeps.
+    pub lambda: Option<f64>,
+    /// Seed for this design's run (base seed under `--sweep`).
+    pub seed: u64,
+    /// Effort preset for this design.
+    pub effort: String,
+}
+
+/// Parses a `--manifest` file: one design per line, `#` starts a comment,
+/// the first token is the Verilog path (resolved relative to `base_dir`),
+/// every later token is a `key=value` override (`lef=`, `def=`, `top=`,
+/// `flow=`, `lambda=`, `seed=`, `effort=`). Values are validated like the
+/// equivalent command-line flags.
+pub fn parse_manifest(
+    text: &str,
+    base_dir: &Path,
+    defaults: &Options,
+) -> Result<Vec<ManifestEntry>, String> {
+    let registry = baselines::default_registry();
+    let resolve = |raw: &str| {
+        let path = PathBuf::from(raw);
+        if path.is_absolute() {
+            path
+        } else {
+            base_dir.join(path)
+        }
+    };
+    let mut entries = Vec::new();
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("manifest line {}: {msg}", line_no + 1);
+        let mut tokens = line.split_whitespace();
+        let mut entry = ManifestEntry {
+            verilog: resolve(tokens.next().expect("non-empty line has a first token")),
+            lef: defaults.lef.clone(),
+            def: defaults.def.clone(),
+            top: defaults.top.clone(),
+            flow: defaults.flow.clone(),
+            lambda: None,
+            seed: defaults.seed,
+            effort: defaults.effort.clone(),
+        };
+        for token in tokens {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| at(format!("expected key=value, got '{token}'")))?;
+            match key {
+                "lef" => entry.lef = Some(resolve(value)),
+                "def" => entry.def = Some(resolve(value)),
+                "top" => entry.top = Some(value.to_string()),
+                "flow" => {
+                    if !registry.contains(value) {
+                        return Err(at(format!(
+                            "unknown flow '{value}' (known flows: {})",
+                            registry.names().join(", ")
+                        )));
+                    }
+                    entry.flow = value.to_string();
+                }
+                "lambda" => {
+                    let lambda: f64 =
+                        value.parse().map_err(|_| at(format!("invalid lambda '{value}'")))?;
+                    if !(0.0..=1.0).contains(&lambda) {
+                        return Err(at(format!("lambda must be between 0 and 1, got {lambda}")));
+                    }
+                    entry.lambda = Some(lambda);
+                }
+                "seed" => {
+                    entry.seed =
+                        value.parse().map_err(|_| at(format!("invalid seed '{value}'")))?;
+                }
+                "effort" => {
+                    if EffortLevel::parse(value).is_none() {
+                        return Err(at(format!(
+                            "unknown effort '{value}' (expected fast|default|high)"
+                        )));
+                    }
+                    entry.effort = value.to_string();
+                }
+                other => return Err(at(format!("unknown key '{other}'"))),
+            }
+        }
+        entries.push(entry);
+    }
+    if entries.is_empty() {
+        return Err("manifest names no designs".to_string());
+    }
+    Ok(entries)
+}
+
+/// Batch driver behind `--manifest`: loads every design named by the
+/// manifest, interns them into one [`PlacementService`] (shared connectivity
+/// and sequential-graph caches), submits one job per line and drains the
+/// queue. Per-design placement failures are reported inline and do not stop
+/// the other designs; the run errors (carrying the full report) when any
+/// design failed. Returns the text printed to stdout.
+pub fn run_manifest(opts: &Options) -> Result<String, String> {
+    let manifest_path = opts.manifest.as_ref().expect("run_manifest requires --manifest");
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    let base_dir = manifest_path.parent().unwrap_or(Path::new("."));
+    let entries = parse_manifest(&text, base_dir, opts)?;
+    let registry = baselines::default_registry();
+
+    if opts.sweep {
+        // mirror the single-design front end: reject composite flows before
+        // anything runs, with the same actionable message
+        let mut flows: Vec<&str> = entries.iter().map(|e| e.flow.as_str()).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        for flow in flows {
+            if registry.create(flow).map_err(|e| e.to_string())?.is_composite() {
+                return Err(format!(
+                    "flow '{flow}' already sweeps a seed×λ grid internally; drop --sweep \
+                     (configure the flow's own grid instead) or sweep a single-run flow like \
+                     'hidap'"
+                ));
+            }
+        }
+    }
+
+    // size the shared Gseq LRU to the fleet: up to two graph variants per
+    // design (the flow's register-width threshold and the evaluation
+    // default), so no manifest line evicts another's warm artifacts
+    let store = placer_core::DesignStore::with_seq_capacity(
+        (2 * entries.len()).max(eval::SeqGraphCache::DEFAULT_CAPACITY),
+    );
+    let mut service = PlacementService::with_store(registry, store).with_jobs(opts.jobs);
+    let mut submitted = Vec::with_capacity(entries.len());
+    // repeated lines with the same input files skip the parse entirely —
+    // the front-end load is the dominant cost for large netlists
+    type LoadSpec = (PathBuf, Option<PathBuf>, Option<PathBuf>, Option<String>);
+    let mut loaded: std::collections::HashMap<LoadSpec, (placer_core::DesignHandle, i64, String)> =
+        std::collections::HashMap::new();
+    for entry in &entries {
+        let spec: LoadSpec =
+            (entry.verilog.clone(), entry.lef.clone(), entry.def.clone(), entry.top.clone());
+        let (handle, dbu, name) = match loaded.get(&spec) {
+            Some(cached) => cached.clone(),
+            None => {
+                let load_opts = Options {
+                    verilog: entry.verilog.clone(),
+                    lef: entry.lef.clone(),
+                    def: entry.def.clone(),
+                    top: entry.top.clone(),
+                    ..opts.clone()
+                };
+                let (design, dbu) = load_design(&load_opts)?;
+                let name = design.name().to_string();
+                let handle = service.intern(design);
+                loaded.insert(spec, (handle, dbu, name.clone()));
+                (handle, dbu, name)
+            }
+        };
+        let effort = EffortLevel::parse(&entry.effort)
+            .ok_or_else(|| format!("unknown effort '{}'", entry.effort))?;
+        let mut job = PlaceJob::new(handle, &entry.flow).with_effort(effort);
+        if opts.sweep {
+            // an explicit per-line lambda= pins the λ axis for this design;
+            // otherwise the line sweeps the shared --lambdas grid
+            let lambdas = match entry.lambda {
+                Some(lambda) => vec![lambda],
+                None => opts.lambdas.clone(),
+            };
+            let seeds = if opts.seeds.is_empty() {
+                BatchGrid::derived(entry.seed, 4, lambdas.clone()).seeds
+            } else {
+                opts.seeds.clone()
+            };
+            job = job.with_seeds(seeds).with_lambdas(lambdas);
+        } else {
+            job = job
+                .with_seeds(vec![entry.seed])
+                .with_lambdas(vec![entry.lambda.unwrap_or(opts.lambda)]);
+        }
+        if opts.report {
+            job = job.with_evaluation(EvalConfig { dbu_per_micron: dbu, ..EvalConfig::standard() });
+        }
+        submitted.push((service.submit(job), name, entry, dbu));
+    }
+
+    service.run_all();
+
+    let mut output = String::new();
+    let mut failures = 0usize;
+    for (job_id, name, entry, dbu) in submitted {
+        let result =
+            match service.take_result(job_id).expect("run_all completed every submitted job") {
+                Ok(result) => result,
+                Err(e) => {
+                    // report the failure and keep going: the other designs'
+                    // results must not be lost to one bad entry
+                    failures += 1;
+                    output.push_str(&format!("{name} ({}): FAILED: {e}\n", entry.flow));
+                    continue;
+                }
+            };
+        let design = service.store().design(result.design);
+        let placement = &result.outcome.placement;
+        output.push_str(&format!(
+            "{name} ({}): placed {} macros on a {:.1} x {:.1} um die (legal: {}), seed {}{}\n",
+            entry.flow,
+            placement.macros.len(),
+            design.die().width() as f64 / dbu as f64,
+            design.die().height() as f64 / dbu as f64,
+            placement.is_legal(design),
+            result.outcome.seed,
+            result.outcome.lambda.map(|l| format!(", lambda {l}")).unwrap_or_default(),
+        ));
+        if let Some(metrics) = &result.outcome.metrics {
+            output.push_str(&format!(
+                "  wirelength: {:.4} m, GRC%: {:.2}, WNS: {:.2}%, TNS: {:.1} ns\n",
+                metrics.wirelength_m,
+                metrics.grc_percent(),
+                metrics.wns_percent(),
+                metrics.tns_ns(),
+            ));
+        }
+    }
+    let cache = service.store().seq_graphs();
+    output.push_str(&format!(
+        "service: {} jobs over {} interned designs (Gseq cache: {} built, {} reused)\n",
+        entries.len(),
+        service.store().len(),
+        cache.misses(),
+        cache.hits(),
+    ));
+    if failures > 0 {
+        return Err(format!("{output}{failures} of {} designs failed", entries.len()));
+    }
+    Ok(output)
+}
+
 /// End-to-end CLI driver: load, place, write outputs, optionally report.
+/// In manifest mode ([`Options::manifest`]), places every design of the
+/// manifest through one [`PlacementService`] instead.
 /// Returns the text printed to stdout.
 pub fn run(opts: &Options) -> Result<String, String> {
+    if opts.manifest.is_some() {
+        return run_manifest(opts);
+    }
     let (design, dbu) = load_design(opts)?;
     let (outcome, info) = place_outcome(&design, opts)?;
     let placement = &outcome.placement;
@@ -475,6 +751,65 @@ mod tests {
         assert!(err.contains("handfp"), "{err}");
         assert!(err.contains("hidap"), "{err}");
         assert!(err.contains("indeda"), "{err}");
+    }
+
+    #[test]
+    fn manifest_flag_parses_and_excludes_single_design_flags() {
+        let opts = parse_args(&args(&["--manifest", "designs.txt"])).unwrap();
+        assert_eq!(opts.manifest, Some(PathBuf::from("designs.txt")));
+        // --verilog and --manifest are mutually exclusive
+        let err = parse_args(&args(&["--verilog", "a.v", "--manifest", "m.txt"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        // single-design outputs are rejected in batch mode
+        let err = parse_args(&args(&["--manifest", "m.txt", "--out", "x.def"])).unwrap_err();
+        assert!(err.contains("not available with --manifest"), "{err}");
+        // neither input is an error
+        let err = parse_args(&args(&[])).unwrap_err();
+        assert!(err.contains("--verilog (or --manifest)"), "{err}");
+    }
+
+    #[test]
+    fn manifest_lines_parse_with_overrides_and_defaults() {
+        let defaults = parse_args(&args(&["--manifest", "m.txt", "--flow", "indeda"])).unwrap();
+        let text = "\
+# fleet of two
+a.v flow=hidap lambda=0.25 seed=9 effort=fast   # inline comment
+sub/b.v lef=b.lef top=chip
+";
+        let entries = parse_manifest(text, Path::new("/base"), &defaults).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].verilog, PathBuf::from("/base/a.v"));
+        assert_eq!(entries[0].flow, "hidap");
+        assert_eq!(entries[0].lambda, Some(0.25));
+        assert_eq!(entries[0].seed, 9);
+        assert_eq!(entries[0].effort, "fast");
+        // unnamed keys inherit the command-line defaults (λ stays unpinned
+        // so sweeps use the --lambdas axis)
+        assert_eq!(entries[1].flow, "indeda");
+        assert_eq!(entries[1].lambda, None);
+        assert_eq!(entries[1].lef, Some(PathBuf::from("/base/b.lef")));
+        assert_eq!(entries[1].top.as_deref(), Some("chip"));
+        assert_eq!(entries[1].verilog, PathBuf::from("/base/sub/b.v"));
+    }
+
+    #[test]
+    fn manifest_validation_errors_name_the_line() {
+        let defaults = parse_args(&args(&["--manifest", "m.txt"])).unwrap();
+        let base = Path::new(".");
+        for (text, needle) in [
+            ("a.v flow=magic", "unknown flow 'magic'"),
+            ("a.v lambda=1.5", "between 0 and 1"),
+            ("a.v effort=turbo", "unknown effort 'turbo'"),
+            ("a.v seed=many", "invalid seed"),
+            ("a.v bogus=1", "unknown key 'bogus'"),
+            ("a.v nokey", "expected key=value"),
+            ("# only comments\n", "no designs"),
+        ] {
+            let err = parse_manifest(text, base, &defaults).unwrap_err();
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+        let err = parse_manifest("ok.v\nbad.v lambda=7", base, &defaults).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
     }
 
     #[test]

@@ -100,6 +100,106 @@ fn cli_baseline_flow_also_works() {
 }
 
 #[test]
+fn cli_manifest_places_a_fleet_through_one_service() {
+    let dir = temp_dir("manifest");
+    // two distinct designs; the first is listed twice so the service interns
+    // it once and the repeated job reuses its cached artifacts
+    let (verilog_a, lef_a) = write_inputs(&dir);
+    let generated_b = SocGenerator::new(SocConfig {
+        name: "cli_soc_b".into(),
+        subsystems: vec![
+            SubsystemConfig::balanced("u_gpu", 3, 8),
+            SubsystemConfig::balanced("u_npu", 2, 8),
+        ],
+        channels: vec![(0, 1)],
+        io_subsystems: vec![0],
+        io_bits: 8,
+        utilization: 0.5,
+        aspect_ratio: 1.2,
+        seed: 11,
+    })
+    .generate();
+    let verilog_b = dir.join("cli_soc_b.v");
+    let lef_b = dir.join("cli_soc_b.lef");
+    std::fs::write(&verilog_b, emit_verilog(&generated_b.design)).unwrap();
+    std::fs::write(&lef_b, emit_lef(&generated_b.design, &generated_b.library, 1000)).unwrap();
+
+    let manifest = dir.join("designs.txt");
+    std::fs::write(
+        &manifest,
+        format!(
+            "# cli manifest test\n\
+             {} lef={} top=cli_soc\n\
+             {} lef={} top=cli_soc_b flow=indeda seed=3\n\
+             {} lef={} top=cli_soc  # same design again: interned once\n",
+            verilog_a.display(),
+            lef_a.display(),
+            verilog_b.display(),
+            lef_b.display(),
+            verilog_a.display(),
+            lef_a.display(),
+        ),
+    )
+    .unwrap();
+
+    let args: Vec<String> =
+        ["--manifest", manifest.to_str().unwrap(), "--effort", "fast", "--report"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let opts = parse_args(&args).expect("arguments parse");
+    let output = run(&opts).expect("manifest flow succeeds");
+    assert!(output.contains("cli_soc (hidap): placed 4 macros"), "{output}");
+    assert!(output.contains("cli_soc_b (indeda): placed 5 macros"), "{output}");
+    assert!(output.contains("wirelength"), "{output}");
+    // 3 jobs, 2 interned designs; the repeated design reuses its stored
+    // Gseq (the hidap flow and each evaluation fetch from one shared LRU:
+    // 2 builds for 2 designs, every other fetch is a hit)
+    assert!(output.contains("service: 3 jobs over 2 interned designs"), "{output}");
+    assert!(output.contains("2 built, 3 reused"), "{output}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_manifest_reports_per_design_failures_without_dropping_the_rest() {
+    let dir = temp_dir("manifest_partial");
+    let (verilog, lef) = write_inputs(&dir);
+    // a DEF with a die far too small for the macros fails that line's
+    // placement; the healthy line must still be reported
+    let tiny_def = dir.join("tiny.def");
+    std::fs::write(
+        &tiny_def,
+        netlist::def::write_def("cli_soc", 1000, geometry::Rect::new(0, 0, 10, 10), &[], &[]),
+    )
+    .unwrap();
+    let manifest = dir.join("designs.txt");
+    std::fs::write(
+        &manifest,
+        format!(
+            "{v} lef={l} top=cli_soc\n{v} lef={l} def={d} top=cli_soc\n",
+            v = verilog.display(),
+            l = lef.display(),
+            d = tiny_def.display(),
+        ),
+    )
+    .unwrap();
+    let opts = parse_args(
+        &["--manifest", manifest.to_str().unwrap(), "--effort", "fast"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<String>>(),
+    )
+    .unwrap();
+    let err = run(&opts).expect_err("a failing design fails the run");
+    // ... but only after every design was placed and reported
+    assert!(err.contains("cli_soc (hidap): placed 4 macros"), "{err}");
+    assert!(err.contains("FAILED"), "{err}");
+    assert!(err.contains("1 of 2 designs failed"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cli_reports_missing_files_gracefully() {
     let args: Vec<String> =
         ["--verilog", "/nonexistent/path/x.v"].iter().map(|s| s.to_string()).collect();

@@ -35,9 +35,7 @@ pub mod wirelength;
 
 pub use congestion::{CongestionConfig, CongestionMap};
 pub use density::DensityMap;
-#[allow(deprecated)]
-pub use metrics::evaluate_placement;
-pub use metrics::{EvalConfig, Evaluator, PlacementMetrics, SeqGraphCache};
+pub use metrics::{DesignKey, EvalConfig, Evaluator, PlacementMetrics, SeqGraphCache};
 pub use placer::{place_standard_cells, CellPlacement, PlacerConfig};
 pub use timing::{TimingConfig, TimingReport};
 pub use wirelength::{total_hpwl, Hpwl, IncrementalHpwl};

@@ -7,13 +7,12 @@ use crate::density::DensityMap;
 use crate::placer::{place_standard_cells, CellPlacement, PlacerConfig};
 use crate::timing::{estimate_timing, TimingConfig, TimingReport};
 use crate::wirelength::{total_hpwl_with_ports, Hpwl};
-use geometry::{Orientation, Point};
+use geometry::Point;
 use graphs::seqgraph::SeqGraphConfig;
 use graphs::SeqGraph;
-use netlist::design::{CellId, Design};
+use netlist::design::Design;
 use netlist::PlacementView;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Configuration of the whole evaluation pipeline.
@@ -78,14 +77,18 @@ impl PlacementMetrics {
     }
 }
 
-/// The identity of a design for the purposes of the sequential-graph cache:
-/// the name, every id-family size, a build-time hash of the full
+/// The identity of a design for the purposes of design-keyed caches and
+/// stores: the name, every id-family size, a build-time hash of the full
 /// connectivity, and a hash of everything else `Gseq` construction reads —
 /// the kinds and names of the sequential elements (flop/macro/port names
 /// drive the array clustering). Two designs differing in any of these get
 /// distinct keys, so a shared session never reuses a stale graph.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct DesignKey {
+///
+/// Keys are cheap to compare and hash, and hold no reference to the design,
+/// so multi-design services can use them to intern designs and to index
+/// shared artifact caches (see [`SeqGraphCache`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DesignKey {
     name: String,
     num_cells: usize,
     num_nets: usize,
@@ -95,13 +98,16 @@ struct DesignKey {
     /// ([`netlist::Connectivity::fingerprint`]): designs that collide on
     /// name and counts but differ in wiring still get distinct keys.
     connectivity: u64,
-    /// FNV-1a over the kind and name of every sequential cell and every
-    /// port — the inputs of `Gseq`'s name-based array clustering.
+    /// [`Design::seq_name_fingerprint`]: the kind and name of every
+    /// sequential cell and every port — the inputs of `Gseq`'s name-based
+    /// array clustering.
     seq_names: u64,
 }
 
 impl DesignKey {
-    fn of(design: &Design) -> Self {
+    /// The identity key of a design (builds and caches the design's
+    /// connectivity view if it was not materialized yet).
+    pub fn of(design: &Design) -> Self {
         Self {
             name: design.name().to_string(),
             num_cells: design.num_cells(),
@@ -109,73 +115,149 @@ impl DesignKey {
             num_ports: design.num_ports(),
             num_macros: design.num_macros(),
             connectivity: design.connectivity().fingerprint(),
-            seq_names: Self::seq_name_hash(design),
+            seq_names: design.seq_name_fingerprint(),
         }
     }
 
-    /// Hashes what `SeqGraph::from_netgraph` clusters on besides the wiring:
-    /// the kind and name of every non-combinational cell, and every port
-    /// name. Combinational cells are collapsed by construction, so their
-    /// names cannot affect the graph.
-    fn seq_name_hash(design: &Design) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-            // separator so concatenations cannot collide
-            h ^= 0xff;
-            h = h.wrapping_mul(PRIME);
-        };
-        for (_, cell) in design.cells() {
-            if cell.kind != netlist::design::CellKind::Comb {
-                eat(&[cell.kind as u8]);
-                eat(cell.name.as_bytes());
-            }
-        }
-        for (_, port) in design.ports() {
-            eat(port.name.as_bytes());
-        }
-        h
+    /// The design (top module) name the key was taken from.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 }
 
-/// A cheap-clone, thread-safe cache of the sequential graph keyed by design
-/// identity — the state an evaluation session shares across candidates (and,
-/// via clones, across the worker threads of a sweep).
+/// A cheap-clone, thread-safe, bounded LRU cache of sequential graphs keyed
+/// by [`DesignKey`] — the per-design artifact an evaluation session shares
+/// across candidates, worker threads, and (through a design store) across
+/// the heterogeneous jobs of a multi-design service.
 ///
 /// The first evaluation of a design builds `Gseq` (holding the lock, so
 /// concurrent workers wait instead of duplicating the build); every later
-/// evaluation of the same design reuses the `Arc`.
-#[derive(Debug, Clone, Default)]
+/// evaluation of the same design reuses the `Arc`. When more distinct
+/// designs than `capacity` flow through the cache, the least-recently-used
+/// graph is evicted. Hit/miss counters expose reuse to benchmarks and CI
+/// assertions.
+#[derive(Debug, Clone)]
 pub struct SeqGraphCache {
-    slot: Arc<Mutex<CachedSeqGraph>>,
+    inner: Arc<Mutex<SeqGraphLru>>,
 }
 
-/// The cache slot: the identity of the cached design and its shared graph.
-type CachedSeqGraph = Option<(DesignKey, Arc<SeqGraph>)>;
+/// One LRU slot identity: the design plus the graph-construction config
+/// (flows may request a different register-width threshold than the
+/// evaluation default; both variants cache independently).
+#[derive(Debug, Clone, PartialEq)]
+struct SeqGraphKey {
+    design: DesignKey,
+    config: SeqGraphConfig,
+}
+
+/// The guarded LRU state: entries ordered least- to most-recently used.
+#[derive(Debug)]
+struct SeqGraphLru {
+    entries: Vec<(SeqGraphKey, Arc<SeqGraph>)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for SeqGraphCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl SeqGraphCache {
-    /// An empty cache.
+    /// The default number of designs kept ([`SeqGraphCache::new`]).
+    pub const DEFAULT_CAPACITY: usize = 8;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// The sequential graph of `design`, built on first use and cached.
-    pub fn get_or_build(&self, design: &Design) -> Arc<SeqGraph> {
-        let key = DesignKey::of(design);
-        let mut slot = self.slot.lock().expect("seq-graph cache lock");
-        if let Some((cached_key, gseq)) = slot.as_ref() {
-            if *cached_key == key {
-                return gseq.clone();
-            }
+    /// An empty cache keeping at most `capacity` designs (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(SeqGraphLru {
+                entries: Vec::new(),
+                capacity: capacity.max(1),
+                hits: 0,
+                misses: 0,
+            })),
         }
-        let gseq = Arc::new(SeqGraph::from_design(design, &SeqGraphConfig::default()));
-        *slot = Some((key, gseq.clone()));
+    }
+
+    /// The sequential graph of `design` under the default construction
+    /// config (the evaluation pipeline's graph), built on first use and
+    /// cached.
+    pub fn get_or_build(&self, design: &Design) -> Arc<SeqGraph> {
+        self.get_or_build_with(design, &SeqGraphConfig::default())
+    }
+
+    /// The sequential graph of `design` under an explicit construction
+    /// config. Each `(design, config)` pair caches independently, so a flow
+    /// requesting a pruned graph (`min_register_bits > 1`) and the
+    /// evaluation requesting the full one both stay warm.
+    pub fn get_or_build_with(&self, design: &Design, config: &SeqGraphConfig) -> Arc<SeqGraph> {
+        let key = SeqGraphKey { design: DesignKey::of(design), config: *config };
+        let mut lru = self.inner.lock().expect("seq-graph cache lock");
+        if let Some(pos) = lru.entries.iter().position(|(k, _)| *k == key) {
+            lru.hits += 1;
+            // refresh recency: move the entry to the most-recent end
+            let entry = lru.entries.remove(pos);
+            let gseq = entry.1.clone();
+            lru.entries.push(entry);
+            return gseq;
+        }
+        let gseq = Arc::new(SeqGraph::from_design(design, config));
+        lru.misses += 1;
+        lru.entries.push((key, gseq.clone()));
+        if lru.entries.len() > lru.capacity {
+            lru.entries.remove(0);
+        }
         gseq
+    }
+
+    /// Whether a graph for this design (under any construction config) is
+    /// currently cached. Does not touch recency or the counters.
+    pub fn contains(&self, key: &DesignKey) -> bool {
+        self.inner
+            .lock()
+            .expect("seq-graph cache lock")
+            .entries
+            .iter()
+            .any(|(k, _)| k.design == *key)
+    }
+
+    /// The cached design keys, least- to most-recently used (a design cached
+    /// under several construction configs appears once per config).
+    pub fn keys(&self) -> Vec<DesignKey> {
+        let lru = self.inner.lock().expect("seq-graph cache lock");
+        lru.entries.iter().map(|(k, _)| k.design.clone()).collect()
+    }
+
+    /// Number of designs currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("seq-graph cache lock").entries.len()
+    }
+
+    /// Whether no design is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximum number of designs kept.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("seq-graph cache lock").capacity
+    }
+
+    /// Number of [`SeqGraphCache::get_or_build`] calls served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("seq-graph cache lock").hits
+    }
+
+    /// Number of [`SeqGraphCache::get_or_build`] calls that had to build.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("seq-graph cache lock").misses
     }
 }
 
@@ -184,8 +266,8 @@ impl SeqGraphCache {
 /// placements through [`Evaluator::evaluate`].
 ///
 /// Build one per sweep and reuse it — every candidate after the first skips
-/// the `Gseq` reconstruction that dominated the old per-call
-/// `evaluate_placement` path. Cloning an `Evaluator` shares the graph cache
+/// the `Gseq` reconstruction that dominated the old per-call evaluation
+/// path. Cloning an `Evaluator` shares the graph cache
 /// (but not the scratch buffers), so per-worker clones in a parallel sweep
 /// still build `Gseq` only once.
 ///
@@ -305,31 +387,12 @@ impl Evaluator {
     }
 }
 
-/// Evaluates a macro placement in one call.
-///
-/// This is the pre-session API kept as a thin shim: it builds a throwaway
-/// [`Evaluator`] — and therefore reconstructs the sequential graph — on
-/// every call. Sweeps evaluating more than one candidate should build an
-/// `Evaluator` once instead:
-/// `Evaluator::new(*config).evaluate(design, &placement)`.
-#[deprecated(
-    since = "0.1.0",
-    note = "build an `Evaluator` once and call `evaluate(design, &placement)`; \
-            this shim rebuilds the sequential graph on every call"
-)]
-pub fn evaluate_placement(
-    design: &Design,
-    macro_placement: &HashMap<CellId, (Point, Orientation)>,
-    config: &EvalConfig,
-) -> PlacementMetrics {
-    Evaluator::new(*config).evaluate(design, macro_placement)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geometry::Rect;
-    use netlist::design::DesignBuilder;
+    use geometry::{Orientation, Rect};
+    use netlist::design::{CellId, DesignBuilder};
+    use std::collections::HashMap;
 
     /// A macro and a register bank talking to it, placed either near or far.
     fn design() -> (Design, CellId) {
@@ -394,7 +457,7 @@ mod tests {
     }
 
     #[test]
-    fn metrics_are_deterministic_and_shim_agrees() {
+    fn metrics_are_deterministic_across_sessions() {
         let (d, m) = design();
         let mut mp = HashMap::new();
         mp.insert(m, (Point::new(10_000, 10_000), Orientation::N));
@@ -403,10 +466,9 @@ mod tests {
         let b = evaluator.evaluate(&d, &mp);
         assert_eq!(a.hpwl, b.hpwl);
         assert_eq!(a.timing, b.timing);
-        // the deprecated one-shot shim produces bit-identical metrics
-        #[allow(deprecated)]
-        let shim = evaluate_placement(&d, &mp, &EvalConfig::standard());
-        assert_eq!(shim, a);
+        // a throwaway one-shot session produces bit-identical metrics
+        let one_shot = Evaluator::new(EvalConfig::standard()).evaluate(&d, &mp);
+        assert_eq!(one_shot, a);
     }
 
     #[test]
@@ -471,6 +533,77 @@ mod tests {
         // a stale cached graph would leave the edge count at 1
         assert_eq!(first.timing.analyzed_edges, 1); // ram → q_reg (2 bits)
         assert_eq!(second.timing.analyzed_edges, 2); // ram → {q_reg, r_reg}
+    }
+
+    /// Three small designs with distinct identities, for LRU tests.
+    fn keyed_designs() -> Vec<Design> {
+        ["da", "db", "dc"]
+            .iter()
+            .map(|name| {
+                let mut b = DesignBuilder::new(*name);
+                let m = b.add_macro(format!("{name}_ram"), "RAM", 50_000, 50_000, "");
+                let f = b.add_flop(format!("{name}_reg[0]"), "");
+                let n = b.add_net("n");
+                b.connect_driver(n, f);
+                b.connect_sink(n, m);
+                b.set_die(Rect::new(0, 0, 400_000, 400_000));
+                b.build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lru_counts_hits_and_misses() {
+        let designs = keyed_designs();
+        let cache = SeqGraphCache::with_capacity(4);
+        assert!(cache.is_empty());
+        let first = cache.get_or_build(&designs[0]);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let again = cache.get_or_build(&designs[0]);
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.get_or_build(&designs[1]);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let designs = keyed_designs();
+        let cache = SeqGraphCache::with_capacity(2);
+        cache.get_or_build(&designs[0]);
+        cache.get_or_build(&designs[1]);
+        // touch design 0 so design 1 becomes the eviction candidate
+        cache.get_or_build(&designs[0]);
+        cache.get_or_build(&designs[2]); // evicts design 1
+        assert!(cache.contains(&DesignKey::of(&designs[0])));
+        assert!(!cache.contains(&DesignKey::of(&designs[1])));
+        assert!(cache.contains(&DesignKey::of(&designs[2])));
+        assert_eq!(
+            cache.keys().iter().map(DesignKey::name).collect::<Vec<_>>(),
+            vec!["da", "dc"],
+            "LRU order is least- to most-recent"
+        );
+        // re-requesting the evicted design rebuilds it (a fresh miss)
+        let misses = cache.misses();
+        cache.get_or_build(&designs[1]);
+        assert_eq!(cache.misses(), misses + 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_cache_holds_the_last_design_only() {
+        let designs = keyed_designs();
+        let cache = SeqGraphCache::with_capacity(1);
+        assert_eq!(cache.capacity(), 1);
+        let a = cache.get_or_build(&designs[0]);
+        let a_again = cache.get_or_build(&designs[0]);
+        assert!(Arc::ptr_eq(&a, &a_again), "same design is served from the single slot");
+        cache.get_or_build(&designs[1]);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.contains(&DesignKey::of(&designs[0])));
+        // zero capacity is clamped to one slot
+        assert_eq!(SeqGraphCache::with_capacity(0).capacity(), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::netgraph::{NetGraph, NetGraphNode};
 use netlist::arrays::split_array_name;
+use netlist::dense::{DenseId, DenseMap};
 use netlist::design::{CellId, CellKind, Design, PortId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -114,7 +115,57 @@ pub struct SeqGraph {
     nodes: Vec<SeqNode>,
     succ: Vec<Vec<(usize, u64)>>,
     pred: Vec<Vec<(usize, u64)>>,
-    macro_of_cell: HashMap<CellId, usize>,
+    /// Dense per-cell lookup: `Some(node)` for macro cells, `None` otherwise.
+    macro_of_cell: DenseMap<CellId, Option<SeqNodeId>>,
+}
+
+/// Sentinel for "this bit has no sequential node" in the dense per-bit map.
+const NO_NODE: u32 = u32::MAX;
+
+/// Dense base-name grouping of array bits (the clustering step of `Gseq`
+/// construction, formerly name-keyed hash maps): a stable sort over the base
+/// names makes equal names contiguous while keeping id order inside each
+/// group, so every bit gets a flat `group` index and each group knows the id
+/// of its first bit (groups are materialized as nodes in first-occurrence
+/// order, exactly like the old insertion-ordered maps).
+struct NameGroups<I: DenseId> {
+    /// Group index per member id (dense over the id family; non-member slots
+    /// stay at `NO_NODE`).
+    group_of: DenseMap<I, u32>,
+    /// Base name per group.
+    base: Vec<String>,
+    /// The sequential node materialized for each group (`NO_NODE` until the
+    /// group's first bit is reached in id order).
+    node_of_group: Vec<u32>,
+}
+
+impl<I: DenseId> NameGroups<I> {
+    fn build(universe: usize, members: impl Iterator<Item = (I, String)>) -> Self {
+        let mut pairs: Vec<(I, String)> = members.collect();
+        // stable sort: equal names become contiguous, id order is kept inside
+        // each group
+        pairs.sort_by(|a, b| a.1.cmp(&b.1));
+        let mut group_of: DenseMap<I, u32> = DenseMap::filled(universe, NO_NODE);
+        let mut base = Vec::new();
+        for (i, (id, name)) in pairs.iter().enumerate() {
+            if i == 0 || pairs[i - 1].1 != *name {
+                base.push(name.clone());
+            }
+            group_of[*id] = (base.len() - 1) as u32;
+        }
+        let node_of_group = vec![NO_NODE; base.len()];
+        Self { group_of, base, node_of_group }
+    }
+
+    /// The node of `id`'s group, creating it through `make_node` when `id` is
+    /// the first group member seen.
+    fn node_for(&mut self, id: I, make_node: impl FnOnce(&str) -> usize) -> usize {
+        let group = self.group_of[id] as usize;
+        if self.node_of_group[group] == NO_NODE {
+            self.node_of_group[group] = make_node(&self.base[group]) as u32;
+        }
+        self.node_of_group[group] as usize
+    }
 }
 
 impl SeqGraph {
@@ -128,11 +179,27 @@ impl SeqGraph {
     /// Builds `Gseq` from a previously constructed [`NetGraph`].
     pub fn from_netgraph(design: &Design, gnet: &NetGraph, config: &SeqGraphConfig) -> Self {
         // --- step 2: cluster sequential bits into arrays -------------------
+        // All clustering state is dense: base-name grouping comes from a
+        // stable sort (see [`NameGroups`]), the per-bit node map is a flat
+        // array over netlist-graph nodes, and the macro lookup is a
+        // `DenseMap` over cell ids. Node creation order is unchanged from the
+        // old name-keyed maps: cells in id order (macros and first register
+        // bits interleaved), then ports in id order.
         let mut nodes: Vec<SeqNode> = Vec::new();
-        let mut node_of_bit: HashMap<usize, usize> = HashMap::new(); // gnet node -> seq node
-        let mut register_index: HashMap<String, usize> = HashMap::new();
-        let mut port_index: HashMap<String, usize> = HashMap::new();
-        let mut macro_of_cell: HashMap<CellId, usize> = HashMap::new();
+        let mut node_of_bit: Vec<u32> = vec![NO_NODE; gnet.num_nodes()];
+        let mut macro_of_cell: DenseMap<CellId, Option<SeqNodeId>> =
+            DenseMap::with_len(design.num_cells());
+        let mut registers = NameGroups::build(
+            design.num_cells(),
+            design
+                .cells()
+                .filter(|(_, c)| c.kind == CellKind::Flop)
+                .map(|(id, c)| (id, split_array_name(&c.name).base)),
+        );
+        let mut port_arrays = NameGroups::build(
+            design.num_ports(),
+            design.ports().map(|(id, p)| (id, split_array_name(&p.name).base)),
+        );
 
         for (cell_id, cell) in design.cells() {
             match cell.kind {
@@ -146,15 +213,14 @@ impl SeqGraph {
                         cells: vec![cell_id],
                         ports: Vec::new(),
                     });
-                    macro_of_cell.insert(cell_id, idx);
-                    node_of_bit.insert(gnet.cell_node(cell_id), idx);
+                    macro_of_cell[cell_id] = Some(SeqNodeId(idx as u32));
+                    node_of_bit[gnet.cell_node(cell_id)] = idx as u32;
                 }
                 CellKind::Flop => {
-                    let base = split_array_name(&cell.name).base;
-                    let idx = *register_index.entry(base.clone()).or_insert_with(|| {
+                    let idx = registers.node_for(cell_id, |base| {
                         nodes.push(SeqNode {
                             kind: SeqNodeKind::Register,
-                            name: base.clone(),
+                            name: base.to_string(),
                             width: 0,
                             hier_path: cell.hier_path.clone(),
                             cells: Vec::new(),
@@ -164,17 +230,16 @@ impl SeqGraph {
                     });
                     nodes[idx].cells.push(cell_id);
                     nodes[idx].width += 1;
-                    node_of_bit.insert(gnet.cell_node(cell_id), idx);
+                    node_of_bit[gnet.cell_node(cell_id)] = idx as u32;
                 }
                 CellKind::Comb => {}
             }
         }
-        for (port_id, port) in design.ports() {
-            let base = split_array_name(&port.name).base;
-            let idx = *port_index.entry(base.clone()).or_insert_with(|| {
+        for port_id in design.port_ids() {
+            let idx = port_arrays.node_for(port_id, |base| {
                 nodes.push(SeqNode {
                     kind: SeqNodeKind::Port,
-                    name: base.clone(),
+                    name: base.to_string(),
                     width: 0,
                     hier_path: String::new(),
                     cells: Vec::new(),
@@ -184,7 +249,7 @@ impl SeqGraph {
             });
             nodes[idx].ports.push(port_id);
             nodes[idx].width += 1;
-            node_of_bit.insert(gnet.port_node(port_id), idx);
+            node_of_bit[gnet.port_node(port_id)] = idx as u32;
         }
 
         // --- step 4: discard narrow register arrays ------------------------
@@ -192,21 +257,24 @@ impl SeqGraph {
             .iter()
             .map(|n| n.kind != SeqNodeKind::Register || n.width >= config.min_register_bits)
             .collect();
-        let mut remap = vec![usize::MAX; nodes.len()];
+        let mut remap = vec![NO_NODE; nodes.len()];
         let mut kept_nodes = Vec::new();
         for (i, node) in nodes.into_iter().enumerate() {
             if keep[i] {
-                remap[i] = kept_nodes.len();
+                remap[i] = kept_nodes.len() as u32;
                 kept_nodes.push(node);
             }
         }
         let nodes = kept_nodes;
-        let node_of_bit: HashMap<usize, usize> = node_of_bit
-            .into_iter()
-            .filter_map(|(bit, idx)| (remap[idx] != usize::MAX).then_some((bit, remap[idx])))
-            .collect();
-        let macro_of_cell: HashMap<CellId, usize> =
-            macro_of_cell.into_iter().map(|(c, idx)| (c, remap[idx])).collect();
+        for slot in node_of_bit.iter_mut() {
+            if *slot != NO_NODE {
+                *slot = remap[*slot as usize]; // NO_NODE for discarded arrays
+            }
+        }
+        for slot in macro_of_cell.iter_mut().filter_map(|(_, v)| v.as_mut()) {
+            // macros are never discarded, so their remap slot is always valid
+            *slot = SeqNodeId(remap[slot.0 as usize]);
+        }
 
         // --- steps 1 & 3: infer edges through combinational logic ----------
         // For every sequential bit, a forward BFS through combinational cells
@@ -220,7 +288,12 @@ impl SeqGraph {
             HashMap::new();
         let mut visited = vec![u32::MAX; gnet.num_nodes()];
         let mut epoch = 0u32;
-        for (&bit, &src_node) in &node_of_bit {
+        for bit in 0..gnet.num_nodes() {
+            let src_node = node_of_bit[bit];
+            if src_node == NO_NODE {
+                continue;
+            }
+            let src_node = src_node as usize;
             epoch += 1;
             let mut queue = VecDeque::new();
             let mut reached: Vec<(usize, usize)> = Vec::new(); // (dst_node, dst_bit)
@@ -232,16 +305,16 @@ impl SeqGraph {
                         continue;
                     }
                     visited[v] = epoch;
-                    match node_of_bit.get(&v) {
-                        Some(&dst_node) => {
-                            if dst_node != src_node {
-                                reached.push((dst_node, v));
-                            }
-                        }
-                        None => {
+                    match node_of_bit[v] {
+                        NO_NODE => {
                             // combinational (or discarded) node: traverse through
                             if is_traversable(gnet, v, design) {
                                 queue.push_back(v);
+                            }
+                        }
+                        dst_node => {
+                            if dst_node as usize != src_node {
+                                reached.push((dst_node as usize, v));
                             }
                         }
                     }
@@ -327,7 +400,7 @@ impl SeqGraph {
 
     /// The sequential node representing a macro cell, if any.
     pub fn macro_node(&self, cell: CellId) -> Option<SeqNodeId> {
-        self.macro_of_cell.get(&cell).map(|&i| SeqNodeId(i as u32))
+        self.macro_of_cell.get(cell).copied().flatten()
     }
 
     /// Ids of all macro nodes.

@@ -107,6 +107,20 @@ impl HidapFlow {
         design: &Design,
         probe: &mut FlowProbe<'_>,
     ) -> Result<MacroPlacement, HidapError> {
+        self.run_probed_with(design, None, probe)
+    }
+
+    /// [`HidapFlow::run_probed`] with an optionally prebuilt sequential
+    /// graph. `gseq` must have been built for this design with this
+    /// configuration's `min_register_bits` (multi-design front ends fetch it
+    /// from a design-keyed cache so repeated runs skip the construction);
+    /// `None` builds the graph internally.
+    pub fn run_probed_with(
+        &self,
+        design: &Design,
+        gseq: Option<&SeqGraph>,
+        probe: &mut FlowProbe<'_>,
+    ) -> Result<MacroPlacement, HidapError> {
         self.config.validate().map_err(HidapError::Internal)?;
         let die = design.die();
         if die.width() <= 0 || die.height() <= 0 {
@@ -130,15 +144,26 @@ impl HidapFlow {
             return Err(HidapError::Cancelled);
         }
         let gnet = NetGraph::from_design(design);
-        let gseq = SeqGraph::from_design(
-            design,
-            &SeqGraphConfig { min_register_bits: self.config.min_register_bits },
-        );
+        // reuse a supplied graph, or derive it from the net graph just built
+        // (`from_netgraph` on the same design is bit-identical to
+        // `from_design` and avoids a second NetGraph construction)
+        let built_gseq;
+        let gseq = match gseq {
+            Some(graph) => graph,
+            None => {
+                built_gseq = SeqGraph::from_netgraph(
+                    design,
+                    &gnet,
+                    &SeqGraphConfig { min_register_bits: self.config.min_register_bits },
+                );
+                &built_gseq
+            }
+        };
 
         // Recursive block floorplanning.
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut floorplanner =
-            RecursiveFloorplanner::new(design, &ht, &gnet, &gseq, &shape_curves, &self.config);
+            RecursiveFloorplanner::new(design, &ht, &gnet, gseq, &shape_curves, &self.config);
         if !floorplanner.floorplan_probed(ht.root(), die, &[], 0, &mut rng, probe) {
             return Err(HidapError::Cancelled);
         }

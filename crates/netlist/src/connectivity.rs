@@ -167,31 +167,23 @@ impl Connectivity {
 
     /// FNV-1a over every flat array word, folded at build time.
     fn compute_fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |word: u32| {
-            for b in word.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
+        let mut h = crate::hash::Fnv1a::new();
         for &w in &self.cell_net_start {
-            eat(w);
+            h.write_u32(w);
         }
         for &w in &self.cell_fanout_start {
-            eat(w);
+            h.write_u32(w);
         }
         for &n in &self.cell_nets {
-            eat(n.0);
+            h.write_u32(n.0);
         }
         for &w in &self.net_pin_start {
-            eat(w);
+            h.write_u32(w);
         }
         for &p in &self.net_pins {
-            eat(p.0);
+            h.write_u32(p.0);
         }
-        h
+        h.finish()
     }
 
     /// A build-time hash of the full cell↔net incidence: two designs with

@@ -19,13 +19,14 @@
 //! ```
 
 use crate::design::{CellId, NetId, PortId};
+use crate::hierarchy::HierarchyNodeId;
 use std::marker::PhantomData;
 
 /// A key type that is a dense index: convertible to and from `usize`.
 ///
-/// Implemented by the design id families ([`CellId`], [`NetId`], [`PortId`]);
-/// downstream crates may implement it for their own contiguous ids (the
-/// sequential-graph node id, for instance).
+/// Implemented by the design id families ([`CellId`], [`NetId`], [`PortId`])
+/// and by [`HierarchyNodeId`]; downstream crates may implement it for their
+/// own contiguous ids (the sequential-graph node id, for instance).
 pub trait DenseId: Copy {
     /// The dense index of the id.
     fn index(self) -> usize;
@@ -48,7 +49,7 @@ macro_rules! impl_dense_id {
     )*};
 }
 
-impl_dense_id!(CellId, NetId, PortId);
+impl_dense_id!(CellId, NetId, PortId, HierarchyNodeId);
 
 /// A dense, typed map from an id family to values: `Vec<T>` storage with a
 /// strongly-typed key, the workhorse container of the dense data plane.
@@ -208,6 +209,15 @@ mod tests {
         let m: DenseMap<PortId, usize> = DenseMap::from_fn(3, |p: PortId| p.index() * 10);
         let pairs: Vec<(PortId, usize)> = m.iter().map(|(k, &v)| (k, v)).collect();
         assert_eq!(pairs, vec![(PortId(0), 0), (PortId(1), 10), (PortId(2), 20)]);
+    }
+
+    #[test]
+    fn hierarchy_node_ids_are_dense_keys() {
+        let mut m: DenseMap<HierarchyNodeId, usize> = DenseMap::with_len(2);
+        m[HierarchyNodeId(1)] = 7;
+        assert_eq!(m[HierarchyNodeId(1)], 7);
+        assert_eq!(HierarchyNodeId::from_index(3), HierarchyNodeId(3));
+        assert_eq!(HierarchyNodeId(3).index(), 3);
     }
 
     #[test]

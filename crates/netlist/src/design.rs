@@ -290,6 +290,60 @@ impl Design {
         self.cells.iter().map(Cell::area).sum()
     }
 
+    /// FNV-1a over the kind and name of every sequential (non-combinational)
+    /// cell and every primary port — the name-based clustering inputs of
+    /// sequential-graph construction. Combinational cells are collapsed by
+    /// that construction, so their names cannot affect the graph.
+    ///
+    /// Together with [`crate::Connectivity::fingerprint`] (wiring identity)
+    /// and the id-family counts, this is one of the fingerprint hooks
+    /// design-keyed caches and stores use to identify a design without
+    /// holding a reference to it.
+    pub fn seq_name_fingerprint(&self) -> u64 {
+        let mut h = crate::hash::Fnv1a::new();
+        // a separator after every field so concatenations cannot collide
+        let mut eat = |bytes: &[u8]| {
+            h.write_bytes(bytes);
+            h.write_sep();
+        };
+        for (_, cell) in self.cells() {
+            if cell.kind != CellKind::Comb {
+                eat(&[cell.kind as u8]);
+                eat(cell.name.as_bytes());
+            }
+        }
+        for (_, port) in self.ports() {
+            eat(port.name.as_bytes());
+        }
+        h.finish()
+    }
+
+    /// FNV-1a over everything geometric: the die rectangle, every cell's
+    /// footprint, and every port position. Two designs that wire identically
+    /// but differ in any physical input (LEF footprints, DEF die or port
+    /// placement) get distinct geometry fingerprints — the hook design
+    /// stores use so such designs never alias to one interned entry.
+    pub fn geometry_fingerprint(&self) -> u64 {
+        let mut h = crate::hash::Fnv1a::new();
+        for edge in [self.die.llx, self.die.lly, self.die.urx, self.die.ury] {
+            h.write_i64(edge);
+        }
+        for (_, cell) in self.cells() {
+            h.write_i64(cell.width);
+            h.write_i64(cell.height);
+        }
+        for (_, port) in self.ports() {
+            match port.position {
+                Some(p) => {
+                    h.write_i64(p.x);
+                    h.write_i64(p.y);
+                }
+                None => h.write_sep(),
+            }
+        }
+        h.finish()
+    }
+
     /// Binds footprints from a library: every cell whose `lib_cell` is found
     /// in the library gets its width/height (and macro kind) updated.
     pub fn bind_library(&mut self, library: &crate::library::Library) {
@@ -579,6 +633,24 @@ mod tests {
     fn total_area_sums_cells() {
         let d = small_design();
         assert_eq!(d.total_cell_area(), 20000 + 1 + 1);
+    }
+
+    #[test]
+    fn seq_name_fingerprint_tracks_sequential_names_only() {
+        let d = small_design();
+        assert_eq!(d.seq_name_fingerprint(), small_design().seq_name_fingerprint());
+        // renaming a combinational cell leaves the fingerprint unchanged
+        let mut comb_renamed = small_design();
+        comb_renamed.cell_mut(d.find_cell("u_ctl/and_1").unwrap()).name = "u_ctl/and_X".into();
+        assert_eq!(d.seq_name_fingerprint(), comb_renamed.seq_name_fingerprint());
+        // renaming a flop changes it
+        let mut flop_renamed = small_design();
+        flop_renamed.cell_mut(d.find_cell("u_ctl/state_reg").unwrap()).name = "u_ctl/other".into();
+        assert_ne!(d.seq_name_fingerprint(), flop_renamed.seq_name_fingerprint());
+        // renaming a port changes it
+        let mut port_renamed = small_design();
+        port_renamed.port_mut(d.find_port("clk_en").unwrap()).name = "clk_dis".into();
+        assert_ne!(d.seq_name_fingerprint(), port_renamed.seq_name_fingerprint());
     }
 
     #[test]

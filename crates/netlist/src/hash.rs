@@ -1,0 +1,110 @@
+//! The workspace's one FNV-1a fold, shared by every fingerprint.
+//!
+//! Design identity hashes ([`crate::design::Design::seq_name_fingerprint`],
+//! [`crate::design::Design::geometry_fingerprint`],
+//! [`crate::connectivity::Connectivity::fingerprint`]) and audit-trail hashes
+//! in downstream crates all fold through this one implementation, so the
+//! constants and byte order cannot drift apart between copies.
+
+/// An incremental FNV-1a hasher over little-endian words and raw bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// A hasher continuing from a previously [`Fnv1a::finish`]ed state (for
+    /// running hashes folded incrementally across events).
+    pub fn resume(state: u64) -> Self {
+        Self(state)
+    }
+
+    /// Folds raw bytes.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `0xff` separator so concatenated fields cannot collide.
+    #[inline]
+    pub fn write_sep(&mut self) {
+        self.0 ^= 0xff;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    /// Folds a `u32` as its little-endian bytes.
+    #[inline]
+    pub fn write_u32(&mut self, word: u32) {
+        self.write_bytes(&word.to_le_bytes());
+    }
+
+    /// Folds a `u64` as its little-endian bytes.
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) {
+        self.write_bytes(&word.to_le_bytes());
+    }
+
+    /// Folds an `i64` as its little-endian bytes.
+    #[inline]
+    pub fn write_i64(&mut self, word: i64) {
+        self.write_bytes(&word.to_le_bytes());
+    }
+
+    /// The folded hash.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_fnv1a_fold() {
+        // FNV-1a of the empty input is the offset basis
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        // the classic reference vector: fnv1a64("a") = 0xaf63dc4c8601ec8c
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn word_writes_equal_byte_writes() {
+        let mut by_word = Fnv1a::new();
+        by_word.write_u32(0x0403_0201);
+        let mut by_bytes = Fnv1a::new();
+        by_bytes.write_bytes(&[1, 2, 3, 4]);
+        assert_eq!(by_word.finish(), by_bytes.finish());
+    }
+
+    #[test]
+    fn separator_distinguishes_concatenations() {
+        let mut joined = Fnv1a::new();
+        joined.write_bytes(b"ab");
+        joined.write_sep();
+        joined.write_bytes(b"c");
+        let mut split = Fnv1a::new();
+        split.write_bytes(b"a");
+        split.write_sep();
+        split.write_bytes(b"bc");
+        assert_ne!(joined.finish(), split.finish());
+    }
+}

@@ -44,6 +44,7 @@ pub mod def;
 pub mod dense;
 pub mod design;
 pub mod error;
+pub mod hash;
 pub mod hierarchy;
 pub mod lef;
 pub mod library;
@@ -54,6 +55,7 @@ pub use connectivity::{Connectivity, PinRef};
 pub use dense::{DenseId, DenseMap};
 pub use design::{CellId, CellKind, Design, DesignBuilder, NetId, PortDirection, PortId};
 pub use error::ParseError;
+pub use hash::Fnv1a;
 pub use hierarchy::{HierarchyNodeId, HierarchyTree};
 pub use library::{Library, MacroDef, PinDef};
 pub use placement::{DenseMacroPlacementView, PlacementView};

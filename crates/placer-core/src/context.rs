@@ -43,6 +43,8 @@ pub struct PlaceContext {
     deadline: Option<Instant>,
     /// Sequential-graph cache shared by every evaluation of this context and
     /// its children, so a seed×λ sweep builds `Gseq` once, not per cell.
+    /// Contexts created by a [`crate::DesignStore`] borrow the store's LRU
+    /// instead of owning a private cache, so artifacts survive across jobs.
     eval_cache: SeqGraphCache,
 }
 
@@ -68,6 +70,20 @@ impl PlaceContext {
     pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = token;
         self
+    }
+
+    /// Borrows an existing sequential-graph cache instead of the context's
+    /// private one. This is how multi-design front ends share per-design
+    /// artifacts across jobs: every context handed out by a
+    /// [`crate::DesignStore`] points at the store's bounded LRU.
+    pub fn with_seq_cache(mut self, cache: SeqGraphCache) -> Self {
+        self.eval_cache = cache;
+        self
+    }
+
+    /// The sequential-graph cache evaluations of this context share.
+    pub fn seq_cache(&self) -> &SeqGraphCache {
+        &self.eval_cache
     }
 
     /// The run's cancel token; clone it to cancel from elsewhere.

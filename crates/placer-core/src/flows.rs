@@ -9,6 +9,7 @@ use crate::error::PlaceError;
 use crate::observer::StageEvent;
 use crate::registry::FlowRegistry;
 use crate::request::{EffortLevel, PlaceOutcome, PlaceRequest, Placer, StageTiming};
+use graphs::seqgraph::SeqGraphConfig;
 use hidap::{FlowStage, HidapConfig, HidapFlow};
 use std::time::Instant;
 
@@ -110,9 +111,20 @@ impl Placer for HidapFlow {
 
         let start = Instant::now();
         let mut tracker = StageTracker::new(ctx, design.num_macros());
+        // the flow's sequential graph comes from the context's design-keyed
+        // cache: one build per design × register-width threshold across
+        // every run of a sweep or a multi-design service. Keyed off the
+        // *borrowed* request design (whose CSR view is cached), not the
+        // die-override clone whose connectivity cache starts empty — the
+        // graph does not depend on the die, so the key and graph are
+        // identical either way.
+        let gseq = ctx.seq_cache().get_or_build_with(
+            req.design,
+            &SeqGraphConfig { min_register_bits: config.min_register_bits },
+        );
         let flow = HidapFlow::new(config);
         let placement = flow
-            .run_probed(design.as_ref(), &mut |stage| tracker.on_stage(stage))
+            .run_probed_with(design.as_ref(), Some(&gseq), &mut |stage| tracker.on_stage(stage))
             .map_err(|e| match e {
                 // the probe aborted on behalf of the context: surface why
                 hidap::HidapError::Cancelled => ctx.interrupted().unwrap_or(PlaceError::Cancelled),

@@ -15,7 +15,13 @@
 //! * [`BatchRunner`] — parallel seed×λ grid execution with deterministic
 //!   per-run RNG derivation and a pluggable winner [`Objective`],
 //! * [`FlowRegistry`] — string-keyed flow lookup so front ends resolve
-//!   `--flow <name>` without hard-coding flow types.
+//!   `--flow <name>` without hard-coding flow types,
+//! * [`DesignStore`] / [`PlacementService`] — the multi-design service
+//!   layer: designs interned behind cheap [`DesignHandle`]s with their
+//!   derived artifacts (CSR connectivity, sequential graph) owned centrally
+//!   in a bounded LRU, and a queue of heterogeneous [`PlaceJob`]s
+//!   (designs × flows × seed/λ grids) drained with per-job observers,
+//!   cancellation and deterministic winners.
 //!
 //! # Quick start
 //!
@@ -62,6 +68,8 @@ pub mod flows;
 pub mod observer;
 pub mod registry;
 pub mod request;
+pub mod service;
+pub mod store;
 
 pub use batch::{BatchGrid, BatchOutcome, BatchRunner, Objective, RunSummary, WirelengthObjective};
 pub use context::{CancelToken, PlaceContext};
@@ -70,3 +78,5 @@ pub use flows::builtin_registry;
 pub use observer::{CollectingObserver, FlowObserver, StageEvent};
 pub use registry::FlowRegistry;
 pub use request::{EffortLevel, PlaceOutcome, PlaceRequest, Placer, StageTiming};
+pub use service::{JobId, JobResult, PlaceJob, PlacementService};
+pub use store::{DesignHandle, DesignStore};

@@ -1,0 +1,541 @@
+//! The multi-design placement service: a job queue over one engine.
+//!
+//! [`PlacementService`] is the batch front end the single-design stack grew
+//! into: callers intern any number of designs into the service's
+//! [`DesignStore`], submit heterogeneous [`PlaceJob`]s (different designs ×
+//! flows × seed/λ grids), and drain the queue with
+//! [`PlacementService::run_all`]. Results are claimed per job through
+//! [`PlacementService::take_result`].
+//!
+//! Guarantees:
+//!
+//! * **deterministic winners** — a job's result depends only on its own
+//!   spec (design, flow, grid, effort, evaluation); queue position and
+//!   interleaving with other jobs never change it. Shared caches make warm
+//!   jobs *faster*, bit-identical, never different.
+//! * **artifact reuse** — every job runs in a context borrowing the store's
+//!   caches: the CSR connectivity is built once per design at intern time,
+//!   and the sequential graph comes from the store's bounded LRU, so
+//!   repeated traffic against the same designs skips the dominant
+//!   evaluation setup cost.
+//! * **per-job observability and cancellation** — each job may carry its own
+//!   [`FlowObserver`]; the service-wide [`CancelToken`] aborts the drain at
+//!   the next stage boundary, and jobs still queued report
+//!   [`PlaceError::Cancelled`].
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::design::DesignBuilder;
+//! use placer_core::{PlaceJob, PlacementService};
+//!
+//! let mut b = DesignBuilder::new("mini");
+//! let ram0 = b.add_macro("u_a/ram0", "RAM", 200, 150, "u_a");
+//! let ram1 = b.add_macro("u_b/ram1", "RAM", 200, 150, "u_b");
+//! for i in 0..8 {
+//!     let f = b.add_flop(format!("u_x/pipe_reg[{i}]"), "u_x");
+//!     let n0 = b.add_net(format!("n0_{i}"));
+//!     let n1 = b.add_net(format!("n1_{i}"));
+//!     b.connect_driver(n0, ram0);
+//!     b.connect_sink(n0, f);
+//!     b.connect_driver(n1, f);
+//!     b.connect_sink(n1, ram1);
+//! }
+//! b.set_die(geometry::Rect::new(0, 0, 1000, 800));
+//!
+//! let mut service = PlacementService::new(placer_core::builtin_registry());
+//! let design = service.intern(b.build());
+//! let job = service.submit(PlaceJob::new(design, "hidap").with_seeds(vec![1, 2]));
+//! service.run_all();
+//! let result = service.take_result(job).expect("job ran").expect("job succeeded");
+//! assert_eq!(result.outcome.placement.macros.len(), 2);
+//! assert_eq!(result.runs.len(), 2);
+//! ```
+
+use crate::batch::{BatchGrid, BatchRunner, RunSummary};
+use crate::context::CancelToken;
+use crate::error::PlaceError;
+use crate::observer::FlowObserver;
+use crate::registry::FlowRegistry;
+use crate::request::{EffortLevel, PlaceOutcome, PlaceRequest};
+use crate::store::{DesignHandle, DesignStore};
+use eval::EvalConfig;
+use geometry::Rect;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Identifier of a submitted job, unique within its service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// One unit of work for the service: which design to place, through which
+/// flow, over which seed/λ grid, and how to evaluate the result.
+#[derive(Clone)]
+pub struct PlaceJob {
+    /// The design to place (a handle into the service's store).
+    pub design: DesignHandle,
+    /// Flow name, resolved through the service's registry.
+    pub flow: String,
+    /// Seeds to try (default `[1]`). More than one grid cell runs the job
+    /// through [`BatchRunner`] with a deterministic winner.
+    pub seeds: Vec<u64>,
+    /// λ values to try; empty (the default) keeps the flow's configured λ on
+    /// a single run and uses λ = 0.5 as the sweep axis of a multi-seed grid.
+    pub lambdas: Vec<f64>,
+    /// Effort tier; `None` keeps the flow's configured effort.
+    pub effort: Option<EffortLevel>,
+    /// When set, outcomes carry metrics evaluated with this configuration
+    /// (through the store's shared artifact caches).
+    pub evaluate: Option<EvalConfig>,
+    /// Overrides the design's die rectangle when set.
+    pub die: Option<Rect>,
+    /// Per-job observer receiving this job's stage events.
+    pub observer: Option<Arc<dyn FlowObserver>>,
+}
+
+impl PlaceJob {
+    /// A single-run job for `design` through flow `flow` with seed 1 and
+    /// every knob left at the flow's default.
+    pub fn new(design: DesignHandle, flow: impl Into<String>) -> Self {
+        Self {
+            design,
+            flow: flow.into(),
+            seeds: vec![1],
+            lambdas: Vec::new(),
+            effort: None,
+            evaluate: None,
+            die: None,
+            observer: None,
+        }
+    }
+
+    /// Sets the seeds to sweep.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the λ values to sweep.
+    pub fn with_lambdas(mut self, lambdas: Vec<f64>) -> Self {
+        self.lambdas = lambdas;
+        self
+    }
+
+    /// Sets the effort tier.
+    pub fn with_effort(mut self, effort: EffortLevel) -> Self {
+        self.effort = Some(effort);
+        self
+    }
+
+    /// Requests metrics evaluation of every run.
+    pub fn with_evaluation(mut self, eval: EvalConfig) -> Self {
+        self.evaluate = Some(eval);
+        self
+    }
+
+    /// Overrides the die rectangle.
+    pub fn with_die(mut self, die: Rect) -> Self {
+        self.die = Some(die);
+        self
+    }
+
+    /// Attaches a per-job observer.
+    pub fn with_observer(mut self, observer: Arc<dyn FlowObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Number of grid cells the job will run (seeds × λ, with a λ-less
+    /// single axis when no λ values are given).
+    pub fn num_runs(&self) -> usize {
+        self.seeds.len() * self.lambdas.len().max(1)
+    }
+}
+
+/// The result of one completed job: the winning outcome plus per-run
+/// summaries (a single entry for single-run jobs).
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job this result belongs to.
+    pub job: JobId,
+    /// The design the job placed.
+    pub design: DesignHandle,
+    /// The winning run's outcome (the only run, for single-run jobs).
+    pub outcome: PlaceOutcome,
+    /// Grid index of the winner within [`JobResult::runs`].
+    pub winner_index: usize,
+    /// One summary per grid cell, in grid order.
+    pub runs: Vec<RunSummary>,
+}
+
+/// A queue of heterogeneous placement jobs drained through one engine with
+/// shared per-design artifacts. See the [module docs](crate::service).
+pub struct PlacementService {
+    store: DesignStore,
+    registry: FlowRegistry,
+    queue: VecDeque<(JobId, PlaceJob)>,
+    results: HashMap<JobId, Result<JobResult, PlaceError>>,
+    next_job: u64,
+    cancel: CancelToken,
+    jobs: usize,
+}
+
+impl PlacementService {
+    /// A service resolving flows through `registry`, with a fresh store.
+    pub fn new(registry: FlowRegistry) -> Self {
+        Self::with_store(registry, DesignStore::new())
+    }
+
+    /// A service over an existing store (e.g. one with a custom sequential-
+    /// graph LRU capacity, or pre-interned designs).
+    pub fn with_store(registry: FlowRegistry, store: DesignStore) -> Self {
+        Self {
+            store,
+            registry,
+            queue: VecDeque::new(),
+            results: HashMap::new(),
+            next_job: 0,
+            cancel: CancelToken::new(),
+            jobs: 0,
+        }
+    }
+
+    /// Sets the worker-thread count used per multi-run job (0 = all cores).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Interns a design into the service's store (see
+    /// [`DesignStore::intern`]).
+    pub fn intern(&mut self, design: netlist::design::Design) -> DesignHandle {
+        self.store.intern(design)
+    }
+
+    /// The design store (designs, identity keys, shared artifact caches).
+    pub fn store(&self) -> &DesignStore {
+        &self.store
+    }
+
+    /// Mutable access to the design store.
+    pub fn store_mut(&mut self) -> &mut DesignStore {
+        &mut self.store
+    }
+
+    /// The service-wide cancel token: cancelling it aborts the current drain
+    /// at the next stage boundary and fails all still-queued jobs with
+    /// [`PlaceError::Cancelled`]. The cancellation consumes itself: once the
+    /// drain has finished, the service arms a fresh token, so jobs submitted
+    /// afterwards run normally (re-request the token before cancelling
+    /// again — old clones are inert).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Enqueues a job and returns its id. Jobs run in submission order on
+    /// the next [`PlacementService::run_all`]; their results are independent
+    /// of that order.
+    pub fn submit(&mut self, job: PlaceJob) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.queue.push_back((id, job));
+        id
+    }
+
+    /// Number of jobs waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of finished jobs whose results have not been taken yet.
+    pub fn completed(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Drains the queue: runs every submitted job and stores its result.
+    /// Returns the number of jobs that ran (successfully or not).
+    ///
+    /// A cancellation only affects this drain: cancelled jobs report
+    /// [`PlaceError::Cancelled`], and the service re-arms a fresh token at
+    /// the end so later submissions run normally.
+    pub fn run_all(&mut self) -> usize {
+        let mut ran = 0;
+        while let Some((id, job)) = self.queue.pop_front() {
+            let result = if self.cancel.is_cancelled() {
+                Err(PlaceError::Cancelled)
+            } else {
+                self.run_job(id, &job)
+            };
+            self.results.insert(id, result);
+            ran += 1;
+        }
+        if self.cancel.is_cancelled() {
+            self.cancel = CancelToken::new();
+        }
+        ran
+    }
+
+    /// Removes and returns a job's result: `None` while the job is still
+    /// queued (or the id is unknown), `Some(Err(_))` when the job failed.
+    pub fn take_result(&mut self, id: JobId) -> Option<Result<JobResult, PlaceError>> {
+        self.results.remove(&id)
+    }
+
+    /// Runs one job through the engine, in a context borrowing the store's
+    /// caches and the service's cancel token.
+    fn run_job(&self, id: JobId, job: &PlaceJob) -> Result<JobResult, PlaceError> {
+        if job.design.0 as usize >= self.store.len() {
+            return Err(PlaceError::InvalidRequest(format!(
+                "job {} names design handle {} but the store holds {} designs",
+                id.0,
+                job.design.0,
+                self.store.len()
+            )));
+        }
+        if job.seeds.is_empty() {
+            return Err(PlaceError::InvalidRequest(format!("job {} has no seeds to run", id.0)));
+        }
+        let placer = self.registry.create(&job.flow)?;
+        let design = self.store.design(job.design);
+
+        let mut ctx = self.store.context().with_cancel_token(self.cancel.clone());
+        if let Some(observer) = &job.observer {
+            ctx = ctx.with_observer(observer.clone());
+        }
+
+        let mut template = PlaceRequest::new(design);
+        if let Some(effort) = job.effort {
+            template = template.with_effort(effort);
+        }
+        if let Some(die) = job.die {
+            template = template.with_die(die);
+        }
+        if let Some(eval) = job.evaluate {
+            template = template.with_evaluation(eval);
+        }
+
+        if job.num_runs() == 1 {
+            // single run: straight through the Placer trait (composite flows
+            // like the handFP oracle are fine here)
+            let mut request = template.with_seed(job.seeds[0]);
+            if let Some(&lambda) = job.lambdas.first() {
+                request = request.with_lambda(lambda);
+            }
+            let outcome = placer.place(&request, &mut ctx)?;
+            let summary = RunSummary {
+                index: 0,
+                seed: outcome.seed,
+                lambda: outcome.lambda.unwrap_or(f64::NAN),
+                score: None,
+                error: None,
+                wall_s: outcome.wall_s,
+            };
+            return Ok(JobResult {
+                job: id,
+                design: job.design,
+                outcome,
+                winner_index: 0,
+                runs: vec![summary],
+            });
+        }
+
+        // multi-run: a seed×λ grid through the batch runner. Flows without a
+        // λ knob sweep seeds only; an empty λ list sweeps at λ = 0.5.
+        let lambdas = if !placer.supports_lambda() || job.lambdas.is_empty() {
+            vec![*job.lambdas.first().unwrap_or(&0.5)]
+        } else {
+            job.lambdas.clone()
+        };
+        let grid = BatchGrid::new(job.seeds.clone(), lambdas);
+        let runner = BatchRunner::new().with_jobs(self.jobs);
+        let batch = runner.run(placer.as_ref(), &template, &grid, &mut ctx)?;
+        Ok(JobResult {
+            job: id,
+            design: job.design,
+            outcome: batch.winner,
+            winner_index: batch.winner_index,
+            runs: batch.runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::builtin_registry;
+    use crate::observer::{CollectingObserver, StageEvent};
+    use geometry::Rect;
+    use netlist::design::{Design, DesignBuilder};
+
+    /// A pipeline design parameterized by name and register count so tests
+    /// can intern several distinct designs.
+    fn pipeline_design(name: &str, regs: usize) -> Design {
+        let mut b = DesignBuilder::new(name);
+        let a = b.add_macro("u_a/ram", "RAM", 200, 150, "u_a");
+        let c = b.add_macro("u_b/ram", "RAM", 200, 150, "u_b");
+        for i in 0..regs {
+            let f = b.add_flop(format!("u_x/pipe_reg[{i}]"), "u_x");
+            let n0 = b.add_net(format!("n0_{i}"));
+            let n1 = b.add_net(format!("n1_{i}"));
+            b.connect_driver(n0, a);
+            b.connect_sink(n0, f);
+            b.connect_driver(n1, f);
+            b.connect_sink(n1, c);
+        }
+        b.set_die(Rect::new(0, 0, 2000, 1500));
+        b.build()
+    }
+
+    fn service() -> PlacementService {
+        PlacementService::new(builtin_registry())
+    }
+
+    #[test]
+    fn single_run_job_produces_a_result() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let job = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        assert_eq!(svc.pending(), 1);
+        assert_eq!(svc.run_all(), 1);
+        assert_eq!(svc.pending(), 0);
+        let result = svc.take_result(job).expect("ran").expect("succeeded");
+        assert_eq!(result.job, job);
+        assert_eq!(result.design, d);
+        assert_eq!(result.outcome.placement.macros.len(), 2);
+        assert_eq!(result.runs.len(), 1);
+        // results are take-once
+        assert!(svc.take_result(job).is_none());
+    }
+
+    #[test]
+    fn unknown_flow_fails_the_job_not_the_service() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let bad = svc.submit(PlaceJob::new(d, "nope"));
+        let good = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        svc.run_all();
+        assert!(matches!(svc.take_result(bad), Some(Err(PlaceError::UnknownFlow { .. }))));
+        assert!(svc.take_result(good).unwrap().is_ok());
+    }
+
+    #[test]
+    fn job_ids_stay_isolated_under_interleaved_submission() {
+        // two designs, two jobs each, submitted interleaved: every result
+        // must match the same job run in isolation on a fresh service
+        let mut svc = service();
+        let da = svc.intern(pipeline_design("alpha", 8));
+        let db = svc.intern(pipeline_design("beta", 12));
+        let spec = |design, seeds: Vec<u64>| {
+            PlaceJob::new(design, "hidap").with_effort(EffortLevel::Fast).with_seeds(seeds)
+        };
+        let jobs = [
+            svc.submit(spec(da, vec![1, 2])),
+            svc.submit(spec(db, vec![3])),
+            svc.submit(spec(da, vec![5])),
+            svc.submit(spec(db, vec![1, 2])),
+        ];
+        svc.run_all();
+        let interleaved: Vec<JobResult> =
+            jobs.iter().map(|&j| svc.take_result(j).unwrap().unwrap()).collect();
+
+        let isolated: Vec<JobResult> =
+            [(da, vec![1u64, 2]), (db, vec![3]), (da, vec![5]), (db, vec![1, 2])]
+                .into_iter()
+                .map(|(design_src, seeds)| {
+                    let mut fresh = service();
+                    let d = fresh.intern(pipeline_design(
+                        if design_src == da { "alpha" } else { "beta" },
+                        if design_src == da { 8 } else { 12 },
+                    ));
+                    let job = fresh.submit(spec(d, seeds));
+                    fresh.run_all();
+                    fresh.take_result(job).unwrap().unwrap()
+                })
+                .collect();
+
+        for (i, (got, want)) in interleaved.iter().zip(&isolated).enumerate() {
+            assert_eq!(got.outcome.placement, want.outcome.placement, "job {i}");
+            assert_eq!(got.outcome.seed, want.outcome.seed, "job {i}");
+            assert_eq!(got.winner_index, want.winner_index, "job {i}");
+        }
+    }
+
+    #[test]
+    fn warm_results_are_bit_identical_to_cold() {
+        let mut svc = service();
+        let designs = [
+            svc.intern(pipeline_design("alpha", 8)),
+            svc.intern(pipeline_design("beta", 12)),
+            svc.intern(pipeline_design("gamma", 16)),
+        ];
+        let spec = |d| {
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard())
+        };
+        let cold: Vec<JobId> = designs.iter().map(|&d| svc.submit(spec(d))).collect();
+        svc.run_all();
+        assert_eq!(svc.store().seq_graphs().misses(), 3, "cold pass builds every graph");
+        let warm: Vec<JobId> = designs.iter().map(|&d| svc.submit(spec(d))).collect();
+        svc.run_all();
+        assert!(svc.store().seq_graphs().hits() >= 3, "warm pass reuses the stored graphs");
+        assert_eq!(svc.store().seq_graphs().misses(), 3, "warm pass builds nothing new");
+        for (c, w) in cold.into_iter().zip(warm) {
+            let cold_result = svc.take_result(c).unwrap().unwrap();
+            let warm_result = svc.take_result(w).unwrap().unwrap();
+            assert_eq!(cold_result.outcome.placement, warm_result.outcome.placement);
+            assert_eq!(cold_result.outcome.metrics, warm_result.outcome.metrics);
+        }
+    }
+
+    #[test]
+    fn per_job_observers_see_only_their_job() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let obs_a = Arc::new(CollectingObserver::new());
+        let obs_b = Arc::new(CollectingObserver::new());
+        let base = PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast);
+        let a = svc.submit(base.clone().with_seeds(vec![1, 2]).with_observer(obs_a.clone()));
+        let b = svc.submit(base.with_observer(obs_b.clone()));
+        svc.run_all();
+        assert!(svc.take_result(a).unwrap().is_ok());
+        assert!(svc.take_result(b).unwrap().is_ok());
+        // job a swept two seeds; job b was a single run with no batch events
+        assert_eq!(obs_a.count(|e| matches!(e, StageEvent::BatchRunStarted { .. })), 2);
+        assert_eq!(obs_a.count(|e| matches!(e, StageEvent::FlowStarted { .. })), 2);
+        assert_eq!(obs_b.count(|e| matches!(e, StageEvent::BatchRunStarted { .. })), 0);
+        assert_eq!(obs_b.count(|e| matches!(e, StageEvent::FlowStarted { .. })), 1);
+    }
+
+    #[test]
+    fn cancellation_fails_queued_jobs() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let job = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        svc.cancel_token().cancel();
+        svc.run_all();
+        assert!(matches!(svc.take_result(job), Some(Err(PlaceError::Cancelled))));
+        // the cancellation consumed itself: a job submitted afterwards runs
+        let retry = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        svc.run_all();
+        assert!(svc.take_result(retry).unwrap().is_ok(), "service must recover after a cancel");
+    }
+
+    #[test]
+    fn empty_seed_list_is_an_invalid_request() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let job = svc.submit(PlaceJob::new(d, "hidap").with_seeds(vec![]));
+        svc.run_all();
+        assert!(matches!(svc.take_result(job), Some(Err(PlaceError::InvalidRequest(_)))));
+    }
+
+    #[test]
+    fn foreign_design_handle_is_rejected() {
+        let mut svc = service();
+        let _ = svc.intern(pipeline_design("p1", 8));
+        let job = svc.submit(PlaceJob::new(DesignHandle(7), "hidap"));
+        svc.run_all();
+        assert!(matches!(svc.take_result(job), Some(Err(PlaceError::InvalidRequest(_)))));
+    }
+}

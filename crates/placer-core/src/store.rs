@@ -1,0 +1,244 @@
+//! The multi-design store: interned designs behind cheap handles, with the
+//! per-design derived artifacts owned centrally and shared across jobs.
+//!
+//! A [`DesignStore`] turns the "one design per context" shape of the
+//! single-design stack into a service-grade boundary:
+//!
+//! * designs are **interned** — inserting the same design (same
+//!   [`DesignKey`]: name, counts, wiring fingerprint, sequential names)
+//!   twice returns the same dense, copyable [`DesignHandle`],
+//! * the CSR [`netlist::Connectivity`] view is **built once per design** at
+//!   intern time and travels with the stored design, so every job placing or
+//!   evaluating through the store reuses it,
+//! * the sequential graph `Gseq` lives in one **bounded LRU**
+//!   ([`eval::SeqGraphCache`]) keyed by design identity and shared by every
+//!   context the store hands out — a warm design skips the dominant
+//!   evaluation setup cost regardless of which job touches it.
+
+use crate::context::PlaceContext;
+use eval::{DesignKey, SeqGraphCache};
+use netlist::dense::DenseId;
+use netlist::design::Design;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cheap, copyable reference to a design interned in a [`DesignStore`].
+///
+/// Handles are dense indices (`0..store.len()`), so per-design bookkeeping
+/// in front ends can live in flat arrays keyed by handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DesignHandle(pub u32);
+
+impl DenseId for DesignHandle {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
+}
+
+/// The store: interned designs plus their shared derived artifacts.
+#[derive(Debug, Clone)]
+pub struct DesignStore {
+    designs: Vec<Arc<Design>>,
+    keys: Vec<DesignKey>,
+    /// Identity → handle, the interning index. A [`DesignKey`] covers name,
+    /// counts, wiring and sequential names but no geometry (the artifacts it
+    /// keys are die-independent), so interning pairs it with
+    /// [`Design::geometry_fingerprint`]: the same netlist under different
+    /// LEF footprints, die or port placement interns separately.
+    index: HashMap<(DesignKey, u64), DesignHandle>,
+    /// The bounded, design-keyed `Gseq` LRU every job shares.
+    seq_graphs: SeqGraphCache,
+}
+
+impl Default for DesignStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DesignStore {
+    /// An empty store with the default sequential-graph LRU capacity
+    /// ([`SeqGraphCache::DEFAULT_CAPACITY`]).
+    pub fn new() -> Self {
+        Self::with_seq_capacity(SeqGraphCache::DEFAULT_CAPACITY)
+    }
+
+    /// An empty store whose sequential-graph LRU keeps at most `capacity`
+    /// designs (clamped to ≥ 1). The designs themselves are never evicted —
+    /// only the derived graphs are bounded.
+    pub fn with_seq_capacity(capacity: usize) -> Self {
+        Self {
+            designs: Vec::new(),
+            keys: Vec::new(),
+            index: HashMap::new(),
+            seq_graphs: SeqGraphCache::with_capacity(capacity),
+        }
+    }
+
+    /// Interns a design: returns the existing handle when a design with the
+    /// same identity ([`DesignKey`] plus geometry fingerprint) was inserted
+    /// before, otherwise stores the design (building and caching its
+    /// connectivity view) under a new dense handle.
+    pub fn intern(&mut self, design: Design) -> DesignHandle {
+        // keying builds the CSR view; it stays cached inside the stored
+        // design, so every later borrower gets it for free
+        let key = DesignKey::of(&design);
+        let geometry = design.geometry_fingerprint();
+        if let Some(&handle) = self.index.get(&(key.clone(), geometry)) {
+            return handle;
+        }
+        let handle = DesignHandle(self.designs.len() as u32);
+        self.designs.push(Arc::new(design));
+        self.keys.push(key.clone());
+        self.index.insert((key, geometry), handle);
+        handle
+    }
+
+    /// The design behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this store.
+    pub fn design(&self, handle: DesignHandle) -> &Design {
+        &self.designs[handle.index()]
+    }
+
+    /// A shared reference to the design behind a handle (for jobs that need
+    /// to outlive a borrow of the store).
+    pub fn design_arc(&self, handle: DesignHandle) -> Arc<Design> {
+        self.designs[handle.index()].clone()
+    }
+
+    /// The identity key a handle was interned under.
+    pub fn key(&self, handle: DesignHandle) -> &DesignKey {
+        &self.keys[handle.index()]
+    }
+
+    /// Finds the handle of the first interned design with this identity key
+    /// (designs interned under several geometries share the key; use
+    /// [`DesignStore::intern`] with the concrete design to resolve exactly).
+    pub fn find(&self, key: &DesignKey) -> Option<DesignHandle> {
+        self.keys.iter().position(|k| k == key).map(DesignHandle::from_index)
+    }
+
+    /// Finds the handle of the first interned design with this name.
+    pub fn find_by_name(&self, name: &str) -> Option<DesignHandle> {
+        self.keys.iter().position(|k| k.name() == name).map(DesignHandle::from_index)
+    }
+
+    /// Number of distinct designs interned.
+    pub fn len(&self) -> usize {
+        self.designs.len()
+    }
+
+    /// Whether the store holds no design.
+    pub fn is_empty(&self) -> bool {
+        self.designs.is_empty()
+    }
+
+    /// Iterates over `(handle, design)` pairs in intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (DesignHandle, &Design)> + '_ {
+        self.designs.iter().enumerate().map(|(i, d)| (DesignHandle::from_index(i), d.as_ref()))
+    }
+
+    /// The shared sequential-graph LRU (hit/miss counters included).
+    pub fn seq_graphs(&self) -> &SeqGraphCache {
+        &self.seq_graphs
+    }
+
+    /// A fresh [`PlaceContext`] borrowing this store's artifact caches:
+    /// every evaluation running through it hits the shared `Gseq` LRU
+    /// instead of a context-private slot.
+    pub fn context(&self) -> PlaceContext {
+        PlaceContext::new().with_seq_cache(self.seq_graphs.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Rect;
+    use netlist::design::DesignBuilder;
+
+    fn design(name: &str, flop: &str) -> Design {
+        let mut b = DesignBuilder::new(name);
+        let m = b.add_macro(format!("{name}/ram"), "RAM", 200, 150, name);
+        let f = b.add_flop(flop, "");
+        let n = b.add_net("n");
+        b.connect_driver(n, f);
+        b.connect_sink(n, m);
+        b.set_die(Rect::new(0, 0, 2000, 1500));
+        b.build()
+    }
+
+    #[test]
+    fn duplicate_designs_intern_to_the_same_handle() {
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let same = store.intern(design("alpha", "r_reg[0]"));
+        assert_eq!(a, same);
+        assert_eq!(store.len(), 1);
+        let b = store.intern(design("beta", "r_reg[0]"));
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.design(a).name(), "alpha");
+        assert_eq!(store.design(b).name(), "beta");
+    }
+
+    #[test]
+    fn same_netlist_different_geometry_gets_a_new_handle() {
+        // identical wiring and names — only the die differs (the shape a
+        // --manifest produces when one netlist is listed with two DEFs)
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let mut resized = design("alpha", "r_reg[0]");
+        resized.set_die(Rect::new(0, 0, 4000, 3000));
+        let b = store.intern(resized);
+        assert_ne!(a, b, "geometry is part of the interning identity");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.design(a).die(), Rect::new(0, 0, 2000, 1500));
+        assert_eq!(store.design(b).die(), Rect::new(0, 0, 4000, 3000));
+    }
+
+    #[test]
+    fn same_name_different_content_gets_a_new_handle() {
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let rewired = store.intern(design("alpha", "other_reg[0]"));
+        assert_ne!(a, rewired, "identity is content, not just the name");
+        assert_eq!(store.len(), 2);
+        // name lookup returns the first intern
+        assert_eq!(store.find_by_name("alpha"), Some(a));
+    }
+
+    #[test]
+    fn handles_are_dense_and_lookup_roundtrips() {
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let b = store.intern(design("beta", "r_reg[0]"));
+        assert_eq!((a.index(), b.index()), (0, 1));
+        assert_eq!(store.find(store.key(a)), Some(a));
+        assert_eq!(store.find(store.key(b)), Some(b));
+        let handles: Vec<DesignHandle> = store.iter().map(|(h, _)| h).collect();
+        assert_eq!(handles, vec![a, b]);
+    }
+
+    #[test]
+    fn store_contexts_share_one_seq_graph_lru() {
+        let mut store = DesignStore::with_seq_capacity(4);
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let ctx1 = store.context();
+        let ctx2 = store.context();
+        let g1 = ctx1.evaluator(eval::EvalConfig::standard()).seq_graph(store.design(a));
+        let g2 = ctx2.evaluator(eval::EvalConfig::standard()).seq_graph(store.design(a));
+        assert!(std::sync::Arc::ptr_eq(&g1, &g2), "both contexts hit the store's LRU");
+        assert_eq!(store.seq_graphs().misses(), 1);
+        assert_eq!(store.seq_graphs().hits(), 1);
+    }
+}

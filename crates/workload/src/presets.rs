@@ -155,6 +155,45 @@ pub fn large_soc() -> GeneratedDesign {
     SocGenerator::new(large_soc_config(1.0)).generate()
 }
 
+/// Configuration of one design of the multi-design *service fleet*: a set of
+/// distinct small SoCs (different names, topologies and seeds, so every
+/// design has a distinct identity key) sized for multi-design service
+/// benchmarks and tests. `scale` grows the glue/datapath budget; `0.1` keeps
+/// a whole fleet affordable in debug-build tests.
+pub fn service_fleet_config(index: usize, scale: f64) -> SocConfig {
+    let scale = scale.clamp(0.01, 1.0);
+    let num_subsystems = 6 + index % 3;
+    let bits = ((64.0 * scale).round() as usize).max(4);
+    let subsystems = (0..num_subsystems)
+        .map(|s| SubsystemConfig {
+            name: format!("u_s{s}"),
+            // few macros per subsystem: fleet designs are datapath-heavy
+            // (expensive derived artifacts) with a cheap macro placement
+            macros: 1 + (index + s) % 2,
+            macro_size: (40_000, 30_000),
+            pipeline_stages: 4,
+            datapath_bits: bits,
+            glue_per_stage: ((1_150.0 * scale).round() as usize).max(8),
+        })
+        .collect();
+    SocConfig {
+        name: format!("fleet_{index}"),
+        subsystems,
+        channels: (0..num_subsystems).map(|s| (s, (s + 1) % num_subsystems)).collect(),
+        io_subsystems: vec![0],
+        io_bits: bits,
+        utilization: 0.5,
+        aspect_ratio: 1.0,
+        seed: 0xF1EE7 + index as u64,
+    }
+}
+
+/// Generates a fleet of `count` distinct designs (see
+/// [`service_fleet_config`]).
+pub fn service_fleet(count: usize, scale: f64) -> Vec<GeneratedDesign> {
+    (0..count).map(|i| SocGenerator::new(service_fleet_config(i, scale)).generate()).collect()
+}
+
 /// The 16-macro, two-cluster design used to illustrate the multi-level flow
 /// in Fig. 1 of the paper.
 pub fn fig1_design() -> GeneratedDesign {
@@ -313,6 +352,23 @@ mod tests {
             "large_soc should have ~100k cells, got {cells}"
         );
         g.design.validate().expect("consistent design");
+    }
+
+    #[test]
+    fn service_fleet_designs_are_distinct_and_consistent() {
+        let fleet = service_fleet(4, 0.1);
+        assert_eq!(fleet.len(), 4);
+        let mut names: Vec<&str> = fleet.iter().map(|g| g.design.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4, "fleet designs must have distinct names");
+        for g in &fleet {
+            g.design.validate().expect("consistent design");
+            assert!(g.design.num_macros() >= 4);
+            assert!(g.design.die().area() > 0);
+        }
+        // topologies differ too, not just the names
+        assert_ne!(fleet[0].config.subsystems.len(), fleet[1].config.subsystems.len());
     }
 
     #[test]
