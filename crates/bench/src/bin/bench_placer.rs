@@ -10,9 +10,17 @@
 //!    for the whole sweep, serial and per-worker-clone parallel variants),
 //! 3. `service_reuse`: a fleet of distinct designs placed **twice** through
 //!    one [`placer_core::PlacementService`] — the cold pass builds every
-//!    per-design `Gseq` into the store's shared LRU, the warm pass reuses
-//!    them (asserted in-process through the cache-hit counters), and the
-//!    serial warm/cold timing ratio measures the artifact reuse.
+//!    per-design `Gseq` into the store's shared artifact cache, the warm
+//!    pass reuses them (asserted in-process through the cache-hit
+//!    counters), and the serial warm/cold timing ratio measures the
+//!    artifact reuse,
+//! 4. `artifact_reuse`: the full design-store lifecycle on a fresh service —
+//!    a **cold** pass (every `Gnet` and `Gseq` built), a **warm** pass
+//!    (asserted in-process to perform zero `NetGraph` *and* zero `SeqGraph`
+//!    builds — the CI gate), then every design **released, evicted and
+//!    re-interned** and a rebuilt pass run from empty caches. Placements
+//!    and metrics must be bit-identical across all three passes (eviction
+//!    changes timing, never results).
 //!
 //! All parts cross-check that the before/after paths produce bit-identical
 //! results, and the timings land in `BENCH_placer.json`.
@@ -184,7 +192,7 @@ fn main() {
     //    the map and Gseq rebuilds disappear and the placer sweep runs on
     //    incrementally maintained per-net sums;
     //  * session (parallel) — `Evaluator` is `Clone + Send` around a shared
-    //    `SeqGraphCache`, so per-worker clones fan the sweep across all
+    //    `ArtifactCache`, so per-worker clones fan the sweep across all
     //    cores while still building one Gseq total (the shape `BatchRunner`
     //    uses). The old boundary had no shareable session to clone.
     let sweep: Vec<MacroPlacement> =
@@ -219,7 +227,7 @@ fn main() {
         let slots: Vec<_> = sweep.iter().map(|_| std::sync::Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers.min(sweep.len()) {
-                // per-worker clones share one SeqGraphCache: one Gseq total
+                // per-worker clones share one ArtifactCache: one Gseq total
                 let mut worker = session.clone();
                 let next = &next;
                 let slots = &slots;
@@ -273,7 +281,11 @@ fn main() {
     let mut service = PlacementService::new(baselines::default_registry());
     let handles: Vec<_> = fleet.into_iter().map(|g| service.intern(g.design)).collect();
 
-    let run_pass = |service: &mut PlacementService| -> (Vec<JobResult>, f64) {
+    fn run_fleet_pass(
+        service: &mut PlacementService,
+        handles: &[placer_core::DesignHandle],
+        eval_cfg: EvalConfig,
+    ) -> (Vec<JobResult>, f64) {
         let jobs: Vec<JobId> = handles
             .iter()
             .map(|&h| {
@@ -292,20 +304,20 @@ fn main() {
             .map(|j| service.take_result(j).expect("job ran").expect("job succeeded"))
             .collect();
         (results, elapsed)
-    };
+    }
 
     eprintln!("service reuse: cold pass ...");
-    let (cold_results, cold_s) = run_pass(&mut service);
-    let seq_built = service.store().seq_graphs().misses();
+    let (cold_results, cold_s) = run_fleet_pass(&mut service, &handles, eval_cfg);
+    let seq_built = service.store().artifacts().stats().seq.misses;
     assert_eq!(seq_built as usize, fleet_size, "cold pass builds one Gseq per design");
     eprintln!("service reuse: warm pass ...");
-    let (warm_results, warm_s) = run_pass(&mut service);
-    let seq_reused = service.store().seq_graphs().hits();
+    let (warm_results, warm_s) = run_fleet_pass(&mut service, &handles, eval_cfg);
+    let seq_reused = service.store().artifacts().stats().seq.hits;
     // the warm-cache pass must actually reuse the stored SeqGraphs — this
     // gate runs before the JSON artifact is written/uploaded
-    assert!(seq_reused > 0, "warm pass must hit the store's SeqGraph LRU (hits = {seq_reused})");
+    assert!(seq_reused > 0, "warm pass must hit the store's SeqGraph cache (hits = {seq_reused})");
     assert_eq!(
-        service.store().seq_graphs().misses(),
+        service.store().artifacts().stats().seq.misses,
         seq_built,
         "warm pass must not rebuild any graph"
     );
@@ -324,8 +336,99 @@ fn main() {
         warm_s * 1e3
     );
 
+    // --- artifact reuse: cold / warm / evicted-and-rebuilt hidap passes ----
+    //
+    // The full design-store lifecycle on a fresh service. Pass 1 (cold)
+    // builds every Gnet and Gseq into the byte-budgeted artifact cache;
+    // pass 2 (warm) must perform ZERO NetGraph builds and ZERO SeqGraph
+    // builds — the in-process CI gate mirroring the Gseq assertion above —
+    // so a hidap run against a warm design touches no graph constructor at
+    // all. Then every handle is released, `evict_unreferenced` drops the
+    // designs AND their artifacts, the fleet is re-interned under the same
+    // handles, and pass 3 rebuilds from empty caches. All three passes must
+    // produce bit-identical placements and metrics.
+    eprintln!("artifact reuse: generating the fleet ...");
+    let mut art_service = PlacementService::new(baselines::default_registry());
+    let art_handles: Vec<_> = service_fleet(fleet_size, fleet_scale)
+        .into_iter()
+        .map(|g| art_service.intern(g.design))
+        .collect();
+
+    eprintln!("artifact reuse: cold pass ...");
+    let (art_cold, art_cold_s) = run_fleet_pass(&mut art_service, &art_handles, eval_cfg);
+    let cold_stats = art_service.store().artifacts().stats();
+    assert_eq!(cold_stats.net.misses as usize, fleet_size, "cold pass: one Gnet per design");
+    assert_eq!(cold_stats.seq.misses as usize, fleet_size, "cold pass: one Gseq per design");
+
+    eprintln!("artifact reuse: warm pass ...");
+    let (art_warm, art_warm_s) = run_fleet_pass(&mut art_service, &art_handles, eval_cfg);
+    let warm_stats = art_service.store().artifacts().stats();
+    // CI gate: a warm hidap run performs zero NetGraph builds (and zero
+    // SeqGraph builds) — asserted before the JSON artifact is written
+    assert_eq!(
+        warm_stats.net.misses, cold_stats.net.misses,
+        "warm hidap runs must perform zero NetGraph builds"
+    );
+    assert_eq!(
+        warm_stats.seq.misses, cold_stats.seq.misses,
+        "warm hidap runs must perform zero SeqGraph builds"
+    );
+    assert!(warm_stats.net.hits > cold_stats.net.hits, "warm pass reuses the stored NetGraphs");
+    let net_built = warm_stats.net.misses;
+    let net_reused = warm_stats.net.hits;
+
+    eprintln!("artifact reuse: evicting and re-interning the fleet ...");
+    for &h in &art_handles {
+        art_service.release(h);
+    }
+    let evicted = art_service.store_mut().evict_unreferenced();
+    assert_eq!(evicted, fleet_size, "every released design is evicted");
+    assert_eq!(
+        art_service.store().artifacts().resident_bytes(),
+        0,
+        "design eviction purges the designs' artifacts"
+    );
+    let revived: Vec<_> = service_fleet(fleet_size, fleet_scale)
+        .into_iter()
+        .map(|g| art_service.intern(g.design))
+        .collect();
+    assert_eq!(revived, art_handles, "re-interned designs revive their old handles");
+
+    eprintln!("artifact reuse: rebuilt pass ...");
+    let (art_rebuilt, art_rebuilt_s) = run_fleet_pass(&mut art_service, &art_handles, eval_cfg);
+    let rebuilt_stats = art_service.store().artifacts().stats();
+    assert_eq!(
+        rebuilt_stats.net.misses as usize,
+        2 * fleet_size,
+        "the rebuilt pass reconstructs every Gnet from scratch"
+    );
+    for ((cold, warm), rebuilt) in art_cold.iter().zip(&art_warm).zip(&art_rebuilt) {
+        assert_eq!(
+            cold.outcome.placement, warm.outcome.placement,
+            "cold and warm placements disagree"
+        );
+        assert_eq!(
+            cold.outcome.placement, rebuilt.outcome.placement,
+            "cold and evicted-and-rebuilt placements disagree"
+        );
+        assert_eq!(cold.outcome.metrics, warm.outcome.metrics, "cold/warm metrics disagree");
+        assert_eq!(
+            cold.outcome.metrics, rebuilt.outcome.metrics,
+            "cold and evicted-and-rebuilt metrics disagree"
+        );
+    }
+    let speedup_artifact = art_cold_s / art_warm_s.max(1e-12);
+    println!(
+        "artifact reuse ({fleet_size} designs x3): cold {:.1} ms, warm {:.1} ms \
+         ({speedup_artifact:.2}x), rebuilt {:.1} ms ({net_built} Gnet built, {net_reused} \
+         reused, {evicted} designs evicted)",
+        art_cold_s * 1e3,
+        art_warm_s * 1e3,
+        art_rebuilt_s * 1e3
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }},\n  \"artifact_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"rebuilt_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"net_graphs_built\": {net_built},\n    \"net_graphs_reused\": {net_reused},\n    \"warm_net_graph_builds\": 0,\n    \"warm_seq_graph_builds\": 0,\n    \"designs_evicted\": {evicted},\n    \"metrics_bit_identical\": true\n  }}\n}}\n",
         design.num_cells(),
         design.num_nets(),
         csr.num_pins(),
@@ -347,6 +450,10 @@ fn main() {
         cold_s * 1e3,
         warm_s * 1e3,
         speedup_service,
+        art_cold_s * 1e3,
+        art_warm_s * 1e3,
+        art_rebuilt_s * 1e3,
+        speedup_artifact,
     );
     std::fs::write(&out_path, json).expect("write BENCH_placer.json");
     eprintln!("wrote {out_path}");

@@ -10,6 +10,7 @@
 //!       [--effort fast|default|high] [--seed 1] [--sweep] [--jobs N]
 //!       [--seeds 1,2,3] [--lambdas 0.2,0.5,0.8]
 //!       [--out placed.def] [--svg floorplan.svg] [--report]
+//! hidap --manifest designs.txt [--memory-budget 512] [shared flags]
 //! ```
 //!
 //! Flows are resolved by name through the engine's flow registry
@@ -78,6 +79,11 @@ pub struct Options {
     pub seeds: Vec<u64>,
     /// Sweep λ values.
     pub lambdas: Vec<f64>,
+    /// Memory budget in MiB for the `--manifest` service store (designs +
+    /// cached artifacts). Designs are released after their last manifest
+    /// line, so the budget bounds the batch's peak resident bytes; `None`
+    /// leaves the store unbounded for the run.
+    pub memory_budget_mib: Option<f64>,
     /// Output DEF path (optional).
     pub out: Option<PathBuf>,
     /// Output SVG path (optional).
@@ -102,6 +108,7 @@ impl Default for Options {
             jobs: 0,
             seeds: Vec::new(),
             lambdas: vec![0.2, 0.5, 0.8],
+            memory_budget_mib: None,
             out: None,
             svg: None,
             report: false,
@@ -114,9 +121,10 @@ pub const USAGE: &str = "usage: hidap --verilog <file.v> [--lef <file.lef>] [--d
 [--top <module>] [--flow hidap|indeda|handfp] [--lambda <0..1>] [--effort fast|default|high] \
 [--seed <n>] [--sweep] [--jobs <n>] [--seeds <n,n,...>] [--lambdas <l,l,...>] \
 [--out <placed.def>] [--svg <floorplan.svg>] [--report]\n\
-       hidap --manifest <designs.txt> [shared flags as above]\n\
+       hidap --manifest <designs.txt> [--memory-budget <MiB>] [shared flags as above]\n\
 manifest lines:  <file.v> [lef=<file>] [def=<file>] [top=<name>] [flow=<name>] \
-[lambda=<0..1>] [seed=<n>] [effort=<tier>]   ('#' starts a comment)";
+[lambda=<0..1>] [seed=<n>] [seeds=<n,n,...>] [lambdas=<l,l,...>] [effort=<tier>]   \
+('#' starts a comment)";
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
     value
@@ -188,6 +196,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--seeds" => opts.seeds = parse_list(&value(&mut i)?, "--seeds")?,
             "--lambdas" => opts.lambdas = parse_list(&value(&mut i)?, "--lambdas")?,
+            "--memory-budget" => {
+                let mib: f64 = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "invalid --memory-budget value".to_string())?;
+                if !mib.is_finite() || mib <= 0.0 {
+                    return Err(format!("--memory-budget must be a positive MiB count, got {mib}"));
+                }
+                opts.memory_budget_mib = Some(mib);
+            }
             "--out" => opts.out = Some(PathBuf::from(value(&mut i)?)),
             "--svg" => opts.svg = Some(PathBuf::from(value(&mut i)?)),
             "--report" => opts.report = true,
@@ -206,6 +223,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err(
             "--out/--svg write a single design; they are not available with --manifest".to_string()
         );
+    }
+    if opts.memory_budget_mib.is_some() && opts.manifest.is_none() {
+        return Err("--memory-budget bounds the --manifest service store; it has no effect on a \
+             single-design run"
+            .to_string());
     }
     if !(0.0..=1.0).contains(&opts.lambda) {
         return Err(format!("--lambda must be between 0 and 1, got {}", opts.lambda));
@@ -348,10 +370,18 @@ pub struct ManifestEntry {
     pub flow: String,
     /// Explicit `lambda=` override: pins this design's λ even under
     /// `--sweep` (the line sweeps seeds only). `None` inherits `--lambda`
-    /// for single runs and the `--lambdas` axis for sweeps.
+    /// for single runs and the `--lambdas` axis for sweeps. Mutually
+    /// exclusive with `lambdas=`.
     pub lambda: Option<f64>,
-    /// Seed for this design's run (base seed under `--sweep`).
+    /// Explicit `lambdas=` override: this design sweeps its own λ grid,
+    /// with or without the global `--sweep`. Empty inherits.
+    pub lambdas: Option<Vec<f64>>,
+    /// Seed for this design's run (base seed under `--sweep`; ignored when
+    /// `seeds=` is given).
     pub seed: u64,
+    /// Explicit `seeds=` override: this design sweeps exactly these seeds,
+    /// with or without the global `--sweep`. Empty inherits.
+    pub seeds: Vec<u64>,
     /// Effort preset for this design.
     pub effort: String,
 }
@@ -359,8 +389,11 @@ pub struct ManifestEntry {
 /// Parses a `--manifest` file: one design per line, `#` starts a comment,
 /// the first token is the Verilog path (resolved relative to `base_dir`),
 /// every later token is a `key=value` override (`lef=`, `def=`, `top=`,
-/// `flow=`, `lambda=`, `seed=`, `effort=`). Values are validated like the
-/// equivalent command-line flags.
+/// `flow=`, `lambda=`, `lambdas=`, `seed=`, `seeds=`, `effort=`). Values
+/// are validated like the equivalent command-line flags. `seeds=`/`lambdas=`
+/// give the line its own sweep grid — heterogeneous fleets can mix
+/// single-run designs with per-design grids in one manifest, with or
+/// without the global `--sweep`.
 pub fn parse_manifest(
     text: &str,
     base_dir: &Path,
@@ -390,7 +423,9 @@ pub fn parse_manifest(
             top: defaults.top.clone(),
             flow: defaults.flow.clone(),
             lambda: None,
+            lambdas: None,
             seed: defaults.seed,
+            seeds: Vec::new(),
             effort: defaults.effort.clone(),
         };
         for token in tokens {
@@ -418,10 +453,18 @@ pub fn parse_manifest(
                     }
                     entry.lambda = Some(lambda);
                 }
+                "lambdas" => {
+                    let lambdas: Vec<f64> = parse_list(value, "lambdas=").map_err(&at)?;
+                    if let Some(bad) = lambdas.iter().find(|l| !(0.0..=1.0).contains(*l)) {
+                        return Err(at(format!("lambda must be between 0 and 1, got {bad}")));
+                    }
+                    entry.lambdas = Some(lambdas);
+                }
                 "seed" => {
                     entry.seed =
                         value.parse().map_err(|_| at(format!("invalid seed '{value}'")))?;
                 }
+                "seeds" => entry.seeds = parse_list(value, "seeds=").map_err(&at)?,
                 "effort" => {
                     if EffortLevel::parse(value).is_none() {
                         return Err(at(format!(
@@ -433,6 +476,9 @@ pub fn parse_manifest(
                 other => return Err(at(format!("unknown key '{other}'"))),
             }
         }
+        if entry.lambda.is_some() && entry.lambdas.is_some() {
+            return Err(at("lambda= and lambdas= are mutually exclusive".to_string()));
+        }
         entries.push(entry);
     }
     if entries.is_empty() {
@@ -443,10 +489,14 @@ pub fn parse_manifest(
 
 /// Batch driver behind `--manifest`: loads every design named by the
 /// manifest, interns them into one [`PlacementService`] (shared connectivity
-/// and sequential-graph caches), submits one job per line and drains the
-/// queue. Per-design placement failures are reported inline and do not stop
-/// the other designs; the run errors (carrying the full report) when any
-/// design failed. Returns the text printed to stdout.
+/// and artifact caches), runs one job per line and releases each design
+/// after its last line — so under `--memory-budget` the store can evict
+/// finished designs (and their artifacts) while later lines still run,
+/// bounding the batch's peak resident bytes, not just its tail. Per-design
+/// failures — an unreadable/unparsable input file as much as a failed
+/// placement — are reported inline and do not stop the other designs; the
+/// run errors (carrying the full report) when any design failed. Returns
+/// the text printed to stdout.
 pub fn run_manifest(opts: &Options) -> Result<String, String> {
     let manifest_path = opts.manifest.as_ref().expect("run_manifest requires --manifest");
     let text = std::fs::read_to_string(manifest_path)
@@ -455,36 +505,54 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
     let entries = parse_manifest(&text, base_dir, opts)?;
     let registry = baselines::default_registry();
 
-    if opts.sweep {
-        // mirror the single-design front end: reject composite flows before
-        // anything runs, with the same actionable message
-        let mut flows: Vec<&str> = entries.iter().map(|e| e.flow.as_str()).collect();
-        flows.sort_unstable();
-        flows.dedup();
-        for flow in flows {
-            if registry.create(flow).map_err(|e| e.to_string())?.is_composite() {
-                return Err(format!(
-                    "flow '{flow}' already sweeps a seed×λ grid internally; drop --sweep \
-                     (configure the flow's own grid instead) or sweep a single-run flow like \
-                     'hidap'"
-                ));
-            }
+    // reject composite flows before anything runs, with the same actionable
+    // message as the single-design front end — a line sweeps when the global
+    // --sweep applies or when it carries its own seeds=/lambdas= grid
+    for entry in &entries {
+        let sweeps = opts.sweep
+            || entry.seeds.len() > 1
+            || entry.lambdas.as_ref().is_some_and(|l| l.len() > 1);
+        if sweeps && registry.create(&entry.flow).map_err(|e| e.to_string())?.is_composite() {
+            return Err(format!(
+                "flow '{}' already sweeps a seed×λ grid internally; drop --sweep and per-line \
+                 seeds=/lambdas= grids (configure the flow's own grid instead) or sweep a \
+                 single-run flow like 'hidap'",
+                entry.flow
+            ));
         }
     }
 
-    // size the shared Gseq LRU to the fleet: up to two graph variants per
-    // design (the flow's register-width threshold and the evaluation
-    // default), so no manifest line evicts another's warm artifacts
-    let store = placer_core::DesignStore::with_seq_capacity(
-        (2 * entries.len()).max(eval::SeqGraphCache::DEFAULT_CAPACITY),
-    );
+    // one byte-budgeted store for the whole fleet: designs plus their
+    // derived artifacts (Gnet, Gseq) under --memory-budget when given.
+    // Without the flag the store is effectively unbounded for the run, so
+    // no manifest line ever evicts another's warm artifacts (the PR-4
+    // guarantee) — a finite batch is not the long-lived service the default
+    // artifact budget protects against.
+    let budget_bytes = opts
+        .memory_budget_mib
+        .map(|mib| (mib * (1u64 << 20) as f64) as usize)
+        .unwrap_or(usize::MAX);
+    let store = placer_core::DesignStore::with_memory_budget(budget_bytes);
     let mut service = PlacementService::with_store(registry, store).with_jobs(opts.jobs);
-    let mut submitted = Vec::with_capacity(entries.len());
     // repeated lines with the same input files skip the parse entirely —
     // the front-end load is the dominant cost for large netlists
     type LoadSpec = (PathBuf, Option<PathBuf>, Option<PathBuf>, Option<String>);
     let mut loaded: std::collections::HashMap<LoadSpec, (placer_core::DesignHandle, i64, String)> =
         std::collections::HashMap::new();
+    // how many lines still need each design: the handle is released after
+    // its last line, so under --memory-budget the store can evict finished
+    // designs while later lines are still running (the budget bounds the
+    // run's peak, not just its tail)
+    let mut lines_left: std::collections::HashMap<LoadSpec, usize> =
+        std::collections::HashMap::new();
+    for entry in &entries {
+        *lines_left
+            .entry((entry.verilog.clone(), entry.lef.clone(), entry.def.clone(), entry.top.clone()))
+            .or_insert(0) += 1;
+    }
+
+    let mut output = String::new();
+    let mut failures = 0usize;
     for entry in &entries {
         let spec: LoadSpec =
             (entry.verilog.clone(), entry.lef.clone(), entry.def.clone(), entry.top.clone());
@@ -498,85 +566,138 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
                     top: entry.top.clone(),
                     ..opts.clone()
                 };
-                let (design, dbu) = load_design(&load_opts)?;
-                let name = design.name().to_string();
-                let handle = service.intern(design);
-                loaded.insert(spec, (handle, dbu, name.clone()));
-                (handle, dbu, name)
+                match load_design(&load_opts) {
+                    Ok((design, dbu)) => {
+                        let name = design.name().to_string();
+                        let handle = service.intern(design);
+                        loaded.insert(spec.clone(), (handle, dbu, name.clone()));
+                        (handle, dbu, name)
+                    }
+                    Err(e) => {
+                        // a bad input file fails its own line, exactly like
+                        // a placement failure — earlier lines' finished
+                        // results must not be discarded by a later typo
+                        failures += 1;
+                        output.push_str(&format!(
+                            "{} ({}): FAILED: {e}\n",
+                            entry.verilog.display(),
+                            entry.flow
+                        ));
+                        *lines_left.get_mut(&spec).expect("every entry was counted") -= 1;
+                        continue;
+                    }
+                }
             }
         };
         let effort = EffortLevel::parse(&entry.effort)
             .ok_or_else(|| format!("unknown effort '{}'", entry.effort))?;
-        let mut job = PlaceJob::new(handle, &entry.flow).with_effort(effort);
-        if opts.sweep {
-            // an explicit per-line lambda= pins the λ axis for this design;
-            // otherwise the line sweeps the shared --lambdas grid
-            let lambdas = match entry.lambda {
-                Some(lambda) => vec![lambda],
-                None => opts.lambdas.clone(),
-            };
-            let seeds = if opts.seeds.is_empty() {
+        // per-line grid resolution: an explicit lambdas= sweeps that grid,
+        // lambda= pins a single λ (even under --sweep), and without either
+        // the line inherits the global axis (--lambdas when sweeping,
+        // --lambda otherwise); seeds= overrides the seed axis the same way
+        let lambdas = if let Some(lambdas) = &entry.lambdas {
+            lambdas.clone()
+        } else if let Some(lambda) = entry.lambda {
+            vec![lambda]
+        } else if opts.sweep {
+            opts.lambdas.clone()
+        } else {
+            vec![opts.lambda]
+        };
+        let seeds = if !entry.seeds.is_empty() {
+            entry.seeds.clone()
+        } else if opts.sweep {
+            if opts.seeds.is_empty() {
                 BatchGrid::derived(entry.seed, 4, lambdas.clone()).seeds
             } else {
                 opts.seeds.clone()
-            };
-            job = job.with_seeds(seeds).with_lambdas(lambdas);
+            }
         } else {
-            job = job
-                .with_seeds(vec![entry.seed])
-                .with_lambdas(vec![entry.lambda.unwrap_or(opts.lambda)]);
-        }
+            vec![entry.seed]
+        };
+        let mut job = PlaceJob::new(handle, &entry.flow)
+            .with_effort(effort)
+            .with_seeds(seeds)
+            .with_lambdas(lambdas);
         if opts.report {
             job = job.with_evaluation(EvalConfig { dbu_per_micron: dbu, ..EvalConfig::standard() });
         }
-        submitted.push((service.submit(job), name, entry, dbu));
-    }
-
-    service.run_all();
-
-    let mut output = String::new();
-    let mut failures = 0usize;
-    for (job_id, name, entry, dbu) in submitted {
-        let result =
-            match service.take_result(job_id).expect("run_all completed every submitted job") {
-                Ok(result) => result,
-                Err(e) => {
-                    // report the failure and keep going: the other designs'
-                    // results must not be lost to one bad entry
-                    failures += 1;
-                    output.push_str(&format!("{name} ({}): FAILED: {e}\n", entry.flow));
-                    continue;
+        // run this line now (the queue drains serially either way) and
+        // report it while its design is guaranteed resident
+        let job_id = service.submit(job);
+        service.run_all();
+        match service.take_result(job_id).expect("run_all completed the submitted job") {
+            Ok(result) => {
+                let design = service.store().design(result.design);
+                let placement = &result.outcome.placement;
+                output.push_str(&format!(
+                    "{name} ({}): placed {} macros on a {:.1} x {:.1} um die (legal: {}), seed \
+                     {}{}\n",
+                    entry.flow,
+                    placement.macros.len(),
+                    design.die().width() as f64 / dbu as f64,
+                    design.die().height() as f64 / dbu as f64,
+                    placement.is_legal(design),
+                    result.outcome.seed,
+                    result.outcome.lambda.map(|l| format!(", lambda {l}")).unwrap_or_default(),
+                ));
+                if let Some(metrics) = &result.outcome.metrics {
+                    output.push_str(&format!(
+                        "  wirelength: {:.4} m, GRC%: {:.2}, WNS: {:.2}%, TNS: {:.1} ns\n",
+                        metrics.wirelength_m,
+                        metrics.grc_percent(),
+                        metrics.wns_percent(),
+                        metrics.tns_ns(),
+                    ));
                 }
-            };
-        let design = service.store().design(result.design);
-        let placement = &result.outcome.placement;
-        output.push_str(&format!(
-            "{name} ({}): placed {} macros on a {:.1} x {:.1} um die (legal: {}), seed {}{}\n",
-            entry.flow,
-            placement.macros.len(),
-            design.die().width() as f64 / dbu as f64,
-            design.die().height() as f64 / dbu as f64,
-            placement.is_legal(design),
-            result.outcome.seed,
-            result.outcome.lambda.map(|l| format!(", lambda {l}")).unwrap_or_default(),
-        ));
-        if let Some(metrics) = &result.outcome.metrics {
-            output.push_str(&format!(
-                "  wirelength: {:.4} m, GRC%: {:.2}, WNS: {:.2}%, TNS: {:.1} ns\n",
-                metrics.wirelength_m,
-                metrics.grc_percent(),
-                metrics.wns_percent(),
-                metrics.tns_ns(),
-            ));
+            }
+            Err(e) => {
+                // report the failure and keep going: the other designs'
+                // results must not be lost to one bad entry
+                failures += 1;
+                output.push_str(&format!("{name} ({}): FAILED: {e}\n", entry.flow));
+            }
         }
+        // this line is done with its design: after the last line naming it,
+        // drop the intern reference so budget pressure can evict it, and
+        // re-apply the budget — the line's flow/evaluation grew the artifact
+        // side of the accounting, which only reclaim() folds back in
+        let left = lines_left.get_mut(&spec).expect("every entry was counted");
+        *left -= 1;
+        if *left == 0 {
+            service.release(handle);
+        }
+        service.store_mut().reclaim();
     }
-    let cache = service.store().seq_graphs();
+    let store = service.store();
+    let stats = store.artifacts().stats();
+    let mib = |bytes: usize| bytes as f64 / (1u64 << 20) as f64;
     output.push_str(&format!(
-        "service: {} jobs over {} interned designs (Gseq cache: {} built, {} reused)\n",
+        "service: {} jobs over {} interned designs\n",
         entries.len(),
-        service.store().len(),
-        cache.misses(),
-        cache.hits(),
+        store.len(),
+    ));
+    output.push_str(&format!(
+        "cache: Gseq {} built, {} reused; Gnet {} built, {} reused; {} artifacts evicted\n",
+        stats.seq.misses,
+        stats.seq.hits,
+        stats.net.misses,
+        stats.net.hits,
+        stats.evictions(),
+    ));
+    output.push_str(&format!(
+        "memory: {:.1} MiB resident (designs {:.1} MiB + artifacts {:.1} MiB){}{}\n",
+        mib(store.resident_bytes()),
+        mib(store.design_bytes()),
+        mib(store.artifacts().resident_bytes()),
+        match opts.memory_budget_mib {
+            Some(budget_mib) => format!(", budget {budget_mib:.1} MiB"),
+            None => String::new(),
+        },
+        match store.design_evictions() {
+            0 => String::new(),
+            n => format!(", {n} designs evicted"),
+        },
     ));
     if failures > 0 {
         return Err(format!("{output}{failures} of {} designs failed", entries.len()));
@@ -793,6 +914,37 @@ sub/b.v lef=b.lef top=chip
     }
 
     #[test]
+    fn memory_budget_flag_parses_and_requires_manifest() {
+        let opts = parse_args(&args(&["--manifest", "m.txt", "--memory-budget", "512"])).unwrap();
+        assert_eq!(opts.memory_budget_mib, Some(512.0));
+        // fractional budgets are fine (tests use tiny ones)
+        let opts = parse_args(&args(&["--manifest", "m.txt", "--memory-budget", "0.5"])).unwrap();
+        assert_eq!(opts.memory_budget_mib, Some(0.5));
+        for bad in ["0", "-3", "nan", "lots"] {
+            let err =
+                parse_args(&args(&["--manifest", "m.txt", "--memory-budget", bad])).unwrap_err();
+            assert!(err.contains("--memory-budget"), "{bad}: {err}");
+        }
+        // the budget governs the manifest service store only
+        let err = parse_args(&args(&["--verilog", "a.v", "--memory-budget", "64"])).unwrap_err();
+        assert!(err.contains("--manifest"), "{err}");
+    }
+
+    #[test]
+    fn manifest_lines_parse_per_line_grids() {
+        let defaults = parse_args(&args(&["--manifest", "m.txt"])).unwrap();
+        let text = "a.v seeds=1,2,3 lambdas=0.2,0.8\nb.v seeds=9\nc.v\n";
+        let entries = parse_manifest(text, Path::new("/base"), &defaults).unwrap();
+        assert_eq!(entries[0].seeds, vec![1, 2, 3]);
+        assert_eq!(entries[0].lambdas, Some(vec![0.2, 0.8]));
+        assert_eq!(entries[1].seeds, vec![9]);
+        assert_eq!(entries[1].lambdas, None);
+        // unnamed lines inherit (empty = use the global axis)
+        assert!(entries[2].seeds.is_empty());
+        assert_eq!(entries[2].lambdas, None);
+    }
+
+    #[test]
     fn manifest_validation_errors_name_the_line() {
         let defaults = parse_args(&args(&["--manifest", "m.txt"])).unwrap();
         let base = Path::new(".");
@@ -801,6 +953,10 @@ sub/b.v lef=b.lef top=chip
             ("a.v lambda=1.5", "between 0 and 1"),
             ("a.v effort=turbo", "unknown effort 'turbo'"),
             ("a.v seed=many", "invalid seed"),
+            ("a.v seeds=1,x", "invalid seeds"),
+            ("a.v lambdas=0.2,1.5", "between 0 and 1"),
+            ("a.v lambdas=0.2,zz", "invalid lambdas"),
+            ("a.v lambda=0.5 lambdas=0.2", "mutually exclusive"),
             ("a.v bogus=1", "unknown key 'bogus'"),
             ("a.v nokey", "expected key=value"),
             ("# only comments\n", "no designs"),

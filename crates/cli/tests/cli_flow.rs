@@ -153,11 +153,100 @@ fn cli_manifest_places_a_fleet_through_one_service() {
     assert!(output.contains("cli_soc_b (indeda): placed 5 macros"), "{output}");
     assert!(output.contains("wirelength"), "{output}");
     // 3 jobs, 2 interned designs; the repeated design reuses its stored
-    // Gseq (the hidap flow and each evaluation fetch from one shared LRU:
-    // 2 builds for 2 designs, every other fetch is a hit)
+    // artifacts. Gseq: 2 builds for 2 designs, every other fetch is a hit
+    // (job 1 flow miss + eval hit, job 2 eval miss, job 3 flow + eval hits).
+    // Gnet: 2 builds (job 1 flow, job 2's Gseq derivation), 2 hits (job 1's
+    // Gseq derivation, job 3 flow).
     assert!(output.contains("service: 3 jobs over 2 interned designs"), "{output}");
-    assert!(output.contains("2 built, 3 reused"), "{output}");
+    assert!(output.contains("cache: Gseq 2 built, 3 reused"), "{output}");
+    assert!(output.contains("Gnet 2 built, 2 reused"), "{output}");
+    // the memory line reports resident bytes split into designs + artifacts
+    assert!(output.contains("MiB resident (designs "), "{output}");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_manifest_per_line_grids_run_their_own_sweeps() {
+    let dir = temp_dir("manifest_grids");
+    let (verilog, lef) = write_inputs(&dir);
+    // line 1 carries its own seed×λ grid (no global --sweep); line 2 is a
+    // plain single run of the same design — the heterogeneous-fleet shape
+    let manifest = dir.join("designs.txt");
+    std::fs::write(
+        &manifest,
+        format!(
+            "{v} lef={l} top=cli_soc seeds=3,4 lambdas=0.2,0.8\n{v} lef={l} top=cli_soc seed=5\n",
+            v = verilog.display(),
+            l = lef.display(),
+        ),
+    )
+    .unwrap();
+    let opts = parse_args(
+        &["--manifest", manifest.to_str().unwrap(), "--effort", "fast", "--memory-budget", "256"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<String>>(),
+    )
+    .unwrap();
+    let output = run(&opts).expect("manifest flow succeeds");
+    // both jobs run over one interned design; the grid line reports its
+    // winner's seed and λ, the plain line its pinned seed
+    assert!(output.contains("service: 2 jobs over 1 interned designs"), "{output}");
+    assert_eq!(output.matches("cli_soc (hidap): placed 4 macros").count(), 2, "{output}");
+    assert!(output.contains(", seed 5"), "{output}");
+    assert!(output.contains("lambda 0."), "{output}");
+    assert!(output.contains("budget 256.0 MiB"), "{output}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_manifest_memory_budget_evicts_finished_designs() {
+    let dir = temp_dir("manifest_budget");
+    let (verilog_a, lef_a) = write_inputs(&dir);
+    let generated_b = SocGenerator::new(SocConfig {
+        name: "cli_soc_evict".into(),
+        subsystems: vec![SubsystemConfig::balanced("u_aux", 2, 8)],
+        channels: vec![],
+        io_subsystems: vec![0],
+        io_bits: 8,
+        utilization: 0.5,
+        aspect_ratio: 1.0,
+        seed: 23,
+    })
+    .generate();
+    let verilog_b = dir.join("cli_soc_evict.v");
+    let lef_b = dir.join("cli_soc_evict.lef");
+    std::fs::write(&verilog_b, emit_verilog(&generated_b.design)).unwrap();
+    std::fs::write(&lef_b, emit_lef(&generated_b.design, &generated_b.library, 1000)).unwrap();
+
+    let manifest = dir.join("designs.txt");
+    std::fs::write(
+        &manifest,
+        format!(
+            "{} lef={} top=cli_soc\n{} lef={} top=cli_soc_evict\n",
+            verilog_a.display(),
+            lef_a.display(),
+            verilog_b.display(),
+            lef_b.display(),
+        ),
+    )
+    .unwrap();
+    // a budget far below one design: each design is released after its line
+    // and evicted under pressure, yet every line still places successfully
+    // (eviction changes memory, never results)
+    let opts = parse_args(
+        &["--manifest", manifest.to_str().unwrap(), "--effort", "fast", "--memory-budget", "0.01"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<String>>(),
+    )
+    .unwrap();
+    let output = run(&opts).expect("manifest flow succeeds under eviction pressure");
+    assert!(output.contains("cli_soc (hidap): placed 4 macros"), "{output}");
+    assert!(output.contains("cli_soc_evict (hidap): placed 2 macros"), "{output}");
+    assert!(output.contains("budget 0.0 MiB"), "{output}");
+    assert!(output.contains("2 designs evicted"), "{output}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -174,13 +263,16 @@ fn cli_manifest_reports_per_design_failures_without_dropping_the_rest() {
     )
     .unwrap();
     let manifest = dir.join("designs.txt");
+    // line 2 fails placement (tiny die), line 3 fails to even load — both
+    // must be reported inline without discarding line 1's finished result
     std::fs::write(
         &manifest,
         format!(
-            "{v} lef={l} top=cli_soc\n{v} lef={l} def={d} top=cli_soc\n",
+            "{v} lef={l} top=cli_soc\n{v} lef={l} def={d} top=cli_soc\n{m} lef={l}\n",
             v = verilog.display(),
             l = lef.display(),
             d = tiny_def.display(),
+            m = dir.join("missing.v").display(),
         ),
     )
     .unwrap();
@@ -195,7 +287,8 @@ fn cli_manifest_reports_per_design_failures_without_dropping_the_rest() {
     // ... but only after every design was placed and reported
     assert!(err.contains("cli_soc (hidap): placed 4 macros"), "{err}");
     assert!(err.contains("FAILED"), "{err}");
-    assert!(err.contains("1 of 2 designs failed"), "{err}");
+    assert!(err.contains("missing.v (hidap): FAILED: cannot read"), "{err}");
+    assert!(err.contains("2 of 3 designs failed"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

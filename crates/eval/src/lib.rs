@@ -17,7 +17,9 @@
 //! * [`density`] — standard-cell density maps (the Fig. 9 visualization),
 //! * [`visualize`] — SVG renderings of floorplans, density maps and dataflow
 //!   graphs (the paper's interactive visualization tool, as static output),
-//! * [`metrics`] — the [`Evaluator`] session driving all of the above.
+//! * [`metrics`] — the [`Evaluator`] session driving all of the above,
+//! * [`artifacts`] — the typed, byte-budgeted [`ArtifactCache`] of
+//!   design-derived graphs (`Gnet`, `Gseq`) behind every session and store.
 //!
 //! Placements enter the pipeline through the dense, id-indexed
 //! [`netlist::PlacementView`] trait: flow outputs evaluate directly
@@ -25,6 +27,7 @@
 //! `HashMap`. Build one [`Evaluator`] per sweep — it caches the sequential
 //! graph and its scratch buffers across candidates.
 
+pub mod artifacts;
 pub mod congestion;
 pub mod density;
 pub mod metrics;
@@ -33,9 +36,10 @@ pub mod timing;
 pub mod visualize;
 pub mod wirelength;
 
+pub use artifacts::{ArtifactCache, ArtifactCacheStats, ArtifactKind, KindStats};
 pub use congestion::{CongestionConfig, CongestionMap};
 pub use density::DensityMap;
-pub use metrics::{DesignKey, EvalConfig, Evaluator, PlacementMetrics, SeqGraphCache};
+pub use metrics::{DesignKey, EvalConfig, Evaluator, PlacementMetrics};
 pub use placer::{place_standard_cells, CellPlacement, PlacerConfig};
 pub use timing::{TimingConfig, TimingReport};
 pub use wirelength::{total_hpwl, Hpwl, IncrementalHpwl};

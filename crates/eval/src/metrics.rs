@@ -2,18 +2,18 @@
 //! then measures wirelength, congestion, timing and density — the columns of
 //! Table III — for any number of candidate placements.
 
+use crate::artifacts::ArtifactCache;
 use crate::congestion::{estimate_congestion_with_ports, CongestionConfig, CongestionMap};
 use crate::density::DensityMap;
 use crate::placer::{place_standard_cells, CellPlacement, PlacerConfig};
 use crate::timing::{estimate_timing, TimingConfig, TimingReport};
 use crate::wirelength::{total_hpwl_with_ports, Hpwl};
 use geometry::Point;
-use graphs::seqgraph::SeqGraphConfig;
 use graphs::SeqGraph;
 use netlist::design::Design;
 use netlist::PlacementView;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Configuration of the whole evaluation pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -86,7 +86,7 @@ impl PlacementMetrics {
 ///
 /// Keys are cheap to compare and hash, and hold no reference to the design,
 /// so multi-design services can use them to intern designs and to index
-/// shared artifact caches (see [`SeqGraphCache`]).
+/// shared artifact caches (see [`ArtifactCache`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DesignKey {
     name: String,
@@ -122,142 +122,6 @@ impl DesignKey {
     /// The design (top module) name the key was taken from.
     pub fn name(&self) -> &str {
         &self.name
-    }
-}
-
-/// A cheap-clone, thread-safe, bounded LRU cache of sequential graphs keyed
-/// by [`DesignKey`] — the per-design artifact an evaluation session shares
-/// across candidates, worker threads, and (through a design store) across
-/// the heterogeneous jobs of a multi-design service.
-///
-/// The first evaluation of a design builds `Gseq` (holding the lock, so
-/// concurrent workers wait instead of duplicating the build); every later
-/// evaluation of the same design reuses the `Arc`. When more distinct
-/// designs than `capacity` flow through the cache, the least-recently-used
-/// graph is evicted. Hit/miss counters expose reuse to benchmarks and CI
-/// assertions.
-#[derive(Debug, Clone)]
-pub struct SeqGraphCache {
-    inner: Arc<Mutex<SeqGraphLru>>,
-}
-
-/// One LRU slot identity: the design plus the graph-construction config
-/// (flows may request a different register-width threshold than the
-/// evaluation default; both variants cache independently).
-#[derive(Debug, Clone, PartialEq)]
-struct SeqGraphKey {
-    design: DesignKey,
-    config: SeqGraphConfig,
-}
-
-/// The guarded LRU state: entries ordered least- to most-recently used.
-#[derive(Debug)]
-struct SeqGraphLru {
-    entries: Vec<(SeqGraphKey, Arc<SeqGraph>)>,
-    capacity: usize,
-    hits: u64,
-    misses: u64,
-}
-
-impl Default for SeqGraphCache {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl SeqGraphCache {
-    /// The default number of designs kept ([`SeqGraphCache::new`]).
-    pub const DEFAULT_CAPACITY: usize = 8;
-
-    /// An empty cache with the default capacity.
-    pub fn new() -> Self {
-        Self::with_capacity(Self::DEFAULT_CAPACITY)
-    }
-
-    /// An empty cache keeping at most `capacity` designs (clamped to ≥ 1).
-    pub fn with_capacity(capacity: usize) -> Self {
-        Self {
-            inner: Arc::new(Mutex::new(SeqGraphLru {
-                entries: Vec::new(),
-                capacity: capacity.max(1),
-                hits: 0,
-                misses: 0,
-            })),
-        }
-    }
-
-    /// The sequential graph of `design` under the default construction
-    /// config (the evaluation pipeline's graph), built on first use and
-    /// cached.
-    pub fn get_or_build(&self, design: &Design) -> Arc<SeqGraph> {
-        self.get_or_build_with(design, &SeqGraphConfig::default())
-    }
-
-    /// The sequential graph of `design` under an explicit construction
-    /// config. Each `(design, config)` pair caches independently, so a flow
-    /// requesting a pruned graph (`min_register_bits > 1`) and the
-    /// evaluation requesting the full one both stay warm.
-    pub fn get_or_build_with(&self, design: &Design, config: &SeqGraphConfig) -> Arc<SeqGraph> {
-        let key = SeqGraphKey { design: DesignKey::of(design), config: *config };
-        let mut lru = self.inner.lock().expect("seq-graph cache lock");
-        if let Some(pos) = lru.entries.iter().position(|(k, _)| *k == key) {
-            lru.hits += 1;
-            // refresh recency: move the entry to the most-recent end
-            let entry = lru.entries.remove(pos);
-            let gseq = entry.1.clone();
-            lru.entries.push(entry);
-            return gseq;
-        }
-        let gseq = Arc::new(SeqGraph::from_design(design, config));
-        lru.misses += 1;
-        lru.entries.push((key, gseq.clone()));
-        if lru.entries.len() > lru.capacity {
-            lru.entries.remove(0);
-        }
-        gseq
-    }
-
-    /// Whether a graph for this design (under any construction config) is
-    /// currently cached. Does not touch recency or the counters.
-    pub fn contains(&self, key: &DesignKey) -> bool {
-        self.inner
-            .lock()
-            .expect("seq-graph cache lock")
-            .entries
-            .iter()
-            .any(|(k, _)| k.design == *key)
-    }
-
-    /// The cached design keys, least- to most-recently used (a design cached
-    /// under several construction configs appears once per config).
-    pub fn keys(&self) -> Vec<DesignKey> {
-        let lru = self.inner.lock().expect("seq-graph cache lock");
-        lru.entries.iter().map(|(k, _)| k.design.clone()).collect()
-    }
-
-    /// Number of designs currently cached.
-    pub fn len(&self) -> usize {
-        self.inner.lock().expect("seq-graph cache lock").entries.len()
-    }
-
-    /// Whether no design is cached.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The maximum number of designs kept.
-    pub fn capacity(&self) -> usize {
-        self.inner.lock().expect("seq-graph cache lock").capacity
-    }
-
-    /// Number of [`SeqGraphCache::get_or_build`] calls served from the cache.
-    pub fn hits(&self) -> u64 {
-        self.inner.lock().expect("seq-graph cache lock").hits
-    }
-
-    /// Number of [`SeqGraphCache::get_or_build`] calls that had to build.
-    pub fn misses(&self) -> u64 {
-        self.inner.lock().expect("seq-graph cache lock").misses
     }
 }
 
@@ -307,7 +171,7 @@ impl SeqGraphCache {
 #[derive(Debug)]
 pub struct Evaluator {
     config: EvalConfig,
-    cache: SeqGraphCache,
+    cache: ArtifactCache,
     /// Scratch: port positions, refilled (not reallocated) per candidate.
     scratch_ports: Vec<Option<Point>>,
 }
@@ -319,9 +183,9 @@ impl Clone for Evaluator {
 }
 
 impl Evaluator {
-    /// A session with the given configuration and a fresh graph cache.
+    /// A session with the given configuration and a fresh artifact cache.
     pub fn new(config: EvalConfig) -> Self {
-        Self { config, cache: SeqGraphCache::new(), scratch_ports: Vec::new() }
+        Self { config, cache: ArtifactCache::new(), scratch_ports: Vec::new() }
     }
 
     /// A session with the standard configuration ([`EvalConfig::standard`]).
@@ -329,9 +193,10 @@ impl Evaluator {
         Self::new(EvalConfig::standard())
     }
 
-    /// A session sharing an existing graph cache (used by sweep front ends so
-    /// all workers of a batch reuse one `Gseq`).
-    pub fn with_cache(config: EvalConfig, cache: SeqGraphCache) -> Self {
+    /// A session sharing an existing artifact cache (used by sweep front
+    /// ends so all workers of a batch reuse one `Gseq`, and by design stores
+    /// so every session of a service fetches from one pool).
+    pub fn with_cache(config: EvalConfig, cache: ArtifactCache) -> Self {
         Self { config, cache, scratch_ports: Vec::new() }
     }
 
@@ -340,8 +205,8 @@ impl Evaluator {
         &self.config
     }
 
-    /// The session's shared graph cache (clone it into sibling sessions).
-    pub fn cache(&self) -> &SeqGraphCache {
+    /// The session's shared artifact cache (clone it into sibling sessions).
+    pub fn cache(&self) -> &ArtifactCache {
         &self.cache
     }
 
@@ -533,77 +398,6 @@ mod tests {
         // a stale cached graph would leave the edge count at 1
         assert_eq!(first.timing.analyzed_edges, 1); // ram → q_reg (2 bits)
         assert_eq!(second.timing.analyzed_edges, 2); // ram → {q_reg, r_reg}
-    }
-
-    /// Three small designs with distinct identities, for LRU tests.
-    fn keyed_designs() -> Vec<Design> {
-        ["da", "db", "dc"]
-            .iter()
-            .map(|name| {
-                let mut b = DesignBuilder::new(*name);
-                let m = b.add_macro(format!("{name}_ram"), "RAM", 50_000, 50_000, "");
-                let f = b.add_flop(format!("{name}_reg[0]"), "");
-                let n = b.add_net("n");
-                b.connect_driver(n, f);
-                b.connect_sink(n, m);
-                b.set_die(Rect::new(0, 0, 400_000, 400_000));
-                b.build()
-            })
-            .collect()
-    }
-
-    #[test]
-    fn lru_counts_hits_and_misses() {
-        let designs = keyed_designs();
-        let cache = SeqGraphCache::with_capacity(4);
-        assert!(cache.is_empty());
-        let first = cache.get_or_build(&designs[0]);
-        assert_eq!((cache.hits(), cache.misses()), (0, 1));
-        let again = cache.get_or_build(&designs[0]);
-        assert!(Arc::ptr_eq(&first, &again));
-        assert_eq!((cache.hits(), cache.misses()), (1, 1));
-        cache.get_or_build(&designs[1]);
-        assert_eq!((cache.hits(), cache.misses()), (1, 2));
-        assert_eq!(cache.len(), 2);
-    }
-
-    #[test]
-    fn lru_evicts_least_recently_used_first() {
-        let designs = keyed_designs();
-        let cache = SeqGraphCache::with_capacity(2);
-        cache.get_or_build(&designs[0]);
-        cache.get_or_build(&designs[1]);
-        // touch design 0 so design 1 becomes the eviction candidate
-        cache.get_or_build(&designs[0]);
-        cache.get_or_build(&designs[2]); // evicts design 1
-        assert!(cache.contains(&DesignKey::of(&designs[0])));
-        assert!(!cache.contains(&DesignKey::of(&designs[1])));
-        assert!(cache.contains(&DesignKey::of(&designs[2])));
-        assert_eq!(
-            cache.keys().iter().map(DesignKey::name).collect::<Vec<_>>(),
-            vec!["da", "dc"],
-            "LRU order is least- to most-recent"
-        );
-        // re-requesting the evicted design rebuilds it (a fresh miss)
-        let misses = cache.misses();
-        cache.get_or_build(&designs[1]);
-        assert_eq!(cache.misses(), misses + 1);
-        assert_eq!(cache.len(), 2);
-    }
-
-    #[test]
-    fn capacity_one_cache_holds_the_last_design_only() {
-        let designs = keyed_designs();
-        let cache = SeqGraphCache::with_capacity(1);
-        assert_eq!(cache.capacity(), 1);
-        let a = cache.get_or_build(&designs[0]);
-        let a_again = cache.get_or_build(&designs[0]);
-        assert!(Arc::ptr_eq(&a, &a_again), "same design is served from the single slot");
-        cache.get_or_build(&designs[1]);
-        assert_eq!(cache.len(), 1);
-        assert!(!cache.contains(&DesignKey::of(&designs[0])));
-        // zero capacity is clamped to one slot
-        assert_eq!(SeqGraphCache::with_capacity(0).capacity(), 1);
     }
 
     #[test]

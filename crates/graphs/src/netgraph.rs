@@ -188,6 +188,12 @@ impl NetGraph {
     }
 }
 
+impl netlist::HeapSize for NetGraph {
+    fn heap_bytes(&self) -> usize {
+        self.succ.heap_bytes() + self.pred.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -423,6 +423,30 @@ impl SeqGraph {
     }
 }
 
+impl netlist::HeapSize for SeqNodeId {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl netlist::HeapSize for SeqNode {
+    fn heap_bytes(&self) -> usize {
+        self.name.heap_bytes()
+            + self.hier_path.heap_bytes()
+            + self.cells.heap_bytes()
+            + self.ports.heap_bytes()
+    }
+}
+
+impl netlist::HeapSize for SeqGraph {
+    fn heap_bytes(&self) -> usize {
+        self.nodes.heap_bytes()
+            + self.succ.heap_bytes()
+            + self.pred.heap_bytes()
+            + self.macro_of_cell.heap_bytes()
+    }
+}
+
 /// Returns `true` if the netlist-graph node may be traversed when collapsing
 /// combinational logic: combinational cells only (sequential endpoints stop
 /// the search, discarded registers also stop it so latency is not silently

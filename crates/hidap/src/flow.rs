@@ -107,17 +107,21 @@ impl HidapFlow {
         design: &Design,
         probe: &mut FlowProbe<'_>,
     ) -> Result<MacroPlacement, HidapError> {
-        self.run_probed_with(design, None, probe)
+        self.run_probed_with(design, None, None, probe)
     }
 
-    /// [`HidapFlow::run_probed`] with an optionally prebuilt sequential
-    /// graph. `gseq` must have been built for this design with this
-    /// configuration's `min_register_bits` (multi-design front ends fetch it
-    /// from a design-keyed cache so repeated runs skip the construction);
-    /// `None` builds the graph internally.
+    /// [`HidapFlow::run_probed`] with optionally prebuilt circuit graphs.
+    /// `gnet` must be the design's [`NetGraph`] and `gseq` the sequential
+    /// graph built for this design with this configuration's
+    /// `min_register_bits` — multi-design front ends fetch both from a
+    /// design-keyed artifact cache so repeated runs skip the constructions
+    /// entirely. `None` builds the missing graph internally (a supplied
+    /// `gnet` still feeds the internal `gseq` derivation, so passing only
+    /// the net graph already avoids the duplicate `NetGraph` build).
     pub fn run_probed_with(
         &self,
         design: &Design,
+        gnet: Option<&NetGraph>,
         gseq: Option<&SeqGraph>,
         probe: &mut FlowProbe<'_>,
     ) -> Result<MacroPlacement, HidapError> {
@@ -143,17 +147,24 @@ impl HidapFlow {
         if !probe(&FlowStage::ShapeCurvesReady { curves: shape_curves.len() }) {
             return Err(HidapError::Cancelled);
         }
-        let gnet = NetGraph::from_design(design);
-        // reuse a supplied graph, or derive it from the net graph just built
-        // (`from_netgraph` on the same design is bit-identical to
-        // `from_design` and avoids a second NetGraph construction)
+        // reuse the supplied graphs, building what is missing: `from_netgraph`
+        // on the same design is bit-identical to `from_design`, so every
+        // combination of cached/None inputs produces the same placement
+        let built_gnet;
+        let gnet = match gnet {
+            Some(graph) => graph,
+            None => {
+                built_gnet = NetGraph::from_design(design);
+                &built_gnet
+            }
+        };
         let built_gseq;
         let gseq = match gseq {
             Some(graph) => graph,
             None => {
                 built_gseq = SeqGraph::from_netgraph(
                     design,
-                    &gnet,
+                    gnet,
                     &SeqGraphConfig { min_register_bits: self.config.min_register_bits },
                 );
                 &built_gseq
@@ -163,7 +174,7 @@ impl HidapFlow {
         // Recursive block floorplanning.
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut floorplanner =
-            RecursiveFloorplanner::new(design, &ht, &gnet, gseq, &shape_curves, &self.config);
+            RecursiveFloorplanner::new(design, &ht, gnet, gseq, &shape_curves, &self.config);
         if !floorplanner.floorplan_probed(ht.root(), die, &[], 0, &mut rng, probe) {
             return Err(HidapError::Cancelled);
         }

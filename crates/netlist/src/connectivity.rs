@@ -251,6 +251,16 @@ impl Connectivity {
     }
 }
 
+impl crate::heap_size::HeapSize for Connectivity {
+    fn heap_bytes(&self) -> usize {
+        self.cell_net_start.heap_bytes()
+            + self.cell_fanout_start.heap_bytes()
+            + self.cell_nets.heap_bytes()
+            + self.net_pin_start.heap_bytes()
+            + self.net_pins.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

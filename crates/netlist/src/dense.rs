@@ -182,6 +182,12 @@ impl<I: DenseId, T> FromIterator<T> for DenseMap<I, T> {
     }
 }
 
+impl<I, T: crate::heap_size::HeapSize> crate::heap_size::HeapSize for DenseMap<I, T> {
+    fn heap_bytes(&self) -> usize {
+        self.data.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -397,6 +397,45 @@ impl Design {
     }
 }
 
+impl crate::heap_size::HeapSize for Cell {
+    fn heap_bytes(&self) -> usize {
+        self.name.heap_bytes()
+            + self.lib_cell.heap_bytes()
+            + self.hier_path.heap_bytes()
+            + self.fanin.heap_bytes()
+            + self.fanout.heap_bytes()
+    }
+}
+
+impl crate::heap_size::HeapSize for Port {
+    fn heap_bytes(&self) -> usize {
+        self.name.heap_bytes()
+    }
+}
+
+impl crate::heap_size::HeapSize for Net {
+    fn heap_bytes(&self) -> usize {
+        self.name.heap_bytes() + self.sink_cells.heap_bytes() + self.sink_ports.heap_bytes()
+    }
+}
+
+/// A design's resident bytes cover the cell/port/net stores, the name
+/// indexes, and — when it has been materialized — the cached CSR
+/// connectivity view, so an interned design is accounted with everything
+/// that travels with it.
+impl crate::heap_size::HeapSize for Design {
+    fn heap_bytes(&self) -> usize {
+        self.name.heap_bytes()
+            + self.cells.heap_bytes()
+            + self.ports.heap_bytes()
+            + self.nets.heap_bytes()
+            + self.cell_index.heap_bytes()
+            + self.port_index.heap_bytes()
+            + self.net_index.heap_bytes()
+            + self.connectivity.0.get().map_or(0, |csr| csr.resident_bytes())
+    }
+}
+
 /// Incremental builder for a [`Design`].
 ///
 /// The builder keeps name → id maps so that parsers and generators can attach

@@ -19,6 +19,8 @@
 //!   per-cell/per-net stores of the hot paths.
 //! * [`connectivity`] — the flat CSR cell↔net incidence view built once per
 //!   design and cached (`Design::connectivity`).
+//! * [`heap_size`] — the [`HeapSize`] resident-byte accounting trait behind
+//!   byte-budgeted artifact caches and design stores.
 //! * [`placement`] — the [`placement::PlacementView`] read trait over macro
 //!   placements, the dense interchange between flows, evaluation and DEF.
 //!
@@ -45,6 +47,7 @@ pub mod dense;
 pub mod design;
 pub mod error;
 pub mod hash;
+pub mod heap_size;
 pub mod hierarchy;
 pub mod lef;
 pub mod library;
@@ -56,6 +59,7 @@ pub use dense::{DenseId, DenseMap};
 pub use design::{CellId, CellKind, Design, DesignBuilder, NetId, PortDirection, PortId};
 pub use error::ParseError;
 pub use hash::Fnv1a;
+pub use heap_size::HeapSize;
 pub use hierarchy::{HierarchyNodeId, HierarchyTree};
 pub use library::{Library, MacroDef, PinDef};
 pub use placement::{DenseMacroPlacementView, PlacementView};

@@ -3,7 +3,7 @@
 
 use crate::error::PlaceError;
 use crate::observer::{FlowObserver, StageEvent};
-use eval::{EvalConfig, Evaluator, SeqGraphCache};
+use eval::{ArtifactCache, EvalConfig, Evaluator};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,11 +41,12 @@ pub struct PlaceContext {
     observer: Option<Arc<dyn FlowObserver>>,
     cancel: CancelToken,
     deadline: Option<Instant>,
-    /// Sequential-graph cache shared by every evaluation of this context and
-    /// its children, so a seed×λ sweep builds `Gseq` once, not per cell.
-    /// Contexts created by a [`crate::DesignStore`] borrow the store's LRU
-    /// instead of owning a private cache, so artifacts survive across jobs.
-    eval_cache: SeqGraphCache,
+    /// Artifact cache (`Gnet`, `Gseq`) shared by every flow run and
+    /// evaluation of this context and its children, so a seed×λ sweep builds
+    /// each derived graph once, not per run. Contexts created by a
+    /// [`crate::DesignStore`] borrow the store's byte-budgeted cache instead
+    /// of owning a private one, so artifacts survive across jobs.
+    artifacts: ArtifactCache,
 }
 
 impl PlaceContext {
@@ -72,18 +73,19 @@ impl PlaceContext {
         self
     }
 
-    /// Borrows an existing sequential-graph cache instead of the context's
-    /// private one. This is how multi-design front ends share per-design
-    /// artifacts across jobs: every context handed out by a
-    /// [`crate::DesignStore`] points at the store's bounded LRU.
-    pub fn with_seq_cache(mut self, cache: SeqGraphCache) -> Self {
-        self.eval_cache = cache;
+    /// Borrows an existing artifact cache instead of the context's private
+    /// one. This is how multi-design front ends share per-design artifacts
+    /// across jobs: every context handed out by a [`crate::DesignStore`]
+    /// points at the store's byte-budgeted cache.
+    pub fn with_artifacts(mut self, cache: ArtifactCache) -> Self {
+        self.artifacts = cache;
         self
     }
 
-    /// The sequential-graph cache evaluations of this context share.
-    pub fn seq_cache(&self) -> &SeqGraphCache {
-        &self.eval_cache
+    /// The artifact cache (`Gnet`, `Gseq`) flow runs and evaluations of this
+    /// context share.
+    pub fn artifacts(&self) -> &ArtifactCache {
+        &self.artifacts
     }
 
     /// The run's cancel token; clone it to cancel from elsewhere.
@@ -113,21 +115,21 @@ impl PlaceContext {
     }
 
     /// An evaluation session with the given configuration, sharing this
-    /// context's sequential-graph cache: every flow evaluating through the
-    /// same context (or a [`PlaceContext::child`]) reuses one `Gseq` per
-    /// design instead of rebuilding it per candidate.
+    /// context's artifact cache: every flow evaluating through the same
+    /// context (or a [`PlaceContext::child`]) reuses one `Gseq` per design
+    /// instead of rebuilding it per candidate.
     pub fn evaluator(&self, config: EvalConfig) -> Evaluator {
-        Evaluator::with_cache(config, self.eval_cache.clone())
+        Evaluator::with_cache(config, self.artifacts.clone())
     }
 
     /// A child context for one run of a batch: shares the observer, cancel
-    /// token, deadline and evaluation cache of the parent.
+    /// token, deadline and artifact cache of the parent.
     pub fn child(&self) -> PlaceContext {
         PlaceContext {
             observer: self.observer.clone(),
             cancel: self.cancel.clone(),
             deadline: self.deadline,
-            eval_cache: self.eval_cache.clone(),
+            artifacts: self.artifacts.clone(),
         }
     }
 }

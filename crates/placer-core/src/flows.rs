@@ -111,20 +111,23 @@ impl Placer for HidapFlow {
 
         let start = Instant::now();
         let mut tracker = StageTracker::new(ctx, design.num_macros());
-        // the flow's sequential graph comes from the context's design-keyed
-        // cache: one build per design × register-width threshold across
-        // every run of a sweep or a multi-design service. Keyed off the
-        // *borrowed* request design (whose CSR view is cached), not the
-        // die-override clone whose connectivity cache starts empty — the
-        // graph does not depend on the die, so the key and graph are
-        // identical either way.
-        let gseq = ctx.seq_cache().get_or_build_with(
+        // both circuit graphs come from the context's design-keyed artifact
+        // cache: one `Gnet` build and one `Gseq` build per design (×
+        // register-width threshold for `Gseq`) across every run of a sweep
+        // or a multi-design service. Keyed off the *borrowed* request design
+        // (whose CSR view is cached), not the die-override clone whose
+        // connectivity cache starts empty — the graphs do not depend on the
+        // die, so the keys and graphs are identical either way.
+        let gnet = ctx.artifacts().get_or_build_net(req.design);
+        let gseq = ctx.artifacts().get_or_build_seq(
             req.design,
             &SeqGraphConfig { min_register_bits: config.min_register_bits },
         );
         let flow = HidapFlow::new(config);
         let placement = flow
-            .run_probed_with(design.as_ref(), Some(&gseq), &mut |stage| tracker.on_stage(stage))
+            .run_probed_with(design.as_ref(), Some(&gnet), Some(&gseq), &mut |stage| {
+                tracker.on_stage(stage)
+            })
             .map_err(|e| match e {
                 // the probe aborted on behalf of the context: surface why
                 hidap::HidapError::Cancelled => ctx.interrupted().unwrap_or(PlaceError::Cancelled),

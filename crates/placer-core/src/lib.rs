@@ -17,11 +17,11 @@
 //! * [`FlowRegistry`] — string-keyed flow lookup so front ends resolve
 //!   `--flow <name>` without hard-coding flow types,
 //! * [`DesignStore`] / [`PlacementService`] — the multi-design service
-//!   layer: designs interned behind cheap [`DesignHandle`]s with their
-//!   derived artifacts (CSR connectivity, sequential graph) owned centrally
-//!   in a bounded LRU, and a queue of heterogeneous [`PlaceJob`]s
-//!   (designs × flows × seed/λ grids) drained with per-job observers,
-//!   cancellation and deterministic winners.
+//!   layer: designs interned behind cheap, refcounted [`DesignHandle`]s
+//!   with their derived artifacts (CSR connectivity, `Gnet`, `Gseq`) owned
+//!   centrally in a byte-budgeted [`eval::ArtifactCache`], and a queue of
+//!   heterogeneous [`PlaceJob`]s (designs × flows × seed/λ grids) drained
+//!   with per-job observers, cancellation and deterministic winners.
 //!
 //! # Quick start
 //!

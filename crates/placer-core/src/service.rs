@@ -15,9 +15,10 @@
 //!   jobs *faster*, bit-identical, never different.
 //! * **artifact reuse** — every job runs in a context borrowing the store's
 //!   caches: the CSR connectivity is built once per design at intern time,
-//!   and the sequential graph comes from the store's bounded LRU, so
-//!   repeated traffic against the same designs skips the dominant
-//!   evaluation setup cost.
+//!   and the derived graphs (`Gnet`, `Gseq`) come from the store's
+//!   byte-budgeted [`crate::DesignStore`] artifact cache, so repeated
+//!   traffic against the same designs skips both the flow's graph
+//!   constructions and the dominant evaluation setup cost.
 //! * **per-job observability and cancellation** — each job may carry its own
 //!   [`FlowObserver`]; the service-wide [`CancelToken`] aborts the drain at
 //!   the next stage boundary, and jobs still queued report
@@ -206,10 +207,17 @@ impl PlacementService {
         self
     }
 
-    /// Interns a design into the service's store (see
-    /// [`DesignStore::intern`]).
+    /// Interns a design into the service's store, adding one reference to it
+    /// (see [`DesignStore::intern`]).
     pub fn intern(&mut self, design: netlist::design::Design) -> DesignHandle {
         self.store.intern(design)
+    }
+
+    /// Drops one reference to an interned design (see
+    /// [`DesignStore::release`]): at zero references the design becomes
+    /// eligible for budget-driven eviction. Returns the remaining count.
+    pub fn release(&mut self, handle: DesignHandle) -> usize {
+        self.store.release(handle)
     }
 
     /// The design store (designs, identity keys, shared artifact caches).
@@ -296,7 +304,13 @@ impl PlacementService {
             return Err(PlaceError::InvalidRequest(format!("job {} has no seeds to run", id.0)));
         }
         let placer = self.registry.create(&job.flow)?;
-        let design = self.store.design(job.design);
+        let design = self.store.get_design(job.design).ok_or_else(|| {
+            PlaceError::InvalidRequest(format!(
+                "job {} names design handle {} but that design was released and evicted; \
+                 re-intern it before submitting jobs against it",
+                id.0, job.design.0
+            ))
+        })?;
 
         let mut ctx = self.store.context().with_cancel_token(self.cancel.clone());
         if let Some(observer) = &job.observer {
@@ -475,11 +489,15 @@ mod tests {
         };
         let cold: Vec<JobId> = designs.iter().map(|&d| svc.submit(spec(d))).collect();
         svc.run_all();
-        assert_eq!(svc.store().seq_graphs().misses(), 3, "cold pass builds every graph");
+        let cold_stats = svc.store().artifacts().stats();
+        assert_eq!(cold_stats.seq.misses, 3, "cold pass builds every sequential graph");
+        assert_eq!(cold_stats.net.misses, 3, "cold pass builds every netlist graph");
         let warm: Vec<JobId> = designs.iter().map(|&d| svc.submit(spec(d))).collect();
         svc.run_all();
-        assert!(svc.store().seq_graphs().hits() >= 3, "warm pass reuses the stored graphs");
-        assert_eq!(svc.store().seq_graphs().misses(), 3, "warm pass builds nothing new");
+        let warm_stats = svc.store().artifacts().stats();
+        assert!(warm_stats.seq.hits >= 3, "warm pass reuses the stored graphs");
+        assert_eq!(warm_stats.seq.misses, 3, "warm pass builds no sequential graph");
+        assert_eq!(warm_stats.net.misses, 3, "warm pass builds no netlist graph");
         for (c, w) in cold.into_iter().zip(warm) {
             let cold_result = svc.take_result(c).unwrap().unwrap();
             let warm_result = svc.take_result(w).unwrap().unwrap();

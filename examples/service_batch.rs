@@ -19,8 +19,8 @@ fn main() {
     let mut service = PlacementService::new(baselines::default_registry());
 
     // Intern both presets: each design gets a cheap copyable handle, its CSR
-    // connectivity is built once, and its sequential graph will live in the
-    // store's bounded LRU shared by every job.
+    // connectivity is built once, and its derived graphs (Gnet, Gseq) will
+    // live in the store's byte-budgeted artifact cache shared by every job.
     let fig1 = service.intern(fig1_design().design);
     let fig3 = service.intern(fig3_design());
 
@@ -79,12 +79,16 @@ fn main() {
         }
     }
 
-    let cache = service.store().seq_graphs();
+    let store = service.store();
+    let stats = store.artifacts().stats();
     println!(
-        "\nstore: {} designs interned; Gseq LRU: {} built, {} reused (capacity {})",
-        service.store().len(),
-        cache.misses(),
-        cache.hits(),
-        cache.capacity(),
+        "\nstore: {} designs interned; Gseq {} built, {} reused; Gnet {} built, {} reused; \
+         {:.1} MiB resident",
+        store.len(),
+        stats.seq.misses,
+        stats.seq.hits,
+        stats.net.misses,
+        stats.net.hits,
+        store.resident_bytes() as f64 / (1u64 << 20) as f64,
     );
 }
