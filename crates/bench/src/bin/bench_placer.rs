@@ -21,6 +21,11 @@
 //!    re-interned** and a rebuilt pass run from empty caches. Placements
 //!    and metrics must be bit-identical across all three passes (eviction
 //!    changes timing, never results).
+//! 5. `serve_session`: the same N-job fleet scripted through the
+//!    `hidap --serve` daemon loop (`crates/server`), cold session vs warm
+//!    session against one live daemon, with every `job-done` frame's
+//!    metrics asserted bit-identical to direct `PlacementService`
+//!    execution — the wire adds overhead, never drift.
 //!
 //! All parts cross-check that the before/after paths produce bit-identical
 //! results, and the timings land in `BENCH_placer.json`.
@@ -427,8 +432,120 @@ fn main() {
         art_rebuilt_s * 1e3
     );
 
+    // --- serve session: the daemon loop vs direct service execution --------
+    //
+    // The same N-job fleet driven two ways: directly through a serial
+    // `PlacementService`, and over the wire through the `hidap --serve`
+    // session loop (script in, frames out). Two scripted sessions run
+    // against one daemon — the cold session interns and places every
+    // design, the warm session resubmits the same jobs against the
+    // still-warm store. The metrics on the wire must be bit-identical to
+    // direct execution (`f64` Display round-trips exactly, so string
+    // comparison IS bit comparison), and the warm/cold ratio times the
+    // daemon's artifact reuse including all protocol overhead.
+    eprintln!("serve session: {fleet_size} jobs, direct service ...");
+    let serve_designs: Vec<Design> =
+        service_fleet(fleet_size, fleet_scale).into_iter().map(|g| g.design).collect();
+    let mut direct = PlacementService::new(baselines::default_registry()).with_jobs(1);
+    let direct_jobs: Vec<JobId> = serve_designs
+        .iter()
+        .enumerate()
+        .map(|(i, design)| {
+            let handle = direct.intern(design.clone());
+            direct.submit(
+                PlaceJob::new(handle, "hidap")
+                    .with_effort(EffortLevel::Fast)
+                    .with_seeds(vec![i as u64 + 1])
+                    .with_evaluation(eval_cfg),
+            )
+        })
+        .collect();
+    direct.run_all();
+    let direct_results: Vec<JobResult> = direct_jobs
+        .into_iter()
+        .map(|j| direct.take_result(j).expect("job ran").expect("job succeeded"))
+        .collect();
+
+    let loader_designs = serve_designs.clone();
+    let loader = move |spec: &server::InternSpec| -> Result<server::LoadedDesign, String> {
+        let index: usize = spec
+            .get("design")
+            .ok_or_else(|| "intern needs design=<index>".to_string())?
+            .parse()
+            .map_err(|_| "design= must be an index".to_string())?;
+        let design =
+            loader_designs.get(index).ok_or_else(|| format!("no fleet design {index}"))?.clone();
+        Ok(server::LoadedDesign { design, dbu: 1000 })
+    };
+    let service = PlacementService::new(baselines::default_registry()).with_jobs(1);
+    let mut daemon = server::Server::new(placer_core::Scheduler::with_service(service), loader);
+
+    let submits: String = (0..fleet_size)
+        .map(|i| {
+            format!("submit design={i} flow=hidap effort=fast seeds={} evaluate=standard\n", i + 1)
+        })
+        .collect();
+    let interns: String = (0..fleet_size).map(|i| format!("intern design={i}\n")).collect();
+    let cold_script = format!("hello client=bench\n{interns}{submits}drain\n");
+    let warm_script = format!("hello client=bench\n{submits}drain\nshutdown\n");
+
+    let run_session = |daemon: &mut server::Server, script: &str, expect: server::SessionEnd| {
+        let out = server::SharedWriter::new(Vec::new());
+        let t = Instant::now();
+        let end = daemon.serve_once(script.as_bytes(), out.clone()).expect("session io");
+        let elapsed = t.elapsed().as_secs_f64();
+        assert_eq!(end, expect, "session ended unexpectedly");
+        let transcript = String::from_utf8(out.lock().clone()).expect("utf-8 transcript");
+        let done: Vec<server::Frame> = transcript
+            .lines()
+            .map(|line| server::Frame::parse(line).expect("well-formed frame"))
+            .filter(|f| f.name == "job-done")
+            .collect();
+        (done, elapsed)
+    };
+
+    eprintln!("serve session: cold scripted session ...");
+    let (serve_cold, serve_cold_s) =
+        run_session(&mut daemon, &cold_script, server::SessionEnd::Eof);
+    eprintln!("serve session: warm scripted session ...");
+    let (serve_warm, serve_warm_s) =
+        run_session(&mut daemon, &warm_script, server::SessionEnd::Shutdown);
+    assert_eq!(serve_cold.len(), fleet_size, "cold session completes every job");
+    assert_eq!(serve_warm.len(), fleet_size, "warm session completes every job");
+    assert_eq!(
+        daemon.scheduler().service().store().artifacts().stats().seq.misses as usize,
+        fleet_size,
+        "the warm session rebuilds no graphs over the wire"
+    );
+
+    // every frame's metrics must match direct execution bit for bit, both
+    // sessions (Display of f64/i128 is lossless, so equal strings ⇔ equal
+    // bits)
+    for frames in [&serve_cold, &serve_warm] {
+        for (frame, direct) in frames.iter().zip(&direct_results) {
+            let metrics = direct.outcome.metrics.as_ref().expect("evaluated job");
+            assert_eq!(frame.get("seed"), Some(direct.outcome.seed.to_string().as_str()));
+            assert_eq!(frame.get("hpwl_dbu"), Some(metrics.hpwl.dbu.to_string().as_str()));
+            assert_eq!(
+                frame.get("wirelength_m"),
+                Some(metrics.wirelength_m.to_string().as_str()),
+                "wire and direct wirelength disagree"
+            );
+            assert_eq!(frame.get("grc_percent"), Some(metrics.grc_percent().to_string().as_str()));
+            assert_eq!(frame.get("wns_percent"), Some(metrics.wns_percent().to_string().as_str()));
+            assert_eq!(frame.get("tns_ns"), Some(metrics.tns_ns().to_string().as_str()));
+        }
+    }
+    let speedup_serve = serve_cold_s / serve_warm_s.max(1e-12);
+    println!(
+        "serve session ({fleet_size} jobs x2): cold {:.1} ms, warm {:.1} ms \
+         ({speedup_serve:.2}x, wire metrics ≡ direct)",
+        serve_cold_s * 1e3,
+        serve_warm_s * 1e3
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }},\n  \"artifact_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"rebuilt_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"net_graphs_built\": {net_built},\n    \"net_graphs_reused\": {net_reused},\n    \"warm_net_graph_builds\": 0,\n    \"warm_seq_graph_builds\": 0,\n    \"designs_evicted\": {evicted},\n    \"metrics_bit_identical\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }},\n  \"artifact_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"rebuilt_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"net_graphs_built\": {net_built},\n    \"net_graphs_reused\": {net_reused},\n    \"warm_net_graph_builds\": 0,\n    \"warm_seq_graph_builds\": 0,\n    \"designs_evicted\": {evicted},\n    \"metrics_bit_identical\": true\n  }},\n  \"serve_session\": {{\n    \"jobs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"warm_graph_rebuilds\": 0,\n    \"metrics_bit_identical_to_direct\": true\n  }}\n}}\n",
         design.num_cells(),
         design.num_nets(),
         csr.num_pins(),
@@ -454,6 +571,9 @@ fn main() {
         art_warm_s * 1e3,
         art_rebuilt_s * 1e3,
         speedup_artifact,
+        serve_cold_s * 1e3,
+        serve_warm_s * 1e3,
+        speedup_serve,
     );
     std::fs::write(&out_path, json).expect("write BENCH_placer.json");
     eprintln!("wrote {out_path}");

@@ -79,11 +79,20 @@ pub struct Options {
     pub seeds: Vec<u64>,
     /// Sweep λ values.
     pub lambdas: Vec<f64>,
-    /// Memory budget in MiB for the `--manifest` service store (designs +
-    /// cached artifacts). Designs are released after their last manifest
-    /// line, so the budget bounds the batch's peak resident bytes; `None`
-    /// leaves the store unbounded for the run.
+    /// Memory budget in MiB for the `--manifest` batch store or the
+    /// `--serve` daemon store (designs + cached artifacts). In batch mode
+    /// designs are released after their last manifest line, so the budget
+    /// bounds the batch's peak resident bytes; in serve mode it also feeds
+    /// admission control. `None` leaves the store unbounded.
     pub memory_budget_mib: Option<f64>,
+    /// Run the placement daemon: a long-lived session speaking the line
+    /// protocol of `docs/PROTOCOL.md` over stdin/stdout (or `--socket`).
+    pub serve: bool,
+    /// Unix-socket path for `--serve`: accept connections there instead of
+    /// speaking on stdin/stdout, keeping the store warm across sessions.
+    pub socket: Option<PathBuf>,
+    /// Per-client quota of queued jobs for `--serve` (0 keeps the default).
+    pub quota: usize,
     /// Output DEF path (optional).
     pub out: Option<PathBuf>,
     /// Output SVG path (optional).
@@ -109,6 +118,9 @@ impl Default for Options {
             seeds: Vec::new(),
             lambdas: vec![0.2, 0.5, 0.8],
             memory_budget_mib: None,
+            serve: false,
+            socket: None,
+            quota: 0,
             out: None,
             svg: None,
             report: false,
@@ -122,9 +134,12 @@ pub const USAGE: &str = "usage: hidap --verilog <file.v> [--lef <file.lef>] [--d
 [--seed <n>] [--sweep] [--jobs <n>] [--seeds <n,n,...>] [--lambdas <l,l,...>] \
 [--out <placed.def>] [--svg <floorplan.svg>] [--report]\n\
        hidap --manifest <designs.txt> [--memory-budget <MiB>] [shared flags as above]\n\
+       hidap --serve [--socket <path>] [--memory-budget <MiB>] [--quota <n>]\n\
 manifest lines:  <file.v> [lef=<file>] [def=<file>] [top=<name>] [flow=<name>] \
 [lambda=<0..1>] [seed=<n>] [seeds=<n,n,...>] [lambdas=<l,l,...>] [effort=<tier>]   \
-('#' starts a comment)";
+('#' starts a comment)\n\
+serve mode speaks the line protocol documented in docs/PROTOCOL.md (commands hello, \
+intern, submit, cancel, release, result, stats, drain, shutdown)";
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
     value
@@ -205,6 +220,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 opts.memory_budget_mib = Some(mib);
             }
+            "--serve" => opts.serve = true,
+            "--socket" => opts.socket = Some(PathBuf::from(value(&mut i)?)),
+            "--quota" => {
+                opts.quota =
+                    value(&mut i)?.parse().map_err(|_| "invalid --quota value".to_string())?;
+            }
             "--out" => opts.out = Some(PathBuf::from(value(&mut i)?)),
             "--svg" => opts.svg = Some(PathBuf::from(value(&mut i)?)),
             "--report" => opts.report = true,
@@ -213,20 +234,35 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
+    if opts.serve && (have_verilog || opts.manifest.is_some()) {
+        return Err(format!(
+            "--serve runs a daemon; designs are interned over the protocol, not on the command \
+             line (drop --verilog/--manifest)\n{USAGE}"
+        ));
+    }
+    if !opts.serve {
+        if opts.socket.is_some() {
+            return Err("--socket selects the --serve transport; add --serve".to_string());
+        }
+        if opts.quota != 0 {
+            return Err("--quota bounds --serve clients; add --serve".to_string());
+        }
+    }
     if have_verilog && opts.manifest.is_some() {
         return Err(format!("--verilog and --manifest are mutually exclusive\n{USAGE}"));
     }
-    if !have_verilog && opts.manifest.is_none() {
-        return Err(format!("--verilog (or --manifest) is required\n{USAGE}"));
+    if !have_verilog && opts.manifest.is_none() && !opts.serve {
+        return Err(format!("--verilog (or --manifest, or --serve) is required\n{USAGE}"));
     }
-    if opts.manifest.is_some() && (opts.out.is_some() || opts.svg.is_some()) {
+    if (opts.manifest.is_some() || opts.serve) && (opts.out.is_some() || opts.svg.is_some()) {
         return Err(
-            "--out/--svg write a single design; they are not available with --manifest".to_string()
+            "--out/--svg write a single design; they are not available with --manifest or --serve"
+                .to_string(),
         );
     }
-    if opts.memory_budget_mib.is_some() && opts.manifest.is_none() {
-        return Err("--memory-budget bounds the --manifest service store; it has no effect on a \
-             single-design run"
+    if opts.memory_budget_mib.is_some() && opts.manifest.is_none() && !opts.serve {
+        return Err("--memory-budget bounds the --manifest or --serve service store; it has no \
+             effect on a single-design run"
             .to_string());
     }
     if !(0.0..=1.0).contains(&opts.lambda) {
@@ -669,32 +705,33 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
         }
         service.store_mut().reclaim();
     }
-    let store = service.store();
-    let stats = store.artifacts().stats();
+    // one source of truth with the daemon's `stats` command: the service's
+    // own snapshot, not counters re-derived from the store piecemeal
+    let stats = service.stats();
     let mib = |bytes: usize| bytes as f64 / (1u64 << 20) as f64;
     output.push_str(&format!(
         "service: {} jobs over {} interned designs\n",
         entries.len(),
-        store.len(),
+        stats.interned_designs,
     ));
     output.push_str(&format!(
         "cache: Gseq {} built, {} reused; Gnet {} built, {} reused; {} artifacts evicted\n",
-        stats.seq.misses,
-        stats.seq.hits,
-        stats.net.misses,
-        stats.net.hits,
-        stats.evictions(),
+        stats.artifacts.seq.misses,
+        stats.artifacts.seq.hits,
+        stats.artifacts.net.misses,
+        stats.artifacts.net.hits,
+        stats.artifacts.evictions(),
     ));
     output.push_str(&format!(
         "memory: {:.1} MiB resident (designs {:.1} MiB + artifacts {:.1} MiB){}{}\n",
-        mib(store.resident_bytes()),
-        mib(store.design_bytes()),
-        mib(store.artifacts().resident_bytes()),
+        mib(stats.resident_bytes),
+        mib(stats.design_bytes),
+        mib(stats.artifact_bytes),
         match opts.memory_budget_mib {
             Some(budget_mib) => format!(", budget {budget_mib:.1} MiB"),
             None => String::new(),
         },
-        match store.design_evictions() {
+        match stats.design_evictions {
             0 => String::new(),
             n => format!(", {n} designs evicted"),
         },
@@ -705,11 +742,86 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
     Ok(output)
 }
 
+/// Builds the `--serve` daemon: a [`server::Server`] whose loader reads
+/// `intern verilog=<path> [lef=<path>] [def=<path>] [top=<name>]` commands
+/// through [`load_design`] (paths resolved against the daemon's working
+/// directory), over a store honoring `--memory-budget` and a scheduler
+/// honoring `--quota`. Jobs drain serially (`--jobs 1` semantics) so the
+/// event stream is deterministic; see `docs/PROTOCOL.md`.
+pub fn build_server(opts: &Options) -> server::Server {
+    let store = match opts.memory_budget_mib {
+        Some(mib) => {
+            placer_core::DesignStore::with_memory_budget((mib * (1u64 << 20) as f64) as usize)
+        }
+        None => placer_core::DesignStore::new(),
+    };
+    let service = PlacementService::with_store(baselines::default_registry(), store).with_jobs(1);
+    let mut scheduler = placer_core::Scheduler::with_service(service);
+    if opts.quota > 0 {
+        scheduler = scheduler.with_quota(opts.quota);
+    }
+    server::Server::new(scheduler, file_design_loader())
+}
+
+/// The daemon's design loader: `intern` frames name input files like the
+/// single-design command line does (`verilog=` required, `lef=`/`def=`/
+/// `top=` optional).
+fn file_design_loader() -> impl FnMut(&server::InternSpec) -> Result<server::LoadedDesign, String> {
+    |spec: &server::InternSpec| {
+        let verilog =
+            spec.get("verilog").ok_or_else(|| "intern needs a verilog=<path> field".to_string())?;
+        let load_opts = Options {
+            verilog: PathBuf::from(verilog),
+            lef: spec.get("lef").map(PathBuf::from),
+            def: spec.get("def").map(PathBuf::from),
+            top: spec.get("top").map(str::to_string),
+            ..Options::default()
+        };
+        let (design, dbu) = load_design(&load_opts)?;
+        Ok(server::LoadedDesign { design, dbu })
+    }
+}
+
+/// Runs one `--serve` session over an explicit reader/writer pair (the
+/// testable core of serve mode; [`run_serve`] binds it to stdin/stdout or
+/// the `--socket` transport). Returns how the session ended.
+pub fn run_serve_session<R: std::io::BufRead, W: std::io::Write + Send + 'static>(
+    opts: &Options,
+    reader: R,
+    writer: W,
+) -> Result<server::SessionEnd, String> {
+    let mut daemon = build_server(opts);
+    daemon.serve_once(reader, writer).map_err(|e| format!("serve session failed: {e}"))
+}
+
+/// The `--serve` entry point: speaks the protocol on stdin/stdout, or — with
+/// `--socket <path>` — serves unix-socket connections (one at a time, store
+/// staying warm) until a client sends `shutdown`.
+pub fn run_serve(opts: &Options) -> Result<(), String> {
+    let mut daemon = build_server(opts);
+    match &opts.socket {
+        Some(path) => daemon.serve_unix(path).map_err(|e| format!("serve failed: {e}")),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            daemon
+                .serve_once(stdin.lock(), stdout)
+                .map(|_| ())
+                .map_err(|e| format!("serve failed: {e}"))
+        }
+    }
+}
+
 /// End-to-end CLI driver: load, place, write outputs, optionally report.
 /// In manifest mode ([`Options::manifest`]), places every design of the
-/// manifest through one [`PlacementService`] instead.
+/// manifest through one [`PlacementService`] instead; in serve mode
+/// ([`Options::serve`]), runs the placement daemon (output streams over the
+/// protocol, so the returned stdout text is empty).
 /// Returns the text printed to stdout.
 pub fn run(opts: &Options) -> Result<String, String> {
+    if opts.serve {
+        return run_serve(opts).map(|()| String::new());
+    }
     if opts.manifest.is_some() {
         return run_manifest(opts);
     }
@@ -886,7 +998,7 @@ mod tests {
         assert!(err.contains("not available with --manifest"), "{err}");
         // neither input is an error
         let err = parse_args(&args(&[])).unwrap_err();
-        assert!(err.contains("--verilog (or --manifest)"), "{err}");
+        assert!(err.contains("--verilog (or --manifest, or --serve)"), "{err}");
     }
 
     #[test]
@@ -966,6 +1078,41 @@ sub/b.v lef=b.lef top=chip
         }
         let err = parse_manifest("ok.v\nbad.v lambda=7", base, &defaults).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn serve_flags_parse_and_exclude_batch_inputs() {
+        let opts = parse_args(&args(&["--serve"])).unwrap();
+        assert!(opts.serve);
+        assert_eq!(opts.socket, None);
+        let opts = parse_args(&args(&[
+            "--serve",
+            "--socket",
+            "/tmp/hidap.sock",
+            "--memory-budget",
+            "64",
+            "--quota",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(opts.socket, Some(PathBuf::from("/tmp/hidap.sock")));
+        assert_eq!(opts.memory_budget_mib, Some(64.0));
+        assert_eq!(opts.quota, 4);
+        // the daemon takes designs over the protocol, not the command line
+        let err = parse_args(&args(&["--serve", "--verilog", "a.v"])).unwrap_err();
+        assert!(err.contains("--serve runs a daemon"), "{err}");
+        let err = parse_args(&args(&["--serve", "--manifest", "m.txt"])).unwrap_err();
+        assert!(err.contains("--serve runs a daemon"), "{err}");
+        let err = parse_args(&args(&["--serve", "--out", "x.def"])).unwrap_err();
+        assert!(err.contains("not available"), "{err}");
+        // serve-only flags demand --serve
+        let err = parse_args(&args(&["--verilog", "a.v", "--socket", "s"])).unwrap_err();
+        assert!(err.contains("--serve"), "{err}");
+        let err = parse_args(&args(&["--verilog", "a.v", "--quota", "2"])).unwrap_err();
+        assert!(err.contains("--serve"), "{err}");
+        // --help names the protocol document
+        let usage = parse_args(&args(&["--help"])).unwrap_err();
+        assert!(usage.contains("docs/PROTOCOL.md"), "{usage}");
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! End-to-end `--serve` session through the CLI front end: emit real
+//! Verilog/LEF inputs, drive the daemon with a command script, and assert
+//! the transcript — admission control, priority order, and zero warm graph
+//! rebuilds, all through the file loader the binary uses.
+
+use server::{Frame, SharedWriter};
+use workload::emit::{emit_lef, emit_verilog};
+use workload::{SocConfig, SocGenerator, SubsystemConfig};
+
+fn soc_config(name: &str, bits: usize, seed: u64) -> SocConfig {
+    SocConfig {
+        name: name.into(),
+        subsystems: vec![
+            SubsystemConfig::balanced("u_cpu", 2, bits),
+            SubsystemConfig::balanced("u_dsp", 2, bits),
+        ],
+        channels: vec![(0, 1), (1, 0)],
+        io_subsystems: vec![0],
+        io_bits: 8,
+        utilization: 0.5,
+        aspect_ratio: 1.0,
+        seed,
+    }
+}
+
+/// Emits a design as Verilog + LEF and returns the file paths.
+fn write_inputs(dir: &std::path::Path, config: SocConfig) -> (String, String) {
+    let name = config.name.clone();
+    let generated = SocGenerator::new(config).generate();
+    let verilog = dir.join(format!("{name}.v"));
+    let lef = dir.join(format!("{name}.lef"));
+    std::fs::write(&verilog, emit_verilog(&generated.design)).unwrap();
+    std::fs::write(&lef, emit_lef(&generated.design, &generated.library, 1000)).unwrap();
+    (verilog.to_str().unwrap().to_string(), lef.to_str().unwrap().to_string())
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hidap_serve_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn parse_transcript(bytes: &[u8]) -> Vec<Frame> {
+    String::from_utf8(bytes.to_vec())
+        .unwrap()
+        .lines()
+        .map(|line| Frame::parse(line).unwrap_or_else(|e| panic!("bad frame '{line}': {e}")))
+        .collect()
+}
+
+#[test]
+fn serve_session_places_files_with_priorities_and_zero_warm_rebuilds() {
+    let dir = temp_dir("e2e");
+    let (small_v, small_lef) = write_inputs(&dir, soc_config("soc_small", 4, 5));
+    let (large_v, large_lef) = write_inputs(&dir, soc_config("soc_large", 96, 7));
+
+    // budget sized between the two designs: holds the small one pinned,
+    // rejects new work once the large one is pinned alongside it
+    let small_bytes = {
+        use netlist::HeapSize;
+        let opts = cli::parse_args(&[
+            "--verilog".into(),
+            small_v.clone(),
+            "--lef".into(),
+            small_lef.clone(),
+        ])
+        .unwrap();
+        let (design, _) = cli::load_design(&opts).unwrap();
+        design.connectivity();
+        design.heap_bytes()
+    };
+    let large_bytes = {
+        use netlist::HeapSize;
+        let opts = cli::parse_args(&[
+            "--verilog".into(),
+            large_v.clone(),
+            "--lef".into(),
+            large_lef.clone(),
+        ])
+        .unwrap();
+        let (design, _) = cli::load_design(&opts).unwrap();
+        design.connectivity();
+        design.heap_bytes()
+    };
+    let budget_mib = (small_bytes + large_bytes / 2) as f64 / (1u64 << 20) as f64;
+
+    let opts =
+        cli::parse_args(&["--serve".into(), "--memory-budget".into(), format!("{budget_mib}")])
+            .unwrap();
+    let script = format!(
+        "hello client=ci\n\
+         intern verilog={small_v} lef={small_lef}\n\
+         submit design=0 flow=hidap effort=fast seeds=11 priority=0 evaluate=standard\n\
+         submit design=0 flow=hidap effort=fast seeds=12 priority=5 evaluate=standard\n\
+         intern verilog={large_v} lef={large_lef}\n\
+         submit design=1 flow=hidap effort=fast seeds=13\n\
+         drain\n\
+         release design=1\n\
+         submit design=0 flow=hidap effort=fast seeds=11 priority=0 evaluate=standard\n\
+         drain\n\
+         stats\n\
+         shutdown\n"
+    );
+
+    // drive build_server directly (instead of run_serve_session) to keep
+    // the daemon for in-process artifact-counter assertions afterwards
+    let mut daemon = cli::build_server(&opts);
+    let out = SharedWriter::new(Vec::new());
+    let end = daemon.serve_once(script.as_bytes(), out.clone()).unwrap();
+    assert_eq!(end, server::SessionEnd::Shutdown);
+    let frames = parse_transcript(&out.lock());
+
+    // the loader read the real files: interns echo the parsed design names
+    let interns: Vec<&Frame> =
+        frames.iter().filter(|f| f.name == "ok" && f.get("cmd") == Some("intern")).collect();
+    assert_eq!(interns.len(), 2);
+    assert_eq!(interns[0].get("name"), Some("soc_small"));
+    assert_eq!(interns[1].get("name"), Some("soc_large"));
+    assert_eq!(interns[0].get("dbu"), Some("1000"));
+
+    // admission rejected the submit against the over-budget store
+    let rejections: Vec<&Frame> = frames
+        .iter()
+        .filter(|f| f.name == "err" && f.get("code") == Some("admission-rejected"))
+        .collect();
+    assert_eq!(rejections.len(), 1, "{frames:#?}");
+
+    // priority 5 completed before priority 0 in the first drain
+    let done: Vec<&Frame> = frames.iter().filter(|f| f.name == "job-done").collect();
+    assert_eq!(done.len(), 3);
+    assert_eq!(done[0].get("seed"), Some("12"));
+    assert_eq!(done[1].get("seed"), Some("11"));
+
+    // the warm re-submit (same design, same spec) was bit-identical
+    let strip = |f: &Frame| -> Vec<(String, String)> {
+        f.fields.iter().filter(|(k, _)| k != "wall_s" && k != "job").cloned().collect()
+    };
+    assert_eq!(strip(done[1]), strip(done[2]), "warm result matches cold bit-for-bit");
+
+    // and performed zero graph rebuilds: misses stayed at the cold count
+    // (one per kind per design that ran)
+    let stats = daemon.scheduler().service().store().artifacts().stats();
+    assert_eq!(stats.seq.misses, 1, "only the cold run built the sequential graph");
+    assert_eq!(stats.net.misses, 1, "only the cold run built the netlist graph");
+    assert!(stats.seq.hits >= 1, "the warm run hit the cache");
+
+    // the stats frames agree with the in-process counters (one source of
+    // truth through PlacementService::stats)
+    let artifact_rows: Vec<&Frame> = frames.iter().filter(|f| f.name == "artifact").collect();
+    let seq_row = artifact_rows.iter().find(|f| f.get("kind") == Some("seq")).unwrap();
+    assert_eq!(seq_row.get("misses"), Some("1"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_session_reports_loader_errors_without_dying() {
+    let opts = cli::parse_args(&["--serve".into()]).unwrap();
+    let script =
+        "hello client=ci\nintern verilog=/nonexistent/x.v\nintern design=preset\nshutdown\n";
+    let out = SharedWriter::new(Vec::new());
+    let end = cli::run_serve_session(&opts, script.as_bytes(), out.clone()).unwrap();
+    assert_eq!(end, server::SessionEnd::Shutdown);
+    let frames = parse_transcript(&out.lock());
+    let errs: Vec<&Frame> = frames.iter().filter(|f| f.name == "err").collect();
+    assert_eq!(errs.len(), 2);
+    assert_eq!(errs[0].get("code"), Some("load-failed"));
+    assert!(errs[0].get("reason").unwrap().contains("cannot read"), "{:?}", errs[0]);
+    assert_eq!(errs[1].get("code"), Some("load-failed"));
+    assert!(errs[1].get("reason").unwrap().contains("verilog="), "the required field is named");
+}

@@ -68,6 +68,7 @@ pub mod flows;
 pub mod observer;
 pub mod registry;
 pub mod request;
+pub mod scheduler;
 pub mod service;
 pub mod store;
 
@@ -78,5 +79,6 @@ pub use flows::builtin_registry;
 pub use observer::{CollectingObserver, FlowObserver, StageEvent};
 pub use registry::FlowRegistry;
 pub use request::{EffortLevel, PlaceOutcome, PlaceRequest, Placer, StageTiming};
-pub use service::{JobId, JobResult, PlaceJob, PlacementService};
-pub use store::{DesignHandle, DesignStore};
+pub use scheduler::{ClientId, Scheduler};
+pub use service::{JobId, JobResult, JobState, PlaceJob, PlacementService, ServiceStats};
+pub use store::{DesignHandle, DesignStore, EvictionRecord};

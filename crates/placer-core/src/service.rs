@@ -92,6 +92,12 @@ pub struct PlaceJob {
     pub die: Option<Rect>,
     /// Per-job observer receiving this job's stage events.
     pub observer: Option<Arc<dyn FlowObserver>>,
+    /// Scheduling priority: higher-priority jobs drain first. Jobs of equal
+    /// priority keep submission (FIFO) order, so a drain's execution order —
+    /// and therefore its event order — is a deterministic function of the
+    /// submitted jobs alone. Priority never changes a job's *result*, only
+    /// when it runs.
+    pub priority: i32,
 }
 
 impl PlaceJob {
@@ -107,6 +113,7 @@ impl PlaceJob {
             evaluate: None,
             die: None,
             observer: None,
+            priority: 0,
         }
     }
 
@@ -146,11 +153,69 @@ impl PlaceJob {
         self
     }
 
+    /// Sets the scheduling priority (default 0; higher drains first).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
     /// Number of grid cells the job will run (seeds × λ, with a λ-less
     /// single axis when no λ values are given).
     pub fn num_runs(&self) -> usize {
         self.seeds.len() * self.lambdas.len().max(1)
     }
+}
+
+/// Where a submitted job currently is in its lifecycle (see
+/// [`PlacementService::job_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Still queued: `position` is its rank in the drain order (0 runs
+    /// next), which accounts for priorities, not just submission order.
+    Queued {
+        /// Rank in the priority-resolved drain order.
+        position: usize,
+        /// The job's scheduling priority.
+        priority: i32,
+    },
+    /// Ran (successfully or not); its result has not been taken yet.
+    Finished {
+        /// Whether the job produced a [`JobResult`] (vs a [`PlaceError`]).
+        ok: bool,
+    },
+    /// Ran and its result was already claimed through
+    /// [`PlacementService::take_result`].
+    Taken,
+    /// The id was never issued by this service.
+    Unknown,
+}
+
+/// A point-in-time snapshot of a service: queue/result counters plus the
+/// store's memory accounting — the one source of truth front ends (the CLI
+/// manifest summary, the daemon's `stats` command) report from instead of
+/// re-deriving counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Finished jobs whose results have not been taken yet.
+    pub completed: usize,
+    /// Distinct design identities interned (resident or evicted).
+    pub interned_designs: usize,
+    /// Identities whose design is currently resident.
+    pub resident_designs: usize,
+    /// Resident bytes of the interned designs (CSR views included).
+    pub design_bytes: usize,
+    /// Resident bytes of the cached artifacts.
+    pub artifact_bytes: usize,
+    /// Total resident bytes (designs + artifacts).
+    pub resident_bytes: usize,
+    /// The store's configured total-byte budget, if any.
+    pub memory_budget: Option<usize>,
+    /// Designs evicted so far.
+    pub design_evictions: u64,
+    /// Per-kind artifact hit/miss/evict counters and byte accounting.
+    pub artifacts: eval::ArtifactCacheStats,
 }
 
 /// The result of one completed job: the winning outcome plus per-run
@@ -240,9 +305,10 @@ impl PlacementService {
         self.cancel.clone()
     }
 
-    /// Enqueues a job and returns its id. Jobs run in submission order on
-    /// the next [`PlacementService::run_all`]; their results are independent
-    /// of that order.
+    /// Enqueues a job and returns its id. Jobs drain in priority order
+    /// (higher [`PlaceJob::priority`] first, submission order within equal
+    /// priority) on the next [`PlacementService::run_all`]; their results
+    /// are independent of that order.
     pub fn submit(&mut self, job: PlaceJob) -> JobId {
         let id = JobId(self.next_job);
         self.next_job += 1;
@@ -255,20 +321,97 @@ impl PlacementService {
         self.queue.len()
     }
 
+    /// Number of jobs waiting in the queue (alias of
+    /// [`PlacementService::pending`] matching the daemon's vocabulary).
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Number of finished jobs whose results have not been taken yet.
     pub fn completed(&self) -> usize {
         self.results.len()
     }
 
-    /// Drains the queue: runs every submitted job and stores its result.
-    /// Returns the number of jobs that ran (successfully or not).
+    /// The id the next [`PlacementService::submit`] will be issued — also
+    /// the exclusive upper bound on every id issued so far, so front ends
+    /// can enumerate `0..next_job_id()` to scan job states.
+    pub fn next_job_id(&self) -> u64 {
+        self.next_job
+    }
+
+    /// Where a job currently is: queued (with its drain-order position),
+    /// finished, taken, or never issued. Unlike
+    /// [`PlacementService::take_result`] this never consumes anything, so
+    /// front ends can poll it freely.
+    pub fn job_state(&self, id: JobId) -> JobState {
+        let order = self.drain_order();
+        if let Some(position) = order.iter().position(|&(qid, _)| qid == id) {
+            return JobState::Queued { position, priority: order[position].1 };
+        }
+        if let Some(result) = self.results.get(&id) {
+            return JobState::Finished { ok: result.is_ok() };
+        }
+        if id.0 < self.next_job {
+            JobState::Taken
+        } else {
+            JobState::Unknown
+        }
+    }
+
+    /// A point-in-time snapshot of the service: queue/result counters plus
+    /// the store's full memory accounting.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queued: self.queue.len(),
+            completed: self.results.len(),
+            interned_designs: self.store.len(),
+            resident_designs: self.store.resident_designs(),
+            design_bytes: self.store.design_bytes(),
+            artifact_bytes: self.store.artifacts().resident_bytes(),
+            resident_bytes: self.store.resident_bytes(),
+            memory_budget: self.store.memory_budget(),
+            design_evictions: self.store.design_evictions(),
+            artifacts: self.store.artifacts().stats(),
+        }
+    }
+
+    /// The queue in the order the next [`PlacementService::run_all`] will
+    /// execute it: stable-sorted by descending priority, so equal-priority
+    /// jobs keep submission order.
+    fn drain_order(&self) -> Vec<(JobId, i32)> {
+        let mut order: Vec<(JobId, i32)> =
+            self.queue.iter().map(|(id, j)| (*id, j.priority)).collect();
+        order.sort_by_key(|&(_, priority)| std::cmp::Reverse(priority));
+        order
+    }
+
+    /// Removes a still-queued job before it runs. The job reports
+    /// [`PlaceError::Cancelled`] through [`PlacementService::take_result`].
+    /// Returns `false` when the id is not in the queue (already ran, taken,
+    /// or never issued) — in that case nothing changes.
+    pub fn cancel_queued(&mut self, id: JobId) -> bool {
+        let Some(pos) = self.queue.iter().position(|(qid, _)| *qid == id) else {
+            return false;
+        };
+        self.queue.remove(pos);
+        self.results.insert(id, Err(PlaceError::Cancelled));
+        true
+    }
+
+    /// Drains the queue: runs every submitted job — higher-priority jobs
+    /// first, submission order within equal priority — and stores each
+    /// result. Returns the number of jobs that ran (successfully or not).
+    /// The drain order is a deterministic function of the queued jobs alone
+    /// and never changes any job's result, only when it runs.
     ///
     /// A cancellation only affects this drain: cancelled jobs report
     /// [`PlaceError::Cancelled`], and the service re-arms a fresh token at
     /// the end so later submissions run normally.
     pub fn run_all(&mut self) -> usize {
+        let mut batch: Vec<(JobId, PlaceJob)> = self.queue.drain(..).collect();
+        batch.sort_by_key(|(_, job)| std::cmp::Reverse(job.priority));
         let mut ran = 0;
-        while let Some((id, job)) = self.queue.pop_front() {
+        for (id, job) in batch {
             let result = if self.cancel.is_cancelled() {
                 Err(PlaceError::Cancelled)
             } else {
@@ -283,10 +426,30 @@ impl PlacementService {
         ran
     }
 
-    /// Removes and returns a job's result: `None` while the job is still
-    /// queued (or the id is unknown), `Some(Err(_))` when the job failed.
+    /// Removes and returns a job's result.
+    ///
+    /// * `None` — the job is still queued (it has no result yet).
+    /// * `Some(Ok(_))` / `Some(Err(_))` — the job ran; the result is yours
+    ///   now (results are take-once).
+    /// * `Some(Err(PlaceError::InvalidRequest(_)))` naming the id — the id
+    ///   was never issued by this service, or its result was already taken.
     pub fn take_result(&mut self, id: JobId) -> Option<Result<JobResult, PlaceError>> {
-        self.results.remove(&id)
+        if let Some(result) = self.results.remove(&id) {
+            return Some(result);
+        }
+        if self.queue.iter().any(|(qid, _)| *qid == id) {
+            return None;
+        }
+        if id.0 >= self.next_job {
+            return Some(Err(PlaceError::InvalidRequest(format!(
+                "job {} was never submitted to this service",
+                id.0
+            ))));
+        }
+        Some(Err(PlaceError::InvalidRequest(format!(
+            "job {}'s result was already taken (results are take-once)",
+            id.0
+        ))))
     }
 
     /// Runs one job through the engine, in a context borrowing the store's
@@ -417,8 +580,148 @@ mod tests {
         assert_eq!(result.design, d);
         assert_eq!(result.outcome.placement.macros.len(), 2);
         assert_eq!(result.runs.len(), 1);
-        // results are take-once
-        assert!(svc.take_result(job).is_none());
+        // results are take-once: a second take names the id in a
+        // structured error instead of silently returning nothing
+        match svc.take_result(job) {
+            Some(Err(PlaceError::InvalidRequest(msg))) => {
+                assert!(msg.contains("job 0"), "{msg}");
+                assert!(msg.contains("already taken"), "{msg}");
+            }
+            other => panic!("expected a structured already-taken error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_result_on_an_unknown_id_names_it() {
+        let mut svc = service();
+        match svc.take_result(JobId(42)) {
+            Some(Err(PlaceError::InvalidRequest(msg))) => {
+                assert!(msg.contains("job 42"), "{msg}");
+                assert!(msg.contains("never submitted"), "{msg}");
+            }
+            other => panic!("expected a structured unknown-id error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_result_on_a_queued_job_is_none() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let job = svc.submit(PlaceJob::new(d, "hidap"));
+        assert!(svc.take_result(job).is_none(), "queued jobs have no result yet");
+        assert_eq!(svc.queued_len(), 1, "probing must not consume the job");
+    }
+
+    #[test]
+    fn priorities_reorder_the_drain_deterministically() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let obs = Arc::new(CollectingObserver::new());
+        let spec = |priority, seed| {
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_seeds(vec![seed])
+                .with_priority(priority)
+                .with_observer(obs.clone())
+        };
+        // submitted low, high, normal, high: drain order must be the two
+        // highs in submission order, then normal, then low
+        let low = svc.submit(spec(-1, 11));
+        let high_a = svc.submit(spec(5, 12));
+        let normal = svc.submit(spec(0, 13));
+        let high_b = svc.submit(spec(5, 14));
+        assert_eq!(svc.job_state(high_a), JobState::Queued { position: 0, priority: 5 });
+        assert_eq!(svc.job_state(high_b), JobState::Queued { position: 1, priority: 5 });
+        assert_eq!(svc.job_state(normal), JobState::Queued { position: 2, priority: 0 });
+        assert_eq!(svc.job_state(low), JobState::Queued { position: 3, priority: -1 });
+        svc.run_all();
+        let seeds: Vec<u64> = obs
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                StageEvent::FlowStarted { seed, .. } => Some(*seed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds, vec![12, 14, 13, 11], "drain order follows priority then FIFO");
+        for job in [low, high_a, normal, high_b] {
+            assert!(svc.take_result(job).unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn priority_never_changes_a_job_result() {
+        let run = |priority| {
+            let mut svc = service();
+            let d = svc.intern(pipeline_design("p1", 8));
+            let job = svc.submit(
+                PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast).with_priority(priority),
+            );
+            // an extra competing job so the priority actually reorders
+            svc.submit(
+                PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast).with_seeds(vec![7]),
+            );
+            svc.run_all();
+            svc.take_result(job).unwrap().unwrap()
+        };
+        let ahead = run(10);
+        let behind = run(-10);
+        assert_eq!(ahead.outcome.placement, behind.outcome.placement);
+        assert_eq!(ahead.outcome.seed, behind.outcome.seed);
+    }
+
+    #[test]
+    fn job_state_walks_the_lifecycle() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        assert_eq!(svc.job_state(JobId(0)), JobState::Unknown);
+        let job = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        assert_eq!(svc.job_state(job), JobState::Queued { position: 0, priority: 0 });
+        svc.run_all();
+        assert_eq!(svc.job_state(job), JobState::Finished { ok: true });
+        svc.take_result(job).unwrap().unwrap();
+        assert_eq!(svc.job_state(job), JobState::Taken);
+    }
+
+    #[test]
+    fn cancel_queued_removes_only_the_named_job() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let doomed = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        let kept = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        assert!(svc.cancel_queued(doomed));
+        assert!(!svc.cancel_queued(doomed), "a job can only be cancelled once");
+        assert_eq!(svc.queued_len(), 1);
+        assert!(matches!(svc.take_result(doomed), Some(Err(PlaceError::Cancelled))));
+        svc.run_all();
+        assert!(svc.take_result(kept).unwrap().is_ok(), "the other job still runs");
+    }
+
+    #[test]
+    fn stats_snapshot_matches_the_store() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let job = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard()),
+        );
+        let before = svc.stats();
+        assert_eq!(before.queued, 1);
+        assert_eq!(before.completed, 0);
+        assert_eq!(before.interned_designs, 1);
+        assert_eq!(before.resident_designs, 1);
+        assert_eq!(before.design_bytes, svc.store().design_bytes());
+        assert_eq!(before.memory_budget, None);
+        svc.run_all();
+        let after = svc.stats();
+        assert_eq!(after.queued, 0);
+        assert_eq!(after.completed, 1);
+        assert!(after.artifact_bytes > 0, "the run populated the artifact cache");
+        assert_eq!(after.resident_bytes, after.design_bytes + after.artifact_bytes);
+        assert_eq!(after.artifacts, svc.store().artifacts().stats());
+        svc.take_result(job).unwrap().unwrap();
+        assert_eq!(svc.stats().completed, 0);
     }
 
     #[test]

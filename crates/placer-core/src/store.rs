@@ -49,7 +49,7 @@ use eval::{ArtifactCache, DesignKey};
 use netlist::dense::DenseId;
 use netlist::design::Design;
 use netlist::HeapSize;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// A cheap, copyable reference to a design interned in a [`DesignStore`].
@@ -71,6 +71,25 @@ impl DenseId for DesignHandle {
     fn from_index(index: usize) -> Self {
         Self(index as u32)
     }
+}
+
+/// One entry of the store's design-eviction log: which design left, how many
+/// bytes it freed, and when (on the store's monotonic intern/release clock).
+///
+/// The log is bounded ([`DesignStore::EVICTION_LOG_CAP`] most recent
+/// entries) so a long-lived service can expose it over a stats surface
+/// without growing without bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictionRecord {
+    /// The evicted design's handle (still valid: re-interning revives it).
+    pub handle: DesignHandle,
+    /// The evicted design's name.
+    pub name: String,
+    /// Bytes the eviction freed (the design's [`HeapSize`] accounting; its
+    /// purged artifacts are counted by the artifact cache's own counters).
+    pub bytes: usize,
+    /// Value of the store's recency clock when the eviction happened.
+    pub at: u64,
 }
 
 /// One interned identity: the design (present while resident), its keys,
@@ -114,6 +133,9 @@ pub struct DesignStore {
     /// Designs evicted so far (artifact evictions are counted separately by
     /// the [`ArtifactCache`]).
     evictions: u64,
+    /// The most recent design evictions, newest last (bounded to
+    /// [`DesignStore::EVICTION_LOG_CAP`] entries).
+    eviction_log: VecDeque<EvictionRecord>,
 }
 
 impl Default for DesignStore {
@@ -133,6 +155,7 @@ impl DesignStore {
             memory_budget: None,
             clock: 0,
             evictions: 0,
+            eviction_log: VecDeque::new(),
         }
     }
 
@@ -366,6 +389,20 @@ impl DesignStore {
         self.slots.iter().filter(|s| s.design.is_some()).map(|s| s.bytes).sum()
     }
 
+    /// Resident bytes of one design (0 while it is evicted).
+    pub fn design_bytes_of(&self, handle: DesignHandle) -> usize {
+        self.slots[handle.index()].bytes
+    }
+
+    /// Bytes pinned by *referenced* resident designs — the part of the
+    /// accounting budget enforcement can never reclaim (live handles are
+    /// never evicted). Admission control compares this floor against the
+    /// budget: once it exceeds the budget, accepting more work cannot be
+    /// served within it until something is released.
+    pub fn pinned_design_bytes(&self) -> usize {
+        self.slots.iter().filter(|s| s.refs > 0 && s.design.is_some()).map(|s| s.bytes).sum()
+    }
+
     /// Total resident bytes: interned designs plus cached artifacts.
     pub fn resident_bytes(&self) -> usize {
         self.design_bytes() + self.artifacts.resident_bytes()
@@ -380,6 +417,16 @@ impl DesignStore {
     /// [`DesignStore::evict_unreferenced`]).
     pub fn design_evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Maximum number of entries [`DesignStore::eviction_log`] retains.
+    pub const EVICTION_LOG_CAP: usize = 64;
+
+    /// The most recent design evictions, oldest first (at most
+    /// [`DesignStore::EVICTION_LOG_CAP`] entries — older ones are dropped,
+    /// the total count stays in [`DesignStore::design_evictions`]).
+    pub fn eviction_log(&self) -> impl Iterator<Item = &EvictionRecord> + '_ {
+        self.eviction_log.iter()
     }
 
     /// A fresh [`PlaceContext`] borrowing this store's artifact cache:
@@ -409,11 +456,22 @@ impl DesignStore {
     }
 
     /// Drops slot `i`'s design and purges its artifacts (unless another
-    /// resident geometry variant still shares the same identity key).
+    /// resident geometry variant still shares the same identity key),
+    /// logging the eviction.
     fn evict_slot(&mut self, i: usize) {
+        let bytes = self.slots[i].bytes;
         self.slots[i].design = None;
         self.slots[i].bytes = 0;
         self.evictions += 1;
+        if self.eviction_log.len() == Self::EVICTION_LOG_CAP {
+            self.eviction_log.pop_front();
+        }
+        self.eviction_log.push_back(EvictionRecord {
+            handle: DesignHandle::from_index(i),
+            name: self.slots[i].key.name().to_string(),
+            bytes,
+            at: self.clock,
+        });
         let key = self.slots[i].key.clone();
         let key_still_used = self.slots.iter().any(|s| s.design.is_some() && s.key == key);
         if !key_still_used {
@@ -615,6 +673,46 @@ mod tests {
         assert!(!store.is_resident(a), "the true LRU design is evicted");
         assert!(store.is_resident(b));
         assert_eq!(store.design_evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_log_records_name_bytes_and_order() {
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let b = store.intern(design("beta", "r_reg[0]"));
+        let a_bytes = store.design_bytes_of(a);
+        store.release(a);
+        store.release(b);
+        store.evict_unreferenced();
+        let log: Vec<_> = store.eviction_log().cloned().collect();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].handle, a);
+        assert_eq!(log[0].name, "alpha");
+        assert_eq!(log[0].bytes, a_bytes);
+        assert_eq!(log[1].name, "beta");
+        assert!(log[0].at <= log[1].at);
+        assert_eq!(store.design_bytes_of(a), 0, "evicted designs account zero bytes");
+        // revival starts a fresh accounting but keeps the log
+        store.intern(design("alpha", "r_reg[0]"));
+        assert_eq!(store.design_bytes_of(a), a_bytes);
+        assert_eq!(store.eviction_log().count(), 2);
+    }
+
+    #[test]
+    fn pinned_bytes_track_referenced_designs_only() {
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let b = store.intern(design("beta", "r_reg[0]"));
+        assert_eq!(store.pinned_design_bytes(), store.design_bytes());
+        store.release(a);
+        assert_eq!(
+            store.pinned_design_bytes(),
+            store.design_bytes_of(b),
+            "an unreferenced design is reclaimable, not pinned"
+        );
+        store.release(b);
+        assert_eq!(store.pinned_design_bytes(), 0);
+        assert_eq!(store.design_bytes(), store.design_bytes_of(a) + store.design_bytes_of(b));
     }
 
     #[test]

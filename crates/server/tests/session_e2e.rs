@@ -1,0 +1,323 @@
+//! Scripted end-to-end daemon sessions: the full protocol loop against a
+//! real scheduler, asserting admission control, priority ordering, stats
+//! contents and handle revival — all over the wire.
+
+use placer_core::{DesignStore, PlacementService, Scheduler};
+use server::{Frame, InternSpec, LoadedDesign, Server, SessionEnd, SharedWriter};
+use workload::SocGenerator;
+
+/// A loader resolving `design=<preset>` against generated designs: `small`
+/// and `large` differ enough in size that a budget can hold one but not
+/// both.
+fn preset_loader() -> impl FnMut(&InternSpec) -> Result<LoadedDesign, String> {
+    |spec: &InternSpec| {
+        let name = spec.get("design").ok_or_else(|| "intern needs a design= field".to_string())?;
+        let design = preset(name).ok_or_else(|| format!("unknown preset '{name}'"))?;
+        Ok(LoadedDesign { design, dbu: 1000 })
+    }
+}
+
+fn preset(name: &str) -> Option<netlist::design::Design> {
+    let config = match name {
+        "small" => workload::presets::service_fleet_config(0, 0.05),
+        "large" => workload::presets::service_fleet_config(1, 0.4),
+        _ => return None,
+    };
+    Some(SocGenerator::new(config).generate().design)
+}
+
+/// Bytes a preset will pin once interned (CSR view included).
+fn preset_bytes(name: &str) -> usize {
+    use netlist::HeapSize;
+    let design = preset(name).unwrap();
+    design.connectivity();
+    design.heap_bytes()
+}
+
+/// A server whose store holds `small` (pinned) but not `small` + `large`.
+fn tight_server() -> Server {
+    let budget = preset_bytes("small") + preset_bytes("large") / 2;
+    let service = PlacementService::with_store(
+        placer_core::builtin_registry(),
+        DesignStore::with_memory_budget(budget),
+    )
+    .with_jobs(1);
+    Server::new(Scheduler::with_service(service), preset_loader())
+}
+
+/// Runs one scripted session, returning the transcript parsed frame by
+/// frame (which also exercises the round trip on every reply the daemon
+/// writes).
+fn run_script(server: &mut Server, script: &str) -> (SessionEnd, Vec<Frame>) {
+    let out = SharedWriter::new(Vec::new());
+    let end = server.serve_once(script.as_bytes(), out.clone()).expect("session io");
+    let transcript = String::from_utf8(out.lock().clone()).expect("utf8 transcript");
+    let frames = transcript
+        .lines()
+        .map(|line| Frame::parse(line).unwrap_or_else(|e| panic!("bad frame '{line}': {e}")))
+        .collect();
+    (end, frames)
+}
+
+/// Frames with a given name, in transcript order.
+fn named<'a>(frames: &'a [Frame], name: &str) -> Vec<&'a Frame> {
+    frames.iter().filter(|f| f.name == name).collect()
+}
+
+#[test]
+fn scripted_session_enforces_admission_priorities_and_revival() {
+    let mut server = tight_server();
+    let script = "\
+# warm-up: one client, two designs, three prioritized jobs
+hello client=ci
+intern design=small
+submit design=0 flow=hidap effort=fast seeds=11 priority=0 evaluate=standard
+submit design=0 flow=hidap effort=fast seeds=12 priority=5 evaluate=standard
+intern design=large
+submit design=1 flow=hidap effort=fast seeds=13
+drain
+stats
+release design=1
+release design=0
+stats
+intern design=small
+stats
+shutdown
+";
+    let (end, frames) = run_script(&mut server, script);
+    assert_eq!(end, SessionEnd::Shutdown);
+
+    // hello
+    let hello = &named(&frames, "ok")[0];
+    assert_eq!(hello.get("cmd"), Some("hello"));
+    assert_eq!(hello.get("client"), Some("0"));
+
+    // interns: small got handle 0, large handle 1
+    let interns: Vec<&Frame> =
+        frames.iter().filter(|f| f.name == "ok" && f.get("cmd") == Some("intern")).collect();
+    assert_eq!(interns.len(), 3, "two cold interns plus the revival");
+    assert_eq!(interns[0].get("design"), Some("0"));
+    assert_eq!(interns[1].get("design"), Some("1"));
+    assert_eq!(interns[0].get("resident"), Some("true"));
+
+    // the third submit (against the large design) was admission-rejected,
+    // with the structured numbers and the remedy on the wire
+    let errs = named(&frames, "err");
+    assert_eq!(errs.len(), 1, "exactly one rejection: {errs:?}");
+    let rejected = errs[0];
+    assert_eq!(rejected.get("cmd"), Some("submit"));
+    assert_eq!(rejected.get("code"), Some("admission-rejected"));
+    let pinned: usize = rejected.get("pinned_bytes").unwrap().parse().unwrap();
+    let budget: usize = rejected.get("budget_bytes").unwrap().parse().unwrap();
+    assert!(pinned > budget, "{pinned} must exceed {budget}");
+    assert!(rejected.get("reason").unwrap().contains("release designs"), "remedy is named");
+
+    // the drain ran the two admitted jobs in priority order: job 1
+    // (priority 5) before job 0, and the streamed events interleave the
+    // same way — every event of job 1 strictly before every event of job 0
+    let done = named(&frames, "job-done");
+    assert_eq!(done.len(), 2);
+    assert_eq!(done[0].get("job"), Some("1"));
+    assert_eq!(done[0].get("seed"), Some("12"));
+    assert_eq!(done[1].get("job"), Some("0"));
+    assert_eq!(done[1].get("seed"), Some("11"));
+    for frame in done {
+        assert!(frame.get("hpwl_dbu").is_some(), "evaluated jobs report metrics: {frame:?}");
+        assert!(frame.get("wall_s").is_some());
+    }
+    let event_jobs: Vec<&str> = named(&frames, "event")
+        .iter()
+        .map(|f| f.get("job").expect("events are job-tagged"))
+        .collect();
+    assert!(!event_jobs.is_empty(), "stage events stream during the drain");
+    let switch = event_jobs.iter().position(|&j| j == "0").expect("job 0 emitted events");
+    assert!(event_jobs[..switch].iter().all(|&j| j == "1"), "priority order: {event_jobs:?}");
+    assert!(event_jobs[switch..].iter().all(|&j| j == "0"), "no interleaving: {event_jobs:?}");
+
+    // stats #1: both designs pinned and resident, artifacts populated
+    let stats = named(&frames, "stats");
+    assert_eq!(stats.len(), 3);
+    assert_eq!(stats[0].get("queued"), Some("0"));
+    assert_eq!(stats[0].get("interned"), Some("2"));
+    assert_eq!(stats[0].get("resident"), Some("2"));
+    assert_ne!(stats[0].get("budget"), Some("none"), "the tight budget is reported");
+    let design_rows = named(&frames, "design");
+    assert!(design_rows.iter().any(|f| f.get("design") == Some("0")
+        && f.get("resident") == Some("true")
+        && f.get("bytes").is_some_and(|b| b.parse::<usize>().unwrap() > 0)));
+
+    // stats #2 (after both releases): the budget pressure evicted at least
+    // the large design, and the eviction log says so by name
+    assert_eq!(stats[1].get("interned"), Some("2"));
+    let resident_after: usize = stats[1].get("resident").unwrap().parse().unwrap();
+    assert!(resident_after < 2, "releasing under a tight budget evicts");
+    let evicted = named(&frames, "evicted");
+    assert!(!evicted.is_empty(), "the eviction log is on the wire");
+    assert!(evicted.iter().all(|f| f.get("name").is_some() && f.get("bytes").is_some()));
+
+    // the re-intern revived the small design under its original handle
+    assert_eq!(interns[2].get("design"), Some("0"), "revival keeps the handle");
+    assert_eq!(interns[2].get("resident"), Some("true"));
+    let last_design_rows: Vec<&&Frame> =
+        design_rows.iter().filter(|f| f.get("design") == Some("0")).collect();
+    assert_eq!(
+        last_design_rows.last().unwrap().get("resident"),
+        Some("true"),
+        "stats #3 sees the revived design"
+    );
+}
+
+#[test]
+fn warm_session_rebuilds_no_graphs_and_matches_cold_results() {
+    let mut server = tight_server();
+    let submit = "\
+hello client=ci
+intern design=small
+submit design=0 flow=hidap effort=fast seeds=7 evaluate=standard
+drain
+";
+    let (end, cold) = run_script(&mut server, submit);
+    assert_eq!(end, SessionEnd::Eof, "EOF keeps the daemon alive for the next session");
+    let cold_stats = server.scheduler().service().store().artifacts().stats();
+    assert!(cold_stats.seq.misses > 0, "the cold pass built graphs");
+
+    // same commands again on the warm server: a second session, same store
+    let (_, warm) = run_script(&mut server, submit);
+    let warm_stats = server.scheduler().service().store().artifacts().stats();
+    assert_eq!(warm_stats.seq.misses, cold_stats.seq.misses, "zero warm seq-graph builds");
+    assert_eq!(warm_stats.net.misses, cold_stats.net.misses, "zero warm net-graph builds");
+
+    // bit-identical completion frames modulo timing fields
+    let strip = |frames: &[Frame]| -> Vec<Vec<(String, String)>> {
+        frames
+            .iter()
+            .filter(|f| f.name == "job-done")
+            .map(|f| {
+                f.fields.iter().filter(|(k, _)| k != "wall_s" && k != "job").cloned().collect()
+            })
+            .collect()
+    };
+    assert_eq!(strip(&cold), strip(&warm), "warm results are bit-identical");
+}
+
+#[test]
+fn protocol_errors_keep_the_session_alive() {
+    let mut server = tight_server();
+    let script = "\
+this is = not a frame
+warp speed=9
+submit design=0 flow=hidap
+result job=99
+cancel job=99
+release design=99
+shutdown
+";
+    let (end, frames) = run_script(&mut server, script);
+    assert_eq!(end, SessionEnd::Shutdown, "the session survives every error");
+    let errs = named(&frames, "err");
+    assert_eq!(errs.len(), 6);
+    assert_eq!(errs[0].get("code"), Some("parse"));
+    assert_eq!(errs[0].get("line"), Some("1"), "parse errors carry line numbers");
+    assert_eq!(errs[1].get("code"), Some("bad-command"));
+    assert_eq!(errs[2].get("code"), Some("no-client"), "submit before hello is rejected");
+    assert_eq!(errs[3].get("code"), Some("invalid-request"));
+    assert!(errs[3].get("reason").unwrap().contains("job 99"), "the id is named");
+    assert_eq!(errs[4].get("code"), Some("invalid-request"));
+    assert_eq!(errs[5].get("code"), Some("invalid-request"));
+}
+
+#[test]
+fn quota_rejections_reach_the_wire() {
+    let budget = preset_bytes("small") * 4;
+    let service = PlacementService::with_store(
+        placer_core::builtin_registry(),
+        DesignStore::with_memory_budget(budget),
+    )
+    .with_jobs(1);
+    let mut server = Server::new(Scheduler::with_service(service).with_quota(1), preset_loader());
+    let script = "\
+hello client=greedy
+intern design=small
+submit design=0 flow=hidap effort=fast seeds=1
+submit design=0 flow=hidap effort=fast seeds=2
+shutdown
+";
+    let (_, frames) = run_script(&mut server, script);
+    let errs = named(&frames, "err");
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].get("code"), Some("quota-exceeded"));
+    assert_eq!(errs[0].get("quota"), Some("1"));
+    assert!(errs[0].get("reason").unwrap().contains("greedy"), "the client is named");
+}
+
+#[test]
+fn result_command_claims_and_then_rejects_reclaims() {
+    let mut server = tight_server();
+    let script = "\
+hello client=ci
+intern design=small
+submit design=0 flow=hidap effort=fast seeds=3
+result job=0
+drain
+result job=0
+shutdown
+";
+    let (_, frames) = run_script(&mut server, script);
+    // before the drain the job is queued: the result command reports that
+    let pending: Vec<&Frame> =
+        frames.iter().filter(|f| f.name == "err" && f.get("code") == Some("pending")).collect();
+    assert_eq!(pending.len(), 1);
+    // the drain already claimed and streamed the result, so an explicit
+    // re-claim maps take_result's structured error onto the wire
+    let taken: Vec<&Frame> = frames
+        .iter()
+        .filter(|f| f.name == "err" && f.get("code") == Some("invalid-request"))
+        .collect();
+    assert_eq!(taken.len(), 1);
+    assert!(taken[0].get("reason").unwrap().contains("already taken"), "{:?}", taken[0]);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_sessions_share_one_warm_store() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let dir = std::env::temp_dir().join(format!("hidap_serve_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("hidap.sock");
+    let path = socket.clone();
+    let daemon = std::thread::spawn(move || {
+        let mut server = tight_server();
+        server.serve_unix(&path).expect("daemon io");
+        server.scheduler().service().store().artifacts().stats()
+    });
+
+    let connect = |socket: &std::path::Path| {
+        for _ in 0..200 {
+            if let Ok(stream) = UnixStream::connect(socket) {
+                return stream;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("daemon socket never came up");
+    };
+    let run = |socket: &std::path::Path, script: &str| -> Vec<String> {
+        let mut stream = connect(socket);
+        stream.write_all(script.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        BufReader::new(stream).lines().map(|l| l.unwrap()).collect()
+    };
+
+    let session = "hello client=ci\nintern design=small\nsubmit design=0 flow=hidap effort=fast seeds=5 evaluate=standard\ndrain\n";
+    let first = run(&socket, session);
+    assert!(first.iter().any(|l| l.starts_with("job-done")), "{first:?}");
+    let second = run(&socket, session);
+    assert!(second.iter().any(|l| l.starts_with("job-done")), "{second:?}");
+    run(&socket, "shutdown\n");
+
+    let stats = daemon.join().unwrap();
+    assert!(stats.seq.hits > 0, "the second connection reused the first's artifacts");
+    assert!(!socket.exists(), "the daemon removes its socket on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
