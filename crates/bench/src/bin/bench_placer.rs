@@ -27,13 +27,28 @@
 //!    metrics asserted bit-identical to direct `PlacementService`
 //!    execution — the wire adds overhead, never drift.
 //!
+//! 6. `--scale-sweep`: the million-cell scale axis — each scale point is
+//!    generated, emitted to Verilog/LEF/DEF text, re-parsed through the
+//!    streaming parsers, placed and measured (parse ms, place ms, HPWL ms,
+//!    resident bytes via `HeapSize`), with the dense result asserted
+//!    bit-identical to the preserved `bench::reference` hash-map path at
+//!    every point. Lands as the `scale_curve` array in the JSON. Scale 12
+//!    is the `mega_soc` preset (~1M cells); `--quick` sweeps small scales
+//!    only (the CI shape), `--scales 0.5,2` overrides the list.
+//!
 //! All parts cross-check that the before/after paths produce bit-identical
-//! results, and the timings land in `BENCH_placer.json`.
+//! results, and the timings land in `BENCH_placer.json`. Warm/cold ratios
+//! are measured **floor against floor**: a store is only cold once, but
+//! fresh stores are cheap, so the cold time is the minimum over N fresh
+//! services and the warm time the minimum over N repeats on the survivor.
+//! The ratios are asserted ≥ 1.0 — a warm pass does strictly less work, so
+//! only a measurement-structure bug can lose.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_placer            # full large_soc
 //! cargo run --release -p bench --bin bench_placer -- --scale 0.25 --repeats 5
 //! cargo run --release -p bench --bin bench_placer -- --quick # CI-sized run
+//! cargo run --release -p bench --bin bench_placer -- --scale-sweep   # + curve
 //! ```
 
 use bench::reference::{place_standard_cells_hashmap, to_dense, total_hpwl_hashmap};
@@ -77,12 +92,127 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// One point on the scale curve: the full text-to-metrics pipeline at one
+/// workload scale.
+struct ScalePoint {
+    scale: f64,
+    cells: usize,
+    nets: usize,
+    macros: usize,
+    gen_ms: f64,
+    parse_ms: f64,
+    place_ms: f64,
+    hpwl_ms: f64,
+    parse_bytes: usize,
+    peak_bytes: usize,
+}
+
+/// Ceiling on the streaming parsers' per-cell resident cost (the parsed
+/// `Design`'s `heap_bytes` over its cell count, before the CSR is built).
+/// Small designs carry fixed overheads, so the bound is calibrated against
+/// the quick scales (~395 B/cell at 0.05, falling with scale) and holds
+/// with ≥1.5x headroom at every measured point;
+/// a regression in the parsers' compaction (owned-token vectors, per-name
+/// `String`s) blows past it immediately.
+const PARSE_BYTES_PER_CELL_CEILING: usize = 600;
+
+/// Generates `large_soc_config(scale)`, emits it to Verilog/LEF/DEF text,
+/// re-parses it through the streaming parsers, places it on the dense path
+/// and cross-checks every result against the preserved
+/// `bench::reference` hash-map pipeline — the same end-to-end shape a user
+/// runs, measured at one scale.
+fn sweep_point(scale: f64) -> ScalePoint {
+    use netlist::HeapSize;
+
+    eprintln!("scale sweep: generating scale {scale} ...");
+    let t = Instant::now();
+    let generated = SocGenerator::new(large_soc_config(scale)).generate();
+    let verilog = workload::emit::emit_verilog(&generated.design);
+    let lef = workload::emit::emit_lef(&generated.design, &generated.library, 1000);
+    let def = workload::emit::emit_def(&generated.design, 1000, &HashMap::new());
+    let gen_s = t.elapsed().as_secs_f64();
+
+    eprintln!(
+        "scale sweep: parsing {:.1} MiB of Verilog ...",
+        verilog.len() as f64 / (1u64 << 20) as f64
+    );
+    let t = Instant::now();
+    let lef_file = netlist::lef::parse_lef(&lef).expect("emitted LEF parses");
+    let elaborate =
+        netlist::verilog::ElaborateOptions { library: lef_file.library, ..Default::default() };
+    let mut design = netlist::verilog::parse_verilog(&verilog, None, &elaborate)
+        .expect("emitted Verilog parses");
+    netlist::def::parse_def(&def).expect("emitted DEF parses").apply_to(&mut design);
+    let parse_s = t.elapsed().as_secs_f64();
+    let parse_bytes = design.heap_bytes();
+
+    // the parsed design is the generated design: same id families, same die
+    assert_eq!(design.num_cells(), generated.design.num_cells(), "cell count drifts");
+    assert_eq!(design.num_nets(), generated.design.num_nets(), "net count drifts");
+    assert_eq!(design.num_macros(), generated.design.num_macros(), "macro count drifts");
+    assert_eq!(design.num_ports(), generated.design.num_ports(), "port count drifts");
+    assert_eq!(design.die(), generated.design.die(), "die drifts through the DEF");
+    drop(generated);
+
+    let cells = design.num_cells();
+    assert!(
+        parse_bytes <= cells * PARSE_BYTES_PER_CELL_CEILING,
+        "parsed design costs {} bytes for {cells} cells ({} B/cell) — over the \
+         {PARSE_BYTES_PER_CELL_CEILING} B/cell streaming-parser ceiling",
+        parse_bytes,
+        parse_bytes / cells.max(1)
+    );
+
+    eprintln!("scale sweep: placing {cells} cells ...");
+    design.connectivity(); // build the CSR outside the placer timing
+    let base = grid_macro_placement(&design, 0);
+    let cfg = PlacerConfig::default();
+    let t = Instant::now();
+    let dense = place_standard_cells(&design, &base, &cfg);
+    let place_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let wl = total_hpwl(&design, &dense);
+    let hpwl_s = t.elapsed().as_secs_f64();
+    // design + name tables + CSR, the resident footprint of the point
+    let peak_bytes = design.heap_bytes();
+
+    // every point on the curve is bit-identical to the preserved hash-map
+    // reference — scaling up never buys a different answer
+    let reference = place_standard_cells_hashmap(&design, &base.to_map(), &cfg);
+    assert_eq!(
+        total_hpwl_hashmap(&design, &reference),
+        wl,
+        "dense and reference HPWL disagree at scale {scale}"
+    );
+    assert_eq!(
+        to_dense(&design, &reference),
+        dense,
+        "dense and reference placements disagree at scale {scale}"
+    );
+
+    ScalePoint {
+        scale,
+        cells,
+        nets: design.num_nets(),
+        macros: design.num_macros(),
+        gen_ms: gen_s * 1e3,
+        parse_ms: parse_s * 1e3,
+        place_ms: place_s * 1e3,
+        hpwl_ms: hpwl_s * 1e3,
+        parse_bytes,
+        peak_bytes,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut repeats = 3usize;
     let mut candidates = 16usize;
     let mut out_path = "BENCH_placer.json".to_string();
+    let mut quick = false;
+    let mut scale_sweep = false;
+    let mut sweep_scales: Option<Vec<f64>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,10 +230,24 @@ fn main() {
             }
             "--quick" => {
                 // CI-sized run: the same equality checks on a small design
+                quick = true;
                 scale = 0.05;
                 repeats = 1;
                 candidates = 4;
                 i += 1;
+            }
+            "--scale-sweep" => {
+                scale_sweep = true;
+                i += 1;
+            }
+            "--scales" if i + 1 < args.len() => {
+                sweep_scales = Some(
+                    args[i + 1]
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--scales takes comma-separated floats"))
+                        .collect(),
+                );
+                i += 2;
             }
             "--out" if i + 1 < args.len() => {
                 out_path = args[i + 1].clone();
@@ -115,6 +259,9 @@ fn main() {
             }
         }
     }
+    // warm timings are min-of-N; the quick run leans on more repeats to
+    // beat scheduler noise on a small design
+    let warm_passes = if quick { 5 } else { 3 };
 
     eprintln!("generating large_soc (scale {scale}) ...");
     let generated = SocGenerator::new(large_soc_config(scale)).generate();
@@ -282,9 +429,8 @@ fn main() {
     eprintln!(
         "service reuse: generating a fleet of {fleet_size} designs (scale {fleet_scale}) ..."
     );
-    let fleet = service_fleet(fleet_size, fleet_scale);
-    let mut service = PlacementService::new(baselines::default_registry());
-    let handles: Vec<_> = fleet.into_iter().map(|g| service.intern(g.design)).collect();
+    let fleet: Vec<Design> =
+        service_fleet(fleet_size, fleet_scale).into_iter().map(|g| g.design).collect();
 
     fn run_fleet_pass(
         service: &mut PlacementService,
@@ -311,21 +457,48 @@ fn main() {
         (results, elapsed)
     }
 
-    eprintln!("service reuse: cold pass ...");
-    let (cold_results, cold_s) = run_fleet_pass(&mut service, &handles, eval_cfg);
+    // A store is only cold once, but fresh stores are cheap. Each round
+    // runs a cold pass on a fresh service and a warm pass on that same
+    // service back to back — paired samples share ambient noise — and both
+    // timings keep their minimum. Rounds continue past the `warm_passes`
+    // floor (up to 5x) until the warm floor dips under the cold floor: the
+    // warm pass does strictly less work, so its true floor IS lower, and
+    // on a noisy box extra rounds separate the floors instead of flaking.
+    eprintln!("service reuse: paired cold/warm passes ({warm_passes}+ rounds) ...");
+    let mut service = PlacementService::new(baselines::default_registry());
+    let mut handles: Vec<placer_core::DesignHandle> =
+        fleet.iter().map(|d| service.intern(d.clone())).collect();
+    let mut cold_results = Vec::new();
+    let mut warm_results = Vec::new();
+    let mut cold_s = f64::INFINITY;
+    let mut warm_s = f64::INFINITY;
+    for round in 1..=warm_passes * 5 {
+        if round > 1 {
+            service = PlacementService::new(baselines::default_registry());
+            handles = fleet.iter().map(|d| service.intern(d.clone())).collect();
+        }
+        let (results, s) = run_fleet_pass(&mut service, &handles, eval_cfg);
+        cold_results = results;
+        cold_s = cold_s.min(s);
+        assert_eq!(
+            service.store().artifacts().stats().seq.misses as usize,
+            fleet_size,
+            "cold pass builds one Gseq per design"
+        );
+        let (results, s) = run_fleet_pass(&mut service, &handles, eval_cfg);
+        warm_results = results;
+        warm_s = warm_s.min(s);
+        if round >= warm_passes && warm_s <= cold_s {
+            break;
+        }
+    }
     let seq_built = service.store().artifacts().stats().seq.misses;
-    assert_eq!(seq_built as usize, fleet_size, "cold pass builds one Gseq per design");
-    eprintln!("service reuse: warm pass ...");
-    let (warm_results, warm_s) = run_fleet_pass(&mut service, &handles, eval_cfg);
     let seq_reused = service.store().artifacts().stats().seq.hits;
-    // the warm-cache pass must actually reuse the stored SeqGraphs — this
-    // gate runs before the JSON artifact is written/uploaded
+    // the warm-cache pass must actually reuse the stored SeqGraphs, and
+    // rebuild nothing (miss counter frozen at the cold count) — this gate
+    // runs before the JSON artifact is written/uploaded
     assert!(seq_reused > 0, "warm pass must hit the store's SeqGraph cache (hits = {seq_reused})");
-    assert_eq!(
-        service.store().artifacts().stats().seq.misses,
-        seq_built,
-        "warm pass must not rebuild any graph"
-    );
+    assert_eq!(seq_built as usize, fleet_size, "warm pass must not rebuild any graph");
     for (cold, warm) in cold_results.iter().zip(&warm_results) {
         assert_eq!(
             cold.outcome.placement, warm.outcome.placement,
@@ -334,6 +507,11 @@ fn main() {
         assert_eq!(cold.outcome.metrics, warm.outcome.metrics, "cold and warm metrics disagree");
     }
     let speedup_service = cold_s / warm_s.max(1e-12);
+    assert!(
+        speedup_service >= 1.0,
+        "a warm pass does strictly less work than the cold pass, yet measured \
+         {speedup_service:.3}x (cold floor {cold_s:.4}s vs warm floor {warm_s:.4}s)"
+    );
     println!(
         "service reuse ({fleet_size} designs x2): cold {:.1} ms, warm {:.1} ms \
          ({speedup_service:.2}x, {seq_built} Gseq built, {seq_reused} reused)",
@@ -352,21 +530,32 @@ fn main() {
     // designs AND their artifacts, the fleet is re-interned under the same
     // handles, and pass 3 rebuilds from empty caches. All three passes must
     // produce bit-identical placements and metrics.
-    eprintln!("artifact reuse: generating the fleet ...");
+    eprintln!("artifact reuse: paired cold/warm passes ({warm_passes}+ rounds) ...");
     let mut art_service = PlacementService::new(baselines::default_registry());
-    let art_handles: Vec<_> = service_fleet(fleet_size, fleet_scale)
-        .into_iter()
-        .map(|g| art_service.intern(g.design))
-        .collect();
-
-    eprintln!("artifact reuse: cold pass ...");
-    let (art_cold, art_cold_s) = run_fleet_pass(&mut art_service, &art_handles, eval_cfg);
-    let cold_stats = art_service.store().artifacts().stats();
-    assert_eq!(cold_stats.net.misses as usize, fleet_size, "cold pass: one Gnet per design");
-    assert_eq!(cold_stats.seq.misses as usize, fleet_size, "cold pass: one Gseq per design");
-
-    eprintln!("artifact reuse: warm pass ...");
-    let (art_warm, art_warm_s) = run_fleet_pass(&mut art_service, &art_handles, eval_cfg);
+    let mut art_handles: Vec<placer_core::DesignHandle> = Vec::new();
+    let mut art_cold = Vec::new();
+    let mut art_warm = Vec::new();
+    let mut art_cold_s = f64::INFINITY;
+    let mut art_warm_s = f64::INFINITY;
+    let mut cold_stats = art_service.store().artifacts().stats();
+    for round in 1..=warm_passes * 5 {
+        let mut fresh = PlacementService::new(baselines::default_registry());
+        let fresh_handles: Vec<_> = fleet.iter().map(|d| fresh.intern(d.clone())).collect();
+        let (results, s) = run_fleet_pass(&mut fresh, &fresh_handles, eval_cfg);
+        art_cold = results;
+        art_cold_s = art_cold_s.min(s);
+        art_service = fresh;
+        art_handles = fresh_handles;
+        cold_stats = art_service.store().artifacts().stats();
+        assert_eq!(cold_stats.net.misses as usize, fleet_size, "cold pass: one Gnet per design");
+        assert_eq!(cold_stats.seq.misses as usize, fleet_size, "cold pass: one Gseq per design");
+        let (results, s) = run_fleet_pass(&mut art_service, &art_handles, eval_cfg);
+        art_warm = results;
+        art_warm_s = art_warm_s.min(s);
+        if round >= warm_passes && art_warm_s <= art_cold_s {
+            break;
+        }
+    }
     let warm_stats = art_service.store().artifacts().stats();
     // CI gate: a warm hidap run performs zero NetGraph builds (and zero
     // SeqGraph builds) — asserted before the JSON artifact is written
@@ -393,10 +582,7 @@ fn main() {
         0,
         "design eviction purges the designs' artifacts"
     );
-    let revived: Vec<_> = service_fleet(fleet_size, fleet_scale)
-        .into_iter()
-        .map(|g| art_service.intern(g.design))
-        .collect();
+    let revived: Vec<_> = fleet.iter().map(|d| art_service.intern(d.clone())).collect();
     assert_eq!(revived, art_handles, "re-interned designs revive their old handles");
 
     eprintln!("artifact reuse: rebuilt pass ...");
@@ -423,6 +609,11 @@ fn main() {
         );
     }
     let speedup_artifact = art_cold_s / art_warm_s.max(1e-12);
+    assert!(
+        speedup_artifact >= 1.0,
+        "a zero-rebuild warm pass must not lose to the cold pass, yet measured \
+         {speedup_artifact:.3}x (cold floor {art_cold_s:.4}s vs warm floor {art_warm_s:.4}s)"
+    );
     println!(
         "artifact reuse ({fleet_size} designs x3): cold {:.1} ms, warm {:.1} ms \
          ({speedup_artifact:.2}x), rebuilt {:.1} ms ({net_built} Gnet built, {net_reused} \
@@ -444,8 +635,7 @@ fn main() {
     // comparison IS bit comparison), and the warm/cold ratio times the
     // daemon's artifact reuse including all protocol overhead.
     eprintln!("serve session: {fleet_size} jobs, direct service ...");
-    let serve_designs: Vec<Design> =
-        service_fleet(fleet_size, fleet_scale).into_iter().map(|g| g.design).collect();
+    let serve_designs: Vec<Design> = fleet.clone();
     let mut direct = PlacementService::new(baselines::default_registry()).with_jobs(1);
     let direct_jobs: Vec<JobId> = serve_designs
         .iter()
@@ -466,19 +656,23 @@ fn main() {
         .map(|j| direct.take_result(j).expect("job ran").expect("job succeeded"))
         .collect();
 
-    let loader_designs = serve_designs.clone();
-    let loader = move |spec: &server::InternSpec| -> Result<server::LoadedDesign, String> {
-        let index: usize = spec
-            .get("design")
-            .ok_or_else(|| "intern needs design=<index>".to_string())?
-            .parse()
-            .map_err(|_| "design= must be an index".to_string())?;
-        let design =
-            loader_designs.get(index).ok_or_else(|| format!("no fleet design {index}"))?.clone();
-        Ok(server::LoadedDesign { design, dbu: 1000 })
+    let make_daemon = || {
+        let loader_designs = serve_designs.clone();
+        let loader = move |spec: &server::InternSpec| -> Result<server::LoadedDesign, String> {
+            let index: usize = spec
+                .get("design")
+                .ok_or_else(|| "intern needs design=<index>".to_string())?
+                .parse()
+                .map_err(|_| "design= must be an index".to_string())?;
+            let design = loader_designs
+                .get(index)
+                .ok_or_else(|| format!("no fleet design {index}"))?
+                .clone();
+            Ok(server::LoadedDesign { design, dbu: 1000 })
+        };
+        let service = PlacementService::new(baselines::default_registry()).with_jobs(1);
+        server::Server::new(placer_core::Scheduler::with_service(service), loader)
     };
-    let service = PlacementService::new(baselines::default_registry()).with_jobs(1);
-    let mut daemon = server::Server::new(placer_core::Scheduler::with_service(service), loader);
 
     let submits: String = (0..fleet_size)
         .map(|i| {
@@ -486,8 +680,10 @@ fn main() {
         })
         .collect();
     let interns: String = (0..fleet_size).map(|i| format!("intern design={i}\n")).collect();
+    // the warm script carries no shutdown so it can repeat for min-of-N
+    // timing; a final one-frame session shuts the daemon down cleanly
     let cold_script = format!("hello client=bench\n{interns}{submits}drain\n");
-    let warm_script = format!("hello client=bench\n{submits}drain\nshutdown\n");
+    let warm_script = format!("hello client=bench\n{submits}drain\n");
 
     let run_session = |daemon: &mut server::Server, script: &str, expect: server::SessionEnd| {
         let out = server::SharedWriter::new(Vec::new());
@@ -504,12 +700,26 @@ fn main() {
         (done, elapsed)
     };
 
-    eprintln!("serve session: cold scripted session ...");
-    let (serve_cold, serve_cold_s) =
-        run_session(&mut daemon, &cold_script, server::SessionEnd::Eof);
-    eprintln!("serve session: warm scripted session ...");
-    let (serve_warm, serve_warm_s) =
-        run_session(&mut daemon, &warm_script, server::SessionEnd::Shutdown);
+    eprintln!("serve session: paired cold/warm sessions ({warm_passes}+ rounds) ...");
+    let mut daemon = make_daemon();
+    let mut serve_cold = Vec::new();
+    let mut serve_warm = Vec::new();
+    let mut serve_cold_s = f64::INFINITY;
+    let mut serve_warm_s = f64::INFINITY;
+    for round in 1..=warm_passes * 5 {
+        let mut fresh = make_daemon();
+        let (done, s) = run_session(&mut fresh, &cold_script, server::SessionEnd::Eof);
+        serve_cold = done;
+        serve_cold_s = serve_cold_s.min(s);
+        daemon = fresh;
+        let (done, s) = run_session(&mut daemon, &warm_script, server::SessionEnd::Eof);
+        serve_warm = done;
+        serve_warm_s = serve_warm_s.min(s);
+        if round >= warm_passes && serve_warm_s <= serve_cold_s {
+            break;
+        }
+    }
+    run_session(&mut daemon, "hello client=bench\nshutdown\n", server::SessionEnd::Shutdown);
     assert_eq!(serve_cold.len(), fleet_size, "cold session completes every job");
     assert_eq!(serve_warm.len(), fleet_size, "warm session completes every job");
     assert_eq!(
@@ -537,6 +747,12 @@ fn main() {
         }
     }
     let speedup_serve = serve_cold_s / serve_warm_s.max(1e-12);
+    assert!(
+        speedup_serve >= 1.0,
+        "a warm session (no interns, no graph builds) must not lose to the cold one, yet \
+         measured {speedup_serve:.3}x (cold floor {serve_cold_s:.4}s vs warm floor \
+         {serve_warm_s:.4}s)"
+    );
     println!(
         "serve session ({fleet_size} jobs x2): cold {:.1} ms, warm {:.1} ms \
          ({speedup_serve:.2}x, wire metrics ≡ direct)",
@@ -544,8 +760,69 @@ fn main() {
         serve_warm_s * 1e3
     );
 
+    // --- scale sweep: the million-cell axis --------------------------------
+    //
+    // Each point runs the full text pipeline (generate → emit → streaming
+    // parse → dense place → HPWL) with the dense results asserted
+    // bit-identical to the hash-map reference, and records resident bytes
+    // via HeapSize. Scale 12 is the mega_soc preset (~1M cells). The quick
+    // list keeps CI at small scales; the committed BENCH_placer.json
+    // carries the full curve.
+    let curve: Vec<ScalePoint> = if scale_sweep {
+        let scales = sweep_scales.unwrap_or_else(|| {
+            if quick {
+                vec![0.05, 0.1, 0.25]
+            } else {
+                vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 12.0]
+            }
+        });
+        scales
+            .into_iter()
+            .map(|s| {
+                let p = sweep_point(s);
+                println!(
+                    "scale {:>5}: {:>7} cells, gen {:>8.1} ms, parse {:>8.1} ms, place \
+                     {:>8.1} ms, HPWL {:>7.1} ms, {:.1} MiB resident",
+                    p.scale,
+                    p.cells,
+                    p.gen_ms,
+                    p.parse_ms,
+                    p.place_ms,
+                    p.hpwl_ms,
+                    p.peak_bytes as f64 / (1u64 << 20) as f64
+                );
+                p
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let scale_curve_json: String = if curve.is_empty() {
+        "[]".to_string()
+    } else {
+        let entries: Vec<String> = curve
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\n      \"scale\": {},\n      \"cells\": {},\n      \"nets\": {},\n      \"macros\": {},\n      \"gen_ms\": {:.3},\n      \"parse_ms\": {:.3},\n      \"place_ms\": {:.3},\n      \"hpwl_ms\": {:.3},\n      \"parse_bytes\": {},\n      \"peak_bytes\": {},\n      \"bit_identical_to_reference\": true\n    }}",
+                    p.scale,
+                    p.cells,
+                    p.nets,
+                    p.macros,
+                    p.gen_ms,
+                    p.parse_ms,
+                    p.place_ms,
+                    p.hpwl_ms,
+                    p.parse_bytes,
+                    p.peak_bytes,
+                )
+            })
+            .collect();
+        format!("[\n{}\n  ]", entries.join(",\n"))
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }},\n  \"artifact_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"rebuilt_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"net_graphs_built\": {net_built},\n    \"net_graphs_reused\": {net_reused},\n    \"warm_net_graph_builds\": 0,\n    \"warm_seq_graph_builds\": 0,\n    \"designs_evicted\": {evicted},\n    \"metrics_bit_identical\": true\n  }},\n  \"serve_session\": {{\n    \"jobs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"warm_graph_rebuilds\": 0,\n    \"metrics_bit_identical_to_direct\": true\n  }}\n}}\n",
+        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }},\n  \"artifact_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"rebuilt_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"net_graphs_built\": {net_built},\n    \"net_graphs_reused\": {net_reused},\n    \"warm_net_graph_builds\": 0,\n    \"warm_seq_graph_builds\": 0,\n    \"designs_evicted\": {evicted},\n    \"metrics_bit_identical\": true\n  }},\n  \"serve_session\": {{\n    \"jobs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"warm_graph_rebuilds\": 0,\n    \"metrics_bit_identical_to_direct\": true\n  }},\n  \"warm_samples\": {warm_passes},\n  \"scale_curve\": {scale_curve_json}\n}}\n",
         design.num_cells(),
         design.num_nets(),
         csr.num_pins(),

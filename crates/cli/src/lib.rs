@@ -139,7 +139,9 @@ manifest lines:  <file.v> [lef=<file>] [def=<file>] [top=<name>] [flow=<name>] \
 [lambda=<0..1>] [seed=<n>] [seeds=<n,n,...>] [lambdas=<l,l,...>] [effort=<tier>]   \
 ('#' starts a comment)\n\
 serve mode speaks the line protocol documented in docs/PROTOCOL.md (commands hello, \
-intern, submit, cancel, release, result, stats, drain, shutdown)";
+intern, submit, cancel, release, result, stats, drain, shutdown)\n\
+docs/SCALING.md covers the million-cell scale axis: the mega_soc preset, the streaming \
+parsers, and placing under --memory-budget";
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
     value
@@ -723,10 +725,11 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
         stats.artifacts.evictions(),
     ));
     output.push_str(&format!(
-        "memory: {:.1} MiB resident (designs {:.1} MiB + artifacts {:.1} MiB){}{}\n",
+        "memory: {:.1} MiB resident (designs {:.1} MiB + artifacts {:.1} MiB), peak {:.1} MiB{}{}\n",
         mib(stats.resident_bytes),
         mib(stats.design_bytes),
         mib(stats.artifact_bytes),
+        mib(stats.peak_resident_bytes),
         match opts.memory_budget_mib {
             Some(budget_mib) => format!(", budget {budget_mib:.1} MiB"),
             None => String::new(),

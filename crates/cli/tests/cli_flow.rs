@@ -160,8 +160,10 @@ fn cli_manifest_places_a_fleet_through_one_service() {
     assert!(output.contains("service: 3 jobs over 2 interned designs"), "{output}");
     assert!(output.contains("cache: Gseq 2 built, 3 reused"), "{output}");
     assert!(output.contains("Gnet 2 built, 2 reused"), "{output}");
-    // the memory line reports resident bytes split into designs + artifacts
+    // the memory line reports resident bytes split into designs + artifacts,
+    // plus the run's high-water mark
     assert!(output.contains("MiB resident (designs "), "{output}");
+    assert!(output.contains("), peak "), "{output}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -247,6 +249,9 @@ fn cli_manifest_memory_budget_evicts_finished_designs() {
     assert!(output.contains("cli_soc_evict (hidap): placed 2 macros"), "{output}");
     assert!(output.contains("budget 0.0 MiB"), "{output}");
     assert!(output.contains("2 designs evicted"), "{output}");
+    // everything was evicted, so the tail residency is tiny — the peak
+    // field is what records the run's true footprint
+    assert!(output.contains("), peak "), "{output}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

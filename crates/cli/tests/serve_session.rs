@@ -150,6 +150,13 @@ fn serve_session_places_files_with_priorities_and_zero_warm_rebuilds() {
     let seq_row = artifact_rows.iter().find(|f| f.get("kind") == Some("seq")).unwrap();
     assert_eq!(seq_row.get("misses"), Some("1"));
 
+    // the released large design was evicted under the budget, so the
+    // high-water mark strictly exceeds the surviving residency
+    let stats_frame = frames.iter().find(|f| f.name == "stats").unwrap();
+    let peak: usize = stats_frame.get("peak_bytes").unwrap().parse().unwrap();
+    let resident: usize = stats_frame.get("resident_bytes").unwrap().parse().unwrap();
+    assert!(peak > resident, "peak {peak} should exceed post-eviction residency {resident}");
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

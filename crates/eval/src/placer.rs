@@ -333,14 +333,28 @@ fn spread(
                     continue;
                 }
                 // move the smallest cells first until the bin fits
-                let mut cells = members[bx * bins + by].clone();
+                let mut cells = std::mem::take(&mut members[bx * bins + by]);
                 cells.sort_by_key(|&c| area[c.0 as usize]);
                 let mut to_free = over;
+                // The nearest-bin search only depends on the free room of
+                // *other* bins, and moves out of this bin change exactly one
+                // of them (the target). So the search result stays valid
+                // until the cached target runs out of room — re-searching
+                // per moved cell (O(moved × bins²) at scale) returns the
+                // same bin bit for bit.
+                let mut cached_target: Option<(usize, usize)> = None;
                 for cell in cells {
                     if to_free <= 0.0 {
                         break;
                     }
-                    if let Some((tx, ty)) = nearest_bin_with_room(&usage, &capacity, bins, bx, by) {
+                    let target = match cached_target {
+                        Some((tx, ty)) if capacity[tx][ty] - usage[tx][ty] > 0.0 => Some((tx, ty)),
+                        _ => {
+                            cached_target = nearest_bin_with_room(&usage, &capacity, bins, bx, by);
+                            cached_target
+                        }
+                    };
+                    if let Some((tx, ty)) = target {
                         let target_center = Point::new(
                             die.llx + ((tx as f64 + 0.5) * bin_w) as i64,
                             die.lly + ((ty as f64 + 0.5) * bin_h) as i64,

@@ -116,7 +116,7 @@ pub fn legalize_macros(design: &Design, die: Rect, footprints: &mut MacroFootpri
     let mut order: Vec<CellId> = footprints.cells();
     order.sort_by_key(|&c| (std::cmp::Reverse(design.cell(c).area()), c));
 
-    let mut placed: Vec<Rect> = Vec::with_capacity(order.len());
+    let mut placed = PlacedIndex::new(die, order.len());
     let mut moved = 0usize;
     let mut failed = false;
     for cell in order {
@@ -142,7 +142,7 @@ pub fn legalize_macros(design: &Design, die: Rect, footprints: &mut MacroFootpri
         if legal.lower_left() != desired.lower_left() || rotated != fp.rotated {
             moved += 1;
         }
-        placed.push(legal);
+        placed.insert(legal);
         footprints.insert(cell, MacroFootprint { location: legal.lower_left(), rotated });
     }
     if failed {
@@ -198,11 +198,70 @@ fn shelf_pack(design: &Design, die: Rect, footprints: &mut MacroFootprints) {
     }
 }
 
+/// A uniform-grid spatial index over the already-placed rectangles, replacing
+/// the linear `placed.iter().all(..)` scan that made each legality check
+/// O(placed) — at thousands of macros the spiral search degenerated to
+/// O(macros² × ring candidates).  Queries test only the rectangles bucketed
+/// over the candidate's grid span; any rectangle that actually overlaps the
+/// candidate shares at least one bucket with it, so the answer is identical
+/// to the full scan.
+struct PlacedIndex {
+    die: Rect,
+    grid: usize,
+    inv_w: f64,
+    inv_h: f64,
+    buckets: Vec<Vec<u32>>,
+    rects: Vec<Rect>,
+}
+
+impl PlacedIndex {
+    fn new(die: Rect, expected: usize) -> Self {
+        let grid = ((expected as f64).sqrt().ceil() as usize).clamp(1, 128);
+        let inv_w = grid as f64 / die.width().max(1) as f64;
+        let inv_h = grid as f64 / die.height().max(1) as f64;
+        Self { die, grid, inv_w, inv_h, buckets: vec![Vec::new(); grid * grid], rects: Vec::new() }
+    }
+
+    fn bucket_span(&self, rect: &Rect) -> (usize, usize, usize, usize) {
+        let clamp = |v: f64| (v.max(0.0) as usize).min(self.grid - 1);
+        let bx0 = clamp((rect.llx - self.die.llx) as f64 * self.inv_w);
+        let bx1 = clamp((rect.urx - self.die.llx) as f64 * self.inv_w);
+        let by0 = clamp((rect.lly - self.die.lly) as f64 * self.inv_h);
+        let by1 = clamp((rect.ury - self.die.lly) as f64 * self.inv_h);
+        (bx0, bx1, by0, by1)
+    }
+
+    fn insert(&mut self, rect: Rect) {
+        let index = self.rects.len() as u32;
+        self.rects.push(rect);
+        let (bx0, bx1, by0, by1) = self.bucket_span(&rect);
+        for bx in bx0..=bx1 {
+            for by in by0..=by1 {
+                self.buckets[bx * self.grid + by].push(index);
+            }
+        }
+    }
+
+    fn overlaps_any(&self, rect: &Rect) -> bool {
+        let (bx0, bx1, by0, by1) = self.bucket_span(rect);
+        for bx in bx0..=bx1 {
+            for by in by0..=by1 {
+                for &i in &self.buckets[bx * self.grid + by] {
+                    if self.rects[i as usize].overlaps(rect) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
 /// Finds the legal position closest to `desired` for a rectangle of the same
 /// size, avoiding `placed` rectangles and staying inside `die`.  Falls back
 /// to a row scan of the die and, as a last resort, to the clamped desired
 /// position.
-fn find_legal_position(die: Rect, desired: Rect, placed: &[Rect]) -> Rect {
+fn find_legal_position(die: Rect, desired: Rect, placed: &PlacedIndex) -> Rect {
     let w = desired.width();
     let h = desired.height();
     let clamp = |p: Point| -> Point {
@@ -263,8 +322,8 @@ fn find_legal_position(die: Rect, desired: Rect, placed: &[Rect]) -> Rect {
     candidate
 }
 
-fn is_legal(die: Rect, rect: &Rect, placed: &[Rect]) -> bool {
-    die.contains_rect(rect) && placed.iter().all(|p| !p.overlaps(rect))
+fn is_legal(die: Rect, rect: &Rect, placed: &PlacedIndex) -> bool {
+    die.contains_rect(rect) && !placed.overlaps_any(rect)
 }
 
 #[cfg(test)]

@@ -10,12 +10,16 @@
 //! The writer emits the same subset, which is enough to hand a macro
 //! placement to a downstream standard-cell placement tool (or to re-read it
 //! with this crate; see the round-trip tests).
+//!
+//! The reader is *streaming*: words are borrowed slices of the source text
+//! produced by a cursor with a small bounded lookahead buffer, never a
+//! materialized vector of owned `String` tokens.
 
 use crate::design::{CellId, Design, PortId};
 use crate::error::ParseError;
 use geometry::{Dbu, Orientation, Point, Rect};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Placement status of a DEF component.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +99,130 @@ impl DefFile {
     }
 }
 
+/// Streaming word lexer with bounded lookahead: whitespace-separated words
+/// with `#` comments stripped and trailing `;` split into its own token.
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+    pending_semi: Option<usize>,
+    buf: VecDeque<(usize, &'a str)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text, pos: 0, line: 1, pending_semi: None, buf: VecDeque::new() }
+    }
+
+    fn next_raw(&mut self) -> Option<(usize, &'a str)> {
+        if let Some(line) = self.pending_semi.take() {
+            return Some((line, ";"));
+        }
+        loop {
+            let rest = &self.text[self.pos..];
+            let c = rest.chars().next()?;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => {
+                    self.pos += c.len_utf8();
+                }
+                '#' => match rest.find('\n') {
+                    Some(n) => self.pos += n,
+                    None => self.pos = self.text.len(),
+                },
+                _ => {
+                    let start = self.pos;
+                    let end = rest
+                        .find(|c2: char| c2.is_whitespace() || c2 == '#')
+                        .map_or(self.text.len(), |n| start + n);
+                    self.pos = end;
+                    let word = &self.text[start..end];
+                    let line = self.line;
+                    if word != ";" && word.ends_with(';') {
+                        self.pending_semi = Some(line);
+                        return Some((line, word.trim_end_matches(';')));
+                    }
+                    return Some((line, word));
+                }
+            }
+        }
+    }
+
+    /// Peeks the token `k` positions ahead (0 = the next token).
+    fn peek_at(&mut self, k: usize) -> Option<(usize, &'a str)> {
+        while self.buf.len() <= k {
+            let t = self.next_raw()?;
+            self.buf.push_back(t);
+        }
+        self.buf.get(k).copied()
+    }
+
+    fn peek(&mut self) -> Option<(usize, &'a str)> {
+        self.peek_at(0)
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        if let Some(t) = self.buf.pop_front() {
+            return Some(t);
+        }
+        self.next_raw()
+    }
+}
+
+fn parse_int_tok(line: usize, t: &str) -> Result<i64, ParseError> {
+    t.parse::<f64>()
+        .map(|v| v.round() as i64)
+        .map_err(|_| ParseError::at_line(line, format!("invalid number '{t}'")))
+}
+
+/// Collects the next `count` numeric tokens (skipping parentheses, stopping at
+/// `;`) by peeking from `offset` without consuming anything.
+fn peek_numbers(lx: &mut Lexer<'_>, offset: usize, count: usize) -> Result<Vec<Dbu>, ParseError> {
+    let mut nums = Vec::with_capacity(count);
+    let mut k = offset;
+    while nums.len() < count {
+        let Some((line, t)) = lx.peek_at(k) else { break };
+        if t == "(" || t == ")" {
+            k += 1;
+            continue;
+        }
+        if t == ";" {
+            break;
+        }
+        nums.push(parse_int_tok(line, t)?);
+        k += 1;
+    }
+    if nums.len() < count {
+        return Err(ParseError::new("not enough numeric fields"));
+    }
+    Ok(nums)
+}
+
+/// Consumes tokens until `count` numbers have been read, skipping parentheses
+/// and stopping (without consuming) at `;`.
+fn take_numbers(lx: &mut Lexer<'_>, count: usize) -> Result<Vec<Dbu>, ParseError> {
+    let mut nums = Vec::with_capacity(count);
+    while nums.len() < count {
+        let Some((line, t)) = lx.peek() else { break };
+        if t == "(" || t == ")" {
+            lx.next();
+            continue;
+        }
+        if t == ";" {
+            break;
+        }
+        nums.push(parse_int_tok(line, t)?);
+        lx.next();
+    }
+    if nums.len() < count {
+        return Err(ParseError::new("not enough numeric fields"));
+    }
+    Ok(nums)
+}
+
 /// Parses DEF text.
 ///
 /// # Errors
@@ -103,130 +231,87 @@ impl DefFile {
 /// sections are not terminated.
 pub fn parse_def(text: &str) -> Result<DefFile, ParseError> {
     let mut def = DefFile { dbu_per_micron: 1000, ..Default::default() };
-    let tokens = lex(text);
-    let mut i = 0usize;
-    while i < tokens.len() {
-        match tokens[i].1.as_str() {
+    let mut lx = Lexer::new(text);
+    while let Some((_, tok)) = lx.peek() {
+        match tok {
             "DESIGN" => {
-                if let Some(t) = tokens.get(i + 1) {
-                    def.design = t.1.clone();
+                lx.next();
+                if let Some((_, t)) = lx.peek() {
+                    def.design = t.to_string();
+                    lx.next();
                 }
-                i += 2;
             }
             "UNITS" => {
                 // UNITS DISTANCE MICRONS n ;
-                if let Some(pos) = (i..tokens.len().min(i + 6)).find(|&j| tokens[j].1 == "MICRONS")
-                {
-                    def.dbu_per_micron = parse_int(&tokens, pos + 1)?;
-                    i = pos + 2;
-                } else {
-                    i += 1;
+                let found = (1..6).find(|&k| matches!(lx.peek_at(k), Some((_, "MICRONS"))));
+                match found {
+                    Some(k) => {
+                        let (line, t) = lx
+                            .peek_at(k + 1)
+                            .ok_or_else(|| ParseError::new("unexpected end of DEF"))?;
+                        def.dbu_per_micron = parse_int_tok(line, t)?;
+                        for _ in 0..=(k + 1) {
+                            lx.next();
+                        }
+                    }
+                    None => {
+                        lx.next();
+                    }
                 }
             }
             "DIEAREA" => {
                 // DIEAREA ( x1 y1 ) ( x2 y2 ) ;
-                let nums = collect_numbers(&tokens, i + 1, 4)?;
+                let nums = peek_numbers(&mut lx, 1, 4)?;
                 def.die = Rect::new(nums[0], nums[1], nums[2], nums[3]);
-                i += 1;
+                lx.next();
             }
             "COMPONENTS" => {
-                let (components, next) = parse_components(&tokens, i)?;
-                def.components = components;
-                i = next;
+                lx.next();
+                def.components = parse_components(&mut lx)?;
             }
             "PINS" => {
-                let (pins, next) = parse_pins(&tokens, i)?;
-                def.pins = pins;
-                i = next;
+                lx.next();
+                def.pins = parse_pins(&mut lx)?;
             }
-            _ => i += 1,
+            _ => {
+                lx.next();
+            }
         }
     }
     Ok(def)
 }
 
-fn lex(text: &str) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = match line.find('#') {
-            Some(pos) => &line[..pos],
-            None => line,
-        };
-        for raw in line.split_whitespace() {
-            let raw = raw.trim();
-            if raw.is_empty() {
-                continue;
-            }
-            if raw != ";" && raw.ends_with(';') {
-                out.push((lineno + 1, raw.trim_end_matches(';').to_string()));
-                out.push((lineno + 1, ";".to_string()));
-            } else {
-                out.push((lineno + 1, raw.to_string()));
-            }
-        }
-    }
-    out
-}
-
-fn parse_int(tokens: &[(usize, String)], idx: usize) -> Result<i64, ParseError> {
-    let (line, t) = tokens.get(idx).ok_or_else(|| ParseError::new("unexpected end of DEF"))?;
-    t.parse::<f64>()
-        .map(|v| v.round() as i64)
-        .map_err(|_| ParseError::at_line(*line, format!("invalid number '{t}'")))
-}
-
-/// Collects the next `count` numeric tokens, skipping parentheses.
-fn collect_numbers(
-    tokens: &[(usize, String)],
-    start: usize,
-    count: usize,
-) -> Result<Vec<Dbu>, ParseError> {
-    let mut nums = Vec::with_capacity(count);
-    let mut i = start;
-    while nums.len() < count && i < tokens.len() {
-        let t = &tokens[i].1;
-        if t == "(" || t == ")" {
-            i += 1;
-            continue;
-        }
+fn parse_components(lx: &mut Lexer<'_>) -> Result<Vec<DefComponent>, ParseError> {
+    let mut components = Vec::new();
+    // optional count then ';'
+    while let Some((_, t)) = lx.peek() {
         if t == ";" {
             break;
         }
-        nums.push(parse_int(tokens, i)?);
-        i += 1;
+        lx.next();
     }
-    if nums.len() < count {
-        return Err(ParseError::new("not enough numeric fields"));
-    }
-    Ok(nums)
-}
-
-fn parse_components(
-    tokens: &[(usize, String)],
-    start: usize,
-) -> Result<(Vec<DefComponent>, usize), ParseError> {
-    let mut components = Vec::new();
-    let mut i = start + 1;
-    // optional count then ';'
-    while i < tokens.len() && tokens[i].1 != ";" {
-        i += 1;
-    }
-    i += 1;
-    while i < tokens.len() {
-        if tokens[i].1 == "END" && tokens.get(i + 1).map(|t| t.1.as_str()) == Some("COMPONENTS") {
-            return Ok((components, i + 2));
+    lx.next();
+    loop {
+        let Some((line, tok)) = lx.peek() else {
+            return Err(ParseError::new("unterminated COMPONENTS section"));
+        };
+        if tok == "END" && lx.peek_at(1).map(|(_, t)| t) == Some("COMPONENTS") {
+            lx.next();
+            lx.next();
+            return Ok(components);
         }
-        if tokens[i].1 == "-" {
-            let name = tokens
-                .get(i + 1)
-                .ok_or_else(|| ParseError::at_line(tokens[i].0, "component without a name"))?
+        if tok == "-" {
+            lx.next();
+            let name = lx
+                .next()
+                .ok_or_else(|| ParseError::at_line(line, "component without a name"))?
                 .1
-                .clone();
-            let cell = tokens
-                .get(i + 2)
-                .ok_or_else(|| ParseError::at_line(tokens[i].0, "component without a cell"))?
+                .to_string();
+            let cell = lx
+                .next()
+                .ok_or_else(|| ParseError::at_line(line, "component without a cell"))?
                 .1
-                .clone();
+                .to_string();
             let mut comp = DefComponent {
                 name,
                 cell,
@@ -234,91 +319,92 @@ fn parse_components(
                 location: Point::origin(),
                 orientation: Orientation::N,
             };
-            i += 3;
-            while i < tokens.len() && tokens[i].1 != ";" {
-                match tokens[i].1.as_str() {
-                    "+" => i += 1,
+            while let Some((_, t)) = lx.peek() {
+                if t == ";" {
+                    break;
+                }
+                match t {
+                    "+" => {
+                        lx.next();
+                    }
                     "PLACED" | "FIXED" => {
-                        comp.status = if tokens[i].1 == "FIXED" {
-                            PlaceStatus::Fixed
-                        } else {
-                            PlaceStatus::Placed
-                        };
-                        let nums = collect_numbers(tokens, i + 1, 2)?;
+                        comp.status =
+                            if t == "FIXED" { PlaceStatus::Fixed } else { PlaceStatus::Placed };
+                        lx.next();
+                        let nums = take_numbers(lx, 2)?;
                         comp.location = Point::new(nums[0], nums[1]);
                         // orientation is the token following the closing paren
-                        let mut j = i + 1;
-                        let mut seen = 0;
-                        while j < tokens.len() && seen < 2 {
-                            if tokens[j].1.parse::<f64>().is_ok() {
-                                seen += 1;
-                            }
-                            j += 1;
-                        }
-                        while j < tokens.len() && (tokens[j].1 == ")" || tokens[j].1 == "(") {
-                            j += 1;
+                        while matches!(lx.peek(), Some((_, "(" | ")"))) {
+                            lx.next();
                         }
                         if let Some(o) =
-                            tokens.get(j).and_then(|t| Orientation::from_def_name(&t.1))
+                            lx.peek().and_then(|(_, t2)| Orientation::from_def_name(t2))
                         {
                             comp.orientation = o;
-                            i = j + 1;
-                        } else {
-                            i = j;
+                            lx.next();
                         }
                     }
                     "UNPLACED" => {
                         comp.status = PlaceStatus::Unplaced;
-                        i += 1;
+                        lx.next();
                     }
-                    _ => i += 1,
+                    _ => {
+                        lx.next();
+                    }
                 }
             }
             components.push(comp);
-            i += 1; // skip ';'
+            lx.next(); // skip ';'
         } else {
-            i += 1;
+            lx.next();
         }
     }
-    Err(ParseError::new("unterminated COMPONENTS section"))
 }
 
-fn parse_pins(
-    tokens: &[(usize, String)],
-    start: usize,
-) -> Result<(Vec<DefPin>, usize), ParseError> {
+fn parse_pins(lx: &mut Lexer<'_>) -> Result<Vec<DefPin>, ParseError> {
     let mut pins = Vec::new();
-    let mut i = start + 1;
-    while i < tokens.len() && tokens[i].1 != ";" {
-        i += 1;
-    }
-    i += 1;
-    while i < tokens.len() {
-        if tokens[i].1 == "END" && tokens.get(i + 1).map(|t| t.1.as_str()) == Some("PINS") {
-            return Ok((pins, i + 2));
+    while let Some((_, t)) = lx.peek() {
+        if t == ";" {
+            break;
         }
-        if tokens[i].1 == "-" {
-            let name = tokens
-                .get(i + 1)
-                .ok_or_else(|| ParseError::at_line(tokens[i].0, "pin without a name"))?
+        lx.next();
+    }
+    lx.next();
+    loop {
+        let Some((line, tok)) = lx.peek() else {
+            return Err(ParseError::new("unterminated PINS section"));
+        };
+        if tok == "END" && lx.peek_at(1).map(|(_, t)| t) == Some("PINS") {
+            lx.next();
+            lx.next();
+            return Ok(pins);
+        }
+        if tok == "-" {
+            lx.next();
+            let name = lx
+                .next()
+                .ok_or_else(|| ParseError::at_line(line, "pin without a name"))?
                 .1
-                .clone();
+                .to_string();
             let mut pin = DefPin { name, location: None };
-            i += 2;
-            while i < tokens.len() && tokens[i].1 != ";" {
-                if tokens[i].1 == "PLACED" || tokens[i].1 == "FIXED" {
-                    let nums = collect_numbers(tokens, i + 1, 2)?;
-                    pin.location = Some(Point::new(nums[0], nums[1]));
+            while let Some((_, t)) = lx.peek() {
+                if t == ";" {
+                    break;
                 }
-                i += 1;
+                if t == "PLACED" || t == "FIXED" {
+                    lx.next();
+                    let nums = take_numbers(lx, 2)?;
+                    pin.location = Some(Point::new(nums[0], nums[1]));
+                } else {
+                    lx.next();
+                }
             }
             pins.push(pin);
-            i += 1;
+            lx.next();
         } else {
-            i += 1;
+            lx.next();
         }
     }
-    Err(ParseError::new("unterminated PINS section"))
 }
 
 /// A macro placement to be written out as DEF.

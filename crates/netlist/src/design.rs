@@ -6,9 +6,9 @@
 //! the [`crate::hierarchy::HierarchyTree`] is built from.
 
 use crate::connectivity::Connectivity;
+use crate::names::NameTable;
 use geometry::{Dbu, Point, Rect};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// Identifier of a cell inside a [`Design`].
@@ -123,10 +123,8 @@ pub struct Design {
     ports: Vec<Port>,
     nets: Vec<Net>,
     die: Rect,
-    cell_index: HashMap<String, CellId>,
-    port_index: HashMap<String, PortId>,
-    net_index: HashMap<String, NetId>,
     connectivity: ConnectivityCache,
+    derived: DerivedCache,
 }
 
 /// Lazily-built CSR cache. Compares equal to everything so a design that has
@@ -147,6 +145,32 @@ impl PartialEq for ConnectivityCache {
     }
 }
 
+/// Lazily-built derived state: the compact name→id indexes (seeded by the
+/// builder, rebuilt on demand after mutation) and the two identity
+/// fingerprints, which design-keyed stores recompute per fetch and would
+/// otherwise walk every cell each time.  Same equality/clone semantics as
+/// [`ConnectivityCache`]: derived state never distinguishes designs.
+#[derive(Debug, Default)]
+struct DerivedCache {
+    cell_names: OnceLock<NameTable>,
+    port_names: OnceLock<NameTable>,
+    net_names: OnceLock<NameTable>,
+    seq_names: OnceLock<u64>,
+    geometry: OnceLock<u64>,
+}
+
+impl Clone for DerivedCache {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for DerivedCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 impl Design {
     /// The design (top module) name.
     pub fn name(&self) -> &str {
@@ -158,8 +182,9 @@ impl Design {
         self.die
     }
 
-    /// Sets the die outline.
+    /// Sets the die outline. Invalidates the cached geometry fingerprint.
     pub fn set_die(&mut self, die: Rect) {
+        self.derived.geometry.take();
         self.die = die;
     }
 
@@ -187,9 +212,13 @@ impl Design {
         &self.cells[id.0 as usize]
     }
 
-    /// Mutable cell accessor. Invalidates the cached connectivity view.
+    /// Mutable cell accessor. Invalidates the cached connectivity view, the
+    /// cell name index and the cached fingerprints.
     pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
         self.connectivity.0.take();
+        self.derived.cell_names.take();
+        self.derived.seq_names.take();
+        self.derived.geometry.take();
         &mut self.cells[id.0 as usize]
     }
 
@@ -198,9 +227,13 @@ impl Design {
         &self.ports[id.0 as usize]
     }
 
-    /// Mutable port accessor. Invalidates the cached connectivity view.
+    /// Mutable port accessor. Invalidates the cached connectivity view, the
+    /// port name index and the cached fingerprints.
     pub fn port_mut(&mut self, id: PortId) -> &mut Port {
         self.connectivity.0.take();
+        self.derived.port_names.take();
+        self.derived.seq_names.take();
+        self.derived.geometry.take();
         &mut self.ports[id.0 as usize]
     }
 
@@ -209,9 +242,11 @@ impl Design {
         &self.nets[id.0 as usize]
     }
 
-    /// Mutable net accessor. Invalidates the cached connectivity view.
+    /// Mutable net accessor. Invalidates the cached connectivity view and the
+    /// net name index.
     pub fn net_mut(&mut self, id: NetId) -> &mut Net {
         self.connectivity.0.take();
+        self.derived.net_names.take();
         &mut self.nets[id.0 as usize]
     }
 
@@ -227,17 +262,33 @@ impl Design {
 
     /// Looks a cell up by its hierarchical instance name.
     pub fn find_cell(&self, name: &str) -> Option<CellId> {
-        self.cell_index.get(name).copied()
+        let table = self
+            .derived
+            .cell_names
+            .get_or_init(|| NameTable::build(self.cells.iter().map(|c| c.name.as_str())));
+        table
+            .find(NameTable::hash_name(name), |id| self.cells[id as usize].name == name)
+            .map(CellId)
     }
 
     /// Looks a port up by name.
     pub fn find_port(&self, name: &str) -> Option<PortId> {
-        self.port_index.get(name).copied()
+        let table = self
+            .derived
+            .port_names
+            .get_or_init(|| NameTable::build(self.ports.iter().map(|p| p.name.as_str())));
+        table
+            .find(NameTable::hash_name(name), |id| self.ports[id as usize].name == name)
+            .map(PortId)
     }
 
     /// Looks a net up by name.
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.net_index.get(name).copied()
+        let table = self
+            .derived
+            .net_names
+            .get_or_init(|| NameTable::build(self.nets.iter().map(|n| n.name.as_str())));
+        table.find(NameTable::hash_name(name), |id| self.nets[id as usize].name == name).map(NetId)
     }
 
     /// Iterates over all cell ids.
@@ -299,23 +350,29 @@ impl Design {
     /// and the id-family counts, this is one of the fingerprint hooks
     /// design-keyed caches and stores use to identify a design without
     /// holding a reference to it.
+    ///
+    /// Computed on first use and cached (stores and artifact caches key every
+    /// fetch by it, so the walk must not be O(cells) per fetch); mutable
+    /// accessors touching cells or ports invalidate the cache.
     pub fn seq_name_fingerprint(&self) -> u64 {
-        let mut h = crate::hash::Fnv1a::new();
-        // a separator after every field so concatenations cannot collide
-        let mut eat = |bytes: &[u8]| {
-            h.write_bytes(bytes);
-            h.write_sep();
-        };
-        for (_, cell) in self.cells() {
-            if cell.kind != CellKind::Comb {
-                eat(&[cell.kind as u8]);
-                eat(cell.name.as_bytes());
+        *self.derived.seq_names.get_or_init(|| {
+            let mut h = crate::hash::Fnv1a::new();
+            // a separator after every field so concatenations cannot collide
+            let mut eat = |bytes: &[u8]| {
+                h.write_bytes(bytes);
+                h.write_sep();
+            };
+            for (_, cell) in self.cells() {
+                if cell.kind != CellKind::Comb {
+                    eat(&[cell.kind as u8]);
+                    eat(cell.name.as_bytes());
+                }
             }
-        }
-        for (_, port) in self.ports() {
-            eat(port.name.as_bytes());
-        }
-        h.finish()
+            for (_, port) in self.ports() {
+                eat(port.name.as_bytes());
+            }
+            h.finish()
+        })
     }
 
     /// FNV-1a over everything geometric: the die rectangle, every cell's
@@ -323,30 +380,40 @@ impl Design {
     /// but differ in any physical input (LEF footprints, DEF die or port
     /// placement) get distinct geometry fingerprints — the hook design
     /// stores use so such designs never alias to one interned entry.
+    ///
+    /// Computed on first use and cached; [`Design::set_die`],
+    /// [`Design::bind_library`] and the mutable cell/port accessors
+    /// invalidate the cache.
     pub fn geometry_fingerprint(&self) -> u64 {
-        let mut h = crate::hash::Fnv1a::new();
-        for edge in [self.die.llx, self.die.lly, self.die.urx, self.die.ury] {
-            h.write_i64(edge);
-        }
-        for (_, cell) in self.cells() {
-            h.write_i64(cell.width);
-            h.write_i64(cell.height);
-        }
-        for (_, port) in self.ports() {
-            match port.position {
-                Some(p) => {
-                    h.write_i64(p.x);
-                    h.write_i64(p.y);
-                }
-                None => h.write_sep(),
+        *self.derived.geometry.get_or_init(|| {
+            let mut h = crate::hash::Fnv1a::new();
+            for edge in [self.die.llx, self.die.lly, self.die.urx, self.die.ury] {
+                h.write_i64(edge);
             }
-        }
-        h.finish()
+            for (_, cell) in self.cells() {
+                h.write_i64(cell.width);
+                h.write_i64(cell.height);
+            }
+            for (_, port) in self.ports() {
+                match port.position {
+                    Some(p) => {
+                        h.write_i64(p.x);
+                        h.write_i64(p.y);
+                    }
+                    None => h.write_sep(),
+                }
+            }
+            h.finish()
+        })
     }
 
     /// Binds footprints from a library: every cell whose `lib_cell` is found
     /// in the library gets its width/height (and macro kind) updated.
+    /// Invalidates the cached fingerprints (footprints are geometry; a kind
+    /// flip to `Macro` changes the sequential-name walk).
     pub fn bind_library(&mut self, library: &crate::library::Library) {
+        self.derived.geometry.take();
+        self.derived.seq_names.take();
         for cell in &mut self.cells {
             if let Some(m) = library.find_macro(&cell.lib_cell) {
                 cell.width = m.width;
@@ -419,27 +486,31 @@ impl crate::heap_size::HeapSize for Net {
     }
 }
 
-/// A design's resident bytes cover the cell/port/net stores, the name
-/// indexes, and — when it has been materialized — the cached CSR
-/// connectivity view, so an interned design is accounted with everything
-/// that travels with it.
+/// A design's resident bytes cover the cell/port/net stores, the
+/// materialized name indexes, and — when it has been materialized — the
+/// cached CSR connectivity view, so an interned design is accounted with
+/// everything that travels with it.
 impl crate::heap_size::HeapSize for Design {
     fn heap_bytes(&self) -> usize {
         self.name.heap_bytes()
             + self.cells.heap_bytes()
             + self.ports.heap_bytes()
             + self.nets.heap_bytes()
-            + self.cell_index.heap_bytes()
-            + self.port_index.heap_bytes()
-            + self.net_index.heap_bytes()
+            + self.derived.cell_names.get().map_or(0, |t| t.heap_bytes())
+            + self.derived.port_names.get().map_or(0, |t| t.heap_bytes())
+            + self.derived.net_names.get().map_or(0, |t| t.heap_bytes())
             + self.connectivity.0.get().map_or(0, |csr| csr.resident_bytes())
     }
 }
 
 /// Incremental builder for a [`Design`].
 ///
-/// The builder keeps name → id maps so that parsers and generators can attach
-/// connectivity in any order.
+/// The builder keeps name → id indexes so that parsers and generators can
+/// attach connectivity in any order.  The indexes are the same compact
+/// [`NameTable`]s the finished design uses (hash + id slots verified against
+/// the cell/port/net stores — no duplicated name `String`s), and
+/// [`DesignBuilder::build`] hands them to the design, so streaming parsers
+/// never materialize an intermediate name `HashMap`.
 #[derive(Debug, Clone, Default)]
 pub struct DesignBuilder {
     name: String,
@@ -447,9 +518,9 @@ pub struct DesignBuilder {
     ports: Vec<Port>,
     nets: Vec<Net>,
     die: Rect,
-    cell_index: HashMap<String, CellId>,
-    port_index: HashMap<String, PortId>,
-    net_index: HashMap<String, NetId>,
+    cell_index: NameTable,
+    port_index: NameTable,
+    net_index: NameTable,
 }
 
 impl DesignBuilder {
@@ -500,12 +571,13 @@ impl DesignBuilder {
         hier_path: impl Into<String>,
     ) -> CellId {
         let name = name.into();
-        if let Some(&id) = self.cell_index.get(&name) {
-            return id;
+        let hash = NameTable::hash_name(&name);
+        if let Some(id) = self.cell_index.find(hash, |id| self.cells[id as usize].name == name) {
+            return CellId(id);
         }
         let id = CellId(self.cells.len() as u32);
         self.cells.push(Cell {
-            name: name.clone(),
+            name,
             lib_cell: lib_cell.into(),
             kind,
             width,
@@ -514,19 +586,20 @@ impl DesignBuilder {
             fanin: Vec::new(),
             fanout: Vec::new(),
         });
-        self.cell_index.insert(name, id);
+        self.cell_index.insert(hash, id.0);
         id
     }
 
     /// Adds a primary port; returns its id.
     pub fn add_port(&mut self, name: impl Into<String>, direction: PortDirection) -> PortId {
         let name = name.into();
-        if let Some(&id) = self.port_index.get(&name) {
-            return id;
+        let hash = NameTable::hash_name(&name);
+        if let Some(id) = self.port_index.find(hash, |id| self.ports[id as usize].name == name) {
+            return PortId(id);
         }
         let id = PortId(self.ports.len() as u32);
-        self.ports.push(Port { name: name.clone(), direction, position: None, net: None });
-        self.port_index.insert(name, id);
+        self.ports.push(Port { name, direction, position: None, net: None });
+        self.port_index.insert(hash, id.0);
         id
     }
 
@@ -539,12 +612,13 @@ impl DesignBuilder {
     /// Adds (or finds) a net by name; returns its id.
     pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
         let name = name.into();
-        if let Some(&id) = self.net_index.get(&name) {
-            return id;
+        let hash = NameTable::hash_name(&name);
+        if let Some(id) = self.net_index.find(hash, |id| self.nets[id as usize].name == name) {
+            return NetId(id);
         }
         let id = NetId(self.nets.len() as u32);
-        self.nets.push(Net { name: name.clone(), ..Default::default() });
-        self.net_index.insert(name, id);
+        self.nets.push(Net { name, ..Default::default() });
+        self.net_index.insert(hash, id.0);
         id
     }
 
@@ -590,18 +664,22 @@ impl DesignBuilder {
         self.cells.len()
     }
 
-    /// Finalizes the builder into an immutable [`Design`].
+    /// Finalizes the builder into an immutable [`Design`], seeding the
+    /// design's name indexes with the builder's (no rebuild on first
+    /// `find_*`).
     pub fn build(self) -> Design {
+        let derived = DerivedCache::default();
+        let _ = derived.cell_names.set(self.cell_index);
+        let _ = derived.port_names.set(self.port_index);
+        let _ = derived.net_names.set(self.net_index);
         Design {
             name: self.name,
             cells: self.cells,
             ports: self.ports,
             nets: self.nets,
             die: self.die,
-            cell_index: self.cell_index,
-            port_index: self.port_index,
-            net_index: self.net_index,
             connectivity: ConnectivityCache::default(),
+            derived,
         }
     }
 }
@@ -690,6 +768,61 @@ mod tests {
         let mut port_renamed = small_design();
         port_renamed.port_mut(d.find_port("clk_en").unwrap()).name = "clk_dis".into();
         assert_ne!(d.seq_name_fingerprint(), port_renamed.seq_name_fingerprint());
+    }
+
+    #[test]
+    fn name_lookup_tracks_renames() {
+        let mut d = small_design();
+        let m = d.find_cell("u_mem/ram0").unwrap();
+        d.cell_mut(m).name = "u_mem/ram_renamed".into();
+        assert_eq!(d.find_cell("u_mem/ram_renamed"), Some(m));
+        assert!(d.find_cell("u_mem/ram0").is_none());
+        let p = d.find_port("clk_en").unwrap();
+        d.port_mut(p).name = "clk_en2".into();
+        assert_eq!(d.find_port("clk_en2"), Some(p));
+        let n = d.find_net("clk_en_net").unwrap();
+        d.net_mut(n).name = "clk_net".into();
+        assert_eq!(d.find_net("clk_net"), Some(n));
+        assert!(d.find_net("clk_en_net").is_none());
+    }
+
+    #[test]
+    fn cached_fingerprints_invalidate_on_mutation() {
+        let mut d = small_design();
+        let seq = d.seq_name_fingerprint();
+        let geo = d.geometry_fingerprint();
+        // cached: repeated calls agree
+        assert_eq!(d.seq_name_fingerprint(), seq);
+        assert_eq!(d.geometry_fingerprint(), geo);
+        // die changes geometry only
+        d.set_die(Rect::new(0, 0, 2000, 2000));
+        assert_ne!(d.geometry_fingerprint(), geo);
+        assert_eq!(d.seq_name_fingerprint(), seq);
+        // resizing a cell through cell_mut changes geometry
+        let geo2 = d.geometry_fingerprint();
+        let m = d.find_cell("u_mem/ram0").unwrap();
+        d.cell_mut(m).width += 10;
+        assert_ne!(d.geometry_fingerprint(), geo2);
+    }
+
+    #[test]
+    fn bind_library_invalidates_fingerprints() {
+        use crate::library::{Library, MacroDef};
+        let mut d = small_design();
+        let seq = d.seq_name_fingerprint();
+        let geo = d.geometry_fingerprint();
+        let mut lib = Library::new();
+        // binding flips the DFF cell to a block macro with a real footprint
+        lib.add_macro(MacroDef {
+            name: "DFF".into(),
+            width: 50,
+            height: 60,
+            is_block: true,
+            pins: Vec::new(),
+        });
+        d.bind_library(&lib);
+        assert_ne!(d.geometry_fingerprint(), geo, "footprints changed");
+        assert_ne!(d.seq_name_fingerprint(), seq, "a flop became a macro");
     }
 
     #[test]

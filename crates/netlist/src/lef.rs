@@ -9,6 +9,10 @@
 //!   * `PIN <name> ... PORT ... RECT x1 y1 x2 y2 ... END <name>`.
 //!
 //! Everything else (layers, sites, obstruction geometry) is skipped.
+//!
+//! The lexer is *streaming*: it yields `(line, &str)` words borrowed from the
+//! source text one at a time instead of materializing a token vector of owned
+//! `String`s (which dominates peak memory on large libraries).
 
 use crate::error::ParseError;
 use crate::library::{Library, MacroDef, PinDef};
@@ -23,6 +27,77 @@ pub struct LefFile {
     pub library: Library,
 }
 
+/// Streaming word lexer: whitespace-separated words with `#` comments
+/// stripped and a trailing `;` split into its own token.
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+    pending_semi: Option<usize>,
+    peeked: Option<(usize, &'a str)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text, pos: 0, line: 1, pending_semi: None, peeked: None }
+    }
+
+    fn next_raw(&mut self) -> Option<(usize, &'a str)> {
+        if let Some(line) = self.pending_semi.take() {
+            return Some((line, ";"));
+        }
+        loop {
+            let rest = &self.text[self.pos..];
+            let c = rest.chars().next()?;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => {
+                    self.pos += c.len_utf8();
+                }
+                '#' => match rest.find('\n') {
+                    Some(n) => self.pos += n,
+                    None => self.pos = self.text.len(),
+                },
+                _ => {
+                    let start = self.pos;
+                    let end = rest
+                        .find(|c2: char| c2.is_whitespace() || c2 == '#')
+                        .map_or(self.text.len(), |n| start + n);
+                    self.pos = end;
+                    let word = &self.text[start..end];
+                    let line = self.line;
+                    if word == ";" {
+                        return Some((line, ";"));
+                    }
+                    if let Some(stripped) = word.strip_suffix(';') {
+                        self.pending_semi = Some(line);
+                        if !stripped.is_empty() {
+                            return Some((line, stripped));
+                        }
+                        return Some((line, ";"));
+                    }
+                    return Some((line, word));
+                }
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<(usize, &'a str)> {
+        if self.peeked.is_none() {
+            self.peeked = self.next_raw();
+        }
+        self.peeked
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        self.peek();
+        self.peeked.take()
+    }
+}
+
 /// Parses LEF text.
 ///
 /// # Errors
@@ -33,161 +108,116 @@ pub struct LefFile {
 pub fn parse_lef(text: &str) -> Result<LefFile, ParseError> {
     let mut dbu_per_micron: i64 = 1000;
     let mut library = Library::new();
-
-    let tokens = lex(text);
-    let mut i = 0usize;
-    while i < tokens.len() {
-        match tokens[i].1.as_str() {
+    let mut lx = Lexer::new(text);
+    while let Some((line, tok)) = lx.next() {
+        match tok {
             "UNITS" => {
                 // UNITS DATABASE MICRONS <n> ; ... END UNITS
-                let mut j = i + 1;
-                while j < tokens.len() && tokens[j].1 != "END" {
-                    if tokens[j].1 == "MICRONS" && j + 1 < tokens.len() {
-                        dbu_per_micron = tokens[j + 1].1.parse::<f64>().map_err(|_| {
-                            ParseError::at_line(tokens[j + 1].0, "invalid DATABASE MICRONS value")
-                        })? as i64;
+                while let Some((_, t)) = lx.peek() {
+                    if t == "END" {
+                        break;
                     }
-                    j += 1;
+                    lx.next();
+                    if t == "MICRONS" {
+                        if let Some((vline, v)) = lx.peek() {
+                            dbu_per_micron = v.parse::<f64>().map_err(|_| {
+                                ParseError::at_line(vline, "invalid DATABASE MICRONS value")
+                            })? as i64;
+                        }
+                    }
                 }
                 // skip "END UNITS"
-                if j < tokens.len() {
-                    j += 1;
-                    if tokens.get(j).map(|t| t.1.as_str()) == Some("UNITS") {
-                        j += 1;
+                if lx.peek().is_some() {
+                    lx.next();
+                    if lx.peek().map(|(_, t)| t) == Some("UNITS") {
+                        lx.next();
                     }
                 }
-                i = j;
             }
             "MACRO" => {
-                let (def, next) = parse_macro(&tokens, i, dbu_per_micron)?;
+                let def = parse_macro(&mut lx, line, dbu_per_micron)?;
                 library.add_macro(def);
-                i = next;
             }
-            _ => i += 1,
+            _ => {}
         }
     }
     Ok(LefFile { dbu_per_micron, library })
 }
 
-/// Lexes into (line, token) pairs, splitting on whitespace and treating `;` as
-/// its own token.
-fn lex(text: &str) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = match line.find('#') {
-            Some(pos) => &line[..pos],
-            None => line,
-        };
-        for raw in line.split_whitespace() {
-            if raw == ";" {
-                out.push((lineno + 1, ";".to_string()));
-            } else if let Some(stripped) = raw.strip_suffix(';') {
-                if !stripped.is_empty() {
-                    out.push((lineno + 1, stripped.to_string()));
-                }
-                out.push((lineno + 1, ";".to_string()));
-            } else {
-                out.push((lineno + 1, raw.to_string()));
-            }
-        }
-    }
-    out
-}
-
-fn parse_macro(
-    tokens: &[(usize, String)],
-    start: usize,
-    dbu: i64,
-) -> Result<(MacroDef, usize), ParseError> {
-    let name = tokens
-        .get(start + 1)
-        .ok_or_else(|| ParseError::at_line(tokens[start].0, "MACRO without a name"))?
+fn parse_macro(lx: &mut Lexer<'_>, start_line: usize, dbu: i64) -> Result<MacroDef, ParseError> {
+    let name = lx
+        .next()
+        .ok_or_else(|| ParseError::at_line(start_line, "MACRO without a name"))?
         .1
-        .clone();
+        .to_string();
     let mut def =
         MacroDef { name: name.clone(), width: 0, height: 0, is_block: false, pins: Vec::new() };
-    let mut i = start + 2;
-    while i < tokens.len() {
-        match tokens[i].1.as_str() {
+    while let Some((line, tok)) = lx.next() {
+        match tok {
             "CLASS" => {
-                if let Some(t) = tokens.get(i + 1) {
-                    def.is_block = t.1 == "BLOCK" || t.1 == "RING";
+                if let Some((_, t)) = lx.next() {
+                    def.is_block = t == "BLOCK" || t == "RING";
                 }
-                i += 2;
             }
             "SIZE" => {
                 // SIZE w BY h ;
-                let w = parse_micron(tokens, i + 1, dbu)?;
-                if tokens.get(i + 2).map(|t| t.1.as_str()) != Some("BY") {
-                    return Err(ParseError::at_line(tokens[i].0, "SIZE missing BY keyword"));
+                let w = next_micron(lx, dbu)?;
+                if lx.next().map(|(_, t)| t) != Some("BY") {
+                    return Err(ParseError::at_line(line, "SIZE missing BY keyword"));
                 }
-                let h = parse_micron(tokens, i + 3, dbu)?;
+                let h = next_micron(lx, dbu)?;
                 def.width = w;
                 def.height = h;
-                i += 4;
             }
             "PIN" => {
-                let (pin, next) = parse_pin(tokens, i, dbu)?;
-                def.pins.push(pin);
-                i = next;
+                def.pins.push(parse_pin(lx, line, dbu)?);
             }
-            "END" => {
-                // END <name> terminates the macro; a bare END belongs to a nested block we skipped.
-                if tokens.get(i + 1).map(|t| t.1.as_str()) == Some(name.as_str()) {
-                    return Ok((def, i + 2));
-                }
-                i += 1;
+            // END <name> terminates the macro; a bare END belongs to a nested block we skipped.
+            "END" if lx.peek().map(|(_, t)| t) == Some(name.as_str()) => {
+                lx.next();
+                return Ok(def);
             }
-            _ => i += 1,
+            _ => {}
         }
     }
-    Err(ParseError::at_line(tokens[start].0, format!("unterminated MACRO {name}")))
+    Err(ParseError::at_line(start_line, format!("unterminated MACRO {name}")))
 }
 
-fn parse_pin(
-    tokens: &[(usize, String)],
-    start: usize,
-    dbu: i64,
-) -> Result<(PinDef, usize), ParseError> {
-    let name = tokens
-        .get(start + 1)
-        .ok_or_else(|| ParseError::at_line(tokens[start].0, "PIN without a name"))?
+fn parse_pin(lx: &mut Lexer<'_>, start_line: usize, dbu: i64) -> Result<PinDef, ParseError> {
+    let name = lx
+        .next()
+        .ok_or_else(|| ParseError::at_line(start_line, "PIN without a name"))?
         .1
-        .clone();
+        .to_string();
     let mut offset = Point::origin();
     let mut have_rect = false;
-    let mut i = start + 2;
-    while i < tokens.len() {
-        match tokens[i].1.as_str() {
+    while let Some((_, tok)) = lx.next() {
+        match tok {
             "RECT" => {
-                let x1 = parse_micron(tokens, i + 1, dbu)?;
-                let y1 = parse_micron(tokens, i + 2, dbu)?;
-                let x2 = parse_micron(tokens, i + 3, dbu)?;
-                let y2 = parse_micron(tokens, i + 4, dbu)?;
+                let x1 = next_micron(lx, dbu)?;
+                let y1 = next_micron(lx, dbu)?;
+                let x2 = next_micron(lx, dbu)?;
+                let y2 = next_micron(lx, dbu)?;
                 if !have_rect {
                     offset = Point::new((x1 + x2) / 2, (y1 + y2) / 2);
                     have_rect = true;
                 }
-                i += 5;
             }
-            "END" => {
-                if tokens.get(i + 1).map(|t| t.1.as_str()) == Some(name.as_str()) {
-                    return Ok((PinDef { name, offset }, i + 2));
-                }
-                i += 1;
+            "END" if lx.peek().map(|(_, t)| t) == Some(name.as_str()) => {
+                lx.next();
+                return Ok(PinDef { name, offset });
             }
-            _ => i += 1,
+            _ => {}
         }
     }
-    Err(ParseError::at_line(tokens[start].0, format!("unterminated PIN {name}")))
+    Err(ParseError::at_line(start_line, format!("unterminated PIN {name}")))
 }
 
-fn parse_micron(tokens: &[(usize, String)], idx: usize, dbu: i64) -> Result<Dbu, ParseError> {
-    let (line, t) = tokens
-        .get(idx)
-        .ok_or_else(|| ParseError::new("unexpected end of file in numeric field"))?;
+fn next_micron(lx: &mut Lexer<'_>, dbu: i64) -> Result<Dbu, ParseError> {
+    let (line, t) =
+        lx.next().ok_or_else(|| ParseError::new("unexpected end of file in numeric field"))?;
     let v: f64 =
-        t.parse().map_err(|_| ParseError::at_line(*line, format!("invalid number '{t}'")))?;
+        t.parse().map_err(|_| ParseError::at_line(line, format!("invalid number '{t}'")))?;
     Ok((v * dbu as f64).round() as Dbu)
 }
 
@@ -270,5 +300,11 @@ END DFFX1
         let lef = parse_lef("MACRO M\n SIZE 2 BY 3 ;\nEND M\n").unwrap();
         assert_eq!(lef.dbu_per_micron, 1000);
         assert_eq!(lef.library.find_macro("M").unwrap().width, 2000);
+    }
+
+    #[test]
+    fn inline_comment_terminates_a_word() {
+        let lef = parse_lef("MACRO M# trailing\n SIZE 1 BY 1 ;\nEND M\n").unwrap();
+        assert!(lef.library.find_macro("M").is_some());
     }
 }

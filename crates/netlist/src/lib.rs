@@ -21,6 +21,9 @@
 //!   design and cached (`Design::connectivity`).
 //! * [`heap_size`] — the [`HeapSize`] resident-byte accounting trait behind
 //!   byte-budgeted artifact caches and design stores.
+//! * [`names`] — the compact open-addressed name→id index behind
+//!   `Design::find_cell`/`find_port`/`find_net` (12 bytes per slot instead of
+//!   a duplicated `String` per entry).
 //! * [`placement`] — the [`placement::PlacementView`] read trait over macro
 //!   placements, the dense interchange between flows, evaluation and DEF.
 //!
@@ -51,6 +54,7 @@ pub mod heap_size;
 pub mod hierarchy;
 pub mod lef;
 pub mod library;
+pub mod names;
 pub mod placement;
 pub mod verilog;
 

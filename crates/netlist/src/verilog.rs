@@ -17,11 +17,17 @@
 //! chosen top module; the instance path of every cell is recorded so the
 //! hierarchy tree can be rebuilt (this is exactly the RTL-stage hierarchy
 //! information the paper exploits).
+//!
+//! The parser is *streaming*: tokens are borrowed slices of the source text
+//! produced one at a time by a cursor — never a materialized token vector,
+//! which costs gigabytes at a million cells — and the module table and the
+//! flattener's per-instance port maps are compact sorted structures rather
+//! than `HashMap`s.
 
 use crate::design::{CellKind, Design, DesignBuilder, PortDirection};
 use crate::error::ParseError;
 use crate::library::Library;
-use std::collections::HashMap;
+use crate::names::NameTable;
 
 /// A port declaration: name, direction, optional (msb, lsb) range.
 type PortDecl = (String, PortDirection, Option<(i64, i64)>);
@@ -32,8 +38,6 @@ struct Module {
     name: String,
     /// port name -> (direction, msb, lsb) ; scalar ports have msb == lsb == None
     ports: Vec<PortDecl>,
-    /// wire name -> optional range
-    wires: HashMap<String, Option<(i64, i64)>>,
     instances: Vec<Instance>,
 }
 
@@ -45,128 +49,138 @@ struct Instance {
     connections: Vec<(String, String)>,
 }
 
-/// Tokenizer output.
-#[derive(Debug, Clone, PartialEq)]
-enum Token {
-    Ident(String),
+/// Tokenizer output. Tokens borrow from the source text — no allocation per
+/// token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Token<'a> {
+    Ident(&'a str),
     Symbol(char),
-    Number(String),
+    Number(&'a str),
 }
 
-fn tokenize(text: &str) -> Result<Vec<(usize, Token)>, ParseError> {
-    let mut tokens = Vec::new();
-    let mut chars = text.char_indices().peekable();
-    let mut line = 1usize;
-    while let Some(&(_, c)) = chars.peek() {
-        match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
-            c if c.is_whitespace() => {
-                chars.next();
-            }
-            '/' => {
-                chars.next();
-                match chars.peek() {
-                    Some(&(_, '/')) => {
-                        for (_, c2) in chars.by_ref() {
-                            if c2 == '\n' {
-                                line += 1;
-                                break;
+/// Streaming tokenizer: a cursor over the source text producing one token per
+/// call.
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text, pos: 0, line: 1 }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(usize, Token<'a>)>, ParseError> {
+        loop {
+            let rest = &self.text[self.pos..];
+            let Some(c) = rest.chars().next() else { return Ok(None) };
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => {
+                    self.pos += c.len_utf8();
+                }
+                '/' => match rest[1..].chars().next() {
+                    Some('/') => match rest.find('\n') {
+                        Some(n) => {
+                            self.line += 1;
+                            self.pos += n + 1;
+                        }
+                        None => self.pos = self.text.len(),
+                    },
+                    Some('*') => {
+                        let body = &rest[2..];
+                        match body.find("*/") {
+                            Some(n) => {
+                                self.line += body[..n].matches('\n').count();
+                                self.pos += 2 + n + 2;
+                            }
+                            None => {
+                                self.line += body.matches('\n').count();
+                                self.pos = self.text.len();
                             }
                         }
                     }
-                    Some(&(_, '*')) => {
-                        chars.next();
-                        let mut prev = ' ';
-                        for (_, c2) in chars.by_ref() {
-                            if c2 == '\n' {
-                                line += 1;
-                            }
-                            if prev == '*' && c2 == '/' {
-                                break;
-                            }
-                            prev = c2;
-                        }
+                    _ => {
+                        self.pos += 1;
+                        return Ok(Some((self.line, Token::Symbol('/'))));
                     }
-                    _ => tokens.push((line, Token::Symbol('/'))),
+                },
+                '\\' => {
+                    // escaped identifier: `\name with specials ` terminated by whitespace
+                    let start = self.pos + 1;
+                    let end = self.text[start..]
+                        .find(char::is_whitespace)
+                        .map_or(self.text.len(), |n| start + n);
+                    self.pos = end;
+                    return Ok(Some((self.line, Token::Ident(&self.text[start..end]))));
                 }
-            }
-            '\\' => {
-                // escaped identifier: `\name with specials ` terminated by whitespace
-                chars.next();
-                let mut ident = String::new();
-                while let Some(&(_, c2)) = chars.peek() {
-                    if c2.is_whitespace() {
-                        break;
-                    }
-                    ident.push(c2);
-                    chars.next();
+                c if c.is_alphabetic() || c == '_' => {
+                    let start = self.pos;
+                    let end = rest
+                        .find(|c2: char| !(c2.is_alphanumeric() || c2 == '_' || c2 == '$'))
+                        .map_or(self.text.len(), |n| start + n);
+                    self.pos = end;
+                    return Ok(Some((self.line, Token::Ident(&self.text[start..end]))));
                 }
-                tokens.push((line, Token::Ident(ident)));
-            }
-            c if c.is_alphabetic() || c == '_' => {
-                let mut ident = String::new();
-                while let Some(&(_, c2)) = chars.peek() {
-                    if c2.is_alphanumeric() || c2 == '_' || c2 == '$' {
-                        ident.push(c2);
-                        chars.next();
-                    } else {
-                        break;
-                    }
+                c if c.is_ascii_digit() => {
+                    let start = self.pos;
+                    let end = rest
+                        .find(|c2: char| !(c2.is_alphanumeric() || c2 == '\'' || c2 == '_'))
+                        .map_or(self.text.len(), |n| start + n);
+                    self.pos = end;
+                    return Ok(Some((self.line, Token::Number(&self.text[start..end]))));
                 }
-                tokens.push((line, Token::Ident(ident)));
-            }
-            c if c.is_ascii_digit() => {
-                let mut num = String::new();
-                while let Some(&(_, c2)) = chars.peek() {
-                    if c2.is_alphanumeric() || c2 == '\'' || c2 == '_' {
-                        num.push(c2);
-                        chars.next();
-                    } else {
-                        break;
-                    }
+                '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | ':' | '.' | '=' | '-' | '+' => {
+                    self.pos += 1;
+                    return Ok(Some((self.line, Token::Symbol(c))));
                 }
-                tokens.push((line, Token::Number(num)));
-            }
-            '(' | ')' | '[' | ']' | '{' | '}' | ',' | ';' | ':' | '.' | '=' | '-' | '+' => {
-                tokens.push((line, Token::Symbol(c)));
-                chars.next();
-            }
-            other => {
-                return Err(ParseError::at_line(line, format!("unexpected character '{other}'")));
+                other => {
+                    return Err(ParseError::at_line(
+                        self.line,
+                        format!("unexpected character '{other}'"),
+                    ));
+                }
             }
         }
     }
-    Ok(tokens)
 }
 
-struct Parser {
-    tokens: Vec<(usize, Token)>,
-    pos: usize,
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<(usize, Token<'a>)>,
+    line: usize,
 }
 
-impl Parser {
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos).map(|(_, t)| t)
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { lexer: Lexer::new(text), peeked: None, line: 1 }
+    }
+
+    fn peek(&mut self) -> Result<Option<Token<'a>>, ParseError> {
+        if self.peeked.is_none() {
+            self.peeked = self.lexer.next_token()?;
+        }
+        Ok(self.peeked.map(|(_, t)| t))
     }
 
     fn line(&self) -> usize {
-        self.tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|(l, _)| *l)
-            .unwrap_or(0)
+        self.peeked.map(|(l, _)| l).unwrap_or(self.line)
     }
 
-    fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
-        self.pos += 1;
-        t
+    fn next(&mut self) -> Result<Option<Token<'a>>, ParseError> {
+        self.peek()?;
+        Ok(self.peeked.take().map(|(l, t)| {
+            self.line = l;
+            t
+        }))
     }
 
     fn expect_symbol(&mut self, c: char) -> Result<(), ParseError> {
-        match self.next() {
+        match self.next()? {
             Some(Token::Symbol(s)) if s == c => Ok(()),
             other => {
                 Err(ParseError::at_line(self.line(), format!("expected '{c}', found {other:?}")))
@@ -174,8 +188,8 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, ParseError> {
-        match self.next() {
+    fn expect_ident(&mut self) -> Result<&'a str, ParseError> {
+        match self.next()? {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(ParseError::at_line(
                 self.line(),
@@ -184,18 +198,18 @@ impl Parser {
         }
     }
 
-    fn eat_symbol(&mut self, c: char) -> bool {
-        if self.peek() == Some(&Token::Symbol(c)) {
-            self.pos += 1;
-            true
+    fn eat_symbol(&mut self, c: char) -> Result<bool, ParseError> {
+        if self.peek()? == Some(Token::Symbol(c)) {
+            self.next()?;
+            Ok(true)
         } else {
-            false
+            Ok(false)
         }
     }
 
     /// Parses `[msb:lsb]` if present.
     fn parse_range(&mut self) -> Result<Option<(i64, i64)>, ParseError> {
-        if !self.eat_symbol('[') {
+        if !self.eat_symbol('[')? {
             return Ok(None);
         }
         let msb = self.parse_int()?;
@@ -207,10 +221,10 @@ impl Parser {
 
     fn parse_int(&mut self) -> Result<i64, ParseError> {
         let mut negative = false;
-        if self.eat_symbol('-') {
+        if self.eat_symbol('-')? {
             negative = true;
         }
-        match self.next() {
+        match self.next()? {
             Some(Token::Number(n)) => {
                 let v: i64 = n.parse().map_err(|_| {
                     ParseError::at_line(self.line(), format!("invalid integer '{n}'"))
@@ -226,22 +240,22 @@ impl Parser {
     /// Parses a net expression: `name`, `name[3]`, `name[7:4]`, or a
     /// concatenation `{a, b[3], ...}`. Returns the list of bit-level net names.
     fn parse_net_expr(&mut self) -> Result<Vec<String>, ParseError> {
-        if self.eat_symbol('{') {
+        if self.eat_symbol('{')? {
             let mut nets = Vec::new();
             loop {
                 nets.extend(self.parse_net_expr()?);
-                if !self.eat_symbol(',') {
+                if !self.eat_symbol(',')? {
                     break;
                 }
             }
             self.expect_symbol('}')?;
             return Ok(nets);
         }
-        match self.next() {
+        match self.next()? {
             Some(Token::Ident(base)) => {
-                if self.eat_symbol('[') {
+                if self.eat_symbol('[')? {
                     let a = self.parse_int()?;
-                    if self.eat_symbol(':') {
+                    if self.eat_symbol(':')? {
                         let b = self.parse_int()?;
                         self.expect_symbol(']')?;
                         // bits are listed in source order, i.e. from `a` to `b`
@@ -256,7 +270,7 @@ impl Parser {
                         Ok(vec![format!("{base}[{a}]")])
                     }
                 } else {
-                    Ok(vec![base])
+                    Ok(vec![base.to_string()])
                 }
             }
             Some(Token::Number(n)) => {
@@ -271,63 +285,87 @@ impl Parser {
     }
 }
 
-/// Parses Verilog source text into the module table.
-fn parse_modules(text: &str) -> Result<HashMap<String, Module>, ParseError> {
-    let tokens = tokenize(text)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let mut modules = HashMap::new();
-    while let Some(tok) = p.peek().cloned() {
-        match tok {
-            Token::Ident(kw) if kw == "module" => {
-                p.next();
-                let m = parse_module(&mut p)?;
-                modules.insert(m.name.clone(), m);
-            }
-            _ => {
-                p.next();
+/// The module table: definition-ordered modules with a compact name index.
+#[derive(Default)]
+struct ModuleTable {
+    modules: Vec<Module>,
+    index: NameTable,
+}
+
+impl ModuleTable {
+    fn find(&self, name: &str) -> Option<&Module> {
+        self.index
+            .find(NameTable::hash_name(name), |id| self.modules[id as usize].name == name)
+            .map(|id| &self.modules[id as usize])
+    }
+
+    fn insert(&mut self, m: Module) {
+        let hash = NameTable::hash_name(&m.name);
+        match self.index.find(hash, |id| self.modules[id as usize].name == m.name) {
+            // a redefinition overwrites the earlier one, like map insertion did
+            Some(id) => self.modules[id as usize] = m,
+            None => {
+                let id = self.modules.len() as u32;
+                self.index.insert(hash, id);
+                self.modules.push(m);
             }
         }
     }
-    Ok(modules)
 }
 
-fn parse_module(p: &mut Parser) -> Result<Module, ParseError> {
-    let name = p.expect_ident()?;
+/// Parses Verilog source text into the module table.
+fn parse_modules(text: &str) -> Result<ModuleTable, ParseError> {
+    let mut p = Parser::new(text);
+    let mut table = ModuleTable::default();
+    while let Some(tok) = p.peek()? {
+        match tok {
+            Token::Ident("module") => {
+                p.next()?;
+                let m = parse_module(&mut p)?;
+                table.insert(m);
+            }
+            _ => {
+                p.next()?;
+            }
+        }
+    }
+    Ok(table)
+}
+
+fn parse_module(p: &mut Parser<'_>) -> Result<Module, ParseError> {
+    let name = p.expect_ident()?.to_string();
     let mut module = Module { name, ..Default::default() };
     // Header port list. ANSI-style declarations (`input [1:0] a, output y`)
     // are recorded directly; non-ANSI headers only list names and the
     // directions come from declarations in the body.
-    if p.eat_symbol('(') {
+    if p.eat_symbol('(')? {
         let mut dir: Option<PortDirection> = None;
         let mut range: Option<(i64, i64)> = None;
         loop {
-            if p.eat_symbol(')') {
+            if p.eat_symbol(')')? {
                 break;
             }
-            match p.peek().cloned() {
-                Some(Token::Ident(kw)) if kw == "input" || kw == "output" || kw == "inout" => {
-                    p.next();
-                    dir = Some(match kw.as_str() {
+            match p.peek()? {
+                Some(Token::Ident(kw @ ("input" | "output" | "inout"))) => {
+                    p.next()?;
+                    dir = Some(match kw {
                         "input" => PortDirection::Input,
                         "output" => PortDirection::Output,
                         _ => PortDirection::Inout,
                     });
-                    if p.peek() == Some(&Token::Ident("wire".to_string()))
-                        || p.peek() == Some(&Token::Ident("reg".to_string()))
-                    {
-                        p.next();
+                    if matches!(p.peek()?, Some(Token::Ident("wire" | "reg"))) {
+                        p.next()?;
                     }
                     range = p.parse_range()?;
                 }
                 Some(Token::Ident(pname)) => {
-                    p.next();
+                    p.next()?;
                     if let Some(d) = dir {
-                        module.ports.push((pname.clone(), d, range));
-                        module.wires.insert(pname, range);
+                        module.ports.push((pname.to_string(), d, range));
                     }
                 }
                 _ => {
-                    p.next();
+                    p.next()?;
                 }
             }
         }
@@ -335,80 +373,75 @@ fn parse_module(p: &mut Parser) -> Result<Module, ParseError> {
     p.expect_symbol(';')?;
 
     loop {
-        let tok =
-            p.peek().cloned().ok_or_else(|| ParseError::new("unexpected end of file in module"))?;
+        let tok = p.peek()?.ok_or_else(|| ParseError::new("unexpected end of file in module"))?;
         match tok {
-            Token::Ident(kw) if kw == "endmodule" => {
-                p.next();
+            Token::Ident("endmodule") => {
+                p.next()?;
                 break;
             }
-            Token::Ident(kw) if kw == "input" || kw == "output" || kw == "inout" => {
-                p.next();
-                let dir = match kw.as_str() {
+            Token::Ident(kw @ ("input" | "output" | "inout")) => {
+                p.next()?;
+                let dir = match kw {
                     "input" => PortDirection::Input,
                     "output" => PortDirection::Output,
                     _ => PortDirection::Inout,
                 };
                 // optional `wire` keyword
-                if p.peek() == Some(&Token::Ident("wire".to_string())) {
-                    p.next();
+                if p.peek()? == Some(Token::Ident("wire")) {
+                    p.next()?;
                 }
                 let range = p.parse_range()?;
                 loop {
                     let pname = p.expect_ident()?;
-                    module.ports.push((pname.clone(), dir, range));
-                    module.wires.insert(pname, range);
-                    if !p.eat_symbol(',') {
+                    module.ports.push((pname.to_string(), dir, range));
+                    if !p.eat_symbol(',')? {
                         break;
                     }
                 }
                 p.expect_symbol(';')?;
             }
-            Token::Ident(kw) if kw == "wire" || kw == "tri" => {
-                p.next();
-                let range = p.parse_range()?;
+            Token::Ident("wire" | "tri") => {
+                p.next()?;
+                let _range = p.parse_range()?;
                 loop {
-                    let wname = p.expect_ident()?;
-                    module.wires.insert(wname, range);
-                    if !p.eat_symbol(',') {
+                    p.expect_ident()?;
+                    if !p.eat_symbol(',')? {
                         break;
                     }
                 }
                 p.expect_symbol(';')?;
             }
-            Token::Ident(kw)
-                if kw == "assign" || kw == "parameter" || kw == "supply0" || kw == "supply1" =>
-            {
+            Token::Ident("assign" | "parameter" | "supply0" | "supply1") => {
                 // skip to semicolon
-                p.next();
-                while let Some(t) = p.next() {
+                p.next()?;
+                while let Some(t) = p.next()? {
                     if t == Token::Symbol(';') {
                         break;
                     }
                 }
             }
             Token::Ident(cell) => {
-                p.next();
-                let inst_name = p.expect_ident()?;
+                p.next()?;
+                let inst_name = p.expect_ident()?.to_string();
                 p.expect_symbol('(')?;
                 let mut connections = Vec::new();
-                if !p.eat_symbol(')') {
+                if !p.eat_symbol(')')? {
                     loop {
                         p.expect_symbol('.')?;
                         let port = p.expect_ident()?;
                         // port may itself have an index suffix like .D[3] — not
                         // legal Verilog but seen in some netlists; handled by
                         // parse_net_expr style indexing of the port name.
-                        let port = if p.peek() == Some(&Token::Symbol('[')) {
-                            p.next();
+                        let port = if p.peek()? == Some(Token::Symbol('[')) {
+                            p.next()?;
                             let i = p.parse_int()?;
                             p.expect_symbol(']')?;
                             format!("{port}[{i}]")
                         } else {
-                            port
+                            port.to_string()
                         };
                         p.expect_symbol('(')?;
-                        let nets = if p.peek() == Some(&Token::Symbol(')')) {
+                        let nets = if p.peek()? == Some(Token::Symbol(')')) {
                             Vec::new() // unconnected pin: .X()
                         } else {
                             p.parse_net_expr()?
@@ -424,17 +457,21 @@ fn parse_module(p: &mut Parser) -> Result<Module, ParseError> {
                                 connections.push((format!("{port}[{bit}]"), n.clone()));
                             }
                         }
-                        if !p.eat_symbol(',') {
+                        if !p.eat_symbol(',')? {
                             break;
                         }
                     }
                     p.expect_symbol(')')?;
                 }
                 p.expect_symbol(';')?;
-                module.instances.push(Instance { cell, name: inst_name, connections });
+                module.instances.push(Instance {
+                    cell: cell.to_string(),
+                    name: inst_name,
+                    connections,
+                });
             }
             _ => {
-                p.next();
+                p.next()?;
             }
         }
     }
@@ -475,12 +512,12 @@ pub fn parse_verilog(
     opts: &ElaborateOptions,
 ) -> Result<Design, ParseError> {
     let modules = parse_modules(text)?;
-    if modules.is_empty() {
+    if modules.modules.is_empty() {
         return Err(ParseError::new("no modules found"));
     }
     let top_name = match top {
         Some(t) => {
-            if !modules.contains_key(t) {
+            if modules.find(t).is_none() {
                 return Err(ParseError::new(format!("top module '{t}' not found")));
             }
             t.to_string()
@@ -489,7 +526,7 @@ pub fn parse_verilog(
     };
     let mut builder = DesignBuilder::new(top_name.clone());
     // top-level ports
-    let top_module = &modules[&top_name];
+    let top_module = modules.find(&top_name).expect("resolved above");
     for (pname, dir, range) in &top_module.ports {
         match range {
             Some((msb, lsb)) => {
@@ -504,7 +541,7 @@ pub fn parse_verilog(
         }
     }
     let mut ctx = Flattener { modules: &modules, opts, builder };
-    ctx.flatten(&top_name, "", &HashMap::new())?;
+    ctx.flatten(&top_name, "", &PortMap::default())?;
     let mut design = ctx.builder.build();
     design.bind_library(&opts.library);
     connect_top_ports(&mut design);
@@ -535,27 +572,53 @@ fn connect_top_ports(design: &mut Design) {
     }
 }
 
-fn infer_top(modules: &HashMap<String, Module>) -> Result<String, ParseError> {
-    let mut instantiated: std::collections::HashSet<&str> = std::collections::HashSet::new();
-    for m in modules.values() {
-        for inst in &m.instances {
-            instantiated.insert(inst.cell.as_str());
-        }
-    }
-    let candidates: Vec<&String> =
-        modules.keys().filter(|k| !instantiated.contains(k.as_str())).collect();
+fn infer_top(modules: &ModuleTable) -> Result<String, ParseError> {
+    let mut instantiated: Vec<&str> =
+        modules.modules.iter().flat_map(|m| m.instances.iter().map(|i| i.cell.as_str())).collect();
+    instantiated.sort_unstable();
+    instantiated.dedup();
+    let candidates: Vec<&str> = modules
+        .modules
+        .iter()
+        .map(|m| m.name.as_str())
+        .filter(|k| instantiated.binary_search(k).is_err())
+        .collect();
     match candidates.len() {
-        1 => Ok(candidates[0].clone()),
+        1 => Ok(candidates[0].to_string()),
         0 => Err(ParseError::new("could not infer top module (cyclic instantiation?)")),
         _ => Err(ParseError::new(format!(
             "multiple top candidates: {}; pass one explicitly",
-            candidates.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            candidates.join(", ")
         ))),
     }
 }
 
+/// Sorted (local net → global net) map used while flattening one hierarchical
+/// instance; replaces a per-instance `HashMap` with a binary-searched vector.
+#[derive(Debug, Default)]
+struct PortMap(Vec<(String, String)>);
+
+impl PortMap {
+    fn from_entries(mut entries: Vec<(String, String)>) -> Self {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        // keep the *last* binding of a duplicated port, like map insertion did
+        let mut map: Vec<(String, String)> = Vec::with_capacity(entries.len());
+        for e in entries {
+            match map.last_mut() {
+                Some(last) if last.0 == e.0 => *last = e,
+                _ => map.push(e),
+            }
+        }
+        Self(map)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.binary_search_by(|(k, _)| k.as_str().cmp(key)).ok().map(|i| self.0[i].1.as_str())
+    }
+}
+
 struct Flattener<'a> {
-    modules: &'a HashMap<String, Module>,
+    modules: &'a ModuleTable,
     opts: &'a ElaborateOptions,
     builder: DesignBuilder,
 }
@@ -567,15 +630,21 @@ impl<'a> Flattener<'a> {
         &mut self,
         module_name: &str,
         path: &str,
-        port_map: &HashMap<String, String>,
+        port_map: &PortMap,
     ) -> Result<(), ParseError> {
-        let module = self.modules.get(module_name).expect("checked by caller");
+        let module = self.modules.find(module_name).expect("checked by caller");
         for inst in &module.instances {
             let inst_path =
                 if path.is_empty() { inst.name.clone() } else { format!("{path}/{}", inst.name) };
-            if let Some(child) = self.modules.get(&inst.cell) {
-                // hierarchical instance: build a port map for the child
-                let mut child_map: HashMap<String, String> = HashMap::new();
+            if let Some(child) = self.modules.find(&inst.cell) {
+                // hierarchical instance: build a port map for the child.
+                // Child port ranges are looked up through a sorted slice so a
+                // wide port list stays O(C log P) rather than O(C·P).
+                let mut child_ranges: Vec<(&str, Option<(i64, i64)>)> =
+                    child.ports.iter().map(|(n, _, r)| (n.as_str(), *r)).collect();
+                child_ranges.sort_by(|a, b| a.0.cmp(b.0)); // stable: first decl of a duplicate wins
+                child_ranges.dedup_by(|a, b| a.0 == b.0);
+                let mut entries: Vec<(String, String)> = Vec::with_capacity(inst.connections.len());
                 for (port, net) in &inst.connections {
                     if net.is_empty() {
                         continue;
@@ -583,20 +652,22 @@ impl<'a> Flattener<'a> {
                     // When a vectored child port is connected to a bare bus
                     // name, expand the connection bit by bit so nested levels
                     // resolve individual bits consistently.
-                    let child_range =
-                        child.ports.iter().find(|(n, _, _)| n == port).and_then(|(_, _, r)| *r);
+                    let child_range = child_ranges
+                        .binary_search_by(|(n, _)| (*n).cmp(port.as_str()))
+                        .ok()
+                        .and_then(|i| child_ranges[i].1);
                     if let (Some((msb, lsb)), false) = (child_range, net.contains('[')) {
                         let (hi, lo) = (msb.max(lsb), msb.min(lsb));
                         for i in lo..=hi {
                             let global = self.resolve_net(path, port_map, &format!("{net}[{i}]"));
-                            child_map.insert(format!("{port}[{i}]"), global);
+                            entries.push((format!("{port}[{i}]"), global));
                         }
                         continue;
                     }
                     let global = self.resolve_net(path, port_map, net);
-                    child_map.insert(port.clone(), global);
+                    entries.push((port.clone(), global));
                 }
-                self.flatten(&inst.cell, &inst_path, &child_map)?;
+                self.flatten(&inst.cell, &inst_path, &PortMap::from_entries(entries))?;
             } else {
                 // leaf cell
                 let kind = self.classify(&inst.cell);
@@ -638,9 +709,9 @@ impl<'a> Flattener<'a> {
 
     /// Maps a local net name to a global one: through the port map if the net
     /// is a port of the enclosing module, otherwise by prefixing the path.
-    fn resolve_net(&self, path: &str, port_map: &HashMap<String, String>, net: &str) -> String {
+    fn resolve_net(&self, path: &str, port_map: &PortMap, net: &str) -> String {
         if let Some(global) = port_map.get(net) {
-            return global.clone();
+            return global.to_string();
         }
         if net.starts_with("__const_") {
             return net.to_string();
@@ -797,5 +868,42 @@ endmodule
         let c = d.find_cell("u1").unwrap();
         assert_eq!(d.cell(c).fanin.len(), 2);
         assert_eq!(d.cell(c).fanout.len(), 1);
+    }
+
+    #[test]
+    fn module_redefinition_last_wins() {
+        let src = r#"
+module sub (input a, output y);
+  BUF g0 (.A(a), .Y(y));
+endmodule
+module sub (input a, output y);
+  INV g0 (.A(a), .Y(y));
+  INV g1 (.A(y), .Y(y));
+endmodule
+module top (input a, output z);
+  sub u (.a(a), .y(z));
+endmodule
+"#;
+        let d = parse_verilog(src, Some("top"), &ElaborateOptions::default()).unwrap();
+        assert_eq!(d.num_cells(), 2);
+        assert_eq!(d.cell(d.find_cell("u/g0").unwrap()).lib_cell, "INV");
+    }
+
+    #[test]
+    fn duplicate_named_connection_last_wins() {
+        // map-insertion semantics of the flattener port map: the last binding
+        // of a duplicated port name wins.
+        let src = r#"
+module sub (input a, output y);
+  BUF g (.A(a), .Y(y));
+endmodule
+module top (input p, input q, output z);
+  sub u (.a(p), .a(q), .y(z));
+endmodule
+"#;
+        let d = parse_verilog(src, Some("top"), &ElaborateOptions::default()).unwrap();
+        let g = d.find_cell("u/g").unwrap();
+        let fanin_net = d.cell(g).fanin[0];
+        assert_eq!(d.net(fanin_net).name, "q");
     }
 }

@@ -210,6 +210,10 @@ pub struct ServiceStats {
     pub artifact_bytes: usize,
     /// Total resident bytes (designs + artifacts).
     pub resident_bytes: usize,
+    /// High-water mark of `resident_bytes` over the store's lifetime. Under
+    /// a memory budget the current residency only shows the post-eviction
+    /// tail; this is what the run actually needed.
+    pub peak_resident_bytes: usize,
     /// The store's configured total-byte budget, if any.
     pub memory_budget: Option<usize>,
     /// Designs evicted so far.
@@ -369,6 +373,7 @@ impl PlacementService {
             design_bytes: self.store.design_bytes(),
             artifact_bytes: self.store.artifacts().resident_bytes(),
             resident_bytes: self.store.resident_bytes(),
+            peak_resident_bytes: self.store.peak_resident_bytes(),
             memory_budget: self.store.memory_budget(),
             design_evictions: self.store.design_evictions(),
             artifacts: self.store.artifacts().stats(),
@@ -423,6 +428,9 @@ impl PlacementService {
         if self.cancel.is_cancelled() {
             self.cancel = CancelToken::new();
         }
+        // Artifact caches grow behind shared handles during the drain; fold
+        // the post-drain residency into the store's high-water mark.
+        self.store.note_peak();
         ran
     }
 
@@ -719,6 +727,11 @@ mod tests {
         assert_eq!(after.completed, 1);
         assert!(after.artifact_bytes > 0, "the run populated the artifact cache");
         assert_eq!(after.resident_bytes, after.design_bytes + after.artifact_bytes);
+        assert_eq!(
+            after.peak_resident_bytes, after.resident_bytes,
+            "nothing was evicted, so the high-water mark is the current residency"
+        );
+        assert!(after.peak_resident_bytes >= before.peak_resident_bytes);
         assert_eq!(after.artifacts, svc.store().artifacts().stats());
         svc.take_result(job).unwrap().unwrap();
         assert_eq!(svc.stats().completed, 0);

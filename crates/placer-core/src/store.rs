@@ -133,6 +133,12 @@ pub struct DesignStore {
     /// Designs evicted so far (artifact evictions are counted separately by
     /// the [`ArtifactCache`]).
     evictions: u64,
+    /// High-water mark of [`DesignStore::resident_bytes`], sampled at every
+    /// accounting event the store sees (intern/retain/release/reclaim/evict
+    /// and service drains). Under a memory budget the *current* resident
+    /// bytes tell only the post-eviction tail; the peak tells what the run
+    /// actually needed.
+    peak_bytes: usize,
     /// The most recent design evictions, newest last (bounded to
     /// [`DesignStore::EVICTION_LOG_CAP`] entries).
     eviction_log: VecDeque<EvictionRecord>,
@@ -156,6 +162,7 @@ impl DesignStore {
             clock: 0,
             evictions: 0,
             eviction_log: VecDeque::new(),
+            peak_bytes: 0,
         }
     }
 
@@ -197,6 +204,7 @@ impl DesignStore {
                 slot.bytes = design.heap_bytes();
                 slot.design = Some(Arc::new(design));
             }
+            self.note_peak();
             self.enforce_budget();
             return handle;
         }
@@ -209,6 +217,7 @@ impl DesignStore {
             last_use: clock,
         });
         self.index.insert((key, geometry), handle);
+        self.note_peak();
         self.enforce_budget();
         handle
     }
@@ -259,6 +268,7 @@ impl DesignStore {
         slot.last_use = clock;
         let refs = slot.refs;
         if refs == 0 {
+            self.note_peak();
             self.enforce_budget();
         }
         refs
@@ -283,6 +293,7 @@ impl DesignStore {
     /// the peak — not just the post-release tail — under the budget.
     pub fn reclaim(&mut self) -> usize {
         let before = self.evictions;
+        self.note_peak();
         self.enforce_budget();
         (self.evictions - before) as usize
     }
@@ -290,6 +301,7 @@ impl DesignStore {
     /// Evicts every unreferenced design right now, regardless of budget,
     /// purging their artifacts too. Returns how many designs were evicted.
     pub fn evict_unreferenced(&mut self) -> usize {
+        self.note_peak();
         let mut evicted = 0;
         for i in 0..self.slots.len() {
             if self.slots[i].refs == 0 && self.slots[i].design.is_some() {
@@ -406,6 +418,23 @@ impl DesignStore {
     /// Total resident bytes: interned designs plus cached artifacts.
     pub fn resident_bytes(&self) -> usize {
         self.design_bytes() + self.artifacts.resident_bytes()
+    }
+
+    /// High-water mark of [`DesignStore::resident_bytes`] over the store's
+    /// lifetime, as observed at accounting events (intern/release/reclaim/
+    /// evict and service drains) plus the current residency. Under a memory
+    /// budget this is the honest cost of the run: `resident_bytes` only
+    /// shows the post-eviction tail.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_bytes.max(self.resident_bytes())
+    }
+
+    /// Folds the current residency into the high-water mark. Called at every
+    /// `&mut` accounting point; [`DesignStore::peak_resident_bytes`] also
+    /// samples the live residency so `&self` readers stay fresh between
+    /// events (artifact caches grow behind shared handles).
+    pub fn note_peak(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes());
     }
 
     /// The configured total-byte budget, if any.
@@ -623,6 +652,22 @@ mod tests {
         store.release(b);
         assert!(!store.is_resident(b));
         assert_eq!(store.design_evictions(), 2);
+    }
+
+    #[test]
+    fn peak_resident_bytes_survives_eviction() {
+        let mut store = DesignStore::with_memory_budget(0);
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let pinned = store.resident_bytes();
+        assert!(pinned > 0);
+        assert_eq!(store.peak_resident_bytes(), pinned);
+        store.release(a);
+        assert_eq!(store.resident_bytes(), 0, "the budget evicted the released design");
+        assert_eq!(
+            store.peak_resident_bytes(),
+            pinned,
+            "the high-water mark remembers the pre-eviction residency"
+        );
     }
 
     #[test]

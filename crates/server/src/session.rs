@@ -409,6 +409,7 @@ impl Server {
                 .field("design_bytes", stats.design_bytes)
                 .field("artifact_bytes", stats.artifact_bytes)
                 .field("resident_bytes", stats.resident_bytes)
+                .field("peak_bytes", stats.peak_resident_bytes)
                 .field("budget", stats.memory_budget.map_or("none".to_string(), |b| b.to_string()))
                 .field("design_evictions", stats.design_evictions),
         )?;

@@ -97,12 +97,15 @@ pub fn circuit_preset(name: &str) -> SocConfig {
     }
 }
 
-/// Generates one of the c1–c8 stand-ins, or the `large_soc` scale scenario
+/// Generates one of the c1–c8 stand-ins, the `large_soc` scale scenario
 /// (full ~90k-cell size — the table-experiment entry point treats it as a
-/// ninth circuit).
+/// ninth circuit), or the ~1M-cell `mega_soc` scale scenario.
 pub fn generate_circuit(name: &str) -> GeneratedDesign {
     if name == "large_soc" {
         return large_soc();
+    }
+    if name == "mega_soc" {
+        return mega_soc();
     }
     SocGenerator::new(circuit_preset(name)).generate()
 }
@@ -111,26 +114,38 @@ pub fn generate_circuit(name: &str) -> GeneratedDesign {
 /// across 16 subsystems — the scenario the dense data plane is sized for
 /// (hash-map stores dominate the placer runtime well before this scale).
 ///
-/// `scale` shrinks the glue/datapath budget proportionally (macro count stays
-/// fixed); `1.0` is the full ~100k-cell design, small fractions make the same
-/// topology affordable in debug-build tests.
+/// `scale ≤ 1.0` shrinks the glue/datapath budget proportionally (macro count
+/// and subsystem count stay fixed, bit-exact with earlier revisions); `1.0` is
+/// the full ~100k-cell design, small fractions make the same topology
+/// affordable in debug-build tests.  `scale > 1.0` instead grows the
+/// *subsystem count* (and with it the macro count) proportionally while each
+/// subsystem keeps its full-scale glue budget — the million-cell axis: scale
+/// 12 is the [`mega_soc`] preset (~1M cells, 2400 macros).
 pub fn large_soc_config(scale: f64) -> SocConfig {
-    let scale = scale.clamp(0.01, 1.0);
-    let num_subsystems = 16usize;
-    let base_macros = 200 / num_subsystems;
-    let extra_macros = 200 % num_subsystems;
+    let scale = scale.clamp(0.01, 16.0);
+    let (num_subsystems, total_macros, glue_scale) = if scale <= 1.0 {
+        (16usize, 200usize, scale)
+    } else {
+        (
+            ((16.0 * scale).round() as usize).max(17),
+            ((200.0 * scale).round() as usize).max(201),
+            1.0,
+        )
+    };
+    let base_macros = total_macros / num_subsystems;
+    let extra_macros = total_macros % num_subsystems;
     SocConfig {
         name: "large_soc".into(),
         subsystems: (0..num_subsystems)
             .map(|s| {
-                let bits = ((64.0 * scale).round() as usize).max(4);
+                let bits = ((64.0 * glue_scale).round() as usize).max(4);
                 SubsystemConfig {
                     name: format!("u_sub{s}"),
                     macros: base_macros + usize::from(s < extra_macros),
                     macro_size: (60_000, 40_000),
                     pipeline_stages: 4,
                     datapath_bits: bits,
-                    glue_per_stage: ((1_150.0 * scale).round() as usize).max(8),
+                    glue_per_stage: ((1_150.0 * glue_scale).round() as usize).max(8),
                 }
             })
             .collect(),
@@ -142,8 +157,8 @@ pub fn large_soc_config(scale: f64) -> SocConfig {
             }
             channels
         },
-        io_subsystems: vec![0, 4, 8, 12],
-        io_bits: ((64.0 * scale).round() as usize).max(4),
+        io_subsystems: (0..num_subsystems).step_by(4).collect(),
+        io_bits: ((64.0 * glue_scale).round() as usize).max(4),
         utilization: 0.55,
         aspect_ratio: 1.2,
         seed: 0x1A26E50C,
@@ -153,6 +168,26 @@ pub fn large_soc_config(scale: f64) -> SocConfig {
 /// Generates the full-size `large_soc` preset (~100k cells, 200 macros).
 pub fn large_soc() -> GeneratedDesign {
     SocGenerator::new(large_soc_config(1.0)).generate()
+}
+
+/// The scale factor of the `mega_soc` preset relative to `large_soc`.
+pub const MEGA_SOC_SCALE: f64 = 12.0;
+
+/// Configuration of the `mega_soc` preset: the million-cell scale axis.
+///
+/// This is [`large_soc_config`] at scale 12 — 192 subsystems, 2400 macros,
+/// ~1.1M cells — under its own name (so it gets a distinct identity key in
+/// the design store and the artifact cache).
+pub fn mega_soc_config() -> SocConfig {
+    let mut config = large_soc_config(MEGA_SOC_SCALE);
+    config.name = "mega_soc".into();
+    config
+}
+
+/// Generates the full ~1M-cell `mega_soc` preset.  Release builds only in
+/// practice: debug-build generation takes minutes.
+pub fn mega_soc() -> GeneratedDesign {
+    SocGenerator::new(mega_soc_config()).generate()
 }
 
 /// Configuration of one design of the multi-design *service fleet*: a set of
@@ -351,6 +386,71 @@ mod tests {
             (80_000..140_000).contains(&cells),
             "large_soc should have ~100k cells, got {cells}"
         );
+        g.design.validate().expect("consistent design");
+    }
+
+    #[test]
+    fn mega_soc_config_scales_subsystems_proportionally() {
+        let config = mega_soc_config();
+        assert_eq!(config.name, "mega_soc");
+        assert_eq!(config.subsystems.len(), 192);
+        assert_eq!(config.total_macros(), 2400);
+        // per-subsystem glue stays at full-scale values: the scale axis grows
+        // the design by adding subsystems, not by inflating one subsystem
+        for sub in &config.subsystems {
+            assert_eq!(sub.datapath_bits, 64);
+            assert_eq!(sub.glue_per_stage, 1150);
+        }
+        assert_eq!(config.io_subsystems.len(), 48);
+    }
+
+    #[test]
+    fn scale_clamp_is_bit_exact_below_one() {
+        // lifting the clamp upward must not change any scale <= 1.0 config
+        let full = large_soc_config(1.0);
+        assert_eq!(full.subsystems.len(), 16);
+        assert_eq!(full.total_macros(), 200);
+        assert_eq!(full.io_subsystems, vec![0, 4, 8, 12]);
+        assert_eq!(full.io_bits, 64);
+        let tiny = large_soc_config(0.05);
+        assert_eq!(tiny.subsystems.len(), 16);
+        assert_eq!(tiny.total_macros(), 200);
+        assert_eq!(tiny.subsystems[0].glue_per_stage, 58);
+    }
+
+    #[test]
+    fn scale_axis_is_generation_stable_at_small_scale() {
+        // the fast pinned twin of `mega_soc_full_scale_counts_and_identity`:
+        // exact id-family counts and all three identity fingerprints of the
+        // scale-0.05 config. Any drift in the generator, the scale axis or
+        // the fingerprint hashing shows up here in a debug-build test run,
+        // without waiting for the release-only million-cell twin.
+        let g = SocGenerator::new(large_soc_config(0.05)).generate();
+        assert_eq!(g.design.num_cells(), 5496);
+        assert_eq!(g.design.num_nets(), 2400);
+        assert_eq!(g.design.num_ports(), 32);
+        assert_eq!(g.design.num_macros(), 200);
+        assert_eq!(g.design.geometry_fingerprint(), 0x1cdb_c84d_1a0c_914d);
+        assert_eq!(g.design.seq_name_fingerprint(), 0x3f5e_af78_a543_0fa5);
+        assert_eq!(g.design.connectivity().fingerprint(), 0xf8a3_161d_0152_a5bc);
+    }
+
+    #[test]
+    #[ignore = "generates the full ~1M-cell design; run with --ignored in release"]
+    fn mega_soc_full_scale_counts_and_identity() {
+        let g = mega_soc();
+        // pinned id-family counts: the million-cell axis is deterministic,
+        // so "about a million cells" is really exactly this many
+        assert_eq!(g.design.num_cells(), 1_074_528);
+        assert_eq!(g.design.num_nets(), 230_400);
+        assert_eq!(g.design.num_ports(), 6_144);
+        assert_eq!(g.design.num_macros(), 2400);
+        // and the identity fingerprints the design store / artifact cache
+        // key on — a silent generator change would repoint every cached
+        // artifact, so it must be loud here
+        assert_eq!(g.design.geometry_fingerprint(), 0xabec_bcda_4dd3_ccc5);
+        assert_eq!(g.design.seq_name_fingerprint(), 0x5187_e717_3b75_1aeb);
+        assert_eq!(g.design.connectivity().fingerprint(), 0x35dd_e36d_b908_50ad);
         g.design.validate().expect("consistent design");
     }
 

@@ -9,10 +9,12 @@
 //! ```
 //!
 //! `--preset large_soc` emits the ~100k-cell, 200-macro scale preset that
-//! exercises the dense data plane; the default is a small two-subsystem SoC.
+//! exercises the dense data plane; `--preset mega_soc` emits the ~1M-cell,
+//! 2400-macro scale preset (see `docs/SCALING.md`); the default is a small
+//! two-subsystem SoC.
 
 use workload::emit::{emit_lef, emit_verilog};
-use workload::presets::large_soc;
+use workload::presets::{large_soc, mega_soc};
 use workload::{SocConfig, SocGenerator, SubsystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let generated = match preset.as_deref() {
         Some("large_soc") => large_soc(),
+        Some("mega_soc") => mega_soc(),
         Some(other) => return Err(format!("unknown preset '{other}'").into()),
         None => SocGenerator::new(SocConfig {
             name: "emitted_soc".into(),
