@@ -27,7 +27,13 @@
 //!    metrics asserted bit-identical to direct `PlacementService`
 //!    execution — the wire adds overhead, never drift.
 //!
-//! 6. `--scale-sweep`: the million-cell scale axis — each scale point is
+//! 6. `eco_incremental`: the ECO re-place loop — place one design, resize
+//!    one macro (a pure-geometry edit), then re-place cold vs warm through
+//!    a `replace` job. The warm job rebuilds zero graphs and its result is
+//!    asserted bit-identical to the warm flow run directly in process; the
+//!    cold/warm floors give the measured ECO speedup.
+//!
+//! 7. `--scale-sweep`: the million-cell scale axis — each scale point is
 //!    generated, emitted to Verilog/LEF/DEF text, re-parsed through the
 //!    streaming parsers, placed and measured (parse ms, place ms, HPWL ms,
 //!    resident bytes via `HeapSize`), with the dense result asserted
@@ -56,7 +62,7 @@ use eval::{place_standard_cells, total_hpwl, EvalConfig, Evaluator, PlacerConfig
 use geometry::{Orientation, Point};
 use hidap::{MacroPlacement, PlacedMacro};
 use netlist::design::{CellId, Design};
-use placer_core::{EffortLevel, JobId, JobResult, PlaceJob, PlacementService};
+use placer_core::{EffortLevel, JobId, JobResult, PlaceJob, PlaceRequest, PlacementService};
 use std::collections::HashMap;
 use std::time::Instant;
 use workload::presets::{large_soc_config, service_fleet};
@@ -760,6 +766,120 @@ fn main() {
         serve_warm_s * 1e3
     );
 
+    // --- eco incremental: cold vs warm re-place after a one-macro edit -----
+    //
+    // The ECO loop of the replace subsystem: one design placed, then a
+    // single macro's footprint resized (a pure-geometry edit) and the
+    // design re-placed two ways — cold (full flow on the edited design,
+    // fresh caches) and warm (a `replace` job warm-started from the held
+    // base result, every identity-keyed artifact still cached). The warm
+    // job must rebuild zero graphs, its result must be bit-identical to
+    // running the warm flow directly in process (the service adds
+    // orchestration, never drift), and the paired floors give the measured
+    // ECO speedup. All assertions run before the JSON artifact is written.
+    eprintln!("eco incremental: paired cold/warm re-place ({warm_passes}+ rounds) ...");
+    let eco_design = fleet[0].clone();
+    let eco_macro = eco_design.macros().next().expect("fleet designs carry macros");
+    let (macro_w, macro_h) = {
+        let c = eco_design.cell(eco_macro);
+        (c.width, c.height)
+    };
+    let eco_edits = vec![netlist::DesignEdit::ResizeCell {
+        cell: eco_macro,
+        width: macro_w * 11 / 10,
+        height: macro_h,
+    }];
+    let mut eco_edited = eco_design.clone();
+    let eco_log = eco_edited.apply_edits(&eco_edits).expect("the eco edit applies");
+    assert!(eco_log.diff.is_pure_geometry(), "a resize keeps the design identity");
+
+    let mut eco_cold_s = f64::INFINITY;
+    let mut eco_warm_s = f64::INFINITY;
+    for round in 1..=warm_passes * 5 {
+        // cold re-place: the edited design from scratch, empty caches
+        let mut cold_svc = PlacementService::new(baselines::default_registry());
+        let ch = cold_svc.intern(eco_edited.clone());
+        let cold_job = cold_svc.submit(
+            PlaceJob::new(ch, "hidap").with_effort(EffortLevel::Fast).with_evaluation(eval_cfg),
+        );
+        let t = Instant::now();
+        cold_svc.run_all();
+        eco_cold_s = eco_cold_s.min(t.elapsed().as_secs_f64());
+        cold_svc.take_result(cold_job).expect("cold job ran").expect("cold job succeeded");
+
+        // warm re-place: base place (untimed), then the replace job (timed)
+        let mut warm_svc = PlacementService::new(baselines::default_registry());
+        let wh = warm_svc.intern(eco_design.clone());
+        let base_job = warm_svc.submit(
+            PlaceJob::new(wh, "hidap").with_effort(EffortLevel::Fast).with_evaluation(eval_cfg),
+        );
+        warm_svc.run_all();
+        let base_stats = warm_svc.store().artifacts().stats();
+        let replace_job = warm_svc.submit(
+            PlaceJob::new(wh, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(eval_cfg)
+                .with_replace(base_job, eco_edits.clone()),
+        );
+        let t = Instant::now();
+        warm_svc.run_all();
+        eco_warm_s = eco_warm_s.min(t.elapsed().as_secs_f64());
+        let warm =
+            warm_svc.take_result(replace_job).expect("replace ran").expect("replace succeeded");
+        let eco_stats = warm_svc.store().artifacts().stats();
+        assert_eq!(
+            eco_stats.seq.misses, base_stats.seq.misses,
+            "the warm re-place rebuilds no Gseq"
+        );
+        assert_eq!(
+            eco_stats.net.misses, base_stats.net.misses,
+            "the warm re-place rebuilds no Gnet"
+        );
+        assert!(warm.edit_log.as_ref().expect("edit log").diff.is_pure_geometry());
+        assert!(warm.outcome.placement.is_legal(&eco_edited), "the warm re-place stays legal");
+
+        // the service's warm result must match the warm flow run directly
+        let base_outcome =
+            warm_svc.take_result(base_job).expect("base held").expect("base succeeded").outcome;
+        let base_metrics = base_outcome.metrics.as_ref().expect("base evaluated");
+        let direct_req = PlaceRequest::new(&eco_edited)
+            .with_seed(1)
+            .with_effort(EffortLevel::Fast)
+            .with_evaluation(eval_cfg)
+            .with_warm_start(&base_outcome.placement)
+            .with_warm_cells(&base_metrics.cell_placement);
+        let direct = baselines::default_registry()
+            .create("hidap")
+            .expect("hidap flow")
+            .place(&direct_req, &mut placer_core::PlaceContext::new())
+            .expect("direct warm place");
+        assert_eq!(
+            warm.outcome.placement, direct.placement,
+            "the service replace and the direct warm flow disagree"
+        );
+        assert_eq!(
+            warm.outcome.metrics, direct.metrics,
+            "the service replace and the direct warm flow metrics disagree"
+        );
+
+        if round >= warm_passes && eco_warm_s <= eco_cold_s {
+            break;
+        }
+    }
+    let speedup_eco = eco_cold_s / eco_warm_s.max(1e-12);
+    assert!(
+        speedup_eco >= 1.0,
+        "a warm re-place (no global stages, no graph builds) must not lose to the cold one, \
+         yet measured {speedup_eco:.3}x (cold floor {eco_cold_s:.4}s vs warm floor \
+         {eco_warm_s:.4}s)"
+    );
+    println!(
+        "eco incremental (one-macro resize): cold {:.1} ms, warm {:.1} ms \
+         ({speedup_eco:.2}x, 0 graphs rebuilt, warm ≡ direct)",
+        eco_cold_s * 1e3,
+        eco_warm_s * 1e3
+    );
+
     // --- scale sweep: the million-cell axis --------------------------------
     //
     // Each point runs the full text pipeline (generate → emit → streaming
@@ -822,7 +942,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }},\n  \"artifact_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"rebuilt_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"net_graphs_built\": {net_built},\n    \"net_graphs_reused\": {net_reused},\n    \"warm_net_graph_builds\": 0,\n    \"warm_seq_graph_builds\": 0,\n    \"designs_evicted\": {evicted},\n    \"metrics_bit_identical\": true\n  }},\n  \"serve_session\": {{\n    \"jobs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"warm_graph_rebuilds\": 0,\n    \"metrics_bit_identical_to_direct\": true\n  }},\n  \"warm_samples\": {warm_passes},\n  \"scale_curve\": {scale_curve_json}\n}}\n",
+        "{{\n  \"bench\": \"placer_sweep_plus_hpwl\",\n  \"workload\": \"large_soc\",\n  \"scale\": {scale},\n  \"cells\": {},\n  \"nets\": {},\n  \"pins\": {},\n  \"macros\": {},\n  \"repeats\": {repeats},\n  \"hashmap_place_ms\": {:.3},\n  \"hashmap_hpwl_ms\": {:.3},\n  \"dense_place_ms\": {:.3},\n  \"dense_hpwl_ms\": {:.3},\n  \"speedup_place\": {:.3},\n  \"speedup_hpwl\": {:.3},\n  \"speedup_combined\": {:.3},\n  \"hpwl_dbu\": {},\n  \"routed_nets\": {},\n  \"results_bit_identical\": true,\n  \"evaluator_reuse\": {{\n    \"candidates\": {candidates},\n    \"oneshot_ms\": {:.3},\n    \"reused_ms\": {:.3},\n    \"reused_parallel_ms\": {:.3},\n    \"workers\": {workers},\n    \"speedup\": {:.3},\n    \"speedup_parallel\": {:.3},\n    \"metrics_bit_identical\": true\n  }},\n  \"service_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"jobs_per_pass\": {fleet_size},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"seq_graphs_built\": {seq_built},\n    \"seq_graphs_reused\": {seq_reused},\n    \"metrics_bit_identical\": true\n  }},\n  \"artifact_reuse\": {{\n    \"designs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"rebuilt_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"net_graphs_built\": {net_built},\n    \"net_graphs_reused\": {net_reused},\n    \"warm_net_graph_builds\": 0,\n    \"warm_seq_graph_builds\": 0,\n    \"designs_evicted\": {evicted},\n    \"metrics_bit_identical\": true\n  }},\n  \"serve_session\": {{\n    \"jobs\": {fleet_size},\n    \"fleet_scale\": {fleet_scale},\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"warm_graph_rebuilds\": 0,\n    \"metrics_bit_identical_to_direct\": true\n  }},\n  \"eco_incremental\": {{\n    \"fleet_scale\": {fleet_scale},\n    \"edit\": \"resize one macro +10% width (pure geometry)\",\n    \"cold_ms\": {:.3},\n    \"warm_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"warm_net_graph_builds\": 0,\n    \"warm_seq_graph_builds\": 0,\n    \"warm_bit_identical_to_direct\": true\n  }},\n  \"warm_samples\": {warm_passes},\n  \"scale_curve\": {scale_curve_json}\n}}\n",
         design.num_cells(),
         design.num_nets(),
         csr.num_pins(),
@@ -851,6 +971,9 @@ fn main() {
         serve_cold_s * 1e3,
         serve_warm_s * 1e3,
         speedup_serve,
+        eco_cold_s * 1e3,
+        eco_warm_s * 1e3,
+        speedup_eco,
     );
     std::fs::write(&out_path, json).expect("write BENCH_placer.json");
     eprintln!("wrote {out_path}");

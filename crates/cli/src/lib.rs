@@ -139,7 +139,9 @@ manifest lines:  <file.v> [lef=<file>] [def=<file>] [top=<name>] [flow=<name>] \
 [lambda=<0..1>] [seed=<n>] [seeds=<n,n,...>] [lambdas=<l,l,...>] [effort=<tier>]   \
 ('#' starts a comment)\n\
 serve mode speaks the line protocol documented in docs/PROTOCOL.md (commands hello, \
-intern, submit, cancel, release, result, stats, drain, shutdown)\n\
+intern, submit, replace, cancel, release, result, stats, drain, shutdown)\n\
+docs/ECO.md covers incremental ECO re-placement: the edit-script language, selective \
+artifact invalidation and the warm-start guarantees behind the replace command\n\
 docs/SCALING.md covers the million-cell scale axis: the mega_soc preset, the streaming \
 parsers, and placing under --memory-budget";
 
@@ -712,9 +714,10 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
     let stats = service.stats();
     let mib = |bytes: usize| bytes as f64 / (1u64 << 20) as f64;
     output.push_str(&format!(
-        "service: {} jobs over {} interned designs\n",
+        "service: {} jobs over {} interned designs (peak queue depth {})\n",
         entries.len(),
         stats.interned_designs,
+        stats.peak_queued,
     ));
     output.push_str(&format!(
         "cache: Gseq {} built, {} reused; Gnet {} built, {} reused; {} artifacts evicted\n",
@@ -1113,9 +1116,11 @@ sub/b.v lef=b.lef top=chip
         assert!(err.contains("--serve"), "{err}");
         let err = parse_args(&args(&["--verilog", "a.v", "--quota", "2"])).unwrap_err();
         assert!(err.contains("--serve"), "{err}");
-        // --help names the protocol document
+        // --help names the protocol and ECO documents, and the replace command
         let usage = parse_args(&args(&["--help"])).unwrap_err();
         assert!(usage.contains("docs/PROTOCOL.md"), "{usage}");
+        assert!(usage.contains("docs/ECO.md"), "{usage}");
+        assert!(usage.contains("replace"), "{usage}");
     }
 
     #[test]

@@ -157,7 +157,11 @@ fn cli_manifest_places_a_fleet_through_one_service() {
     // (job 1 flow miss + eval hit, job 2 eval miss, job 3 flow + eval hits).
     // Gnet: 2 builds (job 1 flow, job 2's Gseq derivation), 2 hits (job 1's
     // Gseq derivation, job 3 flow).
-    assert!(output.contains("service: 3 jobs over 2 interned designs"), "{output}");
+    // jobs drain one at a time, so the queue-depth watermark stays at 1
+    assert!(
+        output.contains("service: 3 jobs over 2 interned designs (peak queue depth 1)"),
+        "{output}"
+    );
     assert!(output.contains("cache: Gseq 2 built, 3 reused"), "{output}");
     assert!(output.contains("Gnet 2 built, 2 reused"), "{output}");
     // the memory line reports resident bytes split into designs + artifacts,

@@ -40,6 +40,6 @@ pub use artifacts::{ArtifactCache, ArtifactCacheStats, ArtifactKind, KindStats};
 pub use congestion::{CongestionConfig, CongestionMap};
 pub use density::DensityMap;
 pub use metrics::{DesignKey, EvalConfig, Evaluator, PlacementMetrics};
-pub use placer::{place_standard_cells, CellPlacement, PlacerConfig};
+pub use placer::{place_standard_cells, place_standard_cells_warm, CellPlacement, PlacerConfig};
 pub use timing::{TimingConfig, TimingReport};
 pub use wirelength::{total_hpwl, Hpwl, IncrementalHpwl};

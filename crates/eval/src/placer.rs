@@ -103,6 +103,39 @@ pub fn place_standard_cells(
     macro_placement: &impl PlacementView,
     config: &PlacerConfig,
 ) -> CellPlacement {
+    place_cells_impl(design, macro_placement, config, None).0
+}
+
+/// Warm-start variant of [`place_standard_cells`]: seeds the Gauss–Seidel
+/// state from a previous [`CellPlacement`] instead of the centroid
+/// initialization, and early-exits the sweep loop as soon as a sweep stops
+/// improving HPWL (tracked exactly through
+/// [`crate::IncrementalHpwl`] — integer deltas, no drift).
+///
+/// On a small ECO edit the seed is near the fixpoint, so the loop converges
+/// in far fewer sweeps than the cold `config.iterations`; the second element
+/// of the return value is the number of sweeps actually run. Cells the seed
+/// does not cover (or covers outside the die) fall back to the cold
+/// centroid-plus-jitter initialization, so a partially stale seed is safe.
+/// The result is deterministic for a fixed `(design, seed placement,
+/// config)` but is **not** in general bit-identical to the cold path — the
+/// equality policy between warm and cold results is documented in
+/// `docs/ECO.md`.
+pub fn place_standard_cells_warm(
+    design: &Design,
+    macro_placement: &impl PlacementView,
+    config: &PlacerConfig,
+    warm: &CellPlacement,
+) -> (CellPlacement, usize) {
+    place_cells_impl(design, macro_placement, config, Some(warm))
+}
+
+fn place_cells_impl(
+    design: &Design,
+    macro_placement: &impl PlacementView,
+    config: &PlacerConfig,
+    warm: Option<&CellPlacement>,
+) -> (CellPlacement, usize) {
     let die = design.die();
     let die_center = die.center();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -163,6 +196,19 @@ pub fn place_standard_cells(
     }
     for (id, cell) in design.cells() {
         if cell.kind == CellKind::Macro {
+            continue;
+        }
+        // Warm seed: adopt the previous position (no jitter draw — the RNG
+        // is only consulted for cells the seed does not cover, keeping the
+        // warm path deterministic for a fixed seed placement).
+        if let Some(w) = warm.and_then(|w| w.position(id)).filter(|p| die.contains(*p)) {
+            pos[id.0 as usize] = w;
+            for &net in csr.fanout(id) {
+                let i = net.0 as usize;
+                drv_sum_x[i] += w.x as i128;
+                drv_sum_y[i] += w.y as i128;
+                drv_count[i] += 1;
+            }
             continue;
         }
         let mut sum = (0i128, 0i128);
@@ -237,7 +283,19 @@ pub fn place_standard_cells(
     for id in 0..n {
         occ_start[id + 1] = occ_start[id] + csr.nets_of(CellId(id as u32)).len();
     }
+    // Warm runs track the exact HPWL of the working positions through an
+    // incremental session, so a sweep that stops improving ends the loop
+    // early; cold runs keep the fixed iteration count (bit-identical to the
+    // pre-warm-start formulation).
+    let mut hpwl_session = warm.map(|_| {
+        let seed = CellPlacement { positions: pos.iter().map(|&p| Some(p)).collect() };
+        crate::wirelength::IncrementalHpwl::new(design, &seed)
+    });
+    let mut sweeps_run = 0usize;
     for _ in 0..config.iterations {
+        sweeps_run += 1;
+        let mut sweep_delta: i128 = 0;
+        let mut moved_any = false;
         for id in 0..n {
             if is_fixed[id] {
                 continue;
@@ -266,15 +324,22 @@ pub fn place_standard_cells(
                         net_sum_y[i] += dy;
                     }
                     pos[id] = new;
+                    moved_any = true;
+                    if let Some(h) = hpwl_session.as_mut() {
+                        sweep_delta += h.move_cell(CellId(id as u32), new);
+                    }
                 }
             }
+        }
+        if hpwl_session.is_some() && (!moved_any || sweep_delta >= 0) {
+            break;
         }
     }
 
     // Spreading: push cells out of over-full bins (macros occupy capacity).
     spread(die, &mut pos, &is_fixed, &area, &macro_rects, config);
 
-    CellPlacement { positions: pos.into_iter().map(Some).collect() }
+    (CellPlacement { positions: pos.into_iter().map(Some).collect() }, sweeps_run)
 }
 
 fn spread(
@@ -492,6 +557,45 @@ mod tests {
         placement.set_position(m, Point::new(1, 2));
         assert_eq!(placement.position(m), Some(Point::new(1, 2)));
         assert_eq!(placement.num_placed(), 1);
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_and_converges_early() {
+        let (d, m) = design_with_macro_and_cells();
+        let mut mp = HashMap::new();
+        mp.insert(m, (Point::new(700, 400), Orientation::N));
+        let cfg = PlacerConfig::default();
+        let cold = place_standard_cells(&d, &mp, &cfg);
+        let (warm_a, sweeps_a) = place_standard_cells_warm(&d, &mp, &cfg, &cold);
+        let (warm_b, sweeps_b) = place_standard_cells_warm(&d, &mp, &cfg, &cold);
+        assert_eq!(warm_a, warm_b, "warm start is deterministic for a fixed seed placement");
+        assert_eq!(sweeps_a, sweeps_b);
+        assert!(
+            sweeps_a < cfg.iterations,
+            "a converged seed must early-exit the sweep loop (ran {sweeps_a} of {})",
+            cfg.iterations
+        );
+        assert_eq!(warm_a.num_placed(), d.num_cells());
+        for (_, p) in warm_a.placed() {
+            assert!(d.die().contains(p));
+        }
+    }
+
+    #[test]
+    fn warm_start_falls_back_on_uncovered_cells() {
+        let (d, m) = design_with_macro_and_cells();
+        let mut mp = HashMap::new();
+        mp.insert(m, (Point::new(700, 400), Orientation::N));
+        // a seed that covers nothing (and one out-of-die position) still
+        // places every cell
+        let mut stale = CellPlacement::with_num_cells(d.num_cells());
+        stale.set_position(d.find_cell("c0").unwrap(), Point::new(-5000, -5000));
+        let (warm, sweeps) = place_standard_cells_warm(&d, &mp, &PlacerConfig::default(), &stale);
+        assert_eq!(warm.num_placed(), d.num_cells());
+        assert!(sweeps >= 1);
+        for (_, p) in warm.placed() {
+            assert!(d.die().contains(p));
+        }
     }
 
     #[test]

@@ -212,6 +212,108 @@ impl HidapFlow {
         macros.sort_by_key(|m| m.cell);
         Ok(MacroPlacement { macros, top_blocks })
     }
+
+    /// Runs only the placement tail of the flow, seeded from a previous
+    /// placement — the ECO warm-start path.
+    ///
+    /// Macro footprints start at the `warm` locations (macros the warm
+    /// placement does not cover fall back to the die origin), then the same
+    /// legalization and flipping passes as [`HidapFlow::run`] restore a
+    /// legal result. Hierarchy analysis, shape curves and the recursive
+    /// floorplan are skipped entirely — on a small design edit the warm
+    /// locations are already near-legal, so this converges in a fraction of
+    /// the full flow's work. `top_blocks` carries over from `warm` since no
+    /// new block-level floorplan exists.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`HidapFlow::run`] can return, plus
+    /// [`HidapError::Cancelled`] when the probe aborts the run.
+    pub fn run_warm(
+        &self,
+        design: &Design,
+        warm: &MacroPlacement,
+    ) -> Result<MacroPlacement, HidapError> {
+        self.run_warm_probed(design, warm, &mut |_| true)
+    }
+
+    /// [`HidapFlow::run_warm`] reporting [`FlowStage::LegalizationDone`] and
+    /// [`FlowStage::FlippingDone`] checkpoints to `probe` (the earlier stages
+    /// do not run on the warm path).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`HidapFlow::run_warm`] can return.
+    pub fn run_warm_probed(
+        &self,
+        design: &Design,
+        warm: &MacroPlacement,
+        probe: &mut FlowProbe<'_>,
+    ) -> Result<MacroPlacement, HidapError> {
+        self.config.validate().map_err(HidapError::Internal)?;
+        let die = design.die();
+        if die.width() <= 0 || die.height() <= 0 {
+            return Err(HidapError::EmptyDie);
+        }
+        let macro_area: i128 = design.macros().map(|m| design.cell(m).area()).sum();
+        if macro_area > die.area() {
+            return Err(HidapError::MacrosExceedDie { macro_area, die_area: die.area() });
+        }
+        if design.num_macros() == 0 {
+            return Ok(MacroPlacement::default());
+        }
+
+        // Seed footprints from the warm placement; macros the edit introduced
+        // (or that the warm result never covered) start at the die origin and
+        // get a real spot during legalization.
+        let mut footprints = crate::legalize::MacroFootprints::for_design(design);
+        for m in design.macros() {
+            let fp = match warm.placement_of(m) {
+                Some(p) => crate::legalize::MacroFootprint {
+                    location: p.location,
+                    rotated: p.orientation.swaps_axes(),
+                },
+                None => {
+                    crate::legalize::MacroFootprint { location: die.lower_left(), rotated: false }
+                }
+            };
+            footprints.insert(m, fp);
+        }
+
+        let moved = legalize_macros(design, die, &mut footprints);
+        if !probe(&FlowStage::LegalizationDone { moved }) {
+            return Err(HidapError::Cancelled);
+        }
+        let orientations = macro_flipping(design, &footprints);
+        let flipped = orientations.values().filter(|&&o| o != Orientation::N).count();
+
+        let mut macros: Vec<PlacedMacro> = footprints
+            .iter()
+            .map(|(cell, fp)| PlacedMacro {
+                cell,
+                location: fp.location,
+                orientation: orientations.get(cell).copied().unwrap_or(Orientation::N),
+            })
+            .collect();
+        macros.sort_by_key(|m| m.cell);
+        let placement = MacroPlacement { macros, top_blocks: warm.top_blocks.clone() };
+
+        // Incremental legalization is best-effort: on a dense die an edit
+        // can defeat both the greedy pass and the shelf fallback even though
+        // the macros fit. Warm results must be legal whenever cold results
+        // are, so detect the failure and transparently re-run the full flow
+        // — the fallback costs cold time, never correctness. The probe sees
+        // the full stage sequence after the legalization checkpoint, which
+        // is the true story of the run.
+        if !placement.is_legal(design) {
+            return self.run_probed(design, probe);
+        }
+
+        if !probe(&FlowStage::FlippingDone { flipped }) {
+            return Err(HidapError::Cancelled);
+        }
+        Ok(placement)
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +454,112 @@ mod tests {
             seen < 3
         });
         assert_eq!(result.unwrap_err(), HidapError::Cancelled);
+    }
+
+    #[test]
+    fn warm_run_of_a_legal_placement_is_stable_and_legal() {
+        let design = soc_design();
+        let flow = HidapFlow::new(HidapConfig::fast());
+        let cold = flow.run(&design).unwrap();
+        let warm = flow.run_warm(&design, &cold).unwrap();
+        assert!(warm.is_legal(&design));
+        assert_eq!(warm.macros.len(), cold.macros.len());
+        assert_eq!(warm.top_blocks, cold.top_blocks, "top blocks carry over");
+        // warm-starting from an already-legal placement keeps every location
+        for (c, w) in cold.macros.iter().zip(&warm.macros) {
+            assert_eq!(c.cell, w.cell);
+            assert_eq!(c.location, w.location);
+        }
+        // and the path is deterministic
+        assert_eq!(warm, flow.run_warm(&design, &cold).unwrap());
+    }
+
+    #[test]
+    fn warm_run_covers_macros_missing_from_the_seed() {
+        let design = soc_design();
+        let flow = HidapFlow::new(HidapConfig::fast());
+        let mut seed = flow.run(&design).unwrap();
+        seed.macros.truncate(3); // pretend the edit added five new macros
+        let warm = flow.run_warm(&design, &seed).unwrap();
+        assert_eq!(warm.macros.len(), 8, "every design macro gets a footprint");
+        assert!(warm.is_legal(&design));
+    }
+
+    #[test]
+    fn warm_run_falls_back_to_the_full_flow_when_the_edit_defeats_legalization() {
+        // Regression found by the ECO differential fuzzer (adv_packed,
+        // seed 57366): after a batch of footprint resizes the seed
+        // placement no longer fits, the remaining free space is too
+        // fragmented for the greedy pass, and the mixed-height shelves of
+        // the packing fallback overflow the die by one row — even though a
+        // legal packing exists (the cold flow finds one). The warm path
+        // must detect the illegal result and fall back to the full flow.
+        let macros: [(&str, i64, i64, i64, i64, bool); 12] = [
+            ("u_p0/u_mem/bank0", 50000, 40000, 108599, 65137, true),
+            ("u_p0/u_mem/bank1", 50000, 40000, 6324, 154157, true),
+            ("u_p1/u_mem/bank0", 50000, 40000, 100000, 0, false),
+            ("u_p1/u_mem/bank1", 46116, 42036, 100000, 40000, false),
+            ("u_p2/u_mem/bank0", 48406, 25029, 29201, 135919, false),
+            ("u_p2/u_mem/bank1", 38971, 40861, 50000, 0, false),
+            ("u_p3/u_mem/bank0", 50000, 40000, 94466, 98283, false),
+            ("u_p3/u_mem/bank1", 46792, 31394, 50000, 120000, true),
+            ("u_p4/u_mem/bank0", 39386, 38577, 123722, 83300, false),
+            ("u_p4/u_mem/bank1", 36586, 40113, 0, 80000, true),
+            ("u_p5/u_mem/bank0", 43541, 38888, 100000, 120000, false),
+            ("u_p5/u_mem/bank1", 46781, 33664, 0, 120000, true),
+        ];
+        let mut b = DesignBuilder::new("packed_eco");
+        let mut seed = MacroPlacement::default();
+        for (name, w, h, x, y, flipped) in macros {
+            let parent = name.rsplit_once('/').expect("hierarchical name").0;
+            let cell = b.add_macro(name, "RAM", w, h, parent);
+            seed.macros.push(PlacedMacro {
+                cell,
+                location: geometry::Point::new(x, y),
+                orientation: if flipped { Orientation::FN } else { Orientation::N },
+            });
+        }
+        b.set_die(Rect::new(0, 0, 161515, 161515));
+        let design = b.build();
+
+        let flow = HidapFlow::new(HidapConfig::fast());
+        let mut stages: Vec<String> = Vec::new();
+        let warm = flow
+            .run_warm_probed(&design, &seed, &mut |stage| {
+                stages.push(format!("{stage:?}"));
+                true
+            })
+            .unwrap();
+        assert!(warm.is_legal(&design), "the fallback produced a legal placement");
+        // the fallback actually engaged: the full flow's global stages ran
+        // after the incremental legalization checkpoint
+        assert!(
+            stages.iter().any(|s| s.starts_with("HierarchyBuilt")),
+            "expected the full-flow fallback to run, saw stages {stages:?}"
+        );
+        // and it matches the cold flow on the same design exactly
+        assert_eq!(warm, flow.run(&design).unwrap(), "the fallback IS the cold flow");
+    }
+
+    #[test]
+    fn warm_run_reports_only_tail_stages() {
+        let design = soc_design();
+        let flow = HidapFlow::new(HidapConfig::fast());
+        let cold = flow.run(&design).unwrap();
+        let mut stages: Vec<&'static str> = Vec::new();
+        flow.run_warm_probed(&design, &cold, &mut |stage| {
+            stages.push(match stage {
+                FlowStage::LegalizationDone { .. } => "legalize",
+                FlowStage::FlippingDone { .. } => "flipping",
+                _ => "other",
+            });
+            true
+        })
+        .unwrap();
+        assert_eq!(stages, ["legalize", "flipping"]);
+        // cancellation still works on the warm path
+        let err = flow.run_warm_probed(&design, &cold, &mut |_| false).unwrap_err();
+        assert_eq!(err, HidapError::Cancelled);
     }
 
     #[test]

@@ -250,6 +250,36 @@ impl Design {
         &mut self.nets[id.0 as usize]
     }
 
+    /// Raw mutable cell accessor with **no** cache invalidation.  Reserved
+    /// for [`crate::edit`], which invalidates exactly the derived state the
+    /// edit kind can affect instead of the blanket invalidation of
+    /// [`Design::cell_mut`].
+    pub(crate) fn cell_raw_mut(&mut self, id: CellId) -> &mut Cell {
+        &mut self.cells[id.0 as usize]
+    }
+
+    /// Raw mutable port accessor with **no** cache invalidation (see
+    /// [`Design::cell_raw_mut`]).
+    pub(crate) fn port_raw_mut(&mut self, id: PortId) -> &mut Port {
+        &mut self.ports[id.0 as usize]
+    }
+
+    /// Raw mutable net accessor with **no** cache invalidation (see
+    /// [`Design::cell_raw_mut`]).
+    pub(crate) fn net_raw_mut(&mut self, id: NetId) -> &mut Net {
+        &mut self.nets[id.0 as usize]
+    }
+
+    /// Drops the cached geometry fingerprint only.
+    pub(crate) fn invalidate_geometry(&mut self) {
+        self.derived.geometry.take();
+    }
+
+    /// Drops the cached CSR connectivity view only.
+    pub(crate) fn invalidate_wiring(&mut self) {
+        self.connectivity.0.take();
+    }
+
     /// The flat CSR connectivity view of the design (see
     /// [`crate::connectivity`]), built on first use and cached.
     ///

@@ -19,6 +19,10 @@
 //!   per-cell/per-net stores of the hot paths.
 //! * [`connectivity`] — the flat CSR cell↔net incidence view built once per
 //!   design and cached (`Design::connectivity`).
+//! * [`edit`] — the typed ECO mutation API ([`edit::DesignEdit`]) applied
+//!   through `Design` with exact cache invalidation, producing the
+//!   [`edit::EditLog`] fingerprint diff that drives selective artifact
+//!   invalidation.
 //! * [`heap_size`] — the [`HeapSize`] resident-byte accounting trait behind
 //!   byte-budgeted artifact caches and design stores.
 //! * [`names`] — the compact open-addressed name→id index behind
@@ -48,6 +52,7 @@ pub mod connectivity;
 pub mod def;
 pub mod dense;
 pub mod design;
+pub mod edit;
 pub mod error;
 pub mod hash;
 pub mod heap_size;
@@ -61,6 +66,7 @@ pub mod verilog;
 pub use connectivity::{Connectivity, PinRef};
 pub use dense::{DenseId, DenseMap};
 pub use design::{CellId, CellKind, Design, DesignBuilder, NetId, PortDirection, PortId};
+pub use edit::{DesignEdit, EditEffect, EditError, EditLog, FingerprintDiff};
 pub use error::ParseError;
 pub use hash::Fnv1a;
 pub use heap_size::HeapSize;

@@ -111,28 +111,37 @@ impl Placer for HidapFlow {
 
         let start = Instant::now();
         let mut tracker = StageTracker::new(ctx, design.num_macros());
-        // both circuit graphs come from the context's design-keyed artifact
-        // cache: one `Gnet` build and one `Gseq` build per design (×
-        // register-width threshold for `Gseq`) across every run of a sweep
-        // or a multi-design service. Keyed off the *borrowed* request design
-        // (whose CSR view is cached), not the die-override clone whose
-        // connectivity cache starts empty — the graphs do not depend on the
-        // die, so the keys and graphs are identical either way.
-        let gnet = ctx.artifacts().get_or_build_net(req.design);
-        let gseq = ctx.artifacts().get_or_build_seq(
-            req.design,
-            &SeqGraphConfig { min_register_bits: config.min_register_bits },
-        );
         let flow = HidapFlow::new(config);
-        let placement = flow
-            .run_probed_with(design.as_ref(), Some(&gnet), Some(&gseq), &mut |stage| {
-                tracker.on_stage(stage)
-            })
-            .map_err(|e| match e {
-                // the probe aborted on behalf of the context: surface why
-                hidap::HidapError::Cancelled => ctx.interrupted().unwrap_or(PlaceError::Cancelled),
-                other => PlaceError::from(other),
-            })?;
+        let min_register_bits = flow.config().min_register_bits;
+        let placement = match req.warm_start {
+            // the ECO warm path re-legalizes from the seed placement and
+            // never floorplans, so it needs neither circuit graph
+            Some(warm) => {
+                flow.run_warm_probed(design.as_ref(), warm, &mut |stage| tracker.on_stage(stage))
+            }
+            None => {
+                // both circuit graphs come from the context's design-keyed
+                // artifact cache: one `Gnet` build and one `Gseq` build per
+                // design (× register-width threshold for `Gseq`) across every
+                // run of a sweep or a multi-design service. Keyed off the
+                // *borrowed* request design (whose CSR view is cached), not
+                // the die-override clone whose connectivity cache starts
+                // empty — the graphs do not depend on the die, so the keys
+                // and graphs are identical either way.
+                let gnet = ctx.artifacts().get_or_build_net(req.design);
+                let gseq = ctx
+                    .artifacts()
+                    .get_or_build_seq(req.design, &SeqGraphConfig { min_register_bits });
+                flow.run_probed_with(design.as_ref(), Some(&gnet), Some(&gseq), &mut |stage| {
+                    tracker.on_stage(stage)
+                })
+            }
+        }
+        .map_err(|e| match e {
+            // the probe aborted on behalf of the context: surface why
+            hidap::HidapError::Cancelled => ctx.interrupted().unwrap_or(PlaceError::Cancelled),
+            other => PlaceError::from(other),
+        })?;
         let mut timings = tracker.timings;
         let wall_s = start.elapsed().as_secs_f64();
 
@@ -140,7 +149,12 @@ impl Placer for HidapFlow {
             let t = Instant::now();
             // the context's evaluator shares the Gseq cache across a sweep,
             // and the flow output is read directly as a PlacementView
-            let metrics = ctx.evaluator(*eval_cfg).evaluate(design.as_ref(), &placement);
+            let metrics = match req.warm_cells {
+                Some(cells) => {
+                    ctx.evaluator(*eval_cfg).evaluate_warm(design.as_ref(), &placement, cells).0
+                }
+                None => ctx.evaluator(*eval_cfg).evaluate(design.as_ref(), &placement),
+            };
             timings
                 .push(StageTiming { stage: "evaluate".into(), seconds: t.elapsed().as_secs_f64() });
             metrics
@@ -271,6 +285,39 @@ mod tests {
             HidapFlow::new(HidapConfig::fast()).place(&req, &mut PlaceContext::new()).unwrap();
         assert!(outcome.stage_seconds("evaluate").is_some());
         assert!(outcome.metrics.expect("metrics requested").wirelength_m > 0.0);
+    }
+
+    #[test]
+    fn warm_start_skips_global_stages_and_stays_legal() {
+        let design = pipeline_design();
+        let placer = HidapFlow::new(HidapConfig::fast());
+        let mut ctx = PlaceContext::new();
+        let cold = placer
+            .place(
+                &PlaceRequest::new(&design).with_evaluation(eval::EvalConfig::standard()),
+                &mut ctx,
+            )
+            .unwrap();
+        let cold_metrics = cold.metrics.as_ref().expect("metrics requested");
+
+        let warm_req = PlaceRequest::new(&design)
+            .with_evaluation(eval::EvalConfig::standard())
+            .with_warm_start(&cold.placement)
+            .with_warm_cells(&cold_metrics.cell_placement);
+        let warm = placer.place(&warm_req, &mut ctx).unwrap();
+        assert!(warm.placement.is_legal(&design));
+        // warm-starting from the cold result keeps every macro location
+        assert_eq!(warm.placement.macros, cold.placement.macros);
+        // the global stages never ran on the warm path
+        assert!(warm.stage_seconds("hierarchy").is_none());
+        assert!(warm.stage_seconds("shape_curves").is_none());
+        assert!(warm.stage_seconds("floorplan").is_none());
+        assert!(warm.stage_seconds("legalize").is_some());
+        assert!(warm.stage_seconds("evaluate").is_some());
+        // and the warm path is deterministic
+        let again = placer.place(&warm_req, &mut PlaceContext::new()).unwrap();
+        assert_eq!(again.placement, warm.placement);
+        assert_eq!(again.metrics.unwrap(), *warm.metrics.as_ref().unwrap());
     }
 
     #[test]

@@ -80,5 +80,7 @@ pub use observer::{CollectingObserver, FlowObserver, StageEvent};
 pub use registry::FlowRegistry;
 pub use request::{EffortLevel, PlaceOutcome, PlaceRequest, Placer, StageTiming};
 pub use scheduler::{ClientId, Scheduler};
-pub use service::{JobId, JobResult, JobState, PlaceJob, PlacementService, ServiceStats};
+pub use service::{
+    JobId, JobResult, JobState, PlaceJob, PlacementService, ReplaceSpec, ServiceStats,
+};
 pub use store::{DesignHandle, DesignStore, EvictionRecord};

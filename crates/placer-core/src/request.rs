@@ -2,7 +2,7 @@
 
 use crate::context::PlaceContext;
 use crate::error::PlaceError;
-use eval::{EvalConfig, PlacementMetrics};
+use eval::{CellPlacement, EvalConfig, PlacementMetrics};
 use geometry::Rect;
 use hidap::MacroPlacement;
 use netlist::design::Design;
@@ -54,12 +54,32 @@ pub struct PlaceRequest<'a> {
     /// When set, the outcome carries [`PlaceOutcome::metrics`] evaluated with
     /// this configuration.
     pub evaluate: Option<EvalConfig>,
+    /// Warm-start seed: a previous macro placement of (an earlier revision
+    /// of) the same design. Flows that support incremental re-placement
+    /// (hidap) skip their global stages and only re-legalize from this seed;
+    /// flows without a warm path ignore it.
+    pub warm_start: Option<&'a MacroPlacement>,
+    /// Warm-start seed for the evaluation placer: the previous standard-cell
+    /// placement (available as `PlacementMetrics::cell_placement` on the
+    /// prior outcome). Only consulted when [`PlaceRequest::evaluate`] is
+    /// set; the Gauss–Seidel solver then starts from these positions and
+    /// stops at the first non-improving sweep.
+    pub warm_cells: Option<&'a CellPlacement>,
 }
 
 impl<'a> PlaceRequest<'a> {
     /// A request with seed 1 and every knob left at the flow's default.
     pub fn new(design: &'a Design) -> Self {
-        Self { design, die: None, seed: 1, effort: None, lambda: None, evaluate: None }
+        Self {
+            design,
+            die: None,
+            seed: 1,
+            effort: None,
+            lambda: None,
+            evaluate: None,
+            warm_start: None,
+            warm_cells: None,
+        }
     }
 
     /// Sets the RNG seed.
@@ -89,6 +109,19 @@ impl<'a> PlaceRequest<'a> {
     /// Requests metrics evaluation of the result.
     pub fn with_evaluation(mut self, eval: EvalConfig) -> Self {
         self.evaluate = Some(eval);
+        self
+    }
+
+    /// Seeds the flow from a previous macro placement (the ECO warm-start
+    /// path — see `docs/ECO.md`).
+    pub fn with_warm_start(mut self, placement: &'a MacroPlacement) -> Self {
+        self.warm_start = Some(placement);
+        self
+    }
+
+    /// Seeds the evaluation placer from a previous standard-cell placement.
+    pub fn with_warm_cells(mut self, cells: &'a CellPlacement) -> Self {
+        self.warm_cells = Some(cells);
         self
     }
 

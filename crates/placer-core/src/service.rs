@@ -69,6 +69,28 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
+/// Makes a [`PlaceJob`] an incremental **replace** job: re-place the design
+/// after applying an ECO edit script, warm-started from a prior job's result
+/// (see `docs/ECO.md`).
+///
+/// The edits are applied to the interned design through
+/// [`DesignStore::apply_edits`], so the store's fingerprint diff decides
+/// which cached artifacts survive (pure-geometry edits keep `Gnet`/`Gseq`
+/// warm). The base job's placement seeds the flow's warm path and — when the
+/// base ran with evaluation — its standard-cell placement seeds the warm
+/// evaluation solver.
+#[derive(Debug, Clone)]
+pub struct ReplaceSpec {
+    /// The prior job whose result seeds the warm start. Its result must
+    /// still be held by the service when the replace job runs (results are
+    /// take-once; taking the base first fails the replace with a structured
+    /// [`PlaceError::InvalidRequest`] naming the dependency).
+    pub base: JobId,
+    /// The ECO edit script to apply to the interned design before
+    /// re-placing. May be empty (re-legalize only).
+    pub edits: Vec<netlist::DesignEdit>,
+}
+
 /// One unit of work for the service: which design to place, through which
 /// flow, over which seed/λ grid, and how to evaluate the result.
 #[derive(Clone)]
@@ -98,6 +120,10 @@ pub struct PlaceJob {
     /// submitted jobs alone. Priority never changes a job's *result*, only
     /// when it runs.
     pub priority: i32,
+    /// When set, this is an incremental replace job: the edits are applied
+    /// to the interned design and the flow warm-starts from the base job's
+    /// result. See [`ReplaceSpec`].
+    pub replace: Option<ReplaceSpec>,
 }
 
 impl PlaceJob {
@@ -114,6 +140,7 @@ impl PlaceJob {
             die: None,
             observer: None,
             priority: 0,
+            replace: None,
         }
     }
 
@@ -159,6 +186,14 @@ impl PlaceJob {
         self
     }
 
+    /// Makes this an incremental replace job: apply `edits` to the interned
+    /// design, then re-place warm-started from `base`'s result (which must
+    /// still be held — not taken — when this job runs).
+    pub fn with_replace(mut self, base: JobId, edits: Vec<netlist::DesignEdit>) -> Self {
+        self.replace = Some(ReplaceSpec { base, edits });
+        self
+    }
+
     /// Number of grid cells the job will run (seeds × λ, with a λ-less
     /// single axis when no λ values are given).
     pub fn num_runs(&self) -> usize {
@@ -198,6 +233,10 @@ pub enum JobState {
 pub struct ServiceStats {
     /// Jobs waiting in the queue.
     pub queued: usize,
+    /// High-water mark of the queue depth over the service's lifetime: the
+    /// deepest backlog any submit has created, independent of how often the
+    /// queue has since drained.
+    pub peak_queued: usize,
     /// Finished jobs whose results have not been taken yet.
     pub completed: usize,
     /// Distinct design identities interned (resident or evicted).
@@ -236,6 +275,9 @@ pub struct JobResult {
     pub winner_index: usize,
     /// One summary per grid cell, in grid order.
     pub runs: Vec<RunSummary>,
+    /// For replace jobs with a non-empty edit script: what the edits touched
+    /// and the fingerprint diff that drove selective artifact invalidation.
+    pub edit_log: Option<netlist::EditLog>,
 }
 
 /// A queue of heterogeneous placement jobs drained through one engine with
@@ -248,6 +290,7 @@ pub struct PlacementService {
     next_job: u64,
     cancel: CancelToken,
     jobs: usize,
+    peak_queued: usize,
 }
 
 impl PlacementService {
@@ -267,6 +310,7 @@ impl PlacementService {
             next_job: 0,
             cancel: CancelToken::new(),
             jobs: 0,
+            peak_queued: 0,
         }
     }
 
@@ -317,7 +361,13 @@ impl PlacementService {
         let id = JobId(self.next_job);
         self.next_job += 1;
         self.queue.push_back((id, job));
+        self.peak_queued = self.peak_queued.max(self.queue.len());
         id
+    }
+
+    /// High-water mark of the queue depth over the service's lifetime.
+    pub fn peak_queued(&self) -> usize {
+        self.peak_queued
     }
 
     /// Number of jobs waiting in the queue.
@@ -367,6 +417,7 @@ impl PlacementService {
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             queued: self.queue.len(),
+            peak_queued: self.peak_queued,
             completed: self.results.len(),
             interned_designs: self.store.len(),
             resident_designs: self.store.resident_designs(),
@@ -415,14 +466,15 @@ impl PlacementService {
     pub fn run_all(&mut self) -> usize {
         let mut batch: Vec<(JobId, PlaceJob)> = self.queue.drain(..).collect();
         batch.sort_by_key(|(_, job)| std::cmp::Reverse(job.priority));
+        let ids: Vec<JobId> = batch.iter().map(|(id, _)| *id).collect();
         let mut ran = 0;
-        for (id, job) in batch {
+        for (i, (id, job)) in batch.iter().enumerate() {
             let result = if self.cancel.is_cancelled() {
                 Err(PlaceError::Cancelled)
             } else {
-                self.run_job(id, &job)
+                self.run_job(*id, job, &ids[i + 1..])
             };
-            self.results.insert(id, result);
+            self.results.insert(*id, result);
             ran += 1;
         }
         if self.cancel.is_cancelled() {
@@ -460,9 +512,61 @@ impl PlacementService {
         ))))
     }
 
+    /// Resolves a replace job's warm-start seed: the base job's outcome,
+    /// cloned out of the held results. Every failure is a structured
+    /// [`PlaceError::InvalidRequest`] naming the dependency — in particular
+    /// a base whose result was already taken (results are take-once).
+    /// `later` lists the jobs scheduled after this one in the current drain,
+    /// so a mis-ordered dependency is reported as such.
+    fn resolve_replace_base(
+        &self,
+        id: JobId,
+        spec: &ReplaceSpec,
+        later: &[JobId],
+    ) -> Result<PlaceOutcome, PlaceError> {
+        match self.results.get(&spec.base) {
+            Some(Ok(base)) => Ok(base.outcome.clone()),
+            Some(Err(e)) => Err(PlaceError::InvalidRequest(format!(
+                "replace job {} depends on job {} which failed: {e}",
+                id.0, spec.base.0
+            ))),
+            None if spec.base == id => Err(PlaceError::InvalidRequest(format!(
+                "replace job {} names itself as its base placement",
+                id.0
+            ))),
+            None if later.contains(&spec.base) => Err(PlaceError::InvalidRequest(format!(
+                "replace job {} depends on job {} which is scheduled after it in this drain; \
+                 submit the replace after its base has run, or do not give it higher priority",
+                id.0, spec.base.0
+            ))),
+            None if spec.base.0 >= self.next_job => Err(PlaceError::InvalidRequest(format!(
+                "replace job {} depends on job {} which was never submitted to this service",
+                id.0, spec.base.0
+            ))),
+            None if self.queue.iter().any(|(qid, _)| *qid == spec.base) => {
+                Err(PlaceError::InvalidRequest(format!(
+                    "replace job {} depends on job {} which is still queued and has not run",
+                    id.0, spec.base.0
+                )))
+            }
+            None => Err(PlaceError::InvalidRequest(format!(
+                "replace job {} depends on job {} whose result was already taken \
+                 (results are take-once); keep the base result until the replace has run",
+                id.0, spec.base.0
+            ))),
+        }
+    }
+
     /// Runs one job through the engine, in a context borrowing the store's
-    /// caches and the service's cancel token.
-    fn run_job(&self, id: JobId, job: &PlaceJob) -> Result<JobResult, PlaceError> {
+    /// caches and the service's cancel token. `later` lists the jobs
+    /// scheduled after this one in the current drain (for dependency
+    /// diagnostics); it is empty outside a drain.
+    fn run_job(
+        &mut self,
+        id: JobId,
+        job: &PlaceJob,
+        later: &[JobId],
+    ) -> Result<JobResult, PlaceError> {
         if job.design.0 as usize >= self.store.len() {
             return Err(PlaceError::InvalidRequest(format!(
                 "job {} names design handle {} but the store holds {} designs",
@@ -475,6 +579,36 @@ impl PlacementService {
             return Err(PlaceError::InvalidRequest(format!("job {} has no seeds to run", id.0)));
         }
         let placer = self.registry.create(&job.flow)?;
+
+        // Replace jobs resolve their warm-start seed first, then mutate the
+        // interned design through the store so the fingerprint diff decides
+        // which cached artifacts survive.
+        let mut base_outcome = None;
+        let mut edit_log = None;
+        if let Some(spec) = &job.replace {
+            let mut base = self.resolve_replace_base(id, spec, later)?;
+            // MoveMacro carries no design state: it parameterizes the
+            // warm-start seed, so fold the target into the base placement
+            // here and let the flow re-legalize from the moved footprint.
+            for edit in &spec.edits {
+                if let netlist::DesignEdit::MoveMacro { cell, to } = edit {
+                    if let Some(m) = base.placement.macros.iter_mut().find(|m| m.cell == *cell) {
+                        m.location = *to;
+                    }
+                }
+            }
+            base_outcome = Some(base);
+            if !spec.edits.is_empty() {
+                let log = self.store.apply_edits(job.design, &spec.edits).map_err(|e| match e {
+                    PlaceError::InvalidRequest(msg) => {
+                        PlaceError::InvalidRequest(format!("replace job {}: {msg}", id.0))
+                    }
+                    other => other,
+                })?;
+                edit_log = Some(log);
+            }
+        }
+
         let design = self.store.get_design(job.design).ok_or_else(|| {
             PlaceError::InvalidRequest(format!(
                 "job {} names design handle {} but that design was released and evicted; \
@@ -497,6 +631,12 @@ impl PlacementService {
         }
         if let Some(eval) = job.evaluate {
             template = template.with_evaluation(eval);
+        }
+        if let Some(base) = &base_outcome {
+            template = template.with_warm_start(&base.placement);
+            if let Some(metrics) = &base.metrics {
+                template = template.with_warm_cells(&metrics.cell_placement);
+            }
         }
 
         if job.num_runs() == 1 {
@@ -521,6 +661,7 @@ impl PlacementService {
                 outcome,
                 winner_index: 0,
                 runs: vec![summary],
+                edit_log,
             });
         }
 
@@ -540,6 +681,7 @@ impl PlacementService {
             outcome: batch.winner,
             winner_index: batch.winner_index,
             runs: batch.runs,
+            edit_log,
         })
     }
 }
@@ -820,6 +962,216 @@ mod tests {
             assert_eq!(cold_result.outcome.placement, warm_result.outcome.placement);
             assert_eq!(cold_result.outcome.metrics, warm_result.outcome.metrics);
         }
+    }
+
+    #[test]
+    fn replace_job_warm_starts_and_keeps_artifacts_on_pure_geometry() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let base = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard()),
+        );
+        svc.run_all();
+        let cold_stats = svc.store().artifacts().stats();
+
+        let ram = svc.store().get_design(d).unwrap().find_cell("u_a/ram").unwrap();
+        let edits = vec![netlist::DesignEdit::ResizeCell { cell: ram, width: 220, height: 160 }];
+        let replace = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard())
+                .with_replace(base, edits),
+        );
+        svc.run_all();
+        let result = svc.take_result(replace).unwrap().unwrap();
+        let log = result.edit_log.as_ref().expect("replace ran an edit script");
+        assert!(log.diff.is_pure_geometry());
+        assert!(log.diff.geometry_changed(), "the resize changed the geometry fingerprint");
+        let warm_stats = svc.store().artifacts().stats();
+        assert_eq!(
+            warm_stats.seq.misses, cold_stats.seq.misses,
+            "a pure-geometry replace rebuilds no sequential graph"
+        );
+        assert_eq!(
+            warm_stats.net.misses, cold_stats.net.misses,
+            "a pure-geometry replace rebuilds no netlist graph"
+        );
+        let edited = svc.store().get_design(d).unwrap();
+        assert!(result.outcome.placement.is_legal(edited));
+        assert!(result.outcome.metrics.is_some());
+        // the base result was only referenced, never consumed
+        assert!(svc.take_result(base).unwrap().is_ok());
+    }
+
+    #[test]
+    fn move_macro_edits_steer_the_warm_start_seed() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let base = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard()),
+        );
+        svc.run_all();
+
+        let design = svc.store().get_design(d).unwrap();
+        let ram_a = design.find_cell("u_a/ram").unwrap();
+        let ram_b = design.find_cell("u_b/ram").unwrap();
+        // swap the two equal-footprint macros: both targets are legal slots
+        // of the base placement, so re-legalization keeps them where the
+        // edit put them
+        let base_result = svc.take_result(base).unwrap().unwrap();
+        let at_a = base_result.outcome.placement.placement_of(ram_a).unwrap().location;
+        let at_b = base_result.outcome.placement.placement_of(ram_b).unwrap().location;
+        assert_ne!(at_a, at_b);
+        // resubmit the base so the replace has a held result to warm from
+        let base = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard()),
+        );
+        svc.run_all();
+        let edits = vec![
+            netlist::DesignEdit::MoveMacro { cell: ram_a, to: at_b },
+            netlist::DesignEdit::MoveMacro { cell: ram_b, to: at_a },
+        ];
+        let replace = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard())
+                .with_replace(base, edits),
+        );
+        svc.run_all();
+        let result = svc.take_result(replace).unwrap().unwrap();
+        let log = result.edit_log.as_ref().unwrap();
+        assert!(log.placement_seed, "MoveMacro flags the placement seed");
+        assert!(log.diff.is_pure_geometry());
+        assert!(!log.diff.geometry_changed(), "a move does not change the footprint geometry");
+        let placed_a = result.outcome.placement.placement_of(ram_a).unwrap().location;
+        let placed_b = result.outcome.placement.placement_of(ram_b).unwrap().location;
+        assert_eq!(placed_a, at_b, "the seed move survived re-legalization");
+        assert_eq!(placed_b, at_a, "the seed move survived re-legalization");
+        let design = svc.store().get_design(d).unwrap();
+        assert!(result.outcome.placement.is_legal(design));
+    }
+
+    #[test]
+    fn rewire_replace_rebuilds_the_identity_keyed_artifacts() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let base = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard()),
+        );
+        svc.run_all();
+        let cold_stats = svc.store().artifacts().stats();
+
+        let design = svc.store().get_design(d).unwrap();
+        let ram_b = design.find_cell("u_b/ram").unwrap();
+        let net = design.find_net("n0_0").unwrap();
+        let reg = design.find_cell("u_x/pipe_reg[0]").unwrap();
+        let edits =
+            vec![netlist::DesignEdit::RewireNet { net, driver: Some(ram_b), sinks: vec![reg] }];
+        let replace = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_evaluation(EvalConfig::standard())
+                .with_replace(base, edits),
+        );
+        svc.run_all();
+        let result = svc.take_result(replace).unwrap().unwrap();
+        assert!(result.edit_log.unwrap().diff.wiring_changed());
+        let warm_stats = svc.store().artifacts().stats();
+        assert_eq!(
+            warm_stats.seq.misses,
+            cold_stats.seq.misses + 1,
+            "a wiring edit changes the identity, so evaluation rebuilds Gseq"
+        );
+    }
+
+    #[test]
+    fn replace_with_a_taken_base_names_the_dependency() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let base = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        svc.run_all();
+        svc.take_result(base).unwrap().unwrap();
+        let replace = svc.submit(
+            PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast).with_replace(base, Vec::new()),
+        );
+        svc.run_all();
+        match svc.take_result(replace) {
+            Some(Err(PlaceError::InvalidRequest(msg))) => {
+                assert!(msg.contains(&format!("job {}", base.0)), "{msg}");
+                assert!(msg.contains("already taken"), "{msg}");
+            }
+            other => panic!("expected a structured dependency error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replace_scheduled_before_its_base_is_a_structured_error() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let base = svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        // higher priority drains the replace before its base
+        let replace = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_replace(base, Vec::new())
+                .with_priority(5),
+        );
+        svc.run_all();
+        match svc.take_result(replace) {
+            Some(Err(PlaceError::InvalidRequest(msg))) => {
+                assert!(msg.contains("scheduled after"), "{msg}");
+            }
+            other => panic!("expected a structured ordering error, got {other:?}"),
+        }
+        assert!(svc.take_result(base).unwrap().is_ok(), "the base itself still ran");
+    }
+
+    #[test]
+    fn replace_with_an_unknown_base_is_a_structured_error() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        let replace = svc.submit(
+            PlaceJob::new(d, "hidap")
+                .with_effort(EffortLevel::Fast)
+                .with_replace(JobId(99), Vec::new()),
+        );
+        svc.run_all();
+        match svc.take_result(replace) {
+            Some(Err(PlaceError::InvalidRequest(msg))) => {
+                assert!(msg.contains("job 99"), "{msg}");
+                assert!(msg.contains("never submitted"), "{msg}");
+            }
+            other => panic!("expected a structured unknown-base error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peak_queued_watermark_survives_the_drain() {
+        let mut svc = service();
+        let d = svc.intern(pipeline_design("p1", 8));
+        assert_eq!(svc.stats().peak_queued, 0);
+        let jobs: Vec<JobId> = (0..3)
+            .map(|_| svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast)))
+            .collect();
+        assert_eq!(svc.stats().peak_queued, 3);
+        svc.run_all();
+        let stats = svc.stats();
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.peak_queued, 3, "the watermark reports the deepest backlog seen");
+        for job in jobs {
+            svc.take_result(job).unwrap().unwrap();
+        }
+        // a shallower later burst does not lower the mark
+        svc.submit(PlaceJob::new(d, "hidap").with_effort(EffortLevel::Fast));
+        assert_eq!(svc.stats().peak_queued, 3);
     }
 
     #[test]

@@ -465,6 +465,78 @@ impl DesignStore {
         PlaceContext::new().with_artifacts(self.artifacts.clone())
     }
 
+    /// Applies an ECO edit script to an interned design **in place** and
+    /// invalidates selectively: the store consumes the edit log's
+    /// [`netlist::FingerprintDiff`] and purges the design's `Gnet`/`Gseq`
+    /// only when the artifact identity (wiring or sequential names) actually
+    /// changed. A pure-geometry batch — macro resize, master swap, port
+    /// move, die change — keeps every cached artifact warm, because
+    /// artifacts are keyed geometry-free.
+    ///
+    /// The interning index is re-keyed to the edited identity, so the
+    /// handle stays valid and re-interning the edited design resolves to
+    /// it. If another handle already held the post-edit identity, the edited
+    /// handle takes over that index entry (the interning invariant is
+    /// per-identity-at-intern-time; edits may create duplicates knowingly).
+    /// Borrowers holding [`DesignStore::design_arc`] of the pre-edit design
+    /// keep an unedited snapshot — in-flight jobs finish on the design they
+    /// started with.
+    ///
+    /// Returns the [`netlist::EditLog`]; a rejected script (unknown id, bad
+    /// dimensions) is a [`crate::PlaceError::InvalidRequest`] and leaves design,
+    /// index and artifacts untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this store.
+    pub fn apply_edits(
+        &mut self,
+        handle: DesignHandle,
+        edits: &[netlist::DesignEdit],
+    ) -> Result<netlist::EditLog, crate::error::PlaceError> {
+        use crate::error::PlaceError;
+        self.clock += 1;
+        let clock = self.clock;
+        let (old_key, old_geometry, new_key, log) = {
+            let slot = &mut self.slots[handle.index()];
+            let Some(arc) = slot.design.as_mut() else {
+                return Err(PlaceError::InvalidRequest(format!(
+                    "cannot edit design handle {}: it was evicted; re-intern it first",
+                    handle.0
+                )));
+            };
+            let old_key = slot.key.clone();
+            let old_geometry = arc.geometry_fingerprint();
+            // in-flight borrowers keep their pre-edit snapshot: make_mut
+            // clones only when the Arc is shared
+            let design = Arc::make_mut(arc);
+            let log = design
+                .apply_edits(edits)
+                .map_err(|e| PlaceError::InvalidRequest(format!("edit rejected: {e}")))?;
+            let new_key = DesignKey::of(design);
+            slot.bytes = design.heap_bytes();
+            slot.key = new_key.clone();
+            slot.last_use = clock;
+            (old_key, old_geometry, new_key, log)
+        };
+        let new_geometry = log.diff.geometry_after;
+        if self.index.get(&(old_key.clone(), old_geometry)) == Some(&handle) {
+            self.index.remove(&(old_key.clone(), old_geometry));
+        }
+        self.index.insert((new_key, new_geometry), handle);
+        if log.diff.identity_changed() {
+            // the old identity's artifacts are stale for this design; purge
+            // them unless another resident design still answers to the key
+            let key_still_used = self.slots.iter().any(|s| s.design.is_some() && s.key == old_key);
+            if !key_still_used {
+                self.artifacts.evict_design(&old_key);
+            }
+        }
+        self.note_peak();
+        self.enforce_budget();
+        Ok(log)
+    }
+
     /// Evicts unreferenced designs (least recently used first) while the
     /// total resident bytes exceed the budget.
     fn enforce_budget(&mut self) {
@@ -758,6 +830,103 @@ mod tests {
         store.release(b);
         assert_eq!(store.pinned_design_bytes(), 0);
         assert_eq!(store.design_bytes(), store.design_bytes_of(a) + store.design_bytes_of(b));
+    }
+
+    #[test]
+    fn pure_geometry_edit_keeps_artifacts_warm() {
+        use netlist::DesignEdit;
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let ram = store.design(a).find_cell("alpha/ram").unwrap();
+        // warm both graphs
+        store.context().evaluator(eval::EvalConfig::standard()).seq_graph(store.design(a));
+        let before = store.artifacts().stats();
+        assert_eq!((before.seq.misses, before.net.misses), (1, 1));
+
+        let log = store
+            .apply_edits(a, &[DesignEdit::ResizeCell { cell: ram, width: 300, height: 200 }])
+            .unwrap();
+        assert!(log.diff.is_pure_geometry());
+        assert_eq!(store.design(a).cell(ram).width, 300, "the edit landed in place");
+
+        // the artifact identity is unchanged: the next fetch is a pure hit
+        store.context().evaluator(eval::EvalConfig::standard()).seq_graph(store.design(a));
+        let after = store.artifacts().stats();
+        assert_eq!(
+            (after.seq.misses, after.net.misses),
+            (1, 1),
+            "a pure-geometry edit rebuilds zero Gnet/Gseq"
+        );
+        assert!(after.seq.hits > before.seq.hits);
+        // the index was re-keyed: re-interning the edited design revives
+        // the same handle instead of allocating a new identity
+        let edited = store.design(a).clone();
+        assert_eq!(store.intern(edited), a);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn rewire_edit_drops_the_stale_artifacts() {
+        use netlist::DesignEdit;
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let old_key = store.key(a).clone();
+        let ram = store.design(a).find_cell("alpha/ram").unwrap();
+        let flop = store.design(a).find_cell("r_reg[0]").unwrap();
+        let net = store.design(a).find_net("n").unwrap();
+        store.context().evaluator(eval::EvalConfig::standard()).seq_graph(store.design(a));
+        assert!(store.artifacts().contains(ArtifactKind::SeqGraph, &old_key));
+
+        let log = store
+            .apply_edits(a, &[DesignEdit::RewireNet { net, driver: Some(ram), sinks: vec![flop] }])
+            .unwrap();
+        assert!(log.diff.wiring_changed());
+        assert_ne!(store.key(a), &old_key, "the slot key follows the edited identity");
+        assert!(
+            !store.artifacts().contains(ArtifactKind::SeqGraph, &old_key),
+            "a wiring edit purges the old identity's artifacts"
+        );
+        // the next fetch is a miss under the new identity
+        store.context().evaluator(eval::EvalConfig::standard()).seq_graph(store.design(a));
+        assert_eq!(store.artifacts().stats().seq.misses, 2);
+        store.design(a).validate().unwrap();
+    }
+
+    #[test]
+    fn editing_an_evicted_design_is_a_structured_error() {
+        use netlist::DesignEdit;
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let ram = store.design(a).find_cell("alpha/ram").unwrap();
+        store.release(a);
+        store.evict_unreferenced();
+        let err = store
+            .apply_edits(a, &[DesignEdit::ResizeCell { cell: ram, width: 1, height: 1 }])
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("evicted"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn rejected_edit_script_leaves_the_store_untouched() {
+        use netlist::design::CellId;
+        use netlist::DesignEdit;
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let key = store.key(a).clone();
+        let ram = store.design(a).find_cell("alpha/ram").unwrap();
+        let err = store
+            .apply_edits(
+                a,
+                &[
+                    DesignEdit::ResizeCell { cell: ram, width: 5, height: 5 },
+                    DesignEdit::ResizeCell { cell: CellId(999), width: 1, height: 1 },
+                ],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown cell"));
+        assert_eq!(store.key(a), &key);
+        assert_eq!(store.design(a).cell(ram).width, 200, "nothing was applied");
     }
 
     #[test]

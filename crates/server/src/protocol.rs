@@ -224,6 +224,20 @@ pub struct SubmitSpec {
     pub evaluate: bool,
 }
 
+/// The spec a `replace` command carries: a submit plus the warm-start base
+/// job and the textual ECO edit script (resolved against the design at
+/// dispatch time — see `netlist::edit::parse_edit_script`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaceSpec {
+    /// The submit-shaped part: design, flow, priority, effort, evaluation.
+    pub submit: SubmitSpec,
+    /// The prior job whose held result seeds the warm start.
+    pub base: u64,
+    /// The textual edit script (`edits="resize u_a/ram 220 160; ..."`);
+    /// empty means re-place with no design change (re-legalize only).
+    pub edits: String,
+}
+
 /// A parsed client command frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -237,6 +251,10 @@ pub enum Command {
     /// `submit design=<h> flow=<name> [priority=] [seeds=] [lambdas=]
     /// [effort=] [evaluate=standard]` — queue a job.
     Submit(SubmitSpec),
+    /// `replace design=<h> base=<job> [edits="<script>"] [flow=] [priority=]
+    /// [effort=] [evaluate=standard]` — queue an incremental re-place of an
+    /// edited design, warm-started from a prior job's held result.
+    Replace(ReplaceSpec),
     /// `cancel job=<id>` — remove a still-queued job.
     Cancel {
         /// The job to cancel.
@@ -289,6 +307,29 @@ fn list<T: std::str::FromStr>(frame: &Frame, key: &str) -> Result<Vec<T>, String
         .collect()
 }
 
+/// Parses the submit-shaped fields shared by `submit` and `replace`.
+fn submit_spec(frame: &Frame) -> Result<SubmitSpec, String> {
+    let evaluate = match frame.get("evaluate") {
+        None => false,
+        Some("standard") => true,
+        Some(other) => {
+            return Err(format!(
+                "'{}' has an unknown evaluate= value '{other}' (use 'standard')",
+                frame.name
+            ))
+        }
+    };
+    Ok(SubmitSpec {
+        design: require(frame, "design")?,
+        flow: frame.get("flow").unwrap_or("hidap").to_string(),
+        priority: optional(frame, "priority")?.unwrap_or(0),
+        seeds: list(frame, "seeds")?,
+        lambdas: list(frame, "lambdas")?,
+        effort: frame.get("effort").map(str::to_string),
+        evaluate,
+    })
+}
+
 impl Command {
     /// Interprets a parsed frame as a client command.
     pub fn from_frame(frame: &Frame) -> Result<Command, String> {
@@ -297,26 +338,12 @@ impl Command {
                 client: frame.get("client").unwrap_or("anonymous").to_string(),
             }),
             "intern" => Ok(Command::Intern(InternSpec { fields: frame.fields.clone() })),
-            "submit" => {
-                let evaluate = match frame.get("evaluate") {
-                    None => false,
-                    Some("standard") => true,
-                    Some(other) => {
-                        return Err(format!(
-                            "'submit' has an unknown evaluate= value '{other}' (use 'standard')"
-                        ))
-                    }
-                };
-                Ok(Command::Submit(SubmitSpec {
-                    design: require(frame, "design")?,
-                    flow: frame.get("flow").unwrap_or("hidap").to_string(),
-                    priority: optional(frame, "priority")?.unwrap_or(0),
-                    seeds: list(frame, "seeds")?,
-                    lambdas: list(frame, "lambdas")?,
-                    effort: frame.get("effort").map(str::to_string),
-                    evaluate,
-                }))
-            }
+            "submit" => Ok(Command::Submit(submit_spec(frame)?)),
+            "replace" => Ok(Command::Replace(ReplaceSpec {
+                submit: submit_spec(frame)?,
+                base: require(frame, "base")?,
+                edits: frame.get("edits").unwrap_or("").to_string(),
+            })),
             "cancel" => Ok(Command::Cancel { job: require(frame, "job")? }),
             "release" => Ok(Command::Release { design: require(frame, "design")? }),
             "result" => Ok(Command::Result { job: require(frame, "job")? }),
@@ -458,6 +485,34 @@ mod tests {
         assert!(Command::from_frame(&frame).unwrap_err().contains("malformed design="));
         let frame = Frame::parse("warp speed=9").unwrap();
         assert!(Command::from_frame(&frame).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn replace_commands_parse_from_frames() {
+        let frame = Frame::parse(
+            "replace design=1 base=4 edits=\"resize u_a/ram 220 160; move u_b/ram 10 20\" \
+             effort=fast evaluate=standard priority=2",
+        )
+        .unwrap();
+        match Command::from_frame(&frame).unwrap() {
+            Command::Replace(spec) => {
+                assert_eq!(spec.submit.design, 1);
+                assert_eq!(spec.base, 4);
+                assert_eq!(spec.edits, "resize u_a/ram 220 160; move u_b/ram 10 20");
+                assert_eq!(spec.submit.effort.as_deref(), Some("fast"));
+                assert_eq!(spec.submit.priority, 2);
+                assert!(spec.submit.evaluate);
+            }
+            other => panic!("expected replace, got {other:?}"),
+        }
+        // an empty edit script is a valid re-legalize-only replace
+        let frame = Frame::parse("replace design=0 base=0").unwrap();
+        match Command::from_frame(&frame).unwrap() {
+            Command::Replace(spec) => assert!(spec.edits.is_empty()),
+            other => panic!("expected replace, got {other:?}"),
+        }
+        let frame = Frame::parse("replace design=0").unwrap();
+        assert!(Command::from_frame(&frame).unwrap_err().contains("base="));
     }
 
     #[test]

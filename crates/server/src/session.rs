@@ -18,7 +18,7 @@
 //! timing payloads (`wall_s=`, `score=`). `docs/PROTOCOL.md` states the
 //! guarantee precisely.
 
-use crate::protocol::{event_frame, Command, Frame, InternSpec, SubmitSpec};
+use crate::protocol::{event_frame, Command, Frame, InternSpec, ReplaceSpec, SubmitSpec};
 use netlist::design::Design;
 use placer_core::{
     ClientId, DesignHandle, EffortLevel, FlowObserver, JobId, JobResult, PlaceError, PlaceJob,
@@ -234,6 +234,7 @@ impl Server {
             }
             Command::Intern(spec) => self.handle_intern(&spec, out)?,
             Command::Submit(spec) => self.handle_submit(&spec, out)?,
+            Command::Replace(spec) => self.handle_replace(&spec, out)?,
             Command::Cancel { job } => {
                 if self.sched.cancel(JobId(job)) {
                     reply(out, Frame::new("ok").field("cmd", "cancel").field("job", job))?;
@@ -394,6 +395,117 @@ impl Server {
         }
     }
 
+    /// Handles a `replace` command: resolves the textual edit script against
+    /// the interned design, then queues an incremental re-place job
+    /// warm-started from the base job's held result.
+    fn handle_replace<W: Write + Send + 'static>(
+        &mut self,
+        spec: &ReplaceSpec,
+        out: &mut SharedWriter<W>,
+    ) -> io::Result<()> {
+        let Some(client) = self.client else {
+            return reply(
+                out,
+                Frame::new("err")
+                    .field("cmd", "replace")
+                    .field("code", "no-client")
+                    .field("reason", "send 'hello client=<name>' before submitting jobs"),
+            );
+        };
+        let effort = match spec.submit.effort.as_deref() {
+            None => None,
+            Some(name) => match EffortLevel::parse(name) {
+                Some(effort) => Some(effort),
+                None => {
+                    return reply(
+                        out,
+                        Frame::new("err")
+                            .field("cmd", "replace")
+                            .field("code", "bad-command")
+                            .field(
+                                "reason",
+                                format!("unknown effort '{name}' (use fast, default or high)"),
+                            ),
+                    );
+                }
+            },
+        };
+        let handle = DesignHandle(spec.submit.design);
+        let store = self.sched.service().store();
+        if (spec.submit.design as usize) >= store.len() {
+            return reply(
+                out,
+                Frame::new("err")
+                    .field("cmd", "replace")
+                    .field("code", "invalid-request")
+                    .field("design", spec.submit.design)
+                    .field("reason", format!("design {} was never interned", spec.submit.design)),
+            );
+        }
+        let Some(design) = store.get_design(handle) else {
+            return reply(
+                out,
+                Frame::new("err")
+                    .field("cmd", "replace")
+                    .field("code", "invalid-request")
+                    .field("design", spec.submit.design)
+                    .field(
+                        "reason",
+                        format!(
+                            "design {} was evicted; re-intern it before replacing",
+                            spec.submit.design
+                        ),
+                    ),
+            );
+        };
+        let edits = match netlist::edit::parse_edit_script(&spec.edits, design) {
+            Ok(edits) => edits,
+            Err(error) => {
+                return reply(
+                    out,
+                    Frame::new("err")
+                        .field("cmd", "replace")
+                        .field("code", "bad-edit-script")
+                        .field("reason", error.to_string()),
+                );
+            }
+        };
+        let num_edits = edits.len();
+        let observer = Arc::new(FrameObserver::new(out.clone()));
+        let mut job = PlaceJob::new(handle, &spec.submit.flow)
+            .with_priority(spec.submit.priority)
+            .with_observer(observer.clone())
+            .with_replace(JobId(spec.base), edits);
+        if !spec.submit.seeds.is_empty() {
+            job = job.with_seeds(spec.submit.seeds.clone());
+        }
+        if !spec.submit.lambdas.is_empty() {
+            job = job.with_lambdas(spec.submit.lambdas.clone());
+        }
+        if let Some(effort) = effort {
+            job = job.with_effort(effort);
+        }
+        if spec.submit.evaluate {
+            job = job.with_evaluation(eval::EvalConfig::standard());
+        }
+        match self.sched.submit(client, job) {
+            Ok(id) => {
+                observer.set_job(id);
+                reply(
+                    out,
+                    Frame::new("ok")
+                        .field("cmd", "replace")
+                        .field("job", id.0)
+                        .field("design", spec.submit.design)
+                        .field("base", spec.base)
+                        .field("edits", num_edits)
+                        .field("priority", spec.submit.priority),
+                )
+            }
+            Err(error) => reply(out, error_frame("replace", None, &error)),
+        }
+    }
+
     fn handle_stats<W: Write + Send + 'static>(
         &mut self,
         out: &mut SharedWriter<W>,
@@ -403,6 +515,7 @@ impl Server {
             out,
             Frame::new("stats")
                 .field("queued", stats.queued)
+                .field("peak_queued", stats.peak_queued)
                 .field("completed", stats.completed)
                 .field("interned", stats.interned_designs)
                 .field("resident", stats.resident_designs)
@@ -494,6 +607,11 @@ fn job_done_frame(result: &JobResult) -> Frame {
         .field("macros", outcome.placement.macros.len());
     if let Some(lambda) = outcome.lambda {
         frame = frame.field("lambda", lambda);
+    }
+    if let Some(log) = &result.edit_log {
+        frame = frame
+            .field("edits_applied", log.applied)
+            .field("pure_geometry", log.diff.is_pure_geometry());
     }
     if let Some(metrics) = &outcome.metrics {
         frame = frame

@@ -201,6 +201,106 @@ drain
 }
 
 #[test]
+fn replace_session_chains_in_one_drain_and_keeps_artifacts_warm() {
+    let mut server = tight_server();
+    // author the edit script against the same preset the daemon will intern
+    let design = preset("small").unwrap();
+    let macro_id = design.macros().next().expect("preset has macros");
+    let macro_name = design.cell(macro_id).name.clone();
+    let script = format!(
+        "\
+hello client=ci
+intern design=small
+submit design=0 flow=hidap effort=fast seeds=7 evaluate=standard
+replace design=0 base=0 edits=\"resize {macro_name} 220 160\" effort=fast evaluate=standard
+drain
+stats
+shutdown
+"
+    );
+    let (_, frames) = run_script(&mut server, &script);
+    let errs = named(&frames, "err");
+    assert!(errs.is_empty(), "a chained replace succeeds: {errs:?}");
+
+    // the replace ack echoes the dependency and the parsed edit count
+    let replace_ok: Vec<&Frame> =
+        frames.iter().filter(|f| f.name == "ok" && f.get("cmd") == Some("replace")).collect();
+    assert_eq!(replace_ok.len(), 1);
+    assert_eq!(replace_ok[0].get("job"), Some("1"));
+    assert_eq!(replace_ok[0].get("base"), Some("0"));
+    assert_eq!(replace_ok[0].get("edits"), Some("1"));
+
+    // base ran first (FIFO), then the replace with its edit log on the wire
+    let done = named(&frames, "job-done");
+    assert_eq!(done.len(), 2);
+    assert_eq!(done[0].get("job"), Some("0"));
+    assert_eq!(done[1].get("job"), Some("1"));
+    assert_eq!(done[1].get("edits_applied"), Some("1"));
+    assert_eq!(done[1].get("pure_geometry"), Some("true"));
+    assert!(done[1].get("hpwl_dbu").is_some(), "the replace evaluated");
+
+    // a pure-geometry replace rebuilds neither derived graph: the chained
+    // session does exactly as many graph builds as a cold-only one
+    let mut baseline = tight_server();
+    run_script(
+        &mut baseline,
+        "hello client=ci\nintern design=small\nsubmit design=0 flow=hidap effort=fast seeds=7 evaluate=standard\ndrain\nshutdown\n",
+    );
+    let cold = baseline.scheduler().service().store().artifacts().stats();
+    let stats = server.scheduler().service().store().artifacts().stats();
+    assert_eq!(stats.seq.misses, cold.seq.misses, "zero Gseq builds for the replace");
+    assert_eq!(stats.net.misses, cold.net.misses, "zero Gnet builds for the replace");
+
+    // the queue-depth watermark reports the two-deep backlog
+    let stats_frames = named(&frames, "stats");
+    assert_eq!(stats_frames[0].get("queued"), Some("0"));
+    assert_eq!(stats_frames[0].get("peak_queued"), Some("2"));
+}
+
+#[test]
+fn replace_errors_are_structured_on_the_wire() {
+    let mut server = tight_server();
+    let script = "\
+hello client=ci
+intern design=small
+submit design=0 flow=hidap effort=fast seeds=3
+drain
+replace design=0 base=0
+replace design=0 base=9
+drain
+replace design=7 base=0
+replace design=0 base=0 edits=\"resize no/such/cell 10 10\"
+shutdown
+";
+    let (_, frames) = run_script(&mut server, script);
+    // drain #1 streamed (and thereby claimed) job 0's result, so a replace
+    // in a later drain hits the structured taken-dependency error
+    let errs = named(&frames, "err");
+    let taken: Vec<&&Frame> = errs
+        .iter()
+        .filter(|f| f.get("reason").is_some_and(|r| r.contains("already taken")))
+        .collect();
+    assert_eq!(taken.len(), 1, "{errs:?}");
+    assert_eq!(taken[0].get("code"), Some("invalid-request"));
+    assert!(taken[0].get("reason").unwrap().contains("job 0"), "the dependency is named");
+    // unknown base job: rejected when the replace runs
+    assert!(errs.iter().any(|f| f.get("reason").is_some_and(|r| r.contains("job 9"))), "{errs:?}");
+    // unknown design handle: rejected at submit time
+    assert!(
+        errs.iter().any(|f| f.get("cmd") == Some("replace")
+            && f.get("design") == Some("7")
+            && f.get("reason").is_some_and(|r| r.contains("never interned"))),
+        "{errs:?}"
+    );
+    // a bad edit script is rejected at submit time with its own code
+    assert!(
+        errs.iter().any(|f| f.get("code") == Some("bad-edit-script")
+            && f.get("reason").is_some_and(|r| r.contains("no/such/cell"))),
+        "{errs:?}"
+    );
+}
+
+#[test]
 fn protocol_errors_keep_the_session_alive() {
     let mut server = tight_server();
     let script = "\

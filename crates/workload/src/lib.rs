@@ -11,13 +11,21 @@
 //! * [`presets`] — the c1–c8 stand-ins (macro counts match the paper, cell
 //!   counts are scaled down for laptop runtimes) and the small designs used
 //!   by Fig. 1 / Fig. 3,
+//! * [`adversarial`] — the nasty-corner presets (high-fanout broadcast nets,
+//!   pathological aspect ratios, macro-dominated dies, near-full utilization)
+//!   and the seeded random ECO edit generator feeding the differential
+//!   fuzzer,
 //! * [`emit`] — structural Verilog / LEF / DEF emission so the parsers of the
 //!   `netlist` crate can be exercised end to end.
 
+pub mod adversarial;
 pub mod emit;
 pub mod generator;
 pub mod presets;
 
+pub use adversarial::{
+    adversarial_design, random_edits, random_geometry_edits, ADVERSARIAL_PRESETS,
+};
 pub use generator::{GeneratedDesign, SocConfig, SocGenerator, SubsystemConfig};
 pub use presets::{
     circuit_preset, fig1_design, fig3_design, large_soc, large_soc_config, CircuitPreset,
