@@ -367,12 +367,14 @@ impl placer_core::Placer for IndEda {
         let design = req.effective_design();
         ctx.emit(StageEvent::FlowStarted { flow: "indeda".into(), seed: req.seed, lambda: None });
 
+        // lint:allow(wall-clock): report-only wall_s stage timing; never influences placement
         let start = std::time::Instant::now();
         let placement = IndEda::new(config).run(design.as_ref()).map_err(PlaceError::from)?;
         let wall_s = start.elapsed().as_secs_f64();
         let mut timings = vec![StageTiming { stage: "anneal".into(), seconds: wall_s }];
 
         let metrics = req.evaluate.as_ref().map(|eval_cfg| {
+            // lint:allow(wall-clock): report-only wall_s stage timing; never influences placement
             let t = std::time::Instant::now();
             // context-shared evaluator: one Gseq per sweep, no to_map()
             let metrics = ctx.evaluator(*eval_cfg).evaluate(design.as_ref(), &placement);

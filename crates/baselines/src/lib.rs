@@ -20,6 +20,9 @@
 //! with `hidap`, `indeda` and `handfp` registered, so front ends resolve
 //! flows by name.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+
 pub mod handfp;
 pub mod indeda;
 

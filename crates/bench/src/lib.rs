@@ -19,6 +19,8 @@
 //! Every binary accepts `--effort fast|default|paper` (default `fast`) and,
 //! where applicable, `--circuits c1,c2,...`.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod reference;
 pub mod report;

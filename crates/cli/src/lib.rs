@@ -37,6 +37,8 @@
 //! threads via [`placer_core::BatchRunner`] and keeps the lowest-wirelength
 //! winner; the result is identical for any `--jobs` value.
 
+#![forbid(unsafe_code)]
+
 use eval::{EvalConfig, Evaluator};
 use geometry::Rect;
 use hidap::MacroPlacement;
@@ -857,8 +859,21 @@ pub fn run(opts: &Options) -> Result<String, String> {
         // its sorted entries, no intermediate map
         let entries = netlist::def::placement_entries_from_view(&design, placement, true);
         let pins = netlist::def::port_entries(&design);
-        let def_text = netlist::def::write_def(design.name(), dbu, design.die(), &entries, &pins);
-        std::fs::write(out, def_text)
+        // stream straight to disk; a large_soc DEF is tens of MB and never
+        // needs to exist as one String
+        std::fs::File::create(out)
+            .map(std::io::BufWriter::new)
+            .and_then(|mut w| {
+                netlist::def::write_def_to(
+                    &mut w,
+                    design.name(),
+                    dbu,
+                    design.die(),
+                    &entries,
+                    &pins,
+                )
+                .and_then(|()| std::io::Write::flush(&mut w))
+            })
             .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
         output.push_str(&format!("wrote {}\n", out.display()));
     }

@@ -1,6 +1,8 @@
 //! The `hidap` command-line tool: RTL-aware dataflow-driven macro placement
 //! from Verilog/LEF/DEF inputs to a placed DEF (and optional SVG rendering).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match cli::parse_args(&args) {

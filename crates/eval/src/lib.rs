@@ -27,6 +27,9 @@
 //! `HashMap`. Build one [`Evaluator`] per sweep — it caches the sequential
 //! graph and its scratch buffers across candidates.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+
 pub mod artifacts;
 pub mod congestion;
 pub mod density;

@@ -34,6 +34,9 @@
 //! assert!(pair.fits(8, 2));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+
 pub mod orientation;
 pub mod point;
 pub mod rect;

@@ -18,6 +18,7 @@
 //! assert_eq!(m.row(0), &[0.0, 0.0, 5.0]);
 //! ```
 
+use netlist::HeapSize;
 use serde::{Deserialize, Serialize};
 
 /// A dense `n × n` affinity matrix in one flat row-major buffer.
@@ -86,6 +87,12 @@ impl AffinityMatrix {
     /// The largest entry (0 for an empty matrix).
     pub fn max_value(&self) -> f64 {
         self.data.iter().copied().fold(0.0_f64, f64::max)
+    }
+}
+
+impl HeapSize for AffinityMatrix {
+    fn heap_bytes(&self) -> usize {
+        self.data.heap_bytes()
     }
 }
 

@@ -5,6 +5,7 @@
 //! from every element of a set of sources, as in "The more the merrier"
 //! (Then et al., VLDB'14) which the paper cites.
 
+use netlist::HeapSize;
 use std::collections::VecDeque;
 
 /// Result of a multi-source BFS over a graph with `n` nodes.
@@ -83,6 +84,12 @@ where
         }
     }
     BfsResult { distance, source, predecessor }
+}
+
+impl HeapSize for BfsResult {
+    fn heap_bytes(&self) -> usize {
+        self.distance.heap_bytes() + self.source.heap_bytes() + self.predecessor.heap_bytes()
+    }
 }
 
 #[cfg(test)]

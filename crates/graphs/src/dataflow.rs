@@ -17,6 +17,7 @@
 use crate::affinity::AffinityMatrix;
 use crate::histogram::FlowHistogram;
 use crate::seqgraph::{SeqGraph, SeqNodeId, SeqNodeKind};
+use netlist::HeapSize;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -342,6 +343,32 @@ impl DataflowGraph {
             }
         }
         m
+    }
+}
+
+impl HeapSize for BlockAssignment {
+    fn heap_bytes(&self) -> usize {
+        self.block_of.heap_bytes() + self.block_names.heap_bytes()
+    }
+}
+
+impl HeapSize for DataflowNode {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            DataflowNode::Block { name, .. } | DataflowNode::Port { name, .. } => name.heap_bytes(),
+        }
+    }
+}
+
+impl HeapSize for DataflowEdge {
+    fn heap_bytes(&self) -> usize {
+        self.block_flow.heap_bytes() + self.macro_flow.heap_bytes()
+    }
+}
+
+impl HeapSize for DataflowGraph {
+    fn heap_bytes(&self) -> usize {
+        self.nodes.heap_bytes() + self.edges.heap_bytes()
     }
 }
 

@@ -11,6 +11,7 @@
 //!
 //! where `k` controls the exponential decay impact of latency.
 
+use netlist::HeapSize;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -94,6 +95,12 @@ impl FromIterator<(u32, u64)> for FlowHistogram {
             h.add(lat, bits);
         }
         h
+    }
+}
+
+impl HeapSize for FlowHistogram {
+    fn heap_bytes(&self) -> usize {
+        self.bins.heap_bytes()
     }
 }
 

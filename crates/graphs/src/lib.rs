@@ -21,6 +21,9 @@
 //! * [`histogram::FlowHistogram`] implements the `score(h, k)` weighting of
 //!   Sect. IV-D.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+
 pub mod affinity;
 pub mod bfs;
 pub mod dataflow;

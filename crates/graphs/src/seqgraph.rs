@@ -18,7 +18,7 @@ use netlist::arrays::split_array_name;
 use netlist::dense::{DenseId, DenseMap};
 use netlist::design::{CellId, CellKind, Design, PortId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Identifier of a node in a [`SeqGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -283,9 +283,15 @@ impl SeqGraph {
         // source bits that reach dst and (b) the number of distinct dst bits
         // reached, which approximates the wire count even when one of the two
         // endpoints is a single-node macro.
-        let mut edge_src_bits: HashMap<(usize, usize), u64> = HashMap::new();
-        let mut edge_dst_bits: HashMap<(usize, usize), std::collections::HashSet<usize>> =
-            HashMap::new();
+        // BTreeMaps, not HashMaps: the edge maps are *iterated* below to
+        // build succ/pred, and hash order must never reach a result
+        // (hidap-lint rule hash-iter).
+        let mut edge_src_bits: std::collections::BTreeMap<(usize, usize), u64> =
+            std::collections::BTreeMap::new();
+        let mut edge_dst_bits: std::collections::BTreeMap<
+            (usize, usize),
+            std::collections::HashSet<usize>,
+        > = std::collections::BTreeMap::new();
         let mut visited = vec![u32::MAX; gnet.num_nodes()];
         let mut epoch = 0u32;
         for bit in 0..gnet.num_nodes() {
@@ -328,7 +334,7 @@ impl SeqGraph {
                 edge_dst_bits.entry((src_node, dst_node)).or_default().insert(dst_bit);
             }
         }
-        let edge_bits: HashMap<(usize, usize), u64> = edge_src_bits
+        let edge_bits: std::collections::BTreeMap<(usize, usize), u64> = edge_src_bits
             .into_iter()
             .map(|(key, src_count)| {
                 let dst_count = edge_dst_bits.get(&key).map(|s| s.len() as u64).unwrap_or(0);

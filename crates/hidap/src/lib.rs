@@ -94,6 +94,9 @@
 //! entry points remain available for callers that want the raw placement or
 //! custom stage probes.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+
 pub mod block;
 pub mod config;
 pub mod dataflow;

@@ -1,0 +1,431 @@
+//! A hand-rolled Rust lexer: borrowed-`&str` tokens with exact byte spans.
+//!
+//! Built in the same style as the streaming Verilog/LEF/DEF lexers in
+//! `netlist` — the token stream borrows the source text, nothing is
+//! materialized beyond the token table itself. The lexer is *total*: any
+//! byte sequence tokenizes without panicking (unterminated strings and
+//! comments run to end of file), and the spans partition the source exactly
+//! — every byte is either inside exactly one token or inter-token
+//! whitespace. The lexer proptest in `tests/lexer_proptest.rs` pins both
+//! properties.
+//!
+//! Handled correctly (the cases that break naive regex scanners):
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with arbitrary hash fences (`r##"..."##`), including the
+//!   byte and C variants (`br#"…"#`, `cr#"…"#`),
+//! * char literals vs lifetimes (`'a'` vs `'a`, `'\''`, `b'x'`),
+//! * raw identifiers (`r#match`),
+//! * float literals vs range expressions (`1.5` vs `0..10` vs `1.max(2)`).
+
+/// What a token is, at the granularity the lint rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules match on the text).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Any string literal: cooked, raw, byte, or C, with its quotes.
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (integer or float, suffix included).
+    Num,
+    /// A single punctuation character (`::` is two `Punct` tokens).
+    Punct,
+    /// A `//` comment, text until (not including) the newline.
+    LineComment,
+    /// A `/* */` comment, nesting-matched, terminator included.
+    BlockComment,
+}
+
+/// One token: kind + byte span + 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text, borrowed from the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Internal cursor state shared by the scanning helpers.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, k: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(k)
+    }
+
+    /// Advances one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Consumes chars while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// How a string-literal prefix at the cursor looks: total prefix length in
+/// bytes up to and including the opening quote, and the raw-fence hash count
+/// (`None` for cooked strings).
+fn string_prefix(rest: &str) -> Option<(usize, Option<usize>)> {
+    let mut chars = rest.chars();
+    let first = chars.next()?;
+    // optional b / c byte- and C-string markers before the r or quote
+    let (marker_len, after_marker) = match first {
+        'b' | 'c' => (1, chars.clone()),
+        _ => (0, rest.chars()),
+    };
+    let mut after = after_marker;
+    match after.next() {
+        Some('"') if marker_len == 1 => Some((2, None)),
+        Some('r') => {
+            // raw fence: r, hashes, then a quote
+            let mut hashes = 0;
+            for c in after {
+                match c {
+                    '#' => hashes += 1,
+                    '"' => return Some((marker_len + 1 + hashes + 1, Some(hashes))),
+                    _ => return None,
+                }
+            }
+            None
+        }
+        Some('"') => Some((1, None)),
+        _ => None,
+    }
+}
+
+/// Tokenizes Rust source. Never panics; unterminated literals and comments
+/// extend to end of input.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { src, pos: 0, line: 1 };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            '/' if cur.peek_at(1) == Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                TokenKind::LineComment
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            '"' => {
+                scan_cooked_string(&mut cur);
+                TokenKind::Str
+            }
+            '\'' => scan_char_or_lifetime(&mut cur),
+            c if is_ident_start(c) || c == 'r' => {
+                let rest = &src[cur.pos..];
+                if let Some((prefix_len, fence)) = string_prefix(rest) {
+                    for _ in 0..prefix_len {
+                        // the prefix is ASCII, one bump per byte
+                        cur.bump();
+                    }
+                    match fence {
+                        Some(hashes) => scan_raw_string(&mut cur, hashes),
+                        None => scan_cooked_string_body(&mut cur),
+                    }
+                    TokenKind::Str
+                } else if c == 'b' && rest.len() >= 2 && rest.as_bytes()[1] == b'\'' {
+                    // byte char literal b'x'
+                    cur.bump();
+                    cur.bump();
+                    scan_char_body(&mut cur);
+                    TokenKind::Char
+                } else if c == 'r'
+                    && rest.len() >= 2
+                    && rest.as_bytes()[1] == b'#'
+                    && rest.chars().nth(2).is_some_and(is_ident_start)
+                {
+                    // raw identifier r#match
+                    cur.bump();
+                    cur.bump();
+                    cur.eat_while(is_ident_continue);
+                    TokenKind::Ident
+                } else {
+                    cur.eat_while(is_ident_continue);
+                    TokenKind::Ident
+                }
+            }
+            c if c.is_ascii_digit() => {
+                cur.eat_while(is_ident_continue);
+                // a float's fractional part: a dot followed by a digit (so
+                // `0..10` and `1.max(2)` stay ranges and method calls)
+                if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                    cur.bump();
+                    cur.eat_while(is_ident_continue);
+                }
+                TokenKind::Num
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token { kind, start, end: cur.pos, line });
+    }
+    tokens
+}
+
+/// Scans a cooked string from its opening quote (cursor on the `"`).
+fn scan_cooked_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    scan_cooked_string_body(cur);
+}
+
+/// Scans a cooked string body until its closing quote (escape-aware).
+fn scan_cooked_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Scans a raw string body until `"` followed by `hashes` fence hashes.
+fn scan_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut matched = 0;
+            while matched < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// Scans the remainder of a char literal after its opening quote.
+fn scan_char_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime); cursor on the `'`.
+fn scan_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            scan_char_body(cur);
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        Some('\'') => {
+            // `''` — not valid Rust; consume both quotes and move on
+            cur.bump();
+            TokenKind::Char
+        }
+        Some(_) => {
+            // 'x' where x is not ident-like: digit, punctuation, emoji...
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Punct
+            }
+        }
+        None => TokenKind::Punct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(&str, TokenKind)> {
+        tokenize(src).iter().map(|t| (t.text(src), t.kind)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let src = "let mut x = a::b(1, 2.5);";
+        let toks = texts(src);
+        assert_eq!(toks[0], ("let", TokenKind::Ident));
+        assert_eq!(toks[1], ("mut", TokenKind::Ident));
+        assert_eq!(toks[3], ("=", TokenKind::Punct));
+        assert_eq!(toks[5], (":", TokenKind::Punct));
+        assert!(toks.contains(&("2.5", TokenKind::Num)));
+    }
+
+    #[test]
+    fn ranges_are_not_floats_and_methods_are_not_fractions() {
+        let src = "0..10 1.max(2) 3.5e2";
+        let toks = texts(src);
+        assert_eq!(toks[0], ("0", TokenKind::Num));
+        assert_eq!(toks[1], (".", TokenKind::Punct));
+        assert_eq!(toks[2], (".", TokenKind::Punct));
+        assert_eq!(toks[3], ("10", TokenKind::Num));
+        assert_eq!(toks[4], ("1", TokenKind::Num));
+        assert_eq!(toks[5], (".", TokenKind::Punct));
+        assert_eq!(toks[6], ("max", TokenKind::Ident));
+        assert!(toks.contains(&("3.5e2", TokenKind::Num)));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "a /* outer /* inner */ still */ b";
+        let toks = texts(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].1, TokenKind::BlockComment);
+        assert_eq!(toks[2], ("b", TokenKind::Ident));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_and_variants() {
+        let src = r####"x r#"a "quoted" b"# br##"bytes "#" more"## c"cstr" y"####;
+        let toks = texts(src);
+        assert_eq!(toks[0], ("x", TokenKind::Ident));
+        assert_eq!(toks[1].1, TokenKind::Str);
+        assert!(toks[1].0.starts_with("r#\""));
+        assert_eq!(toks[2].1, TokenKind::Str);
+        assert!(toks[2].0.starts_with("br##"));
+        assert_eq!(toks[3].1, TokenKind::Str);
+        assert!(toks[3].0.starts_with("c\""));
+        assert_eq!(toks[4], ("y", TokenKind::Ident));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let src = "'a' 'static '\\'' b'x' &'a str 'label: loop {}";
+        let toks = texts(src);
+        assert_eq!(toks[0], ("'a'", TokenKind::Char));
+        assert_eq!(toks[1], ("'static", TokenKind::Lifetime));
+        assert_eq!(toks[2], ("'\\''", TokenKind::Char));
+        assert_eq!(toks[3], ("b'x'", TokenKind::Char));
+        assert_eq!(toks[5], ("'a", TokenKind::Lifetime));
+        assert_eq!(toks[7], ("'label", TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "r#match r#fn normal";
+        let toks = texts(src);
+        assert_eq!(toks[0], ("r#match", TokenKind::Ident));
+        assert_eq!(toks[1], ("r#fn", TokenKind::Ident));
+        assert_eq!(toks[2], ("normal", TokenKind::Ident));
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panicking() {
+        for src in ["\"abc", "r#\"abc", "/* never closed", "'x", "b'"] {
+            let toks = tokenize(src);
+            assert!(!toks.is_empty(), "{src:?}");
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks = tokenize(src);
+        let lines: Vec<(String, usize)> =
+            toks.iter().map(|t| (t.text(src).to_string(), t.line)).collect();
+        assert_eq!(lines[0], ("a".into(), 1));
+        assert_eq!(lines[1], ("\"two\nlines\"".into(), 2));
+        assert_eq!(lines[2], ("b".into(), 4));
+        assert_eq!(lines[4], ("e".into(), 5));
+    }
+
+    #[test]
+    fn spans_partition_the_source() {
+        let src = "fn f() -> Vec<u8> { vec![0; 3] } // tail\n";
+        let toks = tokenize(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert!(t.start >= pos, "overlap at {}", t.start);
+            assert!(src[pos..t.start].chars().all(char::is_whitespace));
+            pos = t.end;
+        }
+        assert!(src[pos..].chars().all(char::is_whitespace));
+    }
+}

@@ -1,0 +1,127 @@
+//! `hidap-lint` CLI: scans the workspace and prints findings.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/io error.
+
+#![forbid(unsafe_code)]
+
+use lint::{analyze, rule_named, scan_workspace, RULES};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Writes a block of text to stdout. A closed pipe (`hidap-lint | head`) is
+/// the consumer's normal way to stop reading, not a reason to panic, so the
+/// caller maps the result through [`finish`].
+fn print_out(text: &str) -> io::Result<()> {
+    let mut out = io::stdout().lock();
+    out.write_all(text.as_bytes())?;
+    if !text.ends_with('\n') {
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Resolves a stdout write into the exit code: broken pipe keeps the
+/// intended code, any other io error becomes a usage/io failure.
+fn finish(result: io::Result<()>, code: ExitCode) -> ExitCode {
+    match result {
+        Ok(()) => code,
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => code,
+        Err(e) => {
+            eprintln!("hidap-lint: cannot write to stdout: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+hidap-lint: workspace invariant checker for the hidap placer
+
+USAGE:
+    cargo run -p lint --release [-- OPTIONS]
+
+OPTIONS:
+    --root <dir>      workspace root to scan (default: .)
+    --explain <rule>  print a rule's full rationale and exit
+    --list            list the rule names and one-line summaries
+    -h, --help        this help
+
+RULES:
+    hash-iter     no HashMap/HashSet iteration in deterministic crates
+    daemon-panic  no unwrap/expect/panic!/slice-index on the daemon path
+    wall-clock    no Instant::now/SystemTime::now outside timing code
+    heap-size     heap-owning pub structs must impl HeapSize
+    test-env      no sleep/env/thread-count reads in non-#[ignore] tests
+    pragma        lint:allow waivers must name a rule and carry a reason
+
+Findings print as `file:line: rule: message`; waive a site with
+`// lint:allow(<rule>): <reason>`. Full rationale: docs/LINTS.md.
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut explain: Option<String> = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("hidap-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next() {
+                Some(v) => explain = Some(v),
+                None => {
+                    eprintln!("hidap-lint: --explain requires a rule name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => list = true,
+            "-h" | "--help" => {
+                return finish(print_out(USAGE), ExitCode::SUCCESS);
+            }
+            other => {
+                eprintln!("hidap-lint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        let table: String =
+            RULES.iter().map(|r| format!("{:<13} {}\n", r.name, r.summary)).collect();
+        return finish(print_out(&table), ExitCode::SUCCESS);
+    }
+
+    if let Some(name) = explain {
+        return match rule_named(&name) {
+            Some(rule) => finish(print_out(rule.explain), ExitCode::SUCCESS),
+            None => {
+                eprintln!(
+                    "hidap-lint: no rule named `{name}`; known rules: {}",
+                    RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let files = match scan_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("hidap-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = analyze(&files);
+    if findings.is_empty() {
+        eprintln!("hidap-lint: {} files clean", files.len());
+        return ExitCode::SUCCESS;
+    }
+    let report: String = findings.iter().map(|f| format!("{f}\n")).collect();
+    eprintln!("hidap-lint: {} finding(s) in {} files", findings.len(), files.len());
+    finish(print_out(&report), ExitCode::FAILURE)
+}

@@ -1,0 +1,87 @@
+//! Property tests of the lexer's totality: any input lexes without panicking,
+//! and the token spans tile the source exactly.
+
+use lint::lexer::{tokenize, TokenKind};
+use proptest::prelude::*;
+
+/// Fragments biased toward the constructs the lexer special-cases: raw
+/// strings, nested comments, lifetimes vs chars, ranges vs floats — plus
+/// unterminated openers, which must still lex to EOF.
+fn fragment() -> impl Strategy<Value = String> {
+    prop::sample::select(
+        [
+            "fn main() {}",
+            "let r = 0..10;",
+            "let f = 1.5e3;",
+            "r#\"raw \" quote\"#",
+            "br##\"fenced\"##",
+            "c\"c string\"",
+            "'a",
+            "'x'",
+            "b'\\n'",
+            "\"esc \\\" aped\"",
+            "/* outer /* inner */ still */",
+            "// line comment",
+            "r#match",
+            "ident_0",
+            "::<>",
+            "'\\u{1F600}'",
+            "\"unterminated",
+            "/* unterminated",
+            "r#\"unterminated raw",
+            "'",
+            "#",
+            "\\",
+            "\u{0}",
+            "日本語",
+            " \t\n",
+        ]
+        .map(str::to_string)
+        .to_vec(),
+    )
+}
+
+fn soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(fragment(), 0..24).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn lexing_never_panics_and_spans_tile_the_source(src in soup()) {
+        let toks = tokenize(&src);
+        // spans tile [0, len): in order, non-empty, and anything between two
+        // tokens (or after the last) is whitespace the lexer skipped
+        let mut pos = 0;
+        let mut line = 1;
+        for t in &toks {
+            prop_assert!(t.start >= pos, "overlap before {:?} in {:?}", t, src);
+            prop_assert!(
+                src[pos..t.start].chars().all(char::is_whitespace),
+                "non-whitespace bytes dropped before {:?} in {:?}", t, src
+            );
+            prop_assert!(t.end > t.start, "empty token {:?}", t);
+            prop_assert!(t.line >= line, "line numbers are monotone");
+            line = t.line;
+            pos = t.end;
+        }
+        prop_assert!(
+            src[pos..].chars().all(char::is_whitespace),
+            "trailing non-whitespace unlexed in {:?}", src
+        );
+        // every span is a valid char boundary pair (text() cannot panic)
+        for t in &toks {
+            let _ = t.text(&src);
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_round_trip_their_text(word in "[a-z][a-z0-9_]{0,10}") {
+        let src = format!("// note {word}\nlet s = \"{word}\"; /* {word} */");
+        let toks = tokenize(&src);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert!(texts.contains(&format!("// note {word}").as_str()));
+        prop_assert!(texts.contains(&format!("\"{word}\"").as_str()));
+        prop_assert!(texts.contains(&format!("/* {word} */").as_str()));
+        prop_assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+}

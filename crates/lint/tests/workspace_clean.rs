@@ -1,0 +1,19 @@
+//! The gating check, as a test: the workspace this lint ships in must itself
+//! be clean. CI runs the binary too (`cargo run -p lint --release`); this
+//! keeps plain `cargo test` equally honest.
+
+use lint::{analyze, scan_workspace};
+use std::path::Path;
+
+#[test]
+fn the_workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = scan_workspace(&root).expect("workspace sources are readable");
+    assert!(files.len() > 100, "the scan must cover the whole workspace, got {}", files.len());
+    let findings = analyze(&files);
+    assert!(
+        findings.is_empty(),
+        "fix or pragma these before shipping:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

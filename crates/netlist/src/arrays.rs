@@ -12,6 +12,8 @@ use std::collections::HashMap;
 /// The result of splitting a bit-level name into an array base name and a
 /// bit index.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// lint:allow(heap-size): elaboration transient (per-bit name scratch); dropped before
+// any design reaches a store
 pub struct ArrayBit {
     /// The array (bus) base name, e.g. `u_core/data_reg`.
     pub base: String,
@@ -65,6 +67,8 @@ pub fn split_array_name(name: &str) -> ArrayBit {
 
 /// A group of bit-level items recognized as one array.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// lint:allow(heap-size): elaboration transient grouping bits during parsing; never
+// resident in a byte-budgeted store
 pub struct ArrayGroup<T> {
     /// The array base name.
     pub base: String,

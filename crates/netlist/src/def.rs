@@ -34,6 +34,7 @@ pub enum PlaceStatus {
 
 /// One component (cell instance) entry of a DEF file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// lint:allow(heap-size): parser AST transient; consumed by apply_to and dropped
 pub struct DefComponent {
     /// Instance name.
     pub name: String,
@@ -49,6 +50,7 @@ pub struct DefComponent {
 
 /// One pin (primary port) entry of a DEF file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// lint:allow(heap-size): parser AST transient; consumed by apply_to and dropped
 pub struct DefPin {
     /// Pin name.
     pub name: String,
@@ -58,6 +60,7 @@ pub struct DefPin {
 
 /// Parsed contents of a DEF file.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+// lint:allow(heap-size): parser AST transient; consumed by apply_to and dropped
 pub struct DefFile {
     /// Design name.
     pub design: String,
@@ -409,6 +412,7 @@ fn parse_pins(lx: &mut Lexer<'_>) -> Result<Vec<DefPin>, ParseError> {
 
 /// A macro placement to be written out as DEF.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// lint:allow(heap-size): DEF-emit transient; built, written out, dropped
 pub struct PlacementEntry {
     /// Instance name.
     pub name: String,
@@ -422,36 +426,58 @@ pub struct PlacementEntry {
     pub fixed: bool,
 }
 
+/// Streams a DEF file — die area, macro placements and port locations — to
+/// any [`std::io::Write`] sink.
+///
+/// This is the primary emit path: writing a `large_soc`-scale DEF through a
+/// `BufWriter` never materializes the multi-megabyte text. [`write_def`] is
+/// a thin wrapper for callers that do want the `String`, byte-identical to
+/// this stream.
+pub fn write_def_to<W: std::io::Write>(
+    out: &mut W,
+    design_name: &str,
+    dbu_per_micron: i64,
+    die: Rect,
+    entries: &[PlacementEntry],
+    pins: &[(String, Point)],
+) -> std::io::Result<()> {
+    out.write_all(b"VERSION 5.8 ;\n")?;
+    writeln!(out, "DESIGN {design_name} ;")?;
+    writeln!(out, "UNITS DISTANCE MICRONS {dbu_per_micron} ;")?;
+    writeln!(out, "DIEAREA ( {} {} ) ( {} {} ) ;", die.llx, die.lly, die.urx, die.ury)?;
+    writeln!(out, "COMPONENTS {} ;", entries.len())?;
+    for p in entries {
+        let status = if p.fixed { "FIXED" } else { "PLACED" };
+        writeln!(
+            out,
+            "- {} {} + {} ( {} {} ) {} ;",
+            p.name, p.cell, status, p.location.x, p.location.y, p.orientation
+        )?;
+    }
+    out.write_all(b"END COMPONENTS\n")?;
+    writeln!(out, "PINS {} ;", pins.len())?;
+    for (name, pos) in pins {
+        writeln!(out, "- {name} + NET {name} + PLACED ( {} {} ) N ;", pos.x, pos.y)?;
+    }
+    out.write_all(b"END PINS\n")?;
+    out.write_all(b"END DESIGN\n")?;
+    Ok(())
+}
+
 /// Writes a DEF file with the die area, macro placements and port locations
-/// of a design.
+/// of a design, as one `String` (see [`write_def_to`] for the streaming
+/// form this wraps).
 pub fn write_def(
     design_name: &str,
     dbu_per_micron: i64,
     die: Rect,
-    placements: &[PlacementEntry],
+    entries: &[PlacementEntry],
     pins: &[(String, Point)],
 ) -> String {
-    let mut out = String::new();
-    out.push_str("VERSION 5.8 ;\n");
-    out.push_str(&format!("DESIGN {design_name} ;\n"));
-    out.push_str(&format!("UNITS DISTANCE MICRONS {dbu_per_micron} ;\n"));
-    out.push_str(&format!("DIEAREA ( {} {} ) ( {} {} ) ;\n", die.llx, die.lly, die.urx, die.ury));
-    out.push_str(&format!("COMPONENTS {} ;\n", placements.len()));
-    for p in placements {
-        let status = if p.fixed { "FIXED" } else { "PLACED" };
-        out.push_str(&format!(
-            "- {} {} + {} ( {} {} ) {} ;\n",
-            p.name, p.cell, status, p.location.x, p.location.y, p.orientation
-        ));
-    }
-    out.push_str("END COMPONENTS\n");
-    out.push_str(&format!("PINS {} ;\n", pins.len()));
-    for (name, pos) in pins {
-        out.push_str(&format!("- {name} + NET {name} + PLACED ( {} {} ) N ;\n", pos.x, pos.y));
-    }
-    out.push_str("END PINS\n");
-    out.push_str("END DESIGN\n");
-    out
+    let mut buf = Vec::new();
+    write_def_to(&mut buf, design_name, dbu_per_micron, die, entries, pins)
+        .expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("the DEF emitter writes UTF-8 only")
 }
 
 /// Convenience: builds the [`PlacementEntry`] list for a set of macro

@@ -542,6 +542,8 @@ impl crate::heap_size::HeapSize for Design {
 /// [`DesignBuilder::build`] hands them to the design, so streaming parsers
 /// never materialize an intermediate name `HashMap`.
 #[derive(Debug, Clone, Default)]
+// lint:allow(heap-size): builder is consumed by build(); only the Design it produces
+// is ever interned and accounted
 pub struct DesignBuilder {
     name: String,
     cells: Vec<Cell>,

@@ -574,6 +574,15 @@ pub fn parse_edit_script(script: &str, design: &Design) -> Result<Vec<DesignEdit
     Ok(edits)
 }
 
+/// Fingerprints are plain words; only the touched-id lists own heap.
+impl crate::heap_size::HeapSize for EditLog {
+    fn heap_bytes(&self) -> usize {
+        self.touched_cells.heap_bytes()
+            + self.touched_nets.heap_bytes()
+            + self.touched_ports.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

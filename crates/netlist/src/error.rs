@@ -4,6 +4,7 @@ use std::fmt;
 
 /// An error produced while parsing a physical-design text format.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint:allow(heap-size): error-path type; reported and dropped, never cached
 pub struct ParseError {
     /// 1-based line number where the problem was detected, if known.
     pub line: Option<usize>,

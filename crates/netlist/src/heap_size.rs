@@ -24,7 +24,7 @@
 //! assert_eq!(v.resident_bytes(), std::mem::size_of::<Vec<u32>>() + 32);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::mem::size_of;
 use std::sync::Arc;
 
@@ -114,11 +114,23 @@ impl<A: HeapSize, B: HeapSize> HeapSize for (A, B) {
     }
 }
 
+/// Estimated from the length: one `(K, V)` slot per entry plus two words
+/// of amortized node overhead (B-tree nodes hold ~11 entries and keep
+/// edge pointers), plus per-entry owned heap. Iteration is in key order,
+/// so the accounting itself is deterministic.
+impl<K: HeapSize, V: HeapSize> HeapSize for BTreeMap<K, V> {
+    fn heap_bytes(&self) -> usize {
+        self.len() * (size_of::<K>() + size_of::<V>() + 2 * size_of::<usize>())
+            + self.iter().map(|(k, v)| k.heap_bytes() + v.heap_bytes()).sum::<usize>()
+    }
+}
+
 /// Estimated from the capacity: `(K, V)` slots plus one control byte per
 /// slot (the shape of a swiss-table layout), plus per-entry owned heap.
 impl<K: HeapSize, V: HeapSize, S> HeapSize for HashMap<K, V, S> {
     fn heap_bytes(&self) -> usize {
         self.capacity() * (size_of::<K>() + size_of::<V>() + 1)
+            // lint:allow(hash-iter): summing per-entry heap bytes is order-independent
             + self.iter().map(|(k, v)| k.heap_bytes() + v.heap_bytes()).sum::<usize>()
     }
 }

@@ -222,6 +222,18 @@ impl HierarchyTree {
     }
 }
 
+impl crate::heap_size::HeapSize for HierarchyNode {
+    fn heap_bytes(&self) -> usize {
+        self.path.heap_bytes() + self.children.heap_bytes() + self.direct_cells.heap_bytes()
+    }
+}
+
+impl crate::heap_size::HeapSize for HierarchyTree {
+    fn heap_bytes(&self) -> usize {
+        self.nodes.heap_bytes() + self.index.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,9 @@
 //! assert_eq!(design.cell(m).kind, CellKind::Macro);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+
 pub mod arrays;
 pub mod connectivity;
 pub mod def;

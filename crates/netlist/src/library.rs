@@ -125,6 +125,24 @@ impl FromIterator<MacroDef> for Library {
     }
 }
 
+impl crate::heap_size::HeapSize for PinDef {
+    fn heap_bytes(&self) -> usize {
+        self.name.heap_bytes()
+    }
+}
+
+impl crate::heap_size::HeapSize for MacroDef {
+    fn heap_bytes(&self) -> usize {
+        self.name.heap_bytes() + self.pins.heap_bytes()
+    }
+}
+
+impl crate::heap_size::HeapSize for Library {
+    fn heap_bytes(&self) -> usize {
+        self.macros.heap_bytes() + self.index.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

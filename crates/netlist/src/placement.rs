@@ -77,6 +77,8 @@ impl PlacementView for HashMap<CellId, (Point, Orientation)> {
     }
 
     fn iter_placed(&self) -> Box<dyn Iterator<Item = (CellId, Point, Orientation)> + '_> {
+        // lint:allow(hash-iter): iter_placed is documented order-arbitrary; deterministic
+        // consumers sort (see placement_entries_from_view) or reduce order-independently
         Box::new(self.iter().map(|(&cell, &(loc, orient))| (cell, loc, orient)))
     }
 

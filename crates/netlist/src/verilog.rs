@@ -480,6 +480,7 @@ fn parse_module(p: &mut Parser<'_>) -> Result<Module, ParseError> {
 
 /// Options controlling how cells are classified during elaboration.
 #[derive(Debug, Clone)]
+// lint:allow(heap-size): parser configuration, not a cached artifact
 pub struct ElaborateOptions {
     /// Library-cell name prefixes classified as sequential cells.
     pub flop_prefixes: Vec<String>,

@@ -63,6 +63,8 @@ impl PlaceContext {
 
     /// Sets a deadline `budget` from now.
     pub fn with_deadline(mut self, budget: Duration) -> Self {
+        // lint:allow(wall-clock): opt-in wall-time budget requested by the caller;
+        // deterministic flows never set a deadline
         self.deadline = Some(Instant::now() + budget);
         self
     }
@@ -107,6 +109,7 @@ impl PlaceContext {
             return Some(PlaceError::Cancelled);
         }
         if let Some(deadline) = self.deadline {
+            // lint:allow(wall-clock): checks the caller's opt-in deadline (see with_deadline)
             if Instant::now() >= deadline {
                 return Some(PlaceError::DeadlineExceeded);
             }
@@ -155,6 +158,8 @@ mod tests {
     #[test]
     fn expired_deadline_interrupts() {
         let ctx = PlaceContext::new().with_deadline(Duration::from_secs(0));
+        // lint:allow(test-env): a zero deadline is already expired; the sleep only
+        // guarantees clock monotonicity has ticked, and more load makes it *more* expired
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(ctx.interrupted(), Some(PlaceError::DeadlineExceeded));
     }

@@ -61,6 +61,10 @@
 //! # Ok::<(), placer_core::PlaceError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+#![deny(clippy::unwrap_used)]
+
 pub mod batch;
 pub mod context;
 pub mod error;

@@ -111,9 +111,10 @@ impl Scheduler {
         id
     }
 
-    /// Jobs the client currently has queued (its quota charge).
+    /// Jobs the client currently has queued (its quota charge). An id that
+    /// was never registered has nothing queued.
     pub fn client_queued(&self, client: ClientId) -> usize {
-        self.clients[client.0 as usize].queued.len()
+        self.clients.get(client.0 as usize).map_or(0, |slot| slot.queued.len())
     }
 
     /// The wrapped service, for introspection ([`PlacementService::stats`],
@@ -140,7 +141,9 @@ impl Scheduler {
     ///
     /// An accepted job is queued on the service with its priority intact.
     pub fn submit(&mut self, client: ClientId, job: PlaceJob) -> Result<JobId, PlaceError> {
-        let slot = &self.clients[client.0 as usize];
+        let slot = self.clients.get(client.0 as usize).ok_or_else(|| {
+            PlaceError::InvalidRequest(format!("unregistered client id {}", client.0))
+        })?;
         if slot.queued.len() >= self.quota {
             return Err(PlaceError::QuotaExceeded { client: slot.name.clone(), quota: self.quota });
         }
@@ -155,7 +158,9 @@ impl Scheduler {
             }
         }
         let id = self.service.submit(job);
-        self.clients[client.0 as usize].queued.push(id);
+        if let Some(slot) = self.clients.get_mut(client.0 as usize) {
+            slot.queued.push(id);
+        }
         self.owners.insert(id, client);
         Ok(id)
     }
@@ -190,7 +195,9 @@ impl Scheduler {
     /// Removes a drained job's quota charge.
     fn uncharge(&mut self, id: JobId) {
         if let Some(client) = self.owners.remove(&id) {
-            self.clients[client.0 as usize].queued.retain(|&qid| qid != id);
+            if let Some(slot) = self.clients.get_mut(client.0 as usize) {
+                slot.queued.retain(|&qid| qid != id);
+            }
         }
     }
 }
@@ -307,6 +314,29 @@ mod tests {
         sched.drain();
         assert!(sched.take_result(ok).unwrap().is_ok());
         assert!(sched.take_result(retry).unwrap().is_ok());
+    }
+
+    #[test]
+    fn unregistered_client_is_rejected_not_fatal() {
+        // regression: submitting under a never-registered client id used to
+        // index out of bounds and take the daemon down (hidap-lint rule
+        // daemon-panic); it must be an error the session can report
+        let mut sched = Scheduler::new(builtin_registry());
+        let d = sched.service_mut().intern(pipeline_design("p1", 8));
+        let ghost = ClientId(99);
+        assert_eq!(sched.client_queued(ghost), 0, "an unknown id has nothing queued");
+        match sched.submit(ghost, fast_job(d)) {
+            Err(PlaceError::InvalidRequest(reason)) => {
+                assert!(reason.contains("unregistered"), "remedy named: {reason}");
+            }
+            other => panic!("expected an invalid-request error, got {other:?}"),
+        }
+        // the scheduler survives: a properly registered client still gets
+        // service afterwards
+        let client = sched.register_client("alice");
+        let job = sched.submit(client, fast_job(d)).unwrap();
+        sched.drain();
+        assert!(sched.take_result(job).unwrap().is_ok());
     }
 
     #[test]

@@ -399,8 +399,10 @@ impl PlacementService {
     /// front ends can poll it freely.
     pub fn job_state(&self, id: JobId) -> JobState {
         let order = self.drain_order();
-        if let Some(position) = order.iter().position(|&(qid, _)| qid == id) {
-            return JobState::Queued { position, priority: order[position].1 };
+        if let Some((position, &(_, priority))) =
+            order.iter().enumerate().find(|(_, &(qid, _))| qid == id)
+        {
+            return JobState::Queued { position, priority };
         }
         if let Some(result) = self.results.get(&id) {
             return JobState::Finished { ok: result.is_ok() };
@@ -472,7 +474,7 @@ impl PlacementService {
             let result = if self.cancel.is_cancelled() {
                 Err(PlaceError::Cancelled)
             } else {
-                self.run_job(*id, job, &ids[i + 1..])
+                self.run_job(*id, job, ids.get(i + 1..).unwrap_or(&[]))
             };
             self.results.insert(*id, result);
             ran += 1;
@@ -642,7 +644,11 @@ impl PlacementService {
         if job.num_runs() == 1 {
             // single run: straight through the Placer trait (composite flows
             // like the handFP oracle are fine here)
-            let mut request = template.with_seed(job.seeds[0]);
+            let &seed = job
+                .seeds
+                .first()
+                .ok_or_else(|| PlaceError::InvalidRequest("job has no seeds".to_string()))?;
+            let mut request = template.with_seed(seed);
             if let Some(&lambda) = job.lambdas.first() {
                 request = request.with_lambda(lambda);
             }

@@ -17,6 +17,10 @@
 //! The wire format, every frame, and the daemon's determinism guarantee are
 //! documented in `docs/PROTOCOL.md`.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+#![deny(clippy::unwrap_used)]
+
 pub mod protocol;
 pub mod session;
 

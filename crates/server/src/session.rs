@@ -75,8 +75,11 @@ impl<W> SharedWriter<W> {
     }
 
     /// Locks the sink (tests use this to inspect a captured transcript).
+    /// A poisoned mutex is recovered rather than propagated: the sink is a
+    /// byte pipe with no invariants a panicked holder could have broken,
+    /// and dying here would take the whole daemon down with it.
     pub fn lock(&self) -> std::sync::MutexGuard<'_, W> {
-        self.inner.lock().expect("shared writer lock")
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -650,4 +653,26 @@ fn error_frame(cmd: &str, job: Option<u64>, error: &PlaceError) -> Frame {
         PlaceError::Flow(_) => "flow-failed",
     };
     frame.field("code", code).field("reason", error.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_writer_recovers_from_a_poisoned_lock() {
+        // regression: a FlowObserver panicking while holding the writer lock
+        // used to poison it, turning every later reply into a second panic
+        // and killing the session (hidap-lint rule daemon-panic)
+        let writer = SharedWriter::new(Vec::new());
+        let poisoner = writer.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock();
+            panic!("observer dies while holding the writer");
+        })
+        .join();
+        let mut survivor = writer.clone();
+        survivor.write_all(b"still alive\n").expect("Vec write cannot fail");
+        assert_eq!(&*writer.lock(), b"still alive\n");
+    }
 }

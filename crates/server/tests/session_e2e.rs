@@ -398,6 +398,8 @@ fn unix_socket_sessions_share_one_warm_store() {
             if let Ok(stream) = UnixStream::connect(socket) {
                 return stream;
             }
+            // lint:allow(test-env): bounded poll while the daemon socket appears;
+            // load can only delay the connect, not change the outcome
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         panic!("daemon socket never came up");
@@ -420,4 +422,48 @@ fn unix_socket_sessions_share_one_warm_store() {
     assert!(stats.seq.hits > 0, "the second connection reused the first's artifacts");
     assert!(!socket.exists(), "the daemon removes its socket on shutdown");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_script_cannot_take_the_session_down() {
+    // regression companion to the daemon-panic lint rule: every malformed or
+    // out-of-order command must come back as an err frame on the wire, and
+    // the same session must still serve real work afterwards
+    let mut server = tight_server();
+    let script = "\
+frobnicate x=1
+intern design=\"oops
+submit design=0 flow=hidap
+cancel job=42
+release design=7
+hello client=chaos
+submit design=99 flow=hidap effort=fast
+submit design=0 flow=nosuchflow
+intern design=small
+submit design=0 flow=hidap effort=fast seeds=5
+drain
+shutdown
+";
+    let (end, frames) = run_script(&mut server, script);
+    assert_eq!(end, SessionEnd::Shutdown, "the session reaches an orderly shutdown");
+
+    let errs = named(&frames, "err");
+    let codes: Vec<&str> = errs.iter().filter_map(|f| f.get("code")).collect();
+    // unknown command, unterminated quote, submit-before-hello, unknown
+    // job, unknown design handle
+    for expected in ["bad-command", "parse", "no-client", "invalid-request"] {
+        assert!(codes.contains(&expected), "missing err code {expected} in {codes:?}");
+    }
+
+    // the submits against a bogus handle and a bogus flow were queued, so
+    // their failures surface at drain time as job failures, not crashes
+    assert!(
+        frames.iter().any(|f| f.name == "err" && f.get("code") == Some("unknown-flow")),
+        "the bogus flow fails its job: {frames:?}"
+    );
+
+    // and the one real job still ran to completion in the same session
+    let done = named(&frames, "job-done");
+    assert_eq!(done.len(), 1, "exactly one job succeeds: {done:?}");
+    assert_eq!(done[0].get("seed"), Some("5"));
 }

@@ -18,6 +18,9 @@
 //! * [`emit`] — structural Verilog / LEF / DEF emission so the parsers of the
 //!   `netlist` crate can be exercised end to end.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::print_stdout)]
+
 pub mod adversarial;
 pub mod emit;
 pub mod generator;

@@ -13,6 +13,8 @@
 //! * [`eval`] — the shared measurement pipeline,
 //! * [`workload`] — synthetic hierarchical SoC generators.
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use cli;
 pub use eval;
