@@ -87,6 +87,14 @@ pub struct Options {
     /// bounds the batch's peak resident bytes; in serve mode it also feeds
     /// admission control. `None` leaves the store unbounded.
     pub memory_budget_mib: Option<f64>,
+    /// Disk spill directory for the `--manifest` batch store or the
+    /// `--serve` daemon store: budget-evicted artifacts (`Gnet`, `Gseq`,
+    /// CSR connectivity) demote to content-addressed files there and revive
+    /// by deserialization instead of reconstruction, and every successful
+    /// job persists a warm-start seed so `replace` survives a daemon
+    /// restart pointed at the same directory (see `docs/MEMORY.md`).
+    /// `None` (the default) spills nothing.
+    pub spill_dir: Option<PathBuf>,
     /// Run the placement daemon: a long-lived session speaking the line
     /// protocol of `docs/PROTOCOL.md` over stdin/stdout (or `--socket`).
     pub serve: bool,
@@ -120,6 +128,7 @@ impl Default for Options {
             seeds: Vec::new(),
             lambdas: vec![0.2, 0.5, 0.8],
             memory_budget_mib: None,
+            spill_dir: None,
             serve: false,
             socket: None,
             quota: 0,
@@ -135,8 +144,10 @@ pub const USAGE: &str = "usage: hidap --verilog <file.v> [--lef <file.lef>] [--d
 [--top <module>] [--flow hidap|indeda|handfp] [--lambda <0..1>] [--effort fast|default|high] \
 [--seed <n>] [--sweep] [--jobs <n>] [--seeds <n,n,...>] [--lambdas <l,l,...>] \
 [--out <placed.def>] [--svg <floorplan.svg>] [--report]\n\
-       hidap --manifest <designs.txt> [--memory-budget <MiB>] [shared flags as above]\n\
-       hidap --serve [--socket <path>] [--memory-budget <MiB>] [--quota <n>]\n\
+       hidap --manifest <designs.txt> [--memory-budget <MiB>] [--spill-dir <dir>] [shared flags \
+as above]\n\
+       hidap --serve [--socket <path>] [--memory-budget <MiB>] [--spill-dir <dir>] [--quota \
+<n>]\n\
 manifest lines:  <file.v> [lef=<file>] [def=<file>] [top=<name>] [flow=<name>] \
 [lambda=<0..1>] [seed=<n>] [seeds=<n,n,...>] [lambdas=<l,l,...>] [effort=<tier>]   \
 ('#' starts a comment)\n\
@@ -145,7 +156,9 @@ intern, submit, replace, cancel, release, result, stats, drain, shutdown)\n\
 docs/ECO.md covers incremental ECO re-placement: the edit-script language, selective \
 artifact invalidation and the warm-start guarantees behind the replace command\n\
 docs/SCALING.md covers the million-cell scale axis: the mega_soc preset, the streaming \
-parsers, and placing under --memory-budget";
+parsers, and placing under --memory-budget\n\
+docs/MEMORY.md covers the three-tier artifact plane: cost-aware eviction, the --spill-dir \
+disk tier and warm-start seed persistence";
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Result<Vec<T>, String> {
     value
@@ -226,6 +239,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 opts.memory_budget_mib = Some(mib);
             }
+            "--spill-dir" => opts.spill_dir = Some(PathBuf::from(value(&mut i)?)),
             "--serve" => opts.serve = true,
             "--socket" => opts.socket = Some(PathBuf::from(value(&mut i)?)),
             "--quota" => {
@@ -268,6 +282,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.memory_budget_mib.is_some() && opts.manifest.is_none() && !opts.serve {
         return Err("--memory-budget bounds the --manifest or --serve service store; it has no \
+             effect on a single-design run"
+            .to_string());
+    }
+    if opts.spill_dir.is_some() && opts.manifest.is_none() && !opts.serve {
+        return Err("--spill-dir backs the --manifest or --serve service store; it has no \
              effect on a single-design run"
             .to_string());
     }
@@ -574,7 +593,10 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
         .memory_budget_mib
         .map(|mib| (mib * (1u64 << 20) as f64) as usize)
         .unwrap_or(usize::MAX);
-    let store = placer_core::DesignStore::with_memory_budget(budget_bytes);
+    let mut store = placer_core::DesignStore::with_memory_budget(budget_bytes);
+    if let Some(dir) = &opts.spill_dir {
+        store = store.with_spill_dir(dir.clone());
+    }
     let mut service = PlacementService::with_store(registry, store).with_jobs(opts.jobs);
     // repeated lines with the same input files skip the parse entirely —
     // the front-end load is the dominant cost for large netlists
@@ -729,6 +751,18 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
         stats.artifacts.net.hits,
         stats.artifacts.evictions(),
     ));
+    if opts.spill_dir.is_some() {
+        output.push_str(&format!(
+            "spill: {} artifacts spilled, {} revived; CSR {} spilled, {} revived; {} seeds \
+             persisted, {} revived\n",
+            stats.artifacts.spills(),
+            stats.artifacts.revives(),
+            stats.csr_spills,
+            stats.csr_revives,
+            stats.seed_spills,
+            stats.seed_revives,
+        ));
+    }
     output.push_str(&format!(
         "memory: {:.1} MiB resident (designs {:.1} MiB + artifacts {:.1} MiB), peak {:.1} MiB{}{}\n",
         mib(stats.resident_bytes),
@@ -757,12 +791,15 @@ pub fn run_manifest(opts: &Options) -> Result<String, String> {
 /// honoring `--quota`. Jobs drain serially (`--jobs 1` semantics) so the
 /// event stream is deterministic; see `docs/PROTOCOL.md`.
 pub fn build_server(opts: &Options) -> server::Server {
-    let store = match opts.memory_budget_mib {
+    let mut store = match opts.memory_budget_mib {
         Some(mib) => {
             placer_core::DesignStore::with_memory_budget((mib * (1u64 << 20) as f64) as usize)
         }
         None => placer_core::DesignStore::new(),
     };
+    if let Some(dir) = &opts.spill_dir {
+        store = store.with_spill_dir(dir.clone());
+    }
     let service = PlacementService::with_store(baselines::default_registry(), store).with_jobs(1);
     let mut scheduler = placer_core::Scheduler::with_service(service);
     if opts.quota > 0 {

@@ -21,16 +21,38 @@
 //! both the hidap flow's dataflow analysis and every `Gseq` variant, and a
 //! "zero NetGraph builds" CI gate can watch a single per-kind miss counter.
 //!
-//! Per-kind hit/miss/eviction counters and resident-byte totals are exposed
-//! through [`ArtifactCache::stats`] for benchmarks, CI gates and the CLI's
-//! `--manifest` summary.
+//! Per-kind hit/miss/spill/revive/eviction counters and resident-byte totals
+//! are exposed through [`ArtifactCache::stats`] for benchmarks, CI gates and
+//! the CLI's `--manifest` summary.
+//!
+//! # The three tiers (see `docs/MEMORY.md`)
+//!
+//! With a spill directory attached ([`ArtifactCache::with_spill_tier`]),
+//! eviction demotes the artifact to a content-addressed disk file instead of
+//! discarding it, and a later miss *revives* it by deserialization before
+//! falling back to reconstruction — resident → spilled → rebuilt. A revive
+//! is counted separately from a miss (`misses` still means "the constructor
+//! ran"), so a "zero graph rebuilds" gate keeps watching the miss counters.
+//!
+//! # Cost-aware eviction
+//!
+//! Eviction is not flat LRU: each entry records the wall time its
+//! construction (or revival) took, and the victim is the entry with the
+//! lowest *build-nanoseconds per resident byte* — the cheapest entry to
+//! regain relative to the bytes it frees. An expensive `Gseq` is therefore
+//! pinned while a cheap same-size `Gnet` is shed first; ties fall back to
+//! least-recently-used, and the most-recently-touched entry is never the
+//! victim. Measured time feeds *only* this choice — eviction affects
+//! timing, never results.
 
 use crate::metrics::DesignKey;
+use crate::spill::SpillTier;
 use graphs::seqgraph::SeqGraphConfig;
 use graphs::{NetGraph, SeqGraph};
 use netlist::design::Design;
 use netlist::HeapSize;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The kinds of design-derived artifacts the cache can hold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,8 +73,9 @@ impl ArtifactKind {
     }
 }
 
-/// Hit/miss/eviction counters of one artifact kind. A *miss* is a build:
-/// `misses` counts how many times this kind's constructor actually ran.
+/// Hit/miss/spill/revive/eviction counters of one artifact kind. A *miss*
+/// is a build: `misses` counts how many times this kind's constructor
+/// actually ran — a revive from the disk spill tier is **not** a miss.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KindStats {
     /// Fetches served from the cache.
@@ -62,6 +85,11 @@ pub struct KindStats {
     /// Entries dropped to stay under the byte budget (or by explicit
     /// design eviction).
     pub evictions: u64,
+    /// Evictions that demoted the artifact to the disk spill tier.
+    pub spills: u64,
+    /// Fetches served by deserializing a spilled artifact instead of
+    /// rebuilding it.
+    pub revives: u64,
 }
 
 /// A point-in-time snapshot of the cache: per-kind counters plus the
@@ -95,6 +123,17 @@ impl ArtifactCacheStats {
     pub fn evictions(&self) -> u64 {
         self.seq.evictions + self.net.evictions
     }
+
+    /// Total artifacts demoted to the disk spill tier, across kinds.
+    pub fn spills(&self) -> u64 {
+        self.seq.spills + self.net.spills
+    }
+
+    /// Total fetches served by deserializing a spilled artifact, across
+    /// kinds.
+    pub fn revives(&self) -> u64 {
+        self.seq.revives + self.net.revives
+    }
 }
 
 /// One cache slot identity: the design, the kind, and (for `Gseq`) the
@@ -106,6 +145,27 @@ struct ArtifactKey {
     kind: ArtifactKind,
     /// `Some` for sequential graphs, `None` for the config-less `Gnet`.
     seq_config: Option<SeqGraphConfig>,
+}
+
+impl ArtifactKey {
+    /// The content address of this key in the spill tier: the file stem
+    /// (kind prefix + 16 hex digits) and the fingerprint written into the
+    /// file header, folding the design identity and the construction config.
+    fn spill_identity(&self) -> (String, u64) {
+        let mut h = netlist::Fnv1a::new();
+        h.write_u64(self.design.fingerprint());
+        h.write_sep();
+        match self.seq_config {
+            None => h.write_sep(),
+            Some(cfg) => h.write_u64(cfg.min_register_bits),
+        }
+        let fp = h.finish();
+        let prefix = match self.kind {
+            ArtifactKind::NetGraph => "gnet",
+            ArtifactKind::SeqGraph => "gseq",
+        };
+        (format!("{prefix}-{fp:016x}"), fp)
+    }
 }
 
 /// A cached artifact (the cache's owning reference).
@@ -121,6 +181,17 @@ struct Entry {
     value: ArtifactValue,
     /// [`HeapSize`] bytes of the artifact plus its key, fixed at insert.
     bytes: usize,
+    /// Measured wall nanoseconds the artifact's construction (or revival)
+    /// took — the numerator of the cost-aware eviction ratio.
+    cost_nanos: u64,
+}
+
+impl Entry {
+    /// Build-nanoseconds per resident byte: the cost-aware eviction metric.
+    /// Lower means cheaper to regain per byte freed — evicted first.
+    fn cost_per_byte(&self) -> f64 {
+        self.cost_nanos as f64 / self.bytes.max(1) as f64
+    }
 }
 
 /// The guarded LRU state: entries ordered least- to most-recently used.
@@ -131,6 +202,9 @@ struct ArtifactLru {
     resident: usize,
     seq: KindStats,
     net: KindStats,
+    /// The disk spill tier, when one is attached (`None` = evictions
+    /// discard).
+    spill: Option<SpillTier>,
 }
 
 /// A cheap-clone, thread-safe, byte-budgeted LRU of design-derived
@@ -178,8 +252,22 @@ impl ArtifactCache {
                 resident: 0,
                 seq: KindStats::default(),
                 net: KindStats::default(),
+                spill: None,
             })),
         }
+    }
+
+    /// Attaches a disk spill tier: evictions demote artifacts to
+    /// content-addressed files under the tier's directory, and misses try
+    /// deserialization before rebuilding (see the [module docs](self)).
+    pub fn with_spill_tier(self, tier: SpillTier) -> Self {
+        self.inner.lock().expect("artifact cache lock").spill = Some(tier);
+        self
+    }
+
+    /// The attached spill tier, if any (clones address the same directory).
+    pub fn spill_tier(&self) -> Option<SpillTier> {
+        self.inner.lock().expect("artifact cache lock").spill.clone()
     }
 
     /// The netlist graph `Gnet` of `design`, built on first use and cached.
@@ -208,10 +296,20 @@ impl ArtifactCache {
             lru.seq.hits += 1;
             return gseq;
         }
+        // spilled? revive by deserialization — no Gnet needed, no miss
+        if let Some((ArtifactValue::Seq(gseq), cost)) = lru.revive(&seq_key) {
+            lru.seq.revives += 1;
+            lru.insert(seq_key, ArtifactValue::Seq(gseq.clone()), cost);
+            lru.enforce_budget();
+            return gseq;
+        }
         let gnet = lru.net_graph(&key, design);
+        // timing feeds only the eviction policy, never a result
+        let start = Instant::now(); // lint:allow(wall-clock): eviction-cost measurement
         let gseq = Arc::new(SeqGraph::from_netgraph(design, &gnet, config));
+        let cost = start.elapsed().as_nanos() as u64;
         lru.seq.misses += 1;
-        lru.insert(seq_key, ArtifactValue::Seq(gseq.clone()));
+        lru.insert(seq_key, ArtifactValue::Seq(gseq.clone()), cost);
         lru.enforce_budget();
         gseq
     }
@@ -232,7 +330,7 @@ impl ArtifactCache {
         while i < lru.entries.len() {
             if lru.entries[i].key.design == *key {
                 let entry = lru.entries.remove(i);
-                lru.note_eviction(&entry);
+                lru.evict(entry);
                 removed += 1;
             } else {
                 i += 1;
@@ -283,6 +381,19 @@ impl ArtifactCache {
     pub fn budget_bytes(&self) -> usize {
         self.inner.lock().expect("artifact cache lock").budget
     }
+
+    /// Test hook: pins the recorded build cost of every currently resident
+    /// entry matching `kind` and `key` (any config), making the cost-aware
+    /// eviction order deterministic under test.
+    #[cfg(test)]
+    fn set_cost(&self, kind: ArtifactKind, key: &DesignKey, cost_nanos: u64) {
+        let mut lru = self.inner.lock().expect("artifact cache lock");
+        for entry in &mut lru.entries {
+            if entry.key.kind == kind && entry.key.design == *key {
+                entry.cost_nanos = cost_nanos;
+            }
+        }
+    }
 }
 
 impl ArtifactLru {
@@ -295,8 +406,9 @@ impl ArtifactLru {
         Some(value)
     }
 
-    /// The `Gnet` of `design` (counting a hit or a miss), inserted on a
-    /// miss. Shared by the public `Gnet` fetch and the `Gseq` miss path.
+    /// The `Gnet` of `design` (counting a hit, a revive or a miss), inserted
+    /// when absent. Shared by the public `Gnet` fetch and the `Gseq` miss
+    /// path.
     fn net_graph(&mut self, key: &DesignKey, design: &Design) -> Arc<NetGraph> {
         let net_key =
             ArtifactKey { design: key.clone(), kind: ArtifactKind::NetGraph, seq_config: None };
@@ -304,14 +416,39 @@ impl ArtifactLru {
             self.net.hits += 1;
             return gnet;
         }
+        if let Some((ArtifactValue::Net(gnet), cost)) = self.revive(&net_key) {
+            self.net.revives += 1;
+            self.insert(net_key, ArtifactValue::Net(gnet.clone()), cost);
+            return gnet;
+        }
+        // timing feeds only the eviction policy, never a result
+        let start = Instant::now(); // lint:allow(wall-clock): eviction-cost measurement
         let gnet = Arc::new(NetGraph::from_design(design));
+        let cost = start.elapsed().as_nanos() as u64;
         self.net.misses += 1;
-        self.insert(net_key, ArtifactValue::Net(gnet.clone()));
+        self.insert(net_key, ArtifactValue::Net(gnet.clone()), cost);
         gnet
     }
 
+    /// Tries the disk spill tier for `key`: on a validated decode, returns
+    /// the artifact and the wall nanoseconds the revival took (its eviction
+    /// cost — a revived entry is as cheap to regain as one deserialization).
+    /// Any failure (no tier, no file, corrupt file, decode error) is `None`
+    /// and the caller falls back to a rebuild.
+    fn revive(&mut self, key: &ArtifactKey) -> Option<(ArtifactValue, u64)> {
+        let tier = self.spill.as_ref()?;
+        let (stem, fp) = key.spill_identity();
+        let start = Instant::now(); // lint:allow(wall-clock): eviction-cost measurement
+        let payload = tier.load(&stem, fp)?;
+        let value = match key.kind {
+            ArtifactKind::NetGraph => ArtifactValue::Net(Arc::new(NetGraph::decode(&payload)?)),
+            ArtifactKind::SeqGraph => ArtifactValue::Seq(Arc::new(SeqGraph::decode(&payload)?)),
+        };
+        Some((value, start.elapsed().as_nanos() as u64))
+    }
+
     /// Appends an entry at the most-recent end, accounting its bytes.
-    fn insert(&mut self, key: ArtifactKey, value: ArtifactValue) {
+    fn insert(&mut self, key: ArtifactKey, value: ArtifactValue, cost_nanos: u64) {
         let bytes = std::mem::size_of::<Entry>()
             + key.design.name().len()
             + match &value {
@@ -319,20 +456,56 @@ impl ArtifactLru {
                 ArtifactValue::Seq(g) => g.resident_bytes(),
             };
         self.resident += bytes;
-        self.entries.push(Entry { key, value, bytes });
+        self.entries.push(Entry { key, value, bytes, cost_nanos });
     }
 
-    /// Evicts least-recently-used entries until the cache fits its budget,
-    /// always keeping the most-recent entry.
+    /// Evicts entries until the cache fits its budget, always keeping the
+    /// most-recent entry. The victim each round is the entry cheapest to
+    /// regain per byte freed (lowest [`Entry::cost_per_byte`]); ties go to
+    /// the least recently used.
     fn enforce_budget(&mut self) {
         while self.resident > self.budget && self.entries.len() > 1 {
-            let entry = self.entries.remove(0);
-            self.note_eviction(&entry);
+            let victim = self.cheapest_victim();
+            let entry = self.entries.remove(victim);
+            self.evict(entry);
         }
     }
 
-    /// Books an eviction: byte accounting plus the per-kind counter.
-    fn note_eviction(&mut self, entry: &Entry) {
+    /// Index of the eviction victim: lowest cost-per-byte among every entry
+    /// but the most-recent one; the earliest (least recently used) entry
+    /// wins ties.
+    fn cheapest_victim(&self) -> usize {
+        let candidates = &self.entries[..self.entries.len() - 1];
+        let mut best = 0;
+        let mut best_ratio = f64::INFINITY;
+        for (i, entry) in candidates.iter().enumerate() {
+            let ratio = entry.cost_per_byte();
+            if ratio < best_ratio {
+                best = i;
+                best_ratio = ratio;
+            }
+        }
+        best
+    }
+
+    /// Books an eviction: demote to the spill tier when one is attached
+    /// (counting a spill if the file lands), then the byte accounting and
+    /// the per-kind eviction counter.
+    fn evict(&mut self, entry: Entry) {
+        if let Some(tier) = &self.spill {
+            let (stem, fp) = entry.key.spill_identity();
+            let mut payload = Vec::new();
+            match &entry.value {
+                ArtifactValue::Net(g) => g.encode(&mut payload),
+                ArtifactValue::Seq(g) => g.encode(&mut payload),
+            }
+            if tier.store(&stem, fp, &payload) {
+                match entry.key.kind {
+                    ArtifactKind::NetGraph => self.net.spills += 1,
+                    ArtifactKind::SeqGraph => self.seq.spills += 1,
+                }
+            }
+        }
         self.resident -= entry.bytes;
         match entry.key.kind {
             ArtifactKind::NetGraph => self.net.evictions += 1,
@@ -418,7 +591,7 @@ mod tests {
     }
 
     #[test]
-    fn byte_budget_evicts_least_recently_used_first() {
+    fn byte_budget_evicts_cheapest_per_byte_first() {
         let designs = keyed_designs();
         let per_design = bytes_per_design(&designs[0]);
         // room for two designs' worth of artifacts (the designs are
@@ -426,22 +599,132 @@ mod tests {
         let cache = ArtifactCache::with_budget(2 * per_design + per_design / 2);
         cache.get_or_build(&designs[0]);
         cache.get_or_build(&designs[1]);
-        // touch both of design 0's artifacts so design 1's entries become
-        // the eviction candidates (recency is per entry, not per design)
-        cache.get_or_build(&designs[0]);
-        cache.get_or_build_net(&designs[0]);
-        cache.get_or_build(&designs[2]);
         let (k0, k1, k2) =
             (DesignKey::of(&designs[0]), DesignKey::of(&designs[1]), DesignKey::of(&designs[2]));
-        assert!(cache.contains(ArtifactKind::SeqGraph, &k0));
-        assert!(!cache.contains(ArtifactKind::SeqGraph, &k1), "LRU design was evicted");
+        // pin costs: design 0 was *older* but expensive to build, design 1
+        // newer but free — the cost-aware policy must shed design 1 first,
+        // where flat LRU would have shed design 0
+        for kind in [ArtifactKind::NetGraph, ArtifactKind::SeqGraph] {
+            cache.set_cost(kind, &k0, u64::MAX / 2);
+            cache.set_cost(kind, &k1, 0);
+        }
+        cache.get_or_build(&designs[2]);
+        assert!(cache.contains(ArtifactKind::SeqGraph, &k0), "expensive entries are pinned");
+        assert!(!cache.contains(ArtifactKind::SeqGraph, &k1), "cheapest-per-byte was evicted");
         assert!(cache.contains(ArtifactKind::SeqGraph, &k2));
         assert!(cache.stats().evictions() >= 2, "design 1's Gnet and Gseq both left");
         assert!(cache.resident_bytes() <= cache.budget_bytes());
-        // re-requesting the evicted design rebuilds it (a fresh miss)
+        // re-requesting the evicted design rebuilds it (a fresh miss —
+        // no spill tier is attached here)
         let misses = cache.stats().seq.misses;
         cache.get_or_build(&designs[1]);
         assert_eq!(cache.stats().seq.misses, misses + 1);
+    }
+
+    #[test]
+    fn expensive_gseq_is_pinned_while_cheap_gnet_is_shed() {
+        let designs = keyed_designs();
+        let cache = ArtifactCache::with_budget(usize::MAX);
+        cache.get_or_build(&designs[0]);
+        cache.get_or_build(&designs[1]);
+        let (k0, k1) = (DesignKey::of(&designs[0]), DesignKey::of(&designs[1]));
+        // every Gnet free to rebuild, every Gseq expensive
+        for k in [&k0, &k1] {
+            cache.set_cost(ArtifactKind::NetGraph, k, 0);
+            cache.set_cost(ArtifactKind::SeqGraph, k, u64::MAX / 2);
+        }
+        // shrink the budget one entry at a time and watch the victim order:
+        // both cheap Gnets must go (oldest first) before any pinned Gseq
+        let shrink = || {
+            let mut lru = cache.inner.lock().expect("artifact cache lock");
+            lru.budget = lru.resident - 1;
+            lru.enforce_budget();
+        };
+        shrink();
+        assert!(!cache.contains(ArtifactKind::NetGraph, &k0), "oldest cheap Gnet goes first");
+        assert!(cache.contains(ArtifactKind::NetGraph, &k1));
+        shrink();
+        assert!(!cache.contains(ArtifactKind::NetGraph, &k1), "second cheap Gnet next");
+        assert!(cache.contains(ArtifactKind::SeqGraph, &k0), "expensive Gseq still pinned");
+        shrink();
+        assert!(!cache.contains(ArtifactKind::SeqGraph, &k0), "only then the older Gseq");
+        assert!(cache.contains(ArtifactKind::SeqGraph, &k1));
+    }
+
+    fn spill_scratch(test: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hidap-artifacts-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn evicted_artifacts_spill_and_revive_bit_identically() {
+        let designs = keyed_designs();
+        let dir = spill_scratch("revive");
+        let cache = ArtifactCache::new().with_spill_tier(crate::SpillTier::new(&dir));
+        let cfg = SeqGraphConfig::default();
+        let fresh_seq = cache.get_or_build_seq(&designs[0], &cfg);
+        let fresh_net = cache.get_or_build_net(&designs[0]);
+        let key = DesignKey::of(&designs[0]);
+        assert_eq!(cache.evict_design(&key), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.net.spills, stats.seq.spills), (1, 1), "both kinds spilled");
+
+        // the next fetch revives from disk: no rebuild (misses frozen)
+        let revived_seq = cache.get_or_build_seq(&designs[0], &cfg);
+        let revived_net = cache.get_or_build_net(&designs[0]);
+        let stats = cache.stats();
+        assert_eq!((stats.net.misses, stats.seq.misses), (1, 1), "zero graph rebuilds");
+        assert_eq!((stats.net.revives, stats.seq.revives), (1, 1));
+        assert_eq!(*revived_seq, *fresh_seq, "revived Gseq is bit-identical");
+        assert_eq!(*revived_net, *fresh_net, "revived Gnet is bit-identical");
+        assert_eq!(*revived_seq, SeqGraph::from_design(&designs[0], &cfg));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_files_degrade_to_a_counted_rebuild_miss() {
+        let designs = keyed_designs();
+        let dir = spill_scratch("corrupt");
+        let cache = ArtifactCache::new().with_spill_tier(crate::SpillTier::new(&dir));
+        cache.get_or_build(&designs[0]);
+        cache.evict_design(&DesignKey::of(&designs[0]));
+        assert_eq!(cache.stats().spills(), 2);
+        // truncate every spill file in place
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+            let bytes = std::fs::read(entry.path()).unwrap();
+            std::fs::write(entry.path(), &bytes[..bytes.len() / 2]).unwrap();
+        }
+        let revived = cache.get_or_build(&designs[0]);
+        let stats = cache.stats();
+        assert_eq!(stats.revives(), 0, "corrupt files revive nothing");
+        assert_eq!((stats.net.misses, stats.seq.misses), (2, 2), "degraded to a rebuild miss");
+        assert_eq!(*revived, SeqGraph::from_design(&designs[0], &SeqGraphConfig::default()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_spill_dir_runs_like_no_spill_at_all() {
+        let designs = keyed_designs();
+        let root = spill_scratch("unwritable");
+        std::fs::create_dir_all(&root).unwrap();
+        let anchor = root.join("anchor");
+        std::fs::write(&anchor, b"").unwrap();
+        // the spill "directory" nests under a regular file: every store and
+        // load fails, and the cache must behave exactly like spill-less
+        let cache =
+            ArtifactCache::new().with_spill_tier(crate::SpillTier::new(anchor.join("nested")));
+        cache.get_or_build(&designs[0]);
+        cache.evict_design(&DesignKey::of(&designs[0]));
+        let stats = cache.stats();
+        assert_eq!(stats.spills(), 0, "nothing lands on disk");
+        assert_eq!(stats.evictions(), 2, "evictions still happen");
+        cache.get_or_build(&designs[0]);
+        let stats = cache.stats();
+        assert_eq!(stats.revives(), 0);
+        assert_eq!((stats.net.misses, stats.seq.misses), (2, 2), "rebuild misses as usual");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

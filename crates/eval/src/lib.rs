@@ -19,7 +19,11 @@
 //!   graphs (the paper's interactive visualization tool, as static output),
 //! * [`metrics`] — the [`Evaluator`] session driving all of the above,
 //! * [`artifacts`] — the typed, byte-budgeted [`ArtifactCache`] of
-//!   design-derived graphs (`Gnet`, `Gseq`) behind every session and store.
+//!   design-derived graphs (`Gnet`, `Gseq`) behind every session and store,
+//!   with cost-aware eviction (build time weighed against bytes),
+//! * [`spill`] — the optional disk spill tier beneath the cache: evicted
+//!   artifacts demote to content-addressed files and revive by
+//!   deserialization instead of reconstruction (see `docs/MEMORY.md`).
 //!
 //! Placements enter the pipeline through the dense, id-indexed
 //! [`netlist::PlacementView`] trait: flow outputs evaluate directly
@@ -35,6 +39,7 @@ pub mod congestion;
 pub mod density;
 pub mod metrics;
 pub mod placer;
+pub mod spill;
 pub mod timing;
 pub mod visualize;
 pub mod wirelength;
@@ -44,5 +49,6 @@ pub use congestion::{CongestionConfig, CongestionMap};
 pub use density::DensityMap;
 pub use metrics::{DesignKey, EvalConfig, Evaluator, PlacementMetrics};
 pub use placer::{place_standard_cells, place_standard_cells_warm, CellPlacement, PlacerConfig};
+pub use spill::SpillTier;
 pub use timing::{TimingConfig, TimingReport};
 pub use wirelength::{total_hpwl, Hpwl, IncrementalHpwl};

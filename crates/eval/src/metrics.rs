@@ -123,6 +123,24 @@ impl DesignKey {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// A single `u64` folding every identity field — the content address the
+    /// disk spill tier files artifacts under ([`crate::spill`]). Two designs
+    /// share it exactly when their keys are equal (modulo 64-bit hash
+    /// collisions, which the spill tier tolerates: a revived artifact is
+    /// verified against its design before use).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = netlist::Fnv1a::new();
+        h.write_bytes(self.name.as_bytes());
+        h.write_sep();
+        h.write_u64(self.num_cells as u64);
+        h.write_u64(self.num_nets as u64);
+        h.write_u64(self.num_ports as u64);
+        h.write_u64(self.num_macros as u64);
+        h.write_u64(self.connectivity);
+        h.write_u64(self.seq_names);
+        h.finish()
+    }
 }
 
 /// An evaluation session: owns the [`EvalConfig`], the cached sequential

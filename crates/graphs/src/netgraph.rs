@@ -186,6 +186,65 @@ impl NetGraph {
             NetGraphNode::Port(_) => true,
         }
     }
+
+    /// Serializes the graph with the spill-tier codec ([`netlist::codec`]):
+    /// the node counts followed by both adjacency tables, node indices as
+    /// `u32` (they are bounded by the 30-bit design-id encoding).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        netlist::codec::put_u64(out, self.num_cells as u64);
+        netlist::codec::put_u64(out, self.num_ports as u64);
+        for table in [&self.succ, &self.pred] {
+            netlist::codec::put_u64(out, table.len() as u64);
+            for row in table {
+                netlist::codec::put_u64(out, row.len() as u64);
+                for &v in row {
+                    netlist::codec::put_u32(out, v as u32);
+                }
+            }
+        }
+    }
+
+    /// Decodes a graph encoded by [`NetGraph::encode`]. Returns `None` on
+    /// truncation, trailing bytes, or adjacency tables whose shape does not
+    /// match the node counts.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = netlist::codec::Reader::new(bytes);
+        let num_cells = r.take_u64()? as usize;
+        let num_ports = r.take_u64()? as usize;
+        let n = num_cells.checked_add(num_ports)?;
+        let mut tables = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let rows = r.take_u64()? as usize;
+            // each row carries at least its 8-byte length prefix, so this
+            // also rejects corrupt counts before they size an allocation
+            if rows != n || r.remaining() / 8 < rows {
+                return None;
+            }
+            let mut table = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let len = r.take_u64()? as usize;
+                if r.remaining() / 4 < len {
+                    return None;
+                }
+                let mut row = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let v = r.take_u32()? as usize;
+                    if v >= n {
+                        return None;
+                    }
+                    row.push(v);
+                }
+                table.push(row);
+            }
+            tables.push(table);
+        }
+        if !r.is_exhausted() {
+            return None;
+        }
+        let pred = tables.pop().expect("two tables decoded");
+        let succ = tables.pop().expect("two tables decoded");
+        Some(Self { num_cells, num_ports, succ, pred })
+    }
 }
 
 impl netlist::HeapSize for NetGraph {
@@ -254,6 +313,21 @@ mod tests {
     fn reference_construction_matches_csr_construction() {
         let d = design_with_port();
         assert_eq!(NetGraph::from_design(&d), NetGraph::from_design_reference(&d));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_identically() {
+        let d = design_with_port();
+        let g = NetGraph::from_design(&d);
+        let mut buf = Vec::new();
+        g.encode(&mut buf);
+        assert_eq!(NetGraph::decode(&buf).expect("decodes"), g);
+        for cut in 0..buf.len() {
+            assert!(NetGraph::decode(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(NetGraph::decode(&padded).is_none());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   budget silently undercounts.
 //! * `test-env` (R5) — tests must not sleep, read the environment, or
 //!   depend on machine thread counts unless marked `#[ignore]`.
+//! * `fs-scope` (R6) — no filesystem writes in non-test code of the
+//!   deterministic crates outside the sanctioned spill module; disk is a
+//!   side channel that would let results vary with machine state.
 //!
 //! Any finding can be waived in place with a pragma comment that *must*
 //! carry a reason:
@@ -179,6 +182,29 @@ configuration instead of reading env, pin thread counts; or mark the test
 // lint:allow(test-env): <why this read cannot flake>.",
     },
     Rule {
+        name: "fs-scope",
+        summary: "no filesystem writes in deterministic crates outside the spill module",
+        explain: "\
+fs-scope (R6): ambient filesystem writes are determinism and hygiene hazards.
+
+Scope: non-test src code of crates hidap, eval, graphs, placer-core, netlist
+— except crates/eval/src/spill.rs, the sanctioned spill tier (its module
+header declares the exemption; see docs/MEMORY.md).
+
+The placer's contract is that identical inputs give bit-identical outputs.
+A crate that writes files on its own (caches, scratch state, logs) couples
+results to whatever the disk held from a previous run, and scatters state
+the daemon's memory budget cannot see. All persistence flows through
+eval::SpillTier, which is content-addressed, checksummed, and fails open:
+a bad file degrades to a rebuild, never a result change. The lint flags
+fs::write/create_dir*/remove_*/rename/copy/hard_link/set_permissions,
+File::create/create_new/options, and OpenOptions construction.
+
+Fix: route the write through eval::SpillTier (or return data to a caller
+that owns I/O, e.g. the cli crate), or waive a provably inert site with
+// lint:allow(fs-scope): <why this write cannot influence results>.",
+    },
+    Rule {
         name: "pragma",
         summary: "lint:allow pragmas must name a real rule and carry a reason",
         explain: "\
@@ -221,6 +247,24 @@ const HASH_ITER_METHODS: &[&str] = &[
     "into_values",
     "drain",
 ];
+
+/// `std::fs` free functions that mutate the filesystem (R6). Reads are fine
+/// — only writes scatter state a later run could observe.
+const FS_WRITE_FNS: &[&str] = &[
+    "write",
+    "create_dir",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "rename",
+    "copy",
+    "hard_link",
+    "set_permissions",
+];
+
+/// The one module in the deterministic crates sanctioned to touch disk (R6).
+const SPILL_MODULE: &str = "crates/eval/src/spill.rs";
 
 /// Keywords that may legitimately precede a `[` without it being an index
 /// expression (`impl Foo for [T]`, `return [a, b]`, ...).
@@ -744,6 +788,63 @@ fn rule_wall_clock(ctx: &Ctx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
+/// R6: filesystem writes in deterministic crates outside the spill tier.
+fn rule_fs_scope(ctx: &Ctx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.kind != DirKind::Src
+        || !DETERMINISTIC_CRATES.contains(&ctx.krate)
+        || ctx.path == SPILL_MODULE
+    {
+        return;
+    }
+    let code = ctx.code;
+    for i in 0..code.toks.len() {
+        if ctx.in_test(code.toks[i].start) {
+            continue;
+        }
+        let Some(t) = code.ident(i) else { continue };
+        let line = code.toks[i].line;
+        let pathy = code.is_punct(i + 1, ':') && code.is_punct(i + 2, ':');
+        if t == "fs" && pathy {
+            if let Some(f) = code.ident(i + 3) {
+                if FS_WRITE_FNS.contains(&f) && code.is_punct(i + 4, '(') {
+                    ctx.emit(
+                        findings,
+                        line,
+                        "fs-scope",
+                        format!(
+                            "`fs::{f}()` writes the filesystem from a deterministic crate; \
+                             route persistence through eval::SpillTier (docs/MEMORY.md)"
+                        ),
+                    );
+                }
+            }
+        } else if t == "File"
+            && pathy
+            && matches!(code.ident(i + 3), Some("create") | Some("create_new") | Some("options"))
+        {
+            ctx.emit(
+                findings,
+                line,
+                "fs-scope",
+                format!(
+                    "`File::{}` opens the filesystem for writing from a deterministic \
+                     crate; route persistence through eval::SpillTier (docs/MEMORY.md)",
+                    code.ident(i + 3).unwrap_or("create")
+                ),
+            );
+        } else if t == "OpenOptions" {
+            ctx.emit(
+                findings,
+                line,
+                "fs-scope",
+                "`OpenOptions` grants write access to the filesystem from a deterministic \
+                 crate; route persistence through eval::SpillTier (docs/MEMORY.md)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// R5: machine-dependent reads in non-#[ignore] test code.
 fn rule_test_env(ctx: &Ctx<'_>, findings: &mut Vec<Finding>) {
     let code = ctx.code;
@@ -929,6 +1030,7 @@ pub fn analyze(files: &[FileInput]) -> Vec<Finding> {
         rule_hash_iter(&ctx, &mut findings);
         rule_daemon_panic(&ctx, &mut findings);
         rule_wall_clock(&ctx, &mut findings);
+        rule_fs_scope(&ctx, &mut findings);
         rule_test_env(&ctx, &mut findings);
         collect_heap_size(&ctx, &mut heap_structs, &mut heap_impls);
     }
@@ -1074,6 +1176,55 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "pragma");
         assert!(f[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn fs_writes_in_deterministic_crates_are_flagged() {
+        let src = r#"
+            pub fn persist(dir: &std::path::Path, bytes: &[u8]) {
+                let _ = std::fs::create_dir_all(dir);
+                let _ = std::fs::write(dir.join("x"), bytes);
+            }
+        "#;
+        let f = one("crates/placer-core/src/a.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "fs-scope"));
+        assert!(f[0].message.contains("create_dir_all"), "{f:?}");
+        // reads never fire — only writes scatter observable state
+        assert!(one("crates/placer-core/src/a.rs", "fn f() { let _ = std::fs::read(\"x\"); }")
+            .is_empty());
+    }
+
+    #[test]
+    fn file_create_and_open_options_are_flagged() {
+        let f = one(
+            "crates/graphs/src/a.rs",
+            "fn f() { let _ = std::fs::File::create(\"x\"); }\n\
+             fn g() { let _ = std::fs::OpenOptions::new(); }\n",
+        );
+        assert_eq!(f.iter().filter(|f| f.rule == "fs-scope").count(), 2, "{f:?}");
+        assert!(f[0].message.contains("File::create"), "{f:?}");
+        assert!(f[1].message.contains("OpenOptions"), "{f:?}");
+    }
+
+    #[test]
+    fn the_spill_module_tests_and_other_crates_are_exempt() {
+        let write = "pub fn f() { let _ = std::fs::write(\"x\", b\"y\"); }\n";
+        assert!(one("crates/eval/src/spill.rs", write).is_empty(), "the sanctioned module");
+        assert!(one("crates/eval/tests/a.rs", write).is_empty(), "integration tests");
+        assert!(one("crates/cli/src/a.rs", write).is_empty(), "non-deterministic crate");
+        let in_test = format!("#[cfg(test)]\nmod tests {{\n{write}}}\n");
+        assert!(one("crates/eval/src/a.rs", &in_test).is_empty(), "unit-test region");
+    }
+
+    #[test]
+    fn fs_scope_is_waivable_with_a_reason() {
+        let src = "\
+            pub fn f() {\n\
+                // lint:allow(fs-scope): crash-report path, never read back\n\
+                let _ = std::fs::write(\"x\", b\"y\");\n\
+            }\n";
+        assert!(one("crates/netlist/src/a.rs", src).is_empty());
     }
 
     #[test]

@@ -304,6 +304,47 @@ fn t() {
     assert_eq!(findings, []);
 }
 
+// ----------------------------------------------------------------- fs-scope
+
+#[test]
+fn fs_scope_flags_writes_in_a_deterministic_crate() {
+    let findings = check(
+        "crates/placer-core/src/store.rs",
+        r#"
+pub fn persist(dir: &std::path::Path, bytes: &[u8]) {
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join("cache.bin"), bytes);
+}
+"#,
+    );
+    assert_eq!(rules_of(&findings), ["fs-scope", "fs-scope"], "{findings:?}");
+    assert!(findings[1].message.contains("SpillTier"), "{findings:?}");
+}
+
+#[test]
+fn fs_scope_allows_reads_the_spill_module_and_unscoped_crates() {
+    let read = "pub fn f() -> Vec<u8> { std::fs::read(\"x\").unwrap_or_default() }\n";
+    assert_eq!(check("crates/netlist/src/parse.rs", read), [], "reads never fire");
+    let write = "pub fn f() { let _ = std::fs::write(\"x\", b\"y\"); }\n";
+    assert_eq!(check("crates/eval/src/spill.rs", write), [], "the sanctioned spill tier");
+    assert_eq!(check("crates/cli/src/lib.rs", write), [], "cli owns real I/O");
+    assert_eq!(check("crates/eval/tests/t.rs", write), [], "tests manage their own scratch");
+}
+
+#[test]
+fn fs_scope_pragma_waives_with_a_reason() {
+    let findings = check(
+        "crates/graphs/src/dump.rs",
+        r#"
+pub fn debug_dump(path: &std::path::Path, dot: &str) {
+    // lint:allow(fs-scope): debug artifact behind an explicit flag, never read back
+    let _ = std::fs::write(path, dot);
+}
+"#,
+    );
+    assert_eq!(findings, [], "a reasoned pragma waives the write");
+}
+
 // ------------------------------------------------------------------- pragma
 
 #[test]
@@ -321,7 +362,7 @@ fn malformed_pragmas_are_findings_and_cannot_be_waived() {
 
 #[test]
 fn every_rule_is_documented_and_resolvable() {
-    assert_eq!(RULES.len(), 6);
+    assert_eq!(RULES.len(), 7);
     for rule in RULES {
         assert!(rule_named(rule.name).is_some());
         assert!(!rule.summary.is_empty());

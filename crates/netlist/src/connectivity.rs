@@ -195,6 +195,104 @@ impl Connectivity {
         self.fingerprint
     }
 
+    /// The fingerprint [`Connectivity::build`] would compute for `design`,
+    /// streamed straight off the per-cell/per-net `Vec`s without
+    /// materializing the flat arrays. Folds the exact same `u32` sequence as
+    /// the private build-time fold (array by array, in order), so
+    /// `Connectivity::fingerprint_of(d) == Connectivity::build(d).fingerprint()`
+    /// always holds — the spill tier uses it to address a design's spilled
+    /// CSR before deciding whether to build one.
+    pub fn fingerprint_of(design: &Design) -> u64 {
+        let mut h = crate::hash::Fnv1a::new();
+        // cell_net_start: 0, then the cumulative net count after each cell
+        h.write_u32(0);
+        let mut total = 0u32;
+        for (_, cell) in design.cells() {
+            total += (cell.fanin.len() + cell.fanout.len()) as u32;
+            h.write_u32(total);
+        }
+        // cell_fanout_start: where each cell's fanout begins
+        let mut before = 0u32;
+        for (_, cell) in design.cells() {
+            h.write_u32(before + cell.fanin.len() as u32);
+            before += (cell.fanin.len() + cell.fanout.len()) as u32;
+        }
+        // cell_nets: fanin then fanout per cell
+        for (_, cell) in design.cells() {
+            for n in cell.fanin.iter().chain(cell.fanout.iter()) {
+                h.write_u32(n.0);
+            }
+        }
+        // net_pin_start: 0, then the cumulative pin count after each net
+        h.write_u32(0);
+        let mut pins = 0u32;
+        for (_, net) in design.nets() {
+            pins += net.degree() as u32;
+            h.write_u32(pins);
+        }
+        // net_pins in canonical order: driver cell, sink cells, driver port,
+        // sink ports — the PinRef words build() would have packed
+        for (_, net) in design.nets() {
+            if let Some(c) = net.driver_cell {
+                h.write_u32(PinRef::driver_cell(c).0);
+            }
+            for &c in &net.sink_cells {
+                h.write_u32(PinRef::sink_cell(c).0);
+            }
+            if let Some(p) = net.driver_port {
+                h.write_u32(PinRef::driver_port(p).0);
+            }
+            for &p in &net.sink_ports {
+                h.write_u32(PinRef::sink_port(p).0);
+            }
+        }
+        h.finish()
+    }
+
+    /// Serializes the flat arrays with the spill-tier codec
+    /// (see [`crate::codec`]). The fingerprint is not written: decode
+    /// recomputes it from the arrays, so a decoded view can never carry a
+    /// fingerprint its arrays do not hash to.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        crate::codec::put_u32_slice(out, &self.cell_net_start);
+        crate::codec::put_u32_slice(out, &self.cell_fanout_start);
+        crate::codec::put_u64(out, self.cell_nets.len() as u64);
+        for n in &self.cell_nets {
+            crate::codec::put_u32(out, n.0);
+        }
+        crate::codec::put_u32_slice(out, &self.net_pin_start);
+        crate::codec::put_u64(out, self.net_pins.len() as u64);
+        for p in &self.net_pins {
+            crate::codec::put_u32(out, p.0);
+        }
+    }
+
+    /// Decodes a view encoded by [`Connectivity::encode`]. Returns `None` on
+    /// any truncation, trailing garbage or malformed prefix; the fingerprint
+    /// is recomputed from the decoded arrays, so callers comparing it against
+    /// an expected wiring identity get end-to-end validation.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = crate::codec::Reader::new(bytes);
+        let cell_net_start = r.take_u32_vec()?;
+        let cell_fanout_start = r.take_u32_vec()?;
+        let cell_nets: Vec<NetId> = r.take_u32_vec()?.into_iter().map(NetId).collect();
+        let net_pin_start = r.take_u32_vec()?;
+        let net_pins: Vec<PinRef> = r.take_u32_vec()?.into_iter().map(PinRef).collect();
+        if !r.is_exhausted() {
+            return None;
+        }
+        let mut view = Self {
+            cell_net_start,
+            cell_fanout_start,
+            cell_nets,
+            net_pin_start,
+            net_pins,
+            fingerprint: 0,
+        };
+        view.fingerprint = view.compute_fingerprint();
+        Some(view)
+    }
+
     /// Number of cells covered by the view.
     pub fn num_cells(&self) -> usize {
         self.cell_net_start.len().saturating_sub(1)
@@ -357,5 +455,37 @@ mod tests {
         assert_eq!(csr.num_cells(), 0);
         assert_eq!(csr.num_nets(), 0);
         assert_eq!(csr.num_pins(), 0);
+    }
+
+    #[test]
+    fn streaming_fingerprint_matches_built_fingerprint() {
+        let d = sample();
+        assert_eq!(Connectivity::fingerprint_of(&d), Connectivity::build(&d).fingerprint());
+        let empty = DesignBuilder::new("t").build();
+        assert_eq!(Connectivity::fingerprint_of(&empty), Connectivity::build(&empty).fingerprint());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_identically() {
+        let d = sample();
+        let csr = Connectivity::build(&d);
+        let mut buf = Vec::new();
+        csr.encode(&mut buf);
+        let decoded = Connectivity::decode(&buf).expect("decodes");
+        assert_eq!(decoded, csr);
+        assert_eq!(decoded.fingerprint(), csr.fingerprint());
+    }
+
+    #[test]
+    fn truncated_or_padded_encodings_are_rejected() {
+        let d = sample();
+        let mut buf = Vec::new();
+        Connectivity::build(&d).encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(Connectivity::decode(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(Connectivity::decode(&padded).is_none());
     }
 }

@@ -290,6 +290,27 @@ impl Design {
         self.connectivity.0.get_or_init(|| Connectivity::build(self))
     }
 
+    /// The cached CSR view, if one has been materialized — without building
+    /// it. The spill tier uses this at eviction time: only an already-built
+    /// view is worth writing to disk.
+    pub fn cached_connectivity(&self) -> Option<&Connectivity> {
+        self.connectivity.0.get()
+    }
+
+    /// Seeds the CSR cache with a pre-built view (e.g. one revived from the
+    /// disk spill tier) instead of rebuilding it on first use. The view is
+    /// verified against the design first — its fingerprint must equal the
+    /// streamed [`Connectivity::fingerprint_of`] of the current wiring — so
+    /// a stale or foreign view can never be installed. Returns whether the
+    /// view was accepted (`false` when it fails verification or a view is
+    /// already cached).
+    pub fn install_connectivity(&self, view: Connectivity) -> bool {
+        if view.fingerprint() != Connectivity::fingerprint_of(self) {
+            return false;
+        }
+        self.connectivity.0.set(view).is_ok()
+    }
+
     /// Looks a cell up by its hierarchical instance name.
     pub fn find_cell(&self, name: &str) -> Option<CellId> {
         let table = self

@@ -51,6 +51,7 @@
 #![deny(clippy::print_stdout)]
 
 pub mod arrays;
+pub mod codec;
 pub mod connectivity;
 pub mod def;
 pub mod dense;

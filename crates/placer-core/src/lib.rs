@@ -73,6 +73,7 @@ pub mod observer;
 pub mod registry;
 pub mod request;
 pub mod scheduler;
+pub mod seeds;
 pub mod service;
 pub mod store;
 
@@ -84,6 +85,7 @@ pub use observer::{CollectingObserver, FlowObserver, StageEvent};
 pub use registry::FlowRegistry;
 pub use request::{EffortLevel, PlaceOutcome, PlaceRequest, Placer, StageTiming};
 pub use scheduler::{ClientId, Scheduler};
+pub use seeds::WarmSeed;
 pub use service::{
     JobId, JobResult, JobState, PlaceJob, PlacementService, ReplaceSpec, ServiceStats,
 };

@@ -59,6 +59,7 @@ use crate::error::PlaceError;
 use crate::observer::FlowObserver;
 use crate::registry::FlowRegistry;
 use crate::request::{EffortLevel, PlaceOutcome, PlaceRequest};
+use crate::seeds::{decode_seed, encode_seed, seed_fingerprint, seed_stem, WarmSeed};
 use crate::store::{DesignHandle, DesignStore};
 use eval::EvalConfig;
 use geometry::Rect;
@@ -257,8 +258,20 @@ pub struct ServiceStats {
     pub memory_budget: Option<usize>,
     /// Designs evicted so far.
     pub design_evictions: u64,
-    /// Per-kind artifact hit/miss/evict counters and byte accounting.
+    /// Per-kind artifact hit/miss/evict/spill/revive counters and byte
+    /// accounting.
     pub artifacts: eval::ArtifactCacheStats,
+    /// CSR connectivity views spilled to disk on design eviction.
+    pub csr_spills: u64,
+    /// CSR connectivity views revived from disk at intern time (each skips
+    /// a full connectivity reconstruction).
+    pub csr_revives: u64,
+    /// Warm-start seeds persisted to the spill directory after successful
+    /// jobs (see [`crate::seeds`]).
+    pub seed_spills: u64,
+    /// Warm-start seeds revived from the spill directory to serve replace
+    /// jobs whose base result predates this service (daemon restarts).
+    pub seed_revives: u64,
 }
 
 /// The result of one completed job: the winning outcome plus per-run
@@ -291,6 +304,8 @@ pub struct PlacementService {
     cancel: CancelToken,
     jobs: usize,
     peak_queued: usize,
+    seed_spills: u64,
+    seed_revives: u64,
 }
 
 impl PlacementService {
@@ -311,12 +326,25 @@ impl PlacementService {
             cancel: CancelToken::new(),
             jobs: 0,
             peak_queued: 0,
+            seed_spills: 0,
+            seed_revives: 0,
         }
     }
 
     /// Sets the worker-thread count used per multi-run job (0 = all cores).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Attaches a disk spill tier rooted at `dir` (see
+    /// [`DesignStore::with_spill_dir`]). On top of the store's artifact and
+    /// CSR spilling, the *service* persists every successful job's winning
+    /// placement as a warm-start seed file and revives it to serve replace
+    /// jobs whose base result is gone — so `replace` survives a daemon
+    /// restart pointed at the same directory (see [`crate::seeds`]).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.store = self.store.with_spill_dir(dir);
         self
     }
 
@@ -430,6 +458,10 @@ impl PlacementService {
             memory_budget: self.store.memory_budget(),
             design_evictions: self.store.design_evictions(),
             artifacts: self.store.artifacts().stats(),
+            csr_spills: self.store.csr_spills(),
+            csr_revives: self.store.csr_revives(),
+            seed_spills: self.seed_spills,
+            seed_revives: self.seed_revives,
         }
     }
 
@@ -520,14 +552,24 @@ impl PlacementService {
     /// a base whose result was already taken (results are take-once).
     /// `later` lists the jobs scheduled after this one in the current drain,
     /// so a mis-ordered dependency is reported as such.
+    ///
+    /// With a spill directory attached, a base that is *gone* — a [`JobId`]
+    /// issued by a previous incarnation of the daemon, or one whose result
+    /// was already taken — falls back to the design's persisted warm-start
+    /// seed file before erroring, so `replace` survives a restart pointed at
+    /// the same directory.
     fn resolve_replace_base(
-        &self,
+        &mut self,
         id: JobId,
+        design: DesignHandle,
         spec: &ReplaceSpec,
         later: &[JobId],
-    ) -> Result<PlaceOutcome, PlaceError> {
+    ) -> Result<WarmSeed, PlaceError> {
         match self.results.get(&spec.base) {
-            Some(Ok(base)) => Ok(base.outcome.clone()),
+            Some(Ok(base)) => Ok(WarmSeed {
+                placement: base.outcome.placement.clone(),
+                cells: base.outcome.metrics.as_ref().map(|m| m.cell_placement.clone()),
+            }),
             Some(Err(e)) => Err(PlaceError::InvalidRequest(format!(
                 "replace job {} depends on job {} which failed: {e}",
                 id.0, spec.base.0
@@ -541,22 +583,64 @@ impl PlacementService {
                  submit the replace after its base has run, or do not give it higher priority",
                 id.0, spec.base.0
             ))),
-            None if spec.base.0 >= self.next_job => Err(PlaceError::InvalidRequest(format!(
-                "replace job {} depends on job {} which was never submitted to this service",
-                id.0, spec.base.0
-            ))),
+            None if spec.base.0 >= self.next_job => self.revive_seed(design).ok_or_else(|| {
+                PlaceError::InvalidRequest(format!(
+                    "replace job {} depends on job {} which was never submitted to this \
+                         service",
+                    id.0, spec.base.0
+                ))
+            }),
             None if self.queue.iter().any(|(qid, _)| *qid == spec.base) => {
                 Err(PlaceError::InvalidRequest(format!(
                     "replace job {} depends on job {} which is still queued and has not run",
                     id.0, spec.base.0
                 )))
             }
-            None => Err(PlaceError::InvalidRequest(format!(
-                "replace job {} depends on job {} whose result was already taken \
-                 (results are take-once); keep the base result until the replace has run",
-                id.0, spec.base.0
-            ))),
+            None => self.revive_seed(design).ok_or_else(|| {
+                PlaceError::InvalidRequest(format!(
+                    "replace job {} depends on job {} whose result was already taken \
+                     (results are take-once); keep the base result until the replace has run",
+                    id.0, spec.base.0
+                ))
+            }),
         }
+    }
+
+    /// Persists a successful job's winning placement (and evaluated cell
+    /// placement, when present) as the design's warm-start seed file. A
+    /// no-op without a spill directory; a failed write is simply not
+    /// counted.
+    fn persist_seed(&mut self, handle: DesignHandle, outcome: &PlaceOutcome) {
+        let Some(tier) = self.store.spill_tier().cloned() else { return };
+        let Some(design) = self.store.get_design(handle) else { return };
+        let fp = seed_fingerprint(self.store.key(handle), design.geometry_fingerprint());
+        let seed = WarmSeed {
+            placement: outcome.placement.clone(),
+            cells: outcome.metrics.as_ref().map(|m| m.cell_placement.clone()),
+        };
+        if tier.store(&seed_stem(fp), fp, &encode_seed(&seed)) {
+            self.seed_spills += 1;
+        }
+    }
+
+    /// Revives the design's persisted warm-start seed from the spill
+    /// directory, validated against the resident design (macro count, cell
+    /// ids in range). `None` without a spill directory, without a resident
+    /// design, or on any malformed or mismatched file.
+    fn revive_seed(&mut self, handle: DesignHandle) -> Option<WarmSeed> {
+        let tier = self.store.spill_tier().cloned()?;
+        let design = self.store.get_design(handle)?;
+        let fp = seed_fingerprint(self.store.key(handle), design.geometry_fingerprint());
+        let seed = decode_seed(&tier.load(&seed_stem(fp), fp)?)?;
+        let cells_ok = seed.cells.as_ref().is_none_or(|c| c.positions.len() <= design.num_cells());
+        if seed.placement.macros.len() != design.num_macros()
+            || seed.placement.macros.iter().any(|m| m.cell.0 as usize >= design.num_cells())
+            || !cells_ok
+        {
+            return None;
+        }
+        self.seed_revives += 1;
+        Some(seed)
     }
 
     /// Runs one job through the engine, in a context borrowing the store's
@@ -585,10 +669,10 @@ impl PlacementService {
         // Replace jobs resolve their warm-start seed first, then mutate the
         // interned design through the store so the fingerprint diff decides
         // which cached artifacts survive.
-        let mut base_outcome = None;
+        let mut base_seed = None;
         let mut edit_log = None;
         if let Some(spec) = &job.replace {
-            let mut base = self.resolve_replace_base(id, spec, later)?;
+            let mut base = self.resolve_replace_base(id, job.design, spec, later)?;
             // MoveMacro carries no design state: it parameterizes the
             // warm-start seed, so fold the target into the base placement
             // here and let the flow re-legalize from the moved footprint.
@@ -599,7 +683,7 @@ impl PlacementService {
                     }
                 }
             }
-            base_outcome = Some(base);
+            base_seed = Some(base);
             if !spec.edits.is_empty() {
                 let log = self.store.apply_edits(job.design, &spec.edits).map_err(|e| match e {
                     PlaceError::InvalidRequest(msg) => {
@@ -634,14 +718,14 @@ impl PlacementService {
         if let Some(eval) = job.evaluate {
             template = template.with_evaluation(eval);
         }
-        if let Some(base) = &base_outcome {
+        if let Some(base) = &base_seed {
             template = template.with_warm_start(&base.placement);
-            if let Some(metrics) = &base.metrics {
-                template = template.with_warm_cells(&metrics.cell_placement);
+            if let Some(cells) = &base.cells {
+                template = template.with_warm_cells(cells);
             }
         }
 
-        if job.num_runs() == 1 {
+        let result = if job.num_runs() == 1 {
             // single run: straight through the Placer trait (composite flows
             // like the handFP oracle are fine here)
             let &seed = job
@@ -661,34 +745,39 @@ impl PlacementService {
                 error: None,
                 wall_s: outcome.wall_s,
             };
-            return Ok(JobResult {
+            JobResult {
                 job: id,
                 design: job.design,
                 outcome,
                 winner_index: 0,
                 runs: vec![summary],
                 edit_log,
-            });
-        }
-
-        // multi-run: a seed×λ grid through the batch runner. Flows without a
-        // λ knob sweep seeds only; an empty λ list sweeps at λ = 0.5.
-        let lambdas = if !placer.supports_lambda() || job.lambdas.is_empty() {
-            vec![*job.lambdas.first().unwrap_or(&0.5)]
+            }
         } else {
-            job.lambdas.clone()
+            // multi-run: a seed×λ grid through the batch runner. Flows
+            // without a λ knob sweep seeds only; an empty λ list sweeps at
+            // λ = 0.5.
+            let lambdas = if !placer.supports_lambda() || job.lambdas.is_empty() {
+                vec![*job.lambdas.first().unwrap_or(&0.5)]
+            } else {
+                job.lambdas.clone()
+            };
+            let grid = BatchGrid::new(job.seeds.clone(), lambdas);
+            let runner = BatchRunner::new().with_jobs(self.jobs);
+            let batch = runner.run(placer.as_ref(), &template, &grid, &mut ctx)?;
+            JobResult {
+                job: id,
+                design: job.design,
+                outcome: batch.winner,
+                winner_index: batch.winner_index,
+                runs: batch.runs,
+                edit_log,
+            }
         };
-        let grid = BatchGrid::new(job.seeds.clone(), lambdas);
-        let runner = BatchRunner::new().with_jobs(self.jobs);
-        let batch = runner.run(placer.as_ref(), &template, &grid, &mut ctx)?;
-        Ok(JobResult {
-            job: id,
-            design: job.design,
-            outcome: batch.winner,
-            winner_index: batch.winner_index,
-            runs: batch.runs,
-            edit_log,
-        })
+        // the winning placement becomes the design's persisted warm-start
+        // seed, so a later replace survives a service restart
+        self.persist_seed(job.design, &result.outcome);
+        Ok(result)
     }
 }
 

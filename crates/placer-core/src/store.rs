@@ -45,7 +45,7 @@
 //! invalidates a handle a caller still holds.
 
 use crate::context::PlaceContext;
-use eval::{ArtifactCache, DesignKey};
+use eval::{ArtifactCache, DesignKey, SpillTier};
 use netlist::dense::DenseId;
 use netlist::design::Design;
 use netlist::HeapSize;
@@ -142,6 +142,15 @@ pub struct DesignStore {
     /// The most recent design evictions, newest last (bounded to
     /// [`DesignStore::EVICTION_LOG_CAP`] entries).
     eviction_log: VecDeque<EvictionRecord>,
+    /// The optional disk spill tier (shared with [`DesignStore::artifacts`]):
+    /// design eviction spills the cached CSR view, and intern tries to
+    /// revive one before rebuilding. `None` = no spilling (the default).
+    spill: Option<SpillTier>,
+    /// CSR connectivity views written to the spill tier on design eviction.
+    csr_spills: u64,
+    /// CSR views revived from the spill tier at intern time (each one skips
+    /// a full connectivity reconstruction).
+    csr_revives: u64,
 }
 
 impl Default for DesignStore {
@@ -163,6 +172,9 @@ impl DesignStore {
             evictions: 0,
             eviction_log: VecDeque::new(),
             peak_bytes: 0,
+            spill: None,
+            csr_spills: 0,
+            csr_revives: 0,
         }
     }
 
@@ -179,6 +191,62 @@ impl DesignStore {
         }
     }
 
+    /// Attaches a disk spill tier rooted at `dir` to this store *and* its
+    /// artifact cache (they share the directory, so one `--spill-dir` serves
+    /// all three spillable kinds — `Gnet`, `Gseq` and the CSR view; see
+    /// `docs/MEMORY.md`). With a tier attached:
+    ///
+    /// * evicting a design spills its cached CSR connectivity view to
+    ///   `csr-<fingerprint>.spill`,
+    /// * [`DesignStore::intern`] tries to revive a spilled CSR — verified
+    ///   against the incoming design — before rebuilding it from scratch,
+    /// * the artifact cache spills and revives `Gnet`/`Gseq` the same way.
+    ///
+    /// Spilling is strictly a timing optimization: revived structures are
+    /// verified bit-identical, and every disk failure degrades to a plain
+    /// rebuild miss.
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        let tier = SpillTier::new(dir);
+        self.artifacts = self.artifacts.with_spill_tier(tier.clone());
+        self.spill = Some(tier);
+        self
+    }
+
+    /// The attached spill tier, if any (cheap to clone; clones address the
+    /// same directory).
+    pub fn spill_tier(&self) -> Option<&SpillTier> {
+        self.spill.as_ref()
+    }
+
+    /// CSR connectivity views spilled to disk on design eviction.
+    pub fn csr_spills(&self) -> u64 {
+        self.csr_spills
+    }
+
+    /// CSR connectivity views revived from disk at intern time.
+    pub fn csr_revives(&self) -> u64 {
+        self.csr_revives
+    }
+
+    /// Tries to serve the design's CSR view from the spill tier: computes
+    /// the streaming connectivity fingerprint (no materialization), probes
+    /// `csr-<fingerprint>.spill`, and installs the decoded view after
+    /// verifying it matches this exact design. On success the later
+    /// [`DesignKey::of`] finds the view already cached and skips the
+    /// rebuild. Any failure leaves the design untouched.
+    fn try_revive_csr(&mut self, design: &Design) {
+        let Some(tier) = &self.spill else { return };
+        if design.cached_connectivity().is_some() {
+            return;
+        }
+        let fp = netlist::Connectivity::fingerprint_of(design);
+        let Some(payload) = tier.load(&format!("csr-{fp:016x}"), fp) else { return };
+        let Some(view) = netlist::Connectivity::decode(&payload) else { return };
+        if design.install_connectivity(view) {
+            self.csr_revives += 1;
+        }
+    }
+
     /// Interns a design and adds one reference to it.
     ///
     /// Returns the existing handle when a design with the same identity
@@ -188,6 +256,9 @@ impl DesignStore {
     /// dense handle. Callers that are done with a handle pair each `intern`
     /// with a [`DesignStore::release`].
     pub fn intern(&mut self, design: Design) -> DesignHandle {
+        // with a spill tier, a previously evicted design's CSR view revives
+        // from disk here, so the keying below skips the reconstruction
+        self.try_revive_csr(&design);
         // keying builds the CSR view; it stays cached inside the stored
         // design, so every later borrower gets it for free
         let key = DesignKey::of(&design);
@@ -560,6 +631,20 @@ impl DesignStore {
     /// resident geometry variant still shares the same identity key),
     /// logging the eviction.
     fn evict_slot(&mut self, i: usize) {
+        // demote the design's CSR view to the spill tier before dropping it:
+        // a re-intern revives it by deserialization instead of rebuilding
+        if let Some(tier) = &self.spill {
+            if let Some(view) =
+                self.slots[i].design.as_deref().and_then(|d| d.cached_connectivity())
+            {
+                let fp = view.fingerprint();
+                let mut payload = Vec::new();
+                view.encode(&mut payload);
+                if tier.store(&format!("csr-{fp:016x}"), fp, &payload) {
+                    self.csr_spills += 1;
+                }
+            }
+        }
         let bytes = self.slots[i].bytes;
         self.slots[i].design = None;
         self.slots[i].bytes = 0;
@@ -927,6 +1012,70 @@ mod tests {
         assert!(err.to_string().contains("unknown cell"));
         assert_eq!(store.key(a), &key);
         assert_eq!(store.design(a).cell(ram).width, 200, "nothing was applied");
+    }
+
+    fn spill_scratch(test: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hidap-store-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn evicted_csr_spills_and_revives_across_store_lifetimes() {
+        let dir = spill_scratch("csr-revive");
+        let mut store = DesignStore::new().with_spill_dir(&dir);
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let fp = store.design(a).connectivity().fingerprint();
+        store.release(a);
+        store.evict_unreferenced();
+        assert_eq!(store.csr_spills(), 1, "eviction demotes the CSR view to disk");
+
+        // same store: re-interning revives the CSR from disk, bit-identical
+        let d = design("alpha", "r_reg[0]");
+        assert!(d.cached_connectivity().is_none());
+        let revived = store.intern(d);
+        assert_eq!(revived, a);
+        assert_eq!(store.csr_revives(), 1, "re-intern deserializes instead of rebuilding");
+        assert_eq!(store.design(a).connectivity().fingerprint(), fp);
+
+        // fresh store over the same directory: the daemon-restart case
+        let mut store2 = DesignStore::new().with_spill_dir(&dir);
+        let b = store2.intern(design("alpha", "r_reg[0]"));
+        assert_eq!(store2.csr_revives(), 1);
+        assert_eq!(store2.design(b).connectivity().fingerprint(), fp);
+        assert_eq!(store2.key(b), store.key(a), "revived identity keys match");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_csr_spill_degrades_to_a_rebuild() {
+        let dir = spill_scratch("csr-corrupt");
+        let mut store = DesignStore::new().with_spill_dir(&dir);
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        let fp = store.design(a).connectivity().fingerprint();
+        store.release(a);
+        store.evict_unreferenced();
+        // truncate every spill file in the directory
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+            let bytes = std::fs::read(entry.path()).unwrap();
+            std::fs::write(entry.path(), &bytes[..bytes.len() / 2]).unwrap();
+        }
+        let b = store.intern(design("alpha", "r_reg[0]"));
+        assert_eq!(b, a);
+        assert_eq!(store.csr_revives(), 0, "a corrupt file is a plain rebuild, not an error");
+        assert_eq!(store.design(a).connectivity().fingerprint(), fp, "the rebuild is identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn without_a_spill_dir_nothing_touches_disk_counters() {
+        let mut store = DesignStore::new();
+        let a = store.intern(design("alpha", "r_reg[0]"));
+        store.release(a);
+        store.evict_unreferenced();
+        store.intern(design("alpha", "r_reg[0]"));
+        assert_eq!((store.csr_spills(), store.csr_revives()), (0, 0));
+        assert!(store.spill_tier().is_none());
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! The spill tier across service lifetimes: warm-start seeds and revived
+//! artifacts must be a *timing* optimization, never a result change.
+//!
+//! These tests drive [`PlacementService`]s pointed at one spill directory
+//! and assert that:
+//!
+//! * a `replace` job whose base result is gone — a [`JobId`] from a previous
+//!   service incarnation, or one whose result was already taken — revives
+//!   the design's persisted warm-start seed and produces a result
+//!   **bit-identical** to the same replace run against the held base,
+//! * with no seed file present the structured dependency errors are
+//!   unchanged,
+//! * random schedules over a zero-budget store **with** a spill directory
+//!   (every eviction spills, every miss revives) match the unbounded,
+//!   spill-less oracle bit-identically.
+
+use eval::EvalConfig;
+use netlist::DesignEdit;
+use placer_core::{DesignHandle, JobId, PlaceJob, PlacementService};
+use proptest::prelude::*;
+
+/// The fixed pool of distinct design identities (mirrors
+/// `artifact_eviction.rs` so the two suites stress the same shapes).
+const POOL: usize = 3;
+
+fn pool_design(slot: usize) -> netlist::design::Design {
+    use netlist::design::DesignBuilder;
+    let mut b = DesignBuilder::new(format!("pool_{slot}"));
+    let a = b.add_macro("u_a/ram", "RAM", 200, 150, "u_a");
+    let c = b.add_macro("u_b/ram", "RAM", 200, 150, "u_b");
+    for i in 0..(6 + 2 * slot) {
+        let f = b.add_flop(format!("u_x/pipe_reg[{i}]"), "u_x");
+        let n0 = b.add_net(format!("n0_{i}"));
+        let n1 = b.add_net(format!("n1_{i}"));
+        b.connect_driver(n0, a);
+        b.connect_sink(n0, f);
+        b.connect_driver(n1, f);
+        b.connect_sink(n1, c);
+    }
+    b.set_die(geometry::Rect::new(0, 0, 2000, 1500));
+    b.build()
+}
+
+fn scratch(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hidap-restart-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn evaluated_job(handle: DesignHandle, seed: u64) -> PlaceJob {
+    PlaceJob::new(handle, "hidap")
+        .with_effort(placer_core::EffortLevel::Fast)
+        .with_seeds(vec![seed])
+        .with_evaluation(EvalConfig::standard())
+}
+
+/// The resize edit the replace jobs apply: pure geometry, so artifacts stay
+/// warm and the post-edit design interns under a new geometry fingerprint.
+fn resize_edits(service: &PlacementService, handle: DesignHandle) -> Vec<DesignEdit> {
+    let ram = service.store().design(handle).find_cell("u_a/ram").expect("macro exists");
+    vec![DesignEdit::ResizeCell { cell: ram, width: 260, height: 170 }]
+}
+
+#[test]
+fn replace_survives_a_service_restart_bit_identically() {
+    let dir = scratch("replace-restart");
+
+    // First service lifetime: a decoy job (different design, so its seed
+    // file lives under another fingerprint), the base job, then the
+    // reference replace resolved from the held base result.
+    let mut first = PlacementService::new(placer_core::builtin_registry()).with_spill_dir(&dir);
+    let decoy = first.intern(pool_design(1));
+    first.submit(evaluated_job(decoy, 3));
+    let design = first.intern(pool_design(0));
+    let base = first.submit(evaluated_job(design, 7));
+    first.run_all();
+    assert_eq!(base, JobId(1));
+    assert_eq!(first.stats().seed_spills, 2, "every successful job persists its seed");
+
+    let edits = resize_edits(&first, design);
+    let replace = first.submit(evaluated_job(design, 7).with_replace(base, edits.clone()));
+    first.run_all();
+    let reference = first.take_result(replace).expect("ran").expect("succeeded");
+    assert_eq!(first.stats().seed_revives, 0, "a held base resolves in memory, not from disk");
+
+    // Second lifetime over the same directory: the base JobId is stale (it
+    // was issued by the previous incarnation and is >= this service's
+    // counter), so the replace revives the persisted seed.
+    let mut second = PlacementService::new(placer_core::builtin_registry()).with_spill_dir(&dir);
+    let design2 = second.intern(pool_design(0));
+    let replay = second.submit(evaluated_job(design2, 7).with_replace(base, edits));
+    second.run_all();
+    let replayed = second.take_result(replay).expect("ran").expect("revived seed served the base");
+    assert_eq!(second.stats().seed_revives, 1);
+
+    assert_eq!(
+        reference.outcome.placement, replayed.outcome.placement,
+        "a revived seed must warm-start exactly like the held base result"
+    );
+    assert_eq!(reference.outcome.metrics, replayed.outcome.metrics);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replace_after_the_base_was_taken_revives_from_the_spill_dir() {
+    let dir = scratch("taken-base");
+    let mut service = PlacementService::new(placer_core::builtin_registry()).with_spill_dir(&dir);
+    let design = service.intern(pool_design(0));
+    let base = service.submit(evaluated_job(design, 7));
+    service.run_all();
+    // taking the base result normally fails a later replace (take-once);
+    // with a spill directory the persisted seed steps in
+    let base_result = service.take_result(base).expect("ran").expect("succeeded");
+    let edits = resize_edits(&service, design);
+    let replace = service.submit(evaluated_job(design, 7).with_replace(base, edits));
+    service.run_all();
+    let result = service.take_result(replace).expect("ran").expect("seed file replaced the base");
+    assert_eq!(service.stats().seed_revives, 1);
+    assert_eq!(result.outcome.placement.macros.len(), base_result.outcome.placement.macros.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn without_a_seed_file_the_structured_errors_are_unchanged() {
+    let dir = scratch("no-seed");
+    let mut service = PlacementService::new(placer_core::builtin_registry()).with_spill_dir(&dir);
+    let design = service.intern(pool_design(0));
+    // no job has run: the directory holds no seed for this design
+    let replace = service.submit(evaluated_job(design, 7).with_replace(JobId(999), Vec::new()));
+    service.run_all();
+    let err = service.take_result(replace).expect("ran").expect_err("no base, no seed");
+    assert!(err.to_string().contains("never submitted"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One step of a random schedule (same shape as `artifact_eviction.rs`).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Submit(usize, u64),
+    Release(usize),
+    Evict,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..10, 0usize..POOL, 1u64..4).prop_map(|(pick, slot, seed)| match pick {
+        0..=4 => Op::Submit(slot, seed),
+        5..=7 => Op::Release(slot),
+        _ => Op::Evict,
+    })
+}
+
+fn run_job(
+    service: &mut PlacementService,
+    handle: DesignHandle,
+    seed: u64,
+) -> placer_core::JobResult {
+    let job = service.submit(evaluated_job(handle, seed));
+    service.run_all();
+    service.take_result(job).expect("job ran").expect("job succeeded")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn spilled_and_revived_runs_match_the_spill_less_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..8),
+    ) {
+        // zero budget + spill dir: every eviction spills, every rebuild
+        // probes the spill tier first — the maximum-revive schedule
+        let dir = scratch("proptest");
+        let store =
+            placer_core::DesignStore::with_memory_budget(0).with_spill_dir(&dir);
+        let mut spilled = PlacementService::with_store(placer_core::builtin_registry(), store);
+        let mut oracle = PlacementService::new(placer_core::builtin_registry());
+        let mut handles: [Option<DesignHandle>; POOL] = [None; POOL];
+
+        for &op in &ops {
+            match op {
+                Op::Submit(slot, seed) => {
+                    let handle = spilled.intern(pool_design(slot));
+                    if let Some(known) = handles[slot] {
+                        prop_assert_eq!(handle, known);
+                    }
+                    handles[slot] = Some(handle);
+                    let got = run_job(&mut spilled, handle, seed);
+                    let oracle_handle = oracle.intern(pool_design(slot));
+                    let want = run_job(&mut oracle, oracle_handle, seed);
+                    prop_assert_eq!(
+                        &got.outcome.placement, &want.outcome.placement,
+                        "revived artifacts changed a placement"
+                    );
+                    prop_assert_eq!(
+                        &got.outcome.metrics, &want.outcome.metrics,
+                        "revived artifacts changed metrics"
+                    );
+                }
+                Op::Release(slot) => {
+                    if let Some(handle) = handles[slot] {
+                        spilled.release(handle);
+                    }
+                }
+                Op::Evict => {
+                    spilled.store_mut().evict_unreferenced();
+                }
+            }
+        }
+
+        // zero budget evicts aggressively: anything evicted was spilled, and
+        // spilling must never be lossy under this schedule (the directory is
+        // always writable), so spills track evictions
+        let stats = spilled.stats();
+        let spilled_total = stats.artifacts.spills() + stats.csr_spills;
+        let evicted_total = stats.artifacts.evictions() + stats.design_evictions;
+        prop_assert!(
+            spilled_total >= evicted_total.min(1),
+            "evictions happened without spilling: {stats:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

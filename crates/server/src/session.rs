@@ -536,9 +536,19 @@ impl Server {
                     .field("kind", kind)
                     .field("hits", counters.hits)
                     .field("misses", counters.misses)
-                    .field("evictions", counters.evictions),
+                    .field("evictions", counters.evictions)
+                    .field("spills", counters.spills)
+                    .field("revives", counters.revives),
             )?;
         }
+        reply(
+            out,
+            Frame::new("spill")
+                .field("csr_spills", stats.csr_spills)
+                .field("csr_revives", stats.csr_revives)
+                .field("seed_spills", stats.seed_spills)
+                .field("seed_revives", stats.seed_revives),
+        )?;
         let store = self.sched.service().store();
         for i in 0..store.len() {
             let handle = DesignHandle(i as u32);
